@@ -1,0 +1,73 @@
+//! Static split versus chunked dynamic load balancing.
+//!
+//! The paper's executor assigns each worker one contiguous `1/w` slice of
+//! the input. On uniform inputs that is optimal; on *skewed* inputs (here:
+//! the expensive backtracking-regex lines concentrated in one region) the
+//! worker holding the hot region straggles. The chunked executor hands out
+//! many small chunks on demand, so the hot region spreads across workers.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use kq_coreutils::ExecContext;
+use kq_pipeline::chunked::{run_chunked, ChunkedOptions};
+use kq_pipeline::exec::run_parallel;
+use kq_pipeline::parse::parse_script;
+use kq_pipeline::plan::Planner;
+use kq_synth::SynthesisConfig;
+use std::collections::HashMap;
+use std::hint::black_box;
+
+/// A stream whose first quarter holds long lines (expensive for the
+/// backtracking pattern) and the rest short ones.
+fn skewed_input(lines: usize) -> String {
+    let mut s = String::new();
+    for i in 0..lines {
+        if i < lines / 4 {
+            // Long alphabetic lines: the `\(.\).*\1...` pattern backtracks.
+            s.push_str(&"abcdefghij".repeat(12));
+            s.push_str("xyzx\n");
+        } else {
+            s.push_str("ab\n");
+        }
+    }
+    s
+}
+
+fn bench_chunked_vs_static(c: &mut Criterion) {
+    let input = skewed_input(3_000);
+    let env: HashMap<String, String> = HashMap::new();
+    let script = parse_script(
+        r"cat /in.txt | grep '\(.\).*\1\(.\).*\2' | wc -l",
+        &env,
+    )
+    .unwrap();
+    let ctx = ExecContext::default();
+    ctx.vfs.write("/in.txt", &input);
+    let mut planner = Planner::new(SynthesisConfig::default());
+    let plan = planner.plan(&script, &ctx, &input[..input.len().min(8_192)]);
+
+    let mut group = c.benchmark_group("executor_skewed");
+    group.sample_size(10);
+    for workers in [2usize, 4] {
+        group.bench_function(format!("static_w{workers}"), |b| {
+            b.iter(|| {
+                let r = run_parallel(black_box(&script), &plan, &ctx, workers, true).unwrap();
+                r.output.len()
+            })
+        });
+        group.bench_function(format!("chunked_w{workers}"), |b| {
+            let opts = ChunkedOptions {
+                workers,
+                chunk_bytes: 4 * 1024,
+                honor_elimination: true,
+            };
+            b.iter(|| {
+                let r = run_chunked(black_box(&script), &plan, &ctx, &opts).unwrap();
+                r.output.len()
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_chunked_vs_static);
+criterion_main!(benches);

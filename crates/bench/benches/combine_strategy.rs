@@ -1,0 +1,104 @@
+//! Ablation: k-way combine strategies (paper §3.5, "Combining Multiple
+//! Substreams").
+//!
+//! The paper generalizes binary combiners to `k` substreams natively for
+//! `concat`/`merge`/`rerun` and "applies the combiner on two substreams
+//! repeatedly until only one substream remains" for the rest. This bench
+//! quantifies that design choice: the flat/native path versus a balanced
+//! pairwise tree versus the naive left fold, across piece counts.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use kq_dsl::ast::{Candidate, RecOp, StructOp};
+use kq_dsl::eval::NoRunEnv;
+use kq_dsl::{combine_all_with, CombineStrategy, Delim};
+use std::hint::black_box;
+
+/// Builds `k` uniq -c–shaped pieces totalling roughly `bytes` bytes, with
+/// matching boundary keys so `stitch2` exercises its merge arm.
+fn counted_pieces(k: usize, bytes: usize) -> Vec<String> {
+    let per_piece_lines = (bytes / k / 14).max(2);
+    (0..k)
+        .map(|p| {
+            let mut s = String::new();
+            for i in 0..per_piece_lines {
+                // Repeat the boundary word between adjacent pieces.
+                let word = if i == 0 && p > 0 {
+                    format!("w{:04}", (p - 1) * per_piece_lines + per_piece_lines - 1)
+                } else {
+                    format!("w{:04}", p * per_piece_lines + i)
+                };
+                s.push_str(&format!("{:>7} {word}\n", (i % 9) + 1));
+            }
+            s
+        })
+        .collect()
+}
+
+/// Plain text pieces for the concat comparison.
+fn text_pieces(k: usize, bytes: usize) -> Vec<String> {
+    let per = bytes / k;
+    (0..k)
+        .map(|p| {
+            let mut s = String::new();
+            while s.len() < per {
+                s.push_str(&format!("piece {p} line {}\n", s.len()));
+            }
+            s
+        })
+        .collect()
+}
+
+fn strategies() -> [(CombineStrategy, &'static str); 3] {
+    [
+        (CombineStrategy::Flat, "flat"),
+        (CombineStrategy::TreeFold, "tree"),
+        (CombineStrategy::FoldLeft, "fold_left"),
+    ]
+}
+
+fn bench_combine_strategies(c: &mut Criterion) {
+    const BYTES: usize = 512 * 1024;
+
+    let concat = Candidate::rec(RecOp::Concat);
+    let mut group = c.benchmark_group("combine_strategy/concat");
+    group.throughput(Throughput::Bytes(BYTES as u64));
+    group.sample_size(20);
+    for k in [4usize, 16, 64] {
+        let pieces = text_pieces(k, BYTES);
+        for (strategy, name) in strategies() {
+            group.bench_function(format!("{name}_k{k}"), |b| {
+                b.iter(|| {
+                    combine_all_with(strategy, &concat, black_box(&pieces), &NoRunEnv)
+                        .unwrap()
+                        .len()
+                })
+            });
+        }
+    }
+    group.finish();
+
+    let stitch2 = Candidate::structural(StructOp::Stitch2(
+        Delim::Space,
+        RecOp::Add,
+        RecOp::First,
+    ));
+    let mut group = c.benchmark_group("combine_strategy/stitch2");
+    group.throughput(Throughput::Bytes(BYTES as u64));
+    group.sample_size(20);
+    for k in [4usize, 16, 64] {
+        let pieces = counted_pieces(k, BYTES);
+        for (strategy, name) in strategies() {
+            group.bench_function(format!("{name}_k{k}"), |b| {
+                b.iter(|| {
+                    combine_all_with(strategy, &stitch2, black_box(&pieces), &NoRunEnv)
+                        .unwrap()
+                        .len()
+                })
+            });
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_combine_strategies);
+criterion_main!(benches);

@@ -1,0 +1,26 @@
+//! Candidate-space enumeration cost for the three per-command delimiter
+//! tiers (Table 10's 2 700 / 26 404 / 110 444 candidate spaces).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use kq_dsl::{enumerate_candidates, Delim, EnumConfig};
+use std::hint::black_box;
+
+fn bench_enumeration(c: &mut Criterion) {
+    let mut group = c.benchmark_group("enumeration");
+    group.sample_size(20);
+    for n_delims in 1..=3usize {
+        let config = EnumConfig {
+            delims: Delim::ALL[..n_delims].to_vec(),
+            ..EnumConfig::default()
+        };
+        let (cands, breakdown) = enumerate_candidates(&config);
+        assert_eq!(cands.len(), breakdown.total());
+        group.bench_function(format!("delims_{n_delims}_{}", breakdown.total()), |b| {
+            b.iter(|| enumerate_candidates(black_box(&config)).0.len())
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_enumeration);
+criterion_main!(benches);

@@ -1,0 +1,29 @@
+//! End-to-end combiner synthesis (Algorithm 1) for commands across the
+//! difficulty spectrum: a newline-only space (`wc -l`), a full two-delim
+//! space with StructOp winners (`uniq -c`), and a no-combiner command
+//! where every candidate must be eliminated (`sed 1d`).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use kq_coreutils::{parse_command, ExecContext};
+use kq_synth::{synthesize, SynthesisConfig};
+use std::hint::black_box;
+
+fn bench_synthesis(c: &mut Criterion) {
+    let mut group = c.benchmark_group("synthesis");
+    group.sample_size(10);
+    for cmd in ["wc -l", "uniq -c", "sed 1d"] {
+        let command = parse_command(cmd).unwrap();
+        let ctx = ExecContext::default();
+        let config = SynthesisConfig::default();
+        group.bench_function(cmd.replace(' ', "_"), |b| {
+            b.iter(|| {
+                let report = synthesize(black_box(&command), &ctx, &config);
+                report.observations
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_synthesis);
+criterion_main!(benches);

@@ -1,0 +1,50 @@
+//! End-to-end execution of the Figure 1 word-frequency pipeline: serial
+//! baseline versus the planned parallel pipeline at several worker counts.
+//! Wall-clock here is real single-host execution time (total work); the
+//! virtual speedup tables come from the `table*` binaries instead.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use kq_coreutils::ExecContext;
+use kq_pipeline::exec::{run_parallel_measured, run_serial};
+use kq_pipeline::parse::parse_script;
+use kq_pipeline::plan::Planner;
+use kq_synth::SynthesisConfig;
+use kq_workloads::inputs::gutenberg_text;
+use std::collections::HashMap;
+use std::hint::black_box;
+
+fn bench_wf(c: &mut Criterion) {
+    let input = gutenberg_text(256 * 1024, 21);
+    let ctx = ExecContext::default();
+    ctx.vfs.write("/in.txt", input.clone());
+    let env: HashMap<String, String> = [("IN".to_owned(), "/in.txt".to_owned())].into();
+    let script = parse_script(
+        r"cat $IN | tr -cs A-Za-z '\n' | tr A-Z a-z | sort | uniq -c | sort -rn",
+        &env,
+    )
+    .unwrap();
+    let mut planner = Planner::new(SynthesisConfig::default());
+    let cut = input[..48 * 1024].rfind('\n').map(|i| i + 1).unwrap_or(input.len());
+    let plan = planner.plan(&script, &ctx, &input[..cut]);
+
+    let mut group = c.benchmark_group("wf_pipeline_256KB");
+    group.throughput(Throughput::Bytes(input.len() as u64));
+    group.sample_size(10);
+    group.bench_function("serial", |b| {
+        b.iter(|| run_serial(black_box(&script), &ctx).unwrap().output.len())
+    });
+    for w in [4usize, 16] {
+        group.bench_function(format!("parallel_w{w}"), |b| {
+            b.iter(|| {
+                run_parallel_measured(black_box(&script), &plan, &ctx, w, true)
+                    .unwrap()
+                    .output
+                    .len()
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_wf);
+criterion_main!(benches);

@@ -1,0 +1,45 @@
+//! Ablation of Algorithm 2's gradient-guided shape search versus uniformly
+//! random mutation: does following the elimination gradient converge with
+//! fewer observations (the paper's §3.2 design rationale)?
+
+use kq_coreutils::{parse_command, ExecContext};
+use kq_synth::{synthesize, SynthesisConfig};
+
+fn main() {
+    let commands = [
+        "wc -l",
+        "uniq",
+        "uniq -c",
+        "sort -rn",
+        "tr A-Z a-z",
+        r"tr -cs A-Za-z '\n'",
+        "grep -c light",
+        "sed 1d",
+    ];
+    println!("Ablation — gradient-guided vs. random input-shape search");
+    println!(
+        "{:<24} {:>14} {:>14} {:>10} {:>10}  outcome match",
+        "command", "obs (gradient)", "obs (random)", "t grad", "t rand"
+    );
+    for cmd in commands {
+        let command = parse_command(cmd).unwrap();
+        let ctx = ExecContext::default();
+        let gradient = synthesize(&command, &ctx, &SynthesisConfig::default());
+        let random_cfg = SynthesisConfig {
+            use_gradient: false,
+            ..SynthesisConfig::default()
+        };
+        let random = synthesize(&command, &ctx, &random_cfg);
+        let same = gradient.plausible().iter().map(|c| c.to_string()).collect::<Vec<_>>()
+            == random.plausible().iter().map(|c| c.to_string()).collect::<Vec<_>>();
+        println!(
+            "{:<24} {:>14} {:>14} {:>10} {:>10}  {}",
+            cmd,
+            gradient.observations,
+            random.observations,
+            format!("{:.0?}", gradient.elapsed),
+            format!("{:.0?}", random.elapsed),
+            if same { "yes" } else { "DIFFERS" },
+        );
+    }
+}

@@ -1,0 +1,58 @@
+//! Extension appendix to Table 10: synthesis results for commands *beyond*
+//! the paper's corpus, chosen to exercise DSL regions the corpus barely
+//! reaches (`offset add`, the swapped-argument candidates, top-level
+//! reducers) and to document new no-combiner causes (non-idempotent
+//! numbering, padded multi-columns, out-of-alphabet delimiters,
+//! nondeterminism).
+
+use kq_coreutils::{parse_command, ExecContext};
+use kq_synth::{synthesize, SynthesisConfig, SynthesisOutcome};
+
+fn main() {
+    let cases: &[(&str, &str)] = &[
+        ("cat -n", "offset '\\t' add — the g_oa representative"),
+        ("nl -b a", "same numbering as cat -n"),
+        ("nl", "gutter lines break offset; not idempotent, so no rerun"),
+        ("tac", "swapped concat (concat b a)"),
+        ("awk '{s += $1} END {print s}'", "top-level reducer"),
+        ("fold -w16", "per-line map"),
+        ("expand", "per-line map"),
+        ("wc", "padded multi-column output"),
+        ("wc -w", "single count"),
+        ("grep -n light", "':' not in the delimiter alphabet"),
+        ("shuf", "nondeterministic"),
+    ];
+    println!("Extension commands (beyond the paper's Table 10)");
+    println!(
+        "{:<34} {:>9} {:>9}  {}",
+        "command", "space", "time", "plausible combiners / verdict"
+    );
+    for (cmd, why) in cases {
+        let command = match parse_command(cmd) {
+            Ok(c) => c,
+            Err(e) => {
+                println!("{cmd:<34} parse error: {e}");
+                continue;
+            }
+        };
+        let ctx = ExecContext::default();
+        let report = synthesize(&command, &ctx, &SynthesisConfig::default());
+        let verdict = match &report.outcome {
+            SynthesisOutcome::Synthesized(c) => c
+                .plausible
+                .iter()
+                .map(|p| p.to_string())
+                .collect::<Vec<_>>()
+                .join(", "),
+            SynthesisOutcome::NoCombiner { .. } => "NONE".to_owned(),
+        };
+        println!(
+            "{:<34} {:>9} {:>7.0}ms  {}",
+            cmd,
+            report.space.total(),
+            report.elapsed.as_secs_f64() * 1e3,
+            verdict
+        );
+        println!("{:<34} {:>9} {:>9}  note: {}", "", "", "", why);
+    }
+}

@@ -1,0 +1,8 @@
+//! Regenerates Table 4: T_orig, u1, u16, T16 for all 70 scripts.
+
+fn main() {
+    let scale = kq_workloads::Scale::bench();
+    let (ms, _) = kq_bench::measure_corpus(&scale, &[1, 16]);
+    assert!(ms.iter().all(|m| m.outputs_verified), "a parallel output diverged");
+    kq_bench::tables::print_table4(&ms);
+}

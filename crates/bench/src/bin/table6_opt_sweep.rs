@@ -1,0 +1,7 @@
+//! Regenerates Table 6: the optimized 1/2/4/8/16-way sweep.
+
+fn main() {
+    let scale = kq_workloads::Scale::bench();
+    let (ms, _) = kq_bench::measure_corpus(&scale, &kq_bench::WORKER_SWEEP);
+    kq_bench::tables::print_table6(&ms);
+}

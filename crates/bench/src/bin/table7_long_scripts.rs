@@ -1,0 +1,8 @@
+//! Regenerates Table 7: the long-running subset (paper: u1 >= 3 minutes;
+//! here: the corpus's upper u1 quantile, or KQ_LONG_MS).
+
+fn main() {
+    let scale = kq_workloads::Scale::bench();
+    let (ms, _) = kq_bench::measure_corpus(&scale, &[1, 16]);
+    kq_bench::tables::print_table7(&ms);
+}

@@ -1,0 +1,208 @@
+//! Shared measurement harness for the table/figure reproduction binaries.
+//!
+//! Every performance binary follows the paper's §4 protocol: stage-to-
+//! completion execution, per-stage buffering, configurable per-stage
+//! parallelism, and (our substitution for the 80-core testbed) the
+//! measured-cost scheduler of `kq_pipeline::sim` to turn unbiased piece
+//! timings into `w`-way virtual wall-clock.
+//!
+//! Input scale defaults to `Scale::bench()` (2 MiB per script, override
+//! with `KQ_SCALE_KB`).
+
+pub mod paper;
+pub mod tables;
+
+use kq_coreutils::ExecContext;
+use kq_pipeline::exec::{run_parallel_measured, run_serial};
+use kq_pipeline::parse::parse_script;
+use kq_pipeline::plan::Planner;
+use kq_pipeline::sim::{optimized_time, pipelined_time, staged_time, SimParams};
+use kq_synth::{SynthesisConfig, SynthesisReport};
+use kq_workloads::{setup, BenchmarkScript, Scale};
+use std::time::Duration;
+
+/// The worker counts the paper sweeps (Tables 5/6).
+pub const WORKER_SWEEP: [usize; 5] = [1, 2, 4, 8, 16];
+
+/// Performance measurements for one script.
+#[derive(Debug)]
+pub struct ScriptMeasurement {
+    /// Suite directory name.
+    pub suite: &'static str,
+    /// Script id (`2.sh`).
+    pub id: &'static str,
+    /// Descriptive name.
+    pub name: &'static str,
+    /// Per-statement `(parallelized, total)` stage counts.
+    pub per_statement: Vec<(usize, usize)>,
+    /// Per-statement eliminated-combiner counts.
+    pub eliminated_per_statement: Vec<usize>,
+    /// Pipelined original-script estimate (`T_orig`).
+    pub t_orig: Duration,
+    /// Staged serial time (`u_1`).
+    pub u1: Duration,
+    /// Unoptimized times per sweep entry (`u_w`).
+    pub unopt: Vec<(usize, Duration)>,
+    /// Optimized times per sweep entry (`T_w`).
+    pub opt: Vec<(usize, Duration)>,
+    /// All parallel outputs matched the serial baseline.
+    pub outputs_verified: bool,
+}
+
+impl ScriptMeasurement {
+    /// Script-level `(parallelized, total)`.
+    pub fn parallelized(&self) -> (usize, usize) {
+        self.per_statement
+            .iter()
+            .fold((0, 0), |(a, b), (k, n)| (a + k, b + n))
+    }
+
+    /// Script-level eliminated count.
+    pub fn eliminated(&self) -> usize {
+        self.eliminated_per_statement.iter().sum()
+    }
+
+    /// Time for worker count `w` from a sweep vector.
+    pub fn at(sweep: &[(usize, Duration)], w: usize) -> Option<Duration> {
+        sweep.iter().find(|(sw, _)| *sw == w).map(|(_, d)| *d)
+    }
+
+    /// `u_1 / d` as a speedup factor.
+    pub fn speedup(&self, d: Duration) -> f64 {
+        self.u1.as_secs_f64() / d.as_secs_f64().max(1e-9)
+    }
+}
+
+/// Measures one script: plans it (synthesizing combiners), runs the serial
+/// baseline, and sweeps the requested worker counts in both unoptimized
+/// and optimized configurations.
+pub fn measure_script(
+    script: &BenchmarkScript,
+    scale: &Scale,
+    workers: &[usize],
+    planner: &mut Planner,
+) -> ScriptMeasurement {
+    let ctx = ExecContext::default();
+    let env = setup(script, &ctx, scale, 0xBE7C);
+    let parsed = parse_script(script.text, &env).expect("corpus scripts parse");
+    let sample = ctx
+        .vfs
+        .read(env.get("IN").expect("IN set"))
+        .expect("input exists");
+    let sample = &sample[..sample.len().min(48 * 1024)];
+    let sample = match sample.rfind('\n') {
+        Some(i) => &sample[..=i],
+        None => sample,
+    };
+    let plan = planner.plan(&parsed, &ctx, sample);
+
+    let serial = run_serial(&parsed, &ctx).expect("serial run");
+    let params1 = SimParams::with_workers(1);
+    let u1 = staged_time(&serial.timings, &params1).wall;
+    let t_orig = pipelined_time(&serial.timings, &params1).wall;
+
+    let mut unopt = Vec::with_capacity(workers.len());
+    let mut opt = Vec::with_capacity(workers.len());
+    let mut outputs_verified = true;
+    for &w in workers {
+        let params = SimParams::with_workers(w);
+        let u_run = run_parallel_measured(&parsed, &plan, &ctx, w, false).expect("unopt run");
+        outputs_verified &= u_run.output == serial.output;
+        unopt.push((w, staged_time(&u_run.timings, &params).wall));
+        let t_run = run_parallel_measured(&parsed, &plan, &ctx, w, true).expect("opt run");
+        outputs_verified &= t_run.output == serial.output;
+        opt.push((w, optimized_time(&t_run.timings, &params).wall));
+    }
+
+    ScriptMeasurement {
+        suite: script.suite.dir(),
+        id: script.id,
+        name: script.name,
+        per_statement: plan
+            .statements
+            .iter()
+            .map(|s| s.parallelized_counts())
+            .collect(),
+        eliminated_per_statement: plan
+            .statements
+            .iter()
+            .map(|s| s.eliminated_count())
+            .collect(),
+        t_orig,
+        u1,
+        unopt,
+        opt,
+        outputs_verified,
+    }
+}
+
+/// Measures the whole corpus with a shared synthesis cache.
+pub fn measure_corpus(scale: &Scale, workers: &[usize]) -> (Vec<ScriptMeasurement>, Vec<SynthesisReport>) {
+    let mut planner = Planner::new(SynthesisConfig::default());
+    let measurements = kq_workloads::corpus()
+        .iter()
+        .map(|script| {
+            eprintln!("  measuring {}/{}", script.suite.dir(), script.id);
+            measure_script(script, scale, workers, &mut planner)
+        })
+        .collect();
+    (measurements, std::mem::take(&mut planner.reports))
+}
+
+/// Formats a `(k, n)` pair list the way Table 3 does:
+/// `8/9 (3/4, 5/5)`.
+pub fn format_counts(per_statement: &[(usize, usize)]) -> String {
+    let (k, n) = per_statement
+        .iter()
+        .fold((0, 0), |(a, b), (x, y)| (a + x, b + y));
+    if per_statement.len() <= 1 {
+        format!("{k}/{n}")
+    } else {
+        let inner: Vec<String> = per_statement
+            .iter()
+            .map(|(x, y)| format!("{x}/{y}"))
+            .collect();
+        format!("{k}/{n} ({})", inner.join(", "))
+    }
+}
+
+/// Formats a duration like the tables (`41 s` in the paper; milliseconds
+/// at our scale).
+pub fn fmt_ms(d: Duration) -> String {
+    format!("{:.1} ms", d.as_secs_f64() * 1e3)
+}
+
+/// `x.x×` speedup formatting.
+pub fn fmt_speedup(base: Duration, d: Duration) -> String {
+    format!("{:.1}x", base.as_secs_f64() / d.as_secs_f64().max(1e-9))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use kq_workloads::corpus;
+
+    #[test]
+    fn measure_one_script_end_to_end() {
+        let script = corpus().iter().find(|s| s.id == "wf.sh").unwrap();
+        let mut planner = Planner::new(SynthesisConfig::default());
+        let m = measure_script(
+            script,
+            &Scale { input_bytes: 30_000 },
+            &[1, 4],
+            &mut planner,
+        );
+        assert!(m.outputs_verified);
+        assert_eq!(m.parallelized(), (4, 5));
+        assert_eq!(m.eliminated(), 1);
+        assert_eq!(m.unopt.len(), 2);
+        assert!(m.u1 > Duration::ZERO);
+        assert!(m.t_orig <= m.u1);
+    }
+
+    #[test]
+    fn format_counts_matches_table3_style() {
+        assert_eq!(format_counts(&[(4, 5)]), "4/5");
+        assert_eq!(format_counts(&[(0, 1), (3, 3), (2, 2)]), "5/6 (0/1, 3/3, 2/2)");
+    }
+}

@@ -1,0 +1,100 @@
+//! Reference values transcribed from the paper, printed alongside our
+//! measurements so every table shows "paper vs. reproduced" at a glance.
+
+/// One Table 1 row (the two longest-running scripts per suite).
+#[derive(Debug, Clone, Copy)]
+pub struct Table1Row {
+    pub suite: &'static str,
+    pub id: &'static str,
+    /// `k/n` parallelized stages.
+    pub parallelized: (usize, usize),
+    /// Eliminated combiners.
+    pub eliminated: usize,
+    /// `u1 / u16` speedup.
+    pub u16_speedup: f64,
+    /// `u1 / T16` speedup.
+    pub t16_speedup: f64,
+}
+
+/// Table 1 of the paper.
+pub const TABLE1: [Table1Row; 8] = [
+    Table1Row { suite: "analytics-mts", id: "2.sh", parallelized: (8, 8), eliminated: 3, u16_speedup: 9.3, t16_speedup: 13.5 },
+    Table1Row { suite: "analytics-mts", id: "3.sh", parallelized: (8, 8), eliminated: 3, u16_speedup: 8.4, t16_speedup: 11.3 },
+    Table1Row { suite: "oneliners", id: "set-diff.sh", parallelized: (5, 8), eliminated: 3, u16_speedup: 9.1, t16_speedup: 10.2 },
+    Table1Row { suite: "oneliners", id: "wf.sh", parallelized: (4, 5), eliminated: 1, u16_speedup: 10.7, t16_speedup: 14.4 },
+    Table1Row { suite: "poets", id: "4_3b.sh", parallelized: (4, 9), eliminated: 1, u16_speedup: 3.8, t16_speedup: 3.8 },
+    Table1Row { suite: "poets", id: "8.2_2.sh", parallelized: (4, 9), eliminated: 1, u16_speedup: 5.2, t16_speedup: 10.2 },
+    Table1Row { suite: "unix50", id: "21.sh", parallelized: (3, 3), eliminated: 1, u16_speedup: 11.4, t16_speedup: 14.9 },
+    Table1Row { suite: "unix50", id: "23.sh", parallelized: (6, 6), eliminated: 4, u16_speedup: 8.8, t16_speedup: 19.8 },
+];
+
+/// Aggregate paper statistics quoted in §4 and the appendix tables.
+pub mod aggregates {
+    /// Total pipeline stages across the 70 scripts.
+    pub const TOTAL_STAGES: usize = 427;
+    /// Stages KumQuat parallelized.
+    pub const PARALLELIZED_STAGES: usize = 325;
+    /// Parallelized stages whose combiners were eliminated.
+    pub const ELIMINATED_COMBINERS: usize = 144;
+    /// Unique data-processing commands.
+    pub const UNIQUE_COMMANDS: usize = 121;
+    /// Commands with a synthesized combiner.
+    pub const SYNTHESIZED_COMMANDS: usize = 113;
+    /// Median unoptimized 16-way speedup (all scripts).
+    pub const MEDIAN_U16_SPEEDUP: f64 = 5.3;
+    /// Median optimized 16-way speedup (all scripts).
+    pub const MEDIAN_T16_SPEEDUP: f64 = 7.1;
+    /// Synthesis wall-clock range and median, in seconds (Table 10).
+    pub const SYNTH_SECONDS: (f64, f64, f64) = (39.0, 331.0, 60.0);
+}
+
+/// Table 8 of the paper: how often each combiner (and its equivalents) was
+/// synthesized as plausible across the benchmarks.
+pub const TABLE8: [(&str, usize); 13] = [
+    ("(concat a b)", 81),
+    ("(rerun a b)", 22),
+    ("(merge(*) a b) or (merge(*) b a)", 16),
+    ("((back '\\n' add) a b) or ((back '\\n' add) b a)", 12),
+    ("(rerun b a)", 8),
+    ("((back '\\n' first) a b) or ((back '\\n' second) b a)", 2),
+    ("(first a b) or (second b a)", 2),
+    ("((fuse '\\n' first) a b) or ((fuse '\\n' second) b a)", 2),
+    ("((back '\\n' second) a b) or ((back '\\n' first) b a)", 2),
+    ("(second a b) or (first b a)", 2),
+    ("((fuse '\\n' second) a b) or ((fuse '\\n' first) b a)", 2),
+    ("((stitch2 ' ' add first) a b) or ((stitch2 ' ' add second) a b)", 2),
+    ("((stitch first) a b) or ((stitch second) a b)", 2),
+];
+
+/// Table 9 of the paper: the eight commands with no synthesized combiner.
+pub const TABLE9: [(&str, &str); 8] = [
+    ("awk '$1 == 2 {print $2, $3}'", "KumQuat did not generate inputs producing nonempty outputs"),
+    ("sed 1d", "no combiner exists (each piece drops its own first line)"),
+    ("sed 2d", "no combiner exists"),
+    ("sed 3d", "no combiner exists"),
+    ("sed 4d", "no combiner exists"),
+    ("sed 5d", "no combiner exists"),
+    ("tail +2", "no combiner exists (each piece drops its own prefix)"),
+    ("tail +3", "no combiner exists"),
+];
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table1_has_two_rows_per_suite() {
+        for suite in ["analytics-mts", "oneliners", "poets", "unix50"] {
+            assert_eq!(TABLE1.iter().filter(|r| r.suite == suite).count(), 2);
+        }
+    }
+
+    #[test]
+    fn aggregate_ratios_consistent() {
+        use aggregates::*;
+        let ordered = [ELIMINATED_COMBINERS, PARALLELIZED_STAGES, TOTAL_STAGES];
+        assert!(ordered.windows(2).all(|w| w[0] < w[1]), "{ordered:?}");
+        let synth = [SYNTHESIZED_COMMANDS, UNIQUE_COMMANDS];
+        assert!(synth[0] <= synth[1]);
+    }
+}

@@ -1,0 +1,175 @@
+//! A small dependency-free option parser for the `kumquat` binary.
+//!
+//! Grammar: `kumquat <subcommand> [positional ...] [--flag] [--opt value]`.
+//! Options may appear anywhere after the subcommand; `--opt=value` and
+//! `--opt value` are both accepted. A literal `--` ends option parsing.
+
+use std::collections::HashMap;
+
+/// A parsed command line: the subcommand, its positional arguments, and
+/// its `--options`.
+#[derive(Debug, Clone, Default)]
+pub struct ParsedArgs {
+    /// The subcommand word (`synthesize`, `plan`, ...).
+    pub subcommand: String,
+    /// Positional arguments, in order.
+    pub positional: Vec<String>,
+    /// Option values; flags map to `"true"`.
+    options: HashMap<String, String>,
+}
+
+/// Options that take a value (everything else is a boolean flag).
+const VALUED: &[&str] = &[
+    "workers", "input", "var", "seed", "scale-kb", "out", "suite", "executor", "chunk-kb",
+];
+
+impl ParsedArgs {
+    /// Parses the argument vector (without the program name).
+    pub fn parse(args: &[String]) -> Result<ParsedArgs, String> {
+        let mut parsed = ParsedArgs::default();
+        let mut it = args.iter().peekable();
+        let Some(sub) = it.next() else {
+            return Err("missing subcommand".into());
+        };
+        parsed.subcommand = sub.clone();
+        let mut options_done = false;
+        while let Some(arg) = it.next() {
+            if options_done || !arg.starts_with("--") {
+                parsed.positional.push(arg.clone());
+                continue;
+            }
+            if arg == "--" {
+                options_done = true;
+                continue;
+            }
+            let body = &arg[2..];
+            if let Some((name, value)) = body.split_once('=') {
+                parsed.options.insert(name.to_owned(), value.to_owned());
+            } else if VALUED.contains(&body) {
+                match it.next() {
+                    Some(v) => {
+                        parsed.options.insert(body.to_owned(), v.clone());
+                    }
+                    None => return Err(format!("--{body} requires a value")),
+                }
+            } else {
+                parsed.options.insert(body.to_owned(), "true".to_owned());
+            }
+        }
+        Ok(parsed)
+    }
+
+    /// The value of `--name`, if given.
+    pub fn opt(&self, name: &str) -> Option<&str> {
+        self.options.get(name).map(String::as_str)
+    }
+
+    /// True when the boolean flag `--name` was given.
+    pub fn flag(&self, name: &str) -> bool {
+        self.opt(name) == Some("true")
+    }
+
+    /// `--name` parsed as `T`, or `default` when absent.
+    pub fn opt_parse<T: std::str::FromStr>(&self, name: &str, default: T) -> Result<T, String> {
+        match self.opt(name) {
+            None => Ok(default),
+            Some(v) => v
+                .parse::<T>()
+                .map_err(|_| format!("--{name}: invalid value {v:?}")),
+        }
+    }
+
+    /// All `--var NAME=VALUE` bindings (repeatable via comma separation).
+    pub fn vars(&self) -> Result<Vec<(String, String)>, String> {
+        let Some(raw) = self.opt("var") else {
+            return Ok(Vec::new());
+        };
+        raw.split(',')
+            .map(|pair| {
+                pair.split_once('=')
+                    .map(|(k, v)| (k.to_owned(), v.to_owned()))
+                    .ok_or_else(|| format!("--var: expected NAME=VALUE, got {pair:?}"))
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse(words: &[&str]) -> ParsedArgs {
+        let v: Vec<String> = words.iter().map(|s| (*s).to_owned()).collect();
+        ParsedArgs::parse(&v).unwrap()
+    }
+
+    #[test]
+    fn subcommand_and_positional() {
+        let a = parse(&["synthesize", "wc -l"]);
+        assert_eq!(a.subcommand, "synthesize");
+        assert_eq!(a.positional, vec!["wc -l"]);
+    }
+
+    #[test]
+    fn valued_options_both_styles() {
+        let a = parse(&["run", "s.sh", "--workers", "8", "--input=in.txt"]);
+        assert_eq!(a.opt("workers"), Some("8"));
+        assert_eq!(a.opt("input"), Some("in.txt"));
+        assert_eq!(a.opt_parse::<usize>("workers", 1).unwrap(), 8);
+    }
+
+    #[test]
+    fn flags_default_off() {
+        let a = parse(&["plan", "x", "--no-opt"]);
+        assert!(a.flag("no-opt"));
+        assert!(!a.flag("verbose"));
+    }
+
+    #[test]
+    fn double_dash_ends_options() {
+        let a = parse(&["emit", "--", "--weird-positional"]);
+        assert_eq!(a.positional, vec!["--weird-positional"]);
+    }
+
+    #[test]
+    fn missing_value_is_an_error() {
+        let v: Vec<String> = vec!["run".into(), "--workers".into()];
+        assert!(ParsedArgs::parse(&v).is_err());
+    }
+
+    #[test]
+    fn missing_subcommand_is_an_error() {
+        assert!(ParsedArgs::parse(&[]).is_err());
+    }
+
+    #[test]
+    fn vars_parse() {
+        let a = parse(&["run", "s.sh", "--var", "IN=/x,OUT=/y"]);
+        let vars = a.vars().unwrap();
+        assert_eq!(
+            vars,
+            vec![
+                ("IN".to_owned(), "/x".to_owned()),
+                ("OUT".to_owned(), "/y".to_owned())
+            ]
+        );
+    }
+
+    #[test]
+    fn bad_var_is_an_error() {
+        let a = parse(&["run", "s.sh", "--var", "oops"]);
+        assert!(a.vars().is_err());
+    }
+
+    #[test]
+    fn default_when_option_absent() {
+        let a = parse(&["plan", "x"]);
+        assert_eq!(a.opt_parse::<usize>("workers", 16).unwrap(), 16);
+    }
+
+    #[test]
+    fn invalid_number_is_an_error() {
+        let a = parse(&["plan", "x", "--workers", "lots"]);
+        assert!(a.opt_parse::<usize>("workers", 1).is_err());
+    }
+}

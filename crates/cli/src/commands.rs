@@ -1,0 +1,445 @@
+//! Implementations of the `kumquat` subcommands.
+//!
+//! Each subcommand is a function from parsed arguments to the text it
+//! prints on stdout, so integration tests drive them without spawning the
+//! binary. Diagnostics go to the returned [`CliOutput::notes`] (the binary
+//! prints them on stderr).
+
+use crate::args::ParsedArgs;
+use crate::emit::{emit_script, EmitOptions};
+use crate::report::{render_plan, render_synthesis};
+use kq_coreutils::ExecContext;
+use kq_pipeline::exec::{run_parallel, run_serial};
+use kq_pipeline::parse::{parse_script, InputSource, Script};
+use kq_pipeline::plan::{PlannedScript, Planner};
+use kq_synth::SynthesisConfig;
+use std::collections::HashMap;
+use std::fmt::Write as _;
+use std::path::Path;
+
+/// What a subcommand produced.
+#[derive(Debug, Default)]
+pub struct CliOutput {
+    /// Text for stdout.
+    pub stdout: String,
+    /// Diagnostics for stderr.
+    pub notes: Vec<String>,
+}
+
+impl CliOutput {
+    fn from_stdout(stdout: String) -> CliOutput {
+        CliOutput {
+            stdout,
+            notes: Vec::new(),
+        }
+    }
+}
+
+/// Top-level dispatch. `args` excludes the program name.
+pub fn run_cli(args: &[String]) -> Result<CliOutput, String> {
+    let parsed = ParsedArgs::parse(args).map_err(|e| format!("{e}\n\n{USAGE}"))?;
+    match parsed.subcommand.as_str() {
+        "synthesize" => cmd_synthesize(&parsed),
+        "plan" => cmd_plan(&parsed),
+        "run" => cmd_run(&parsed),
+        "emit" => cmd_emit(&parsed),
+        "corpus" => cmd_corpus(&parsed),
+        "help" | "--help" | "-h" => Ok(CliOutput::from_stdout(USAGE.to_owned())),
+        other => Err(format!("unknown subcommand {other:?}\n\n{USAGE}")),
+    }
+}
+
+/// Usage text shown by `kumquat help` and on argument errors.
+pub const USAGE: &str = "kumquat — synthesize data-parallel Unix pipelines (PPoPP'22 reproduction)
+
+USAGE:
+    kumquat synthesize '<command>' [--seed N] [--external]
+        Synthesize a combiner for one command and print the report.
+        --external probes the real system binary (the paper's setup)
+        instead of the in-process implementation.
+    kumquat plan <script|file> [--var NAME=VALUE,...] [--input FILE]
+        Parse a pipeline script and print the parallelization plan.
+    kumquat run <script|file> [--workers N] [--no-opt] [--var ...]
+                               [--executor static|chunked] [--chunk-kb N]
+        Execute a script with N-way data parallelism (default 4); the
+        parallel output is verified against the serial output. Files named
+        by the script are read from the host filesystem. The chunked
+        executor load-balances many small chunks over the worker pool.
+    kumquat emit <script|file> [--workers N] [--no-opt] [--out FILE]
+        Compile the script into a runnable POSIX shell script that uses
+        the real Unix commands plus the synthesized combiners.
+    kumquat corpus [--suite NAME]
+        List the 70-script benchmark corpus from the paper.
+";
+
+fn synthesis_config(args: &ParsedArgs) -> Result<SynthesisConfig, String> {
+    let mut config = SynthesisConfig::default();
+    config.rng_seed = args.opt_parse("seed", config.rng_seed)?;
+    Ok(config)
+}
+
+fn cmd_synthesize(args: &ParsedArgs) -> Result<CliOutput, String> {
+    let [line] = args.positional.as_slice() else {
+        return Err("synthesize expects exactly one command argument".into());
+    };
+    let mut notes = Vec::new();
+    // --external reproduces the paper's exact setup: the black box is the
+    // real system binary, spawned per probe, not our in-process model.
+    let command = if args.flag("external") {
+        let words = kq_coreutils::split_words(line).map_err(|e| e.to_string())?;
+        let imp = kq_coreutils::external::ExternalCommand::new(&words)
+            .map_err(|e| e.to_string())?;
+        notes.push("probing the real system binary (per-observation process spawns)".into());
+        kq_coreutils::Command::custom(words, Box::new(imp))
+    } else {
+        kq_coreutils::parse_command(line).map_err(|e| e.to_string())?
+    };
+    let ctx = ExecContext::default();
+    let report = kq_synth::synthesize(&command, &ctx, &synthesis_config(args)?);
+    Ok(CliOutput {
+        stdout: render_synthesis(&report),
+        notes,
+    })
+}
+
+/// Reads the script argument: a file path when one exists, otherwise the
+/// argument itself is the script text.
+fn load_script_text(arg: &str) -> Result<String, String> {
+    if Path::new(arg).is_file() {
+        std::fs::read_to_string(arg).map_err(|e| format!("{arg}: {e}"))
+    } else if arg.contains('|') || arg.contains(' ') {
+        Ok(arg.to_owned())
+    } else {
+        Err(format!("{arg}: no such file (and not a pipeline)"))
+    }
+}
+
+/// Loads files the script references from the host filesystem into the
+/// virtual filesystem, returning notes about anything missing.
+fn load_referenced_files(script: &Script, ctx: &ExecContext) -> Vec<String> {
+    let mut notes = Vec::new();
+    let mut wanted: Vec<String> = Vec::new();
+    for statement in &script.statements {
+        if let InputSource::Files(files) = &statement.input {
+            wanted.extend(files.iter().cloned());
+        }
+        for stage in &statement.stages {
+            // Non-option argv words that exist on the host are loaded too
+            // (dictionaries for `comm`, file lists for `xargs cat`).
+            for word in stage.command.argv().iter().skip(1) {
+                if !word.starts_with('-') && Path::new(word).is_file() {
+                    wanted.push(word.clone());
+                }
+            }
+        }
+        // Redirect targets are produced by the run itself.
+        if let Some(target) = &statement.output {
+            notes.push(format!("writes {target} into the virtual filesystem"));
+        }
+    }
+    wanted.sort();
+    wanted.dedup();
+    for path in wanted {
+        if ctx.vfs.read(&path).is_some() {
+            continue;
+        }
+        match std::fs::read_to_string(&path) {
+            Ok(content) => ctx.vfs.write(path, content),
+            Err(_) => notes.push(format!("input file {path} not found on host")),
+        }
+    }
+    notes
+}
+
+struct PlannedRun {
+    script: Script,
+    plan: PlannedScript,
+    ctx: ExecContext,
+    notes: Vec<String>,
+}
+
+fn plan_from_args(args: &ParsedArgs) -> Result<PlannedRun, String> {
+    let [arg] = args.positional.as_slice() else {
+        return Err("expected exactly one script argument".into());
+    };
+    let text = load_script_text(arg)?;
+    let env: HashMap<String, String> = args.vars()?.into_iter().collect();
+    let script = parse_script(&text, &env).map_err(|e| e.to_string())?;
+    let ctx = ExecContext::default();
+    let mut notes = load_referenced_files(&script, &ctx);
+    if let Some(input) = args.opt("input") {
+        match std::fs::read_to_string(input) {
+            Ok(content) => ctx.vfs.write(input, content),
+            Err(e) => notes.push(format!("--input {input}: {e}")),
+        }
+    }
+    let sample = planning_sample(&script, &ctx);
+    let mut planner = Planner::new(synthesis_config(args)?);
+    let plan = planner.plan(&script, &ctx, &sample);
+    Ok(PlannedRun {
+        script,
+        plan,
+        ctx,
+        notes,
+    })
+}
+
+fn planning_sample(script: &Script, ctx: &ExecContext) -> String {
+    for statement in &script.statements {
+        if let InputSource::Files(files) = &statement.input {
+            if let Some(content) = files.first().and_then(|f| ctx.vfs.read(f)) {
+                let cap = content.len().min(64 * 1024);
+                let mut sample = content[..cap].to_owned();
+                if !sample.ends_with('\n') {
+                    sample.push('\n');
+                }
+                return sample;
+            }
+        }
+    }
+    "the quick brown fox\njumps over the lazy dog\nthe end\n".repeat(30)
+}
+
+fn cmd_plan(args: &ParsedArgs) -> Result<CliOutput, String> {
+    let planned = plan_from_args(args)?;
+    Ok(CliOutput {
+        stdout: render_plan(&planned.script, &planned.plan),
+        notes: planned.notes,
+    })
+}
+
+fn cmd_run(args: &ParsedArgs) -> Result<CliOutput, String> {
+    let workers: usize = args.opt_parse("workers", 4)?;
+    if workers == 0 {
+        return Err("--workers must be at least 1".into());
+    }
+    let honor = !args.flag("no-opt");
+    let executor = args.opt("executor").unwrap_or("static");
+    let planned = plan_from_args(args)?;
+    let serial = run_serial(&planned.script, &planned.ctx).map_err(|e| e.to_string())?;
+    let parallel = match executor {
+        "static" => run_parallel(&planned.script, &planned.plan, &planned.ctx, workers, honor)
+            .map_err(|e| e.to_string())?,
+        "chunked" => {
+            let opts = kq_pipeline::chunked::ChunkedOptions {
+                workers,
+                chunk_bytes: args.opt_parse("chunk-kb", 64usize)? * 1024,
+                honor_elimination: honor,
+            };
+            kq_pipeline::chunked::run_chunked(&planned.script, &planned.plan, &planned.ctx, &opts)
+                .map_err(|e| e.to_string())?
+        }
+        other => {
+            return Err(format!(
+                "--executor must be 'static' or 'chunked', got {other:?}"
+            ))
+        }
+    };
+    if parallel.output != serial.output {
+        return Err("parallel output diverged from serial output (combiner bug)".into());
+    }
+    let mut notes = planned.notes;
+    let (par, total) = planned.plan.parallelized_counts();
+    notes.push(format!(
+        "verified: {executor} parallel output (w={workers}) equals serial output; \
+         {par}/{total} stages parallel, {} combiner(s) eliminated",
+        planned.plan.eliminated_count()
+    ));
+    Ok(CliOutput {
+        stdout: parallel.output,
+        notes,
+    })
+}
+
+fn cmd_emit(args: &ParsedArgs) -> Result<CliOutput, String> {
+    let workers: usize = args.opt_parse("workers", 16)?;
+    if workers == 0 {
+        return Err("--workers must be at least 1".into());
+    }
+    let opts = EmitOptions {
+        workers,
+        honor_elimination: !args.flag("no-opt"),
+    };
+    let planned = plan_from_args(args)?;
+    let emitted = emit_script(&planned.script, &planned.plan, &opts);
+    let mut notes = planned.notes;
+    for (si, stage, combiner) in &emitted.degraded {
+        notes.push(format!(
+            "statement {} stage {}: combiner {combiner} has no shell translation; \
+             stage emitted sequential",
+            si + 1,
+            stage + 1
+        ));
+    }
+    if let Some(path) = args.opt("out") {
+        std::fs::write(path, &emitted.script).map_err(|e| format!("{path}: {e}"))?;
+        notes.push(format!("wrote {path}"));
+        Ok(CliOutput {
+            stdout: String::new(),
+            notes,
+        })
+    } else {
+        Ok(CliOutput {
+            stdout: emitted.script,
+            notes,
+        })
+    }
+}
+
+fn cmd_corpus(args: &ParsedArgs) -> Result<CliOutput, String> {
+    let filter = args.opt("suite");
+    let mut out = String::new();
+    let mut shown = 0usize;
+    for script in kq_workloads::corpus() {
+        let suite = script.suite.dir();
+        if filter.is_some_and(|f| f != suite) {
+            continue;
+        }
+        shown += 1;
+        let stages: usize = script
+            .text
+            .lines()
+            .map(|l| l.matches('|').count() + usize::from(!l.trim().is_empty()))
+            .sum();
+        writeln!(
+            out,
+            "{suite:>14}  {:<12} {:<38} ~{stages} stage(s)",
+            script.id, script.name
+        )
+        .unwrap();
+    }
+    if shown == 0 {
+        return Err(format!(
+            "no scripts match --suite {:?} (suites: analytics-mts, oneliners, poets, unix50)",
+            filter.unwrap_or("")
+        ));
+    }
+    writeln!(out, "{shown} script(s)").unwrap();
+    Ok(CliOutput::from_stdout(out))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn call(words: &[&str]) -> Result<CliOutput, String> {
+        let v: Vec<String> = words.iter().map(|s| (*s).to_owned()).collect();
+        run_cli(&v)
+    }
+
+    #[test]
+    fn synthesize_subcommand_reports_combiner() {
+        let out = call(&["synthesize", "wc -l"]).unwrap();
+        assert!(out.stdout.contains("(back '\\n' add)"));
+    }
+
+    #[test]
+    fn synthesize_external_probes_real_binary() {
+        // The paper's actual experimental setup: the black box is the
+        // host's real `wc`, spawned per observation. Skip silently when
+        // the host has no binaries to spawn.
+        if std::process::Command::new("wc")
+            .arg("--version")
+            .output()
+            .is_err()
+        {
+            eprintln!("skipping: no host wc");
+            return;
+        }
+        let out = call(&["synthesize", "wc -l", "--external"]).unwrap();
+        assert!(
+            out.stdout.contains("(back '\\n' add)"),
+            "got: {}",
+            out.stdout
+        );
+        assert!(out.notes.iter().any(|n| n.contains("real system binary")));
+    }
+
+    #[test]
+    fn synthesize_rejects_arity() {
+        assert!(call(&["synthesize"]).is_err());
+        assert!(call(&["synthesize", "wc", "-l"]).is_err());
+    }
+
+    #[test]
+    fn unknown_subcommand_mentions_usage() {
+        let err = call(&["frob"]).unwrap_err();
+        assert!(err.contains("USAGE"));
+    }
+
+    #[test]
+    fn help_prints_usage() {
+        let out = call(&["help"]).unwrap();
+        assert!(out.stdout.contains("kumquat synthesize"));
+    }
+
+    #[test]
+    fn corpus_lists_all_suites() {
+        let out = call(&["corpus"]).unwrap();
+        assert!(out.stdout.contains("70 script(s)"), "got: {}", out.stdout);
+        let poets = call(&["corpus", "--suite", "poets"]).unwrap();
+        assert!(poets.stdout.contains("22 script(s)"));
+        assert!(call(&["corpus", "--suite", "nope"]).is_err());
+    }
+
+    #[test]
+    fn inline_script_plan_and_run() {
+        let dir = std::env::temp_dir().join(format!("kq-cli-test-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let input = dir.join("words.txt");
+        std::fs::write(&input, "b x\na y\nb z\na w\nc q\n".repeat(20)).unwrap();
+        let script = format!("cat {} | cut -d ' ' -f 1 | sort | uniq -c", input.display());
+
+        let plan = call(&["plan", &script]).unwrap();
+        assert!(plan.stdout.contains("stages parallelized"));
+
+        let run = call(&["run", &script, "--workers", "3"]).unwrap();
+        assert!(run.stdout.contains(" a\n"), "got: {}", run.stdout);
+        assert!(run
+            .notes
+            .iter()
+            .any(|n| n.contains("verified")), "notes: {:?}", run.notes);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn run_with_chunked_executor() {
+        let dir = std::env::temp_dir().join(format!("kq-cli-chunk-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let input = dir.join("w.txt");
+        std::fs::write(&input, "b x\na y\nb z\n".repeat(50)).unwrap();
+        let script = format!("cat {} | cut -d ' ' -f 1 | sort | uniq -c", input.display());
+        let run = call(&[
+            "run", &script, "--workers", "3", "--executor", "chunked", "--chunk-kb", "1",
+        ])
+        .unwrap();
+        assert!(run.stdout.contains(" a\n"), "got: {}", run.stdout);
+        assert!(run.notes.iter().any(|n| n.contains("chunked")));
+        assert!(call(&["run", &script, "--executor", "warp"]).is_err());
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn run_rejects_zero_workers() {
+        assert!(call(&["run", "cat x | sort", "--workers", "0"]).is_err());
+    }
+
+    #[test]
+    fn missing_script_file_is_an_error() {
+        let err = call(&["plan", "/no/such/file.sh"]).unwrap_err();
+        assert!(err.contains("no such file"));
+    }
+
+    #[test]
+    fn emit_writes_script_text() {
+        let dir = std::env::temp_dir().join(format!("kq-cli-emit-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let input = dir.join("in.txt");
+        std::fs::write(&input, "b\na\nc\n".repeat(10)).unwrap();
+        let script = format!("cat {} | sort", input.display());
+        let out = call(&["emit", &script, "--workers", "2"]).unwrap();
+        assert!(out.stdout.starts_with("#!/bin/sh"));
+        assert!(out.stdout.contains("sort -m"));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

@@ -1,0 +1,628 @@
+//! Compiles a planned pipeline into a runnable POSIX shell script.
+//!
+//! This is the artifact the paper's system ultimately produces: a *new
+//! data-parallel pipeline* that "executes directly in the same environment
+//! and with the same program and data locations as the original sequential
+//! command" (§1). The emitted script:
+//!
+//! 1. splits each stage input into `$KQ_WORKERS` contiguous, line-aligned
+//!    pieces (an `awk` splitter — the shell analogue of
+//!    [`kq_stream::split_stream`]);
+//! 2. runs one instance of the original, unmodified command per piece as a
+//!    background job;
+//! 3. combines the piece outputs with a shell translation of the
+//!    synthesized combiner (`cat`, `sort -m`, summing/stitching `awk`
+//!    programs, or a rerun of the command);
+//! 4. where the planner eliminated an intermediate combiner (Theorem 5),
+//!    pipes the pieces straight into the next command's instances instead.
+//!
+//! Combiners with no faithful shell translation degrade that stage to
+//! sequential execution (recorded in the script as a comment), so the
+//! emitted script is always correct, merely less parallel.
+
+use kq_dsl::ast::{Candidate, Combiner, RecOp, RunOp, StructOp};
+use kq_pipeline::parse::{InputSource, Script, Statement};
+use kq_pipeline::plan::{PlannedScript, StageMode};
+use kq_stream::Delim;
+use kq_synth::SynthesizedCombiner;
+use std::fmt::Write as _;
+
+/// Options for shell emission.
+#[derive(Debug, Clone)]
+pub struct EmitOptions {
+    /// Piece count baked into the script (overridable at run time through
+    /// the `KQ_WORKERS` environment variable).
+    pub workers: usize,
+    /// Apply the Theorem 5 intermediate-combiner elimination. With
+    /// `false` the script combines after every parallel stage (the
+    /// paper's unoptimized `u_w` configuration).
+    pub honor_elimination: bool,
+}
+
+impl Default for EmitOptions {
+    fn default() -> Self {
+        EmitOptions {
+            workers: 16,
+            honor_elimination: true,
+        }
+    }
+}
+
+/// The shell translation of one synthesized combiner.
+#[derive(Debug, Clone, PartialEq, Eq)]
+enum ShellCombine {
+    /// `cat piece.*` (in order, or reversed for the swapped candidate).
+    Concat { reversed: bool },
+    /// `sort -m <flags> piece.*`.
+    Merge(Vec<String>),
+    /// `cat piece.* | <command>` — one re-execution over the concatenation.
+    Rerun,
+    /// `(back '\n' add)`: sum the single numeric column with awk.
+    SumColumn,
+    /// `first` and its `\n`-formatted equivalents: the first non-empty
+    /// piece wins.
+    FirstPiece,
+    /// `second` equivalents: the last non-empty piece wins.
+    LastPiece,
+    /// `(stitch first)` — drop a boundary line duplicated across adjacent
+    /// pieces (the `uniq` combiner).
+    StitchFirst,
+    /// `(stitch2 d add first)` — merge boundary records whose keys agree
+    /// by summing their counts (the `uniq -c` combiner).
+    Stitch2Add(Delim),
+    /// `(offset d add)` — shift the numeric first field of later pieces
+    /// by the running total (the `xargs wc -l` / `cat -n` combiner).
+    OffsetAdd,
+}
+
+/// Picks the shell translation for a synthesized combiner, trying the
+/// composite's members in order. `None` means no member is expressible.
+fn shell_combine(combiner: &SynthesizedCombiner) -> Option<ShellCombine> {
+    combiner.members.iter().find_map(translate_candidate)
+}
+
+fn translate_candidate(c: &Candidate) -> Option<ShellCombine> {
+    use ShellCombine::*;
+    let select = |is_first: bool, swapped: bool| {
+        if is_first != swapped {
+            FirstPiece
+        } else {
+            LastPiece
+        }
+    };
+    match &c.op {
+        Combiner::Rec(RecOp::Concat) => Some(Concat {
+            reversed: c.swapped,
+        }),
+        Combiner::Run(RunOp::Merge(flags)) => Some(Merge(flags.clone())),
+        Combiner::Run(RunOp::Rerun) => Some(Rerun),
+        // Addition is commutative: orientation is irrelevant.
+        Combiner::Rec(RecOp::Add) => Some(SumColumn),
+        Combiner::Rec(RecOp::Back(Delim::Newline, b)) if **b == RecOp::Add => Some(SumColumn),
+        Combiner::Rec(RecOp::First) => Some(select(true, c.swapped)),
+        Combiner::Rec(RecOp::Second) => Some(select(false, c.swapped)),
+        Combiner::Rec(RecOp::Back(Delim::Newline, b) | RecOp::Fuse(Delim::Newline, b)) => {
+            match **b {
+                RecOp::First => Some(select(true, c.swapped)),
+                RecOp::Second => Some(select(false, c.swapped)),
+                _ => None,
+            }
+        }
+        // Structural combiners operate on adjacent boundaries; the swapped
+        // orientation would require reversing the piece order, which no
+        // corpus command needs — leave it inexpressible.
+        Combiner::Struct(op) if !c.swapped => match op {
+            StructOp::Stitch(RecOp::First | RecOp::Second) => Some(StitchFirst),
+            StructOp::Stitch2(d, RecOp::Add, RecOp::First | RecOp::Second) => {
+                Some(Stitch2Add(*d))
+            }
+            StructOp::Offset(_, RecOp::Add) => Some(OffsetAdd),
+            // `(offset d second)` leaves every line of the right stream
+            // unchanged: byte-for-byte concatenation.
+            StructOp::Offset(_, RecOp::Second) => Some(Concat { reversed: false }),
+            _ => None,
+        },
+        _ => None,
+    }
+}
+
+/// Quotes a word for POSIX `sh`.
+pub fn quote_sh(word: &str) -> String {
+    if !word.is_empty()
+        && word
+            .chars()
+            .all(|c| c.is_ascii_alphanumeric() || "_-./:=,+%@^".contains(c))
+    {
+        return word.to_owned();
+    }
+    let mut out = String::with_capacity(word.len() + 2);
+    out.push('\'');
+    for ch in word.chars() {
+        if ch == '\'' {
+            out.push_str("'\\''");
+        } else {
+            out.push(ch);
+        }
+    }
+    out.push('\'');
+    out
+}
+
+/// A command line re-quoted for the emitted script.
+fn shell_command(argv: &[String]) -> String {
+    argv.iter()
+        .map(|w| quote_sh(w))
+        .collect::<Vec<_>>()
+        .join(" ")
+}
+
+/// One emitted parallel segment: commands piped per piece, then a combine.
+struct Segment {
+    commands: Vec<String>,
+    combine: ShellCombine,
+    /// The stage whose combiner closes the segment (for rerun).
+    closing_command: String,
+    /// Stages whose combiners the plan eliminated inside this segment.
+    eliminated: usize,
+}
+
+/// The result of emitting a script.
+#[derive(Debug)]
+pub struct Emitted {
+    /// The shell script text.
+    pub script: String,
+    /// Stages degraded to sequential because their combiner has no shell
+    /// translation, as `(statement, stage, combiner)` triples.
+    pub degraded: Vec<(usize, usize, String)>,
+    /// Input files the script expects to find (read with `cat`).
+    pub required_files: Vec<String>,
+}
+
+/// Emits a planned script as a runnable POSIX shell script.
+pub fn emit_script(script: &Script, plan: &PlannedScript, opts: &EmitOptions) -> Emitted {
+    let mut degraded = Vec::new();
+    let mut required_files = Vec::new();
+    let mut body = String::new();
+
+    for (si, (statement, planned)) in script
+        .statements
+        .iter()
+        .zip(&plan.statements)
+        .enumerate()
+    {
+        let tag = format!("s{}", si + 1);
+        writeln!(body, "\n# --- statement {} ---", si + 1).unwrap();
+        emit_source(&mut body, statement, &tag, &mut required_files);
+
+        // Group stages into segments: a run of parallel stages whose
+        // intermediate combiners were eliminated, closed by one combine.
+        let mut stage_idx = 0;
+        while stage_idx < statement.stages.len() {
+            let planned_stage = &planned.stages[stage_idx];
+            match &planned_stage.mode {
+                StageMode::Sequential => {
+                    let cmd = shell_command(statement.stages[stage_idx].command.argv());
+                    writeln!(body, "{cmd} < \"$work/{tag}.cur\" > \"$work/{tag}.next\"")
+                        .unwrap();
+                    writeln!(body, "mv \"$work/{tag}.next\" \"$work/{tag}.cur\"").unwrap();
+                    stage_idx += 1;
+                }
+                StageMode::Parallel { .. } => {
+                    let (segment, consumed) = collect_segment(
+                        statement,
+                        planned,
+                        stage_idx,
+                        opts,
+                        &mut degraded,
+                        si,
+                    );
+                    match segment {
+                        Some(seg) => emit_segment(&mut body, &tag, stage_idx, &seg),
+                        None => {
+                            // Degraded: run the stage sequentially.
+                            let cmd =
+                                shell_command(statement.stages[stage_idx].command.argv());
+                            writeln!(
+                                body,
+                                "# combiner has no shell translation; stage kept sequential"
+                            )
+                            .unwrap();
+                            writeln!(
+                                body,
+                                "{cmd} < \"$work/{tag}.cur\" > \"$work/{tag}.next\""
+                            )
+                            .unwrap();
+                            writeln!(body, "mv \"$work/{tag}.next\" \"$work/{tag}.cur\"")
+                                .unwrap();
+                        }
+                    }
+                    stage_idx += consumed;
+                }
+            }
+        }
+
+        match &statement.output {
+            Some(target) => {
+                writeln!(body, "cat \"$work/{tag}.cur\" > {}", quote_sh(target)).unwrap()
+            }
+            None => writeln!(body, "cat \"$work/{tag}.cur\"").unwrap(),
+        }
+    }
+
+    let mut script_text = String::new();
+    script_text.push_str(HEADER_COMMENT);
+    for f in &required_files {
+        writeln!(script_text, "#   requires: {f}").unwrap();
+    }
+    script_text.push_str(&prelude(opts.workers));
+    script_text.push_str(&body);
+    Emitted {
+        script: script_text,
+        degraded,
+        required_files,
+    }
+}
+
+/// Gathers the parallel segment starting at `start`. Returns the segment
+/// (or `None` when the closing combiner is inexpressible) and the number
+/// of stages consumed (≥ 1).
+fn collect_segment(
+    statement: &Statement,
+    planned: &kq_pipeline::plan::PlannedStatement,
+    start: usize,
+    opts: &EmitOptions,
+    degraded: &mut Vec<(usize, usize, String)>,
+    statement_idx: usize,
+) -> (Option<Segment>, usize) {
+    let mut commands = Vec::new();
+    let mut idx = start;
+    let mut eliminated = 0;
+    loop {
+        let StageMode::Parallel {
+            combiner,
+            eliminated: elim,
+        } = &planned.stages[idx].mode
+        else {
+            unreachable!("collect_segment starts on a parallel stage");
+        };
+        commands.push(shell_command(statement.stages[idx].command.argv()));
+        let extend = *elim && opts.honor_elimination && idx + 1 < statement.stages.len();
+        if extend {
+            eliminated += 1;
+            idx += 1;
+            continue;
+        }
+        let consumed = idx - start + 1;
+        return match shell_combine(combiner) {
+            Some(combine) => (
+                Some(Segment {
+                    commands,
+                    combine,
+                    closing_command: shell_command(statement.stages[idx].command.argv()),
+                    eliminated,
+                }),
+                consumed,
+            ),
+            None => {
+                degraded.push((
+                    statement_idx,
+                    idx,
+                    combiner.primary().to_string(),
+                ));
+                // Degrade only the closing stage; preceding eliminated
+                // stages are re-emitted as their own (concat) segments by
+                // the caller if needed. Simplest correct behaviour:
+                // degrade the whole segment to sequential stages.
+                (None, consumed)
+            }
+        };
+    }
+}
+
+fn emit_source(
+    body: &mut String,
+    statement: &Statement,
+    tag: &str,
+    required_files: &mut Vec<String>,
+) {
+    match &statement.input {
+        InputSource::None => {
+            writeln!(body, ": > \"$work/{tag}.cur\"").unwrap();
+        }
+        InputSource::Files(files) => {
+            let quoted: Vec<String> = files.iter().map(|f| quote_sh(f)).collect();
+            for f in files {
+                if !required_files.contains(f) {
+                    required_files.push(f.clone());
+                }
+            }
+            writeln!(body, "cat {} > \"$work/{tag}.cur\"", quoted.join(" ")).unwrap();
+        }
+    }
+}
+
+fn emit_segment(body: &mut String, tag: &str, seg_idx: usize, seg: &Segment) {
+    let prefix = format!("$work/{tag}.g{seg_idx}");
+    let pipeline = seg.commands.join(" | ");
+    if seg.eliminated > 0 {
+        writeln!(
+            body,
+            "# parallel segment ({} intermediate combiner(s) eliminated, Thm. 5)",
+            seg.eliminated
+        )
+        .unwrap();
+    }
+    writeln!(body, "kq_split \"$work/{tag}.cur\" \"{prefix}.p\"").unwrap();
+    writeln!(body, "i=1").unwrap();
+    writeln!(body, "while [ \"$i\" -le \"$KQ_WORKERS\" ]; do").unwrap();
+    writeln!(body, "    p=$(printf '%05d' \"$i\")").unwrap();
+    writeln!(
+        body,
+        "    ( {pipeline} ) < \"{prefix}.p.$p\" > \"{prefix}.o.$p\" &"
+    )
+    .unwrap();
+    writeln!(body, "    i=$((i + 1))").unwrap();
+    writeln!(body, "done").unwrap();
+    writeln!(body, "wait").unwrap();
+    let pieces = format!("\"{prefix}\".o.*");
+    let combine = match &seg.combine {
+        ShellCombine::Concat { reversed: false } => format!("cat {pieces}"),
+        ShellCombine::Concat { reversed: true } => format!("kq_cat_rev \"{prefix}.o\""),
+        ShellCombine::Merge(flags) => {
+            let f = flags
+                .iter()
+                .map(|w| quote_sh(w))
+                .collect::<Vec<_>>()
+                .join(" ");
+            if f.is_empty() {
+                format!("sort -m {pieces}")
+            } else {
+                format!("sort -m {f} {pieces}")
+            }
+        }
+        ShellCombine::Rerun => format!("cat {pieces} | {}", seg.closing_command),
+        ShellCombine::SumColumn => {
+            format!("awk '{{ s += $1 }} END {{ printf \"%d\\n\", s }}' {pieces}")
+        }
+        ShellCombine::FirstPiece => format!("kq_first_nonempty \"{prefix}.o\""),
+        ShellCombine::LastPiece => format!("kq_last_nonempty \"{prefix}.o\""),
+        ShellCombine::StitchFirst => format!("awk '{STITCH_FIRST_AWK}' {pieces}"),
+        ShellCombine::Stitch2Add(d) => {
+            let sep = match d {
+                Delim::Tab => "\\t",
+                _ => " ",
+            };
+            let prog = STITCH2_ADD_AWK.replace("{SEP}", sep);
+            format!("awk '{prog}' {pieces}")
+        }
+        ShellCombine::OffsetAdd => format!("awk '{OFFSET_ADD_AWK}' {pieces}"),
+    };
+    writeln!(body, "{combine} > \"$work/{tag}.next\"").unwrap();
+    writeln!(body, "mv \"$work/{tag}.next\" \"$work/{tag}.cur\"").unwrap();
+}
+
+/// Boundary dedup for `(stitch first)` — `uniq` piece outputs.
+const STITCH_FIRST_AWK: &str =
+    "FNR == 1 && NR != 1 && $0 == prev { next } { print; prev = $0 }";
+
+/// Boundary count-merge for `(stitch2 d add first)` — `uniq -c` piece
+/// outputs. Buffers one record; on a file boundary whose key matches the
+/// buffered key, the counts are summed (GNU's `%7d` count padding).
+const STITCH2_ADD_AWK: &str = r#"
+function flushrec() { if (have) printf "%7d{SEP}%s\n", c, k }
+{
+    cc = $1 + 0
+    kk = $0
+    sub(/^[ \t]*[0-9]+{SEP}/, "", kk)
+    if (FNR == 1 && have && kk == k) { c += cc; next }
+    flushrec()
+    c = cc; k = kk; have = 1
+}
+END { flushrec() }
+"#;
+
+/// Numeric-prefix shifting for `(offset d add)` — `xargs wc -l`-style
+/// outputs where later pieces restart their running count.
+const OFFSET_ADD_AWK: &str = r#"
+FNR == 1 { off = last }
+{
+    if (match($0, /^[ \t]*[0-9]+/)) {
+        w = RLENGTH
+        v = substr($0, 1, w) + off
+        printf "%" w "d%s\n", v, substr($0, w + 1)
+        last = v
+    } else {
+        print
+    }
+}
+"#;
+
+const HEADER_COMMENT: &str = "#!/bin/sh
+# Generated by `kumquat emit` — data-parallel version of the input script.
+# Pieces per stage: $KQ_WORKERS (override via environment).
+";
+
+fn prelude(workers: usize) -> String {
+    format!(
+        r#": "${{KQ_WORKERS:={workers}}}"
+set -eu
+work=$(mktemp -d "${{TMPDIR:-/tmp}}/kumquat.XXXXXX")
+trap 'rm -rf "$work"' EXIT INT TERM
+
+# Splits $1 into $KQ_WORKERS contiguous line-aligned pieces "$2.<idx>".
+kq_split() {{
+    total=$(wc -l < "$1")
+    awk -v n="$KQ_WORKERS" -v total="$total" -v prefix="$2" '
+        BEGIN {{
+            per = int(total / n); extra = total % n
+            idx = 1; count = 0
+            limit = per + (idx <= extra ? 1 : 0)
+        }}
+        {{
+            file = sprintf("%s.%05d", prefix, idx)
+            print >> file
+            count++
+            if (count >= limit && idx < n) {{
+                close(file); idx++; count = 0
+                limit = per + (idx <= extra ? 1 : 0)
+            }}
+        }}' "$1"
+    i=1
+    while [ "$i" -le "$KQ_WORKERS" ]; do
+        f=$(printf '%s.%05d' "$2" "$i")
+        [ -e "$f" ] || : > "$f"
+        i=$((i + 1))
+    done
+}}
+
+# Concatenates the pieces "$1.<idx>" in reverse index order.
+kq_cat_rev() {{
+    i=$KQ_WORKERS
+    while [ "$i" -ge 1 ]; do
+        f=$(printf '%s.%05d' "$1" "$i")
+        [ -e "$f" ] && cat "$f"
+        i=$((i - 1))
+    done
+    return 0
+}}
+
+# Prints the first non-empty piece of "$1.<idx>".
+kq_first_nonempty() {{
+    i=1
+    while [ "$i" -le "$KQ_WORKERS" ]; do
+        f=$(printf '%s.%05d' "$1" "$i")
+        if [ -s "$f" ]; then cat "$f"; return 0; fi
+        i=$((i + 1))
+    done
+    return 0
+}}
+
+# Prints the last non-empty piece of "$1.<idx>".
+kq_last_nonempty() {{
+    i=$KQ_WORKERS
+    while [ "$i" -ge 1 ]; do
+        f=$(printf '%s.%05d' "$1" "$i")
+        if [ -s "$f" ]; then cat "$f"; return 0; fi
+        i=$((i - 1))
+    done
+    return 0
+}}
+"#
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use kq_coreutils::ExecContext;
+    use kq_pipeline::parse::parse_script;
+    use kq_pipeline::plan::Planner;
+    use kq_synth::SynthesisConfig;
+    use std::collections::HashMap;
+
+    fn emit(script_text: &str, opts: &EmitOptions) -> Emitted {
+        let env: HashMap<String, String> = HashMap::new();
+        let script = parse_script(script_text, &env).unwrap();
+        let ctx = ExecContext::default();
+        ctx.vfs.write(
+            "in.txt",
+            "delta b\nalpha a\ndelta c\nbeta d\nalpha e\n".repeat(40),
+        );
+        let sample = ctx.vfs.read("in.txt").unwrap();
+        let mut planner = Planner::new(SynthesisConfig::default());
+        let plan = planner.plan(&script, &ctx, &sample);
+        emit_script(&script, &plan, opts)
+    }
+
+    #[test]
+    fn quoting_round_trips_special_words() {
+        assert_eq!(quote_sh("A-Za-z"), "A-Za-z");
+        assert_eq!(quote_sh("\\n"), "'\\n'");
+        assert_eq!(quote_sh("it's"), "'it'\\''s'");
+        assert_eq!(quote_sh(""), "''");
+        assert_eq!(quote_sh("a b"), "'a b'");
+    }
+
+    #[test]
+    fn wf_pipeline_emits_all_combiner_kinds() {
+        let e = emit(
+            "cat in.txt | cut -d ' ' -f 1 | sort | uniq -c | sort -rn",
+            &EmitOptions::default(),
+        );
+        assert!(e.degraded.is_empty(), "degraded: {:?}", e.degraded);
+        assert!(e.script.contains("kq_split"));
+        assert!(e.script.contains("sort -m -rn"));
+        assert!(e.script.contains("flushrec"), "stitch2 awk expected");
+        assert_eq!(e.required_files, vec!["in.txt".to_owned()]);
+    }
+
+    #[test]
+    fn elimination_produces_multi_command_segment() {
+        let e = emit(
+            "cat in.txt | cut -d ' ' -f 1 | sort",
+            &EmitOptions::default(),
+        );
+        // cut's concat combiner is eliminated: one segment pipes cut | sort.
+        assert!(
+            e.script.contains("cut -d ' ' -f 1 | sort <")
+                || e.script.contains("( cut -d ' ' -f 1 | sort "),
+            "expected a fused segment, got:\n{}",
+            e.script
+        );
+        assert!(e.script.contains("eliminated, Thm. 5"));
+    }
+
+    #[test]
+    fn unoptimized_emission_combines_every_stage() {
+        let opts = EmitOptions {
+            workers: 4,
+            honor_elimination: false,
+        };
+        let e = emit("cat in.txt | cut -d ' ' -f 1 | sort", &opts);
+        // Two separate segments → two splits.
+        assert_eq!(e.script.matches("kq_split").count(), 2 + 1 /* defn */);
+    }
+
+    #[test]
+    fn wc_l_uses_sum_column() {
+        let e = emit("cat in.txt | grep alpha | wc -l", &EmitOptions::default());
+        assert!(e.script.contains("s += $1"));
+    }
+
+    #[test]
+    fn translate_select_orientation() {
+        use ShellCombine::*;
+        let first = Candidate::rec(RecOp::First);
+        assert_eq!(translate_candidate(&first), Some(FirstPiece));
+        let mut swapped = Candidate::rec(RecOp::First);
+        swapped.swapped = true;
+        assert_eq!(translate_candidate(&swapped), Some(LastPiece));
+        let second = Candidate::rec(RecOp::Second);
+        assert_eq!(translate_candidate(&second), Some(LastPiece));
+    }
+
+    #[test]
+    fn translate_structural() {
+        use ShellCombine::*;
+        let uniq = Candidate::structural(StructOp::Stitch(RecOp::First));
+        assert_eq!(translate_candidate(&uniq), Some(StitchFirst));
+        let uniq_c = Candidate::structural(StructOp::Stitch2(
+            Delim::Space,
+            RecOp::Add,
+            RecOp::First,
+        ));
+        assert_eq!(translate_candidate(&uniq_c), Some(Stitch2Add(Delim::Space)));
+        let fuse_add = Candidate::rec(RecOp::Fuse(Delim::Space, Box::new(RecOp::Add)));
+        assert_eq!(translate_candidate(&fuse_add), None);
+    }
+
+    #[test]
+    fn workers_baked_into_header() {
+        let opts = EmitOptions {
+            workers: 7,
+            honor_elimination: true,
+        };
+        let e = emit("cat in.txt | sort", &opts);
+        assert!(e.script.contains("KQ_WORKERS:=7"));
+    }
+}

@@ -1,0 +1,23 @@
+//! Thin binary shim over [`kq_cli`].
+
+use std::io::Write as _;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match kq_cli::run_cli(&args) {
+        Ok(output) => {
+            for note in &output.notes {
+                eprintln!("kumquat: {note}");
+            }
+            let mut stdout = std::io::stdout().lock();
+            if stdout.write_all(output.stdout.as_bytes()).is_err() {
+                // Broken pipe (e.g. `kumquat corpus | head`) is not an error.
+                std::process::exit(0);
+            }
+        }
+        Err(message) => {
+            eprintln!("kumquat: {message}");
+            std::process::exit(2);
+        }
+    }
+}

@@ -1,0 +1,120 @@
+//! Human-readable rendering of synthesis reports and pipeline plans.
+
+use kq_pipeline::parse::Script;
+use kq_pipeline::plan::{PlannedScript, StageMode};
+use kq_synth::{SynthesisOutcome, SynthesisReport};
+use std::fmt::Write as _;
+
+/// Renders one synthesis report the way Table 10 presents a row: command,
+/// search space (with the per-class breakdown), wall-clock time, and the
+/// plausible set.
+pub fn render_synthesis(report: &SynthesisReport) -> String {
+    let mut out = String::new();
+    writeln!(out, "command:       {}", report.command).unwrap();
+    writeln!(
+        out,
+        "search space:  {} (= {} RecOp + {} StructOp + {} RunOp)",
+        report.space.total(),
+        report.space.rec,
+        report.space.structural,
+        report.space.run
+    )
+    .unwrap();
+    writeln!(
+        out,
+        "synthesis:     {:.1} ms, {} rounds, {} observations",
+        report.elapsed.as_secs_f64() * 1e3,
+        report.rounds,
+        report.observations
+    )
+    .unwrap();
+    writeln!(out, "input profile: {}", report.profile.describe()).unwrap();
+    match &report.outcome {
+        SynthesisOutcome::Synthesized(c) => {
+            writeln!(out, "plausible ({}):", c.plausible.len()).unwrap();
+            for (i, cand) in c.plausible.iter().enumerate() {
+                writeln!(out, "  e{} = {}", i + 1, cand).unwrap();
+            }
+            writeln!(out, "combiner:      {}", c.primary()).unwrap();
+        }
+        SynthesisOutcome::NoCombiner { counterexample } => {
+            writeln!(out, "combiner:      NONE — every candidate eliminated").unwrap();
+            if let Some((x1, x2)) = counterexample {
+                writeln!(out, "counterexample x1: {x1:?}").unwrap();
+                writeln!(out, "counterexample x2: {x2:?}").unwrap();
+            }
+        }
+    }
+    out
+}
+
+/// Renders a plan as a per-stage table: mode, combiner, elimination.
+pub fn render_plan(script: &Script, plan: &PlannedScript) -> String {
+    let mut out = String::new();
+    let (par, total) = plan.parallelized_counts();
+    writeln!(
+        out,
+        "plan: {par}/{total} stages parallelized, {} combiner(s) eliminated (Thm. 5)",
+        plan.eliminated_count()
+    )
+    .unwrap();
+    for (si, (statement, planned)) in script
+        .statements
+        .iter()
+        .zip(&plan.statements)
+        .enumerate()
+    {
+        writeln!(out, "statement {}:", si + 1).unwrap();
+        for (stage, ps) in statement.stages.iter().zip(&planned.stages) {
+            let line = match &ps.mode {
+                StageMode::Sequential => format!("  [seq]      {}", stage.command.display()),
+                StageMode::Parallel {
+                    combiner,
+                    eliminated,
+                } => {
+                    let mark = if *eliminated { "[par:elim]" } else { "[par]     " };
+                    format!(
+                        "  {mark} {}  ⇐ {}",
+                        stage.command.display(),
+                        combiner.primary()
+                    )
+                }
+            };
+            writeln!(out, "{line}").unwrap();
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use kq_coreutils::ExecContext;
+    use kq_pipeline::parse::parse_script;
+    use kq_pipeline::plan::Planner;
+    use kq_synth::{synthesize, SynthesisConfig};
+    use std::collections::HashMap;
+
+    #[test]
+    fn synthesis_report_renders_table10_shape() {
+        let cmd = kq_coreutils::parse_command("wc -l").unwrap();
+        let ctx = ExecContext::default();
+        let report = synthesize(&cmd, &ctx, &SynthesisConfig::default());
+        let text = render_synthesis(&report);
+        assert!(text.contains("search space:"));
+        assert!(text.contains("RecOp"));
+        assert!(text.contains("(back '\\n' add)"), "got: {text}");
+    }
+
+    #[test]
+    fn plan_renders_stage_modes() {
+        let script = parse_script("cat in.txt | grep a | wc -l", &HashMap::new()).unwrap();
+        let ctx = ExecContext::default();
+        ctx.vfs.write("in.txt", "a x\nb y\na z\n".repeat(30));
+        let mut planner = Planner::new(SynthesisConfig::default());
+        let plan = planner.plan(&script, &ctx, "a x\nb y\na z\n");
+        let text = render_plan(&script, &plan);
+        assert!(text.contains("stages parallelized"));
+        assert!(text.contains("[par"));
+    }
+}

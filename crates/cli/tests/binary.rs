@@ -1,0 +1,94 @@
+//! Black-box tests of the `kumquat` binary itself: spawn the real
+//! executable (via `CARGO_BIN_EXE_kumquat`) and check its stdout, stderr,
+//! and exit codes — what a packaging smoke test would cover.
+
+use std::process::Command;
+
+fn kumquat() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_kumquat"))
+}
+
+#[test]
+fn help_exits_zero_with_usage() {
+    let out = kumquat().arg("help").output().unwrap();
+    assert!(out.status.success());
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("kumquat synthesize"));
+    assert!(stdout.contains("kumquat emit"));
+}
+
+#[test]
+fn unknown_subcommand_exits_nonzero() {
+    let out = kumquat().arg("fnord").output().unwrap();
+    assert_eq!(out.status.code(), Some(2));
+    assert!(String::from_utf8_lossy(&out.stderr).contains("unknown subcommand"));
+}
+
+#[test]
+fn synthesize_prints_report_on_stdout() {
+    let out = kumquat().args(["synthesize", "wc -l"]).output().unwrap();
+    assert!(out.status.success());
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("(back '\\n' add)"), "got: {stdout}");
+    assert!(stdout.contains("search space:"));
+}
+
+#[test]
+fn run_streams_pipeline_output_and_notes_to_stderr() {
+    let dir = std::env::temp_dir().join(format!("kq-bin-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let input = dir.join("data.txt");
+    std::fs::write(&input, "pear\napple\npear\n".repeat(30)).unwrap();
+    let script = format!("cat {} | sort | uniq -c", input.display());
+    let out = kumquat()
+        .args(["run", &script, "--workers", "3"])
+        .output()
+        .unwrap();
+    assert!(
+        out.status.success(),
+        "stderr: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("     30 apple\n"), "got: {stdout}");
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("verified"), "stderr: {stderr}");
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn emit_then_sh_round_trip() {
+    let dir = std::env::temp_dir().join(format!("kq-bin-emit-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    std::fs::write(dir.join("log.txt"), "b 1\na 2\nb 3\n".repeat(20)).unwrap();
+    // Relative path in the script so the emitted sh runs inside `dir`.
+    let out = kumquat()
+        .args([
+            "emit",
+            "cat log.txt | cut -d ' ' -f 1 | sort | uniq -c",
+            "--workers",
+            "3",
+        ])
+        .current_dir(&dir)
+        .output()
+        .unwrap();
+    assert!(out.status.success());
+    std::fs::write(dir.join("par.sh"), &out.stdout).unwrap();
+    let sh = Command::new("sh")
+        .arg("par.sh")
+        .current_dir(&dir)
+        .output();
+    let Ok(sh) = sh else {
+        eprintln!("skipping sh round trip: no sh on host");
+        return;
+    };
+    assert!(
+        sh.status.success(),
+        "emitted script failed: {}",
+        String::from_utf8_lossy(&sh.stderr)
+    );
+    let stdout = String::from_utf8_lossy(&sh.stdout);
+    assert!(stdout.contains("     20 a\n"), "got: {stdout}");
+    assert!(stdout.contains("     40 b\n"), "got: {stdout}");
+    std::fs::remove_dir_all(&dir).ok();
+}

@@ -1,0 +1,182 @@
+//! # KumQuat — automatic synthesis of parallel Unix commands and pipelines
+//!
+//! A faithful Rust reproduction of the PPoPP 2022 paper *"Automatic
+//! Synthesis of Parallel Unix Commands and Pipelines with KumQuat"* (Shen,
+//! Rinard, Vasilakis).
+//!
+//! KumQuat takes a shell pipeline, treats every command `f` as a black
+//! box, and automatically *synthesizes* the combiner `g` satisfying the
+//! divide-and-conquer equation
+//!
+//! ```text
+//! f(x1 ++ x2) = g(f(x1), f(x2))        for all input streams x1, x2
+//! ```
+//!
+//! With combiners in hand it compiles the pipeline into a data-parallel
+//! version: split the input into `w` line-aligned substreams, run `w`
+//! instances of each command, and combine — eliminating intermediate
+//! combiners where concatenation makes that sound (Theorem 5).
+//!
+//! ## Quick start
+//!
+//! ```
+//! use kumquat::Kumquat;
+//!
+//! // Synthesize a combiner for one command.
+//! let mut kq = Kumquat::new();
+//! let report = kq.synthesize_command("wc -l").unwrap();
+//! assert_eq!(
+//!     report.combiner().unwrap().primary().to_string(),
+//!     "((back '\\n' add) a b)"
+//! );
+//!
+//! // Parallelize a whole pipeline and run it.
+//! kq.write_file("/input.txt", "b\na\nb\nc\na\nb\n");
+//! let run = kq
+//!     .parallelize_and_run("cat /input.txt | sort | uniq -c", 4)
+//!     .unwrap();
+//! assert_eq!(run.output, "      2 a\n      3 b\n      1 c\n");
+//! assert_eq!(run.parallelized, (2, 2)); // both stages parallelized
+//! ```
+//!
+//! The heavy lifting lives in the sub-crates, re-exported here:
+//! [`dsl`] (combiner language), [`synth`] (the synthesis algorithms),
+//! [`pipeline`] (parsing/planning/execution), [`coreutils`] (the
+//! in-process command substrate), [`pattern`] (the BRE engine), and
+//! [`stream`] (the stream model).
+
+#![warn(missing_docs)]
+
+pub use kq_coreutils as coreutils;
+pub use kq_dsl as dsl;
+pub use kq_pattern as pattern;
+pub use kq_pipeline as pipeline;
+pub use kq_stream as stream;
+pub use kq_synth as synth;
+
+use kq_coreutils::{CmdError, ExecContext};
+use kq_pipeline::exec::{run_parallel, run_serial};
+use kq_pipeline::parse::{parse_script, Script};
+use kq_pipeline::plan::{PlannedScript, Planner};
+use kq_synth::{SynthesisConfig, SynthesisReport};
+use std::collections::HashMap;
+
+/// The result of parallelizing and running a script.
+#[derive(Debug)]
+pub struct ParallelRun {
+    /// The pipeline's output (verified equal to the serial output).
+    pub output: String,
+    /// `(parallelized, total)` stage counts.
+    pub parallelized: (usize, usize),
+    /// Intermediate combiners eliminated by the Theorem 5 optimization.
+    pub eliminated: usize,
+}
+
+/// The top-level façade: an execution context (virtual filesystem), a
+/// synthesis configuration, and a per-command combiner cache.
+pub struct Kumquat {
+    /// Execution context shared by probes, synthesis, and pipeline runs.
+    pub ctx: ExecContext,
+    config: SynthesisConfig,
+    planner: Planner,
+    env: HashMap<String, String>,
+}
+
+impl Kumquat {
+    /// A fresh instance with default synthesis settings.
+    pub fn new() -> Kumquat {
+        Kumquat::with_config(SynthesisConfig::default())
+    }
+
+    /// A fresh instance with explicit synthesis settings.
+    pub fn with_config(config: SynthesisConfig) -> Kumquat {
+        Kumquat {
+            ctx: ExecContext::default(),
+            planner: Planner::new(config.clone()),
+            config,
+            env: HashMap::new(),
+        }
+    }
+
+    /// Writes a file into the virtual filesystem visible to pipelines.
+    pub fn write_file(&self, path: impl Into<String>, content: impl Into<String>) {
+        self.ctx.vfs.write(path, content);
+    }
+
+    /// Sets a shell variable for script parsing (`$IN` etc.).
+    pub fn set_var(&mut self, name: impl Into<String>, value: impl Into<String>) {
+        self.env.insert(name.into(), value.into());
+    }
+
+    /// Synthesizes a combiner for a single command line (Figure 2's middle
+    /// box; Algorithm 1).
+    pub fn synthesize_command(&mut self, command_line: &str) -> Result<SynthesisReport, CmdError> {
+        let command = kq_coreutils::parse_command(command_line)?;
+        Ok(kq_synth::synthesize(&command, &self.ctx, &self.config))
+    }
+
+    /// Parses a script against the configured variables.
+    pub fn parse(&self, script_text: &str) -> Result<Script, CmdError> {
+        parse_script(script_text, &self.env)
+    }
+
+    /// Parses, plans, and executes a script with `workers`-way data
+    /// parallelism, verifying the parallel output against the serial one.
+    pub fn parallelize_and_run(
+        &mut self,
+        script_text: &str,
+        workers: usize,
+    ) -> Result<ParallelRun, CmdError> {
+        let script = self.parse(script_text)?;
+        let serial = run_serial(&script, &self.ctx)?;
+        let plan = self.plan(&script)?;
+        let parallel = run_parallel(&script, &plan, &self.ctx, workers, true)?;
+        if parallel.output != serial.output {
+            return Err(CmdError::new(
+                "kumquat",
+                "parallel output diverged from serial output (combiner bug)",
+            ));
+        }
+        Ok(ParallelRun {
+            output: parallel.output,
+            parallelized: plan.parallelized_counts(),
+            eliminated: plan.eliminated_count(),
+        })
+    }
+
+    /// Plans a parsed script (synthesizing combiners as needed).
+    pub fn plan(&mut self, script: &Script) -> Result<PlannedScript, CmdError> {
+        let sample = self.planning_sample(script)?;
+        Ok(self.planner.plan(script, &self.ctx, &sample))
+    }
+
+    /// Synthesis reports accumulated so far (one per unique command).
+    pub fn reports(&self) -> &[SynthesisReport] {
+        &self.planner.reports
+    }
+
+    /// A sample of the script's own input for the planner's cost probes,
+    /// falling back to generic text when the script has no file input.
+    fn planning_sample(&self, script: &Script) -> Result<String, CmdError> {
+        use kq_pipeline::parse::InputSource;
+        for statement in &script.statements {
+            if let InputSource::Files(files) = &statement.input {
+                if let Some(content) = files.first().and_then(|f| self.ctx.vfs.read(f)) {
+                    let cap = content.len().min(64 * 1024);
+                    let mut sample = content[..cap].to_owned();
+                    if !sample.ends_with('\n') {
+                        sample.push('\n');
+                    }
+                    return Ok(sample);
+                }
+            }
+        }
+        Ok("the quick brown fox\njumps over the lazy dog\nthe end\n".repeat(30))
+    }
+}
+
+impl Default for Kumquat {
+    fn default() -> Self {
+        Kumquat::new()
+    }
+}

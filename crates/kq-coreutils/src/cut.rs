@@ -1,0 +1,254 @@
+//! `cut` — select character columns (`-c`) or delimited fields
+//! (`-d DELIM -f LIST`, default delimiter TAB).
+//!
+//! GNU behaviours the synthesis relies on: the selection LIST is a set —
+//! output order follows the input (`cut -d, -f3,1` prints field 1 then 3);
+//! lines *without* the delimiter are printed whole in field mode; attached
+//! option forms (`-d: -f1`) parse like the detached ones.
+
+use crate::{CmdError, ExecContext, UnixCommand};
+
+#[derive(Debug, Clone, PartialEq, Eq)]
+struct RangeList {
+    /// Inclusive 1-based ranges, normalized (sorted, merged).
+    ranges: Vec<(usize, usize)>,
+}
+
+impl RangeList {
+    fn parse(spec: &str) -> Result<RangeList, CmdError> {
+        let mut ranges = Vec::new();
+        for item in spec.split(',') {
+            if item.is_empty() {
+                return Err(CmdError::new("cut", "empty list element"));
+            }
+            let (lo, hi) = match item.split_once('-') {
+                None => {
+                    let n = parse_pos(item)?;
+                    (n, n)
+                }
+                Some(("", hi)) => (1, parse_pos(hi)?),
+                Some((lo, "")) => (parse_pos(lo)?, usize::MAX),
+                Some((lo, hi)) => (parse_pos(lo)?, parse_pos(hi)?),
+            };
+            if lo > hi {
+                return Err(CmdError::new("cut", "invalid decreasing range"));
+            }
+            ranges.push((lo, hi));
+        }
+        ranges.sort_unstable();
+        // Merge overlaps so iteration is a single pass.
+        let mut merged: Vec<(usize, usize)> = Vec::with_capacity(ranges.len());
+        for (lo, hi) in ranges {
+            match merged.last_mut() {
+                Some((_, phi)) if lo <= phi.saturating_add(1) => *phi = (*phi).max(hi),
+                _ => merged.push((lo, hi)),
+            }
+        }
+        Ok(RangeList { ranges: merged })
+    }
+
+    fn contains(&self, pos: usize) -> bool {
+        self.ranges.iter().any(|&(lo, hi)| (lo..=hi).contains(&pos))
+    }
+}
+
+fn parse_pos(s: &str) -> Result<usize, CmdError> {
+    let n: usize = s
+        .parse()
+        .map_err(|_| CmdError::new("cut", format!("invalid position {s:?}")))?;
+    if n == 0 {
+        return Err(CmdError::new("cut", "positions are 1-based"));
+    }
+    Ok(n)
+}
+
+enum Mode {
+    Chars(RangeList),
+    Fields { delim: char, list: RangeList },
+}
+
+/// The `cut` command.
+pub struct CutCmd {
+    mode: Mode,
+    display: String,
+}
+
+impl CutCmd {
+    /// Parses `cut` arguments, accepting attached (`-d:`, `-f1`) and
+    /// detached (`-d ':' -f 1`) forms.
+    pub fn parse(args: &[String]) -> Result<CutCmd, CmdError> {
+        let mut chars_spec: Option<String> = None;
+        let mut fields_spec: Option<String> = None;
+        let mut delim: Option<char> = None;
+        let mut it = args.iter().peekable();
+        let take_value = |attached: &str,
+                          it: &mut std::iter::Peekable<std::slice::Iter<String>>|
+         -> Result<String, CmdError> {
+            if attached.is_empty() {
+                it.next()
+                    .cloned()
+                    .ok_or_else(|| CmdError::new("cut", "missing option value"))
+            } else {
+                Ok(attached.to_owned())
+            }
+        };
+        while let Some(a) = it.next() {
+            if let Some(body) = a.strip_prefix("-c") {
+                chars_spec = Some(take_value(body, &mut it)?);
+            } else if let Some(body) = a.strip_prefix("-f") {
+                fields_spec = Some(take_value(body, &mut it)?);
+            } else if let Some(body) = a.strip_prefix("-d") {
+                let v = take_value(body, &mut it)?;
+                let mut cs = v.chars();
+                let c = cs
+                    .next()
+                    .ok_or_else(|| CmdError::new("cut", "empty delimiter"))?;
+                if cs.next().is_some() {
+                    return Err(CmdError::new("cut", "delimiter must be a single character"));
+                }
+                delim = Some(c);
+            } else {
+                return Err(CmdError::new("cut", format!("unexpected operand {a}")));
+            }
+        }
+        let mode = match (chars_spec, fields_spec) {
+            (Some(spec), None) => {
+                if delim.is_some() {
+                    return Err(CmdError::new("cut", "-d only makes sense with -f"));
+                }
+                Mode::Chars(RangeList::parse(&spec)?)
+            }
+            (None, Some(spec)) => Mode::Fields {
+                delim: delim.unwrap_or('\t'),
+                list: RangeList::parse(&spec)?,
+            },
+            _ => return Err(CmdError::new("cut", "specify exactly one of -c or -f")),
+        };
+        let mut display = String::from("cut");
+        for a in args {
+            display.push(' ');
+            if a.contains(' ') || a.contains('"') {
+                display.push_str(&format!("{a:?}"));
+            } else {
+                display.push_str(a);
+            }
+        }
+        Ok(CutCmd { mode, display })
+    }
+}
+
+impl UnixCommand for CutCmd {
+    fn display(&self) -> String {
+        self.display.clone()
+    }
+
+    fn run(&self, input: &str, _ctx: &ExecContext) -> Result<String, CmdError> {
+        let mut out = String::with_capacity(input.len());
+        for line in kq_stream::lines_of(input) {
+            match &self.mode {
+                Mode::Chars(list) => {
+                    for (i, c) in line.chars().enumerate() {
+                        if list.contains(i + 1) {
+                            out.push(c);
+                        }
+                    }
+                }
+                Mode::Fields { delim, list } => {
+                    if !line.contains(*delim) {
+                        // GNU: delimiter-free lines pass through whole.
+                        out.push_str(line);
+                    } else {
+                        let mut first = true;
+                        for (i, field) in line.split(*delim).enumerate() {
+                            if list.contains(i + 1) {
+                                if !first {
+                                    out.push(*delim);
+                                }
+                                out.push_str(field);
+                                first = false;
+                            }
+                        }
+                    }
+                }
+            }
+            out.push('\n');
+        }
+        Ok(out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parse_command;
+
+    fn run(cmd: &str, input: &str) -> String {
+        parse_command(cmd)
+            .unwrap()
+            .run(input, &ExecContext::default())
+            .unwrap()
+    }
+
+    #[test]
+    fn char_ranges() {
+        assert_eq!(run("cut -c 1-4", "abcdefg\nxy\n"), "abcd\nxy\n");
+        assert_eq!(run("cut -c 1-1", "abc\n"), "a\n");
+        assert_eq!(run("cut -c 3-3", "abc\n"), "c\n");
+    }
+
+    #[test]
+    fn field_selection_with_delim() {
+        assert_eq!(run("cut -d ',' -f 1", "a,b,c\n"), "a\n");
+        assert_eq!(run("cut -d ',' -f 2", "a,b,c\n"), "b\n");
+        assert_eq!(run("cut -d ',' -f 1,3", "a,b,c\n"), "a,c\n");
+    }
+
+    #[test]
+    fn field_list_order_is_ignored() {
+        // GNU cut outputs fields in input order regardless of LIST order.
+        assert_eq!(run("cut -d ',' -f 3,1", "a,b,c\n"), "a,c\n");
+    }
+
+    #[test]
+    fn lines_without_delimiter_pass_through() {
+        assert_eq!(run("cut -d ',' -f 2", "plain\na,b\n"), "plain\nb\n");
+    }
+
+    #[test]
+    fn attached_option_forms() {
+        assert_eq!(run("cut -d: -f1", "root:x:0\n"), "root\n");
+    }
+
+    #[test]
+    fn default_field_delimiter_is_tab() {
+        assert_eq!(run("cut -f 2", "a\tb\tc\n"), "b\n");
+        assert_eq!(run("cut -f 1", "a\tb\n"), "a\n");
+    }
+
+    #[test]
+    fn space_delimiter() {
+        assert_eq!(run("cut -d ' ' -f 2", "john smith\n"), "smith\n");
+        assert_eq!(run("cut -d ' ' -f 4", "a b c d e\n"), "d\n");
+    }
+
+    #[test]
+    fn out_of_range_fields_are_empty() {
+        assert_eq!(run("cut -d ',' -f 5", "a,b\n"), "\n");
+        assert_eq!(run("cut -c 10", "abc\n"), "\n");
+    }
+
+    #[test]
+    fn open_ended_ranges() {
+        assert_eq!(run("cut -c 2-", "abcd\n"), "bcd\n");
+        assert_eq!(run("cut -c -2", "abcd\n"), "ab\n");
+    }
+
+    #[test]
+    fn parse_errors() {
+        assert!(parse_command("cut").is_err());
+        assert!(parse_command("cut -c 0").is_err());
+        assert!(parse_command("cut -d ',' -c 1").is_err());
+        assert!(parse_command("cut -d ab -f 1").is_err());
+        assert!(parse_command("cut -c 4-2").is_err());
+    }
+}

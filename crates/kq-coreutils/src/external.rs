@@ -1,0 +1,117 @@
+//! Optional external-process backend: run the *real* system binary for a
+//! command line and capture its stdout, for cross-validating the
+//! in-process implementations against GNU coreutils.
+//!
+//! KumQuat proper never needs this — the synthesizer treats commands as
+//! black boxes either way — but it keeps the substrate honest: the
+//! `gnu_validation` integration tests (ignored by default, run with
+//! `KQ_VALIDATE_GNU=1 cargo test -- --ignored`) diff our outputs against
+//! the host's binaries over shared inputs.
+
+use crate::{CmdError, ExecContext, UnixCommand};
+use std::io::Write;
+use std::process::{Command as OsCommand, Stdio};
+
+/// A command executed by spawning the real binary.
+pub struct ExternalCommand {
+    argv: Vec<String>,
+}
+
+impl ExternalCommand {
+    /// Wraps pre-split argv words. The first word is the binary name,
+    /// resolved through `PATH`.
+    pub fn new(argv: &[String]) -> Result<ExternalCommand, CmdError> {
+        if argv.is_empty() {
+            return Err(CmdError::new("sh", "empty external command"));
+        }
+        Ok(ExternalCommand {
+            argv: argv.to_vec(),
+        })
+    }
+
+    /// Convenience: parse a shell line into an external command.
+    pub fn parse(line: &str) -> Result<ExternalCommand, CmdError> {
+        let words = crate::split_words(line).map_err(|e| CmdError::new("sh", e))?;
+        ExternalCommand::new(&words)
+    }
+}
+
+impl UnixCommand for ExternalCommand {
+    fn display(&self) -> String {
+        self.argv.join(" ")
+    }
+
+    fn run(&self, input: &str, _ctx: &ExecContext) -> Result<String, CmdError> {
+        let name = &self.argv[0];
+        let mut child = OsCommand::new(name)
+            .args(&self.argv[1..])
+            .env("LC_ALL", "C")
+            .stdin(Stdio::piped())
+            .stdout(Stdio::piped())
+            .stderr(Stdio::piped())
+            .spawn()
+            .map_err(|e| CmdError::new(name.clone(), format!("spawn failed: {e}")))?;
+        child
+            .stdin
+            .as_mut()
+            .expect("stdin piped")
+            .write_all(input.as_bytes())
+            .map_err(|e| CmdError::new(name.clone(), format!("stdin write failed: {e}")))?;
+        let output = child
+            .wait_with_output()
+            .map_err(|e| CmdError::new(name.clone(), format!("wait failed: {e}")))?;
+        if !output.status.success() && output.stdout.is_empty() {
+            return Err(CmdError::new(
+                name.clone(),
+                String::from_utf8_lossy(&output.stderr).trim().to_owned(),
+            ));
+        }
+        String::from_utf8(output.stdout)
+            .map_err(|_| CmdError::new(name.clone(), "non-UTF8 output"))
+    }
+}
+
+/// True when GNU cross-validation was requested via `KQ_VALIDATE_GNU=1`.
+pub fn gnu_validation_enabled() -> bool {
+    std::env::var("KQ_VALIDATE_GNU").map(|v| v == "1").unwrap_or(false)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Commands whose in-process and GNU outputs must agree byte-for-byte
+    /// on this input. Only runs when the host opts in (the binaries and
+    /// their versions are host-dependent).
+    #[test]
+    fn cross_validate_against_host_binaries() {
+        if !gnu_validation_enabled() {
+            eprintln!("set KQ_VALIDATE_GNU=1 to cross-validate against host binaries");
+            return;
+        }
+        let input = "the Quick\nbrown fox\nthe Quick\n\njumps! over 42 dogs\n";
+        let ctx = ExecContext::default();
+        for line in [
+            "tr A-Z a-z",
+            r"tr -cs A-Za-z '\n'",
+            "sort",
+            "sort -rn",
+            "uniq",
+            "uniq -c",
+            "wc -l",
+            "grep -c the",
+            "cut -d ' ' -f 1",
+            "head -n 2",
+            "tail -n 2",
+            "rev",
+            "sed s/the/THE/",
+        ] {
+            let ours = crate::parse_command(line).unwrap().run(input, &ctx);
+            let theirs = ExternalCommand::parse(line).unwrap().run(input, &ctx);
+            match (ours, theirs) {
+                (Ok(a), Ok(b)) => assert_eq!(a, b, "divergence for {line}"),
+                (a, b) => panic!("{line}: ours {a:?} vs GNU {b:?}"),
+            }
+        }
+    }
+}

@@ -1,0 +1,171 @@
+//! `grep` — BRE line matching over the flag subset in the corpus:
+//! `-c` (count), `-v` (invert), `-i` (case-insensitive), and their
+//! combinations (`-vc`, `-vi`, `-vw`-style clusters are split), plus `-n`
+//! (line numbers).
+//!
+//! `grep -n` is an instructive *unsupported* case: its correct combiner
+//! would offset the `N:` prefixes of the second stream, but `':'` is not
+//! in the DSL's delimiter alphabet (Figure 3), so synthesis eliminates
+//! every candidate — a Table 9-style entry created by an output format
+//! rather than by command semantics.
+
+use crate::{CmdError, ExecContext, UnixCommand};
+use kq_pattern::Regex;
+
+/// The `grep` command.
+pub struct GrepCmd {
+    regex: Regex,
+    count: bool,
+    invert: bool,
+    number: bool,
+    display: String,
+}
+
+impl GrepCmd {
+    /// Parses `grep` arguments.
+    pub fn parse(args: &[String]) -> Result<GrepCmd, CmdError> {
+        let mut count = false;
+        let mut invert = false;
+        let mut insensitive = false;
+        let mut number = false;
+        let mut pattern: Option<&String> = None;
+        for a in args {
+            if let Some(flags) = a.strip_prefix('-') {
+                if flags.is_empty() || pattern.is_some() {
+                    return Err(CmdError::new("grep", format!("bad option {a}")));
+                }
+                for f in flags.chars() {
+                    match f {
+                        'c' => count = true,
+                        'v' => invert = true,
+                        'i' => insensitive = true,
+                        'n' => number = true,
+                        other => {
+                            return Err(CmdError::new("grep", format!("unknown flag -{other}")))
+                        }
+                    }
+                }
+            } else if pattern.is_none() {
+                pattern = Some(a);
+            } else {
+                return Err(CmdError::new("grep", "file operands are not supported"));
+            }
+        }
+        let pattern = pattern.ok_or_else(|| CmdError::new("grep", "missing pattern"))?;
+        let regex = if insensitive {
+            Regex::new_case_insensitive(pattern)
+        } else {
+            Regex::new(pattern)
+        }
+        .map_err(|e| CmdError::new("grep", e.to_string()))?;
+        let mut display = String::from("grep");
+        for a in args {
+            display.push(' ');
+            if a.contains(' ') || a.contains('\\') || a.contains('*') || a.contains('$') {
+                display.push('\'');
+                display.push_str(a);
+                display.push('\'');
+            } else {
+                display.push_str(a);
+            }
+        }
+        Ok(GrepCmd {
+            regex,
+            count,
+            invert,
+            number,
+            display,
+        })
+    }
+}
+
+impl UnixCommand for GrepCmd {
+    fn display(&self) -> String {
+        self.display.clone()
+    }
+
+    fn run(&self, input: &str, _ctx: &ExecContext) -> Result<String, CmdError> {
+        let mut out = String::new();
+        let mut n: u64 = 0;
+        for (idx, line) in kq_stream::lines_of(input).enumerate() {
+            let hit = self.regex.is_match(line) != self.invert;
+            if hit {
+                if self.count {
+                    n += 1;
+                } else {
+                    if self.number {
+                        out.push_str(&(idx + 1).to_string());
+                        out.push(':');
+                    }
+                    out.push_str(line);
+                    out.push('\n');
+                }
+            }
+        }
+        if self.count {
+            out.push_str(&n.to_string());
+            out.push('\n');
+        }
+        Ok(out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parse_command;
+
+    fn run(cmd: &str, input: &str) -> String {
+        parse_command(cmd)
+            .unwrap()
+            .run(input, &ExecContext::default())
+            .unwrap()
+    }
+
+    #[test]
+    fn selects_matching_lines() {
+        assert_eq!(run("grep b", "abc\nxyz\ncab\n"), "abc\ncab\n");
+    }
+
+    #[test]
+    fn count_matching_lines() {
+        assert_eq!(run("grep -c b", "abc\nxyz\ncab\n"), "2\n");
+        assert_eq!(run("grep -c zz", "abc\n"), "0\n");
+    }
+
+    #[test]
+    fn invert_selection() {
+        assert_eq!(run("grep -v b", "abc\nxyz\ncab\n"), "xyz\n");
+        assert_eq!(run("grep -vc b", "abc\nxyz\ncab\n"), "1\n");
+    }
+
+    #[test]
+    fn case_insensitive_flags() {
+        assert_eq!(run("grep -i BELL", "bell labs\nx\n"), "bell labs\n");
+        assert_eq!(run("grep -vi '[aeiou]'", "sky\nmoon\n"), "sky\n");
+    }
+
+    #[test]
+    fn anchored_patterns() {
+        assert_eq!(run("grep '^....$'", "four\nfive!\nok\n"), "four\n");
+        assert_eq!(run("grep -v '^0$'", "0\n10\n0\nx\n"), "10\nx\n");
+    }
+
+    #[test]
+    fn count_empty_input_prints_zero() {
+        assert_eq!(run("grep -c x", ""), "0\n");
+    }
+
+    #[test]
+    fn line_numbers() {
+        assert_eq!(run("grep -n b", "abc\nxyz\ncab\n"), "1:abc\n3:cab\n");
+        // -n combined with -c: GNU lets -c win (counts, no numbers).
+        assert_eq!(run("grep -nc b", "abc\ncab\n"), "2\n");
+    }
+
+    #[test]
+    fn missing_pattern_is_error() {
+        assert!(parse_command("grep -c").is_err());
+        assert!(parse_command("grep").is_err());
+    }
+}

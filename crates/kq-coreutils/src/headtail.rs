@@ -1,0 +1,233 @@
+//! `head` and `tail` — line-window commands.
+//!
+//! `head` supports `-n N`, the historical `-N`, and the 10-line default.
+//! `tail` supports `-n N` (last N lines), and the from-line forms `+N` /
+//! `-n +N` (everything starting at line N) — the latter being Table 9's
+//! `tail +2`/`tail +3`, for which no combiner exists.
+
+use crate::{CmdError, ExecContext, UnixCommand};
+
+/// The `head` command.
+pub struct HeadCmd {
+    n: usize,
+    file: Option<String>,
+    display: String,
+}
+
+impl HeadCmd {
+    /// Parses `head` arguments.
+    pub fn parse(args: &[String]) -> Result<HeadCmd, CmdError> {
+        let mut n = 10usize;
+        let mut file: Option<String> = None;
+        let mut it = args.iter();
+        while let Some(a) = it.next() {
+            if a == "-n" {
+                let v = it.next().ok_or_else(|| CmdError::new("head", "missing count"))?;
+                n = v
+                    .parse()
+                    .map_err(|_| CmdError::new("head", format!("invalid count {v:?}")))?;
+            } else if let Some(body) = a.strip_prefix("-n") {
+                n = body
+                    .parse()
+                    .map_err(|_| CmdError::new("head", format!("invalid count {body:?}")))?;
+            } else if let Some(body) = a.strip_prefix('-') {
+                n = body
+                    .parse()
+                    .map_err(|_| CmdError::new("head", format!("invalid option {a}")))?;
+            } else if file.is_none() {
+                file = Some(a.clone());
+            } else {
+                return Err(CmdError::new("head", "at most one file operand"));
+            }
+        }
+        let display = if args.is_empty() {
+            "head".to_owned()
+        } else {
+            format!("head {}", args.join(" "))
+        };
+        Ok(HeadCmd { n, file, display })
+    }
+}
+
+impl UnixCommand for HeadCmd {
+    fn display(&self) -> String {
+        self.display.clone()
+    }
+
+    fn reads_stdin(&self) -> bool {
+        self.file.is_none()
+    }
+
+    fn run(&self, input: &str, ctx: &ExecContext) -> Result<String, CmdError> {
+        let content;
+        let input = match &self.file {
+            Some(f) => {
+                content = ctx.vfs.read(f).ok_or_else(|| {
+                    CmdError::new("head", format!("{f}: No such file or directory"))
+                })?;
+                content.as_str()
+            }
+            None => input,
+        };
+        let mut out = String::new();
+        for (i, line) in kq_stream::lines_of(input).enumerate() {
+            if i >= self.n {
+                break;
+            }
+            out.push_str(line);
+            out.push('\n');
+        }
+        Ok(out)
+    }
+}
+
+enum TailMode {
+    /// Last N lines.
+    LastN(usize),
+    /// From line N (1-based) to the end — `tail +N`.
+    FromLine(usize),
+}
+
+/// The `tail` command.
+pub struct TailCmd {
+    mode: TailMode,
+    file: Option<String>,
+    display: String,
+}
+
+impl TailCmd {
+    /// Parses `tail` arguments.
+    pub fn parse(args: &[String]) -> Result<TailCmd, CmdError> {
+        let mut mode = TailMode::LastN(10);
+        let mut file: Option<String> = None;
+        let mut it = args.iter();
+        while let Some(a) = it.next() {
+            let spec: &str = if a == "-n" {
+                it.next()
+                    .ok_or_else(|| CmdError::new("tail", "missing count"))?
+            } else if let Some(body) = a.strip_prefix("-n") {
+                body
+            } else if a.starts_with('+') {
+                a
+            } else if let Some(body) = a.strip_prefix('-') {
+                // Historical "tail -5".
+                body
+            } else if file.is_none() {
+                file = Some(a.clone());
+                continue;
+            } else {
+                return Err(CmdError::new("tail", "at most one file operand"));
+            };
+            mode = if let Some(from) = spec.strip_prefix('+') {
+                TailMode::FromLine(from.parse().map_err(|_| {
+                    CmdError::new("tail", format!("invalid line number {spec:?}"))
+                })?)
+            } else {
+                TailMode::LastN(spec.parse().map_err(|_| {
+                    CmdError::new("tail", format!("invalid count {spec:?}"))
+                })?)
+            };
+        }
+        let display = if args.is_empty() {
+            "tail".to_owned()
+        } else {
+            format!("tail {}", args.join(" "))
+        };
+        Ok(TailCmd { mode, file, display })
+    }
+}
+
+impl UnixCommand for TailCmd {
+    fn display(&self) -> String {
+        self.display.clone()
+    }
+
+    fn reads_stdin(&self) -> bool {
+        self.file.is_none()
+    }
+
+    fn run(&self, input: &str, ctx: &ExecContext) -> Result<String, CmdError> {
+        let content;
+        let input = match &self.file {
+            Some(f) => {
+                content = ctx.vfs.read(f).ok_or_else(|| {
+                    CmdError::new("tail", format!("{f}: No such file or directory"))
+                })?;
+                content.as_str()
+            }
+            None => input,
+        };
+        let lines: Vec<&str> = kq_stream::lines_of(input).collect();
+        let start = match self.mode {
+            TailMode::LastN(n) => lines.len().saturating_sub(n),
+            TailMode::FromLine(n) => n.saturating_sub(1),
+        };
+        let mut out = String::new();
+        for line in &lines[start.min(lines.len())..] {
+            out.push_str(line);
+            out.push('\n');
+        }
+        Ok(out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parse_command;
+
+    fn run(cmd: &str, input: &str) -> String {
+        parse_command(cmd)
+            .unwrap()
+            .run(input, &ExecContext::default())
+            .unwrap()
+    }
+
+    #[test]
+    fn head_default_ten() {
+        let input: String = (1..=15).map(|i| format!("{i}\n")).collect();
+        let expect: String = (1..=10).map(|i| format!("{i}\n")).collect();
+        assert_eq!(run("head", &input), expect);
+    }
+
+    #[test]
+    fn head_n_forms() {
+        let input = "1\n2\n3\n4\n";
+        assert_eq!(run("head -n 2", input), "1\n2\n");
+        assert_eq!(run("head -n2", input), "1\n2\n");
+        assert_eq!(run("head -2", input), "1\n2\n");
+        assert_eq!(run("head -15", input), input);
+        assert_eq!(run("head -n 1", input), "1\n");
+    }
+
+    #[test]
+    fn head_zero() {
+        assert_eq!(run("head -n 0", "a\nb\n"), "");
+    }
+
+    #[test]
+    fn tail_last_n() {
+        let input = "1\n2\n3\n4\n";
+        assert_eq!(run("tail -n 1", input), "4\n");
+        assert_eq!(run("tail -n 2", input), "3\n4\n");
+        assert_eq!(run("tail -2", input), "3\n4\n");
+        assert_eq!(run("tail -n 10", input), input);
+    }
+
+    #[test]
+    fn tail_from_line() {
+        let input = "1\n2\n3\n4\n";
+        assert_eq!(run("tail +2", input), "2\n3\n4\n");
+        assert_eq!(run("tail -n +3", input), "3\n4\n");
+        assert_eq!(run("tail +1", input), input);
+        assert_eq!(run("tail +9", input), "");
+    }
+
+    #[test]
+    fn parse_errors() {
+        assert!(parse_command("head -n").is_err());
+        assert!(parse_command("head -x").is_err());
+        assert!(parse_command("tail -n x").is_err());
+        assert!(parse_command("head a b").is_err());
+    }
+}

@@ -1,0 +1,342 @@
+//! In-process, GNU-compatible implementations of the Unix commands used by
+//! the KumQuat benchmark corpus.
+//!
+//! KumQuat treats commands as black boxes — functions `Stream -> Stream`
+//! (paper Definition 3.2) — and only ever observes their outputs. This crate
+//! provides that black box: every command/flag combination appearing in the
+//! paper's Table 10, implemented directly in Rust with GNU's observable
+//! semantics (including quirks the combiner synthesis depends on, such as
+//! `uniq -c`'s 7-column count padding, `cut`'s field-order behaviour, and
+//! `comm`'s sorted-input requirement).
+//!
+//! Commands execute against an [`ExecContext`] carrying a virtual filesystem
+//! so that file-consuming commands (`xargs cat`, `comm - dict`, `paste a b`)
+//! work hermetically.
+//!
+//! ```
+//! use kq_coreutils::{parse_command, ExecContext};
+//!
+//! let uniq_c = parse_command("uniq -c").unwrap();
+//! let out = uniq_c.run("a\na\nb\n", &ExecContext::default()).unwrap();
+//! assert_eq!(out, "      2 a\n      1 b\n");   // GNU's 7-column padding
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod awk;
+pub mod comm;
+pub mod cut;
+pub mod external;
+pub mod extras;
+pub mod grep;
+pub mod headtail;
+pub mod multi;
+pub mod sed;
+pub mod shellwords;
+pub mod sort;
+pub mod textutils;
+pub mod tr;
+pub mod uniq;
+pub mod vfs;
+pub mod wc;
+pub mod xargs;
+
+use std::fmt;
+use std::sync::Arc;
+
+pub use shellwords::split_words;
+pub use vfs::Vfs;
+
+/// An execution failure: the in-process analogue of a command writing to
+/// stderr and exiting non-zero (e.g. `comm` on unsorted input, `cat` on a
+/// missing file). KumQuat's preprocessing probes rely on observing these.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CmdError {
+    /// The command that failed.
+    pub command: String,
+    /// A stderr-style message.
+    pub message: String,
+}
+
+impl CmdError {
+    /// An error attributed to `command` with a stderr-style `message`.
+    pub fn new(command: impl Into<String>, message: impl Into<String>) -> CmdError {
+        CmdError {
+            command: command.into(),
+            message: message.into(),
+        }
+    }
+}
+
+impl fmt::Display for CmdError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}: {}", self.command, self.message)
+    }
+}
+
+impl std::error::Error for CmdError {}
+
+/// Shared execution environment: the virtual filesystem visible to
+/// file-consuming commands.
+#[derive(Debug, Clone, Default)]
+pub struct ExecContext {
+    /// The virtual filesystem. `Arc`-shared so parallel command instances
+    /// can read it without copies.
+    pub vfs: Arc<Vfs>,
+}
+
+impl ExecContext {
+    /// A context over an existing filesystem.
+    pub fn with_vfs(vfs: Vfs) -> ExecContext {
+        ExecContext { vfs: Arc::new(vfs) }
+    }
+}
+
+/// A black-box Unix command: a deterministic function from an input stream
+/// to an output stream (paper Definition 3.2), which may also fail the way
+/// a real command exits non-zero.
+pub trait UnixCommand: Send + Sync {
+    /// The original command line (for display and error messages).
+    fn display(&self) -> String;
+
+    /// Runs the command on `input`, producing its stdout.
+    fn run(&self, input: &str, ctx: &ExecContext) -> Result<String, CmdError>;
+
+    /// True when the command consumes its standard input. `cat file.txt`,
+    /// `paste a b` and friends do not; pipelines treat them as sources.
+    fn reads_stdin(&self) -> bool {
+        true
+    }
+}
+
+/// A parsed command: argv plus its boxed implementation.
+pub struct Command {
+    argv: Vec<String>,
+    imp: Box<dyn UnixCommand>,
+}
+
+impl Command {
+    /// Wraps a user-provided [`UnixCommand`] implementation.
+    ///
+    /// This is the paper's headline extension point: KumQuat "immediately
+    /// work[s] with new commands ... without the need to manually develop
+    /// new combiners". A downstream crate implements `UnixCommand` for its
+    /// own stream processor, wraps it here, and hands it to
+    /// [`kq_synth::synthesize`] — no registry changes needed.
+    ///
+    /// `argv` is only used for display and shell re-emission; it should
+    /// round-trip to an executable command line when shell emission is
+    /// wanted.
+    pub fn custom(argv: Vec<String>, imp: Box<dyn UnixCommand>) -> Command {
+        assert!(!argv.is_empty(), "custom commands need a program name");
+        Command { argv, imp }
+    }
+
+    /// The words of the command line.
+    pub fn argv(&self) -> &[String] {
+        &self.argv
+    }
+
+    /// The program name (`argv[0]`).
+    pub fn program(&self) -> &str {
+        &self.argv[0]
+    }
+
+    /// The original command line, re-quoted for display.
+    pub fn display(&self) -> String {
+        self.imp.display()
+    }
+
+    /// Runs the command on `input`.
+    pub fn run(&self, input: &str, ctx: &ExecContext) -> Result<String, CmdError> {
+        self.imp.run(input, ctx)
+    }
+
+    /// See [`UnixCommand::reads_stdin`].
+    pub fn reads_stdin(&self) -> bool {
+        self.imp.reads_stdin()
+    }
+}
+
+impl fmt::Debug for Command {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Command({})", self.display())
+    }
+}
+
+/// Parses a single command line (no pipes) into a runnable [`Command`].
+///
+/// Accepts leading `VAR=value` environment assignments (they select
+/// behaviour only for `LC_COLLATE=C`, which is our default collation
+/// anyway) and dispatches on the program name.
+pub fn parse_command(line: &str) -> Result<Command, CmdError> {
+    let words = split_words(line).map_err(|e| CmdError::new("sh", e))?;
+    from_argv(&words)
+}
+
+/// Builds a runnable [`Command`] from pre-split argv words.
+pub fn from_argv(words: &[String]) -> Result<Command, CmdError> {
+    // Skip leading VAR=VALUE assignments (e.g. `LC_COLLATE=C comm ...`).
+    let mut start = 0;
+    while start < words.len()
+        && words[start].contains('=')
+        && !words[start].starts_with('-')
+        && words[start]
+            .split('=')
+            .next()
+            .is_some_and(|name| !name.is_empty() && name.chars().all(|c| c.is_ascii_alphanumeric() || c == '_'))
+        && words[start].find('=').unwrap() > 0
+    {
+        start += 1;
+    }
+    let argv: Vec<String> = words[start..].to_vec();
+    if argv.is_empty() {
+        return Err(CmdError::new("sh", "empty command"));
+    }
+    let prog = argv[0].as_str();
+    let rest = &argv[1..];
+    let imp: Box<dyn UnixCommand> = match prog {
+        // `cat -n` is line numbering, not concatenation.
+        "cat" if rest.first().is_some_and(|a| a == "-n") && rest.len() == 1 => {
+            Box::new(extras::NlCmd::cat_n())
+        }
+        "cat" => Box::new(CatCmd::new(rest)),
+        "nl" => Box::new(extras::NlCmd::parse(rest)?),
+        "tac" => Box::new(extras::TacCmd),
+        "fold" => Box::new(extras::FoldCmd::parse(rest)?),
+        "expand" => Box::new(extras::ExpandCmd),
+        "shuf" => Box::new(extras::ShufCmd),
+        "tr" => Box::new(tr::TrCmd::parse(rest)?),
+        "sort" => Box::new(sort::SortCmd::parse(rest)?),
+        "uniq" => Box::new(uniq::UniqCmd::parse(rest)?),
+        "grep" => Box::new(grep::GrepCmd::parse(rest)?),
+        "sed" => Box::new(sed::SedCmd::parse(rest)?),
+        "cut" => Box::new(cut::CutCmd::parse(rest)?),
+        "head" => Box::new(headtail::HeadCmd::parse(rest)?),
+        "tail" => Box::new(headtail::TailCmd::parse(rest)?),
+        "wc" => Box::new(wc::WcCmd::parse(rest)?),
+        "comm" => Box::new(comm::CommCmd::parse(rest)?),
+        "awk" | "gawk" => Box::new(awk::AwkCmd::parse(rest)?),
+        "xargs" => Box::new(xargs::XargsCmd::parse(rest)?),
+        "col" => Box::new(textutils::ColCmd::parse(rest)?),
+        "rev" => Box::new(textutils::RevCmd),
+        "fmt" => Box::new(textutils::FmtCmd::parse(rest)?),
+        "iconv" => Box::new(textutils::IconvCmd::parse(rest)?),
+        "paste" => Box::new(multi::PasteCmd::parse(rest)?),
+        "diff" => Box::new(multi::DiffCmd::parse(rest)?),
+        "ls" => Box::new(multi::LsCmd),
+        "mkfifo" | "rm" => Box::new(multi::NoopCmd {
+            line: argv.join(" "),
+        }),
+        other => {
+            return Err(CmdError::new(other, "unknown command"));
+        }
+    };
+    Ok(Command { argv, imp })
+}
+
+/// `cat` — concatenates its file arguments, or copies stdin when invoked
+/// with no arguments (or with `-`).
+struct CatCmd {
+    files: Vec<String>,
+}
+
+impl CatCmd {
+    fn new(args: &[String]) -> CatCmd {
+        CatCmd {
+            files: args.to_vec(),
+        }
+    }
+}
+
+impl UnixCommand for CatCmd {
+    fn display(&self) -> String {
+        if self.files.is_empty() {
+            "cat".to_owned()
+        } else {
+            format!("cat {}", self.files.join(" "))
+        }
+    }
+
+    fn reads_stdin(&self) -> bool {
+        self.files.is_empty() || self.files.iter().any(|f| f == "-")
+    }
+
+    fn run(&self, input: &str, ctx: &ExecContext) -> Result<String, CmdError> {
+        if self.files.is_empty() {
+            return Ok(input.to_owned());
+        }
+        let mut out = String::new();
+        for f in &self.files {
+            if f == "-" {
+                out.push_str(input);
+            } else {
+                match ctx.vfs.read(f) {
+                    Some(content) => out.push_str(&content),
+                    None => {
+                        return Err(CmdError::new(
+                            "cat",
+                            format!("{f}: No such file or directory"),
+                        ))
+                    }
+                }
+            }
+        }
+        Ok(out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ctx() -> ExecContext {
+        let vfs = Vfs::default();
+        vfs.write("a.txt", "alpha\n");
+        vfs.write("b.txt", "beta\n");
+        ExecContext::with_vfs(vfs)
+    }
+
+    #[test]
+    fn cat_copies_stdin() {
+        let c = parse_command("cat").unwrap();
+        assert_eq!(c.run("x\ny\n", &ctx()).unwrap(), "x\ny\n");
+        assert!(c.reads_stdin());
+    }
+
+    #[test]
+    fn cat_reads_files() {
+        let c = parse_command("cat a.txt b.txt").unwrap();
+        assert_eq!(c.run("", &ctx()).unwrap(), "alpha\nbeta\n");
+        assert!(!c.reads_stdin());
+    }
+
+    #[test]
+    fn cat_missing_file_errors() {
+        let c = parse_command("cat nope.txt").unwrap();
+        assert!(c.run("", &ctx()).is_err());
+    }
+
+    #[test]
+    fn env_assignment_prefix_is_skipped() {
+        let c = parse_command("LC_COLLATE=C sort").unwrap();
+        assert_eq!(c.program(), "sort");
+    }
+
+    #[test]
+    fn unknown_command_is_an_error() {
+        assert!(parse_command("frobnicate -x").is_err());
+    }
+
+    #[test]
+    fn empty_command_is_an_error() {
+        assert!(parse_command("").is_err());
+        assert!(parse_command("   ").is_err());
+    }
+
+    #[test]
+    fn display_roundtrip() {
+        let c = parse_command("grep -c foo").unwrap();
+        assert_eq!(c.display(), "grep -c foo");
+    }
+}

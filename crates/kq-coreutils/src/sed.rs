@@ -1,0 +1,252 @@
+//! `sed` — the stream-editor script forms used by the corpus:
+//!
+//! * `s<delim>RE<delim>REPL<delim>[g]` — substitution with any delimiter
+//!   (the poets scripts use `s;^;prefix;`), backreferences and `&` in the
+//!   replacement;
+//! * `Nq` — print the first N lines, then quit (`sed 100q`, `sed 5q`);
+//! * `Nd` — delete the N-th line (`sed 1d` … `sed 5d`, Table 9's
+//!   no-combiner-exists commands);
+//! * `$d` — delete the last line.
+
+use crate::{CmdError, ExecContext, UnixCommand};
+use kq_pattern::Regex;
+
+enum Script {
+    Substitute {
+        regex: Regex,
+        replacement: String,
+        global: bool,
+    },
+    QuitAfter(usize),
+    DeleteLine(usize),
+    DeleteLast,
+}
+
+/// The `sed` command.
+pub struct SedCmd {
+    script: Script,
+    display: String,
+}
+
+impl SedCmd {
+    /// Parses `sed` arguments: a single script word (optionally preceded by
+    /// `-e`).
+    pub fn parse(args: &[String]) -> Result<SedCmd, CmdError> {
+        let mut script_text: Option<&String> = None;
+        let mut it = args.iter();
+        while let Some(a) = it.next() {
+            match a.as_str() {
+                "-e" => {
+                    script_text =
+                        Some(it.next().ok_or_else(|| CmdError::new("sed", "missing script"))?);
+                }
+                "-n" => return Err(CmdError::new("sed", "-n is not supported")),
+                other if script_text.is_none() => {
+                    script_text = Some(a);
+                    let _ = other;
+                }
+                other => return Err(CmdError::new("sed", format!("unexpected operand {other}"))),
+            }
+        }
+        let text = script_text.ok_or_else(|| CmdError::new("sed", "missing script"))?;
+        let script = parse_script(text)?;
+        Ok(SedCmd {
+            script,
+            display: format!("sed '{text}'"),
+        })
+    }
+}
+
+fn parse_script(text: &str) -> Result<Script, CmdError> {
+    let chars: Vec<char> = text.chars().collect();
+    if chars.is_empty() {
+        return Err(CmdError::new("sed", "empty script"));
+    }
+    // Address forms: "100q", "3d", "$d".
+    if text == "$d" {
+        return Ok(Script::DeleteLast);
+    }
+    let digits: String = chars.iter().take_while(|c| c.is_ascii_digit()).collect();
+    if !digits.is_empty() && digits.len() + 1 == chars.len() {
+        let n: usize = digits
+            .parse()
+            .map_err(|_| CmdError::new("sed", "address overflow"))?;
+        match chars[chars.len() - 1] {
+            'q' => return Ok(Script::QuitAfter(n)),
+            'd' => return Ok(Script::DeleteLine(n)),
+            other => return Err(CmdError::new("sed", format!("unknown command {other}"))),
+        }
+    }
+    // Substitution with arbitrary delimiter: s<d>RE<d>REPL<d>[flags]
+    if chars[0] == 's' && chars.len() >= 4 {
+        let d = chars[1];
+        let mut parts: Vec<String> = vec![String::new()];
+        let mut i = 2;
+        while i < chars.len() {
+            let c = chars[i];
+            if c == '\\' && i + 1 < chars.len() && chars[i + 1] == d {
+                // Escaped delimiter stays literal.
+                parts.last_mut().unwrap().push(d);
+                i += 2;
+                continue;
+            }
+            if c == d {
+                parts.push(String::new());
+            } else {
+                parts.last_mut().unwrap().push(c);
+            }
+            i += 1;
+        }
+        if parts.len() != 3 {
+            return Err(CmdError::new("sed", "unterminated s command"));
+        }
+        let (re_text, replacement, flags) = (&parts[0], &parts[1], &parts[2]);
+        let mut global = false;
+        for f in flags.chars() {
+            match f {
+                'g' => global = true,
+                other => return Err(CmdError::new("sed", format!("unknown s flag {other}"))),
+            }
+        }
+        let regex = Regex::new(re_text).map_err(|e| CmdError::new("sed", e.to_string()))?;
+        return Ok(Script::Substitute {
+            regex,
+            replacement: replacement.clone(),
+            global,
+        });
+    }
+    Err(CmdError::new("sed", format!("unsupported script {text:?}")))
+}
+
+impl UnixCommand for SedCmd {
+    fn display(&self) -> String {
+        self.display.clone()
+    }
+
+    fn run(&self, input: &str, _ctx: &ExecContext) -> Result<String, CmdError> {
+        let mut out = String::with_capacity(input.len());
+        match &self.script {
+            Script::Substitute {
+                regex,
+                replacement,
+                global,
+            } => {
+                for line in kq_stream::lines_of(input) {
+                    let new = if *global {
+                        regex.replace_all(line, replacement)
+                    } else {
+                        regex.replace_first(line, replacement)
+                    };
+                    out.push_str(&new);
+                    out.push('\n');
+                }
+            }
+            Script::QuitAfter(n) => {
+                for (i, line) in kq_stream::lines_of(input).enumerate() {
+                    if i >= *n {
+                        break;
+                    }
+                    out.push_str(line);
+                    out.push('\n');
+                }
+            }
+            Script::DeleteLine(n) => {
+                for (i, line) in kq_stream::lines_of(input).enumerate() {
+                    if i + 1 == *n {
+                        continue;
+                    }
+                    out.push_str(line);
+                    out.push('\n');
+                }
+            }
+            Script::DeleteLast => {
+                let lines: Vec<&str> = kq_stream::lines_of(input).collect();
+                for line in lines.iter().take(lines.len().saturating_sub(1)) {
+                    out.push_str(line);
+                    out.push('\n');
+                }
+            }
+        }
+        Ok(out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parse_command;
+
+    fn run(cmd: &str, input: &str) -> String {
+        parse_command(cmd)
+            .unwrap()
+            .run(input, &ExecContext::default())
+            .unwrap()
+    }
+
+    #[test]
+    fn substitute_first() {
+        assert_eq!(run("sed s/o/0/", "foo\nboo\n"), "f0o\nb0o\n");
+    }
+
+    #[test]
+    fn substitute_global() {
+        assert_eq!(run("sed s/o/0/g", "foo\n"), "f00\n");
+    }
+
+    #[test]
+    fn substitute_with_semicolon_delimiter() {
+        assert_eq!(run("sed 's;^;/in/;'", "a.txt\nb.txt\n"), "/in/a.txt\n/in/b.txt\n");
+    }
+
+    #[test]
+    fn substitute_end_of_line() {
+        // unix50 17.sh: append "0s" to each line.
+        assert_eq!(run("sed 's/$/0s/'", "197\n198\n"), "1970s\n1980s\n");
+    }
+
+    #[test]
+    fn substitute_with_group() {
+        // analytics-mts 3.sh: pull the hour out of the timestamp.
+        assert_eq!(
+            run(r"sed 's/T\(..\):..:../,\1/'", "2020-07-01T08:15:59,v42\n"),
+            "2020-07-01,08,v42\n"
+        );
+    }
+
+    #[test]
+    fn timestamp_strip() {
+        // analytics-mts 1.sh.
+        assert_eq!(
+            run("sed 's/T..:..:..//'", "2020-07-01T08:15:59,v42\n"),
+            "2020-07-01,v42\n"
+        );
+    }
+
+    #[test]
+    fn quit_after_n() {
+        let input = "1\n2\n3\n4\n";
+        assert_eq!(run("sed 2q", input), "1\n2\n");
+        assert_eq!(run("sed 100q", input), input);
+    }
+
+    #[test]
+    fn delete_nth_line() {
+        let input = "1\n2\n3\n";
+        assert_eq!(run("sed 1d", input), "2\n3\n");
+        assert_eq!(run("sed 2d", input), "1\n3\n");
+        assert_eq!(run("sed 5d", input), input);
+    }
+
+    #[test]
+    fn delete_last_line() {
+        assert_eq!(run("sed '$d'", "1\n2\n3\n"), "1\n2\n");
+        assert_eq!(run("sed '$d'", ""), "");
+    }
+
+    #[test]
+    fn rejects_unsupported_scripts() {
+        assert!(parse_command("sed y/abc/xyz/").is_err());
+        assert!(parse_command("sed").is_err());
+        assert!(parse_command("sed s/a/b").is_err());
+    }
+}

@@ -1,0 +1,123 @@
+//! Shell word splitting for command lines.
+//!
+//! Handles the quoting styles in the benchmark scripts: single quotes
+//! (literal), double quotes (with `\"` and `\\` escapes), and unquoted
+//! backslash escapes. Newline/tab escapes (`\n`, `\t`) inside quotes are
+//! preserved verbatim for the command parsers that interpret them (`tr`
+//! interprets `'\n'` itself, as in the real shell where the quotes pass the
+//! two characters through).
+
+/// Splits `line` into shell words. Returns an error message on unbalanced
+/// quotes.
+pub fn split_words(line: &str) -> Result<Vec<String>, String> {
+    let mut words = Vec::new();
+    let mut cur = String::new();
+    let mut in_word = false;
+    let mut chars = line.chars().peekable();
+    while let Some(c) = chars.next() {
+        match c {
+            ' ' | '\t' | '\n' => {
+                if in_word {
+                    words.push(std::mem::take(&mut cur));
+                    in_word = false;
+                }
+            }
+            '\'' => {
+                in_word = true;
+                loop {
+                    match chars.next() {
+                        Some('\'') => break,
+                        Some(ch) => cur.push(ch),
+                        None => return Err("unterminated single quote".into()),
+                    }
+                }
+            }
+            '"' => {
+                in_word = true;
+                loop {
+                    match chars.next() {
+                        Some('"') => break,
+                        Some('\\') => match chars.next() {
+                            Some(e @ ('"' | '\\' | '$' | '`')) => cur.push(e),
+                            Some(e) => {
+                                cur.push('\\');
+                                cur.push(e);
+                            }
+                            None => return Err("unterminated double quote".into()),
+                        },
+                        Some(ch) => cur.push(ch),
+                        None => return Err("unterminated double quote".into()),
+                    }
+                }
+            }
+            '\\' => {
+                in_word = true;
+                match chars.next() {
+                    Some(e) => cur.push(e),
+                    None => cur.push('\\'),
+                }
+            }
+            _ => {
+                in_word = true;
+                cur.push(c);
+            }
+        }
+    }
+    if in_word {
+        words.push(cur);
+    }
+    Ok(words)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn w(line: &str) -> Vec<String> {
+        split_words(line).unwrap()
+    }
+
+    #[test]
+    fn splits_plain_words() {
+        assert_eq!(w("sort -rn"), vec!["sort", "-rn"]);
+    }
+
+    #[test]
+    fn single_quotes_are_literal() {
+        assert_eq!(w(r"tr -cs A-Za-z '\n'"), vec!["tr", "-cs", "A-Za-z", r"\n"]);
+        assert_eq!(w("grep 'a b'"), vec!["grep", "a b"]);
+    }
+
+    #[test]
+    fn double_quotes_with_escapes() {
+        assert_eq!(w(r#"awk "\$1 >= 1000""#), vec!["awk", "$1 >= 1000"]);
+        assert_eq!(w(r#"grep "shell script""#), vec!["grep", "shell script"]);
+        assert_eq!(w(r#"cut -d "\"" -f 2"#), vec!["cut", "-d", "\"", "-f", "2"]);
+    }
+
+    #[test]
+    fn adjacent_quoted_segments_join() {
+        assert_eq!(w("a'b'\"c\""), vec!["abc"]);
+    }
+
+    #[test]
+    fn empty_quoted_word_is_kept() {
+        assert_eq!(w("x '' y"), vec!["x", "", "y"]);
+    }
+
+    #[test]
+    fn unquoted_backslash_escapes_next() {
+        assert_eq!(w(r"grep \("), vec!["grep", "("]);
+    }
+
+    #[test]
+    fn unbalanced_quotes_error() {
+        assert!(split_words("grep 'abc").is_err());
+        assert!(split_words("grep \"abc").is_err());
+    }
+
+    #[test]
+    fn sed_semicolon_script_survives() {
+        assert_eq!(w(r#"sed "s;^;/books/;""#), vec!["sed", "s;^;/books/;"]);
+    }
+}

@@ -1,0 +1,436 @@
+//! `sort` — line sorting with the GNU flag subset used by the corpus:
+//! plain, `-n`, `-r`, `-f`, `-u`, `-k1n`-style single keys, `-m` (merge
+//! pre-sorted inputs), and the combined forms (`-rn`, `-nr`, `-k1n`).
+//!
+//! Comparison model mirrors GNU sort under `LC_COLLATE=C`: the flagged key
+//! comparison first, then (absent `-u`/`-s`) a *last-resort* whole-line byte
+//! comparison; `-r` reverses the final result. `-u` keeps the first line of
+//! each run of key-equal lines.
+//!
+//! The merge mode doubles as the implementation of the combiner DSL's
+//! `merge <flags>` operator (`unixMerge` in the paper, realized as
+//! `sort -m <flags>`), exposed programmatically via [`merge_streams`].
+
+use crate::{CmdError, ExecContext, UnixCommand};
+use std::cmp::Ordering;
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+struct SortFlags {
+    numeric: bool,
+    reverse: bool,
+    fold_case: bool,
+    unique: bool,
+    /// `-k1n`: sort by the first whitespace-delimited field, numerically.
+    key_field1_numeric: bool,
+}
+
+/// The `sort` command.
+pub struct SortCmd {
+    flags: SortFlags,
+    merge: bool,
+    files: Vec<String>,
+    display: String,
+}
+
+impl SortCmd {
+    /// Parses `sort` arguments.
+    pub fn parse(args: &[String]) -> Result<SortCmd, CmdError> {
+        let mut flags = SortFlags::default();
+        let mut merge = false;
+        let mut files = Vec::new();
+        let mut it = args.iter().peekable();
+        while let Some(a) = it.next() {
+            if let Some(opt) = a.strip_prefix("--") {
+                if opt.starts_with("parallel=") {
+                    // The paper's infrastructure pins sort to one thread;
+                    // ours is single-threaded regardless.
+                    continue;
+                }
+                return Err(CmdError::new("sort", format!("unknown option --{opt}")));
+            }
+            if let Some(body) = a.strip_prefix('-') {
+                if body.is_empty() {
+                    files.push("-".to_owned());
+                    continue;
+                }
+                let mut chars = body.chars().peekable();
+                while let Some(f) = chars.next() {
+                    match f {
+                        'n' => flags.numeric = true,
+                        'r' => flags.reverse = true,
+                        'f' => flags.fold_case = true,
+                        'u' => flags.unique = true,
+                        'm' => merge = true,
+                        's' => {} // we are stable by construction
+                        'k' => {
+                            // Key spec: rest of this word, or next word.
+                            let spec: String = chars.by_ref().collect();
+                            let spec = if spec.is_empty() {
+                                it.next()
+                                    .ok_or_else(|| CmdError::new("sort", "missing key spec"))?
+                                    .clone()
+                            } else {
+                                spec
+                            };
+                            parse_key(&spec, &mut flags)?;
+                        }
+                        other => {
+                            return Err(CmdError::new("sort", format!("unknown flag -{other}")))
+                        }
+                    }
+                }
+            } else {
+                files.push(a.clone());
+            }
+        }
+        let mut display = String::from("sort");
+        for a in args {
+            display.push(' ');
+            display.push_str(a);
+        }
+        Ok(SortCmd {
+            flags,
+            merge,
+            files,
+            display,
+        })
+    }
+}
+
+fn parse_key(spec: &str, flags: &mut SortFlags) -> Result<(), CmdError> {
+    // Supported forms: "1", "1n", "1,1n", "1n,1" — i.e. field one with
+    // optional numeric modifier, which is all the corpus uses.
+    let first = spec.split(',').next().unwrap_or(spec);
+    let field: String = first.chars().take_while(|c| c.is_ascii_digit()).collect();
+    let mods: String = spec.chars().filter(|c| c.is_ascii_alphabetic()).collect();
+    if field != "1" {
+        return Err(CmdError::new(
+            "sort",
+            format!("unsupported key field {spec:?} (only field 1)"),
+        ));
+    }
+    for m in mods.chars() {
+        match m {
+            'n' => flags.key_field1_numeric = true,
+            'r' => flags.reverse = true,
+            'f' => flags.fold_case = true,
+            other => {
+                return Err(CmdError::new("sort", format!("unsupported key modifier {other}")))
+            }
+        }
+    }
+    if mods.is_empty() {
+        flags.key_field1_numeric = false;
+    }
+    Ok(())
+}
+
+/// GNU-style numeric prefix value: optional blanks, optional sign, digits
+/// with optional decimal part. Non-numeric prefixes count as zero.
+fn numeric_prefix(s: &str) -> f64 {
+    let t = s.trim_start_matches([' ', '\t']);
+    let mut end = 0;
+    let bytes = t.as_bytes();
+    if end < bytes.len() && (bytes[end] == b'-' || bytes[end] == b'+') {
+        end += 1;
+    }
+    let mut seen_digit = false;
+    while end < bytes.len() && bytes[end].is_ascii_digit() {
+        end += 1;
+        seen_digit = true;
+    }
+    if end < bytes.len() && bytes[end] == b'.' {
+        let mut e2 = end + 1;
+        while e2 < bytes.len() && bytes[e2].is_ascii_digit() {
+            e2 += 1;
+            seen_digit = true;
+        }
+        if e2 > end + 1 {
+            end = e2;
+        }
+    }
+    if !seen_digit {
+        return 0.0;
+    }
+    t[..end].parse().unwrap_or(0.0)
+}
+
+fn key_compare(a: &str, b: &str, flags: SortFlags) -> Ordering {
+    if flags.key_field1_numeric {
+        let fa = a.split_ascii_whitespace().next().unwrap_or("");
+        let fb = b.split_ascii_whitespace().next().unwrap_or("");
+        return numeric_prefix(fa)
+            .partial_cmp(&numeric_prefix(fb))
+            .unwrap_or(Ordering::Equal);
+    }
+    if flags.numeric {
+        return numeric_prefix(a)
+            .partial_cmp(&numeric_prefix(b))
+            .unwrap_or(Ordering::Equal);
+    }
+    if flags.fold_case {
+        // GNU -f folds lowercase onto uppercase (byte-wise under C).
+        let fold = |s: &str| s.bytes().map(|c| c.to_ascii_uppercase()).collect::<Vec<_>>();
+        return fold(a).cmp(&fold(b));
+    }
+    a.as_bytes().cmp(b.as_bytes())
+}
+
+/// Full comparator: key order, then last-resort byte order, then `-r`.
+fn line_compare(a: &str, b: &str, flags: SortFlags) -> Ordering {
+    let primary = key_compare(a, b, flags);
+    let ord = if primary != Ordering::Equal || flags.unique {
+        primary
+    } else {
+        a.as_bytes().cmp(b.as_bytes())
+    };
+    if flags.reverse {
+        ord.reverse()
+    } else {
+        ord
+    }
+}
+
+fn sort_lines(input: &str, flags: SortFlags) -> String {
+    let mut lines: Vec<&str> = kq_stream::lines_of(input).collect();
+    lines.sort_by(|a, b| line_compare(a, b, flags));
+    let mut out = String::with_capacity(input.len() + 1);
+    let mut prev: Option<&str> = None;
+    for l in lines {
+        if flags.unique {
+            if let Some(p) = prev {
+                if key_compare(p, l, flags) == Ordering::Equal {
+                    continue;
+                }
+            }
+        }
+        out.push_str(l);
+        out.push('\n');
+        prev = Some(l);
+    }
+    out
+}
+
+fn merge_sorted(streams: &[&str], flags: SortFlags) -> String {
+    // Loser-tree-style merge via a sorted frontier: O(n log w) total, with
+    // stream index as the stability tiebreak (earlier streams win ties, as
+    // GNU sort -m does).
+    let mut iters: Vec<_> = streams
+        .iter()
+        .map(|s| kq_stream::lines_of(s).peekable())
+        .collect();
+    // Frontier of (line, stream index), kept sorted descending so the next
+    // line to emit is at the back.
+    let mut frontier: Vec<(&str, usize)> = Vec::with_capacity(iters.len());
+    let frontier_cmp = |a: &(&str, usize), b: &(&str, usize), flags: SortFlags| {
+        line_compare(a.0, b.0, flags).then(a.1.cmp(&b.1)).reverse()
+    };
+    for (i, it) in iters.iter_mut().enumerate() {
+        if let Some(&line) = it.peek() {
+            frontier.push((line, i));
+        }
+    }
+    frontier.sort_by(|a, b| frontier_cmp(a, b, flags));
+    let mut out = String::new();
+    let mut prev: Option<String> = None;
+    while let Some((line, i)) = frontier.pop() {
+        iters[i].next();
+        let dup = flags.unique
+            && prev
+                .as_deref()
+                .is_some_and(|p| key_compare(p, line, flags) == Ordering::Equal);
+        if !dup {
+            out.push_str(line);
+            out.push('\n');
+            prev = Some(line.to_owned());
+        }
+        if let Some(&next) = iters[i].peek() {
+            let entry = (next, i);
+            let pos = frontier
+                .binary_search_by(|probe| frontier_cmp(probe, &entry, flags))
+                .unwrap_or_else(|e| e);
+            frontier.insert(pos, entry);
+        }
+    }
+    out
+}
+
+/// Programmatic `sort -m <flags>`: merges pre-sorted streams. This is the
+/// `unixMerge` primitive behind the combiner DSL's `merge` operator and the
+/// k-way merge used by parallel pipelines (paper §3.5).
+pub fn merge_streams(flag_words: &[String], streams: &[&str]) -> Result<String, CmdError> {
+    let mut args: Vec<String> = flag_words.to_vec();
+    args.push("-m".to_owned());
+    let cmd = SortCmd::parse(&args)?;
+    Ok(merge_sorted(streams, cmd.flags))
+}
+
+impl UnixCommand for SortCmd {
+    fn display(&self) -> String {
+        self.display.clone()
+    }
+
+    fn reads_stdin(&self) -> bool {
+        self.files.is_empty() || self.files.iter().any(|f| f == "-")
+    }
+
+    fn run(&self, input: &str, ctx: &ExecContext) -> Result<String, CmdError> {
+        let mut contents: Vec<String> = Vec::new();
+        if self.files.is_empty() {
+            contents.push(input.to_owned());
+        } else {
+            for f in &self.files {
+                if f == "-" {
+                    contents.push(input.to_owned());
+                } else {
+                    contents.push(ctx.vfs.read(f).ok_or_else(|| {
+                        CmdError::new("sort", format!("cannot read: {f}"))
+                    })?);
+                }
+            }
+        }
+        if self.merge {
+            let refs: Vec<&str> = contents.iter().map(String::as_str).collect();
+            Ok(merge_sorted(&refs, self.flags))
+        } else {
+            let joined = contents.concat();
+            Ok(sort_lines(&joined, self.flags))
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parse_command;
+    use proptest::prelude::*;
+
+    fn run(cmd: &str, input: &str) -> String {
+        parse_command(cmd)
+            .unwrap()
+            .run(input, &ExecContext::default())
+            .unwrap()
+    }
+
+    #[test]
+    fn plain_sort_is_byte_order() {
+        assert_eq!(run("sort", "b\nA\na\nB\n"), "A\nB\na\nb\n");
+    }
+
+    #[test]
+    fn numeric_sort() {
+        assert_eq!(run("sort -n", "10\n9\n2\n"), "2\n9\n10\n");
+        // Non-numeric lines count as zero and fall back to byte order.
+        assert_eq!(run("sort -n", "x\n1\ny\n"), "x\ny\n1\n");
+    }
+
+    #[test]
+    fn reverse_numeric_equivalents() {
+        let input = "      3 bb\n     10 aa\n      1 cc\n";
+        let rn = run("sort -rn", input);
+        let nr = run("sort -nr", input);
+        assert_eq!(rn, nr);
+        assert_eq!(rn, "     10 aa\n      3 bb\n      1 cc\n");
+    }
+
+    #[test]
+    fn fold_case() {
+        assert_eq!(run("sort -f", "b\nA\nB\na\n"), "A\na\nB\nb\n");
+    }
+
+    #[test]
+    fn unique_sort() {
+        assert_eq!(run("sort -u", "b\na\nb\na\n"), "a\nb\n");
+        // -u with -n dedupes by key: 07 and 7 share a numeric key.
+        assert_eq!(run("sort -nu", "07\n7\n8\n"), "07\n8\n");
+    }
+
+    #[test]
+    fn key_field_numeric() {
+        let input = "20 x\n3 y\n100 z\n";
+        assert_eq!(run("sort -k1n", input), "3 y\n20 x\n100 z\n");
+    }
+
+    #[test]
+    fn merge_two_sorted_streams_equals_full_sort() {
+        let x1 = "a\nc\ne\n";
+        let x2 = "b\nc\nd\n";
+        let merged = merge_streams(&[], &[x1, x2]).unwrap();
+        assert_eq!(merged, run("sort", &format!("{x1}{x2}")));
+    }
+
+    #[test]
+    fn merge_respects_flags() {
+        let y1 = "9\n2\n"; // sorted under -rn
+        let y2 = "10\n1\n";
+        let merged = merge_streams(&["-rn".to_owned()], &[y1, y2]).unwrap();
+        assert_eq!(merged, "10\n9\n2\n1\n");
+    }
+
+    #[test]
+    fn merge_command_form() {
+        let ctx = {
+            let vfs = crate::Vfs::new();
+            vfs.write("s1", "a\nc\n");
+            vfs.write("s2", "b\nd\n");
+            ExecContext::with_vfs(vfs)
+        };
+        let c = parse_command("sort -m s1 s2").unwrap();
+        assert_eq!(c.run("", &ctx).unwrap(), "a\nb\nc\nd\n");
+        assert!(!c.reads_stdin());
+    }
+
+    #[test]
+    fn parallel_option_ignored() {
+        assert_eq!(run("sort --parallel=1", "b\na\n"), "a\nb\n");
+    }
+
+    #[test]
+    fn empty_input() {
+        assert_eq!(run("sort", ""), "");
+        assert_eq!(run("sort -u", "\n\n"), "\n");
+    }
+
+    proptest! {
+        #[test]
+        fn prop_sort_output_is_sorted_permutation(
+            lines in proptest::collection::vec("[ -~]{0,10}", 0..40)
+        ) {
+            let input: String = lines.iter().map(|l| format!("{l}\n")).collect();
+            let out = run("sort", &input);
+            let out_lines: Vec<&str> = kq_stream::lines_of(&out).collect();
+            let mut expect: Vec<&str> = lines.iter().map(String::as_str).collect();
+            expect.sort_by(|a, b| a.as_bytes().cmp(b.as_bytes()));
+            prop_assert_eq!(out_lines, expect);
+        }
+
+        #[test]
+        fn prop_merge_matches_sort_of_concat(
+            a in proptest::collection::vec("[a-e]{0,4}", 0..20),
+            b in proptest::collection::vec("[a-e]{0,4}", 0..20),
+        ) {
+            let mk = |v: &[String]| -> String {
+                let mut s: Vec<&str> = v.iter().map(String::as_str).collect();
+                s.sort_by(|x, y| x.as_bytes().cmp(y.as_bytes()));
+                s.iter().map(|l| format!("{l}\n")).collect()
+            };
+            let (s1, s2) = (mk(&a), mk(&b));
+            let merged = merge_streams(&[], &[s1.as_str(), s2.as_str()]).unwrap();
+            prop_assert_eq!(merged, run("sort", &format!("{s1}{s2}")));
+        }
+
+        #[test]
+        fn prop_numeric_sort_values_nondecreasing(
+            nums in proptest::collection::vec(-1000i32..1000, 1..30)
+        ) {
+            let input: String = nums.iter().map(|n| format!("{n}\n")).collect();
+            let out = run("sort -n", &input);
+            let vals: Vec<i32> = kq_stream::lines_of(&out)
+                .map(|l| l.parse().unwrap())
+                .collect();
+            for w in vals.windows(2) {
+                prop_assert!(w[0] <= w[1]);
+            }
+        }
+    }
+}

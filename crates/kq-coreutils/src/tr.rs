@@ -1,0 +1,526 @@
+//! `tr` — translate, delete, or squeeze characters.
+//!
+//! Implements the GNU SET grammar subset used by the corpus: character
+//! ranges (`A-Za-z`), escapes (`\n`, `\t`, `\\`, octal `\012`), POSIX
+//! classes (`[:punct:]`), bracketed repeats (`[\012*]`, `[c*n]`), and the
+//! classic bracketed ranges (`[a-z]`, which GNU treats as literal brackets
+//! around a range — `tr '[a-z]' '[A-Z]'` works because `[` maps to `[`).
+//!
+//! Flags: any combination of `-c` (complement SET1), `-d` (delete), and
+//! `-s` (squeeze), including the combined forms `-cs`, `-sc`, `-ds`.
+
+use crate::{CmdError, ExecContext, UnixCommand};
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum SetItem {
+    Char(char),
+    /// `[c*]` (pad to SET1's length) or `[c*n]`.
+    Repeat(char, Option<usize>),
+}
+
+fn parse_set(spec: &str, cmd: &str) -> Result<Vec<SetItem>, CmdError> {
+    let chars: Vec<char> = spec.chars().collect();
+    let mut items = Vec::new();
+    let mut i = 0;
+    while i < chars.len() {
+        let c = chars[i];
+        // POSIX class [:name:]
+        if c == '[' && chars.get(i + 1) == Some(&':') {
+            let close = spec[i..]
+                .find(":]")
+                .ok_or_else(|| CmdError::new(cmd, "unterminated character class"))?;
+            let name: String = chars[i + 2..i + close].iter().collect();
+            for m in class_members(&name)
+                .ok_or_else(|| CmdError::new(cmd, format!("unknown class [:{name}:]")))?
+            {
+                items.push(SetItem::Char(m));
+            }
+            i += close + 2;
+            continue;
+        }
+        // Bracketed repeat [c*] or [c*n]; c may be an escape.
+        if c == '[' {
+            let (rep_char, consumed) = match chars.get(i + 1) {
+                Some('\\') => {
+                    let (ch, n) = parse_escape(&chars[i + 2..], cmd)?;
+                    (Some(ch), 2 + n)
+                }
+                Some(&ch) => (Some(ch), 2),
+                None => (None, 0),
+            };
+            if let Some(rep_char) = rep_char {
+                if chars.get(i + consumed) == Some(&'*') {
+                    // Collect optional digits then ']'.
+                    let mut j = i + consumed + 1;
+                    let mut digits = String::new();
+                    while j < chars.len() && chars[j].is_ascii_digit() {
+                        digits.push(chars[j]);
+                        j += 1;
+                    }
+                    if chars.get(j) == Some(&']') {
+                        let count = if digits.is_empty() {
+                            None
+                        } else {
+                            // Leading 0 means octal in GNU tr; corpus uses
+                            // plain decimal counts only.
+                            Some(digits.parse::<usize>().unwrap_or(0))
+                        };
+                        items.push(SetItem::Repeat(rep_char, count));
+                        i = j + 1;
+                        continue;
+                    }
+                }
+            }
+            // Not a repeat: '[' is an ordinary character.
+            items.push(SetItem::Char('['));
+            i += 1;
+            continue;
+        }
+        if c == '\\' {
+            let (ch, n) = parse_escape(&chars[i + 1..], cmd)?;
+            // An escape may start a range, e.g. `\n-\r`; corpus never does.
+            items.push(SetItem::Char(ch));
+            i += 1 + n;
+            continue;
+        }
+        // Range a-z (when '-' is not last).
+        if i + 2 < chars.len() && chars[i + 1] == '-' && chars[i + 2] != ']' {
+            let (lo, hi) = (c, chars[i + 2]);
+            if hi < lo {
+                return Err(CmdError::new(cmd, "range out of order"));
+            }
+            for ch in lo..=hi {
+                items.push(SetItem::Char(ch));
+            }
+            i += 3;
+            continue;
+        }
+        items.push(SetItem::Char(c));
+        i += 1;
+    }
+    Ok(items)
+}
+
+/// Parses a backslash escape body, returning the character and the number
+/// of pattern characters consumed (after the backslash).
+fn parse_escape(rest: &[char], cmd: &str) -> Result<(char, usize), CmdError> {
+    match rest.first() {
+        None => Err(CmdError::new(cmd, "trailing backslash")),
+        Some('n') => Ok(('\n', 1)),
+        Some('t') => Ok(('\t', 1)),
+        Some('r') => Ok(('\r', 1)),
+        Some('\\') => Ok(('\\', 1)),
+        Some(&d) if ('0'..='7').contains(&d) => {
+            // Octal escape: up to three digits.
+            let mut val = 0u32;
+            let mut n = 0;
+            while n < 3 {
+                match rest.get(n) {
+                    Some(&c) if ('0'..='7').contains(&c) => {
+                        val = val * 8 + c.to_digit(8).unwrap();
+                        n += 1;
+                    }
+                    _ => break,
+                }
+            }
+            Ok((char::from_u32(val).unwrap_or('\0'), n))
+        }
+        Some(&other) => Ok((other, 1)),
+    }
+}
+
+fn class_members(name: &str) -> Option<Vec<char>> {
+    let mut v = Vec::new();
+    match name {
+        "upper" => v.extend('A'..='Z'),
+        "lower" => v.extend('a'..='z'),
+        "digit" => v.extend('0'..='9'),
+        "alpha" => {
+            v.extend('A'..='Z');
+            v.extend('a'..='z');
+        }
+        "alnum" => {
+            v.extend('0'..='9');
+            v.extend('A'..='Z');
+            v.extend('a'..='z');
+        }
+        "punct" => v.extend((0x21..=0x7eu8).map(|b| b as char).filter(|c| c.is_ascii_punctuation())),
+        "space" => v.extend([' ', '\t', '\n', '\r', '\x0b', '\x0c']),
+        "blank" => v.extend([' ', '\t']),
+        _ => return None,
+    }
+    Some(v)
+}
+
+/// Expands SET1 items (repeats are invalid in SET1; GNU allows them but the
+/// corpus never uses them there).
+fn expand_set1(items: &[SetItem]) -> Vec<char> {
+    let mut v = Vec::new();
+    for item in items {
+        match item {
+            SetItem::Char(c) => v.push(*c),
+            SetItem::Repeat(c, n) => {
+                for _ in 0..n.unwrap_or(1) {
+                    v.push(*c);
+                }
+            }
+        }
+    }
+    v
+}
+
+/// Expands SET2 to exactly `target_len` characters: `[c*]` absorbs the
+/// slack; otherwise the last character is repeated (GNU behaviour).
+fn expand_set2(items: &[SetItem], target_len: usize) -> Vec<char> {
+    let fixed: usize = items
+        .iter()
+        .map(|i| match i {
+            SetItem::Char(_) => 1,
+            SetItem::Repeat(_, n) => n.unwrap_or(0),
+        })
+        .sum();
+    let mut v = Vec::with_capacity(target_len);
+    for item in items {
+        match item {
+            SetItem::Char(c) => v.push(*c),
+            SetItem::Repeat(c, n) => {
+                let count = match n {
+                    Some(n) => *n,
+                    None => target_len.saturating_sub(fixed),
+                };
+                for _ in 0..count {
+                    v.push(*c);
+                }
+            }
+        }
+    }
+    if let Some(last) = v.last().copied() {
+        while v.len() < target_len {
+            v.push(last);
+        }
+    }
+    v.truncate(target_len.max(v.len()));
+    v
+}
+
+/// Fast membership for ASCII plus spill-over for the rest.
+#[derive(Debug, Clone)]
+struct CharSet {
+    ascii: [bool; 128],
+    other: Vec<char>,
+}
+
+impl CharSet {
+    fn from_chars(chars: &[char]) -> CharSet {
+        let mut s = CharSet {
+            ascii: [false; 128],
+            other: Vec::new(),
+        };
+        for &c in chars {
+            if (c as u32) < 128 {
+                s.ascii[c as usize] = true;
+            } else if !s.other.contains(&c) {
+                s.other.push(c);
+            }
+        }
+        s
+    }
+
+    #[inline]
+    fn contains(&self, c: char) -> bool {
+        if (c as u32) < 128 {
+            self.ascii[c as usize]
+        } else {
+            self.other.contains(&c)
+        }
+    }
+}
+
+/// The `tr` command.
+pub struct TrCmd {
+    complement: bool,
+    delete: bool,
+    squeeze: bool,
+    set1: Vec<char>,
+    set2_items: Vec<SetItem>,
+    display: String,
+}
+
+impl TrCmd {
+    /// Parses `tr` arguments (already shell-split).
+    pub fn parse(args: &[String]) -> Result<TrCmd, CmdError> {
+        let mut complement = false;
+        let mut delete = false;
+        let mut squeeze = false;
+        let mut sets: Vec<&String> = Vec::new();
+        for a in args {
+            if let Some(flags) = a.strip_prefix('-') {
+                if flags.is_empty() || !flags.chars().all(|c| "cds".contains(c)) {
+                    // A literal operand starting with '-' never occurs in
+                    // the corpus; treat as an error to catch typos.
+                    return Err(CmdError::new("tr", format!("invalid option {a}")));
+                }
+                for f in flags.chars() {
+                    match f {
+                        'c' => complement = true,
+                        'd' => delete = true,
+                        's' => squeeze = true,
+                        _ => unreachable!(),
+                    }
+                }
+            } else {
+                sets.push(a);
+            }
+        }
+        if sets.is_empty() || sets.len() > 2 {
+            return Err(CmdError::new("tr", "expected one or two sets"));
+        }
+        if delete && sets.len() != 1 && !squeeze {
+            return Err(CmdError::new("tr", "extra operand with -d"));
+        }
+        let set1 = expand_set1(&parse_set(sets[0], "tr")?);
+        let set2_items = if sets.len() == 2 {
+            parse_set(sets[1], "tr")?
+        } else {
+            Vec::new()
+        };
+        if !delete && sets.len() == 1 && !squeeze {
+            return Err(CmdError::new("tr", "missing operand after SET1"));
+        }
+        let mut display = String::from("tr");
+        for a in args {
+            display.push(' ');
+            display.push_str(&shell_quote(a));
+        }
+        Ok(TrCmd {
+            complement,
+            delete,
+            squeeze,
+            set1,
+            set2_items,
+            display,
+        })
+    }
+}
+
+fn shell_quote(s: &str) -> String {
+    if s.chars().any(|c| " \t\n'\"\\$*[]".contains(c)) {
+        format!("'{}'", s.replace('\n', "\\n").replace('\t', "\\t"))
+    } else {
+        s.to_owned()
+    }
+}
+
+impl UnixCommand for TrCmd {
+    fn display(&self) -> String {
+        self.display.clone()
+    }
+
+    fn run(&self, input: &str, _ctx: &ExecContext) -> Result<String, CmdError> {
+        let set1 = CharSet::from_chars(&self.set1);
+        let in_set1 = |c: char| set1.contains(c) != self.complement;
+
+        let mut out = String::with_capacity(input.len());
+        if self.delete {
+            // Delete members of (complemented) SET1; with -s also squeeze
+            // SET2 members afterwards.
+            let squeeze_set = if self.squeeze {
+                Some(CharSet::from_chars(&expand_set1(&self.set2_items)))
+            } else {
+                None
+            };
+            let mut prev: Option<char> = None;
+            for c in input.chars() {
+                if in_set1(c) {
+                    continue;
+                }
+                if let Some(sq) = &squeeze_set {
+                    if sq.contains(c) && prev == Some(c) {
+                        continue;
+                    }
+                }
+                out.push(c);
+                prev = Some(c);
+            }
+            return Ok(out);
+        }
+
+        if self.set2_items.is_empty() {
+            // Pure squeeze of SET1 members.
+            let mut prev: Option<char> = None;
+            for c in input.chars() {
+                if in_set1(c) && prev == Some(c) {
+                    continue;
+                }
+                out.push(c);
+                prev = Some(c);
+            }
+            return Ok(out);
+        }
+
+        // Translate (then optionally squeeze SET2 members). With -c, GNU
+        // builds the complement of SET1 in ascending character order and
+        // maps it element-wise onto SET2 (padded with its last character).
+        let mut table = [0u32; 128];
+        for (i, b) in table.iter_mut().enumerate() {
+            *b = i as u32;
+        }
+        let (set2, fallback) = if self.complement {
+            let comp: Vec<char> = (0u32..128)
+                .filter_map(char::from_u32)
+                .filter(|&c| !set1.contains(c))
+                .collect();
+            let set2 = expand_set2(&self.set2_items, comp.len().max(1));
+            let fallback = *set2.last().expect("SET2 cannot be empty here");
+            for (i, &c) in comp.iter().enumerate() {
+                table[c as usize] = set2[i.min(set2.len() - 1)] as u32;
+            }
+            (set2, fallback)
+        } else {
+            let set2 = expand_set2(&self.set2_items, self.set1.len().max(1));
+            let fallback = *set2.last().expect("SET2 cannot be empty here");
+            for (i, &c) in self.set1.iter().enumerate() {
+                if (c as u32) < 128 {
+                    table[c as usize] = set2[i.min(set2.len() - 1)] as u32;
+                }
+            }
+            (set2, fallback)
+        };
+        let translate = |c: char| -> char {
+            if (c as u32) < 128 {
+                char::from_u32(table[c as usize]).unwrap_or(c)
+            } else if self.complement {
+                // Non-ASCII characters are outside every corpus SET1.
+                fallback
+            } else {
+                c
+            }
+        };
+        let squeeze_set = if self.squeeze {
+            Some(CharSet::from_chars(&set2))
+        } else {
+            None
+        };
+        let mut prev: Option<char> = None;
+        for c in input.chars() {
+            let t = translate(c);
+            if let Some(sq) = &squeeze_set {
+                if sq.contains(t) && prev == Some(t) {
+                    continue;
+                }
+            }
+            out.push(t);
+            prev = Some(t);
+        }
+        Ok(out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parse_command;
+
+    fn run(cmd: &str, input: &str) -> String {
+        parse_command(cmd)
+            .unwrap()
+            .run(input, &ExecContext::default())
+            .unwrap()
+    }
+
+    #[test]
+    fn simple_translate() {
+        assert_eq!(run("tr A-Z a-z", "Hello World\n"), "hello world\n");
+        assert_eq!(run("tr 'a-z' 'A-Z'", "abc\n"), "ABC\n");
+    }
+
+    #[test]
+    fn bracketed_ranges_translate() {
+        // GNU: brackets are literal and map onto each other.
+        assert_eq!(run("tr '[a-z]' '[A-Z]'", "ab[c]\n"), "AB[C]\n");
+    }
+
+    #[test]
+    fn single_char_target_pads() {
+        assert_eq!(run("tr '[a-z]' 'P'", "abz!\n"), "PPP!\n");
+    }
+
+    #[test]
+    fn complement_translate() {
+        // Every non-letter becomes a newline.
+        assert_eq!(run(r"tr -c A-Za-z '\n'", "ab c,d\n"), "ab\nc\nd\n");
+    }
+
+    #[test]
+    fn complement_squeeze_is_the_word_splitter() {
+        // The Figure 1 stage: runs of non-letters collapse to one newline.
+        assert_eq!(run(r"tr -cs A-Za-z '\n'", "one  two!!three\n"), "one\ntwo\nthree\n");
+        // Leading separators produce a single leading newline.
+        assert_eq!(run(r"tr -cs A-Za-z '\n'", "  x\n"), "\nx\n");
+    }
+
+    #[test]
+    fn sc_flag_order_equivalent() {
+        let a = run(r"tr -sc 'AEIOU' '[\012*]'", "HEAVEN\n");
+        let b = run(r"tr -cs 'AEIOU' '[\012*]'", "HEAVEN\n");
+        assert_eq!(a, b);
+        assert_eq!(a, "\nEA\nE\n");
+    }
+
+    #[test]
+    fn octal_repeat_expands_to_newline() {
+        assert_eq!(run(r"tr -sc '[A-Z]' '[\012*]'", "AbC\n"), "A\nC\n");
+    }
+
+    #[test]
+    fn delete_chars() {
+        assert_eq!(run("tr -d ','", "a,b,,c\n"), "abc\n");
+        assert_eq!(run(r"tr -d '\n'", "a\nb\n"), "ab");
+        assert_eq!(run("tr -d '[:punct:]'", "a.b!c-\n"), "abc\n");
+    }
+
+    #[test]
+    fn squeeze_only() {
+        assert_eq!(run(r"tr -s ' ' '\n'", "a  b\n"), "a\nb\n");
+        assert_eq!(run("tr -s 'a' 'a'", "aaab\n"), "ab\n");
+    }
+
+    #[test]
+    fn posix_class_translate() {
+        assert_eq!(run("tr '[:lower:]' '[:upper:]'", "aBc\n"), "ABC\n");
+        assert_eq!(run("tr '[:upper:]' '[:lower:]'", "aBc\n"), "abc\n");
+    }
+
+    #[test]
+    fn mixed_set_with_embedded_newline_escape() {
+        // poets 8_1: tr -sc '[AEIOUaeiou\012]' ' '
+        assert_eq!(
+            run(r"tr -sc '[AEIOUaeiou\012]' ' '", "hello\nworld\n"),
+            " e o\n o \n"
+        );
+    }
+
+    #[test]
+    fn space_prefixed_repeat_set() {
+        // poets 6_5: tr -sc '[A-Z][a-z]' ' [\012*]' — SET2 starts with a
+        // space (absorbed by NUL, the first complement element); every
+        // other complement character maps to the newline fill.
+        let out = run(r"tr -sc '[A-Z][a-z]' ' [\012*]'", "ab12cd\n");
+        assert_eq!(out, "ab\ncd\n");
+    }
+
+    #[test]
+    fn parse_errors() {
+        assert!(parse_command("tr").is_err());
+        assert!(parse_command("tr a-z").is_err()); // missing SET2
+        assert!(parse_command("tr -q a b").is_err());
+        assert!(parse_command("tr 'z-a' x").is_err());
+    }
+
+    #[test]
+    fn tr_output_not_stream_after_newline_delete() {
+        // Relevant to Theorem 5's precondition: output loses its newline.
+        let out = run(r"tr -d '\n'", "x\ny\n");
+        assert!(!out.ends_with('\n'));
+    }
+}

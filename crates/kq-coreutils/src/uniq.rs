@@ -1,0 +1,134 @@
+//! `uniq` — collapse consecutive duplicate lines; `-c` prefixes each output
+//! line with its repeat count, right-aligned in a 7-column field exactly as
+//! GNU coreutils does (`"%7lu %s"`). The padding matters: KumQuat's
+//! `stitch2` combiner deformats it with `delPad`/`addPad`, and the
+//! synthesized combiner must reproduce it byte-for-byte.
+
+use crate::{CmdError, ExecContext, UnixCommand};
+
+/// The `uniq` command.
+pub struct UniqCmd {
+    count: bool,
+}
+
+impl UniqCmd {
+    /// Parses `uniq` arguments (`-c` is the only corpus flag).
+    pub fn parse(args: &[String]) -> Result<UniqCmd, CmdError> {
+        let mut count = false;
+        for a in args {
+            match a.as_str() {
+                "-c" | "--count" => count = true,
+                other => return Err(CmdError::new("uniq", format!("unknown option {other}"))),
+            }
+        }
+        Ok(UniqCmd { count })
+    }
+}
+
+impl UnixCommand for UniqCmd {
+    fn display(&self) -> String {
+        if self.count {
+            "uniq -c".to_owned()
+        } else {
+            "uniq".to_owned()
+        }
+    }
+
+    fn run(&self, input: &str, _ctx: &ExecContext) -> Result<String, CmdError> {
+        let mut out = String::with_capacity(input.len());
+        let mut current: Option<(&str, u64)> = None;
+        let emit = |line: &str, n: u64, out: &mut String| {
+            if self.count {
+                out.push_str(&format!("{n:>7} {line}\n"));
+            } else {
+                out.push_str(line);
+                out.push('\n');
+            }
+        };
+        for line in kq_stream::lines_of(input) {
+            match current {
+                Some((prev, n)) if prev == line => current = Some((prev, n + 1)),
+                Some((prev, n)) => {
+                    emit(prev, n, &mut out);
+                    current = Some((line, 1));
+                }
+                None => current = Some((line, 1)),
+            }
+        }
+        if let Some((prev, n)) = current {
+            emit(prev, n, &mut out);
+        }
+        Ok(out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parse_command;
+    use proptest::prelude::*;
+
+    fn run(cmd: &str, input: &str) -> String {
+        parse_command(cmd)
+            .unwrap()
+            .run(input, &ExecContext::default())
+            .unwrap()
+    }
+
+    #[test]
+    fn collapses_adjacent_duplicates_only() {
+        assert_eq!(run("uniq", "a\na\nb\na\n"), "a\nb\na\n");
+    }
+
+    #[test]
+    fn count_padding_is_gnu_seven_wide() {
+        assert_eq!(run("uniq -c", "w\nw\nw\nz\n"), "      3 w\n      1 z\n");
+    }
+
+    #[test]
+    fn count_wider_than_field() {
+        let input = "x\n".repeat(12345678);
+        let out = run("uniq -c", &input);
+        assert_eq!(out, "12345678 x\n");
+    }
+
+    #[test]
+    fn empty_lines_count_too() {
+        assert_eq!(run("uniq -c", "\n\na\n"), "      2 \n      1 a\n");
+    }
+
+    #[test]
+    fn empty_input_empty_output() {
+        assert_eq!(run("uniq", ""), "");
+        assert_eq!(run("uniq -c", ""), "");
+    }
+
+    #[test]
+    fn rejects_unknown_flags() {
+        assert!(parse_command("uniq -d").is_err());
+    }
+
+    proptest! {
+        #[test]
+        fn prop_counts_sum_to_line_count(
+            lines in proptest::collection::vec("[ab]{0,2}", 0..50)
+        ) {
+            let input: String = lines.iter().map(|l| format!("{l}\n")).collect();
+            let out = run("uniq -c", &input);
+            let total: i64 = kq_stream::lines_of(&out)
+                .map(|l| kq_stream::parse_padded_int(l).unwrap().1)
+                .sum();
+            prop_assert_eq!(total as usize, lines.len());
+        }
+
+        #[test]
+        fn prop_uniq_idempotent(
+            lines in proptest::collection::vec("[ab]{0,2}", 0..50)
+        ) {
+            let input: String = lines.iter().map(|l| format!("{l}\n")).collect();
+            let once = run("uniq", &input);
+            let twice = run("uniq", &once);
+            prop_assert_eq!(once, twice);
+        }
+    }
+}

@@ -1,0 +1,156 @@
+//! Legal domains `L(g)` (paper Definition B.1).
+//!
+//! Plausibility (Definition 3.9) requires `y1, y2 ∈ L(g)` *before*
+//! evaluation: a combiner is discarded outright when an observation falls
+//! outside its domain. The definitions here mirror Definition B.1, with one
+//! documented relaxation: `stitch2`/`offset` padding may be empty (GNU
+//! `uniq -c` emits no padding for counts of eight or more digits).
+
+use crate::ast::{Combiner, RecOp, RunOp, StructOp};
+use kq_stream::{del_pad, split_first, Delim};
+
+/// `y ∈ L(g)`.
+pub fn in_domain(g: &Combiner, y: &str) -> bool {
+    match g {
+        Combiner::Rec(b) => rec_in_domain(b, y),
+        Combiner::Struct(s) => struct_in_domain(s, y),
+        // L(rerun_f) = legal inputs for f, L(merge) = legal inputs for
+        // unixMerge: any string; failures surface as evaluation errors.
+        Combiner::Run(RunOp::Rerun) | Combiner::Run(RunOp::Merge(_)) => {
+            let _ = y;
+            true
+        }
+    }
+}
+
+pub(crate) fn rec_in_domain(b: &RecOp, y: &str) -> bool {
+    match b {
+        RecOp::Add => !y.is_empty() && y.bytes().all(|c| c.is_ascii_digit()),
+        RecOp::Concat | RecOp::First | RecOp::Second => true,
+        RecOp::Front(d, b) => match y.strip_prefix(d.as_char()) {
+            Some(rest) => rec_in_domain(b, rest),
+            None => false,
+        },
+        RecOp::Back(d, b) => match y.strip_suffix(d.as_char()) {
+            Some(rest) => rec_in_domain(b, rest),
+            None => false,
+        },
+        RecOp::Fuse(d, b) => {
+            let parts: Vec<&str> = y.split(d.as_char()).collect();
+            parts.len() >= 2
+                && !parts.first().unwrap().is_empty()
+                && !parts.last().unwrap().is_empty()
+                && parts.iter().all(|p| rec_in_domain(b, p))
+        }
+    }
+}
+
+fn struct_in_domain(s: &StructOp, y: &str) -> bool {
+    if y == "\n" {
+        // All three structural domains include the empty stream.
+        return true;
+    }
+    if !y.ends_with('\n') {
+        return false;
+    }
+    match s {
+        StructOp::Stitch(b) => kq_stream::lines_of(y).all(|l| rec_in_domain(b, l)),
+        StructOp::Stitch2(d, b1, b2) => kq_stream::lines_of(y).all(|l| {
+            table_line(*d, l)
+                .map(|(h, t)| rec_in_domain(b1, h) && rec_in_domain(b2, t))
+                .unwrap_or(false)
+        }),
+        StructOp::Offset(d, b) => kq_stream::lines_of(y).all(|l| {
+            if l.is_empty() {
+                // L(offset) admits nil lines.
+                return true;
+            }
+            table_line(*d, l)
+                .map(|(h, _t)| rec_in_domain(b, h))
+                .unwrap_or(false)
+        }),
+    }
+}
+
+/// Decomposes a padded table line `pad ++ h ++ d ++ t`, requiring `d ∉ h`.
+/// Returns `None` when the field delimiter is absent.
+fn table_line(d: Delim, line: &str) -> Option<(&str, &str)> {
+    let (_pad, rest) = del_pad(line);
+    let (h, t) = split_first(d.as_char(), rest);
+    t.map(|t| (h, t))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ast::{Combiner as C, RecOp as R, StructOp as S};
+
+    #[test]
+    fn add_domain_is_digit_runs() {
+        let g = C::Rec(R::Add);
+        assert!(in_domain(&g, "0123"));
+        assert!(!in_domain(&g, ""));
+        assert!(!in_domain(&g, "12\n"));
+        assert!(!in_domain(&g, "-2"));
+    }
+
+    #[test]
+    fn concat_domain_is_everything() {
+        let g = C::Rec(R::Concat);
+        assert!(in_domain(&g, ""));
+        assert!(in_domain(&g, "any\nthing"));
+    }
+
+    #[test]
+    fn back_add_domain() {
+        let g = C::Rec(R::Back(Delim::Newline, Box::new(R::Add)));
+        assert!(in_domain(&g, "42\n"));
+        assert!(!in_domain(&g, "42"));
+        assert!(!in_domain(&g, "4 2\n"));
+        // wc -l output is exactly this shape.
+        assert!(in_domain(&g, "0\n"));
+    }
+
+    #[test]
+    fn fuse_domain_requires_delimiter_and_nonempty_ends() {
+        let g = C::Rec(R::Fuse(Delim::Space, Box::new(R::Add)));
+        assert!(in_domain(&g, "1 2 3"));
+        assert!(!in_domain(&g, "123")); // k >= 2 required
+        assert!(!in_domain(&g, " 1")); // first piece empty
+        assert!(!in_domain(&g, "1 ")); // last piece empty
+        assert!(!in_domain(&g, "1 x")); // piece outside L(add)
+    }
+
+    #[test]
+    fn stitch_domain_lines_in_child_domain() {
+        let g = C::Struct(S::Stitch(R::First));
+        assert!(in_domain(&g, "a\nb\n"));
+        assert!(in_domain(&g, "\n"));
+        assert!(!in_domain(&g, "a\nb")); // not a stream
+        let g_add = C::Struct(S::Stitch(R::Add));
+        assert!(in_domain(&g_add, "1\n23\n"));
+        assert!(!in_domain(&g_add, "1\nx\n"));
+    }
+
+    #[test]
+    fn stitch2_domain_requires_table_lines() {
+        let g = C::Struct(S::Stitch2(Delim::Space, R::Add, R::First));
+        assert!(in_domain(&g, "      4 word\n      9 other\n"));
+        assert!(in_domain(&g, "\n"));
+        assert!(!in_domain(&g, "word\n")); // no field delimiter
+        assert!(!in_domain(&g, "      x word\n")); // first field not numeric
+    }
+
+    #[test]
+    fn offset_domain_admits_empty_lines() {
+        let g = C::Struct(S::Offset(Delim::Space, R::Add));
+        assert!(in_domain(&g, "3 a\n\n4 b\n"));
+        assert!(!in_domain(&g, "bare\n"));
+    }
+
+    #[test]
+    fn run_ops_accept_everything() {
+        assert!(in_domain(&C::Run(RunOp::Rerun), "anything"));
+        assert!(in_domain(&C::Run(RunOp::Merge(vec![])), ""));
+    }
+}

@@ -1,0 +1,474 @@
+//! Big-step evaluation of combiners (paper Figure 6).
+//!
+//! Evaluation either produces the combined string or fails with a *domain
+//! error* — the analogue of a rule's premises not matching. Candidate
+//! filtering treats both a failure and a wrong result as grounds to discard
+//! the candidate.
+
+use crate::ast::{Combiner, RecOp, RunOp, StructOp};
+use kq_stream::{
+    add_pad, del_back, del_front, del_pad, split_first, split_first_line, split_last_line,
+    split_last_nonempty_line,
+};
+
+/// An evaluation failure.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum EvalError {
+    /// The arguments fall outside the rule premises (`L(g)` violation or a
+    /// structural mismatch like differing `fuse` arity).
+    Domain(&'static str),
+    /// A `rerun`/`merge` execution failed.
+    Command(String),
+}
+
+impl std::fmt::Display for EvalError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            EvalError::Domain(m) => write!(f, "domain error: {m}"),
+            EvalError::Command(m) => write!(f, "command error: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for EvalError {}
+
+/// The environment needed by `RunOp` combiners: how to re-run the command
+/// `f` and how to invoke `unixMerge`.
+pub trait RunEnv {
+    /// `rerun_f`: execute `f` on the given input.
+    fn rerun(&self, input: &str) -> Result<String, EvalError>;
+
+    /// `unixMerge <flags>`: merge pre-sorted streams (`sort -m <flags>`).
+    fn merge(&self, flags: &[String], streams: &[&str]) -> Result<String, EvalError>;
+}
+
+/// A [`RunEnv`] for contexts where `RunOp` combiners cannot occur (pure
+/// RecOp/StructOp evaluation, unit tests). `rerun` and `merge` fail.
+pub struct NoRunEnv;
+
+impl RunEnv for NoRunEnv {
+    fn rerun(&self, _input: &str) -> Result<String, EvalError> {
+        Err(EvalError::Command("rerun unavailable".to_owned()))
+    }
+
+    fn merge(&self, _flags: &[String], _streams: &[&str]) -> Result<String, EvalError> {
+        Err(EvalError::Command("merge unavailable".to_owned()))
+    }
+}
+
+/// A [`RunEnv`] backed by an in-process [`kq_coreutils::Command`].
+pub struct CommandEnv<'a> {
+    /// The black-box command `f`.
+    pub command: &'a kq_coreutils::Command,
+    /// Its execution context (virtual filesystem).
+    pub ctx: &'a kq_coreutils::ExecContext,
+}
+
+impl RunEnv for CommandEnv<'_> {
+    fn rerun(&self, input: &str) -> Result<String, EvalError> {
+        self.command
+            .run(input, self.ctx)
+            .map_err(|e| EvalError::Command(e.to_string()))
+    }
+
+    fn merge(&self, flags: &[String], streams: &[&str]) -> Result<String, EvalError> {
+        kq_coreutils::sort::merge_streams(flags, streams)
+            .map_err(|e| EvalError::Command(e.to_string()))
+    }
+}
+
+/// Evaluates `g y1 y2` per Figure 6.
+pub fn eval(g: &Combiner, y1: &str, y2: &str, env: &dyn RunEnv) -> Result<String, EvalError> {
+    match g {
+        Combiner::Rec(b) => eval_rec(b, y1, y2),
+        Combiner::Struct(s) => eval_struct(s, y1, y2),
+        Combiner::Run(RunOp::Rerun) => {
+            let mut joined = String::with_capacity(y1.len() + y2.len());
+            joined.push_str(y1);
+            joined.push_str(y2);
+            env.rerun(&joined)
+        }
+        Combiner::Run(RunOp::Merge(flags)) => env.merge(flags, &[y1, y2]),
+    }
+}
+
+pub(crate) fn eval_rec(b: &RecOp, y1: &str, y2: &str) -> Result<String, EvalError> {
+    match b {
+        RecOp::Add => {
+            let parse = |s: &str| -> Result<i64, EvalError> {
+                if s.is_empty() || !s.bytes().all(|c| c.is_ascii_digit()) {
+                    return Err(EvalError::Domain("add expects a digit run"));
+                }
+                s.parse().map_err(|_| EvalError::Domain("add overflow"))
+            };
+            Ok((parse(y1)? + parse(y2)?).to_string())
+        }
+        RecOp::Concat => {
+            let mut out = String::with_capacity(y1.len() + y2.len());
+            out.push_str(y1);
+            out.push_str(y2);
+            Ok(out)
+        }
+        RecOp::First => Ok(y1.to_owned()),
+        RecOp::Second => Ok(y2.to_owned()),
+        RecOp::Front(d, b) => {
+            let d = d.as_char();
+            let t1 = del_front(d, y1).ok_or(EvalError::Domain("front: missing delimiter"))?;
+            let t2 = del_front(d, y2).ok_or(EvalError::Domain("front: missing delimiter"))?;
+            let v = eval_rec(b, t1, t2)?;
+            let mut out = String::with_capacity(v.len() + 1);
+            out.push(d);
+            out.push_str(&v);
+            Ok(out)
+        }
+        RecOp::Back(d, b) => {
+            let d = d.as_char();
+            let t1 = del_back(d, y1).ok_or(EvalError::Domain("back: missing delimiter"))?;
+            let t2 = del_back(d, y2).ok_or(EvalError::Domain("back: missing delimiter"))?;
+            let mut out = eval_rec(b, t1, t2)?;
+            out.push(d);
+            Ok(out)
+        }
+        RecOp::Fuse(d, b) => {
+            let d = d.as_char();
+            let p1: Vec<&str> = y1.split(d).collect();
+            let p2: Vec<&str> = y2.split(d).collect();
+            if p1.len() < 2 {
+                return Err(EvalError::Domain("fuse: delimiter absent"));
+            }
+            if p1.len() != p2.len() {
+                return Err(EvalError::Domain("fuse: piece counts differ"));
+            }
+            let mut out = String::with_capacity(y1.len() + y2.len());
+            for (i, (a, c)) in p1.iter().zip(p2.iter()).enumerate() {
+                if i > 0 {
+                    out.push(d);
+                }
+                out.push_str(&eval_rec(b, a, c)?);
+            }
+            Ok(out)
+        }
+    }
+}
+
+fn eval_struct(s: &StructOp, y1: &str, y2: &str) -> Result<String, EvalError> {
+    match s {
+        StructOp::Stitch(b) => {
+            // Figure 6 short-circuits a bare "\n" to concatenation; we let
+            // it flow through the general rule instead, which compares the
+            // empty boundary line like any other. This is required for the
+            // paper's own §3.4 claim that (stitch first) is correct for
+            // `uniq`: with the short-circuit, x1 = "\n", x2 = "\na\n" is a
+            // counterexample (uniq merges the boundary empties; the
+            // short-circuit would not). See DESIGN.md.
+            if !y1.ends_with('\n') || !y2.ends_with('\n') {
+                return Err(EvalError::Domain("stitch: arguments must be streams"));
+            }
+            let (pre, l1) = split_last_line(y1);
+            let (l2, post) = split_first_line(y2);
+            if l1 != l2 {
+                return Ok(format!("{y1}{y2}"));
+            }
+            let v = eval_rec(b, l1, l2)?;
+            let mut out = String::with_capacity(y1.len() + y2.len());
+            if let Some(pre) = pre {
+                out.push_str(pre);
+                out.push('\n');
+            }
+            out.push_str(&v);
+            out.push('\n');
+            out.push_str(post);
+            Ok(out)
+        }
+        StructOp::Stitch2(d, b1, b2) => {
+            if y1 == "\n" || y2 == "\n" {
+                return Ok(format!("{y1}{y2}"));
+            }
+            if !y1.ends_with('\n') || !y2.ends_with('\n') {
+                return Err(EvalError::Domain("stitch2: arguments must be streams"));
+            }
+            let d = d.as_char();
+            let (pre, l1) = split_last_line(y1);
+            let (l2, post) = split_first_line(y2);
+            let (p1, rest1) = del_pad(l1);
+            let (_p2, rest2) = del_pad(l2);
+            let (h1, t1) = split_first(d, rest1);
+            let (h2, t2) = split_first(d, rest2);
+            let (Some(t1), Some(t2)) = (t1, t2) else {
+                return Err(EvalError::Domain("stitch2: missing field delimiter"));
+            };
+            if t1 != t2 {
+                return Ok(format!("{y1}{y2}"));
+            }
+            let h = eval_rec(b1, h1, h2)?;
+            let t = eval_rec(b2, t1, t2)?;
+            // addPad: keep the first field right-aligned to the column it
+            // occupied in l1 (GNU `uniq -c`-style alignment).
+            let width = p1 + h1.chars().count();
+            let v = format!("{}{}{}", add_pad(width, &h), d, t);
+            let mut out = String::with_capacity(y1.len() + y2.len());
+            if let Some(pre) = pre {
+                out.push_str(pre);
+                out.push('\n');
+            }
+            out.push_str(&v);
+            out.push('\n');
+            out.push_str(post);
+            Ok(out)
+        }
+        StructOp::Offset(d, b) => {
+            if !y1.ends_with('\n') || !y2.ends_with('\n') {
+                return Err(EvalError::Domain("offset: arguments must be streams"));
+            }
+            let d = d.as_char();
+            let (_, l1) = split_last_nonempty_line(y1);
+            let Some(l1) = l1 else {
+                return Err(EvalError::Domain("offset: y1 has no non-empty line"));
+            };
+            let (_, rest1) = del_pad(l1);
+            let (h1, _) = split_first(d, rest1);
+            // helper d b: rewrite the first field of every line of y2.
+            let mut out = String::with_capacity(y1.len() + y2.len());
+            out.push_str(y1);
+            for line in kq_stream::lines_of(y2) {
+                if line.is_empty() {
+                    out.push('\n');
+                    continue;
+                }
+                let (p2, rest2) = del_pad(line);
+                let (h2, t2) = split_first(d, rest2);
+                let Some(t2) = t2 else {
+                    return Err(EvalError::Domain("offset: missing field delimiter"));
+                };
+                let h = eval_rec(b, h1, h2)?;
+                let width = p2 + h2.chars().count();
+                out.push_str(&add_pad(width, &h));
+                out.push(d);
+                out.push_str(t2);
+                out.push('\n');
+            }
+            Ok(out)
+        }
+    }
+}
+
+/// Samples a value in `L(g1) ∩ L(g2)` and checks Definition B.7
+/// (equivalence by intersection) on the given pairs: both evaluate and
+/// agree on every pair that lies in both domains. Returns the number of
+/// pairs actually exercised.
+pub fn check_equiv_by_intersection(
+    g1: &Combiner,
+    g2: &Combiner,
+    pairs: &[(String, String)],
+    env: &dyn RunEnv,
+) -> Result<usize, String> {
+    let mut exercised = 0;
+    for (a, b) in pairs {
+        let in_both = crate::domain::in_domain(g1, a)
+            && crate::domain::in_domain(g1, b)
+            && crate::domain::in_domain(g2, a)
+            && crate::domain::in_domain(g2, b);
+        if !in_both {
+            continue;
+        }
+        exercised += 1;
+        let v1 = eval(g1, a, b, env).map_err(|e| format!("{g1} failed on {a:?},{b:?}: {e}"))?;
+        let v2 = eval(g2, a, b, env).map_err(|e| format!("{g2} failed on {a:?},{b:?}: {e}"))?;
+        if v1 != v2 {
+            return Err(format!(
+                "{g1} and {g2} disagree on ({a:?}, {b:?}): {v1:?} vs {v2:?}"
+            ));
+        }
+    }
+    Ok(exercised)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ast::{Combiner as C, RecOp as R, StructOp as S};
+    use kq_stream::Delim;
+
+    fn rec(b: R, y1: &str, y2: &str) -> Result<String, EvalError> {
+        eval(&C::Rec(b), y1, y2, &NoRunEnv)
+    }
+
+    #[test]
+    fn add_rule() {
+        assert_eq!(rec(R::Add, "4", "9").unwrap(), "13");
+        assert_eq!(rec(R::Add, "007", "01").unwrap(), "8");
+        assert!(rec(R::Add, "4x", "9").is_err());
+        assert!(rec(R::Add, "", "9").is_err());
+        assert!(rec(R::Add, "-4", "9").is_err());
+    }
+
+    #[test]
+    fn concat_first_second_rules() {
+        assert_eq!(rec(R::Concat, "ab", "cd").unwrap(), "abcd");
+        assert_eq!(rec(R::First, "ab", "cd").unwrap(), "ab");
+        assert_eq!(rec(R::Second, "ab", "cd").unwrap(), "cd");
+    }
+
+    #[test]
+    fn front_back_rules() {
+        let back_add = R::Back(Delim::Newline, Box::new(R::Add));
+        assert_eq!(rec(back_add.clone(), "4\n", "9\n").unwrap(), "13\n");
+        assert!(rec(back_add, "4", "9\n").is_err());
+        let front_concat = R::Front(Delim::Space, Box::new(R::Concat));
+        assert_eq!(rec(front_concat, " ab", " cd").unwrap(), " abcd");
+    }
+
+    #[test]
+    fn fuse_rule() {
+        // wc-style triple counts fused by spaces.
+        let fuse_add = R::Fuse(Delim::Space, Box::new(R::Add));
+        assert_eq!(rec(fuse_add.clone(), "1 2 3", "10 20 30").unwrap(), "11 22 33");
+        assert!(rec(fuse_add.clone(), "1 2", "1 2 3").is_err());
+        assert!(rec(fuse_add, "123", "456").is_err()); // no delimiter
+    }
+
+    #[test]
+    fn nested_back_fuse_add() {
+        // (back '\n' (fuse ' ' add)) — the default `wc` combiner.
+        let g = R::Back(
+            Delim::Newline,
+            Box::new(R::Fuse(Delim::Space, Box::new(R::Add))),
+        );
+        assert_eq!(rec(g, "1 2 6\n", "3 4 5\n").unwrap(), "4 6 11\n");
+    }
+
+    #[test]
+    fn stitch_merges_equal_boundary_lines() {
+        let g = C::Struct(S::Stitch(R::First));
+        // uniq: ... b | b ... -> single b.
+        assert_eq!(
+            eval(&g, "a\nb\n", "b\nc\n", &NoRunEnv).unwrap(),
+            "a\nb\nc\n"
+        );
+        // Distinct boundary lines concatenate.
+        assert_eq!(
+            eval(&g, "a\nb\n", "c\nd\n", &NoRunEnv).unwrap(),
+            "a\nb\nc\nd\n"
+        );
+    }
+
+    #[test]
+    fn stitch_single_line_streams() {
+        let g = C::Struct(S::Stitch(R::First));
+        assert_eq!(eval(&g, "b\n", "b\n", &NoRunEnv).unwrap(), "b\n");
+        assert_eq!(eval(&g, "b\n", "b\nz\n", &NoRunEnv).unwrap(), "b\nz\n");
+    }
+
+    #[test]
+    fn stitch_empty_stream_concatenates() {
+        let g = C::Struct(S::Stitch(R::First));
+        assert_eq!(eval(&g, "\n", "x\n", &NoRunEnv).unwrap(), "\nx\n");
+        assert_eq!(eval(&g, "x\n", "\n", &NoRunEnv).unwrap(), "x\n\n");
+    }
+
+    #[test]
+    fn stitch_merges_empty_boundary_lines() {
+        // The uniq case that rules out Figure 6's bare-newline
+        // short-circuit: empty boundary lines merge like any other.
+        let g = C::Struct(S::Stitch(R::First));
+        assert_eq!(eval(&g, "\n", "\nx\n", &NoRunEnv).unwrap(), "\nx\n");
+        assert_eq!(eval(&g, "a\n\n", "\nb\n", &NoRunEnv).unwrap(), "a\n\nb\n");
+    }
+
+    #[test]
+    fn stitch2_adds_counts_and_keeps_padding() {
+        // The `uniq -c` combiner: (stitch2 ' ' add first).
+        let g = C::Struct(S::Stitch2(Delim::Space, R::Add, R::First));
+        let y1 = "      2 alpha\n      4 word\n";
+        let y2 = "      9 word\n      1 beta\n";
+        assert_eq!(
+            eval(&g, y1, y2, &NoRunEnv).unwrap(),
+            "      2 alpha\n     13 word\n      1 beta\n"
+        );
+    }
+
+    #[test]
+    fn stitch2_distinct_tails_concatenate() {
+        let g = C::Struct(S::Stitch2(Delim::Space, R::Add, R::First));
+        let y1 = "      4 word\n";
+        let y2 = "      9 other\n";
+        assert_eq!(
+            eval(&g, y1, y2, &NoRunEnv).unwrap(),
+            "      4 word\n      9 other\n"
+        );
+    }
+
+    #[test]
+    fn stitch2_padding_overflow_widens() {
+        let g = C::Struct(S::Stitch2(Delim::Space, R::Add, R::First));
+        let y1 = "9999999 w\n";
+        let y2 = "      1 w\n";
+        assert_eq!(eval(&g, y1, y2, &NoRunEnv).unwrap(), "10000000 w\n");
+    }
+
+    #[test]
+    fn offset_adjusts_first_fields() {
+        // (offset ' ' add): shift y2's counts by y1's final count —
+        // the `xargs -L 1 wc -l`-style running adjustment.
+        let g = C::Struct(S::Offset(Delim::Space, R::Add));
+        let y1 = "3 a.txt\n10 b.txt\n";
+        let y2 = "4 c.txt\n1 d.txt\n";
+        assert_eq!(
+            eval(&g, y1, y2, &NoRunEnv).unwrap(),
+            "3 a.txt\n10 b.txt\n14 c.txt\n11 d.txt\n"
+        );
+    }
+
+    #[test]
+    fn offset_second_is_concat_on_tables() {
+        let g = C::Struct(S::Offset(Delim::Space, R::Second));
+        let y1 = "3 a\n";
+        let y2 = "4 b\n5 c\n";
+        assert_eq!(eval(&g, y1, y2, &NoRunEnv).unwrap(), "3 a\n4 b\n5 c\n");
+    }
+
+    #[test]
+    fn offset_keeps_empty_lines() {
+        let g = C::Struct(S::Offset(Delim::Space, R::Second));
+        assert_eq!(
+            eval(&g, "1 x\n", "\n2 y\n", &NoRunEnv).unwrap(),
+            "1 x\n\n2 y\n"
+        );
+    }
+
+    #[test]
+    fn equiv_by_intersection_example1() {
+        // Example 1 of the appendix: (front d concat) ≡∩ (back d concat).
+        let g1 = C::Rec(R::Front(Delim::Space, Box::new(R::Concat)));
+        let g2 = C::Rec(R::Back(Delim::Space, Box::new(R::Concat)));
+        let pairs = vec![
+            (" a ".to_owned(), " b ".to_owned()),
+            (" x y ".to_owned(), " z ".to_owned()),
+        ];
+        let n = check_equiv_by_intersection(&g1, &g2, &pairs, &NoRunEnv).unwrap();
+        assert_eq!(n, 2);
+    }
+
+    #[test]
+    fn equiv_by_intersection_stitch_forms() {
+        // (stitch2 d first first) ≡∩ (stitch first).
+        let g1 = C::Struct(S::Stitch2(Delim::Space, R::First, R::First));
+        let g2 = C::Struct(S::Stitch(R::First));
+        let pairs = vec![
+            (" 1 w\n".to_owned(), " 1 w\n".to_owned()),
+            (" 1 w\n".to_owned(), " 2 z\n".to_owned()),
+        ];
+        // Both defined on padded-table streams; they agree wherever both
+        // are defined.
+        let n = check_equiv_by_intersection(&g1, &g2, &pairs, &NoRunEnv).unwrap();
+        assert!(n >= 1);
+    }
+
+    #[test]
+    fn disagreement_is_detected() {
+        let g1 = C::Rec(R::First);
+        let g2 = C::Rec(R::Second);
+        let pairs = vec![("x".to_owned(), "y".to_owned())];
+        assert!(check_equiv_by_intersection(&g1, &g2, &pairs, &NoRunEnv).is_err());
+    }
+}

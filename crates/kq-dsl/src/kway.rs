@@ -1,0 +1,254 @@
+//! k-way combining (paper §3.5, "Combining Multiple Substreams").
+//!
+//! Synthesized combiners are binary, but parallel execution produces `k`
+//! output substreams. Three combiners generalize natively — `concat` is
+//! `cat $*`, `merge <flags>` is `sort -m <flags> $*`, and `rerun` is one
+//! re-execution over the concatenation — while every other combiner is
+//! applied pairwise, folding left until one stream remains.
+
+use crate::ast::{Candidate, Combiner, RecOp, RunOp};
+use crate::eval::{eval, EvalError, RunEnv};
+
+/// How a binary combiner is generalized to `k` substreams.
+///
+/// The paper (§3.5) specifies the `Flat` behaviour — native k-way
+/// implementations for `concat`/`merge`/`rerun`, pairwise application
+/// "until only one substream remains" for everything else — but leaves the
+/// pairwise order open. The other two strategies make that order explicit
+/// so the ablation bench can measure the difference.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CombineStrategy {
+    /// Native k-way where available (`cat $*`, `sort -m $*`, one rerun),
+    /// balanced tree fold otherwise. This is what execution uses.
+    Flat,
+    /// Balanced pairwise tree for *every* combiner: each byte is touched
+    /// `O(log k)` times.
+    TreeFold,
+    /// Left fold, combining the accumulator with one piece at a time: the
+    /// accumulator is re-traversed at every step (`O(n·k)` bytes for
+    /// `concat`-like combiners) — the naive reading of "apply the combiner
+    /// on two substreams repeatedly".
+    FoldLeft,
+}
+
+/// Combines `k` parallel output substreams with the given candidate using
+/// the default [`CombineStrategy::Flat`] strategy.
+///
+/// Empty substreams (a worker that received no lines) are skipped: they
+/// contribute nothing to the combined stream, matching the behaviour of
+/// the shell implementations (`cat`/`sort -m` of empty files).
+pub fn combine_all(
+    candidate: &Candidate,
+    pieces: &[String],
+    env: &dyn RunEnv,
+) -> Result<String, EvalError> {
+    combine_all_with(CombineStrategy::Flat, candidate, pieces, env)
+}
+
+/// Combines `k` substreams with an explicit [`CombineStrategy`].
+pub fn combine_all_with(
+    strategy: CombineStrategy,
+    candidate: &Candidate,
+    pieces: &[String],
+    env: &dyn RunEnv,
+) -> Result<String, EvalError> {
+    let live: Vec<&str> = pieces.iter().map(String::as_str).filter(|p| !p.is_empty()).collect();
+    match live.as_slice() {
+        [] => return Ok(String::new()),
+        [one] => return Ok((*one).to_owned()),
+        _ => {}
+    }
+    if strategy == CombineStrategy::Flat {
+        match &candidate.op {
+            // concat == `cat $*`.
+            Combiner::Rec(RecOp::Concat) => {
+                let mut ordered = live;
+                if candidate.swapped {
+                    ordered.reverse();
+                }
+                return Ok(ordered.concat());
+            }
+            // merge == `sort -m <flags> $*`.
+            Combiner::Run(RunOp::Merge(flags)) => return env.merge(flags, &live),
+            // rerun == concatenate everything, re-run `f` once.
+            Combiner::Run(RunOp::Rerun) => return env.rerun(&live.concat()),
+            _ => {}
+        }
+    }
+    match strategy {
+        CombineStrategy::FoldLeft => {
+            let mut acc = live[0].to_owned();
+            for piece in &live[1..] {
+                let (x, y) = candidate.oriented(&acc, piece);
+                acc = eval(&candidate.op, x, y, env)?;
+            }
+            Ok(acc)
+        }
+        // Tree fold: touches each byte O(log k) times, matching the
+        // paper's observation that pairwise application "until only one
+        // substream remains" stays cheap.
+        CombineStrategy::Flat | CombineStrategy::TreeFold => {
+            let mut level: Vec<String> = live.iter().map(|p| (*p).to_owned()).collect();
+            while level.len() > 1 {
+                let mut next = Vec::with_capacity(level.len().div_ceil(2));
+                let mut it = level.chunks(2);
+                for pair in &mut it {
+                    match pair {
+                        [a, b] => {
+                            let (x, y) = candidate.oriented(a, b);
+                            next.push(eval(&candidate.op, x, y, env)?);
+                        }
+                        [a] => next.push(a.clone()),
+                        _ => unreachable!("chunks(2) yields 1- or 2-element slices"),
+                    }
+                }
+                level = next;
+            }
+            Ok(level.pop().expect("at least one piece"))
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ast::{StructOp};
+    use crate::eval::NoRunEnv;
+    use kq_stream::Delim;
+
+    struct FakeEnv;
+
+    impl RunEnv for FakeEnv {
+        fn rerun(&self, input: &str) -> Result<String, EvalError> {
+            Ok(format!("f({input})"))
+        }
+
+        fn merge(&self, _flags: &[String], streams: &[&str]) -> Result<String, EvalError> {
+            kq_coreutils::sort::merge_streams(&[], streams)
+                .map_err(|e| EvalError::Command(e.to_string()))
+        }
+    }
+
+    fn s(v: &[&str]) -> Vec<String> {
+        v.iter().map(|x| (*x).to_owned()).collect()
+    }
+
+    #[test]
+    fn concat_kway_is_plain_concat() {
+        let c = Candidate::rec(RecOp::Concat);
+        let out = combine_all(&c, &s(&["a\n", "b\n", "c\n"]), &NoRunEnv).unwrap();
+        assert_eq!(out, "a\nb\nc\n");
+    }
+
+    #[test]
+    fn merge_kway_merges_all_at_once() {
+        let c = Candidate::run(RunOp::Merge(vec![]));
+        let out = combine_all(&c, &s(&["a\nd\n", "b\n", "c\ne\n"]), &FakeEnv).unwrap();
+        assert_eq!(out, "a\nb\nc\nd\ne\n");
+    }
+
+    #[test]
+    fn rerun_kway_executes_once() {
+        let c = Candidate::run(RunOp::Rerun);
+        let out = combine_all(&c, &s(&["x\n", "y\n"]), &FakeEnv).unwrap();
+        assert_eq!(out, "f(x\ny\n)");
+    }
+
+    #[test]
+    fn general_combiner_folds_pairwise() {
+        let c = Candidate::structural(StructOp::Stitch(RecOp::First));
+        let out = combine_all(&c, &s(&["a\nb\n", "b\nc\n", "c\nd\n"]), &NoRunEnv).unwrap();
+        assert_eq!(out, "a\nb\nc\nd\n");
+    }
+
+    #[test]
+    fn back_add_folds_counts() {
+        let c = Candidate::rec(RecOp::Back(Delim::Newline, Box::new(RecOp::Add)));
+        let out = combine_all(&c, &s(&["3\n", "4\n", "5\n"]), &NoRunEnv).unwrap();
+        assert_eq!(out, "12\n");
+    }
+
+    #[test]
+    fn empty_pieces_are_skipped() {
+        let c = Candidate::rec(RecOp::Back(Delim::Newline, Box::new(RecOp::Add)));
+        let out = combine_all(&c, &s(&["3\n", "", "5\n"]), &NoRunEnv).unwrap();
+        assert_eq!(out, "8\n");
+    }
+
+    #[test]
+    fn single_piece_passes_through() {
+        let c = Candidate::run(RunOp::Rerun);
+        let out = combine_all(&c, &s(&["only\n"]), &FakeEnv).unwrap();
+        assert_eq!(out, "only\n"); // no re-execution needed
+    }
+
+    #[test]
+    fn no_pieces_is_empty() {
+        let c = Candidate::rec(RecOp::Concat);
+        assert_eq!(combine_all(&c, &[], &NoRunEnv).unwrap(), "");
+    }
+
+    /// All three strategies agree for the combiners the corpus produces:
+    /// they differ only in evaluation order, and combining adjacent pieces
+    /// of a split stream is associative for these operators.
+    #[test]
+    fn strategies_agree_on_corpus_combiners() {
+        let cases: Vec<(Candidate, Vec<String>)> = vec![
+            (Candidate::rec(RecOp::Concat), s(&["a\n", "b\n", "c\n", "d\n", "e\n"])),
+            (
+                Candidate::rec(RecOp::Back(Delim::Newline, Box::new(RecOp::Add))),
+                s(&["1\n", "2\n", "3\n", "4\n", "5\n"]),
+            ),
+            (
+                Candidate::structural(StructOp::Stitch(RecOp::First)),
+                s(&["a\nb\n", "b\nc\n", "c\nc\nd\n", "d\ne\n"]),
+            ),
+            (
+                Candidate::structural(StructOp::Stitch2(
+                    Delim::Space,
+                    RecOp::Add,
+                    RecOp::First,
+                )),
+                s(&["      2 a\n      1 b\n", "      3 b\n", "      1 b\n      4 c\n"]),
+            ),
+        ];
+        for (cand, pieces) in cases {
+            let flat = combine_all_with(CombineStrategy::Flat, &cand, &pieces, &NoRunEnv)
+                .unwrap();
+            let tree =
+                combine_all_with(CombineStrategy::TreeFold, &cand, &pieces, &NoRunEnv)
+                    .unwrap();
+            let fold =
+                combine_all_with(CombineStrategy::FoldLeft, &cand, &pieces, &NoRunEnv)
+                    .unwrap();
+            assert_eq!(flat, tree, "flat vs tree for {cand}");
+            assert_eq!(flat, fold, "flat vs fold for {cand}");
+        }
+    }
+
+    #[test]
+    fn swapped_concat_reverses_under_every_strategy() {
+        let mut c = Candidate::rec(RecOp::Concat);
+        c.swapped = true;
+        let pieces = s(&["a\n", "b\n", "c\n"]);
+        for strat in [
+            CombineStrategy::Flat,
+            CombineStrategy::TreeFold,
+            CombineStrategy::FoldLeft,
+        ] {
+            assert_eq!(
+                combine_all_with(strat, &c, &pieces, &NoRunEnv).unwrap(),
+                "c\nb\na\n",
+                "{strat:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn fold_left_merge_stays_sorted() {
+        let c = Candidate::run(RunOp::Merge(vec![]));
+        let pieces = s(&["a\nd\n", "b\n", "c\ne\n"]);
+        let fold = combine_all_with(CombineStrategy::FoldLeft, &c, &pieces, &FakeEnv).unwrap();
+        assert_eq!(fold, "a\nb\nc\nd\ne\n");
+    }
+}

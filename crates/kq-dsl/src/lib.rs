@@ -1,0 +1,134 @@
+//! The KumQuat combiner DSL (paper Figure 3):
+//!
+//! ```text
+//! g ∈ Combiner_f := b | s | r
+//! b ∈ RecOp      := add | concat | first | second
+//!                 | front d b | back d b | fuse d b
+//! s ∈ StructOp   := stitch b | stitch2 d b1 b2 | offset d b
+//! r ∈ RunOp_f    := rerun_f | merge <flags>
+//! d ∈ Delim      := '\n' | '\t' | ' ' | ','
+//! ```
+//!
+//! A combiner is a binary operation over the *outputs* of two command
+//! instances; a correct combiner `g` for command `f` satisfies
+//! `f(x1 ++ x2) = g(f(x1), f(x2))` for all input streams.
+//!
+//! This crate provides the AST ([`ast`]), the big-step evaluation semantics
+//! of Figure 6 ([`eval`]), the legal-domain predicate `L(g)` of Definition
+//! B.1 ([`domain`]), combiner size and candidate enumeration ([`enumerate`]
+//! — reproducing the paper's per-command search-space counts exactly), the
+//! representative combiners and observation-sufficiency predicates of
+//! Table 2 and Definitions B.11–B.15 ([`repr`]), and k-way combining for
+//! `k > 2` parallel substreams ([`kway`], paper §3.5).
+//!
+//! ```
+//! use kq_dsl::ast::{Combiner, RecOp, StructOp};
+//! use kq_dsl::eval::{eval, NoRunEnv};
+//! use kq_dsl::Delim;
+//!
+//! // The `uniq -c` combiner: merge boundary records whose keys agree.
+//! let g = Combiner::Struct(StructOp::Stitch2(Delim::Space, RecOp::Add, RecOp::First));
+//! let y1 = "      2 apple\n      1 beta\n";
+//! let y2 = "      3 beta\n      1 cat\n";
+//! let combined = eval(&g, y1, y2, &NoRunEnv).unwrap();
+//! assert_eq!(combined, "      2 apple\n      4 beta\n      1 cat\n");
+//!
+//! // Size (Definition 3.6) and the legal domain L(g) (Definition B.1).
+//! assert_eq!(g.size(), 5);
+//! assert!(kq_dsl::domain::in_domain(&g, y1));
+//! assert!(!kq_dsl::domain::in_domain(&g, "unpadded words\n"));
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod ast;
+pub mod domain;
+pub mod enumerate;
+pub mod eval;
+pub mod kway;
+pub mod repr;
+
+pub use ast::{Candidate, Combiner, RecOp, RunOp, StructOp};
+pub use enumerate::{enumerate_candidates, EnumConfig, SpaceBreakdown};
+pub use eval::{CommandEnv, EvalError, RunEnv};
+pub use kq_stream::Delim;
+pub use kway::{combine_all, combine_all_with, CombineStrategy};
+
+/// An observation `⟨y1, y2, y12⟩ = ⟨f(x1), f(x2), f(x1 ++ x2)⟩`
+/// (paper Definition 3.4/3.5).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Observation {
+    /// `f(x1)`.
+    pub y1: String,
+    /// `f(x2)`.
+    pub y2: String,
+    /// `f(x1 ++ x2)`.
+    pub y12: String,
+}
+
+impl Observation {
+    /// Convenience constructor.
+    pub fn new(y1: impl Into<String>, y2: impl Into<String>, y12: impl Into<String>) -> Self {
+        Observation {
+            y1: y1.into(),
+            y2: y2.into(),
+            y12: y12.into(),
+        }
+    }
+}
+
+/// `P(g, Y)` — plausibility (Definition 3.9): `g` is plausible for the
+/// observations iff every `y1, y2` lies in `L(g)` and `g y1 y2` evaluates
+/// exactly to `y12`.
+pub fn plausible(candidate: &Candidate, observations: &[Observation], env: &dyn RunEnv) -> bool {
+    observations.iter().all(|o| {
+        let (a, b) = candidate.oriented(&o.y1, &o.y2);
+        domain::in_domain(&candidate.op, a)
+            && domain::in_domain(&candidate.op, b)
+            && matches!(eval::eval(&candidate.op, a, b, env), Ok(v) if v == o.y12)
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use eval::NoRunEnv;
+
+    #[test]
+    fn plausibility_requires_domain_membership() {
+        // `add` on outputs that are not digit runs is implausible even when
+        // concatenation would match.
+        let cand = Candidate::rec(RecOp::Add);
+        let obs = vec![Observation::new("a\n", "b\n", "a\nb\n")];
+        assert!(!plausible(&cand, &obs, &NoRunEnv));
+    }
+
+    #[test]
+    fn concat_plausible_for_mapping_outputs() {
+        let cand = Candidate::rec(RecOp::Concat);
+        let obs = vec![
+            Observation::new("a\n", "b\n", "a\nb\n"),
+            Observation::new("x\ny\n", "z\n", "x\ny\nz\n"),
+        ];
+        assert!(plausible(&cand, &obs, &NoRunEnv));
+    }
+
+    #[test]
+    fn concat_rejected_by_counterexample() {
+        // The `uniq`-style boundary merge defeats concat.
+        let cand = Candidate::rec(RecOp::Concat);
+        let obs = vec![Observation::new("a\nb\n", "b\nc\n", "a\nb\nc\n")];
+        assert!(!plausible(&cand, &obs, &NoRunEnv));
+    }
+
+    #[test]
+    fn swapped_candidate_orients_arguments() {
+        let cand = Candidate {
+            op: Combiner::Rec(RecOp::First),
+            swapped: true,
+        };
+        // (first b a) == y2.
+        let obs = vec![Observation::new("l\n", "r\n", "r\n")];
+        assert!(plausible(&cand, &obs, &NoRunEnv));
+    }
+}

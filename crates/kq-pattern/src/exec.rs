@@ -1,0 +1,353 @@
+//! Backtracking execution of parsed BRE patterns.
+//!
+//! A continuation-passing backtracker: each piece matcher receives the
+//! current position and a continuation to invoke on every way it can match.
+//! Greedy `*` tries the longest repetition first, so the first accepted
+//! match is the greedy one — the behaviour `grep`/`sed` users expect for the
+//! corpus patterns. Captures live in a `RefCell` so the continuations can
+//! record and roll back group spans during backtracking.
+
+use crate::parse::{Ast, Atom, ClassItem, Piece};
+use std::cell::RefCell;
+
+type Caps = RefCell<Vec<Option<(usize, usize)>>>;
+
+struct Ctx<'a> {
+    text: &'a [char],
+    ci: bool,
+    caps: Caps,
+}
+
+impl<'a> Ctx<'a> {
+    fn eq_char(&self, a: char, b: char) -> bool {
+        if self.ci {
+            a.eq_ignore_ascii_case(&b)
+        } else {
+            a == b
+        }
+    }
+
+    fn class_contains(&self, negated: bool, items: &[ClassItem], c: char) -> bool {
+        let mut inside = false;
+        for item in items {
+            let hit = match item {
+                ClassItem::Char(x) => self.eq_char(c, *x),
+                ClassItem::Range(lo, hi) => {
+                    if self.ci {
+                        let cl = c.to_ascii_lowercase();
+                        let cu = c.to_ascii_uppercase();
+                        (*lo..=*hi).contains(&cl) || (*lo..=*hi).contains(&cu)
+                    } else {
+                        (*lo..=*hi).contains(&c)
+                    }
+                }
+                ClassItem::Posix(p) => {
+                    if self.ci {
+                        p.contains(c.to_ascii_lowercase()) || p.contains(c.to_ascii_uppercase())
+                    } else {
+                        p.contains(c)
+                    }
+                }
+            };
+            if hit {
+                inside = true;
+                break;
+            }
+        }
+        inside != negated
+    }
+
+    fn piece_match(&self, piece: &Piece, pos: usize, k: &mut dyn FnMut(usize) -> bool) -> bool {
+        match piece {
+            Piece::Literal(c) => {
+                if pos < self.text.len() && self.eq_char(self.text[pos], *c) {
+                    k(pos + 1)
+                } else {
+                    false
+                }
+            }
+            Piece::AnyChar => {
+                if pos < self.text.len() && self.text[pos] != '\n' {
+                    k(pos + 1)
+                } else {
+                    false
+                }
+            }
+            Piece::Class { negated, items } => {
+                if pos < self.text.len() && self.class_contains(*negated, items, self.text[pos]) {
+                    k(pos + 1)
+                } else {
+                    false
+                }
+            }
+            Piece::Backref(idx) => {
+                let span = self.caps.borrow()[*idx - 1];
+                match span {
+                    Some((s, e)) => {
+                        let len = e - s;
+                        if pos + len <= self.text.len()
+                            && (0..len).all(|i| self.eq_char(self.text[pos + i], self.text[s + i]))
+                        {
+                            k(pos + len)
+                        } else {
+                            false
+                        }
+                    }
+                    // POSIX: a backreference to a group that has not
+                    // participated in the match fails.
+                    None => false,
+                }
+            }
+            Piece::Group(idx, inner) => self.seq_match(&inner.atoms, 0, pos, &mut |p| {
+                let old = self.caps.borrow()[*idx - 1];
+                self.caps.borrow_mut()[*idx - 1] = Some((pos, p));
+                if k(p) {
+                    true
+                } else {
+                    self.caps.borrow_mut()[*idx - 1] = old;
+                    false
+                }
+            }),
+        }
+    }
+
+    fn star_match(&self, piece: &Piece, pos: usize, k: &mut dyn FnMut(usize) -> bool) -> bool {
+        // Greedy: attempt one more repetition first (progress required to
+        // avoid infinite recursion on nullable pieces), then fall back.
+        if self.piece_match(piece, pos, &mut |p| p > pos && self.star_match(piece, p, k)) {
+            return true;
+        }
+        k(pos)
+    }
+
+    fn seq_match(&self, atoms: &[Atom], i: usize, pos: usize, k: &mut dyn FnMut(usize) -> bool) -> bool {
+        match atoms.get(i) {
+            None => k(pos),
+            Some(atom) => {
+                if atom.star {
+                    self.star_match(&atom.piece, pos, &mut |p| self.seq_match(atoms, i + 1, p, k))
+                } else {
+                    self.piece_match(&atom.piece, pos, &mut |p| self.seq_match(atoms, i + 1, p, k))
+                }
+            }
+        }
+    }
+}
+
+fn count_groups(ast: &Ast) -> usize {
+    fn walk(atoms: &[Atom], max: &mut usize) {
+        for a in atoms {
+            if let Piece::Group(idx, inner) = &a.piece {
+                *max = (*max).max(*idx);
+                walk(&inner.atoms, max);
+            }
+        }
+    }
+    let mut max = 0;
+    walk(&ast.atoms, &mut max);
+    max
+}
+
+/// A successful match: char-index span plus group capture spans.
+pub(crate) struct MatchResult {
+    pub start: usize,
+    pub end: usize,
+    pub caps: Vec<Option<(usize, usize)>>,
+}
+
+pub(crate) fn search_chars(ast: &Ast, text: &[char], ci: bool) -> Option<MatchResult> {
+    let ngroups = count_groups(ast);
+    let starts: Box<dyn Iterator<Item = usize>> = if ast.anchored_start {
+        Box::new(std::iter::once(0))
+    } else {
+        Box::new(0..=text.len())
+    };
+    for start in starts {
+        let ctx = Ctx {
+            text,
+            ci,
+            caps: RefCell::new(vec![None; ngroups]),
+        };
+        let mut matched_end = None;
+        let anchored_end = ast.anchored_end;
+        ctx.seq_match(&ast.atoms, 0, start, &mut |p| {
+            if anchored_end && p != text.len() {
+                return false;
+            }
+            matched_end = Some(p);
+            true
+        });
+        if let Some(end) = matched_end {
+            return Some(MatchResult {
+                start,
+                end,
+                caps: ctx.caps.into_inner(),
+            });
+        }
+    }
+    None
+}
+
+/// Searches `line`, returning the byte range of the leftmost match.
+pub(crate) fn search(ast: &Ast, line: &str, ci: bool) -> Option<(usize, usize)> {
+    let chars: Vec<char> = line.chars().collect();
+    let m = search_chars(ast, &chars, ci)?;
+    // Convert char indices back to byte offsets.
+    let mut byte_offsets: Vec<usize> = Vec::with_capacity(chars.len() + 1);
+    let mut off = 0;
+    for c in &chars {
+        byte_offsets.push(off);
+        off += c.len_utf8();
+    }
+    byte_offsets.push(off);
+    Some((byte_offsets[m.start], byte_offsets[m.end]))
+}
+
+fn expand_replacement(
+    template: &str,
+    text: &[char],
+    m: &MatchResult,
+    out: &mut String,
+) {
+    let mut it = template.chars().peekable();
+    while let Some(c) = it.next() {
+        match c {
+            '&' => out.extend(&text[m.start..m.end]),
+            '\\' => match it.next() {
+                Some(d @ '1'..='9') => {
+                    let idx = d.to_digit(10).unwrap() as usize;
+                    if let Some(Some((s, e))) = m.caps.get(idx - 1) {
+                        out.extend(&text[*s..*e]);
+                    }
+                }
+                Some('n') => out.push('\n'),
+                Some('t') => out.push('\t'),
+                Some(other) => out.push(other),
+                None => out.push('\\'),
+            },
+            other => out.push(other),
+        }
+    }
+}
+
+/// Implements `sed`-style substitution over a single line.
+pub(crate) fn replace(ast: &Ast, line: &str, template: &str, global: bool, ci: bool) -> String {
+    let chars: Vec<char> = line.chars().collect();
+    let mut out = String::with_capacity(line.len());
+    let mut pos = 0usize;
+    loop {
+        let rest = &chars[pos..];
+        let Some(m) = search_chars(ast, rest, ci) else {
+            out.extend(&chars[pos..]);
+            break;
+        };
+        // For anchored-start patterns a match is only valid at pos == 0 of
+        // the remaining text when pos == 0 overall (e.g. 's/^/p/' fires once).
+        if ast.anchored_start && pos > 0 {
+            out.extend(&chars[pos..]);
+            break;
+        }
+        let (abs_start, abs_end) = (pos + m.start, pos + m.end);
+        out.extend(&chars[pos..abs_start]);
+        let shifted = MatchResult {
+            start: abs_start,
+            end: abs_end,
+            caps: m
+                .caps
+                .iter()
+                .map(|c| c.map(|(s, e)| (s + pos, e + pos)))
+                .collect(),
+        };
+        expand_replacement(template, &chars, &shifted, &mut out);
+        if !global {
+            out.extend(&chars[abs_end..]);
+            break;
+        }
+        if abs_end == pos + m.start && abs_end == abs_start {
+            // Empty match: copy one char forward to guarantee progress.
+            if abs_end < chars.len() {
+                out.push(chars[abs_end]);
+                pos = abs_end + 1;
+            } else {
+                break;
+            }
+        } else {
+            pos = abs_end;
+        }
+        if pos > chars.len() {
+            break;
+        }
+        if pos == chars.len() && !ast.anchored_end {
+            // One final empty-position match opportunity only for patterns
+            // that can match empty; search above will handle it next loop.
+        }
+        if pos >= chars.len() {
+            // Allow one trailing empty match (e.g. 's/x*/-/g' on "ab" ends
+            // with "-a-b-").
+            if let Some(m2) = search_chars(ast, &[], ci) {
+                if m2.start == 0 && m2.end == 0 && !ast.anchored_start {
+                    let shifted = MatchResult {
+                        start: chars.len(),
+                        end: chars.len(),
+                        caps: m2.caps,
+                    };
+                    expand_replacement(template, &chars, &shifted, &mut out);
+                }
+            }
+            break;
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parse::parse;
+
+    fn find(pat: &str, s: &str) -> Option<(usize, usize)> {
+        search(&parse(pat).unwrap(), s, false)
+    }
+
+    #[test]
+    fn greedy_star_longest() {
+        assert_eq!(find("a*", "aaab"), Some((0, 3)));
+    }
+
+    #[test]
+    fn leftmost_match_wins() {
+        assert_eq!(find("ab", "xxabyyab"), Some((2, 4)));
+    }
+
+    #[test]
+    fn backref_backtracking() {
+        // Group must backtrack to a shorter capture for \1 to match.
+        assert!(find("\\(a*\\)b\\1", "aabaa").is_some());
+    }
+
+    #[test]
+    fn anchored_end_forces_full_suffix() {
+        assert_eq!(find("ab$", "abab"), Some((2, 4)));
+        assert_eq!(find("ab$", "abx"), None);
+    }
+
+    #[test]
+    fn utf8_byte_offsets() {
+        // Multibyte characters before the match must not corrupt offsets.
+        let (s, e) = find("b", "émfbx").unwrap();
+        assert_eq!(&"émfbx"[s..e], "b");
+    }
+
+    #[test]
+    fn replace_with_group_shift() {
+        // Replacement after a prefix exercises capture-offset shifting.
+        let ast = parse("b\\(c\\)").unwrap();
+        assert_eq!(replace(&ast, "aabcd", "[\\1]", false, false), "aa[c]d");
+    }
+
+    #[test]
+    fn global_replace_nonoverlapping() {
+        let ast = parse("aa").unwrap();
+        assert_eq!(replace(&ast, "aaaa", "-", true, false), "--");
+    }
+}

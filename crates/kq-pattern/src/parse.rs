@@ -1,0 +1,376 @@
+//! BRE pattern parser.
+//!
+//! Grammar (the subset exercised by the benchmark corpus, which is the
+//! standard BRE core):
+//!
+//! ```text
+//! pattern := '^'? atom* '$'?
+//! atom    := piece '*'?
+//! piece   := '.' | literal | '\' escaped | bracket | '\(' pattern '\)' | '\N'
+//! bracket := '[' '^'? item+ ']'    item := class | range | char
+//! class   := '[:' name ':]'
+//! ```
+//!
+//! BRE quirks implemented: `^` is an anchor only as the first character and
+//! `$` only as the last (literals elsewhere); `*` as the first character is
+//! a literal; `]` first inside a bracket is a literal; `-` first or last in
+//! a bracket is a literal.
+
+use std::fmt;
+
+/// A parse failure, with the byte offset of the offending character.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseError {
+    /// Byte position in the pattern.
+    pub pos: usize,
+    /// Human-readable description.
+    pub message: String,
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "regex parse error at byte {}: {}", self.pos, self.message)
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+/// One element of a bracket expression.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ClassItem {
+    /// A single character.
+    Char(char),
+    /// An inclusive character range `a-z`.
+    Range(char, char),
+    /// A named POSIX class, e.g. `[:punct:]`.
+    Posix(PosixClass),
+}
+
+/// Named POSIX character classes appearing in the corpus.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PosixClass {
+    Alpha,
+    Digit,
+    Alnum,
+    Upper,
+    Lower,
+    Punct,
+    Space,
+}
+
+impl PosixClass {
+    pub(crate) fn contains(self, c: char) -> bool {
+        match self {
+            PosixClass::Alpha => c.is_ascii_alphabetic(),
+            PosixClass::Digit => c.is_ascii_digit(),
+            PosixClass::Alnum => c.is_ascii_alphanumeric(),
+            PosixClass::Upper => c.is_ascii_uppercase(),
+            PosixClass::Lower => c.is_ascii_lowercase(),
+            PosixClass::Punct => c.is_ascii_punctuation(),
+            PosixClass::Space => c == ' ' || ('\t'..='\r').contains(&c),
+        }
+    }
+
+    /// Representative members, used by the sampler.
+    pub(crate) fn members(self) -> &'static [char] {
+        match self {
+            PosixClass::Alpha => &['a', 'b', 'q', 'Z', 'M'],
+            PosixClass::Digit => &['0', '1', '5', '9'],
+            PosixClass::Alnum => &['a', 'Z', '3'],
+            PosixClass::Upper => &['A', 'Q', 'Z'],
+            PosixClass::Lower => &['a', 'q', 'z'],
+            PosixClass::Punct => &['!', '.', ';', '-'],
+            PosixClass::Space => &[' ', '\t'],
+        }
+    }
+
+    fn from_name(name: &str) -> Option<PosixClass> {
+        Some(match name {
+            "alpha" => PosixClass::Alpha,
+            "digit" => PosixClass::Digit,
+            "alnum" => PosixClass::Alnum,
+            "upper" => PosixClass::Upper,
+            "lower" => PosixClass::Lower,
+            "punct" => PosixClass::Punct,
+            "space" => PosixClass::Space,
+            _ => return None,
+        })
+    }
+}
+
+/// A single matchable unit.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Piece {
+    /// A literal character.
+    Literal(char),
+    /// `.` — any character except newline.
+    AnyChar,
+    /// A bracket expression; `negated` for `[^...]`.
+    Class { negated: bool, items: Vec<ClassItem> },
+    /// `\(..\)` capture group, with its 1-based index.
+    Group(usize, Box<Ast>),
+    /// `\N` backreference to group N.
+    Backref(usize),
+}
+
+/// A piece plus its quantifier.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Atom {
+    pub piece: Piece,
+    /// True when followed by `*` (zero or more repetitions).
+    pub star: bool,
+}
+
+/// A parsed pattern: optional anchors around a sequence of atoms.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct Ast {
+    pub anchored_start: bool,
+    pub anchored_end: bool,
+    pub atoms: Vec<Atom>,
+}
+
+struct Parser<'a> {
+    chars: Vec<char>,
+    pos: usize,
+    group_count: usize,
+    pattern: &'a str,
+}
+
+/// Parses a BRE pattern into an [`Ast`].
+pub fn parse(pattern: &str) -> Result<Ast, ParseError> {
+    let mut p = Parser {
+        chars: pattern.chars().collect(),
+        pos: 0,
+        group_count: 0,
+        pattern,
+    };
+    let ast = p.parse_sequence(true)?;
+    if p.pos != p.chars.len() {
+        return Err(p.err("unbalanced group close"));
+    }
+    Ok(ast)
+}
+
+impl<'a> Parser<'a> {
+    fn err(&self, message: &str) -> ParseError {
+        ParseError {
+            pos: self.pos.min(self.pattern.len()),
+            message: message.to_owned(),
+        }
+    }
+
+    fn peek(&self) -> Option<char> {
+        self.chars.get(self.pos).copied()
+    }
+
+    fn bump(&mut self) -> Option<char> {
+        let c = self.peek();
+        if c.is_some() {
+            self.pos += 1;
+        }
+        c
+    }
+
+    /// Parses a sequence of atoms until end of pattern or `\)`.
+    /// `top_level` controls anchor interpretation.
+    fn parse_sequence(&mut self, top_level: bool) -> Result<Ast, ParseError> {
+        let mut ast = Ast::default();
+        if top_level && self.peek() == Some('^') {
+            ast.anchored_start = true;
+            self.pos += 1;
+        }
+        loop {
+            match self.peek() {
+                None => break,
+                Some('\\') if self.chars.get(self.pos + 1) == Some(&')') => break,
+                Some('$') if top_level && self.pos + 1 == self.chars.len() => {
+                    ast.anchored_end = true;
+                    self.pos += 1;
+                    break;
+                }
+                Some(_) => {
+                    let piece = self.parse_piece(ast.atoms.is_empty() && !ast.anchored_start)?;
+                    let star = if self.peek() == Some('*') {
+                        self.pos += 1;
+                        true
+                    } else {
+                        false
+                    };
+                    ast.atoms.push(Atom { piece, star });
+                }
+            }
+        }
+        Ok(ast)
+    }
+
+    fn parse_piece(&mut self, first: bool) -> Result<Piece, ParseError> {
+        let c = self.bump().ok_or_else(|| self.err("unexpected end"))?;
+        Ok(match c {
+            '.' => Piece::AnyChar,
+            '[' => self.parse_bracket()?,
+            '*' if first => Piece::Literal('*'), // BRE: leading '*' is literal
+            '\\' => {
+                let e = self.bump().ok_or_else(|| self.err("dangling backslash"))?;
+                match e {
+                    '(' => {
+                        self.group_count += 1;
+                        let idx = self.group_count;
+                        let inner = self.parse_sequence(false)?;
+                        // consume "\)"
+                        if self.bump() != Some('\\') || self.bump() != Some(')') {
+                            return Err(self.err("unterminated group"));
+                        }
+                        Piece::Group(idx, Box::new(inner))
+                    }
+                    '1'..='9' => {
+                        let idx = e.to_digit(10).unwrap() as usize;
+                        if idx > self.group_count {
+                            return Err(self.err("backreference to undefined group"));
+                        }
+                        Piece::Backref(idx)
+                    }
+                    'n' => Piece::Literal('\n'),
+                    't' => Piece::Literal('\t'),
+                    's' => Piece::Class {
+                        // GNU extension used by some scripts: \s = blank.
+                        negated: false,
+                        items: vec![ClassItem::Posix(PosixClass::Space)],
+                    },
+                    other => Piece::Literal(other),
+                }
+            }
+            other => Piece::Literal(other),
+        })
+    }
+
+    fn parse_bracket(&mut self) -> Result<Piece, ParseError> {
+        let negated = if self.peek() == Some('^') {
+            self.pos += 1;
+            true
+        } else {
+            false
+        };
+        let mut items = Vec::new();
+        // ']' immediately after '[' or '[^' is a literal.
+        if self.peek() == Some(']') {
+            items.push(ClassItem::Char(']'));
+            self.pos += 1;
+        }
+        loop {
+            let c = self
+                .bump()
+                .ok_or_else(|| self.err("unterminated bracket expression"))?;
+            match c {
+                ']' => break,
+                '[' if self.peek() == Some(':') => {
+                    // POSIX class [:name:]
+                    self.pos += 1; // ':'
+                    let start = self.pos;
+                    while let Some(c) = self.peek() {
+                        if c == ':' {
+                            break;
+                        }
+                        self.pos += 1;
+                    }
+                    let name: String = self.chars[start..self.pos].iter().collect();
+                    if self.bump() != Some(':') || self.bump() != Some(']') {
+                        return Err(self.err("unterminated POSIX class"));
+                    }
+                    let class = PosixClass::from_name(&name)
+                        .ok_or_else(|| self.err("unknown POSIX class"))?;
+                    items.push(ClassItem::Posix(class));
+                }
+                lo => {
+                    // Possible range lo-hi, unless '-' is last before ']'.
+                    if self.peek() == Some('-')
+                        && self.chars.get(self.pos + 1).is_some_and(|&c| c != ']')
+                    {
+                        self.pos += 1; // '-'
+                        let hi = self.bump().ok_or_else(|| self.err("unterminated range"))?;
+                        if hi < lo {
+                            return Err(self.err("reversed character range"));
+                        }
+                        items.push(ClassItem::Range(lo, hi));
+                    } else {
+                        items.push(ClassItem::Char(lo));
+                    }
+                }
+            }
+        }
+        if items.is_empty() {
+            return Err(self.err("empty bracket expression"));
+        }
+        Ok(Piece::Class { negated, items })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_plain_literal() {
+        let ast = parse("abc").unwrap();
+        assert_eq!(ast.atoms.len(), 3);
+        assert!(!ast.anchored_start && !ast.anchored_end);
+    }
+
+    #[test]
+    fn parses_anchors() {
+        let ast = parse("^ab$").unwrap();
+        assert!(ast.anchored_start && ast.anchored_end);
+        assert_eq!(ast.atoms.len(), 2);
+    }
+
+    #[test]
+    fn parses_star() {
+        let ast = parse("ab*").unwrap();
+        assert!(!ast.atoms[0].star);
+        assert!(ast.atoms[1].star);
+    }
+
+    #[test]
+    fn parses_group_with_index() {
+        let ast = parse("\\(a\\)\\1").unwrap();
+        match &ast.atoms[0].piece {
+            Piece::Group(1, inner) => assert_eq!(inner.atoms.len(), 1),
+            other => panic!("expected group, got {other:?}"),
+        }
+        assert_eq!(ast.atoms[1].piece, Piece::Backref(1));
+    }
+
+    #[test]
+    fn rejects_forward_backref() {
+        assert!(parse("\\1").is_err());
+    }
+
+    #[test]
+    fn rejects_unterminated_bracket() {
+        assert!(parse("[abc").is_err());
+        assert!(parse("[a-").is_err());
+    }
+
+    #[test]
+    fn rejects_unknown_posix_class() {
+        assert!(parse("[[:bogus:]]").is_err());
+    }
+
+    #[test]
+    fn nested_groups_number_in_order() {
+        let ast = parse("\\(a\\(b\\)\\)").unwrap();
+        match &ast.atoms[0].piece {
+            Piece::Group(1, inner) => match &inner.atoms[1].piece {
+                Piece::Group(2, _) => {}
+                other => panic!("expected inner group 2, got {other:?}"),
+            },
+            other => panic!("expected outer group, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn dollar_inside_is_literal() {
+        let ast = parse("a$b").unwrap();
+        assert_eq!(ast.atoms[1].piece, Piece::Literal('$'));
+        assert!(!ast.anchored_end);
+    }
+}

@@ -1,0 +1,384 @@
+//! Chunked, dynamically load-balanced parallel executor.
+//!
+//! [`run_parallel`](crate::exec::run_parallel) splits each stage input
+//! into exactly `w` equal pieces — static assignment, one piece per
+//! worker. That replicates the paper's executor, but a piece whose lines
+//! are expensive (long lines for a backtracking `grep`, say) straggles and
+//! the whole stage waits on it.
+//!
+//! This executor instead cuts the input into many small line-aligned
+//! chunks ([`kq_stream::split_chunks`]) and feeds them to a fixed pool of
+//! `workers` threads over a bounded [crossbeam channel]: workers pull the
+//! next chunk as they finish (work stealing by queue), so uneven chunk
+//! costs even out. Chunk outputs are reassembled in input order — the
+//! combiners assume adjacent pieces — and combined once per segment with
+//! the synthesized combiner, exactly like the static executor.
+//!
+//! The result is byte-identical to the serial execution (asserted across
+//! the corpus in `tests/chunked_executor.rs`): correctness comes from the
+//! combiner equation, not from the schedule.
+//!
+//! [crossbeam channel]: crossbeam::channel
+
+use crate::exec::{ExecutionResult, StageTiming, TimingLog};
+use crate::parse::{InputSource, Script};
+use crate::plan::{PlannedScript, StageMode, StageSegment};
+use crossbeam::channel;
+use kq_coreutils::{CmdError, Command, ExecContext};
+use kq_dsl::eval::CommandEnv;
+use kq_stream::split_chunks;
+use std::time::{Duration, Instant};
+
+/// Tuning for the chunked executor.
+#[derive(Debug, Clone)]
+pub struct ChunkedOptions {
+    /// Worker threads in the pool.
+    pub workers: usize,
+    /// Target chunk size in bytes; the chunk count per segment is
+    /// `input_len / chunk_bytes` (at least 1). Smaller chunks balance
+    /// better but pay more per-chunk overhead and more combine work.
+    pub chunk_bytes: usize,
+    /// Apply the Theorem 5 elimination (segments span eliminated
+    /// combiners). `false` reproduces the unoptimized configuration.
+    pub honor_elimination: bool,
+}
+
+impl Default for ChunkedOptions {
+    fn default() -> Self {
+        ChunkedOptions {
+            workers: 4,
+            chunk_bytes: 64 * 1024,
+            honor_elimination: true,
+        }
+    }
+}
+
+/// Runs `chain` (one segment's commands) over one chunk.
+fn run_chain(
+    chain: &[&Command],
+    chunk: &str,
+    ctx: &ExecContext,
+) -> Result<String, CmdError> {
+    let mut cur = chunk.to_owned();
+    for cmd in chain {
+        cur = cmd.run(&cur, ctx)?;
+    }
+    Ok(cur)
+}
+
+/// Processes `input` through `chain` on a pool of `workers` threads,
+/// returning the per-chunk outputs in input order together with each
+/// chunk's wall-clock cost.
+fn pooled_map(
+    chain: &[&Command],
+    input: &str,
+    ctx: &ExecContext,
+    opts: &ChunkedOptions,
+) -> Result<(Vec<String>, Vec<Duration>), CmdError> {
+    let chunks = split_chunks(input, opts.chunk_bytes);
+    let n = chunks.len();
+    if n == 0 {
+        return Ok((Vec::new(), Vec::new()));
+    }
+    let mut outputs: Vec<Option<String>> = vec![None; n];
+    let mut times: Vec<Duration> = vec![Duration::ZERO; n];
+    let workers = opts.workers.max(1).min(n);
+
+    // Bounded task channel: the feeder blocks once the pool is saturated,
+    // so in-flight chunk *inputs* stay bounded by `2 × workers` even for
+    // huge streams. Results are collected unordered and slotted by index.
+    let (task_tx, task_rx) = channel::bounded::<(usize, &str)>(workers * 2);
+    let (result_tx, result_rx) =
+        channel::unbounded::<(usize, Duration, Result<String, CmdError>)>();
+
+    std::thread::scope(|scope| {
+        for _ in 0..workers {
+            let task_rx = task_rx.clone();
+            let result_tx = result_tx.clone();
+            scope.spawn(move || {
+                for (idx, chunk) in task_rx.iter() {
+                    let t0 = Instant::now();
+                    let out = run_chain(chain, chunk, ctx);
+                    if result_tx.send((idx, t0.elapsed(), out)).is_err() {
+                        break;
+                    }
+                }
+            });
+        }
+        drop(task_rx);
+        drop(result_tx);
+        // Feed from this thread; workers drain concurrently.
+        for (idx, chunk) in chunks.iter().enumerate() {
+            task_tx
+                .send((idx, chunk))
+                .expect("worker pool hung up before consuming all chunks");
+        }
+        drop(task_tx);
+        // Collect every result (also drains errors so workers never block).
+        let mut first_err: Option<CmdError> = None;
+        for (idx, elapsed, out) in result_rx.iter() {
+            times[idx] = elapsed;
+            match out {
+                Ok(o) => outputs[idx] = Some(o),
+                Err(e) => first_err = first_err.or(Some(e)),
+            }
+        }
+        match first_err {
+            Some(e) => Err(e),
+            None => Ok(()),
+        }
+    })?;
+
+    let outputs: Vec<String> = outputs
+        .into_iter()
+        .map(|o| o.expect("every chunk produced an output"))
+        .collect();
+    Ok((outputs, times))
+}
+
+/// Runs a planned script with the chunked executor.
+///
+/// Sequential stages run whole; each parallel segment is chunk-mapped on
+/// the worker pool and combined once with the segment's closing combiner.
+pub fn run_chunked(
+    script: &Script,
+    plan: &PlannedScript,
+    ctx: &ExecContext,
+    opts: &ChunkedOptions,
+) -> Result<ExecutionResult, CmdError> {
+    let mut output = String::new();
+    let mut timings = TimingLog::default();
+    for (statement, planned) in script.statements.iter().zip(&plan.statements) {
+        let mut stream = gather_input(&statement.input, ctx)?;
+        let mut stage_timings = Vec::new();
+        for segment in planned.segments(opts.honor_elimination) {
+            match segment {
+                StageSegment::Sequential { stage } => {
+                    let cmd = &statement.stages[stage].command;
+                    let bytes_in = stream.len();
+                    let t0 = Instant::now();
+                    let out = cmd.run(&stream, ctx)?;
+                    stage_timings.push(StageTiming {
+                        label: cmd.display(),
+                        parallel: false,
+                        eliminated: false,
+                        piece_times: vec![t0.elapsed()],
+                        combine_time: Duration::ZERO,
+                        bytes_in,
+                        bytes_out: out.len(),
+                        bytes_out_pieces: out.len(),
+                    });
+                    stream = out;
+                }
+                StageSegment::Parallel { stages } => {
+                    let chain: Vec<&Command> = stages
+                        .clone()
+                        .map(|i| &statement.stages[i].command)
+                        .collect();
+                    let closing = stages.end - 1;
+                    let StageMode::Parallel { combiner, .. } =
+                        &planned.stages[closing].mode
+                    else {
+                        unreachable!("parallel segment ends on a parallel stage");
+                    };
+                    let bytes_in = stream.len();
+                    let (pieces, piece_times) = pooled_map(&chain, &stream, ctx, opts)?;
+                    let closing_cmd = &statement.stages[closing].command;
+                    let env = CommandEnv {
+                        command: closing_cmd,
+                        ctx,
+                    };
+                    let bytes_out_pieces: usize = pieces.iter().map(String::len).sum();
+                    let t0 = Instant::now();
+                    let combined = combiner
+                        .combine_all(&pieces, &env)
+                        .map_err(|e| CmdError::new(closing_cmd.display(), e.to_string()))?;
+                    let combine_time = t0.elapsed();
+                    stage_timings.push(StageTiming {
+                        label: chain
+                            .iter()
+                            .map(|c| c.display())
+                            .collect::<Vec<_>>()
+                            .join(" | "),
+                        parallel: true,
+                        eliminated: false,
+                        piece_times,
+                        combine_time,
+                        bytes_in,
+                        bytes_out: combined.len(),
+                        bytes_out_pieces,
+                    });
+                    stream = combined;
+                }
+            }
+        }
+        timings.statements.push(stage_timings);
+        match &statement.output {
+            Some(target) => ctx.vfs.write(target.clone(), stream),
+            None => output.push_str(&stream),
+        }
+    }
+    Ok(ExecutionResult { output, timings })
+}
+
+fn gather_input(input: &InputSource, ctx: &ExecContext) -> Result<String, CmdError> {
+    match input {
+        InputSource::None => Ok(String::new()),
+        InputSource::Files(files) => {
+            let mut buf = String::new();
+            for f in files {
+                match ctx.vfs.read(f) {
+                    Some(content) => buf.push_str(&content),
+                    None => {
+                        return Err(CmdError::new(
+                            "cat",
+                            format!("{f}: No such file or directory"),
+                        ))
+                    }
+                }
+            }
+            Ok(buf)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::exec::run_serial;
+    use crate::parse::parse_script;
+    use crate::plan::Planner;
+    use kq_synth::SynthesisConfig;
+    use std::collections::HashMap;
+
+    fn make_input(lines: usize) -> String {
+        let words = ["apple", "dog", "cat", "apple", "bird", "cat", "fox"];
+        let mut s = String::new();
+        for i in 0..lines {
+            s.push_str(&format!(
+                "{} {} line {}\n",
+                words[i % words.len()],
+                words[(i * 3 + 1) % words.len()],
+                i % 11
+            ));
+        }
+        s
+    }
+
+    fn check(script_text: &str, chunk_bytes: usize) {
+        let env: HashMap<String, String> = HashMap::new();
+        let script = parse_script(script_text, &env).unwrap();
+        let ctx = ExecContext::default();
+        ctx.vfs.write("/in.txt", make_input(500));
+        let serial = run_serial(&script, &ctx).unwrap();
+        let mut planner = Planner::new(SynthesisConfig::default());
+        let plan = planner.plan(&script, &ctx, &make_input(100));
+        for workers in [1, 3, 8] {
+            for honor in [true, false] {
+                let opts = ChunkedOptions {
+                    workers,
+                    chunk_bytes,
+                    honor_elimination: honor,
+                };
+                let got = run_chunked(&script, &plan, &ctx, &opts).unwrap();
+                assert_eq!(
+                    got.output, serial.output,
+                    "{script_text:?} differs (w={workers}, chunk={chunk_bytes}, opt={honor})"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn word_frequency_many_small_chunks() {
+        check(
+            "cat /in.txt | cut -d ' ' -f 1 | sort | uniq -c | sort -rn",
+            256,
+        );
+    }
+
+    #[test]
+    fn counting_pipeline_chunks() {
+        check("cat /in.txt | grep apple | wc -l", 512);
+    }
+
+    #[test]
+    fn uniq_boundary_chunks() {
+        check("cat /in.txt | sort | uniq", 300);
+    }
+
+    #[test]
+    fn chunk_larger_than_input_degenerates_to_serial() {
+        check("cat /in.txt | sort | uniq -c", 10_000_000);
+    }
+
+    #[test]
+    fn rerun_segment_chunks() {
+        check("cat /in.txt | sort -u | head -n 3", 400);
+    }
+
+    #[test]
+    fn empty_input_is_fine() {
+        let env: HashMap<String, String> = HashMap::new();
+        let script = parse_script("cat /empty | sort | uniq -c", &env).unwrap();
+        let ctx = ExecContext::default();
+        ctx.vfs.write("/empty", "");
+        let mut planner = Planner::new(SynthesisConfig::default());
+        let plan = planner.plan(&script, &ctx, &make_input(50));
+        let got = run_chunked(&script, &plan, &ctx, &ChunkedOptions::default()).unwrap();
+        assert_eq!(got.output, "");
+    }
+
+    #[test]
+    fn timing_log_reports_chunk_counts() {
+        let env: HashMap<String, String> = HashMap::new();
+        let script = parse_script("cat /in.txt | tr A-Z a-z | sort", &env).unwrap();
+        let ctx = ExecContext::default();
+        let input = make_input(400);
+        ctx.vfs.write("/in.txt", &input);
+        let mut planner = Planner::new(SynthesisConfig::default());
+        let plan = planner.plan(&script, &ctx, &input);
+        let opts = ChunkedOptions {
+            workers: 2,
+            chunk_bytes: 1024,
+            honor_elimination: true,
+        };
+        let got = run_chunked(&script, &plan, &ctx, &opts).unwrap();
+        let stages = &got.timings.statements[0];
+        // tr|sort fuse into one segment; ~input/1024 chunks.
+        assert_eq!(stages.len(), 1);
+        assert!(
+            stages[0].piece_times.len() >= input.len() / 1024,
+            "expected many chunks, got {}",
+            stages[0].piece_times.len()
+        );
+        assert!(stages[0].label.contains('|'));
+    }
+
+    #[test]
+    fn command_error_propagates_cleanly() {
+        let env: HashMap<String, String> = HashMap::new();
+        // comm errors on unsorted input pieces.
+        let script = parse_script("cat /in.txt | comm -23 - /dict", &env).unwrap();
+        let ctx = ExecContext::default();
+        ctx.vfs.write("/in.txt", "zebra\napple\nzebra\napple\n".repeat(50));
+        ctx.vfs.write("/dict", "apple\n");
+        let mut planner = Planner::new(SynthesisConfig::default());
+        let plan = planner.plan(&script, &ctx, "b\na\n");
+        // Regardless of the plan, execution either succeeds with serial
+        // semantics or surfaces the command error — it must not hang.
+        let serial = run_serial(&script, &ctx);
+        let chunked = run_chunked(&script, &plan, &ctx, &ChunkedOptions::default());
+        match (serial, chunked) {
+            (Ok(s), Ok(c)) => assert_eq!(s.output, c.output),
+            (Err(_), Err(_)) => {}
+            (Ok(_), Err(e)) => {
+                // The chunked run may only fail if the plan kept the stage
+                // parallel with a rerun combiner that hits comm's sorted
+                // check; the planner probes prevent that, so flag it.
+                panic!("chunked failed where serial succeeded: {e}");
+            }
+            (Err(e), Ok(_)) => panic!("serial failed unexpectedly: {e}"),
+        }
+    }
+}

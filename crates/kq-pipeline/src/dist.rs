@@ -1,0 +1,280 @@
+//! Distributed-execution cost model.
+//!
+//! The paper's combiners are exactly what distributed shells (POSH [18],
+//! PaSh [26]) need to run pipeline stages on *multiple machines*: split
+//! the stream across nodes, run the unmodified command per node, and
+//! combine. This module extends the measured-cost scheduler
+//! ([`crate::sim`]) with a network: it replays a measured [`TimingLog`]
+//! on a cluster of `n` nodes × `w` workers connected by finite-bandwidth
+//! links, and prices the two combine placements:
+//!
+//! * **central** — every piece output travels to the coordinator, which
+//!   runs the synthesized combiner once (what a naive port of the
+//!   single-machine executor would do);
+//! * **hierarchical** — each node combines its local pieces first and
+//!   ships only the *combined* output; the coordinator merges the `n`
+//!   node-level results. Sound because KumQuat combiners are associative
+//!   over adjacent pieces (the same property the k-way tree fold relies
+//!   on, §3.5).
+//!
+//! The model shows the interaction the ablation bench quantifies: for
+//! *shrinking* combiners (`uniq -c`'s stitch2, `sort`'s duplicate-free
+//! merges, `wc -l`'s sums) hierarchical combining moves a fraction of the
+//! bytes and wins by up to the shrink factor; for `concat` there is
+//! nothing to shrink and the placements tie.
+
+use crate::exec::TimingLog;
+use std::time::Duration;
+
+/// Cluster shape and network parameters.
+#[derive(Debug, Clone)]
+pub struct ClusterParams {
+    /// Number of nodes; node 0 is the coordinator holding the input.
+    pub nodes: usize,
+    /// Worker slots per node.
+    pub workers_per_node: usize,
+    /// One-way message latency per transfer.
+    pub net_latency: Duration,
+    /// Per-link bandwidth in bytes/second (the coordinator's NIC is the
+    /// shared bottleneck for scatter and central gather).
+    pub net_bandwidth: f64,
+    /// Fixed overhead per stage invocation per node (process spawn).
+    pub spawn: Duration,
+}
+
+impl ClusterParams {
+    /// A `nodes × workers` cluster over a 1 Gbit/s network with 100 µs
+    /// latency — commodity-cluster defaults.
+    pub fn commodity(nodes: usize, workers_per_node: usize) -> ClusterParams {
+        ClusterParams {
+            nodes,
+            workers_per_node,
+            net_latency: Duration::from_micros(100),
+            net_bandwidth: 125_000_000.0, // 1 Gbit/s in bytes/s
+            spawn: Duration::from_micros(300),
+        }
+    }
+
+    fn transfer(&self, bytes: f64) -> Duration {
+        if bytes <= 0.0 {
+            return Duration::ZERO;
+        }
+        self.net_latency + Duration::from_secs_f64(bytes / self.net_bandwidth)
+    }
+}
+
+/// Where the combiner runs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CombinePlacement {
+    /// All piece outputs travel to the coordinator; one combine.
+    Central,
+    /// Per-node combine first, then a coordinator merge of `n` results.
+    Hierarchical,
+}
+
+/// Predicted cost of one distributed schedule.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DistCosts {
+    /// Predicted wall-clock.
+    pub wall: Duration,
+    /// Bytes moved over the network.
+    pub net_bytes: u64,
+}
+
+/// Greedy longest-processing-time assignment of piece durations onto
+/// `slots` workers; returns the makespan.
+fn makespan(piece_times: &[Duration], slots: usize) -> Duration {
+    if piece_times.is_empty() || slots == 0 {
+        return Duration::ZERO;
+    }
+    let mut sorted: Vec<Duration> = piece_times.to_vec();
+    sorted.sort_unstable_by(|a, b| b.cmp(a));
+    let mut loads = vec![Duration::ZERO; slots.min(sorted.len())];
+    for t in sorted {
+        let min = loads
+            .iter_mut()
+            .min()
+            .expect("at least one slot");
+        *min += t;
+    }
+    loads.into_iter().max().unwrap_or(Duration::ZERO)
+}
+
+/// Replays a measured log on the cluster and prices the schedule.
+///
+/// The log must come from
+/// [`run_parallel_measured`](crate::exec::run_parallel_measured) with
+/// elimination *off* and `workers = nodes × workers_per_node`, so each
+/// stage's piece list matches the cluster's total slot count and every
+/// stage records its real combine cost.
+pub fn distributed_time(
+    log: &TimingLog,
+    cluster: &ClusterParams,
+    placement: CombinePlacement,
+) -> DistCosts {
+    let n = cluster.nodes.max(1);
+    let mut wall = Duration::ZERO;
+    let mut net_bytes = 0u64;
+    for stages in &log.statements {
+        for st in stages {
+            if !st.parallel || n == 1 {
+                // Sequential stage (or single node): runs on the
+                // coordinator where the data already lives.
+                wall += cluster.spawn + st.piece_times.iter().sum::<Duration>()
+                    + st.combine_time;
+                continue;
+            }
+            // Scatter: (n-1)/n of the input leaves the coordinator's NIC.
+            let remote_in = st.bytes_in as f64 * (n as f64 - 1.0) / n as f64;
+            wall += cluster.transfer(remote_in);
+            net_bytes += remote_in as u64;
+
+            // Compute: pieces spread over all slots.
+            let slots = n * cluster.workers_per_node.max(1);
+            wall += cluster.spawn + makespan(&st.piece_times, slots);
+
+            // Gather + combine.
+            let out = st.bytes_out as f64;
+            let piece_out_total = (st.bytes_out_pieces as f64).max(out);
+            match placement {
+                CombinePlacement::Central => {
+                    // Every piece output travels: the pre-combine total.
+                    let remote_out = piece_out_total * (n as f64 - 1.0) / n as f64;
+                    wall += cluster.transfer(remote_out);
+                    net_bytes += remote_out as u64;
+                    wall += st.combine_time;
+                }
+                CombinePlacement::Hierarchical => {
+                    // Each node combines its local share first (the
+                    // combine cost is linear in bytes for every DSL
+                    // combiner, so a 1/n share costs ~1/n; node combines
+                    // run concurrently).
+                    let local_combine = st.combine_time.div_f64(n as f64);
+                    wall += local_combine;
+                    // Only the node-level results move: the combined
+                    // output shrinks to `bytes_out`, of which (n-1)/n is
+                    // remote.
+                    let shrunk = out * (n as f64 - 1.0) / n as f64;
+                    wall += cluster.transfer(shrunk);
+                    net_bytes += shrunk as u64;
+                    // Coordinator merges n node results: n/pieces of the
+                    // original combine work.
+                    let pieces = st.piece_times.len().max(1) as f64;
+                    wall += st
+                        .combine_time
+                        .mul_f64((n as f64 / pieces).min(1.0));
+                }
+            }
+        }
+    }
+    DistCosts { wall, net_bytes }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::exec::StageTiming;
+
+    fn ms(v: u64) -> Duration {
+        Duration::from_millis(v)
+    }
+
+    /// A parallel stage: 8 pieces of 10 ms, 1 MiB in/out of the pieces,
+    /// combined output `bytes_out` (the shrink), combine `combine_ms`.
+    fn stage(bytes_out: usize, combine_ms: u64) -> StageTiming {
+        StageTiming {
+            label: "stage".into(),
+            parallel: true,
+            eliminated: false,
+            piece_times: vec![ms(10); 8],
+            combine_time: ms(combine_ms),
+            bytes_in: 1 << 20,
+            bytes_out,
+            bytes_out_pieces: 1 << 20,
+        }
+    }
+
+    fn log_of(st: StageTiming) -> TimingLog {
+        TimingLog {
+            statements: vec![vec![st]],
+        }
+    }
+
+    #[test]
+    fn single_node_is_serial_plus_combine() {
+        let log = log_of(stage(1 << 20, 4));
+        let cluster = ClusterParams::commodity(1, 8);
+        let got = distributed_time(&log, &cluster, CombinePlacement::Central);
+        assert_eq!(got.net_bytes, 0, "one node moves nothing");
+        assert!(got.wall >= ms(84), "8×10ms + 4ms combine: {:?}", got.wall);
+    }
+
+    #[test]
+    fn makespan_balances_greedily() {
+        let times = [ms(9), ms(1), ms(1), ms(1), ms(8), ms(2)];
+        assert_eq!(makespan(&times, 2), ms(11)); // {9,2} vs {8,1,1,1}
+        assert_eq!(makespan(&times, 1), ms(22));
+        assert_eq!(makespan(&times, 100), ms(9));
+    }
+
+    #[test]
+    fn shrinking_combiner_prefers_hierarchical() {
+        // Output shrinks to 4 KiB (a wc/uniq-style reduction): the
+        // central placement ships the same 4 KiB, but hierarchical also
+        // parallelizes the combine — and for stages whose *piece* outputs
+        // are large relative to the final output the byte savings
+        // dominate. Model both effects via a large piece count.
+        let log = log_of(stage(4 << 10, 40));
+        let cluster = ClusterParams::commodity(4, 4);
+        let central = distributed_time(&log, &cluster, CombinePlacement::Central);
+        let hier = distributed_time(&log, &cluster, CombinePlacement::Hierarchical);
+        assert!(
+            hier.wall < central.wall,
+            "hierarchical {:?} !< central {:?}",
+            hier.wall,
+            central.wall
+        );
+        assert!(
+            hier.net_bytes < central.net_bytes,
+            "hierarchical must ship fewer bytes: {} vs {}",
+            hier.net_bytes,
+            central.net_bytes
+        );
+    }
+
+    #[test]
+    fn more_nodes_move_more_input_bytes() {
+        let log = log_of(stage(1 << 20, 4));
+        let two = distributed_time(
+            &log,
+            &ClusterParams::commodity(2, 4),
+            CombinePlacement::Central,
+        );
+        let eight = distributed_time(
+            &log,
+            &ClusterParams::commodity(8, 4),
+            CombinePlacement::Central,
+        );
+        assert!(eight.net_bytes > two.net_bytes);
+    }
+
+    #[test]
+    fn sequential_stage_is_network_free() {
+        let st = StageTiming {
+            label: "seq".into(),
+            parallel: false,
+            eliminated: false,
+            piece_times: vec![ms(30)],
+            combine_time: Duration::ZERO,
+            bytes_in: 1 << 20,
+            bytes_out: 1 << 20,
+            bytes_out_pieces: 1 << 20,
+        };
+        let got = distributed_time(
+            &log_of(st),
+            &ClusterParams::commodity(8, 4),
+            CombinePlacement::Central,
+        );
+        assert_eq!(got.net_bytes, 0);
+    }
+}

@@ -1,0 +1,411 @@
+//! Script executors.
+//!
+//! * [`run_serial`] — the paper's measurement infrastructure: every stage
+//!   runs to completion before the next starts, outputs buffered between
+//!   stages.
+//! * [`run_parallel`] — KumQuat's generated data-parallel pipeline: each
+//!   parallel stage splits its input into `w` line-aligned substreams, runs
+//!   `w` command instances on real threads, and combines the outputs with
+//!   the synthesized combiner — unless the combiner was eliminated
+//!   (Theorem 5), in which case the substreams flow to the next stage.
+//!
+//! Both executors record a [`TimingLog`] of per-piece wall-clock durations;
+//! the [`crate::sim`] scheduler replays those measurements on virtual
+//! workers to produce the performance-table numbers.
+
+use crate::parse::{InputSource, Script, Statement};
+use crate::plan::{PlannedScript, StageMode};
+use kq_coreutils::{CmdError, ExecContext};
+use kq_dsl::eval::CommandEnv;
+use kq_stream::split_stream;
+use std::time::{Duration, Instant};
+
+/// Timing record for one executed stage.
+#[derive(Debug, Clone)]
+pub struct StageTiming {
+    /// The command line.
+    pub label: String,
+    /// Whether the stage ran data-parallel.
+    pub parallel: bool,
+    /// Whether its combiner was eliminated (output stayed split).
+    pub eliminated: bool,
+    /// Wall-clock duration of each piece (length 1 for sequential stages).
+    pub piece_times: Vec<Duration>,
+    /// Wall-clock duration of the combine step (zero when eliminated or
+    /// sequential).
+    pub combine_time: Duration,
+    /// Input bytes consumed by the stage.
+    pub bytes_in: usize,
+    /// Output bytes produced (post-combine for parallel stages).
+    pub bytes_out: usize,
+    /// Total piece output bytes *before* combining (equals `bytes_out`
+    /// for sequential stages; the distributed cost model uses the
+    /// difference as the combiner's shrink).
+    pub bytes_out_pieces: usize,
+}
+
+impl StageTiming {
+    /// Total serial work in the stage (sum of pieces plus combine).
+    pub fn total_work(&self) -> Duration {
+        self.piece_times.iter().sum::<Duration>() + self.combine_time
+    }
+}
+
+/// Per-statement stage timings for a whole script run.
+#[derive(Debug, Clone, Default)]
+pub struct TimingLog {
+    /// One vector of stage timings per statement.
+    pub statements: Vec<Vec<StageTiming>>,
+}
+
+/// The product of a script execution.
+#[derive(Debug)]
+pub struct ExecutionResult {
+    /// Concatenated stdout of all non-redirected statements.
+    pub output: String,
+    /// Measured timings for the scheduler.
+    pub timings: TimingLog,
+}
+
+fn gather_input(statement: &Statement, ctx: &ExecContext) -> Result<String, CmdError> {
+    match &statement.input {
+        InputSource::None => Ok(String::new()),
+        InputSource::Files(files) => {
+            let mut buf = String::new();
+            for f in files {
+                match ctx.vfs.read(f) {
+                    Some(content) => buf.push_str(&content),
+                    None => {
+                        return Err(CmdError::new(
+                            "cat",
+                            format!("{f}: No such file or directory"),
+                        ))
+                    }
+                }
+            }
+            Ok(buf)
+        }
+    }
+}
+
+/// Runs a script serially, stage to completion (the `u1` configuration and
+/// the baseline for output-correctness checks).
+pub fn run_serial(script: &Script, ctx: &ExecContext) -> Result<ExecutionResult, CmdError> {
+    let mut output = String::new();
+    let mut timings = TimingLog::default();
+    for statement in &script.statements {
+        let mut stream = gather_input(statement, ctx)?;
+        let mut stage_timings = Vec::with_capacity(statement.stages.len());
+        for stage in &statement.stages {
+            let bytes_in = stream.len();
+            let t0 = Instant::now();
+            let out = stage.command.run(&stream, ctx)?;
+            let elapsed = t0.elapsed();
+            stage_timings.push(StageTiming {
+                label: stage.command.display(),
+                parallel: false,
+                eliminated: false,
+                piece_times: vec![elapsed],
+                combine_time: Duration::ZERO,
+                bytes_in,
+                bytes_out: out.len(),
+                bytes_out_pieces: out.len(),
+            });
+            stream = out;
+        }
+        timings.statements.push(stage_timings);
+        match &statement.output {
+            Some(target) => ctx.vfs.write(target.clone(), stream),
+            None => output.push_str(&stream),
+        }
+    }
+    Ok(ExecutionResult { output, timings })
+}
+
+/// The stream state between stages of a parallel execution.
+enum State {
+    Single(String),
+    Split(Vec<String>),
+}
+
+/// Runs a planned script with `workers`-way data parallelism on real
+/// threads.
+///
+/// `honor_elimination` selects the optimized pipeline (Theorem 5 applied)
+/// versus the unoptimized one that combines after every parallel stage —
+/// the paper's `T` versus `u` configurations.
+///
+/// Piece durations in the returned log are wall-clock times of genuinely
+/// concurrent threads: on an oversubscribed host they include contention.
+/// Use [`run_parallel_measured`] when the log feeds the [`crate::sim`]
+/// scheduler.
+pub fn run_parallel(
+    script: &Script,
+    plan: &PlannedScript,
+    ctx: &ExecContext,
+    workers: usize,
+    honor_elimination: bool,
+) -> Result<ExecutionResult, CmdError> {
+    run_parallel_inner(script, plan, ctx, workers, honor_elimination, true)
+}
+
+/// Like [`run_parallel`], but executes the pieces of each parallel stage
+/// one at a time so every recorded piece duration is that piece's own
+/// cost. This is the measurement mode behind the performance tables: the
+/// virtual scheduler in [`crate::sim`] replays these unbiased durations on
+/// `w` virtual workers, which is the honest way to report parallel wall
+/// clock from a host with fewer cores than the paper's 80 (see DESIGN.md).
+pub fn run_parallel_measured(
+    script: &Script,
+    plan: &PlannedScript,
+    ctx: &ExecContext,
+    workers: usize,
+    honor_elimination: bool,
+) -> Result<ExecutionResult, CmdError> {
+    run_parallel_inner(script, plan, ctx, workers, honor_elimination, false)
+}
+
+fn run_parallel_inner(
+    script: &Script,
+    plan: &PlannedScript,
+    ctx: &ExecContext,
+    workers: usize,
+    honor_elimination: bool,
+    use_threads: bool,
+) -> Result<ExecutionResult, CmdError> {
+    assert!(workers >= 1, "need at least one worker");
+    let mut output = String::new();
+    let mut timings = TimingLog::default();
+    for (statement, planned) in script.statements.iter().zip(&plan.statements) {
+        let mut state = State::Single(gather_input(statement, ctx)?);
+        let mut stage_timings = Vec::with_capacity(statement.stages.len());
+        for (stage, planned_stage) in statement.stages.iter().zip(&planned.stages) {
+            let cmd = &stage.command;
+            match &planned_stage.mode {
+                StageMode::Sequential => {
+                    let input = match state {
+                        State::Single(s) => s,
+                        State::Split(_) => unreachable!(
+                            "planner never feeds split streams to a sequential stage"
+                        ),
+                    };
+                    let t0 = Instant::now();
+                    let out = cmd.run(&input, ctx)?;
+                    stage_timings.push(StageTiming {
+                        label: cmd.display(),
+                        parallel: false,
+                        eliminated: false,
+                        piece_times: vec![t0.elapsed()],
+                        combine_time: Duration::ZERO,
+                        bytes_in: input.len(),
+                        bytes_out: out.len(),
+                        bytes_out_pieces: out.len(),
+                    });
+                    state = State::Single(out);
+                }
+                StageMode::Parallel {
+                    combiner,
+                    eliminated,
+                } => {
+                    let pieces: Vec<String> = match state {
+                        State::Single(s) => split_stream(&s, workers)
+                            .into_iter()
+                            .map(str::to_owned)
+                            .collect(),
+                        State::Split(p) => p,
+                    };
+                    let bytes_in: usize = pieces.iter().map(String::len).sum();
+                    // Run one command instance per piece: on real threads
+                    // (correctness mode) or one at a time (measured mode).
+                    let mut results: Vec<Result<(String, Duration), CmdError>> =
+                        Vec::with_capacity(pieces.len());
+                    if use_threads {
+                        std::thread::scope(|scope| {
+                            let handles: Vec<_> = pieces
+                                .iter()
+                                .map(|piece| {
+                                    scope.spawn(move || {
+                                        let t0 = Instant::now();
+                                        let out = cmd.run(piece, ctx)?;
+                                        Ok((out, t0.elapsed()))
+                                    })
+                                })
+                                .collect();
+                            for h in handles {
+                                results.push(h.join().expect("worker thread panicked"));
+                            }
+                        });
+                    } else {
+                        for piece in &pieces {
+                            let t0 = Instant::now();
+                            results.push(cmd.run(piece, ctx).map(|out| (out, t0.elapsed())));
+                        }
+                    }
+                    let mut outputs = Vec::with_capacity(results.len());
+                    let mut piece_times = Vec::with_capacity(results.len());
+                    for r in results {
+                        let (out, d) = r?;
+                        outputs.push(out);
+                        piece_times.push(d);
+                    }
+                    let bytes_out_pieces: usize = outputs.iter().map(String::len).sum();
+                    let eliminate_now = *eliminated && honor_elimination;
+                    if eliminate_now {
+                        stage_timings.push(StageTiming {
+                            label: cmd.display(),
+                            parallel: true,
+                            eliminated: true,
+                            piece_times,
+                            combine_time: Duration::ZERO,
+                            bytes_in,
+                            bytes_out: outputs.iter().map(String::len).sum(),
+                            bytes_out_pieces: outputs.iter().map(String::len).sum(),
+                        });
+                        state = State::Split(outputs);
+                    } else {
+                        let env = CommandEnv { command: cmd, ctx };
+                        let t0 = Instant::now();
+                        let combined = combiner
+                            .combine_all(&outputs, &env)
+                            .map_err(|e| CmdError::new(cmd.display(), e.to_string()))?;
+                        let combine_time = t0.elapsed();
+                        stage_timings.push(StageTiming {
+                            label: cmd.display(),
+                            parallel: true,
+                            eliminated: false,
+                            piece_times,
+                            combine_time,
+                            bytes_in,
+                            bytes_out: combined.len(),
+                            bytes_out_pieces,
+                        });
+                        state = State::Single(combined);
+                    }
+                }
+            }
+        }
+        let final_stream = match state {
+            State::Single(s) => s,
+            // The planner never eliminates the final combiner, but a
+            // statement can *end* split if it had zero stages.
+            State::Split(pieces) => pieces.concat(),
+        };
+        timings.statements.push(stage_timings);
+        match &statement.output {
+            Some(target) => ctx.vfs.write(target.clone(), final_stream),
+            None => output.push_str(&final_stream),
+        }
+    }
+    Ok(ExecutionResult { output, timings })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parse::parse_script;
+    use crate::plan::Planner;
+    use kq_synth::SynthesisConfig;
+    use std::collections::HashMap;
+
+    fn make_input() -> String {
+        let words = ["apple", "dog", "cat", "apple", "bird", "cat", "fox"];
+        let mut s = String::new();
+        for i in 0..300 {
+            s.push_str(&format!(
+                "{} {} line {}\n",
+                words[i % words.len()],
+                words[(i * 3 + 1) % words.len()],
+                i % 11
+            ));
+        }
+        s
+    }
+
+    fn check_parallel_matches_serial(script_text: &str) {
+        let env: HashMap<String, String> = [("IN".to_owned(), "/in.txt".to_owned())].into();
+        let script = parse_script(script_text, &env).unwrap();
+        let ctx = ExecContext::default();
+        ctx.vfs.write("/in.txt", make_input());
+        let serial = run_serial(&script, &ctx).unwrap();
+        let mut planner = Planner::new(SynthesisConfig::default());
+        let plan = planner.plan(&script, &ctx, &make_input());
+        for workers in [1, 2, 3, 5, 8] {
+            for honor in [false, true] {
+                let par = run_parallel(&script, &plan, &ctx, workers, honor).unwrap();
+                assert_eq!(
+                    par.output, serial.output,
+                    "script {script_text:?} differs at w={workers} honor={honor}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn word_frequency_parallel_matches_serial() {
+        check_parallel_matches_serial(
+            "cat $IN | tr -cs A-Za-z '\\n' | tr A-Z a-z | sort | uniq -c | sort -rn",
+        );
+    }
+
+    #[test]
+    fn grep_count_parallel_matches_serial() {
+        check_parallel_matches_serial("cat $IN | grep apple | wc -l");
+    }
+
+    #[test]
+    fn uniq_boundaries_parallel_matches_serial() {
+        check_parallel_matches_serial("cat $IN | sort | uniq");
+        check_parallel_matches_serial("cat $IN | sort | uniq -c");
+    }
+
+    #[test]
+    fn head_rerun_parallel_matches_serial() {
+        check_parallel_matches_serial("cat $IN | cut -d ' ' -f 1 | sort -u | head -n 3");
+    }
+
+    #[test]
+    fn redirect_chain_parallel_matches_serial() {
+        check_parallel_matches_serial(
+            "cat $IN | cut -d ' ' -f 1 | sort > /tmp1\ncat /tmp1 | uniq -c | sort -rn",
+        );
+    }
+
+    #[test]
+    fn timing_log_structure() {
+        let env: HashMap<String, String> = [("IN".to_owned(), "/in.txt".to_owned())].into();
+        let script = parse_script("cat $IN | grep apple | wc -l", &env).unwrap();
+        let ctx = ExecContext::default();
+        ctx.vfs.write("/in.txt", make_input());
+        let mut planner = Planner::new(SynthesisConfig::default());
+        let plan = planner.plan(&script, &ctx, &make_input());
+        let result = run_parallel(&script, &plan, &ctx, 4, true).unwrap();
+        let stages = &result.timings.statements[0];
+        assert_eq!(stages.len(), 2);
+        assert!(stages[0].parallel);
+        assert!(stages[0].eliminated); // grep concat feeds wc -l
+        assert_eq!(stages[0].piece_times.len(), 4);
+        assert!(stages[1].parallel);
+        assert!(!stages[1].eliminated);
+        assert!(stages[1].bytes_out > 0);
+    }
+
+    #[test]
+    fn worker_count_larger_than_lines() {
+        let env: HashMap<String, String> = HashMap::new();
+        let script = parse_script("cat /tiny | sort", &env).unwrap();
+        let ctx = ExecContext::default();
+        ctx.vfs.write("/tiny", "b\na\n");
+        let serial = run_serial(&script, &ctx).unwrap();
+        let mut planner = Planner::new(SynthesisConfig::default());
+        let plan = planner.plan(&script, &ctx, "b\na\n");
+        let par = run_parallel(&script, &plan, &ctx, 16, true).unwrap();
+        assert_eq!(par.output, serial.output);
+    }
+
+    #[test]
+    fn missing_input_file_is_an_error() {
+        let script = parse_script("cat /absent | sort", &HashMap::new()).unwrap();
+        let ctx = ExecContext::default();
+        assert!(run_serial(&script, &ctx).is_err());
+    }
+}

@@ -1,0 +1,42 @@
+//! Pipeline parsing, parallelization planning, and execution.
+//!
+//! This crate implements the KumQuat workflow of Figure 2: parse a shell
+//! script into pipelines ([`parse`]), synthesize a combiner per stage and
+//! decide which stages parallelize ([`plan`] — including the Theorem 5
+//! intermediate-combiner elimination and the §2 rerun-cost heuristic),
+//! execute serially or with `w`-way data parallelism ([`exec`]), and
+//! compute the virtual wall-clock times the paper's performance tables
+//! report ([`sim`] — a measured-cost scheduler replaying per-piece
+//! durations, the honest substitute for the paper's 80-core testbed on a
+//! single-core host; see DESIGN.md).
+
+//! ```
+//! use kq_pipeline::exec::{run_parallel, run_serial};
+//! use kq_pipeline::parse::parse_script;
+//! use kq_pipeline::plan::Planner;
+//! use kq_coreutils::ExecContext;
+//! use kq_synth::SynthesisConfig;
+//!
+//! let script = parse_script("cat /in | sort | uniq -c", &Default::default()).unwrap();
+//! let ctx = ExecContext::default();
+//! ctx.vfs.write("/in", "b\na\nb\n".repeat(40));
+//! let mut planner = Planner::new(SynthesisConfig::default());
+//! let plan = planner.plan(&script, &ctx, "b\na\nb\n");
+//! let serial = run_serial(&script, &ctx).unwrap();
+//! let parallel = run_parallel(&script, &plan, &ctx, 4, true).unwrap();
+//! assert_eq!(parallel.output, serial.output);
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod chunked;
+pub mod dist;
+pub mod exec;
+pub mod parse;
+pub mod plan;
+pub mod sim;
+
+pub use exec::{ExecutionResult, StageTiming, TimingLog};
+pub use parse::{InputSource, Script, Stage, Statement};
+pub use plan::{PlannedScript, PlannedStage, Planner, StageMode};
+pub use sim::{PipelineCosts, SimParams};

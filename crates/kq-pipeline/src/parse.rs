@@ -1,0 +1,529 @@
+//! Shell script parsing.
+//!
+//! The benchmark scripts are sequences of statements, one per line (or
+//! separated by `;`), each either a variable assignment or a pipeline with
+//! optional input/output redirections:
+//!
+//! ```text
+//! IN=${IN:-/inputs/books.txt}
+//! cat $IN | tr -cs A-Za-z '\n' | tr A-Z a-z | sort | uniq -c > counts
+//! sort -rn counts
+//! ```
+//!
+//! A leading `cat FILE...` (or a `< FILE` redirection) becomes the
+//! statement's [`InputSource`] rather than a stage, matching the paper's
+//! stage counting ("excluding initial cat commands that read input files",
+//! Table 1 footnote).
+
+use kq_coreutils::{split_words, CmdError, Command};
+use std::collections::HashMap;
+
+/// Where a statement reads its input from.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum InputSource {
+    /// No input (source commands like `ls`, or commands reading files
+    /// themselves).
+    None,
+    /// Files named by an initial `cat` or a `< file` redirection.
+    Files(Vec<String>),
+}
+
+/// One pipeline stage: a parsed command.
+#[derive(Debug)]
+pub struct Stage {
+    /// The runnable command.
+    pub command: Command,
+}
+
+/// A statement: a pipeline plus its input source and optional `> file`
+/// output redirection.
+#[derive(Debug)]
+pub struct Statement {
+    /// The pipeline stages, in order. May be empty when the statement was
+    /// only an input/output plumbing line (`cat a > b`).
+    pub stages: Vec<Stage>,
+    /// Input source.
+    pub input: InputSource,
+    /// Output redirection target, `None` when the statement's output is
+    /// the script's output.
+    pub output: Option<String>,
+}
+
+impl Statement {
+    /// True when this statement is a *pipeline* in the paper's counting
+    /// sense (two or more commands connected by pipes, including the
+    /// initial `cat`).
+    pub fn is_pipeline(&self) -> bool {
+        let cat = match &self.input {
+            InputSource::Files(_) => 1,
+            InputSource::None => 0,
+        };
+        cat + self.stages.len() >= 2
+    }
+}
+
+/// A parsed script.
+#[derive(Debug, Default)]
+pub struct Script {
+    /// The statements, in execution order.
+    pub statements: Vec<Statement>,
+}
+
+impl Script {
+    /// Total stage count (paper convention: commands excluding initial
+    /// `cat`s).
+    pub fn stage_count(&self) -> usize {
+        self.statements.iter().map(|s| s.stages.len()).sum()
+    }
+}
+
+/// Expands `$VAR`, `${VAR}`, and `${VAR:-default}` against `env`, with
+/// shell quoting semantics: no expansion inside single quotes, and `\$`
+/// suppresses expansion elsewhere (so `awk '$1 >= 1000'` and
+/// `awk "\$1 >= 2"` both reach the command untouched).
+pub fn expand_vars(text: &str, env: &HashMap<String, String>) -> String {
+    let mut out = String::with_capacity(text.len());
+    let chars: Vec<char> = text.chars().collect();
+    let mut i = 0;
+    let mut in_single = false;
+    let mut in_double = false;
+    while i < chars.len() {
+        match chars[i] {
+            '\'' if !in_double => {
+                in_single = !in_single;
+                out.push('\'');
+                i += 1;
+                continue;
+            }
+            '"' if !in_single => {
+                in_double = !in_double;
+                out.push('"');
+                i += 1;
+                continue;
+            }
+            '\\' if !in_single && chars.get(i + 1) == Some(&'$') => {
+                out.push('\\');
+                out.push('$');
+                i += 2;
+                continue;
+            }
+            _ => {}
+        }
+        if in_single || chars[i] != '$' || i + 1 >= chars.len() {
+            out.push(chars[i]);
+            i += 1;
+            continue;
+        }
+        if chars[i + 1] == '{' {
+            let Some(close_rel) = chars[i + 2..].iter().position(|&c| c == '}') else {
+                out.push(chars[i]);
+                i += 1;
+                continue;
+            };
+            let body: String = chars[i + 2..i + 2 + close_rel].iter().collect();
+            let (name, default) = match body.split_once(":-") {
+                Some((n, d)) => (n.to_owned(), Some(d.to_owned())),
+                None => (body.clone(), None),
+            };
+            match env.get(&name) {
+                Some(v) => out.push_str(v),
+                None => out.push_str(&default.unwrap_or_default()),
+            }
+            i += 2 + close_rel + 1;
+        } else {
+            let start = i + 1;
+            let mut end = start;
+            while end < chars.len() && (chars[end].is_ascii_alphanumeric() || chars[end] == '_') {
+                end += 1;
+            }
+            if end == start {
+                out.push('$');
+                i += 1;
+                continue;
+            }
+            let name: String = chars[start..end].iter().collect();
+            if let Some(v) = env.get(&name) {
+                out.push_str(v);
+            }
+            i = end;
+        }
+    }
+    out
+}
+
+/// Parses a script. `env` provides initial variable bindings (e.g. `IN`);
+/// assignments inside the script update it.
+pub fn parse_script(text: &str, env: &HashMap<String, String>) -> Result<Script, CmdError> {
+    let mut env = env.clone();
+    let mut script = Script::default();
+    for raw_line in text.lines() {
+        let line = strip_comment(raw_line).trim();
+        if line.is_empty() || line.starts_with("#!") {
+            continue;
+        }
+        for piece in split_statements(line) {
+            let piece = piece.trim();
+            if piece.is_empty() {
+                continue;
+            }
+            // Variable assignment statement: VAR=VALUE (no command after).
+            if let Some((name, value)) = try_assignment(piece) {
+                let expanded = expand_vars(&value, &env);
+                env.insert(name, trim_quotes(&expanded));
+                continue;
+            }
+            let expanded = expand_vars(piece, &env);
+            script.statements.push(parse_statement(&expanded)?);
+        }
+    }
+    Ok(script)
+}
+
+fn trim_quotes(s: &str) -> String {
+    let t = s.trim();
+    if (t.starts_with('"') && t.ends_with('"') && t.len() >= 2)
+        || (t.starts_with('\'') && t.ends_with('\'') && t.len() >= 2)
+    {
+        t[1..t.len() - 1].to_owned()
+    } else {
+        t.to_owned()
+    }
+}
+
+fn strip_comment(line: &str) -> &str {
+    // A '#' outside quotes starts a comment.
+    let mut in_single = false;
+    let mut in_double = false;
+    let mut escaped = false;
+    for (idx, c) in line.char_indices() {
+        if escaped {
+            escaped = false;
+            continue;
+        }
+        match c {
+            '\\' if !in_single => escaped = true,
+            '\'' if !in_double => in_single = !in_single,
+            '"' if !in_single => in_double = !in_double,
+            '#' if !in_single && !in_double => {
+                // Keep shebangs and `$#`-style text out of scope; the
+                // corpus only has full-line or trailing comments.
+                return &line[..idx];
+            }
+            _ => {}
+        }
+    }
+    line
+}
+
+/// Splits a line into `;`-separated statements, respecting quotes.
+fn split_statements(line: &str) -> Vec<String> {
+    let mut out = Vec::new();
+    let mut cur = String::new();
+    let mut in_single = false;
+    let mut in_double = false;
+    let mut escaped = false;
+    for c in line.chars() {
+        if escaped {
+            escaped = false;
+            cur.push(c);
+            continue;
+        }
+        match c {
+            '\\' if !in_single => {
+                escaped = true;
+                cur.push(c);
+            }
+            '\'' if !in_double => {
+                in_single = !in_single;
+                cur.push(c);
+            }
+            '"' if !in_single => {
+                in_double = !in_double;
+                cur.push(c);
+            }
+            ';' if !in_single && !in_double => {
+                out.push(std::mem::take(&mut cur));
+            }
+            _ => cur.push(c),
+        }
+    }
+    out.push(cur);
+    out
+}
+
+fn try_assignment(piece: &str) -> Option<(String, String)> {
+    let eq = piece.find('=')?;
+    let name = &piece[..eq];
+    if name.is_empty()
+        || !name
+            .chars()
+            .all(|c| c.is_ascii_alphanumeric() || c == '_')
+        || name.chars().next().is_some_and(|c| c.is_ascii_digit())
+    {
+        return None;
+    }
+    let value = &piece[eq + 1..];
+    if value.contains('|') && !value.starts_with('"') && !value.starts_with('\'') {
+        return None;
+    }
+    Some((name.to_owned(), value.to_owned()))
+}
+
+/// Splits a statement into pipe segments, respecting quotes.
+fn split_pipes(text: &str) -> Vec<String> {
+    let mut out = Vec::new();
+    let mut cur = String::new();
+    let mut in_single = false;
+    let mut in_double = false;
+    let mut escaped = false;
+    for c in text.chars() {
+        if escaped {
+            escaped = false;
+            cur.push(c);
+            continue;
+        }
+        match c {
+            '\\' if !in_single => {
+                escaped = true;
+                cur.push(c);
+            }
+            '\'' if !in_double => {
+                in_single = !in_single;
+                cur.push(c);
+            }
+            '"' if !in_single => {
+                in_double = !in_double;
+                cur.push(c);
+            }
+            '|' if !in_single && !in_double => {
+                out.push(std::mem::take(&mut cur));
+            }
+            _ => cur.push(c),
+        }
+    }
+    out.push(cur);
+    out
+}
+
+fn parse_statement(text: &str) -> Result<Statement, CmdError> {
+    let mut segments = split_pipes(text);
+    // Output redirection on the last segment.
+    let mut output = None;
+    if let Some(last) = segments.last_mut() {
+        if let Some(gt) = find_unquoted(last, '>') {
+            let target = last[gt + 1..].trim().to_owned();
+            if target.is_empty() {
+                return Err(CmdError::new("sh", "missing redirection target"));
+            }
+            let head = last[..gt].to_owned();
+            *last = head;
+            output = Some(target);
+        }
+    }
+    // Input redirection on the first segment.
+    let mut input = InputSource::None;
+    if let Some(first) = segments.first_mut() {
+        if let Some(lt) = find_unquoted(first, '<') {
+            let target = first[lt + 1..].trim().to_owned();
+            if target.is_empty() {
+                return Err(CmdError::new("sh", "missing input redirection"));
+            }
+            let head = first[..lt].to_owned();
+            *first = head;
+            input = InputSource::Files(vec![target]);
+        }
+    }
+    let mut stages = Vec::new();
+    for (i, seg) in segments.iter().enumerate() {
+        let seg = seg.trim();
+        if seg.is_empty() {
+            if i == 0 && matches!(input, InputSource::Files(_)) {
+                // `< file cmd` parsed as empty first segment — not in the
+                // corpus; treat an empty segment elsewhere as an error.
+                continue;
+            }
+            return Err(CmdError::new("sh", "empty pipeline segment"));
+        }
+        let words = split_words(seg).map_err(|e| CmdError::new("sh", e))?;
+        // Initial `cat FILE...` is the input source, not a stage.
+        if i == 0
+            && words.first().is_some_and(|w| w == "cat")
+            && words.len() > 1
+            && segments.len() > 1
+            && matches!(input, InputSource::None)
+        {
+            input = InputSource::Files(words[1..].to_vec());
+            continue;
+        }
+        stages.push(Stage {
+            command: kq_coreutils::from_argv(&words)?,
+        });
+    }
+    Ok(Statement {
+        stages,
+        input,
+        output,
+    })
+}
+
+fn find_unquoted(text: &str, needle: char) -> Option<usize> {
+    let mut in_single = false;
+    let mut in_double = false;
+    let mut escaped = false;
+    for (idx, c) in text.char_indices() {
+        if escaped {
+            escaped = false;
+            continue;
+        }
+        match c {
+            '\\' if !in_single => escaped = true,
+            '\'' if !in_double => in_single = !in_single,
+            '"' if !in_single => in_double = !in_double,
+            c if c == needle && !in_single && !in_double => return Some(idx),
+            _ => {}
+        }
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn env(pairs: &[(&str, &str)]) -> HashMap<String, String> {
+        pairs
+            .iter()
+            .map(|(k, v)| ((*k).to_owned(), (*v).to_owned()))
+            .collect()
+    }
+
+    #[test]
+    fn parses_figure1_pipeline() {
+        let script = parse_script(
+            "cat $IN | tr -cs A-Za-z '\\n' | tr A-Z a-z | sort | uniq -c | sort -rn",
+            &env(&[("IN", "/in/books.txt")]),
+        )
+        .unwrap();
+        assert_eq!(script.statements.len(), 1);
+        let st = &script.statements[0];
+        assert_eq!(
+            st.input,
+            InputSource::Files(vec!["/in/books.txt".to_owned()])
+        );
+        assert_eq!(st.stages.len(), 5); // cat excluded
+        assert_eq!(st.stages[0].command.program(), "tr");
+        assert_eq!(st.stages[4].command.display(), "sort -rn");
+        assert!(st.is_pipeline());
+        assert_eq!(script.stage_count(), 5);
+    }
+
+    #[test]
+    fn variable_defaults_expand() {
+        let script = parse_script(
+            "IN=${IN:-/default.txt}\ncat $IN | wc -l",
+            &HashMap::new(),
+        )
+        .unwrap();
+        assert_eq!(
+            script.statements[0].input,
+            InputSource::Files(vec!["/default.txt".to_owned()])
+        );
+    }
+
+    #[test]
+    fn provided_env_overrides_default() {
+        let script = parse_script(
+            "IN=${IN:-/default.txt}\ncat $IN | wc -l",
+            &env(&[("IN", "/given.txt")]),
+        )
+        .unwrap();
+        assert_eq!(
+            script.statements[0].input,
+            InputSource::Files(vec!["/given.txt".to_owned()])
+        );
+    }
+
+    #[test]
+    fn redirections_parse() {
+        let script = parse_script(
+            "cat /in.txt | sort > sorted\npaste sorted sorted | uniq",
+            &HashMap::new(),
+        )
+        .unwrap();
+        assert_eq!(script.statements[0].output.as_deref(), Some("sorted"));
+        assert_eq!(script.statements[1].stages.len(), 2);
+        assert_eq!(script.statements[1].output, None);
+    }
+
+    #[test]
+    fn input_redirect_via_lt() {
+        let script = parse_script("sort < /in.txt", &HashMap::new()).unwrap();
+        // `sort < file`: redirection binds to the statement.
+        assert_eq!(
+            script.statements[0].input,
+            InputSource::Files(vec!["/in.txt".to_owned()])
+        );
+        assert_eq!(script.statements[0].stages.len(), 1);
+    }
+
+    #[test]
+    fn comments_and_blank_lines_skipped() {
+        let script = parse_script(
+            "#!/bin/sh\n# word frequencies\n\ncat /x | wc -l # trailing\n",
+            &HashMap::new(),
+        )
+        .unwrap();
+        assert_eq!(script.statements.len(), 1);
+        assert_eq!(script.stage_count(), 1);
+    }
+
+    #[test]
+    fn semicolons_split_statements() {
+        let script =
+            parse_script("cat /a | sort; cat /b | uniq", &HashMap::new()).unwrap();
+        assert_eq!(script.statements.len(), 2);
+    }
+
+    #[test]
+    fn quoted_pipe_is_not_a_stage_separator() {
+        let script = parse_script("grep 'a|b' ", &HashMap::new()).unwrap();
+        assert_eq!(script.statements[0].stages.len(), 1);
+    }
+
+    #[test]
+    fn single_command_is_not_a_pipeline() {
+        let script = parse_script("sort", &HashMap::new()).unwrap();
+        assert!(!script.statements[0].is_pipeline());
+        // But `cat f | sort` is.
+        let script = parse_script("cat /f | sort", &HashMap::new()).unwrap();
+        assert!(script.statements[0].is_pipeline());
+    }
+
+    #[test]
+    fn unknown_command_errors() {
+        assert!(parse_script("cat /x | frobnicate", &HashMap::new()).is_err());
+    }
+
+    #[test]
+    fn single_quotes_suppress_expansion() {
+        let script = parse_script(
+            "cat $IN | awk '$1 >= 1000'",
+            &env(&[("IN", "/f"), ("1", "BAD")]),
+        )
+        .unwrap();
+        assert_eq!(script.statements[0].stages[0].command.display(), "awk '$1 >= 1000'");
+    }
+
+    #[test]
+    fn escaped_dollar_suppresses_expansion() {
+        let script = parse_script(
+            r#"cat /f | awk "\$1 >= 2 {print \$2}""#,
+            &HashMap::new(),
+        )
+        .unwrap();
+        assert_eq!(
+            script.statements[0].stages[0].command.display(),
+            "awk '$1 >= 2 {print $2}'"
+        );
+    }
+}

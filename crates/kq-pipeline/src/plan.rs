@@ -1,0 +1,422 @@
+//! Parallelization planning (paper §2, §3.5).
+//!
+//! For every stage the planner synthesizes a combiner (caching by command
+//! line — the paper synthesizes once per unique command/flag combination)
+//! and decides the stage's execution mode:
+//!
+//! * no combiner, or a command that does not read its standard input →
+//!   **sequential**;
+//! * a rerun-only combiner on a command that does not significantly shrink
+//!   its input (e.g. `tr -cs A-Za-z '\n'`) → **sequential**, per §2's cost
+//!   observation;
+//! * otherwise → **parallel**.
+//!
+//! A parallel stage whose combiner is plain `concat` and whose successor is
+//! also parallel has its intermediate combiner *eliminated* (Theorem 5):
+//! the worker substreams flow directly into the next stage. The elimination
+//! additionally requires the stage's outputs to be newline-terminated
+//! streams — `tr -d '\n'` fails that precondition and keeps its combiner.
+
+use crate::parse::{Script, Statement};
+use kq_coreutils::ExecContext;
+use kq_synth::{synthesize, SynthesisConfig, SynthesisReport, SynthesizedCombiner};
+use std::collections::HashMap;
+use std::sync::Arc;
+
+/// How a planned stage executes.
+#[derive(Debug, Clone)]
+pub enum StageMode {
+    /// Run one instance on the whole stream.
+    Sequential,
+    /// Run `w` instances on substreams and combine.
+    Parallel {
+        /// The synthesized combiner.
+        combiner: Arc<SynthesizedCombiner>,
+        /// Theorem 5: the combiner is skipped and the substreams feed the
+        /// next (parallel) stage directly.
+        eliminated: bool,
+    },
+}
+
+impl StageMode {
+    /// True for either parallel variant.
+    pub fn is_parallel(&self) -> bool {
+        matches!(self, StageMode::Parallel { .. })
+    }
+
+    /// True when the intermediate combiner was eliminated.
+    pub fn is_eliminated(&self) -> bool {
+        matches!(
+            self,
+            StageMode::Parallel {
+                eliminated: true,
+                ..
+            }
+        )
+    }
+}
+
+/// A stage with its planned mode (indexes into the source statement).
+#[derive(Debug)]
+pub struct PlannedStage {
+    /// Index of the stage within its statement.
+    pub stage_idx: usize,
+    /// Planned execution mode.
+    pub mode: StageMode,
+}
+
+/// Planning result for one statement.
+#[derive(Debug)]
+pub struct PlannedStatement {
+    /// Per-stage plans, parallel to `Statement::stages`.
+    pub stages: Vec<PlannedStage>,
+}
+
+impl PlannedStatement {
+    /// `(parallelized, total)` stage counts — one Table 3 pair.
+    pub fn parallelized_counts(&self) -> (usize, usize) {
+        let k = self.stages.iter().filter(|s| s.mode.is_parallel()).count();
+        (k, self.stages.len())
+    }
+
+    /// Number of eliminated intermediate combiners.
+    pub fn eliminated_count(&self) -> usize {
+        self.stages.iter().filter(|s| s.mode.is_eliminated()).count()
+    }
+
+    /// Groups the statement's stages into execution segments.
+    ///
+    /// A *segment* is either one sequential stage, or a maximal run of
+    /// parallel stages linked by eliminated intermediate combiners and
+    /// closed by the run's final (combining) stage. With
+    /// `honor_elimination = false`, every parallel stage forms its own
+    /// segment (the paper's unoptimized `u_w` configuration).
+    ///
+    /// Segments are what executors and the shell emitter iterate over:
+    /// split once per segment, pipe the whole command run per piece,
+    /// combine once.
+    pub fn segments(&self, honor_elimination: bool) -> Vec<StageSegment> {
+        let mut out = Vec::new();
+        let mut idx = 0;
+        while idx < self.stages.len() {
+            match &self.stages[idx].mode {
+                StageMode::Sequential => {
+                    out.push(StageSegment::Sequential { stage: idx });
+                    idx += 1;
+                }
+                StageMode::Parallel { .. } => {
+                    let start = idx;
+                    while honor_elimination
+                        && self.stages[idx].mode.is_eliminated()
+                        && idx + 1 < self.stages.len()
+                        && self.stages[idx + 1].mode.is_parallel()
+                    {
+                        idx += 1;
+                    }
+                    out.push(StageSegment::Parallel {
+                        stages: start..idx + 1,
+                    });
+                    idx += 1;
+                }
+            }
+        }
+        out
+    }
+}
+
+/// One execution segment of a planned statement (see
+/// [`PlannedStatement::segments`]).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum StageSegment {
+    /// A single stage running on the whole stream.
+    Sequential {
+        /// Stage index within the statement.
+        stage: usize,
+    },
+    /// A run of parallel stages piped per piece, combined once at the end
+    /// (with the last stage's combiner).
+    Parallel {
+        /// Stage index range (`start..end`, end exclusive).
+        stages: std::ops::Range<usize>,
+    },
+}
+
+/// Planning result for a whole script.
+#[derive(Debug)]
+pub struct PlannedScript {
+    /// Per-statement plans, parallel to `Script::statements`.
+    pub statements: Vec<PlannedStatement>,
+}
+
+impl PlannedScript {
+    /// Script-level `(parallelized, total)` sums (Table 3's leading pair).
+    pub fn parallelized_counts(&self) -> (usize, usize) {
+        self.statements
+            .iter()
+            .map(PlannedStatement::parallelized_counts)
+            .fold((0, 0), |(a, b), (k, n)| (a + k, b + n))
+    }
+
+    /// Script-level eliminated-combiner count.
+    pub fn eliminated_count(&self) -> usize {
+        self.statements.iter().map(PlannedStatement::eliminated_count).sum()
+    }
+}
+
+/// The planner: synthesis cache plus heuristics.
+pub struct Planner {
+    config: SynthesisConfig,
+    /// Cache keyed by command display line. `None` records a synthesis
+    /// failure (no combiner).
+    cache: HashMap<String, Option<Arc<SynthesizedCombiner>>>,
+    /// Synthesis reports for every unique command seen (Table 10 rows).
+    pub reports: Vec<SynthesisReport>,
+    /// Input shrink ratio below which a rerun-only stage still pays off.
+    pub rerun_shrink_threshold: f64,
+}
+
+impl Planner {
+    /// A planner with the given synthesis configuration.
+    pub fn new(config: SynthesisConfig) -> Planner {
+        Planner {
+            config,
+            cache: HashMap::new(),
+            reports: Vec::new(),
+            rerun_shrink_threshold: 0.5,
+        }
+    }
+
+    /// Registers a manually written combiner for a command line,
+    /// bypassing synthesis — the workflow of the POSH/PaSh systems the
+    /// paper compares against (§5), kept as an escape hatch for commands
+    /// whose combiners synthesis cannot certify (e.g. a command reading
+    /// files produced earlier in the same script). The caller asserts
+    /// correctness; the executors still verify outputs against serial
+    /// runs.
+    pub fn register_manual(
+        &mut self,
+        command_line: impl Into<String>,
+        combiner: SynthesizedCombiner,
+    ) {
+        self.cache
+            .insert(command_line.into(), Some(Arc::new(combiner)));
+    }
+
+    /// Synthesizes (or recalls) the combiner for one command.
+    pub fn combiner_for(
+        &mut self,
+        command: &kq_coreutils::Command,
+        ctx: &ExecContext,
+    ) -> Option<Arc<SynthesizedCombiner>> {
+        let key = command.display();
+        if let Some(cached) = self.cache.get(&key) {
+            return cached.clone();
+        }
+        let report = synthesize(command, ctx, &self.config);
+        let combiner = report.combiner().cloned().map(Arc::new);
+        self.reports.push(report);
+        self.cache.insert(key, combiner.clone());
+        combiner
+    }
+
+    /// Plans a whole script against a sample input (used for the shrink
+    /// and stream-output probes).
+    pub fn plan(&mut self, script: &Script, ctx: &ExecContext, sample: &str) -> PlannedScript {
+        let statements = script
+            .statements
+            .iter()
+            .map(|st| self.plan_statement(st, ctx, sample))
+            .collect();
+        PlannedScript { statements }
+    }
+
+    fn plan_statement(
+        &mut self,
+        statement: &Statement,
+        ctx: &ExecContext,
+        sample: &str,
+    ) -> PlannedStatement {
+        // First pass: decide sequential/parallel per stage.
+        let mut modes: Vec<StageMode> = Vec::with_capacity(statement.stages.len());
+        for stage in &statement.stages {
+            let cmd = &stage.command;
+            if !cmd.reads_stdin() {
+                modes.push(StageMode::Sequential);
+                continue;
+            }
+            let Some(combiner) = self.combiner_for(cmd, ctx) else {
+                modes.push(StageMode::Sequential);
+                continue;
+            };
+            if combiner.is_rerun() && !self.shrinks_enough(cmd, ctx, sample) {
+                // §2: parallelizing with a rerun combiner only pays when
+                // the command significantly reduces the stream.
+                modes.push(StageMode::Sequential);
+                continue;
+            }
+            modes.push(StageMode::Parallel {
+                combiner,
+                eliminated: false,
+            });
+        }
+        // Second pass: Theorem 5 elimination — a concat combiner followed
+        // by a parallel stage is dropped, provided the stage emits streams.
+        for i in 0..modes.len() {
+            let next_parallel = modes
+                .get(i + 1)
+                .map(StageMode::is_parallel)
+                .unwrap_or(false);
+            if !next_parallel {
+                continue;
+            }
+            let StageMode::Parallel { combiner, eliminated } = &mut modes[i] else {
+                continue;
+            };
+            if combiner.is_concat()
+                && Self::outputs_streams(&statement.stages[i].command, ctx, sample)
+            {
+                *eliminated = true;
+            }
+        }
+        PlannedStatement {
+            stages: modes
+                .into_iter()
+                .enumerate()
+                .map(|(stage_idx, mode)| PlannedStage { stage_idx, mode })
+                .collect(),
+        }
+    }
+
+    /// Probes whether the command shrinks the sample enough to justify a
+    /// rerun combiner.
+    fn shrinks_enough(&self, cmd: &kq_coreutils::Command, ctx: &ExecContext, sample: &str) -> bool {
+        match cmd.run(sample, ctx) {
+            Ok(out) => {
+                let ratio = out.len() as f64 / sample.len().max(1) as f64;
+                ratio <= self.rerun_shrink_threshold
+            }
+            Err(_) => false,
+        }
+    }
+
+    /// Theorem 5 precondition: outputs terminate with newlines.
+    fn outputs_streams(cmd: &kq_coreutils::Command, ctx: &ExecContext, sample: &str) -> bool {
+        match cmd.run(sample, ctx) {
+            Ok(out) => out.is_empty() || out.ends_with('\n'),
+            Err(_) => false,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parse::parse_script;
+    use std::collections::HashMap as Map;
+
+    fn sample_text() -> String {
+        let mut s = String::new();
+        for i in 0..200 {
+            s.push_str(&format!("the quick brown fox {i} jumps over dogs\n"));
+        }
+        s
+    }
+
+    fn plan(script_text: &str) -> (PlannedScript, Planner) {
+        let env: Map<String, String> = [("IN".to_owned(), "/in.txt".to_owned())].into();
+        let script = parse_script(script_text, &env).unwrap();
+        let ctx = ExecContext::default();
+        ctx.vfs.write("/in.txt", sample_text());
+        let mut planner = Planner::new(SynthesisConfig::default());
+        let planned = planner.plan(&script, &ctx, &sample_text());
+        (planned, planner)
+    }
+
+    #[test]
+    fn wf_pipeline_plan_matches_paper() {
+        // §2: wf.sh — tr -cs runs sequentially (rerun, no shrink); the
+        // other four stages parallelize; tr A-Z a-z's concat combiner is
+        // eliminated into the following sort.
+        let (planned, _) = plan(
+            "cat $IN | tr -cs A-Za-z '\\n' | tr A-Z a-z | sort | uniq -c | sort -rn",
+        );
+        let st = &planned.statements[0];
+        assert_eq!(st.parallelized_counts(), (4, 5));
+        assert_eq!(st.eliminated_count(), 1);
+        assert!(!st.stages[0].mode.is_parallel(), "tr -cs must be sequential");
+        assert!(st.stages[1].mode.is_eliminated(), "tr A-Z a-z feeds sort");
+        assert!(!st.stages[4].mode.is_eliminated(), "final combiner stays");
+    }
+
+    #[test]
+    fn tr_d_newline_blocks_elimination() {
+        // tr -d '\n' violates the Theorem 5 stream precondition; it still
+        // parallelizes (concat combiner) but keeps its combiner.
+        let (planned, _) = plan("cat $IN | tr -d '\\n' | wc -c");
+        let st = &planned.statements[0];
+        assert!(st.stages[0].mode.is_parallel());
+        assert!(!st.stages[0].mode.is_eliminated());
+    }
+
+    #[test]
+    fn no_combiner_stage_is_sequential() {
+        let (planned, _) = plan("cat $IN | sed 1d | sort");
+        let st = &planned.statements[0];
+        assert!(!st.stages[0].mode.is_parallel());
+        assert!(st.stages[1].mode.is_parallel());
+        assert_eq!(st.parallelized_counts(), (1, 2));
+    }
+
+    #[test]
+    fn synthesis_cache_reused_across_statements() {
+        let (_, planner) = plan("cat $IN | sort\ncat $IN | sort");
+        let sort_reports = planner
+            .reports
+            .iter()
+            .filter(|r| r.command == "sort")
+            .count();
+        assert_eq!(sort_reports, 1);
+    }
+
+    #[test]
+    fn last_stage_combiner_never_eliminated() {
+        let (planned, _) = plan("cat $IN | tr A-Z a-z | tr a-z A-Z");
+        let st = &planned.statements[0];
+        assert!(st.stages[0].mode.is_eliminated());
+        assert!(st.stages[1].mode.is_parallel());
+        assert!(!st.stages[1].mode.is_eliminated());
+    }
+
+    #[test]
+    fn manual_combiner_overrides_synthesis() {
+        // `sed 1d` has no synthesizable combiner; a POSH-style manual
+        // registration makes the stage parallel anyway (and a manual
+        // rerun for `sed 1d` is wrong — this only checks plumbing; the
+        // executor's serial-vs-parallel verification is what catches bad
+        // manual combiners).
+        use kq_dsl::ast::{Candidate, RecOp};
+        use kq_synth::SynthesizedCombiner;
+        let env: Map<String, String> = [("IN".to_owned(), "/in.txt".to_owned())].into();
+        let script = parse_script("cat $IN | grep fox | sort", &env).unwrap();
+        let ctx = ExecContext::default();
+        ctx.vfs.write("/in.txt", sample_text());
+        let mut planner = Planner::new(SynthesisConfig::default());
+        planner.register_manual(
+            "grep fox",
+            SynthesizedCombiner::from_plausible(vec![Candidate::rec(RecOp::Concat)]),
+        );
+        let planned = planner.plan(&script, &ctx, &sample_text());
+        assert!(planned.statements[0].stages[0].mode.is_parallel());
+        // No synthesis report was produced for the manual command.
+        assert!(planner.reports.iter().all(|r| r.command != "grep fox"));
+    }
+
+    #[test]
+    fn grep_then_count_parallelizes_fully() {
+        let (planned, _) = plan("cat $IN | grep fox | wc -l");
+        let st = &planned.statements[0];
+        assert_eq!(st.parallelized_counts(), (2, 2));
+        // grep's concat feeds wc -l directly.
+        assert_eq!(st.eliminated_count(), 1);
+    }
+}

@@ -1,0 +1,174 @@
+//! Post-processing of the plausible set (paper §3.2, "Multiple Plausible
+//! Combiners").
+//!
+//! When synthesis returns several plausible combiners, KumQuat keeps the
+//! highest-priority class present (RecOp ⊐ StructOp ⊐ RunOp) and builds a
+//! *composite* combiner: given arguments, apply the first member whose
+//! legal domain contains them. When some member's domain is universal
+//! (`concat`/`first`/`second`), that member alone suffices — its domain is
+//! a superset of every other member's.
+
+use kq_dsl::ast::{Candidate, Combiner, RecOp};
+use kq_dsl::eval::{EvalError, RunEnv};
+use kq_dsl::{domain, kway};
+
+/// The synthesis product: an executable combiner built from the plausible
+/// set, plus the metadata the benchmark tables report.
+#[derive(Debug, Clone)]
+pub struct SynthesizedCombiner {
+    /// The members of the composite, in application order.
+    pub members: Vec<Candidate>,
+    /// Every plausible combiner that survived filtering (for reporting;
+    /// superset of `members`).
+    pub plausible: Vec<Candidate>,
+}
+
+impl SynthesizedCombiner {
+    /// Builds the composite from the full plausible set. Panics when the
+    /// set is empty — callers handle the "no combiner" case beforehand.
+    pub fn from_plausible(plausible: Vec<Candidate>) -> SynthesizedCombiner {
+        assert!(!plausible.is_empty(), "no plausible combiners");
+        let best_class = plausible
+            .iter()
+            .map(|c| c.op.class())
+            .min()
+            .expect("non-empty");
+        let mut members: Vec<Candidate> = plausible
+            .iter()
+            .filter(|c| c.op.class() == best_class)
+            .cloned()
+            .collect();
+        // Within RunOp, prefer merge over rerun: both are plausible for
+        // sorting commands, but merge is a single k-way interleave while
+        // rerun re-executes the command on the whole concatenation.
+        members.sort_by_key(|c| matches!(c.op, Combiner::Run(kq_dsl::ast::RunOp::Rerun)) as u8);
+        // Domain-superset reduction: a universal-domain member subsumes the
+        // rest of its class.
+        if let Some(universal) = members.iter().position(|c| {
+            matches!(
+                c.op,
+                Combiner::Rec(RecOp::Concat) | Combiner::Rec(RecOp::First) | Combiner::Rec(RecOp::Second)
+            )
+        }) {
+            members = vec![members[universal].clone()];
+        }
+        SynthesizedCombiner { members, plausible }
+    }
+
+    /// The representative combiner used for planning decisions (e.g. the
+    /// Theorem 5 elimination test and the rerun-cost heuristic).
+    pub fn primary(&self) -> &Candidate {
+        &self.members[0]
+    }
+
+    /// True when the composite is plain concatenation, making the combiner
+    /// eligible for intermediate elimination (Theorem 5).
+    pub fn is_concat(&self) -> bool {
+        self.members.len() == 1 && self.primary().op.is_concat() && !self.primary().swapped
+    }
+
+    /// True when the composite requires re-running the command.
+    pub fn is_rerun(&self) -> bool {
+        self.members
+            .iter()
+            .all(|c| matches!(c.op, Combiner::Run(kq_dsl::ast::RunOp::Rerun)))
+    }
+
+    /// Combines two streams: the first member whose domain admits both
+    /// arguments is applied (the composite rule of §3.2).
+    pub fn combine2(&self, y1: &str, y2: &str, env: &dyn RunEnv) -> Result<String, EvalError> {
+        for member in &self.members {
+            let (a, b) = member.oriented(y1, y2);
+            if domain::in_domain(&member.op, a) && domain::in_domain(&member.op, b) {
+                return kq_dsl::eval::eval(&member.op, a, b, env);
+            }
+        }
+        // Fall back to the last member's evaluation error for diagnostics.
+        let last = self.members.last().expect("non-empty");
+        let (a, b) = last.oriented(y1, y2);
+        kq_dsl::eval::eval(&last.op, a, b, env)
+    }
+
+    /// Combines `k` parallel substreams (paper §3.5): the first member
+    /// whose domain admits all pieces is applied k-way.
+    pub fn combine_all(&self, pieces: &[String], env: &dyn RunEnv) -> Result<String, EvalError> {
+        for member in &self.members {
+            if pieces
+                .iter()
+                .filter(|p| !p.is_empty())
+                .all(|p| domain::in_domain(&member.op, p))
+            {
+                return kway::combine_all(member, pieces, env);
+            }
+        }
+        kway::combine_all(self.members.last().expect("non-empty"), pieces, env)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use kq_dsl::ast::{RunOp, StructOp};
+    use kq_dsl::eval::NoRunEnv;
+    use kq_stream::Delim;
+
+    #[test]
+    fn class_priority_prefers_rec_ops() {
+        let plausible = vec![
+            Candidate::run(RunOp::Rerun),
+            Candidate::rec(RecOp::Back(Delim::Newline, Box::new(RecOp::Add))),
+            Candidate::structural(StructOp::Stitch(RecOp::First)),
+        ];
+        let s = SynthesizedCombiner::from_plausible(plausible);
+        assert_eq!(s.members.len(), 1);
+        assert!(matches!(s.primary().op, Combiner::Rec(RecOp::Back(..))));
+    }
+
+    #[test]
+    fn universal_domain_member_subsumes() {
+        let plausible = vec![
+            Candidate::rec(RecOp::Concat),
+            Candidate::rec(RecOp::Back(Delim::Newline, Box::new(RecOp::Concat))),
+        ];
+        let s = SynthesizedCombiner::from_plausible(plausible);
+        assert_eq!(s.members.len(), 1);
+        assert!(s.is_concat());
+    }
+
+    #[test]
+    fn composite_falls_through_by_domain() {
+        // (back '\n' add) applies to count streams; first handles the rest.
+        let plausible = vec![
+            Candidate::rec(RecOp::Back(Delim::Newline, Box::new(RecOp::Add))),
+            Candidate::rec(RecOp::Fuse(Delim::Newline, Box::new(RecOp::Add))),
+        ];
+        let s = SynthesizedCombiner::from_plausible(plausible);
+        assert_eq!(s.members.len(), 2);
+        assert_eq!(s.combine2("3\n", "4\n", &NoRunEnv).unwrap(), "7\n");
+    }
+
+    #[test]
+    fn rerun_detection() {
+        let s = SynthesizedCombiner::from_plausible(vec![Candidate::run(RunOp::Rerun)]);
+        assert!(s.is_rerun());
+        assert!(!s.is_concat());
+    }
+
+    #[test]
+    fn swapped_concat_is_not_theorem5_eligible() {
+        let s = SynthesizedCombiner::from_plausible(vec![Candidate {
+            op: Combiner::Rec(RecOp::Concat),
+            swapped: true,
+        }]);
+        assert!(!s.is_concat());
+    }
+
+    #[test]
+    fn kway_combination_via_members() {
+        let s = SynthesizedCombiner::from_plausible(vec![Candidate::structural(
+            StructOp::Stitch(RecOp::First),
+        )]);
+        let pieces = vec!["a\nb\n".to_owned(), "b\nc\n".to_owned(), "d\n".to_owned()];
+        assert_eq!(s.combine_all(&pieces, &NoRunEnv).unwrap(), "a\nb\nc\nd\n");
+    }
+}

@@ -1,0 +1,39 @@
+//! KumQuat combiner synthesis.
+//!
+//! Given a black-box command `f`, the synthesizer (paper Algorithm 1):
+//!
+//! 1. preprocesses the command line — extracting regex/number literals and
+//!    probing `f` with three canonical inputs to pick an input profile
+//!    ([`preprocess`]);
+//! 2. enumerates the candidate combiner space `G_n` for the command's
+//!    delimiter alphabet (`kq_dsl::enumerate`);
+//! 3. repeatedly generates input stream pairs from gradient-mutated *input
+//!    shapes* ([`shape`], [`gen`]; paper Algorithm 2), runs `f` to obtain
+//!    observations `⟨f(x1), f(x2), f(x1++x2)⟩`, and discards candidates
+//!    that are not plausible (Definition 3.9);
+//! 4. stops when no progress is made for several rounds, returning either
+//!    a composite combiner over the surviving set ([`composite`]) or `None`
+//!    when every candidate was eliminated (Table 9's unsupported commands).
+//!
+//! ```
+//! use kq_coreutils::{parse_command, ExecContext};
+//! use kq_synth::{synthesize, SynthesisConfig};
+//!
+//! let command = parse_command("wc -l").unwrap();
+//! let report = synthesize(&command, &ExecContext::default(), &SynthesisConfig::default());
+//! let combiner = report.combiner().expect("wc -l is divide-and-conquer");
+//! assert_eq!(combiner.primary().to_string(), "((back '\\n' add) a b)");
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod composite;
+pub mod gen;
+pub mod preprocess;
+pub mod shape;
+pub mod synthesize;
+
+pub use composite::SynthesizedCombiner;
+pub use preprocess::{preprocess, InputProfile, Preprocessed};
+pub use shape::{Config, InputShape, Mutation};
+pub use synthesize::{synthesize, SynthesisConfig, SynthesisOutcome, SynthesisReport};

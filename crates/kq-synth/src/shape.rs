@@ -1,0 +1,273 @@
+//! Input shapes (paper Definition 3.11) and their twelve mutations.
+//!
+//! A shape bounds three dimensions of a generated input stream — lines per
+//! stream, words per line, characters per word — each with a minimum count,
+//! a maximum count, and a *distinct percentage* controlling how much the
+//! units repeat. Low distinctness produces the duplicate boundary lines
+//! that defeat `concat` for `uniq`; small word/character counts produce the
+//! empty-line boundaries that defeat `concat` for `tr -cs`.
+
+use rand::Rng;
+
+/// Per-dimension configuration `⟨l, u, d⟩` (Definition 3.11).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Config {
+    /// Minimum element count.
+    pub min: usize,
+    /// Maximum element count (inclusive).
+    pub max: usize,
+    /// Percentage of distinct elements, 1..=100.
+    pub distinct_pct: u8,
+}
+
+impl Config {
+    /// Clamps the configuration into a sane range after mutations.
+    fn normalized(mut self) -> Config {
+        if self.max < self.min {
+            self.max = self.min;
+        }
+        self.distinct_pct = self.distinct_pct.clamp(1, 100);
+        self
+    }
+
+    /// Samples an element count within the bounds.
+    pub fn sample_count<R: Rng + ?Sized>(&self, rng: &mut R) -> usize {
+        rng.gen_range(self.min..=self.max)
+    }
+
+    /// Pool size for `n` elements at this distinctness.
+    pub fn pool_size(&self, n: usize) -> usize {
+        ((n * self.distinct_pct as usize).div_ceil(100)).max(1)
+    }
+}
+
+/// An input shape `s = ⟨s_L, s_W, s_C⟩`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct InputShape {
+    /// Lines per (combined) input stream.
+    pub lines: Config,
+    /// Words per line. A minimum of zero permits empty lines.
+    pub words: Config,
+    /// Characters per word.
+    pub chars: Config,
+}
+
+impl InputShape {
+    /// The seed shape the search starts from: short streams of short
+    /// lines with moderate repetition.
+    pub fn seed() -> InputShape {
+        InputShape {
+            lines: Config {
+                min: 2,
+                max: 8,
+                distinct_pct: 50,
+            },
+            words: Config {
+                min: 0,
+                max: 3,
+                distinct_pct: 60,
+            },
+            chars: Config {
+                min: 1,
+                max: 4,
+                distinct_pct: 60,
+            },
+        }
+    }
+
+    /// `RandomShape()` from Algorithm 1: a randomized perturbation of the
+    /// seed, optionally biased toward a line-count hint extracted by
+    /// preprocessing (e.g. `sed 100q` → streams of about a hundred lines).
+    pub fn random<R: Rng + ?Sized>(rng: &mut R, line_hint: Option<usize>) -> InputShape {
+        let mut s = InputShape::seed();
+        s.lines.max = rng.gen_range(3..=16);
+        s.lines.min = rng.gen_range(2..=s.lines.max.min(4));
+        s.lines.distinct_pct = rng.gen_range(20..=100);
+        s.words.max = rng.gen_range(1..=5);
+        s.words.distinct_pct = rng.gen_range(20..=100);
+        s.chars.max = rng.gen_range(1..=6);
+        s.chars.distinct_pct = rng.gen_range(20..=100);
+        if let Some(hint) = line_hint {
+            // Straddle the literal so both branches of the command run.
+            s.lines.min = (hint / 2).max(2);
+            s.lines.max = (hint * 2).max(s.lines.min + 2);
+        }
+        s.normalized()
+    }
+
+    fn normalized(mut self) -> InputShape {
+        self.lines = self.lines.normalized();
+        if self.lines.min < 2 {
+            // Streams must be splittable into two non-empty halves.
+            self.lines.min = 2;
+            self.lines.max = self.lines.max.max(2);
+        }
+        self.words = self.words.normalized();
+        self.chars = self.chars.normalized();
+        if self.chars.min == 0 {
+            self.chars.min = 1;
+        }
+        self
+    }
+
+    /// Applies one of the twelve mutations (Algorithm 2's `MutateShape`).
+    pub fn mutate(&self, m: Mutation) -> InputShape {
+        let mut s = *self;
+        let dim = match m.dimension {
+            Dimension::Lines => &mut s.lines,
+            Dimension::Words => &mut s.words,
+            Dimension::Chars => &mut s.chars,
+        };
+        match m.direction {
+            Direction::MoreElements => {
+                dim.max = (dim.max * 2).clamp(1, 512);
+            }
+            Direction::FewerElements => {
+                dim.max = (dim.max / 2).max(dim.min).max(if matches!(m.dimension, Dimension::Words) { 0 } else { 1 });
+                dim.min = dim.min.min(dim.max);
+            }
+            Direction::MoreVaried => {
+                dim.distinct_pct = dim.distinct_pct.saturating_add(25).min(100);
+            }
+            Direction::LessVaried => {
+                dim.distinct_pct = dim.distinct_pct.saturating_sub(25).max(1);
+            }
+        }
+        s.normalized()
+    }
+}
+
+/// The three shape dimensions.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Dimension {
+    /// Lines per input stream.
+    Lines,
+    /// Words per line.
+    Words,
+    /// Characters per word.
+    Chars,
+}
+
+/// The four mutation directions (paper §3.2: "three dimensions … and four
+/// directions (more/fewer elements, more/less varied)").
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Direction {
+    /// Raise the element-count bounds.
+    MoreElements,
+    /// Lower the element-count bounds.
+    FewerElements,
+    /// Raise the distinct-element percentage.
+    MoreVaried,
+    /// Lower the distinct-element percentage.
+    LessVaried,
+}
+
+/// One of the twelve shape mutations.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Mutation {
+    /// Which shape dimension to mutate.
+    pub dimension: Dimension,
+    /// Which way to push it.
+    pub direction: Direction,
+}
+
+impl Mutation {
+    /// All twelve mutations, indexed `j = 0..12` as in Algorithm 2.
+    pub fn all() -> [Mutation; 12] {
+        let mut out = [Mutation {
+            dimension: Dimension::Lines,
+            direction: Direction::MoreElements,
+        }; 12];
+        let dims = [Dimension::Lines, Dimension::Words, Dimension::Chars];
+        let dirs = [
+            Direction::MoreElements,
+            Direction::FewerElements,
+            Direction::MoreVaried,
+            Direction::LessVaried,
+        ];
+        let mut i = 0;
+        for &dimension in &dims {
+            for &direction in &dirs {
+                out[i] = Mutation {
+                    dimension,
+                    direction,
+                };
+                i += 1;
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn twelve_distinct_mutations() {
+        let all = Mutation::all();
+        assert_eq!(all.len(), 12);
+        let set: std::collections::HashSet<_> =
+            all.iter().map(|m| (m.dimension as u8 as usize, m.direction as u8 as usize)).collect();
+        assert_eq!(set.len(), 12);
+    }
+
+    #[test]
+    fn mutations_move_the_intended_knob() {
+        let s = InputShape::seed();
+        let grown = s.mutate(Mutation {
+            dimension: Dimension::Lines,
+            direction: Direction::MoreElements,
+        });
+        assert!(grown.lines.max > s.lines.max);
+        assert_eq!(grown.words, s.words);
+
+        let less_varied = s.mutate(Mutation {
+            dimension: Dimension::Chars,
+            direction: Direction::LessVaried,
+        });
+        assert!(less_varied.chars.distinct_pct < s.chars.distinct_pct);
+    }
+
+    #[test]
+    fn mutation_keeps_shapes_sane() {
+        let mut s = InputShape::seed();
+        let mut rng = SmallRng::seed_from_u64(1);
+        for _ in 0..200 {
+            let all = Mutation::all();
+            let m = all[rng.gen_range(0..all.len())];
+            s = s.mutate(m);
+            assert!(s.lines.min >= 2);
+            assert!(s.lines.max >= s.lines.min);
+            assert!(s.words.max >= s.words.min);
+            assert!(s.chars.min >= 1);
+            assert!((1..=100).contains(&s.lines.distinct_pct));
+        }
+    }
+
+    #[test]
+    fn random_shape_respects_line_hint() {
+        let mut rng = SmallRng::seed_from_u64(5);
+        let s = InputShape::random(&mut rng, Some(100));
+        assert!(s.lines.min <= 100 && s.lines.max >= 100);
+    }
+
+    #[test]
+    fn pool_size_tracks_distinctness() {
+        let c = Config {
+            min: 1,
+            max: 10,
+            distinct_pct: 50,
+        };
+        assert_eq!(c.pool_size(10), 5);
+        assert_eq!(c.pool_size(1), 1);
+        let all_distinct = Config {
+            min: 1,
+            max: 10,
+            distinct_pct: 100,
+        };
+        assert_eq!(all_distinct.pool_size(7), 7);
+    }
+}

@@ -1,0 +1,415 @@
+//! The core synthesis loop: Algorithm 1 (`Synthesize`) driving Algorithm 2
+//! (`GetEffectiveInputs`).
+//!
+//! Each round generates a fresh random seed shape, hill-climbs it through
+//! the twelve mutations — scoring each mutation by how many candidates its
+//! generated inputs eliminate — and filters the surviving candidate set
+//! against every observation collected along the way. The loop stops when
+//! a round eliminates nothing `stall_rounds` times in succession (the
+//! paper's `MakingProgress`), or when the candidate set empties (no
+//! combiner exists — Table 9).
+
+use crate::composite::SynthesizedCombiner;
+use crate::gen::stream_pair;
+use crate::preprocess::{preprocess, InputProfile, Preprocessed};
+use crate::shape::{InputShape, Mutation};
+use kq_coreutils::{Command, ExecContext};
+use kq_dsl::ast::Candidate;
+use kq_dsl::eval::CommandEnv;
+use kq_dsl::{enumerate_candidates, plausible, EnumConfig, Observation, SpaceBreakdown};
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+use std::time::{Duration, Instant};
+
+/// Synthesis tuning knobs.
+#[derive(Debug, Clone)]
+pub struct SynthesisConfig {
+    /// Maximum combiner size `|g|` (Definition 3.6); 7 reproduces the
+    /// paper's search-space sizes.
+    pub max_size: usize,
+    /// Gradient iterations per round (`M` in Algorithm 2).
+    pub gradient_steps: usize,
+    /// Input stream pairs generated per mutated shape.
+    pub pairs_per_shape: usize,
+    /// Rounds without elimination before declaring convergence.
+    pub stall_rounds: usize,
+    /// Hard cap on rounds.
+    pub max_rounds: usize,
+    /// RNG seed (synthesis is deterministic given the seed).
+    pub rng_seed: u64,
+    /// Follow the elimination gradient when choosing the next shape
+    /// (Algorithm 2). With `false`, mutations are chosen uniformly at
+    /// random — the ablation baseline for the paper's gradient design.
+    pub use_gradient: bool,
+}
+
+impl Default for SynthesisConfig {
+    fn default() -> Self {
+        SynthesisConfig {
+            max_size: 7,
+            gradient_steps: 2,
+            pairs_per_shape: 2,
+            stall_rounds: 2,
+            max_rounds: 8,
+            rng_seed: 0x5eed,
+            use_gradient: true,
+        }
+    }
+}
+
+/// The synthesis verdict for one command.
+#[derive(Debug, Clone)]
+pub enum SynthesisOutcome {
+    /// A combiner (possibly composite) was found.
+    Synthesized(SynthesizedCombiner),
+    /// Every candidate was eliminated: no combiner exists in the space.
+    NoCombiner {
+        /// An input pair that eliminated one of the last candidates, kept
+        /// as the counterexample for reporting (Table 9).
+        counterexample: Option<(String, String)>,
+    },
+}
+
+/// The full synthesis report for one command (one Table 10 row).
+#[derive(Debug, Clone)]
+pub struct SynthesisReport {
+    /// The command line.
+    pub command: String,
+    /// Search-space size, broken down by class as in Table 10.
+    pub space: SpaceBreakdown,
+    /// Wall-clock synthesis time.
+    pub elapsed: Duration,
+    /// Rounds executed.
+    pub rounds: usize,
+    /// Observations collected.
+    pub observations: usize,
+    /// Preprocessing results that shaped generation.
+    pub profile: InputProfile,
+    /// The verdict.
+    pub outcome: SynthesisOutcome,
+}
+
+impl SynthesisReport {
+    /// The plausible combiners, empty when no combiner exists.
+    pub fn plausible(&self) -> &[Candidate] {
+        match &self.outcome {
+            SynthesisOutcome::Synthesized(s) => &s.plausible,
+            SynthesisOutcome::NoCombiner { .. } => &[],
+        }
+    }
+
+    /// The executable combiner, `None` when synthesis failed.
+    pub fn combiner(&self) -> Option<&SynthesizedCombiner> {
+        match &self.outcome {
+            SynthesisOutcome::Synthesized(s) => Some(s),
+            SynthesisOutcome::NoCombiner { .. } => None,
+        }
+    }
+}
+
+/// Executes `f` on an input pair, producing the observation
+/// `⟨f(x1), f(x2), f(x1 ++ x2)⟩` (Definition 3.5). `None` when the command
+/// rejects any of the three inputs.
+fn observe(command: &Command, ctx: &ExecContext, x1: &str, x2: &str) -> Option<Observation> {
+    let y1 = command.run(x1, ctx).ok()?;
+    let y2 = command.run(x2, ctx).ok()?;
+    let combined = format!("{x1}{x2}");
+    let y12 = command.run(&combined, ctx).ok()?;
+    Some(Observation { y1, y2, y12 })
+}
+
+/// Algorithm 1: synthesizes a combiner for `command`.
+pub fn synthesize(
+    command: &Command,
+    ctx: &ExecContext,
+    config: &SynthesisConfig,
+) -> SynthesisReport {
+    let start = Instant::now();
+    let mut rng = SmallRng::seed_from_u64(config.rng_seed);
+    let pre = preprocess(command, ctx, &mut rng);
+    let enum_config = EnumConfig {
+        delims: pre.delims.clone(),
+        max_size: config.max_size,
+        merge_flags: pre.merge_flags.clone(),
+    };
+    let (mut alive, space) = enumerate_candidates(&enum_config);
+    let env = CommandEnv { command, ctx };
+
+    let mut observations: Vec<Observation> = Vec::new();
+    let mut counterexample: Option<(String, String)> = None;
+    let mut rounds = 0;
+    let mut stalled = 0;
+
+    if matches!(pre.profile, InputProfile::Unsupported) {
+        // Every probe failed (e.g. the command reads a file that does not
+        // exist yet): no observation can certify any candidate.
+        return SynthesisReport {
+            command: command.display(),
+            space,
+            elapsed: start.elapsed(),
+            rounds: 0,
+            observations: 0,
+            profile: pre.profile,
+            outcome: SynthesisOutcome::NoCombiner {
+                counterexample: None,
+            },
+        };
+    }
+
+    while rounds < config.max_rounds && !alive.is_empty() {
+        rounds += 1;
+        let before = alive.len();
+        let seed_shape = InputShape::random(&mut rng, pre.line_hint);
+        gradient_round(
+            command,
+            ctx,
+            &pre,
+            seed_shape,
+            config,
+            &mut rng,
+            &mut alive,
+            &mut observations,
+            &mut counterexample,
+            &env,
+        );
+        if alive.is_empty() {
+            break;
+        }
+        if alive.len() == before {
+            stalled += 1;
+            if stalled >= config.stall_rounds {
+                break;
+            }
+        } else {
+            stalled = 0;
+        }
+    }
+
+    // A verdict needs evidence: with no successful observations, every
+    // candidate is vacuously "plausible" and none is certified.
+    let outcome = if alive.is_empty() || observations.is_empty() {
+        SynthesisOutcome::NoCombiner { counterexample }
+    } else {
+        SynthesisOutcome::Synthesized(SynthesizedCombiner::from_plausible(alive))
+    };
+    SynthesisReport {
+        command: command.display(),
+        space,
+        elapsed: start.elapsed(),
+        rounds,
+        observations: observations.len(),
+        profile: pre.profile,
+        outcome,
+    }
+}
+
+/// Algorithm 2: one gradient descent over shape mutations. All generated
+/// observations filter the candidate set; the mutation that eliminated the
+/// most candidates seeds the next step.
+#[allow(clippy::too_many_arguments)]
+fn gradient_round(
+    command: &Command,
+    ctx: &ExecContext,
+    pre: &Preprocessed,
+    mut shape: InputShape,
+    config: &SynthesisConfig,
+    rng: &mut SmallRng,
+    alive: &mut Vec<Candidate>,
+    observations: &mut Vec<Observation>,
+    counterexample: &mut Option<(String, String)>,
+    env: &CommandEnv<'_>,
+) {
+    for _step in 0..config.gradient_steps {
+        let mut best: Option<(usize, InputShape)> = None;
+        for mutation in Mutation::all() {
+            let mutated = shape.mutate(mutation);
+            // Generate this mutation's input set and collect observations.
+            let mut batch: Vec<Observation> = Vec::new();
+            for _ in 0..config.pairs_per_shape {
+                let Some((x1, x2)) = stream_pair(&mutated, pre, rng) else {
+                    continue;
+                };
+                if let Some(obs) = observe(command, ctx, &x1, &x2) {
+                    if !observations.contains(&obs) && !batch.contains(&obs) {
+                        if alive.iter().any(|c| !plausible(c, std::slice::from_ref(&obs), env)) {
+                            counterexample.get_or_insert((x1.clone(), x2.clone()));
+                        }
+                        batch.push(obs);
+                    }
+                }
+            }
+            // Score: how many live candidates does this batch eliminate?
+            let eliminated = alive
+                .iter()
+                .filter(|c| !plausible(c, &batch, env))
+                .count();
+            match best {
+                Some((score, _)) if score >= eliminated => {}
+                _ => best = Some((eliminated, mutated)),
+            }
+            // Every batch joins the cumulative observation set (the paper
+            // adds all twelve I_j sets to I).
+            observations.extend(batch);
+        }
+        // Filter against everything seen so far.
+        alive.retain(|c| plausible(c, observations, env));
+        if alive.is_empty() {
+            return;
+        }
+        if config.use_gradient {
+            if let Some((_, next)) = best {
+                shape = next;
+            }
+        } else {
+            // Ablation: ignore the gradient, take a uniformly random step.
+            use rand::Rng;
+            let all = Mutation::all();
+            shape = shape.mutate(all[rng.gen_range(0..all.len())]);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use kq_coreutils::parse_command;
+    use kq_dsl::ast::{Combiner, RecOp, RunOp, StructOp};
+    use kq_stream::Delim;
+
+    fn synth(cmd: &str) -> SynthesisReport {
+        let command = parse_command(cmd).unwrap();
+        let ctx = ExecContext::default();
+        synthesize(&command, &ctx, &SynthesisConfig::default())
+    }
+
+    fn has(report: &SynthesisReport, op: &Combiner) -> bool {
+        report.plausible().iter().any(|c| &c.op == op)
+    }
+
+    #[test]
+    fn wc_l_synthesizes_back_newline_add() {
+        let r = synth("wc -l");
+        let want = Combiner::Rec(RecOp::Back(Delim::Newline, Box::new(RecOp::Add)));
+        assert!(has(&r, &want), "plausible: {:?}", r.plausible().iter().map(|c| c.to_string()).collect::<Vec<_>>());
+        // concat must have been eliminated.
+        assert!(!has(&r, &Combiner::Rec(RecOp::Concat)));
+        // Space matches Table 10's wc -l row: newline-only outputs.
+        assert_eq!(r.space.total(), 2700);
+    }
+
+    #[test]
+    fn grep_c_synthesizes_count_adder() {
+        let r = synth("grep -c a");
+        let want = Combiner::Rec(RecOp::Back(Delim::Newline, Box::new(RecOp::Add)));
+        assert!(has(&r, &want));
+    }
+
+    #[test]
+    fn tr_translate_synthesizes_concat() {
+        let r = synth("tr A-Z a-z");
+        let s = r.combiner().expect("combiner");
+        assert!(s.is_concat(), "members: {:?}", s.members.iter().map(|c| c.to_string()).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn uniq_synthesizes_stitch_selection() {
+        let r = synth("uniq");
+        let stitch_first = Combiner::Struct(StructOp::Stitch(RecOp::First));
+        let stitch_second = Combiner::Struct(StructOp::Stitch(RecOp::Second));
+        assert!(
+            has(&r, &stitch_first) || has(&r, &stitch_second),
+            "plausible: {:?}",
+            r.plausible().iter().map(|c| c.to_string()).collect::<Vec<_>>()
+        );
+        assert!(!has(&r, &Combiner::Rec(RecOp::Concat)));
+    }
+
+    #[test]
+    fn uniq_c_synthesizes_stitch2_add() {
+        let r = synth("uniq -c");
+        let want = Combiner::Struct(StructOp::Stitch2(Delim::Space, RecOp::Add, RecOp::First));
+        let alt = Combiner::Struct(StructOp::Stitch2(Delim::Space, RecOp::Add, RecOp::Second));
+        assert!(
+            has(&r, &want) || has(&r, &alt),
+            "plausible: {:?}",
+            r.plausible().iter().map(|c| c.to_string()).collect::<Vec<_>>()
+        );
+    }
+
+    #[test]
+    fn sort_synthesizes_merge() {
+        let r = synth("sort");
+        assert!(has(&r, &Combiner::Run(RunOp::Merge(vec![]))));
+        assert!(!has(&r, &Combiner::Rec(RecOp::Concat)));
+    }
+
+    #[test]
+    fn sort_rn_merge_carries_flags() {
+        let r = synth("sort -rn");
+        assert!(has(&r, &Combiner::Run(RunOp::Merge(vec!["-rn".to_owned()]))));
+    }
+
+    #[test]
+    fn tr_squeeze_requires_rerun() {
+        // The §2 example: only rerun survives for tr -cs.
+        let r = synth(r"tr -cs A-Za-z '\n'");
+        let s = r.combiner().expect("combiner");
+        assert!(
+            s.is_rerun(),
+            "members: {:?}",
+            s.members.iter().map(|c| c.to_string()).collect::<Vec<_>>()
+        );
+    }
+
+    #[test]
+    fn sed_1d_has_no_combiner() {
+        let r = synth("sed 1d");
+        assert!(r.combiner().is_none(), "plausible: {:?}", r.plausible().iter().map(|c| c.to_string()).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn tail_plus_2_has_no_combiner() {
+        let r = synth("tail +2");
+        assert!(r.combiner().is_none());
+    }
+
+    #[test]
+    fn head_n_1_synthesizes_first() {
+        let r = synth("head -n 1");
+        assert!(has(&r, &Combiner::Rec(RecOp::First)));
+    }
+
+    #[test]
+    fn tail_n_1_synthesizes_second() {
+        let r = synth("tail -n 1");
+        assert!(has(&r, &Combiner::Rec(RecOp::Second)));
+    }
+
+    #[test]
+    fn sed_100q_synthesizes_rerun() {
+        let r = synth("sed 100q");
+        let s = r.combiner().expect("combiner");
+        assert!(s.is_rerun(), "members: {:?}", s.members.iter().map(|c| c.to_string()).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn missing_file_dependency_yields_no_combiner() {
+        // A command whose file dependency does not exist yet (written by
+        // an earlier pipeline statement) must not be certified: with zero
+        // observations every candidate would be vacuously plausible.
+        let command = parse_command("comm -23 - /not/written/yet").unwrap();
+        let ctx = ExecContext::default();
+        let r = synthesize(&command, &ctx, &SynthesisConfig::default());
+        assert!(r.combiner().is_none());
+        assert_eq!(r.observations, 0);
+    }
+
+    #[test]
+    fn report_metadata_populated() {
+        let r = synth("cat");
+        assert!(r.rounds >= 1);
+        assert!(r.observations > 0);
+        assert!(r.elapsed.as_nanos() > 0);
+        assert_eq!(r.command, "cat");
+    }
+}

@@ -1,0 +1,236 @@
+//! The KumQuat benchmark corpus: the 70 scripts of the paper's four
+//! benchmark suites (4 mass-transit analytics, 10 classic one-liners, 22
+//! Unix-for-Poets, 34 unix50), reconstructed from the paper's Tables 3/4
+//! (script names and per-pipeline stage counts) and Table 10 (the exact
+//! command/flag combinations each script contains), together with
+//! synthetic input generators matching each suite's data structure.
+//!
+//! ```no_run
+//! use kq_workloads::{corpus, setup, Scale};
+//! use kq_coreutils::ExecContext;
+//!
+//! let script = &corpus()[0];
+//! let ctx = ExecContext::default();
+//! let env = setup(script, &ctx, &Scale::tests(), 42);
+//! let parsed = kq_pipeline::parse::parse_script(script.text, &env).unwrap();
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod inputs;
+pub mod scripts;
+
+pub use scripts::{corpus, BenchmarkScript, InputKind, Suite};
+
+use kq_coreutils::ExecContext;
+use std::collections::HashMap;
+
+/// Input sizing for a corpus run. The paper uses 0.9–3.4 GB inputs on an
+/// 80-core server; tests and benches here scale down (see DESIGN.md).
+#[derive(Debug, Clone, Copy)]
+pub struct Scale {
+    /// Approximate main-input size in bytes (rows are derived from it).
+    pub input_bytes: usize,
+}
+
+impl Scale {
+    /// Small inputs for unit/integration tests (~40 KB).
+    pub fn tests() -> Scale {
+        Scale { input_bytes: 40_000 }
+    }
+
+    /// Bench-sized inputs, overridable with `KQ_SCALE_KB`.
+    pub fn bench() -> Scale {
+        let kb = std::env::var("KQ_SCALE_KB")
+            .ok()
+            .and_then(|v| v.parse::<usize>().ok())
+            .unwrap_or(2_048);
+        Scale {
+            input_bytes: kb * 1024,
+        }
+    }
+
+    fn rows(&self, bytes_per_row: usize) -> usize {
+        (self.input_bytes / bytes_per_row).max(50)
+    }
+}
+
+/// Writes the script's input (and auxiliary files) into the context's
+/// filesystem and returns the environment for parsing it.
+pub fn setup(
+    script: &BenchmarkScript,
+    ctx: &ExecContext,
+    scale: &Scale,
+    seed: u64,
+) -> HashMap<String, String> {
+    use inputs::*;
+    let mut env: HashMap<String, String> = HashMap::new();
+    let in_path = format!("/in/{}-{}", script.suite.dir(), script.id);
+    let main_input = match script.kind {
+        InputKind::Gutenberg => gutenberg_text(scale.input_bytes, seed),
+        InputKind::ShortLines => {
+            // nfa-regex: the backtracking pattern is super-linear in line
+            // length, so this input keeps lines short (as does the original
+            // benchmark's dictionary-style input).
+            let text = gutenberg_text(scale.input_bytes / 8, seed);
+            let mut out = String::new();
+            let mut n = 0usize;
+            for line in text.lines() {
+                for chunk in line.split(' ') {
+                    if !chunk.is_empty() {
+                        out.push_str(&chunk[..chunk.len().min(14)]);
+                        out.push('\n');
+                        n += 1;
+                        if n.is_multiple_of(37) {
+                            // A few lines with the pairwise-repeat shape
+                            // the nfa-regex pattern hunts for.
+                            out.push_str("xxeelldd\n");
+                        }
+                    }
+                }
+            }
+            out
+        }
+        InputKind::TransitCsv => mass_transit_csv(scale.rows(38), seed),
+        InputKind::Chess => chess_games(scale.rows(160), seed),
+        InputKind::Names => names_list(scale.rows(14), seed),
+        InputKind::Releases => releases_tsv(scale.rows(34), seed),
+        InputKind::Credits => credits_text(scale.rows(34), seed),
+        InputKind::Quoted => quoted_text(scale.rows(34), seed),
+        InputKind::Mail => mail_text(scale.rows(30), seed),
+        InputKind::Awards => awards_text(scale.rows(34), seed),
+        InputKind::Books => {
+            // Input stream = book file names; contents live in /books/.
+            let n_books = 6;
+            let lib = book_library(n_books, scale.input_bytes / n_books, seed);
+            let mut list = String::new();
+            for (name, text) in &lib {
+                ctx.vfs.write(format!("/books/{name}"), text.clone());
+                list.push_str(name);
+                list.push('\n');
+            }
+            list
+        }
+        InputKind::FileTree => {
+            let tree = file_tree((scale.input_bytes / 600).clamp(24, 400), seed);
+            let mut list = String::new();
+            for (path, content, ftype) in &tree {
+                ctx.vfs.write_typed(path.clone(), content.clone(), ftype.clone());
+                list.push_str(path);
+                list.push('\n');
+            }
+            list
+        }
+    };
+    ctx.vfs.write(in_path.clone(), main_input);
+    env.insert("IN".to_owned(), in_path);
+
+    // Suite-specific auxiliary files.
+    if script.text.contains("$DICT") {
+        ctx.vfs.write("/aux/dict", dictionary());
+        env.insert("DICT".to_owned(), "/aux/dict".to_owned());
+    }
+    if script.text.contains("/books/exodus.txt") {
+        ctx.vfs
+            .write("/books/exodus.txt", gutenberg_text(scale.input_bytes / 4, seed ^ 1));
+        ctx.vfs
+            .write("/books/genesis.txt", gutenberg_text(scale.input_bytes / 4, seed ^ 2));
+    }
+    env
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use kq_pipeline::exec::run_serial;
+    use kq_pipeline::parse::parse_script;
+
+    #[test]
+    fn corpus_has_seventy_scripts() {
+        let c = corpus();
+        assert_eq!(c.len(), 70);
+        assert_eq!(c.iter().filter(|s| s.suite == Suite::AnalyticsMts).count(), 4);
+        assert_eq!(c.iter().filter(|s| s.suite == Suite::Oneliners).count(), 10);
+        assert_eq!(c.iter().filter(|s| s.suite == Suite::Poets).count(), 22);
+        assert_eq!(c.iter().filter(|s| s.suite == Suite::Unix50).count(), 34);
+    }
+
+    #[test]
+    fn all_scripts_parse() {
+        for script in corpus() {
+            let ctx = ExecContext::default();
+            let env = setup(script, &ctx, &Scale { input_bytes: 2000 }, 1);
+            let parsed = parse_script(script.text, &env);
+            assert!(parsed.is_ok(), "{}/{}: {:?}", script.suite.dir(), script.id, parsed.err());
+        }
+    }
+
+    #[test]
+    fn all_scripts_execute_serially() {
+        for script in corpus() {
+            let ctx = ExecContext::default();
+            let env = setup(script, &ctx, &Scale { input_bytes: 4000 }, 7);
+            let parsed = parse_script(script.text, &env).unwrap();
+            let result = run_serial(&parsed, &ctx);
+            assert!(
+                result.is_ok(),
+                "{}/{} failed: {:?}",
+                script.suite.dir(),
+                script.id,
+                result.err()
+            );
+        }
+    }
+
+    #[test]
+    fn scripts_produce_nonempty_output() {
+        // Scripts whose last statement redirects produce their result in
+        // the VFS; all others must print something.
+        let mut nonempty = 0;
+        for script in corpus() {
+            let ctx = ExecContext::default();
+            // 40 KB: large enough for the threshold-dependent pipelines
+            // (poets 8.2_1 keeps vowel sequences with count >= 1000).
+            let env = setup(script, &ctx, &Scale { input_bytes: 40_000 }, 3);
+            let parsed = parse_script(script.text, &env).unwrap();
+            let result = run_serial(&parsed, &ctx).unwrap();
+            if !result.output.is_empty() {
+                nonempty += 1;
+            }
+        }
+        // Every script is expected to print: the corpus avoids
+        // redirect-only endings.
+        assert_eq!(nonempty, 70);
+    }
+
+    #[test]
+    fn stage_counts_match_table3_totals_roughly() {
+        // The paper counts 427 stages over 70 scripts. Our reconstruction
+        // must land in the same ballpark (reconstructed pipelines differ
+        // by a stage here and there; see DESIGN.md).
+        let mut total = 0;
+        for script in corpus() {
+            let ctx = ExecContext::default();
+            let env = setup(script, &ctx, &Scale { input_bytes: 2000 }, 1);
+            let parsed = parse_script(script.text, &env).unwrap();
+            total += parsed.stage_count();
+        }
+        assert!(
+            (380..=470).contains(&total),
+            "total stages {total} far from the paper's 427"
+        );
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let script = &corpus()[0];
+        let out = |seed| {
+            let ctx = ExecContext::default();
+            let env = setup(script, &ctx, &Scale { input_bytes: 3000 }, seed);
+            let parsed = parse_script(script.text, &env).unwrap();
+            run_serial(&parsed, &ctx).unwrap().output
+        };
+        assert_eq!(out(5), out(5));
+        assert_ne!(out(5), out(6));
+    }
+}

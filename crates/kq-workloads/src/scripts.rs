@@ -1,0 +1,220 @@
+//! The 70 benchmark scripts.
+//!
+//! Reconstructed from the paper: Table 3/4 give the script names and
+//! per-pipeline stage counts, Table 10 gives the exact command/flag
+//! combinations each script contains, and the cited sources (PaSh
+//! benchmarks, Unix-for-Poets, the unix50 game) give the idioms. Where the
+//! paper's exact stage order is not recoverable, pipelines are assembled
+//! from the script's own Table 10 commands with matching stage counts;
+//! EXPERIMENTS.md reports our measured counts next to the paper's.
+
+/// The four benchmark suites.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Suite {
+    /// Mass-transit analytics during COVID-19 (4 scripts).
+    AnalyticsMts,
+    /// Classic Unix one-liners (10 scripts).
+    Oneliners,
+    /// Unix-for-Poets NLP scripts (22 scripts).
+    Poets,
+    /// The Bell Labs unix50 game (34 scripts).
+    Unix50,
+}
+
+impl Suite {
+    /// Directory-style name, as in the paper's tables.
+    pub fn dir(&self) -> &'static str {
+        match self {
+            Suite::AnalyticsMts => "analytics-mts",
+            Suite::Oneliners => "oneliners",
+            Suite::Poets => "poets",
+            Suite::Unix50 => "unix50",
+        }
+    }
+}
+
+/// Which synthetic input a script consumes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum InputKind {
+    /// Book-like prose (oneliners).
+    Gutenberg,
+    /// Short dictionary-style lines (nfa-regex's backtracking-heavy grep).
+    ShortLines,
+    /// A list of book file names + `/books/` contents (poets).
+    Books,
+    /// Mass-transit telemetry CSV.
+    TransitCsv,
+    /// Chess movetext.
+    Chess,
+    /// `First Last` rows.
+    Names,
+    /// Tab-separated release records.
+    Releases,
+    /// Credit lines with parentheses and years.
+    Credits,
+    /// Prose with quoted strings and code fragments.
+    Quoted,
+    /// Email-ish text with `To:` lines.
+    Mail,
+    /// Award rows.
+    Awards,
+    /// A file-path list + `/usr/bin` virtual tree.
+    FileTree,
+}
+
+/// One corpus entry.
+#[derive(Debug)]
+pub struct BenchmarkScript {
+    /// Suite the script belongs to.
+    pub suite: Suite,
+    /// Script file name, as in Table 3 (`2.sh`, `wf.sh`, `4_3b.sh`).
+    pub id: &'static str,
+    /// Descriptive name from the paper's tables.
+    pub name: &'static str,
+    /// The script source.
+    pub text: &'static str,
+    /// Input generator.
+    pub kind: InputKind,
+}
+
+macro_rules! script {
+    ($suite:expr, $id:literal, $name:literal, $kind:expr, $text:expr) => {
+        BenchmarkScript {
+            suite: $suite,
+            id: $id,
+            name: $name,
+            text: $text,
+            kind: $kind,
+        }
+    };
+}
+
+/// The full 70-script corpus.
+pub fn corpus() -> &'static [BenchmarkScript] {
+    use InputKind::*;
+    use Suite::*;
+    static CORPUS: &[BenchmarkScript] = &[
+        // ---- analytics-mts (4) -------------------------------------------
+        script!(AnalyticsMts, "1.sh", "vehicles per day", TransitCsv, r#"cat $IN | sed 's/T..:..:..//' | cut -d ',' -f 1,2 | sort -u | cut -d ',' -f 1 | sort | uniq -c | awk -v OFS="\t" '{print $2,$1}'"#),
+        script!(AnalyticsMts, "2.sh", "vehicle days on road", TransitCsv, r#"cat $IN | sed 's/T..:..:..//' | cut -d ',' -f 2,1 | sort -u | cut -d ',' -f 2 | sort | uniq -c | sort -k1n | awk -v OFS="\t" '{print $2,$1}'"#),
+        script!(AnalyticsMts, "3.sh", "vehicle hours on road", TransitCsv, r#"cat $IN | sed 's/T\(..\):..:../,\1/' | cut -d ',' -f 1,2,3 | sort -u | cut -d ',' -f 3 | sort | uniq -c | sort -k1n | awk -v OFS="\t" '{print $2,$1}'"#),
+        script!(AnalyticsMts, "4.sh", "hours monitored per day", TransitCsv, r#"cat $IN | sed 's/T\(..\):..:../,\1/' | cut -d ',' -f 1,2 | sort -u | cut -d ',' -f 1 | sort | uniq -c | awk -v OFS="\t" '{print $2,$1}'"#),
+        // ---- oneliners (10) ----------------------------------------------
+        script!(Oneliners, "bi-grams.sh", "adjacent word pairs", Gutenberg, "cat $IN | tr -cs A-Za-z '\\n' | tr A-Z a-z > /tmp/bg_words\ntail +2 /tmp/bg_words > /tmp/bg_next\npaste /tmp/bg_words /tmp/bg_next | sort | uniq"),
+        script!(Oneliners, "diff.sh", "compare case-folded copies", Gutenberg, "mkfifo /tmp/d_fifo\ncat $IN | tr [:lower:] [:upper:] | sort > /tmp/d_up\ncat $IN | tr [:upper:] [:lower:] | sort > /tmp/d_low\ndiff /tmp/d_up /tmp/d_low\nrm /tmp/d_fifo"),
+        script!(Oneliners, "nfa-regex.sh", "backtracking regex", ShortLines, r"cat $IN | tr A-Z a-z | grep '\(.\).*\1\(.\).*\2\(.\).*\3\(.\).*\4'"),
+        script!(Oneliners, "set-diff.sh", "set difference of streams", Gutenberg, "mkfifo /tmp/sd_fifo\ncat $IN | cut -d ' ' -f 1 | tr A-Z a-z | sort > /tmp/sd_a\ncat $IN | cut -d ' ' -f 1 | sort > /tmp/sd_b\ncomm -23 /tmp/sd_a /tmp/sd_b\nrm /tmp/sd_fifo"),
+        script!(Oneliners, "shortest-scripts.sh", "shortest shell scripts", FileTree, r#"cat $IN | xargs file | grep "shell script" | cut -d: -f1 | xargs -L 1 wc -l | grep -v '^0$' | sort -n | head -15"#),
+        script!(Oneliners, "sort.sh", "sort the input", Gutenberg, "cat $IN | sort"),
+        script!(Oneliners, "sort-sort.sh", "sort twice", Gutenberg, "cat $IN | tr A-Z a-z | sort | sort -r"),
+        script!(Oneliners, "spell.sh", "spell checker", Gutenberg, "cat $IN | iconv -f utf-8 -t ascii//translit | col -bx | tr A-Z a-z | tr -d '[:punct:]' | tr -cs A-Za-z '\\n' | sort | uniq | comm -23 - $DICT"),
+        script!(Oneliners, "top-n.sh", "hundred most frequent words", Gutenberg, "cat $IN | tr -cs A-Za-z '\\n' | tr A-Z a-z | sort | uniq -c | sort -rn | sed 100q"),
+        script!(Oneliners, "wf.sh", "word frequencies", Gutenberg, "cat $IN | tr -cs A-Za-z '\\n' | tr A-Z a-z | sort | uniq -c | sort -rn"),
+        // ---- poets (22) ---------------------------------------------------
+        script!(Poets, "1_1.sh", "count_words", Books, "cat $IN | sed 's;^;/books/;' | xargs cat | tr -sc '[A-Z][a-z]' '[\\012*]' | sort | uniq -c | sort -rn"),
+        script!(Poets, "2_1.sh", "merge_upper", Books, "cat $IN | sed 's;^;/books/;' | xargs cat | tr '[a-z]' '[A-Z]' | tr -sc '[A-Z]' '[\\012*]' | sort | uniq -c | sort -rn"),
+        script!(Poets, "2_2.sh", "count_vowel_seq", Books, "cat $IN | sed 's;^;/books/;' | xargs cat | tr 'a-z' '[A-Z]' | tr -sc 'AEIOU' '[\\012*]' | sort | uniq -c | sort -rn"),
+        script!(Poets, "3_1.sh", "sort", Books, "cat $IN | sed 's;^;/books/;' | xargs cat | tr -sc '[A-Z][a-z]' '[\\012*]' | tr A-Z a-z | sort | uniq -c | sort -nr"),
+        script!(Poets, "3_2.sh", "sort_words_by_folding", Books, "cat $IN | sed 's;^;/books/;' | xargs cat | tr -sc '[A-Z][a-z]' '[\\012*]' | sort -f | uniq -c | sort -nr | sed 100q"),
+        script!(Poets, "3_3.sh", "sort_words_by_rhyming", Books, "cat $IN | sed 's;^;/books/;' | xargs cat | tr -sc '[A-Z][a-z]' '[\\012*]' | rev | sort | rev | uniq -c | sort -nr | sed 100q"),
+        script!(Poets, "4_3.sh", "bigrams", Books, "cat $IN | sed 's;^;/books/;' | xargs cat | tr -sc '[A-Z][a-z]' '[\\012*]' | tr A-Z a-z > /tmp/p43_words\ntail +2 /tmp/p43_words > /tmp/p43_next\npaste /tmp/p43_words /tmp/p43_next | sort | uniq -c"),
+        script!(Poets, "4_3b.sh", "count_trigrams", Books, "cat $IN | sed 's;^;/books/;' | xargs cat | tr -sc '[A-Z][a-z]' '[\\012*]' | tr A-Z a-z > /tmp/p43b_words\ntail +2 /tmp/p43b_words > /tmp/p43b_next\ntail +3 /tmp/p43b_words > /tmp/p43b_third\npaste /tmp/p43b_words /tmp/p43b_next /tmp/p43b_third | sort | uniq -c"),
+        script!(Poets, "6_1.sh", "trigram_rec", Books, "cat $IN | sed 's;^;/books/;' | xargs cat | grep 'the land of' | tr -sc '[A-Z][a-z]' '[\\012*]' | sort | uniq -c | sort -nr | sed 5q\ncat $IN | sed 's;^;/books/;' | xargs cat | grep 'And he said' | tr -sc '[A-Z][a-z]' '[\\012*]' | sort | uniq -c | sort -nr | sed 5q"),
+        script!(Poets, "6_1_1.sh", "uppercase_by_token", Books, "cat $IN | sed 's;^;/books/;' | xargs cat | tr -sc '[A-Z][a-z]' '[\\012*]' | tr -d '[:punct:]' | grep -c '^[A-Z]'"),
+        script!(Poets, "6_1_2.sh", "uppercase_by_type", Books, "cat $IN | sed 's;^;/books/;' | xargs cat | tr -sc '[A-Z][a-z]' '[\\012*]' | sort | uniq | grep -c '^[A-Z]'"),
+        script!(Poets, "6_2.sh", "4letter_words", Books, "cat $IN | sed 's;^;/books/;' | xargs cat | tr -sc '[A-Z][a-z]' '[\\012*]' | tr A-Z a-z | grep -c '^....$'\ncat $IN | sed 's;^;/books/;' | xargs cat | tr -sc '[A-Z][a-z]' '[\\012*]' | tr A-Z a-z | sort -u | grep -c '^....$'"),
+        script!(Poets, "6_3.sh", "words_no_vowels", Books, "cat $IN | sed 's;^;/books/;' | xargs cat | tr A-Z a-z | tr -sc '[a-z]' '[\\012*]' | grep -vi '[aeiou]' | sort | uniq -c"),
+        script!(Poets, "6_4.sh", "1syllable_words", Books, "cat $IN | sed 's;^;/books/;' | xargs cat | tr -sc '[A-Z][a-z]' '[\\012*]' | tr A-Z a-z | grep -i '^[^aeiou]*[aeiou][^aeiou]*$' | sort | uniq -c | sed 100q"),
+        script!(Poets, "6_5.sh", "2syllable_words", Books, "cat $IN | sed 's;^;/books/;' | xargs cat | tr -sc '[A-Z][a-z]' ' [\\012*]' | tr A-Z a-z | grep -i '^[^aeiou]*[aeiou][^aeiou]*[aeiou][^aeiou]$' | sort | uniq -c | sed 100q"),
+        script!(Poets, "6_7.sh", "verses_2om_3om_2instances", Books, "cat $IN | sed 's;^;/books/;' | xargs cat | tr A-Z a-z | grep -c 'light.*light'\ncat $IN | sed 's;^;/books/;' | xargs cat | tr A-Z a-z | grep -c 'light.*light.*light'\ncat $IN | sed 's;^;/books/;' | xargs cat | tr A-Z a-z | grep 'light.*light' | grep -vc 'light.*light.*light'"),
+        script!(Poets, "7_2.sh", "count_consonant_seq", Books, "cat $IN | sed 's;^;/books/;' | xargs cat | tr 'a-z' '[A-Z]' | tr -sc 'BCDFGHJKLMNPQRSTVWXYZ' '[\\012*]' | sort | uniq -c | sort -nr"),
+        script!(Poets, "8.2_1.sh", "vowel_sequencies_gr_1K", Books, "cat $IN | sed 's;^;/books/;' | xargs cat | tr -sc 'AEIOUaeiou' '[\\012*]' | sort | uniq -c | awk '$1 >= 1000' | sort -nr | sed 100q"),
+        script!(Poets, "8.2_2.sh", "bigrams_appear_twice", Books, "cat $IN | sed 's;^;/books/;' | xargs cat | tr -sc '[A-Z][a-z]' '[\\012*]' | tr A-Z a-z > /tmp/p822_words\ntail +2 /tmp/p822_words > /tmp/p822_next\npaste /tmp/p822_words /tmp/p822_next | sort | uniq -c > /tmp/p822_counts\ncat /tmp/p822_counts | awk '$1 == 2 {print $2, $3}'"),
+        script!(Poets, "8.3_2.sh", "find_anagrams", Books, "cat $IN | sed 's;^;/books/;' | xargs cat | tr -sc '[A-Z][a-z]' '[\\012*]' | tr A-Z a-z > /tmp/p832_words\ncat /tmp/p832_words | rev > /tmp/p832_rev\ncat /tmp/p832_rev | sort > /tmp/p832_sorted\ncat /tmp/p832_sorted | uniq -c | awk '$1 >= 2 {print $2}' | sort -u"),
+        script!(Poets, "8.3_3.sh", "compare_exodus_genesis", Books, "cat /books/exodus.txt | tr -sc '[A-Z][a-z]' '[\\012*]' | tr A-Z a-z | sort | uniq | sed 100q > /tmp/p833_e\ncat /books/genesis.txt | tr -sc '[A-Z][a-z]' '[\\012*]' | head -n 200 > /tmp/p833_g\ncat /tmp/p833_g | tr A-Z a-z | sort | comm -23 - /tmp/p833_e"),
+        script!(Poets, "8_1.sh", "sort_words_by_n_syllables", Books, "cat $IN | sed 's;^;/books/;' | xargs cat | tr -sc '[A-Z][a-z]' '[\\012*]' | tr A-Z a-z | sort -u > /tmp/p81_w\ncat /tmp/p81_w | tr -sc '[AEIOUaeiou\\012]' ' ' | awk '{print NF}' > /tmp/p81_n\npaste /tmp/p81_n /tmp/p81_w | sort -k1n | awk '$1 == 2 {print $2, $0}'"),
+        // ---- unix50 (34: ids 1-36 minus 22 and 27, as in the paper) -------
+        script!(Unix50, "1.sh", "1.0: extract last name", Names, "cat $IN | cut -d ' ' -f 2"),
+        script!(Unix50, "2.sh", "1.1: extract names and sort", Names, "cat $IN | cut -d ' ' -f 2 | sort"),
+        script!(Unix50, "3.sh", "1.2: extract names and sort", Names, "cat $IN | head -n 2 | cut -d ' ' -f 2"),
+        script!(Unix50, "4.sh", "1.3: sort top first names", Names, "cat $IN | cut -d ' ' -f 1 | sort | uniq -c | sort -rn"),
+        script!(Unix50, "5.sh", "2.1: all Unix utilities", Credits, "cat $IN | cut -d ' ' -f 4 | tr -d ','"),
+        script!(Unix50, "6.sh", "3.1: first letter of last names", Names, "cat $IN | cut -d ' ' -f 2 | cut -c 1-1 | sort | uniq -c"),
+        script!(Unix50, "7.sh", "4.1: number of rounds", Chess, r"cat $IN | tr ' ' '\n' | grep '\.' | wc -l"),
+        script!(Unix50, "8.sh", "4.2: pieces captured", Chess, r"cat $IN | tr ' ' '\n' | grep 'x' | grep '[KQRBN]' | wc -l"),
+        script!(Unix50, "9.sh", "4.3: pieces captured with pawn", Chess, r"cat $IN | tr ' ' '\n' | grep 'x' | grep -v '[KQRBN]' | grep -v '\.' | cut -c 1-1 | wc -l"),
+        script!(Unix50, "10.sh", "4.4: histogram by piece", Chess, r"cat $IN | tr ' ' '\n' | grep 'x' | grep '\.' | cut -d '.' -f 2 | grep '[KQRBN]' | cut -c 1-1 | sort | uniq -c | sort -nr"),
+        script!(Unix50, "11.sh", "4.5: histogram by piece and pawn", Chess, r"cat $IN | tr ' ' '\n' | grep 'x' | grep '\.' | cut -d '.' -f 2 | tr '[a-z]' 'P' | cut -c 1-1 | sort | uniq -c | sort -nr"),
+        script!(Unix50, "12.sh", "4.6: piece used most", Chess, r"cat $IN | tr ' ' '\n' | grep 'x' | cut -d '.' -f 2 | grep '[KQRBN]' | cut -c 1-1 | sort | uniq -c | sort -nr | head -n 3 | tail -n 1"),
+        script!(Unix50, "13.sh", "5.1: extract hellow world", Quoted, r#"cat $IN | grep 'print' | cut -d "\"" -f 2 | cut -c 1-12"#),
+        script!(Unix50, "14.sh", "6.1: order bodies", Awards, "cat $IN | awk '{print $2, $0}' | sort | cut -d ' ' -f 2"),
+        script!(Unix50, "15.sh", "7.1: number of versions", Releases, "cat $IN | cut -f 1 | grep 'V' | wc -l"),
+        script!(Unix50, "16.sh", "7.2: most frequent machine", Releases, "cat $IN | cut -f 2 | tr -s ' ' '\\n' | sort | uniq -c | sort -nr | head -n 1"),
+        script!(Unix50, "17.sh", "7.3: decades unix released", Releases, "cat $IN | cut -f 4 | cut -c 3-3 | sort | uniq | sed 's/$/0s/'"),
+        script!(Unix50, "18.sh", "8.1: count unix birth-year", Credits, "cat $IN | tr ' ' '\\n' | grep 1969 | wc -l"),
+        script!(Unix50, "19.sh", "8.2: location office", Credits, "cat $IN | grep 'Bell' | awk 'length <= 45' | awk '{$1=$1};1'"),
+        script!(Unix50, "20.sh", "8.3: four most involved", Credits, "cat $IN | grep '(' | cut -d '(' -f 2 | cut -d ')' -f 1 | head -n 4"),
+        script!(Unix50, "21.sh", "8.4: longest words w/o hyphens", Gutenberg, "cat $IN | tr -c \"[a-z][A-Z]\" '\\n' | sort -u | awk 'length >= 16'"),
+        script!(Unix50, "23.sh", "9.1: extract word PORT", Quoted, "cat $IN | grep '[A-Z]' | fmt -w1 | grep 'PORT' | tr '[a-z]' '\\n' | tr -d '\\n' | cut -c 1-4"),
+        script!(Unix50, "24.sh", "9.2: extract word BELL", Quoted, "cat $IN | grep 'BELL' | cut -c 1-4"),
+        script!(Unix50, "25.sh", "9.3: animal decorate", Quoted, "cat $IN | cut -c 1-2 | sort -u"),
+        script!(Unix50, "26.sh", "9.4: four corners", Quoted, r#"cat $IN | grep '"' | cut -d '"' -f 2 | cut -c 1-1 | uniq | head -n 4"#),
+        script!(Unix50, "28.sh", "9.6: follow directions", Quoted, "cat $IN | grep 'the' | tr -c '[A-Z]' '\\n' | sort | uniq -c | sort -rn | head -n 5 | awk '{print $2}' | sort | uniq | wc -l"),
+        script!(Unix50, "29.sh", "9.7: four corners", Quoted, "cat $IN | tail +2 | rev | tail +3 | rev"),
+        script!(Unix50, "30.sh", "9.8: TELE-communications", Quoted, "cat $IN | tr -c '[a-z][A-Z]' '\\n' | grep 'TELE' | sed 1d | tr A-Z a-z | sort | uniq -c | sort -rn | sed 100q"),
+        script!(Unix50, "31.sh", "9.9", Quoted, "cat $IN | tr -c '[a-z][A-Z]' '\\n' | grep '[A-Z]' | tail +2 | cut -c 1-2 | sort | uniq -c | sort -rn | head -n 3 | tail -n 1"),
+        script!(Unix50, "32.sh", "10.1: count recipients", Mail, "cat $IN | grep '@' | tr -s ' ' '\\n' | grep -c '@'"),
+        script!(Unix50, "33.sh", "10.2: list recipients", Mail, "cat $IN | grep '@' | fmt -w1 | grep '@'"),
+        script!(Unix50, "34.sh", "10.3: extract username", Mail, "cat $IN | grep '@' | fmt -w1 | grep '@' | cut -d '@' -f 1 | tr '[A-Z]' '[a-z]' | sort | uniq"),
+        script!(Unix50, "35.sh", "11.1: year received medal", Awards, "cat $IN | grep 'UNIX' | cut -c 1-4"),
+        script!(Unix50, "36.sh", "11.2: most repeated first name", Awards, "cat $IN | cut -d ' ' -f 3 | sort | uniq -c | sort -rn | head -n 1 | awk '{print $2}' | sort"),
+    ];
+    CORPUS
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ids_unique_within_suite() {
+        let c = corpus();
+        let mut seen = std::collections::HashSet::new();
+        for s in c {
+            assert!(seen.insert((s.suite.dir(), s.id)), "duplicate {}/{}", s.suite.dir(), s.id);
+        }
+    }
+
+    #[test]
+    fn unix50_skips_22_and_27() {
+        let ids: Vec<&str> = corpus()
+            .iter()
+            .filter(|s| s.suite == Suite::Unix50)
+            .map(|s| s.id)
+            .collect();
+        assert!(!ids.contains(&"22.sh"));
+        assert!(!ids.contains(&"27.sh"));
+        assert!(ids.contains(&"36.sh"));
+    }
+
+    #[test]
+    fn figure1_script_is_wf() {
+        let wf = corpus()
+            .iter()
+            .find(|s| s.id == "wf.sh")
+            .expect("wf.sh present");
+        assert!(wf.text.contains("tr -cs A-Za-z"));
+        assert!(wf.text.contains("sort -rn"));
+    }
+
+    #[test]
+    fn every_script_reads_in_or_books() {
+        for s in corpus() {
+            assert!(
+                s.text.contains("$IN") || s.text.contains("/books/"),
+                "{} does not consume its input",
+                s.id
+            );
+        }
+    }
+}

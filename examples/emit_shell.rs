@@ -1,0 +1,55 @@
+//! Compile a pipeline to a *portable parallel shell script* — the
+//! artifact the paper's system deploys: the generated pipeline "executes
+//! directly in the same environment and with the same program and data
+//! locations as the original sequential command" (§1).
+//!
+//! The emitted script uses the real `tr`/`sort`/`uniq` binaries plus awk
+//! translations of the synthesized combiners; run it with `sh` next to an
+//! `access.log` to see it work outside this process entirely.
+//!
+//! ```sh
+//! cargo run --release --example emit_shell > parallel_topurls.sh
+//! printf 'GET /a\nGET /b\nGET /a\n' > access.log   # toy input
+//! sh parallel_topurls.sh
+//! ```
+
+use kq_cli::{emit_script, EmitOptions};
+use kumquat::coreutils::ExecContext;
+use kumquat::pipeline::parse::parse_script;
+use kumquat::pipeline::plan::Planner;
+use kumquat::synth::SynthesisConfig;
+use std::collections::HashMap;
+
+fn main() {
+    // Top requested URLs from a web access log.
+    let script_text = "cat access.log | cut -d ' ' -f 2 | sort | uniq -c | sort -rn";
+
+    // Plan against a representative sample (synthesis probes the command
+    // implementations; the real input file is only needed at run time).
+    let sample: String = (0..200)
+        .map(|i| format!("GET /page{}?x={} HTTP/1.1\n", i % 17, i))
+        .collect();
+    let env: HashMap<String, String> = HashMap::new();
+    let script = parse_script(script_text, &env).expect("script parses");
+    let ctx = ExecContext::default();
+    ctx.vfs.write("access.log", &sample);
+    let mut planner = Planner::new(SynthesisConfig::default());
+    let plan = planner.plan(&script, &ctx, &sample);
+
+    let emitted = emit_script(
+        &script,
+        &plan,
+        &EmitOptions {
+            workers: 8,
+            honor_elimination: true,
+        },
+    );
+    for (si, stage, combiner) in &emitted.degraded {
+        eprintln!("note: statement {si} stage {stage}: {combiner} kept sequential");
+    }
+    eprintln!(
+        "# emitted parallel script for: {script_text}\n# required input files: {:?}",
+        emitted.required_files
+    );
+    print!("{}", emitted.script);
+}

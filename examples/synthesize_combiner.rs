@@ -1,0 +1,62 @@
+//! Combiner-synthesis walkthrough: watch Algorithm 1 work over a spread of
+//! commands, printing the Table 10-style rows — search space breakdown,
+//! synthesis time, and the surviving plausible combiners — plus the
+//! Table 9-style rows for commands where no combiner exists.
+//!
+//! ```sh
+//! cargo run --release --example synthesize_combiner
+//! ```
+
+use kumquat::Kumquat;
+
+fn main() {
+    let mut kq = Kumquat::new();
+    let commands = [
+        // Counting commands: (back '\n' add).
+        "wc -l",
+        "grep -c light",
+        // Mapping commands: concat.
+        "tr A-Z a-z",
+        "cut -d ',' -f 1",
+        "awk 'length >= 16'",
+        // Sorting commands: merge with matching flags.
+        "sort",
+        "sort -rn",
+        // Selection commands: stitch / stitch2.
+        "uniq",
+        "uniq -c",
+        // Boundary-sensitive squeezing: rerun only.
+        "tr -cs A-Za-z '\\n'",
+        "sed 100q",
+        // Table 9: no combiner exists.
+        "sed 1d",
+        "tail +2",
+    ];
+
+    println!(
+        "{:<24} {:>26} {:>9} {:>6}  plausible combiners",
+        "command", "search space", "time", "obs"
+    );
+    for line in commands {
+        let report = kq.synthesize_command(line).expect("command parses");
+        let plausible = report.plausible();
+        let shown: Vec<String> = plausible.iter().take(3).map(|c| c.to_string()).collect();
+        let suffix = if plausible.len() > 3 {
+            format!(" … ({} total)", plausible.len())
+        } else {
+            String::new()
+        };
+        let verdict = if plausible.is_empty() {
+            "— no combiner exists".to_owned()
+        } else {
+            format!("{}{suffix}", shown.join(", "))
+        };
+        println!(
+            "{:<24} {:>26} {:>8.0?} {:>6}  {verdict}",
+            report.command,
+            report.space.to_string(),
+            report.elapsed,
+            report.observations,
+        );
+    }
+}

@@ -1,0 +1,71 @@
+//! The paper's §2 running example in full: the word-frequency pipeline,
+//! its per-stage combiners, the Theorem 5 optimization, and the measured
+//! unoptimized-vs-optimized virtual speedup curve (the Figure 5 story).
+//!
+//! ```sh
+//! cargo run --release --example word_frequency
+//! ```
+
+use kq_pipeline::exec::{run_parallel_measured, run_serial};
+use kq_pipeline::plan::{Planner, StageMode};
+use kq_pipeline::sim::{optimized_time, pipelined_time, staged_time, SimParams};
+use kq_synth::SynthesisConfig;
+use kq_workloads::inputs::gutenberg_text;
+use kumquat::coreutils::ExecContext;
+use std::collections::HashMap;
+
+fn main() {
+    let ctx = ExecContext::default();
+    let input = gutenberg_text(4 * 1024 * 1024, 7);
+    ctx.vfs.write("/in/book.txt", input.clone());
+    let env: HashMap<String, String> = [("IN".to_owned(), "/in/book.txt".to_owned())].into();
+
+    let text = r"cat $IN | tr -cs A-Za-z '\n' | tr A-Z a-z | sort | uniq -c | sort -rn";
+    let script = kq_pipeline::parse::parse_script(text, &env).expect("parses");
+
+    let mut planner = Planner::new(SynthesisConfig::default());
+    let cut = input[..input.len().min(64 * 1024)]
+        .rfind('\n')
+        .map(|i| i + 1)
+        .unwrap_or(input.len());
+    let plan = planner.plan(&script, &ctx, &input[..cut]);
+
+    println!("stage plan for wf.sh:");
+    for (stage, planned) in script.statements[0].stages.iter().zip(&plan.statements[0].stages) {
+        let mode = match &planned.mode {
+            StageMode::Sequential => "sequential".to_owned(),
+            StageMode::Parallel { combiner, eliminated } => {
+                let extra = if *eliminated { ", eliminated" } else { "" };
+                format!("parallel (combiner {}{extra})", combiner.primary())
+            }
+        };
+        println!("  {:22} {mode}", stage.command.display());
+    }
+
+    // Serial baseline and the pipelined "original" estimate.
+    let serial = run_serial(&script, &ctx).expect("serial run");
+    let params1 = SimParams::with_workers(1);
+    let u1 = staged_time(&serial.timings, &params1);
+    let torig = pipelined_time(&serial.timings, &params1);
+    println!("\nvirtual times (measured pieces on simulated workers):");
+    println!("  T_orig (pipelined shell): {:>9.1?}   u_1 (staged serial): {:>9.1?}", torig.wall, u1.wall);
+
+    println!("\n  w   unoptimized u_w    speedup   optimized T_w    speedup");
+    for w in [1usize, 2, 4, 8, 16] {
+        let params = SimParams::with_workers(w);
+        let unopt = run_parallel_measured(&script, &plan, &ctx, w, false).expect("unopt run");
+        let opt = run_parallel_measured(&script, &plan, &ctx, w, true).expect("opt run");
+        assert_eq!(unopt.output, serial.output, "unoptimized output diverged");
+        assert_eq!(opt.output, serial.output, "optimized output diverged");
+        let uw = staged_time(&unopt.timings, &params);
+        let tw = optimized_time(&opt.timings, &params);
+        println!(
+            "  {w:>2}   {:>12.1?}   {:>6.1}x   {:>12.1?}   {:>6.1}x",
+            uw.wall,
+            u1.wall.as_secs_f64() / uw.wall.as_secs_f64(),
+            tw.wall,
+            u1.wall.as_secs_f64() / tw.wall.as_secs_f64(),
+        );
+    }
+    println!("\n(the paper reports 10.7x unoptimized / 14.4x optimized at w = 16 on 3 GB)");
+}

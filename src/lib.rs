@@ -1,0 +1,3 @@
+//! Umbrella crate for the KumQuat reproduction workspace: hosts the
+//! runnable examples and the cross-crate integration tests.
+pub use kumquat;

@@ -1,0 +1,98 @@
+//! Corpus-wide validation of the chunked executor: for every benchmark
+//! script, `run_chunked` (dynamic load balancing over many small chunks)
+//! must produce exactly the serial output, like the static executor does.
+//!
+//! The chunked executor changes the *schedule* — chunk count is
+//! data-driven, workers pull chunks as they finish — but correctness must
+//! come entirely from the combiner equation, so the output is invariant.
+
+use kq_coreutils::ExecContext;
+use kq_pipeline::chunked::{run_chunked, ChunkedOptions};
+use kq_pipeline::exec::run_serial;
+use kq_pipeline::plan::{Planner, StageSegment};
+use kq_pipeline::parse::parse_script;
+use kq_synth::SynthesisConfig;
+use kq_workloads::{corpus, setup, Scale};
+
+#[test]
+fn all_seventy_scripts_run_chunked_correctly() {
+    let scale = Scale { input_bytes: 24_000 };
+    let mut planner = Planner::new(SynthesisConfig::default());
+    for script in corpus() {
+        let ctx = ExecContext::default();
+        let env = setup(script, &ctx, &scale, 0xBEEF);
+        let parsed = parse_script(script.text, &env)
+            .unwrap_or_else(|e| panic!("{}/{} parse: {e}", script.suite.dir(), script.id));
+        let sample = ctx.vfs.read(&env["IN"]).unwrap();
+        let cut = sample[..sample.len().min(16_000)]
+            .rfind('\n')
+            .map(|i| i + 1)
+            .unwrap_or(sample.len());
+        let plan = planner.plan(&parsed, &ctx, &sample[..cut]);
+
+        let serial = run_serial(&parsed, &ctx)
+            .unwrap_or_else(|e| panic!("{}/{} serial: {e}", script.suite.dir(), script.id));
+
+        // Small chunks force many pieces per segment; 3 workers contend.
+        let opts = ChunkedOptions {
+            workers: 3,
+            chunk_bytes: 2_000,
+            honor_elimination: true,
+        };
+        let chunked = run_chunked(&parsed, &plan, &ctx, &opts)
+            .unwrap_or_else(|e| panic!("{}/{} chunked: {e}", script.suite.dir(), script.id));
+        assert_eq!(
+            chunked.output, serial.output,
+            "{}/{} diverged under the chunked executor",
+            script.suite.dir(),
+            script.id
+        );
+    }
+}
+
+/// The segment grouping used by the chunked executor and the shell
+/// emitter: eliminated combiners fuse stages; disabling the optimization
+/// splits them apart.
+#[test]
+fn segments_respect_elimination_flag() {
+    let ctx = ExecContext::default();
+    let input = "b x\na y\nb z\n".repeat(60);
+    ctx.vfs.write("/in.txt", &input);
+    let parsed = parse_script(
+        "cat /in.txt | tr A-Z a-z | cut -d ' ' -f 1 | sort | uniq -c",
+        &Default::default(),
+    )
+    .unwrap();
+    let mut planner = Planner::new(SynthesisConfig::default());
+    let plan = planner.plan(&parsed, &ctx, &input);
+    let planned = &plan.statements[0];
+
+    let optimized = planned.segments(true);
+    let unoptimized = planned.segments(false);
+    // Unoptimized: every parallel stage is its own segment.
+    let par_stage_count = planned
+        .stages
+        .iter()
+        .filter(|s| s.mode.is_parallel())
+        .count();
+    let unopt_parallel_segments = unoptimized
+        .iter()
+        .filter(|s| matches!(s, StageSegment::Parallel { .. }))
+        .count();
+    assert_eq!(unopt_parallel_segments, par_stage_count);
+    // Optimized: eliminations fuse stages, so there are fewer segments.
+    assert!(
+        optimized.len() < unoptimized.len(),
+        "expected fusion: optimized {optimized:?} vs unoptimized {unoptimized:?}"
+    );
+    // Segments partition the stage indices in order.
+    let mut covered = Vec::new();
+    for seg in &optimized {
+        match seg {
+            StageSegment::Sequential { stage } => covered.push(*stage),
+            StageSegment::Parallel { stages } => covered.extend(stages.clone()),
+        }
+    }
+    let expected: Vec<usize> = (0..planned.stages.len()).collect();
+    assert_eq!(covered, expected);
+}

@@ -1,0 +1,107 @@
+//! The headline end-to-end property over the whole corpus: for every one
+//! of the 70 benchmark scripts, the KumQuat-parallelized pipeline produces
+//! exactly the serial output — at multiple worker counts, with and without
+//! the Theorem 5 optimization, on real threads and in measured mode.
+//! (The paper: "The generated parallel pipelines all produce correct
+//! outputs (same outputs as the original scripts).")
+
+use kq_coreutils::ExecContext;
+use kq_pipeline::exec::{run_parallel, run_parallel_measured, run_serial};
+use kq_pipeline::parse::parse_script;
+use kq_pipeline::plan::Planner;
+use kq_synth::SynthesisConfig;
+use kq_workloads::{corpus, setup, Scale};
+
+#[test]
+fn all_seventy_scripts_parallelize_correctly() {
+    let scale = Scale { input_bytes: 24_000 };
+    let mut planner = Planner::new(SynthesisConfig::default());
+    let mut parallelized_total = 0usize;
+    let mut stage_total = 0usize;
+    for script in corpus() {
+        let ctx = ExecContext::default();
+        let env = setup(script, &ctx, &scale, 0xC0FFEE);
+        let parsed = parse_script(script.text, &env)
+            .unwrap_or_else(|e| panic!("{}/{} parse: {e}", script.suite.dir(), script.id));
+        let sample = ctx.vfs.read(&env["IN"]).unwrap();
+        let cut = sample[..sample.len().min(16_000)]
+            .rfind('\n')
+            .map(|i| i + 1)
+            .unwrap_or(sample.len());
+        let plan = planner.plan(&parsed, &ctx, &sample[..cut]);
+
+        let serial = run_serial(&parsed, &ctx)
+            .unwrap_or_else(|e| panic!("{}/{} serial: {e}", script.suite.dir(), script.id));
+
+        // Real threads, optimized, w = 3.
+        let threaded = run_parallel(&parsed, &plan, &ctx, 3, true)
+            .unwrap_or_else(|e| panic!("{}/{} threaded: {e}", script.suite.dir(), script.id));
+        assert_eq!(
+            threaded.output, serial.output,
+            "{}/{} diverged (threads, w=3, optimized)",
+            script.suite.dir(),
+            script.id
+        );
+
+        // Measured mode, unoptimized, w = 5.
+        let measured = run_parallel_measured(&parsed, &plan, &ctx, 5, false)
+            .unwrap_or_else(|e| panic!("{}/{} measured: {e}", script.suite.dir(), script.id));
+        assert_eq!(
+            measured.output, serial.output,
+            "{}/{} diverged (measured, w=5, unoptimized)",
+            script.suite.dir(),
+            script.id
+        );
+
+        let (k, n) = plan.parallelized_counts();
+        parallelized_total += k;
+        stage_total += n;
+    }
+    // Aggregate shape versus the paper's 325/427 (76.1%).
+    let ratio = parallelized_total as f64 / stage_total as f64;
+    assert!(
+        (0.6..=0.95).contains(&ratio),
+        "parallelized ratio {ratio:.2} ({parallelized_total}/{stage_total}) far from the paper's 0.76"
+    );
+}
+
+#[test]
+fn worker_count_does_not_change_output() {
+    // Deeper sweep on a boundary-sensitive pipeline (uniq -c merges across
+    // splits at every worker count).
+    let scale = Scale { input_bytes: 30_000 };
+    let script = corpus().iter().find(|s| s.id == "wf.sh").unwrap();
+    let ctx = ExecContext::default();
+    let env = setup(script, &ctx, &scale, 11);
+    let parsed = parse_script(script.text, &env).unwrap();
+    let sample = ctx.vfs.read(&env["IN"]).unwrap();
+    let mut planner = Planner::new(SynthesisConfig::default());
+    let plan = planner.plan(&parsed, &ctx, &sample[..16_000]);
+    let serial = run_serial(&parsed, &ctx).unwrap();
+    for w in 1..=9 {
+        let par = run_parallel(&parsed, &plan, &ctx, w, true).unwrap();
+        assert_eq!(par.output, serial.output, "w={w}");
+    }
+}
+
+#[test]
+fn different_seeds_still_verify() {
+    // The corpus generators are seeded; correctness must not depend on a
+    // lucky seed.
+    let scale = Scale { input_bytes: 12_000 };
+    let mut planner = Planner::new(SynthesisConfig::default());
+    let script = corpus()
+        .iter()
+        .find(|s| s.id == "4.sh" && s.suite.dir() == "analytics-mts")
+        .unwrap();
+    for seed in [1u64, 99, 12345] {
+        let ctx = ExecContext::default();
+        let env = setup(script, &ctx, &scale, seed);
+        let parsed = parse_script(script.text, &env).unwrap();
+        let sample = ctx.vfs.read(&env["IN"]).unwrap();
+        let plan = planner.plan(&parsed, &ctx, &sample[..sample.len().min(8_000)]);
+        let serial = run_serial(&parsed, &ctx).unwrap();
+        let par = run_parallel(&parsed, &plan, &ctx, 4, true).unwrap();
+        assert_eq!(par.output, serial.output, "seed {seed}");
+    }
+}

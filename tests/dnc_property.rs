@@ -1,0 +1,158 @@
+//! The soundness property behind everything: a synthesized combiner `g`
+//! must satisfy `f(x1 ++ x2) = g(f(x1), f(x2))` on inputs the synthesizer
+//! never saw. For every supported command family we synthesize once, then
+//! hammer the combiner with hundreds of fresh random stream pairs.
+
+use kq_coreutils::{parse_command, ExecContext};
+use kq_dsl::eval::CommandEnv;
+use kq_synth::{synthesize, SynthesisConfig};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+/// Random newline-terminated stream whose lines come from a small pool
+/// (so duplicates hit the uniq/stitch paths) mixed with fresh noise.
+fn random_stream(rng: &mut SmallRng, max_lines: usize) -> String {
+    const POOL: [&str; 9] = ["alpha", "beta", "beta beta", "42", "9 lives", "", "zz top", "0", "mid dle"];
+    let n = rng.gen_range(1..=max_lines);
+    let mut out = String::new();
+    for _ in 0..n {
+        if rng.gen_bool(0.7) {
+            out.push_str(POOL[rng.gen_range(0..POOL.len())]);
+        } else {
+            for _ in 0..rng.gen_range(1..=3) {
+                out.push((b'a' + rng.gen_range(0..26)) as char);
+            }
+        }
+        out.push('\n');
+    }
+    out
+}
+
+/// Synthesizes a combiner for `cmd`, then checks the divide-and-conquer
+/// equation on `trials` random stream pairs. `sorted` pre-sorts the pairs
+/// (for commands whose domain is sorted streams).
+fn check_dnc(cmd: &str, trials: usize, sorted: bool) {
+    let command = parse_command(cmd).unwrap();
+    let ctx = ExecContext::default();
+    let report = synthesize(&command, &ctx, &SynthesisConfig::default());
+    let combiner = report
+        .combiner()
+        .unwrap_or_else(|| panic!("{cmd}: synthesis failed"));
+    let env = CommandEnv {
+        command: &command,
+        ctx: &ctx,
+    };
+    let mut rng = SmallRng::seed_from_u64(0xD1CE);
+    let mut checked = 0;
+    for _ in 0..trials {
+        let mut combined = random_stream(&mut rng, 14);
+        if sorted {
+            let mut lines: Vec<&str> = combined.lines().collect();
+            lines.sort_unstable();
+            combined = lines.iter().map(|l| format!("{l}\n")).collect();
+        }
+        let Some((x1, x2)) =
+            kq_stream::split::split_at_line_boundary(&combined, rng.gen_range(0..combined.len()))
+        else {
+            continue;
+        };
+        let (Ok(y1), Ok(y2), Ok(y12)) = (
+            command.run(x1, &ctx),
+            command.run(x2, &ctx),
+            command.run(&combined, &ctx),
+        ) else {
+            continue;
+        };
+        let got = combiner
+            .combine2(&y1, &y2, &env)
+            .unwrap_or_else(|e| panic!("{cmd}: combiner failed on {x1:?}/{x2:?}: {e}"));
+        assert_eq!(
+            got, y12,
+            "{cmd}: D&C violated for x1={x1:?} x2={x2:?} (combiner {})",
+            combiner.primary()
+        );
+        checked += 1;
+    }
+    assert!(checked > trials / 2, "{cmd}: too few checked pairs ({checked})");
+}
+
+#[test]
+fn dnc_holds_for_mapping_commands() {
+    check_dnc("tr a-z A-Z", 150, false);
+    check_dnc("grep a", 150, false);
+    check_dnc("cut -d ' ' -f 1", 150, false);
+    check_dnc("sed s/a/A/", 150, false);
+    check_dnc("rev", 150, false);
+    check_dnc("awk 'length >= 3'", 150, false);
+}
+
+#[test]
+fn dnc_holds_for_counting_commands() {
+    check_dnc("wc -l", 200, false);
+    check_dnc("wc -c", 200, false);
+    check_dnc("grep -c beta", 200, false);
+}
+
+#[test]
+fn dnc_holds_for_sorting_commands() {
+    check_dnc("sort", 150, false);
+    check_dnc("sort -rn", 150, false);
+    check_dnc("sort -u", 150, false);
+}
+
+#[test]
+fn dnc_holds_for_selection_commands() {
+    check_dnc("uniq", 250, false);
+    check_dnc("uniq -c", 250, false);
+    check_dnc("head -n 1", 150, false);
+    check_dnc("tail -n 1", 150, false);
+}
+
+#[test]
+fn dnc_holds_for_rerun_commands() {
+    check_dnc(r"tr -cs A-Za-z '\n'", 120, false);
+    check_dnc("sed 100q", 120, false);
+    check_dnc("uniq -c", 120, true); // sorted inputs exercise long runs
+}
+
+/// The extension commands (beyond the paper's corpus): the swapped
+/// concat (`tac`), the offset representative (`cat -n`, `nl -b a`), the
+/// top-level reducer (`awk END` sum), and per-line maps.
+#[test]
+fn dnc_holds_for_extension_commands() {
+    check_dnc("tac", 150, false);
+    check_dnc("cat -n", 150, false);
+    check_dnc("nl -b a", 120, false);
+    check_dnc("awk '{s += $1} END {print s}'", 150, false);
+    check_dnc("fold -w5", 120, false);
+    check_dnc("expand", 120, false);
+}
+
+/// k-way generalization (paper §3.5): the combiner applied across many
+/// substreams equals the serial run over the concatenation.
+#[test]
+fn dnc_generalizes_to_k_substreams() {
+    let mut rng = SmallRng::seed_from_u64(0xACE);
+    for cmd in ["uniq -c", "wc -l", "sort", "tr a-z A-Z", "cat -n", "tac"] {
+        let command = parse_command(cmd).unwrap();
+        let ctx = ExecContext::default();
+        let report = synthesize(&command, &ctx, &SynthesisConfig::default());
+        let combiner = report.combiner().unwrap();
+        let env = CommandEnv {
+            command: &command,
+            ctx: &ctx,
+        };
+        for _ in 0..40 {
+            let combined = random_stream(&mut rng, 30);
+            let k = rng.gen_range(2..=7);
+            let pieces = kq_stream::split_stream(&combined, k);
+            let outputs: Vec<String> = pieces
+                .iter()
+                .map(|p| command.run(p, &ctx).unwrap())
+                .collect();
+            let got = combiner.combine_all(&outputs, &env).unwrap();
+            let expect = command.run(&combined, &ctx).unwrap();
+            assert_eq!(got, expect, "{cmd} at k={k} on {combined:?}");
+        }
+    }
+}

@@ -1,0 +1,160 @@
+//! Synthesis verdicts for the extension commands (beyond the paper's
+//! Table 10 corpus). Each case exercises a DSL region the corpus barely
+//! reaches:
+//!
+//! * `cat -n`     → `(offset '\t' add)` — the representative `g_oa`;
+//! * `tac`        → `(concat b a)` — the swapped-argument candidate;
+//! * `awk END`    → `(back '\n' add)` at the *top* of the output (a pure
+//!   reducer, not a formatted count);
+//! * `fold`/`expand` → plain `concat`;
+//! * `nl`, bare `wc`, `grep -n`, `shuf` → instructive failures: gutter
+//!   formatting, padded multi-columns, out-of-alphabet delimiters, and
+//!   nondeterminism each defeat synthesis differently.
+
+use kumquat::dsl::ast::{Combiner, RecOp, StructOp};
+use kumquat::stream::Delim;
+use kumquat::synth::SynthesisOutcome;
+use kumquat::Kumquat;
+
+fn report(cmd: &str) -> kumquat::synth::SynthesisReport {
+    Kumquat::new().synthesize_command(cmd).unwrap()
+}
+
+#[test]
+fn cat_n_synthesizes_offset_add() {
+    let r = report("cat -n");
+    let ops: Vec<Combiner> = r.plausible().iter().map(|c| c.op.clone()).collect();
+    assert!(
+        ops.contains(&Combiner::Struct(StructOp::Offset(
+            Delim::Tab,
+            RecOp::Add
+        ))),
+        "expected (offset '\\t' add), got {ops:?}"
+    );
+    // Never plain concat: the second piece's numbering restarts at 1.
+    assert!(!ops.contains(&Combiner::Rec(RecOp::Concat)), "{ops:?}");
+}
+
+#[test]
+fn nl_gutter_defeats_offset() {
+    // GNU nl leaves empty lines as a 7-space gutter with no number and no
+    // tab; such lines are outside L(offset '\t' add), and numbering skips
+    // them, so offset dies. Rerun dies too (nl is not idempotent: it
+    // renumbers its own output). Default nl therefore has *no* combiner —
+    // while `nl -b a`, which numbers every line, synthesizes offset like
+    // `cat -n` does. One flag flips combinability.
+    let r = report("nl");
+    assert!(
+        matches!(r.outcome, SynthesisOutcome::NoCombiner { .. }),
+        "default nl must not synthesize; got {:?}",
+        r.plausible()
+    );
+
+    let all = report("nl -b a");
+    let ops: Vec<Combiner> = all.plausible().iter().map(|c| c.op.clone()).collect();
+    assert!(
+        ops.contains(&Combiner::Struct(StructOp::Offset(Delim::Tab, RecOp::Add))),
+        "nl -b a should synthesize (offset '\\t' add): {ops:?}"
+    );
+}
+
+#[test]
+fn tac_requires_the_swapped_concat() {
+    let r = report("tac");
+    let plausible = r.plausible();
+    let swapped_concat = plausible
+        .iter()
+        .any(|c| c.op == Combiner::Rec(RecOp::Concat) && c.swapped);
+    assert!(
+        swapped_concat,
+        "expected (concat b a) for tac, got {plausible:?}"
+    );
+    let unswapped_concat = plausible
+        .iter()
+        .any(|c| c.op == Combiner::Rec(RecOp::Concat) && !c.swapped);
+    assert!(!unswapped_concat, "plain concat must be eliminated for tac");
+}
+
+#[test]
+fn awk_end_sum_gets_back_newline_add() {
+    let r = report("awk '{s += $1} END {print s}'");
+    let ops: Vec<Combiner> = r.plausible().iter().map(|c| c.op.clone()).collect();
+    let back_add = Combiner::Rec(RecOp::Back(Delim::Newline, Box::new(RecOp::Add)));
+    assert!(ops.contains(&back_add), "expected (back '\\n' add): {ops:?}");
+    assert!(!ops.contains(&Combiner::Rec(RecOp::Concat)), "{ops:?}");
+}
+
+#[test]
+fn per_line_maps_get_concat() {
+    for cmd in ["fold -w16", "expand"] {
+        let r = report(cmd);
+        let combiner = r
+            .combiner()
+            .unwrap_or_else(|| panic!("{cmd}: no combiner synthesized"));
+        assert!(combiner.is_concat(), "{cmd}: {}", combiner.primary());
+    }
+}
+
+#[test]
+fn bare_wc_multicolumn_has_no_combiner() {
+    // "      1       2       6" — the padded triple is outside L(fuse ' '
+    // add) (leading pad makes the first element empty) and rerun
+    // re-counts the summary lines.
+    let r = report("wc");
+    assert!(
+        matches!(r.outcome, SynthesisOutcome::NoCombiner { .. }),
+        "bare wc must not synthesize; got {:?}",
+        r.plausible()
+    );
+}
+
+#[test]
+fn grep_n_delimiter_outside_alphabet() {
+    // `N:line` — ':' is not in the Figure 3 delimiter alphabet, so no
+    // offset-style candidate can parse the prefix; numbering restarts per
+    // piece, eliminating concat; rerun renumbers.
+    let r = report("grep -n light");
+    assert!(
+        matches!(r.outcome, SynthesisOutcome::NoCombiner { .. }),
+        "grep -n must not synthesize; got {:?}",
+        r.plausible()
+    );
+}
+
+#[test]
+fn nondeterministic_shuf_eliminates_everything() {
+    let r = report("shuf");
+    assert!(
+        matches!(r.outcome, SynthesisOutcome::NoCombiner { .. }),
+        "shuf is nondeterministic and must not synthesize; got {:?}",
+        r.plausible()
+    );
+}
+
+/// End to end: the extension commands actually parallelize (or stay
+/// sequential) correctly inside pipelines.
+#[test]
+fn extension_commands_run_parallel_correctly() {
+    let mut kq = Kumquat::new();
+    let input: String = (0..240)
+        .map(|i| format!("{} word{}\n", (i * 7) % 30, i % 13))
+        .collect();
+    kq.write_file("/in.txt", &input);
+    for script in [
+        "cat /in.txt | cat -n",
+        "cat /in.txt | tac",
+        "cat /in.txt | fold -w9",
+        "cat /in.txt | expand",
+        "cat /in.txt | cut -d ' ' -f 1 | awk '{s += $1} END {print s}'",
+        "cat /in.txt | nl",
+        "cat /in.txt | wc",
+        "cat /in.txt | grep -n word1",
+    ] {
+        for workers in [2, 5] {
+            let run = kq
+                .parallelize_and_run(script, workers)
+                .unwrap_or_else(|e| panic!("{script} (w={workers}): {e}"));
+            assert!(!run.output.is_empty(), "{script}");
+        }
+    }
+}

@@ -1,0 +1,157 @@
+//! Failure injection: how the synthesizer and the executors behave when a
+//! command violates KumQuat's model (determinism, stream-function purity)
+//! or fails outright.
+//!
+//! The paper's §3 model requires commands to be *deterministic* functions
+//! `Stream -> Stream`. These tests inject each violation and pin the
+//! system's response: synthesis refuses (returns no combiner), planners
+//! degrade to sequential, and executors surface honest errors instead of
+//! wrong output.
+
+use kumquat::coreutils::{CmdError, Command, ExecContext, UnixCommand};
+use kumquat::synth::{synthesize, SynthesisConfig, SynthesisOutcome};
+use kumquat::Kumquat;
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// A stateful "command": output depends on how often it has been called.
+/// Violates determinism the way a command reading a cache or a tempfile
+/// would.
+struct StatefulCounter {
+    calls: AtomicUsize,
+}
+
+impl UnixCommand for StatefulCounter {
+    fn display(&self) -> String {
+        "stateful-counter".to_owned()
+    }
+
+    fn run(&self, input: &str, _ctx: &ExecContext) -> Result<String, CmdError> {
+        let n = self.calls.fetch_add(1, Ordering::Relaxed);
+        Ok(format!("{}:{}\n", n, input.lines().count()))
+    }
+}
+
+/// A command that fails on inputs containing a poison line, the way real
+/// commands exit non-zero on malformed records.
+struct PoisonSensitive;
+
+impl UnixCommand for PoisonSensitive {
+    fn display(&self) -> String {
+        "poison-sensitive".to_owned()
+    }
+
+    fn run(&self, input: &str, _ctx: &ExecContext) -> Result<String, CmdError> {
+        if input.lines().any(|l| l == "POISON") {
+            return Err(CmdError::new("poison-sensitive", "bad record"));
+        }
+        Ok(input.to_uppercase())
+    }
+}
+
+#[test]
+fn stateful_command_synthesizes_nothing() {
+    let cmd = Command::custom(
+        vec!["stateful-counter".into()],
+        Box::new(StatefulCounter {
+            calls: AtomicUsize::new(0),
+        }),
+    );
+    let ctx = ExecContext::default();
+    let report = synthesize(&cmd, &ctx, &SynthesisConfig::default());
+    assert!(
+        matches!(report.outcome, SynthesisOutcome::NoCombiner { .. }),
+        "stateful command must not synthesize; got {:?}",
+        report.plausible()
+    );
+}
+
+#[test]
+fn command_failing_on_some_inputs_still_synthesizes_from_survivors() {
+    // PoisonSensitive only fails on a line the generator never produces;
+    // for everything else it is a per-line map, so concat synthesizes.
+    let cmd = Command::custom(
+        vec!["poison-sensitive".into()],
+        Box::new(PoisonSensitive),
+    );
+    let ctx = ExecContext::default();
+    let report = synthesize(&cmd, &ctx, &SynthesisConfig::default());
+    let combiner = report
+        .combiner()
+        .expect("poison-free probes should synthesize concat");
+    assert!(combiner.is_concat(), "got {}", combiner.primary());
+}
+
+#[test]
+fn nondeterministic_stage_stays_sequential_and_divergence_is_caught() {
+    // `shuf` synthesizes no combiner, so the planner keeps it sequential.
+    // But nondeterminism still breaks the run-level verification — serial
+    // and parallel runs shuffle differently — and `parallelize_and_run`
+    // must report that rather than return either output as "the" answer.
+    let mut kq = Kumquat::new();
+    let input: String = (0..200).map(|i| format!("line{i}\n")).collect();
+    kq.write_file("/in.txt", &input);
+    let result = kq.parallelize_and_run("cat /in.txt | shuf", 4);
+    let err = result.expect_err("two shuf runs cannot agree");
+    assert!(
+        err.to_string().contains("diverged"),
+        "unexpected error: {err}"
+    );
+}
+
+#[test]
+fn nondeterminism_laundered_through_sort_is_fine() {
+    // A canonicalizing stage downstream restores determinism: the overall
+    // pipeline is a deterministic stream function even though one stage
+    // is not, and parallelization of the *other* stages proceeds.
+    let mut kq = Kumquat::new();
+    let input: String = (0..200).map(|i| format!("line{}\n", (i * 31) % 100)).collect();
+    kq.write_file("/in.txt", &input);
+    let run = kq
+        .parallelize_and_run("cat /in.txt | shuf | sort | uniq -c", 4)
+        .expect("sort|uniq -c after shuf is deterministic");
+    assert!(run.output.contains(" line0\n"), "got: {}", run.output);
+    // shuf itself stayed sequential; sort and uniq -c parallelized.
+    assert_eq!(run.parallelized.1, 3, "three stages total");
+    assert!(run.parallelized.0 >= 2, "sort and uniq -c should parallelize");
+}
+
+#[test]
+fn poisoned_input_error_propagates_from_parallel_pieces() {
+    // When a piece fails mid-parallel-run, the executor returns the
+    // command's own error (no partial output, no hang).
+    let mut kq = Kumquat::new();
+    let mut input = String::new();
+    for i in 0..50 {
+        input.push_str(&format!("{i}\n"));
+    }
+    input.push_str("oops\n");
+    kq.write_file("/in.txt", &input);
+    // grep -v passes everything through; sed 's/oops/&/' keeps it; use a
+    // command that errors: comm demands sorted input.
+    let err = kq
+        .parallelize_and_run("cat /in.txt | comm -23 - /dict", 4)
+        .expect_err("comm without the dict file must fail");
+    assert!(
+        err.to_string().contains("No such file") || err.to_string().contains("comm"),
+        "unexpected error: {err}"
+    );
+}
+
+#[test]
+fn missing_input_file_fails_before_spawning_workers() {
+    let mut kq = Kumquat::new();
+    let err = kq
+        .parallelize_and_run("cat /nope.txt | sort", 8)
+        .expect_err("missing file");
+    assert!(err.to_string().contains("No such file"), "{err}");
+}
+
+#[test]
+fn zero_length_input_runs_through_every_executor() {
+    let mut kq = Kumquat::new();
+    kq.write_file("/empty.txt", "");
+    let run = kq
+        .parallelize_and_run("cat /empty.txt | sort | uniq -c | sort -rn", 8)
+        .unwrap();
+    assert_eq!(run.output, "");
+}

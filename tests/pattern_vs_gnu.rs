@@ -1,0 +1,120 @@
+//! Differential testing of the from-scratch BRE engine (`kq-pattern`)
+//! against the host's GNU grep: random patterns drawn from the corpus's
+//! BRE subset, random line sets, byte-identical selected lines.
+//!
+//! Skips silently when `grep` cannot be spawned.
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use std::io::Write as _;
+use std::process::{Command as Proc, Stdio};
+
+fn gnu_grep_available() -> bool {
+    Proc::new("grep")
+        .arg("--version")
+        .stdout(Stdio::null())
+        .stderr(Stdio::null())
+        .status()
+        .map(|s| s.success())
+        .unwrap_or(false)
+}
+
+/// Runs host `grep PATTERN` over `input`, returning the selected lines.
+/// Treats exit code 1 (no matches) as success with empty output.
+fn gnu_grep(pattern: &str, input: &str) -> Option<String> {
+    let mut child = Proc::new("grep")
+        .arg("--")
+        .arg(pattern)
+        .stdin(Stdio::piped())
+        .stdout(Stdio::piped())
+        .stderr(Stdio::null())
+        .spawn()
+        .ok()?;
+    child
+        .stdin
+        .as_mut()
+        .unwrap()
+        .write_all(input.as_bytes())
+        .ok()?;
+    let out = child.wait_with_output().ok()?;
+    match out.status.code() {
+        Some(0) | Some(1) => Some(String::from_utf8_lossy(&out.stdout).into_owned()),
+        _ => None, // grep rejected the pattern; skip this case
+    }
+}
+
+/// Generates a random BRE pattern from the corpus subset: literals, `.`,
+/// `*`, bracket expressions with ranges/negation, and anchors.
+fn random_pattern(rng: &mut SmallRng) -> String {
+    let mut pat = String::new();
+    if rng.gen_bool(0.25) {
+        pat.push('^');
+    }
+    let atoms = rng.gen_range(1..=4);
+    for _ in 0..atoms {
+        let mut atom = match rng.gen_range(0..5) {
+            0 | 1 => ((b'a' + rng.gen_range(0..6u8)) as char).to_string(),
+            2 => ".".to_owned(),
+            3 => {
+                let lo = (b'a' + rng.gen_range(0..4u8)) as char;
+                let hi = (lo as u8 + rng.gen_range(1..3u8)) as char;
+                format!("[{lo}-{hi}]")
+            }
+            _ => {
+                let c = (b'a' + rng.gen_range(0..6u8)) as char;
+                format!("[^{c}]")
+            }
+        };
+        if rng.gen_bool(0.3) {
+            atom.push('*');
+        }
+        pat.push_str(&atom);
+    }
+    if rng.gen_bool(0.25) {
+        pat.push('$');
+    }
+    pat
+}
+
+fn random_line(rng: &mut SmallRng) -> String {
+    let n = rng.gen_range(0..10);
+    (0..n)
+        .map(|_| {
+            let set = "abcdefxy.0 ";
+            set.as_bytes()[rng.gen_range(0..set.len())] as char
+        })
+        .collect()
+}
+
+#[test]
+fn bre_engine_matches_gnu_grep_on_random_patterns() {
+    if !gnu_grep_available() {
+        eprintln!("skipping: no GNU grep on this host");
+        return;
+    }
+    let mut rng = SmallRng::seed_from_u64(0xB2E);
+    let mut compared = 0usize;
+    for _ in 0..300 {
+        let pattern = random_pattern(&mut rng);
+        let Ok(re) = kq_pattern::Regex::new(&pattern) else {
+            continue;
+        };
+        let input: String = (0..12)
+            .map(|_| format!("{}\n", random_line(&mut rng)))
+            .collect();
+        let Some(gnu) = gnu_grep(&pattern, &input) else {
+            continue;
+        };
+        let ours: String = input
+            .lines()
+            .filter(|l| re.is_match(l))
+            .map(|l| format!("{l}\n"))
+            .collect();
+        assert_eq!(
+            ours, gnu,
+            "pattern {pattern:?} disagrees with GNU grep on {input:?}"
+        );
+        compared += 1;
+    }
+    assert!(compared > 100, "only {compared} cases compared");
+}

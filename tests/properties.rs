@@ -1,0 +1,171 @@
+//! Cross-crate property tests: total-function behaviour of the DSL
+//! evaluator, strategy-independence of k-way combining, shell-quoting
+//! round trips, and CLI-parser robustness.
+
+use kq_coreutils::split_words;
+use kq_dsl::ast::{Candidate, Combiner, RecOp, StructOp};
+use kq_dsl::eval::{eval, NoRunEnv};
+use kq_dsl::{combine_all_with, CombineStrategy, Delim};
+use proptest::prelude::*;
+
+/// Strategy producing arbitrary small RecOp trees.
+fn rec_op(depth: u32) -> BoxedStrategy<RecOp> {
+    let leaf = prop_oneof![
+        Just(RecOp::Add),
+        Just(RecOp::Concat),
+        Just(RecOp::First),
+        Just(RecOp::Second),
+    ];
+    leaf.prop_recursive(depth, 8, 1, |inner| {
+        (any_delim(), inner).prop_flat_map(|(d, b)| {
+            prop_oneof![
+                Just(RecOp::Front(d, Box::new(b.clone()))),
+                Just(RecOp::Back(d, Box::new(b.clone()))),
+                Just(RecOp::Fuse(d, Box::new(b))),
+            ]
+        })
+    })
+    .boxed()
+}
+
+fn any_delim() -> BoxedStrategy<Delim> {
+    prop_oneof![
+        Just(Delim::Newline),
+        Just(Delim::Tab),
+        Just(Delim::Space),
+        Just(Delim::Comma),
+    ]
+    .boxed()
+}
+
+/// Strategy producing arbitrary combiners (RecOp and StructOp; RunOp needs
+/// a command environment and is exercised elsewhere).
+fn any_combiner() -> BoxedStrategy<Combiner> {
+    prop_oneof![
+        rec_op(2).prop_map(Combiner::Rec),
+        rec_op(1).prop_map(|b| Combiner::Struct(StructOp::Stitch(b))),
+        (any_delim(), rec_op(1), rec_op(1))
+            .prop_map(|(d, b1, b2)| Combiner::Struct(StructOp::Stitch2(d, b1, b2))),
+        (any_delim(), rec_op(1)).prop_map(|(d, b)| Combiner::Struct(StructOp::Offset(d, b))),
+    ]
+    .boxed()
+}
+
+/// True when the combiner applies `fuse` anywhere in its tree (see
+/// `eval_succeeds_on_domain_members` for why fuse is special).
+fn contains_fuse(op: &Combiner) -> bool {
+    fn rec_has_fuse(b: &RecOp) -> bool {
+        match b {
+            RecOp::Fuse(..) => true,
+            RecOp::Front(_, inner) | RecOp::Back(_, inner) => rec_has_fuse(inner.as_ref()),
+            _ => false,
+        }
+    }
+    match op {
+        Combiner::Rec(b) => rec_has_fuse(b),
+        Combiner::Struct(StructOp::Stitch(b)) => rec_has_fuse(b),
+        Combiner::Struct(StructOp::Stitch2(_, b1, b2)) => {
+            rec_has_fuse(b1) || rec_has_fuse(b2)
+        }
+        Combiner::Struct(StructOp::Offset(_, b)) => rec_has_fuse(b),
+        Combiner::Run(_) => false,
+    }
+}
+
+/// The fuse caveat, pinned concretely: both arguments lie in
+/// `L(fuse ' ' concat)` (Definition B.1 is per-string), yet evaluation
+/// fails because their space counts differ — the equal-count side
+/// condition the paper derives only implicitly (Lemma B.3).
+#[test]
+fn fuse_domain_membership_does_not_imply_evaluation_success() {
+    let op = Combiner::Rec(RecOp::Fuse(Delim::Space, Box::new(RecOp::Concat)));
+    let y1 = "a b\n";      // one space: two fuse segments
+    let y2 = "x y z\n";    // two spaces: three fuse segments
+    assert!(kq_dsl::domain::in_domain(&op, y1));
+    assert!(kq_dsl::domain::in_domain(&op, y2));
+    assert!(eval(&op, y1, y2, &NoRunEnv).is_err());
+    // With matching counts the evaluation succeeds as B.1 promises:
+    // piecewise concat of ["a", "b\n"] and ["x", "y\n"], re-joined by ' '.
+    assert_eq!(eval(&op, "a b\n", "x y\n", &NoRunEnv).unwrap(), "ax b\ny\n");
+}
+
+proptest! {
+    /// The evaluator is a total function modulo `Result`: arbitrary
+    /// combiners applied to arbitrary strings either produce a value or a
+    /// domain error — never a panic, never an infinite loop.
+    #[test]
+    fn eval_never_panics(
+        op in any_combiner(),
+        y1 in ".{0,40}",
+        y2 in ".{0,40}",
+    ) {
+        let _ = eval(&op, &y1, &y2, &NoRunEnv);
+    }
+
+    /// Evaluation succeeds when both arguments are in the combiner's
+    /// legal domain `L(g)` (Definition B.1) — with the fuse caveat the
+    /// paper leaves implicit: `L(fuse d b)` is a per-string predicate, but
+    /// the Figure 6 fuse rules additionally require the two arguments to
+    /// carry the *same* delimiter count (the paper derives that equality
+    /// from evaluation success in Lemma B.3, so Definition B.1's "for any
+    /// y1, y2 ∈ L(g), the evaluation succeeds" is loose for fuse). This
+    /// property pins the honest statement; EXPERIMENTS.md records the
+    /// nuance.
+    #[test]
+    fn eval_succeeds_on_domain_members(
+        op in any_combiner(),
+        y1 in "[a-z0-9 \t\n,]{1,30}\n",
+        y2 in "[a-z0-9 \t\n,]{1,30}\n",
+    ) {
+        let in_domain = kq_dsl::domain::in_domain(&op, &y1)
+            && kq_dsl::domain::in_domain(&op, &y2);
+        let result = eval(&op, &y1, &y2, &NoRunEnv);
+        if in_domain && !contains_fuse(&op) {
+            prop_assert!(
+                result.is_ok(),
+                "op {op:?} rejected domain members {y1:?} / {y2:?}: {result:?}"
+            );
+        }
+    }
+
+    /// Strategy independence: for associative-on-adjacent-pieces
+    /// combiners (everything the corpus synthesizes), the three k-way
+    /// strategies agree byte for byte on piece lists produced by
+    /// splitting a stream.
+    #[test]
+    fn combine_strategies_agree_on_split_pieces(
+        lines in proptest::collection::vec("[a-c]{1,3}", 1..24),
+        k in 2usize..7,
+    ) {
+        let stream: String = lines.iter().map(|l| format!("{l}\n")).collect();
+        let pieces: Vec<String> = kq_stream::split_stream(&stream, k)
+            .into_iter()
+            .map(str::to_owned)
+            .collect();
+        for cand in [
+            Candidate::rec(RecOp::Concat),
+            Candidate::structural(StructOp::Stitch(RecOp::First)),
+        ] {
+            let flat = combine_all_with(CombineStrategy::Flat, &cand, &pieces, &NoRunEnv);
+            let tree = combine_all_with(CombineStrategy::TreeFold, &cand, &pieces, &NoRunEnv);
+            let fold = combine_all_with(CombineStrategy::FoldLeft, &cand, &pieces, &NoRunEnv);
+            prop_assert_eq!(&flat, &tree, "{} tree", &cand);
+            prop_assert_eq!(&flat, &fold, "{} fold", &cand);
+        }
+    }
+
+    /// Shell quoting round-trips through the shell-words splitter for any
+    /// printable word: `split_words(quote_sh(w)) == [w]`.
+    #[test]
+    fn quote_sh_round_trips(word in "[ -~]{1,24}") {
+        let quoted = kq_cli::quote_sh(&word);
+        let words = split_words(&quoted).expect("quoted word must re-split");
+        prop_assert_eq!(words, vec![word]);
+    }
+
+    /// The CLI argument parser never panics, whatever the argv.
+    #[test]
+    fn cli_args_never_panic(argv in proptest::collection::vec("[ -~]{0,12}", 0..8)) {
+        let _ = kq_cli::args::ParsedArgs::parse(&argv);
+    }
+}

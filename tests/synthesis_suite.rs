@@ -1,0 +1,198 @@
+//! Table 10 / Table 9 spot checks through the public façade: the expected
+//! combiner (class) for one command of each behavioural family, the
+//! paper-exact search-space sizes, and the no-combiner verdicts.
+
+use kumquat::dsl::ast::{Combiner, RecOp, RunOp, StructOp};
+use kumquat::stream::Delim;
+use kumquat::Kumquat;
+
+fn plausible_ops(kq: &mut Kumquat, cmd: &str) -> Vec<Combiner> {
+    kq.synthesize_command(cmd)
+        .unwrap()
+        .plausible()
+        .iter()
+        .map(|c| c.op.clone())
+        .collect()
+}
+
+#[test]
+fn counting_commands_get_back_add() {
+    let mut kq = Kumquat::new();
+    let back_add = Combiner::Rec(RecOp::Back(Delim::Newline, Box::new(RecOp::Add)));
+    for cmd in ["wc -l", "wc -w", "wc -c", "grep -c the"] {
+        let ops = plausible_ops(&mut kq, cmd);
+        assert!(ops.contains(&back_add), "{cmd}: {ops:?}");
+        assert!(!ops.contains(&Combiner::Rec(RecOp::Concat)), "{cmd}");
+    }
+}
+
+#[test]
+fn mapping_commands_get_concat() {
+    let mut kq = Kumquat::new();
+    for cmd in [
+        "tr A-Z a-z",
+        "cut -c 1-4",
+        "cut -d ',' -f 1",
+        "sed 's/$/0s/'",
+        "grep light",
+        "awk 'length >= 3'",
+        "rev",
+    ] {
+        let report = kq.synthesize_command(cmd).unwrap();
+        let combiner = report.combiner().unwrap_or_else(|| panic!("{cmd}: no combiner"));
+        assert!(combiner.is_concat(), "{cmd}: {}", combiner.primary());
+    }
+}
+
+#[test]
+fn sort_commands_get_matching_merge() {
+    let mut kq = Kumquat::new();
+    for (cmd, flags) in [
+        ("sort", vec![]),
+        ("sort -rn", vec!["-rn".to_owned()]),
+        ("sort -u", vec!["-u".to_owned()]),
+        ("sort -f", vec!["-f".to_owned()]),
+        ("sort -k1n", vec!["-k1n".to_owned()]),
+    ] {
+        let ops = plausible_ops(&mut kq, cmd);
+        assert!(
+            ops.contains(&Combiner::Run(RunOp::Merge(flags.clone()))),
+            "{cmd}: {ops:?}"
+        );
+    }
+}
+
+#[test]
+fn selection_commands_get_stitch_family() {
+    let mut kq = Kumquat::new();
+    let ops = plausible_ops(&mut kq, "uniq");
+    assert!(
+        ops.iter().any(|o| matches!(o, Combiner::Struct(StructOp::Stitch(_)))),
+        "uniq: {ops:?}"
+    );
+    let ops = plausible_ops(&mut kq, "uniq -c");
+    assert!(
+        ops.iter()
+            .any(|o| matches!(o, Combiner::Struct(StructOp::Stitch2(Delim::Space, RecOp::Add, _)))),
+        "uniq -c: {ops:?}"
+    );
+}
+
+#[test]
+fn window_commands_get_selection_or_rerun() {
+    let mut kq = Kumquat::new();
+    let ops = plausible_ops(&mut kq, "head -n 1");
+    assert!(ops.contains(&Combiner::Rec(RecOp::First)), "{ops:?}");
+    let ops = plausible_ops(&mut kq, "tail -n 1");
+    assert!(ops.contains(&Combiner::Rec(RecOp::Second)), "{ops:?}");
+    // Larger windows: only rerun survives.
+    let report = kq.synthesize_command("sed 100q").unwrap();
+    assert!(report.combiner().unwrap().is_rerun());
+    let report = kq.synthesize_command("head -15").unwrap();
+    assert!(report.combiner().unwrap().is_rerun());
+}
+
+#[test]
+fn squeezing_commands_need_rerun() {
+    let mut kq = Kumquat::new();
+    for cmd in [r"tr -cs A-Za-z '\n'", r"tr -s ' ' '\n'"] {
+        let report = kq.synthesize_command(cmd).unwrap();
+        let combiner = report
+            .combiner()
+            .unwrap_or_else(|| panic!("{cmd}: no combiner"));
+        assert!(combiner.is_rerun(), "{cmd}: {}", combiner.primary());
+    }
+}
+
+#[test]
+fn table9_commands_have_no_combiner() {
+    let mut kq = Kumquat::new();
+    for cmd in ["sed 1d", "sed 2d", "sed 3d", "sed 4d", "sed 5d", "tail +2", "tail +3"] {
+        let report = kq.synthesize_command(cmd).unwrap();
+        assert!(
+            report.combiner().is_none(),
+            "{cmd} unexpectedly synthesized {:?}",
+            report.plausible().iter().map(|c| c.to_string()).collect::<Vec<_>>()
+        );
+    }
+}
+
+#[test]
+fn search_space_sizes_match_table10() {
+    let mut kq = Kumquat::new();
+    // Newline-only outputs → 2700.
+    assert_eq!(kq.synthesize_command("wc -l").unwrap().space.total(), 2700);
+    assert_eq!(
+        kq.synthesize_command(r"tr -cs A-Za-z '\n'").unwrap().space.total(),
+        2700
+    );
+    // Newline + space outputs → 26404.
+    assert_eq!(kq.synthesize_command("cat").unwrap().space.total(), 26404);
+    assert_eq!(kq.synthesize_command("uniq -c").unwrap().space.total(), 26404);
+}
+
+#[test]
+fn xargs_synthesizes_via_filename_profile() {
+    let mut kq = Kumquat::new();
+    let report = kq.synthesize_command("xargs cat").unwrap();
+    assert_eq!(report.profile, kumquat::synth::InputProfile::FileNames);
+    let combiner = report.combiner().expect("combiner for xargs cat");
+    assert!(combiner.is_concat(), "{}", combiner.primary());
+}
+
+#[test]
+fn comm_synthesizes_concat_when_dict_is_disjoint() {
+    // The paper's situation: the dictionary does not overlap the
+    // generator's vocabulary, so the matching path never sees boundary
+    // duplicates and concat survives (Table 10 row 1).
+    let mut kq = Kumquat::new();
+    kq.write_file("/dict", "0qqqq
+0zzzz
+");
+    let report = kq.synthesize_command("comm -23 - /dict").unwrap();
+    assert_eq!(report.profile, kumquat::synth::InputProfile::Sorted);
+    let combiner = report.combiner().expect("combiner for comm -23");
+    assert!(combiner.is_concat(), "{}", combiner.primary());
+}
+
+#[test]
+fn comm_concat_is_refuted_by_boundary_duplicates() {
+    // Reproduction finding (see EXPERIMENTS.md): when the dictionary
+    // overlaps the generated vocabulary, a sorted pair that repeats a
+    // dictionary word across the split boundary shows that *no* DSL
+    // combiner is correct for comm -23: comm consumes dictionary lines
+    // per occurrence, so f(x1 ++ x2) != f(x1) ++ f(x2).
+    let mut kq = Kumquat::new();
+    kq.write_file("/dict", "of
+");
+    let command = kumquat::coreutils::parse_command("comm -23 - /dict").unwrap();
+    let y1 = command.run("of
+", &kq.ctx).unwrap();
+    let y2 = command.run("of
+", &kq.ctx).unwrap();
+    let y12 = command.run("of
+of
+", &kq.ctx).unwrap();
+    assert_eq!(y1, "");
+    assert_eq!(y2, "");
+    assert_eq!(y12, "of
+", "the second occurrence has no dict line left");
+    // A dictionary overlapping the generator vocabulary lets synthesis
+    // discover this: no combiner survives.
+    kq.write_file("/overlapping", kq_workloads::inputs::dictionary());
+    let report = kq.synthesize_command("comm -23 - /overlapping").unwrap();
+    assert!(
+        report.combiner().is_none(),
+        "synthesis should refute every combiner, got {:?}",
+        report.plausible().iter().map(|c| c.to_string()).collect::<Vec<_>>()
+    );
+}
+
+#[test]
+fn synthesis_is_deterministic() {
+    let mut kq1 = Kumquat::new();
+    let mut kq2 = Kumquat::new();
+    let a = plausible_ops(&mut kq1, "uniq -c");
+    let b = plausible_ops(&mut kq2, "uniq -c");
+    assert_eq!(a, b);
+}
