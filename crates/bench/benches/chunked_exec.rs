@@ -35,11 +35,7 @@ fn skewed_input(lines: usize) -> String {
 fn bench_chunked_vs_static(c: &mut Criterion) {
     let input = skewed_input(3_000);
     let env: HashMap<String, String> = HashMap::new();
-    let script = parse_script(
-        r"cat /in.txt | grep '\(.\).*\1\(.\).*\2' | wc -l",
-        &env,
-    )
-    .unwrap();
+    let script = parse_script(r"cat /in.txt | grep '\(.\).*\1\(.\).*\2' | wc -l", &env).unwrap();
     let ctx = ExecContext::default();
     ctx.vfs.write("/in.txt", &input);
     let mut planner = Planner::new(SynthesisConfig::default());

@@ -11,11 +11,12 @@ use criterion::{criterion_group, criterion_main, Criterion, Throughput};
 use kq_dsl::ast::{Candidate, RecOp, StructOp};
 use kq_dsl::eval::NoRunEnv;
 use kq_dsl::{combine_all_with, CombineStrategy, Delim};
+use kq_stream::Bytes;
 use std::hint::black_box;
 
 /// Builds `k` uniq -c–shaped pieces totalling roughly `bytes` bytes, with
 /// matching boundary keys so `stitch2` exercises its merge arm.
-fn counted_pieces(k: usize, bytes: usize) -> Vec<String> {
+fn counted_pieces(k: usize, bytes: usize) -> Vec<Bytes> {
     let per_piece_lines = (bytes / k / 14).max(2);
     (0..k)
         .map(|p| {
@@ -29,13 +30,13 @@ fn counted_pieces(k: usize, bytes: usize) -> Vec<String> {
                 };
                 s.push_str(&format!("{:>7} {word}\n", (i % 9) + 1));
             }
-            s
+            Bytes::from(s)
         })
         .collect()
 }
 
 /// Plain text pieces for the concat comparison.
-fn text_pieces(k: usize, bytes: usize) -> Vec<String> {
+fn text_pieces(k: usize, bytes: usize) -> Vec<Bytes> {
     let per = bytes / k;
     (0..k)
         .map(|p| {
@@ -43,7 +44,7 @@ fn text_pieces(k: usize, bytes: usize) -> Vec<String> {
             while s.len() < per {
                 s.push_str(&format!("piece {p} line {}\n", s.len()));
             }
-            s
+            Bytes::from(s)
         })
         .collect()
 }
@@ -77,11 +78,7 @@ fn bench_combine_strategies(c: &mut Criterion) {
     }
     group.finish();
 
-    let stitch2 = Candidate::structural(StructOp::Stitch2(
-        Delim::Space,
-        RecOp::Add,
-        RecOp::First,
-    ));
+    let stitch2 = Candidate::structural(StructOp::Stitch2(Delim::Space, RecOp::Add, RecOp::First));
     let mut group = c.benchmark_group("combine_strategy/stitch2");
     group.throughput(Throughput::Bytes(BYTES as u64));
     group.sample_size(20);

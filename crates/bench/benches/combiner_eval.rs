@@ -10,7 +10,11 @@ use std::hint::black_box;
 fn count_table(lines: usize, seed: u64) -> String {
     let mut out = String::new();
     for i in 0..lines {
-        out.push_str(&format!("{:>7} word{}\n", (i * seed as usize) % 900 + 1, i % 50));
+        out.push_str(&format!(
+            "{:>7} word{}\n",
+            (i * seed as usize) % 900 + 1,
+            i % 50
+        ));
     }
     out
 }

@@ -24,7 +24,10 @@ fn bench_wf(c: &mut Criterion) {
     )
     .unwrap();
     let mut planner = Planner::new(SynthesisConfig::default());
-    let cut = input[..48 * 1024].rfind('\n').map(|i| i + 1).unwrap_or(input.len());
+    let cut = input[..48 * 1024]
+        .rfind('\n')
+        .map(|i| i + 1)
+        .unwrap_or(input.len());
     let plan = planner.plan(&script, &ctx, &input[..cut]);
 
     let mut group = c.benchmark_group("wf_pipeline_256KB");

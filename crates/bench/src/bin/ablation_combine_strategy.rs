@@ -11,9 +11,10 @@
 use kq_dsl::ast::{Candidate, RecOp, StructOp};
 use kq_dsl::eval::NoRunEnv;
 use kq_dsl::{combine_all_with, CombineStrategy, Delim};
+use kq_stream::Bytes;
 use std::time::Instant;
 
-fn text_pieces(k: usize, bytes: usize) -> Vec<String> {
+fn text_pieces(k: usize, bytes: usize) -> Vec<Bytes> {
     let per = bytes / k;
     (0..k)
         .map(|p| {
@@ -21,12 +22,12 @@ fn text_pieces(k: usize, bytes: usize) -> Vec<String> {
             while s.len() < per {
                 s.push_str(&format!("piece {p} line {}\n", s.len()));
             }
-            s
+            Bytes::from(s)
         })
         .collect()
 }
 
-fn counted_pieces(k: usize, bytes: usize) -> Vec<String> {
+fn counted_pieces(k: usize, bytes: usize) -> Vec<Bytes> {
     let per_piece_lines = (bytes / k / 14).max(2);
     (0..k)
         .map(|p| {
@@ -39,17 +40,12 @@ fn counted_pieces(k: usize, bytes: usize) -> Vec<String> {
                 };
                 s.push_str(&format!("{:>7} {word}\n", (i % 9) + 1));
             }
-            s
+            Bytes::from(s)
         })
         .collect()
 }
 
-fn time_one(
-    strategy: CombineStrategy,
-    cand: &Candidate,
-    pieces: &[String],
-    reps: usize,
-) -> f64 {
+fn time_one(strategy: CombineStrategy, cand: &Candidate, pieces: &[Bytes], reps: usize) -> f64 {
     // One warmup, then the best of `reps` runs (minimum is the standard
     // robust estimator for single-machine microbenchmarks).
     combine_all_with(strategy, cand, pieces, &NoRunEnv).unwrap();
@@ -70,17 +66,16 @@ fn main() {
         .and_then(|v| v.parse::<usize>().ok())
         .unwrap_or(2_048)
         * 1024;
-    println!("Ablation — k-way combine strategy (input ≈ {} KiB total)", bytes / 1024);
+    println!(
+        "Ablation — k-way combine strategy (input ≈ {} KiB total)",
+        bytes / 1024
+    );
     println!(
         "{:<10} {:>4} {:>12} {:>12} {:>12}   fold/flat",
         "combiner", "k", "flat (ms)", "tree (ms)", "fold-left"
     );
     let concat = Candidate::rec(RecOp::Concat);
-    let stitch2 = Candidate::structural(StructOp::Stitch2(
-        Delim::Space,
-        RecOp::Add,
-        RecOp::First,
-    ));
+    let stitch2 = Candidate::structural(StructOp::Stitch2(Delim::Space, RecOp::Add, RecOp::First));
     for k in [2usize, 4, 8, 16, 32, 64] {
         let pieces = text_pieces(k, bytes);
         let flat = time_one(CombineStrategy::Flat, &concat, &pieces, 5);
@@ -88,7 +83,12 @@ fn main() {
         let fold = time_one(CombineStrategy::FoldLeft, &concat, &pieces, 5);
         println!(
             "{:<10} {:>4} {:>12.3} {:>12.3} {:>12.3}   {:>6.1}x",
-            "concat", k, flat, tree, fold, fold / flat
+            "concat",
+            k,
+            flat,
+            tree,
+            fold,
+            fold / flat
         );
     }
     for k in [2usize, 4, 8, 16, 32, 64] {
@@ -98,12 +98,15 @@ fn main() {
         let fold = time_one(CombineStrategy::FoldLeft, &stitch2, &pieces, 5);
         println!(
             "{:<10} {:>4} {:>12.3} {:>12.3} {:>12.3}   {:>6.1}x",
-            "stitch2", k, flat, tree, fold, fold / flat
+            "stitch2",
+            k,
+            flat,
+            tree,
+            fold,
+            fold / flat
         );
     }
     println!();
-    println!(
-        "flat == tree for stitch2 (no native k-way path); the left fold re-copies"
-    );
+    println!("flat == tree for stitch2 (no native k-way path); the left fold re-copies");
     println!("the accumulator per piece and scales with k, motivating §3.5's design.");
 }

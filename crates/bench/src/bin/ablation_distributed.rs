@@ -40,10 +40,7 @@ fn main() {
             "dedup (shrinking: sort -u)",
             r"cat /in.txt | tr -cs A-Za-z '\n' | sort -u",
         ),
-        (
-            "lowercase (concat: no shrink)",
-            "cat /in.txt | tr A-Z a-z",
-        ),
+        ("lowercase (concat: no shrink)", "cat /in.txt | tr A-Z a-z"),
     ];
 
     println!(
@@ -71,22 +68,13 @@ fn main() {
             let workers_per_node = 4;
             // Measure with one piece per cluster slot, elimination off so
             // every stage records its combine cost.
-            let measured = run_parallel_measured(
-                &script,
-                &plan,
-                &ctx,
-                nodes * workers_per_node,
-                false,
-            )
-            .expect("measured run");
+            let measured =
+                run_parallel_measured(&script, &plan, &ctx, nodes * workers_per_node, false)
+                    .expect("measured run");
             let cluster = ClusterParams::commodity(nodes, workers_per_node);
-            let central =
-                distributed_time(&measured.timings, &cluster, CombinePlacement::Central);
-            let hier = distributed_time(
-                &measured.timings,
-                &cluster,
-                CombinePlacement::Hierarchical,
-            );
+            let central = distributed_time(&measured.timings, &cluster, CombinePlacement::Central);
+            let hier =
+                distributed_time(&measured.timings, &cluster, CombinePlacement::Hierarchical);
             println!(
                 "{:<38} {:>5} {:>12.1?} {:>12.1?} {:>7.2}x {:>9} KiB",
                 name,

@@ -30,8 +30,16 @@ fn main() {
             ..SynthesisConfig::default()
         };
         let random = synthesize(&command, &ctx, &random_cfg);
-        let same = gradient.plausible().iter().map(|c| c.to_string()).collect::<Vec<_>>()
-            == random.plausible().iter().map(|c| c.to_string()).collect::<Vec<_>>();
+        let same = gradient
+            .plausible()
+            .iter()
+            .map(|c| c.to_string())
+            .collect::<Vec<_>>()
+            == random
+                .plausible()
+                .iter()
+                .map(|c| c.to_string())
+                .collect::<Vec<_>>();
         println!(
             "{:<24} {:>14} {:>14} {:>10} {:>10}  {}",
             cmd,

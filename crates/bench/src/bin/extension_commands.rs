@@ -12,7 +12,10 @@ fn main() {
     let cases: &[(&str, &str)] = &[
         ("cat -n", "offset '\\t' add — the g_oa representative"),
         ("nl -b a", "same numbering as cat -n"),
-        ("nl", "gutter lines break offset; not idempotent, so no rerun"),
+        (
+            "nl",
+            "gutter lines break offset; not idempotent, so no rerun",
+        ),
         ("tac", "swapped concat (concat b a)"),
         ("awk '{s += $1} END {print s}'", "top-level reducer"),
         ("fold -w16", "per-line map"),
@@ -24,8 +27,8 @@ fn main() {
     ];
     println!("Extension commands (beyond the paper's Table 10)");
     println!(
-        "{:<34} {:>9} {:>9}  {}",
-        "command", "space", "time", "plausible combiners / verdict"
+        "{:<34} {:>9} {:>9}  plausible combiners / verdict",
+        "command", "space", "time"
     );
     for (cmd, why) in cases {
         let command = match parse_command(cmd) {

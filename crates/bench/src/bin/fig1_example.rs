@@ -20,10 +20,17 @@ fn main() {
         .unwrap_or(sample.len());
     let plan = planner.plan(&parsed, &ctx, &sample[..cut]);
     println!("Figure 1 pipeline: {}", script.text);
-    for (stage, planned) in parsed.statements[0].stages.iter().zip(&plan.statements[0].stages) {
+    for (stage, planned) in parsed.statements[0]
+        .stages
+        .iter()
+        .zip(&plan.statements[0].stages)
+    {
         let mode = match &planned.mode {
             StageMode::Sequential => "sequential".to_owned(),
-            StageMode::Parallel { combiner, eliminated } => format!(
+            StageMode::Parallel {
+                combiner,
+                eliminated,
+            } => format!(
                 "parallel, combiner {}{}",
                 combiner.primary(),
                 if *eliminated { " (eliminated)" } else { "" }

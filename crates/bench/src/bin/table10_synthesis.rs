@@ -2,7 +2,9 @@
 //! breakdown, synthesis time, and the plausible combiner set.
 
 fn main() {
-    let scale = kq_workloads::Scale { input_bytes: 64 * 1024 };
+    let scale = kq_workloads::Scale {
+        input_bytes: 64 * 1024,
+    };
     let (_, reports) = kq_bench::measure_corpus(&scale, &[2]);
     kq_bench::tables::print_table10(&reports);
 }

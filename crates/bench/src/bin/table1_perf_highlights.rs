@@ -7,8 +7,7 @@ fn main() {
         .iter()
         .map(|r| (r.suite, r.id))
         .collect();
-    let mut planner =
-        kq_pipeline::plan::Planner::new(kq_synth::SynthesisConfig::default());
+    let mut planner = kq_pipeline::plan::Planner::new(kq_synth::SynthesisConfig::default());
     let measurements: Vec<_> = kq_workloads::corpus()
         .iter()
         .filter(|s| wanted.contains(&(s.suite.dir(), s.id)))

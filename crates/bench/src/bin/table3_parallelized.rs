@@ -2,7 +2,9 @@
 //! Planning only needs combiners, so this runs at a small input scale.
 
 fn main() {
-    let scale = kq_workloads::Scale { input_bytes: 64 * 1024 };
+    let scale = kq_workloads::Scale {
+        input_bytes: 64 * 1024,
+    };
     let (ms, _) = kq_bench::measure_corpus(&scale, &[4]);
     kq_bench::tables::print_table3(&ms);
 }

@@ -3,6 +3,9 @@
 fn main() {
     let scale = kq_workloads::Scale::bench();
     let (ms, _) = kq_bench::measure_corpus(&scale, &[1, 16]);
-    assert!(ms.iter().all(|m| m.outputs_verified), "a parallel output diverged");
+    assert!(
+        ms.iter().all(|m| m.outputs_verified),
+        "a parallel output diverged"
+    );
     kq_bench::tables::print_table4(&ms);
 }

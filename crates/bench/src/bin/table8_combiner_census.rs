@@ -2,7 +2,9 @@
 //! across every unique command in the corpus.
 
 fn main() {
-    let scale = kq_workloads::Scale { input_bytes: 64 * 1024 };
+    let scale = kq_workloads::Scale {
+        input_bytes: 64 * 1024,
+    };
     let (_, reports) = kq_bench::measure_corpus(&scale, &[2]);
     kq_bench::tables::print_table8(&reports);
 }

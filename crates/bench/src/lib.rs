@@ -137,7 +137,10 @@ pub fn measure_script(
 }
 
 /// Measures the whole corpus with a shared synthesis cache.
-pub fn measure_corpus(scale: &Scale, workers: &[usize]) -> (Vec<ScriptMeasurement>, Vec<SynthesisReport>) {
+pub fn measure_corpus(
+    scale: &Scale,
+    workers: &[usize],
+) -> (Vec<ScriptMeasurement>, Vec<SynthesisReport>) {
     let mut planner = Planner::new(SynthesisConfig::default());
     let measurements = kq_workloads::corpus()
         .iter()
@@ -188,7 +191,9 @@ mod tests {
         let mut planner = Planner::new(SynthesisConfig::default());
         let m = measure_script(
             script,
-            &Scale { input_bytes: 30_000 },
+            &Scale {
+                input_bytes: 30_000,
+            },
             &[1, 4],
             &mut planner,
         );
@@ -203,6 +208,9 @@ mod tests {
     #[test]
     fn format_counts_matches_table3_style() {
         assert_eq!(format_counts(&[(4, 5)]), "4/5");
-        assert_eq!(format_counts(&[(0, 1), (3, 3), (2, 2)]), "5/6 (0/1, 3/3, 2/2)");
+        assert_eq!(
+            format_counts(&[(0, 1), (3, 3), (2, 2)]),
+            "5/6 (0/1, 3/3, 2/2)"
+        );
     }
 }

@@ -18,14 +18,70 @@ pub struct Table1Row {
 
 /// Table 1 of the paper.
 pub const TABLE1: [Table1Row; 8] = [
-    Table1Row { suite: "analytics-mts", id: "2.sh", parallelized: (8, 8), eliminated: 3, u16_speedup: 9.3, t16_speedup: 13.5 },
-    Table1Row { suite: "analytics-mts", id: "3.sh", parallelized: (8, 8), eliminated: 3, u16_speedup: 8.4, t16_speedup: 11.3 },
-    Table1Row { suite: "oneliners", id: "set-diff.sh", parallelized: (5, 8), eliminated: 3, u16_speedup: 9.1, t16_speedup: 10.2 },
-    Table1Row { suite: "oneliners", id: "wf.sh", parallelized: (4, 5), eliminated: 1, u16_speedup: 10.7, t16_speedup: 14.4 },
-    Table1Row { suite: "poets", id: "4_3b.sh", parallelized: (4, 9), eliminated: 1, u16_speedup: 3.8, t16_speedup: 3.8 },
-    Table1Row { suite: "poets", id: "8.2_2.sh", parallelized: (4, 9), eliminated: 1, u16_speedup: 5.2, t16_speedup: 10.2 },
-    Table1Row { suite: "unix50", id: "21.sh", parallelized: (3, 3), eliminated: 1, u16_speedup: 11.4, t16_speedup: 14.9 },
-    Table1Row { suite: "unix50", id: "23.sh", parallelized: (6, 6), eliminated: 4, u16_speedup: 8.8, t16_speedup: 19.8 },
+    Table1Row {
+        suite: "analytics-mts",
+        id: "2.sh",
+        parallelized: (8, 8),
+        eliminated: 3,
+        u16_speedup: 9.3,
+        t16_speedup: 13.5,
+    },
+    Table1Row {
+        suite: "analytics-mts",
+        id: "3.sh",
+        parallelized: (8, 8),
+        eliminated: 3,
+        u16_speedup: 8.4,
+        t16_speedup: 11.3,
+    },
+    Table1Row {
+        suite: "oneliners",
+        id: "set-diff.sh",
+        parallelized: (5, 8),
+        eliminated: 3,
+        u16_speedup: 9.1,
+        t16_speedup: 10.2,
+    },
+    Table1Row {
+        suite: "oneliners",
+        id: "wf.sh",
+        parallelized: (4, 5),
+        eliminated: 1,
+        u16_speedup: 10.7,
+        t16_speedup: 14.4,
+    },
+    Table1Row {
+        suite: "poets",
+        id: "4_3b.sh",
+        parallelized: (4, 9),
+        eliminated: 1,
+        u16_speedup: 3.8,
+        t16_speedup: 3.8,
+    },
+    Table1Row {
+        suite: "poets",
+        id: "8.2_2.sh",
+        parallelized: (4, 9),
+        eliminated: 1,
+        u16_speedup: 5.2,
+        t16_speedup: 10.2,
+    },
+    Table1Row {
+        suite: "unix50",
+        id: "21.sh",
+        parallelized: (3, 3),
+        eliminated: 1,
+        u16_speedup: 11.4,
+        t16_speedup: 14.9,
+    },
+    Table1Row {
+        suite: "unix50",
+        id: "23.sh",
+        parallelized: (6, 6),
+        eliminated: 4,
+        u16_speedup: 8.8,
+        t16_speedup: 19.8,
+    },
 ];
 
 /// Aggregate paper statistics quoted in §4 and the appendix tables.
@@ -62,19 +118,31 @@ pub const TABLE8: [(&str, usize); 13] = [
     ("((back '\\n' second) a b) or ((back '\\n' first) b a)", 2),
     ("(second a b) or (first b a)", 2),
     ("((fuse '\\n' second) a b) or ((fuse '\\n' first) b a)", 2),
-    ("((stitch2 ' ' add first) a b) or ((stitch2 ' ' add second) a b)", 2),
+    (
+        "((stitch2 ' ' add first) a b) or ((stitch2 ' ' add second) a b)",
+        2,
+    ),
     ("((stitch first) a b) or ((stitch second) a b)", 2),
 ];
 
 /// Table 9 of the paper: the eight commands with no synthesized combiner.
 pub const TABLE9: [(&str, &str); 8] = [
-    ("awk '$1 == 2 {print $2, $3}'", "KumQuat did not generate inputs producing nonempty outputs"),
-    ("sed 1d", "no combiner exists (each piece drops its own first line)"),
+    (
+        "awk '$1 == 2 {print $2, $3}'",
+        "KumQuat did not generate inputs producing nonempty outputs",
+    ),
+    (
+        "sed 1d",
+        "no combiner exists (each piece drops its own first line)",
+    ),
     ("sed 2d", "no combiner exists"),
     ("sed 3d", "no combiner exists"),
     ("sed 4d", "no combiner exists"),
     ("sed 5d", "no combiner exists"),
-    ("tail +2", "no combiner exists (each piece drops its own prefix)"),
+    (
+        "tail +2",
+        "no combiner exists (each piece drops its own prefix)",
+    ),
     ("tail +3", "no combiner exists"),
 ];
 

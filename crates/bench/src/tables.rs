@@ -59,7 +59,10 @@ pub fn print_table1(ms: &[ScriptMeasurement]) {
 /// Table 3: parallelized / eliminated stage counts for every script.
 pub fn print_table3(ms: &[ScriptMeasurement]) {
     println!("Table 3 — pipeline stages parallelized with synthesized combiners");
-    println!("{:<14} {:<22} {:<28} eliminated", "benchmark", "script", "parallelized");
+    println!(
+        "{:<14} {:<22} {:<28} eliminated",
+        "benchmark", "script", "parallelized"
+    );
     let mut total_k = 0;
     let mut total_n = 0;
     let mut total_e = 0;
@@ -302,7 +305,11 @@ pub fn print_table10(reports: &[SynthesisReport]) {
         );
     }
     times.sort_by(|a, b| a.partial_cmp(b).unwrap());
-    let med = if times.is_empty() { 0.0 } else { times[times.len() / 2] };
+    let med = if times.is_empty() {
+        0.0
+    } else {
+        times[times.len() / 2]
+    };
     println!(
         "\nSynthesized combiners for {synthesized} of {total} unique commands \
          (paper: {} of {}).",

@@ -87,8 +87,8 @@ fn cmd_synthesize(args: &ParsedArgs) -> Result<CliOutput, String> {
     // real system binary, spawned per probe, not our in-process model.
     let command = if args.flag("external") {
         let words = kq_coreutils::split_words(line).map_err(|e| e.to_string())?;
-        let imp = kq_coreutils::external::ExternalCommand::new(&words)
-            .map_err(|e| e.to_string())?;
+        let imp =
+            kq_coreutils::external::ExternalCommand::new(&words).map_err(|e| e.to_string())?;
         notes.push("probing the real system binary (per-observation process spawns)".into());
         kq_coreutils::Command::custom(words, Box::new(imp))
     } else {
@@ -246,7 +246,7 @@ fn cmd_run(args: &ParsedArgs) -> Result<CliOutput, String> {
         planned.plan.eliminated_count()
     ));
     Ok(CliOutput {
-        stdout: parallel.output,
+        stdout: parallel.output.into_string(),
         notes,
     })
 }
@@ -395,10 +395,11 @@ mod tests {
 
         let run = call(&["run", &script, "--workers", "3"]).unwrap();
         assert!(run.stdout.contains(" a\n"), "got: {}", run.stdout);
-        assert!(run
-            .notes
-            .iter()
-            .any(|n| n.contains("verified")), "notes: {:?}", run.notes);
+        assert!(
+            run.notes.iter().any(|n| n.contains("verified")),
+            "notes: {:?}",
+            run.notes
+        );
         std::fs::remove_dir_all(&dir).ok();
     }
 
@@ -410,7 +411,14 @@ mod tests {
         std::fs::write(&input, "b x\na y\nb z\n".repeat(50)).unwrap();
         let script = format!("cat {} | cut -d ' ' -f 1 | sort | uniq -c", input.display());
         let run = call(&[
-            "run", &script, "--workers", "3", "--executor", "chunked", "--chunk-kb", "1",
+            "run",
+            &script,
+            "--workers",
+            "3",
+            "--executor",
+            "chunked",
+            "--chunk-kb",
+            "1",
         ])
         .unwrap();
         assert!(run.stdout.contains(" a\n"), "got: {}", run.stdout);

@@ -101,21 +101,18 @@ fn translate_candidate(c: &Candidate) -> Option<ShellCombine> {
         Combiner::Rec(RecOp::Back(Delim::Newline, b)) if **b == RecOp::Add => Some(SumColumn),
         Combiner::Rec(RecOp::First) => Some(select(true, c.swapped)),
         Combiner::Rec(RecOp::Second) => Some(select(false, c.swapped)),
-        Combiner::Rec(RecOp::Back(Delim::Newline, b) | RecOp::Fuse(Delim::Newline, b)) => {
-            match **b {
-                RecOp::First => Some(select(true, c.swapped)),
-                RecOp::Second => Some(select(false, c.swapped)),
-                _ => None,
-            }
-        }
+        Combiner::Rec(RecOp::Back(Delim::Newline, b) | RecOp::Fuse(Delim::Newline, b)) => match **b
+        {
+            RecOp::First => Some(select(true, c.swapped)),
+            RecOp::Second => Some(select(false, c.swapped)),
+            _ => None,
+        },
         // Structural combiners operate on adjacent boundaries; the swapped
         // orientation would require reversing the piece order, which no
         // corpus command needs — leave it inexpressible.
         Combiner::Struct(op) if !c.swapped => match op {
             StructOp::Stitch(RecOp::First | RecOp::Second) => Some(StitchFirst),
-            StructOp::Stitch2(d, RecOp::Add, RecOp::First | RecOp::Second) => {
-                Some(Stitch2Add(*d))
-            }
+            StructOp::Stitch2(d, RecOp::Add, RecOp::First | RecOp::Second) => Some(Stitch2Add(*d)),
             StructOp::Offset(_, RecOp::Add) => Some(OffsetAdd),
             // `(offset d second)` leaves every line of the right stream
             // unchanged: byte-for-byte concatenation.
@@ -184,12 +181,7 @@ pub fn emit_script(script: &Script, plan: &PlannedScript, opts: &EmitOptions) ->
     let mut required_files = Vec::new();
     let mut body = String::new();
 
-    for (si, (statement, planned)) in script
-        .statements
-        .iter()
-        .zip(&plan.statements)
-        .enumerate()
-    {
+    for (si, (statement, planned)) in script.statements.iter().zip(&plan.statements).enumerate() {
         let tag = format!("s{}", si + 1);
         writeln!(body, "\n# --- statement {} ---", si + 1).unwrap();
         emit_source(&mut body, statement, &tag, &mut required_files);
@@ -202,38 +194,26 @@ pub fn emit_script(script: &Script, plan: &PlannedScript, opts: &EmitOptions) ->
             match &planned_stage.mode {
                 StageMode::Sequential => {
                     let cmd = shell_command(statement.stages[stage_idx].command.argv());
-                    writeln!(body, "{cmd} < \"$work/{tag}.cur\" > \"$work/{tag}.next\"")
-                        .unwrap();
+                    writeln!(body, "{cmd} < \"$work/{tag}.cur\" > \"$work/{tag}.next\"").unwrap();
                     writeln!(body, "mv \"$work/{tag}.next\" \"$work/{tag}.cur\"").unwrap();
                     stage_idx += 1;
                 }
                 StageMode::Parallel { .. } => {
-                    let (segment, consumed) = collect_segment(
-                        statement,
-                        planned,
-                        stage_idx,
-                        opts,
-                        &mut degraded,
-                        si,
-                    );
+                    let (segment, consumed) =
+                        collect_segment(statement, planned, stage_idx, opts, &mut degraded, si);
                     match segment {
                         Some(seg) => emit_segment(&mut body, &tag, stage_idx, &seg),
                         None => {
                             // Degraded: run the stage sequentially.
-                            let cmd =
-                                shell_command(statement.stages[stage_idx].command.argv());
+                            let cmd = shell_command(statement.stages[stage_idx].command.argv());
                             writeln!(
                                 body,
                                 "# combiner has no shell translation; stage kept sequential"
                             )
                             .unwrap();
-                            writeln!(
-                                body,
-                                "{cmd} < \"$work/{tag}.cur\" > \"$work/{tag}.next\""
-                            )
-                            .unwrap();
-                            writeln!(body, "mv \"$work/{tag}.next\" \"$work/{tag}.cur\"")
+                            writeln!(body, "{cmd} < \"$work/{tag}.cur\" > \"$work/{tag}.next\"")
                                 .unwrap();
+                            writeln!(body, "mv \"$work/{tag}.next\" \"$work/{tag}.cur\"").unwrap();
                         }
                     }
                     stage_idx += consumed;
@@ -304,11 +284,7 @@ fn collect_segment(
                 consumed,
             ),
             None => {
-                degraded.push((
-                    statement_idx,
-                    idx,
-                    combiner.primary().to_string(),
-                ));
+                degraded.push((statement_idx, idx, combiner.primary().to_string()));
                 // Degrade only the closing stage; preceding eliminated
                 // stages are re-emitted as their own (concat) segments by
                 // the caller if needed. Simplest correct behaviour:
@@ -402,8 +378,7 @@ fn emit_segment(body: &mut String, tag: &str, seg_idx: usize, seg: &Segment) {
 }
 
 /// Boundary dedup for `(stitch first)` — `uniq` piece outputs.
-const STITCH_FIRST_AWK: &str =
-    "FNR == 1 && NR != 1 && $0 == prev { next } { print; prev = $0 }";
+const STITCH_FIRST_AWK: &str = "FNR == 1 && NR != 1 && $0 == prev { next } { print; prev = $0 }";
 
 /// Boundary count-merge for `(stitch2 d add first)` — `uniq -c` piece
 /// outputs. Buffers one record; on a file boundary whose key matches the
@@ -606,11 +581,8 @@ mod tests {
         use ShellCombine::*;
         let uniq = Candidate::structural(StructOp::Stitch(RecOp::First));
         assert_eq!(translate_candidate(&uniq), Some(StitchFirst));
-        let uniq_c = Candidate::structural(StructOp::Stitch2(
-            Delim::Space,
-            RecOp::Add,
-            RecOp::First,
-        ));
+        let uniq_c =
+            Candidate::structural(StructOp::Stitch2(Delim::Space, RecOp::Add, RecOp::First));
         assert_eq!(translate_candidate(&uniq_c), Some(Stitch2Add(Delim::Space)));
         let fuse_add = Candidate::rec(RecOp::Fuse(Delim::Space, Box::new(RecOp::Add)));
         assert_eq!(translate_candidate(&fuse_add), None);

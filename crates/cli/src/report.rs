@@ -58,12 +58,7 @@ pub fn render_plan(script: &Script, plan: &PlannedScript) -> String {
         plan.eliminated_count()
     )
     .unwrap();
-    for (si, (statement, planned)) in script
-        .statements
-        .iter()
-        .zip(&plan.statements)
-        .enumerate()
-    {
+    for (si, (statement, planned)) in script.statements.iter().zip(&plan.statements).enumerate() {
         writeln!(out, "statement {}:", si + 1).unwrap();
         for (stage, ps) in statement.stages.iter().zip(&planned.stages) {
             let line = match &ps.mode {
@@ -72,7 +67,11 @@ pub fn render_plan(script: &Script, plan: &PlannedScript) -> String {
                     combiner,
                     eliminated,
                 } => {
-                    let mark = if *eliminated { "[par:elim]" } else { "[par]     " };
+                    let mark = if *eliminated {
+                        "[par:elim]"
+                    } else {
+                        "[par]     "
+                    };
                     format!(
                         "  {mark} {}  ⇐ {}",
                         stage.command.display(),

@@ -74,10 +74,7 @@ fn emit_then_sh_round_trip() {
         .unwrap();
     assert!(out.status.success());
     std::fs::write(dir.join("par.sh"), &out.stdout).unwrap();
-    let sh = Command::new("sh")
-        .arg("par.sh")
-        .current_dir(&dir)
-        .output();
+    let sh = Command::new("sh").arg("par.sh").current_dir(&dir).output();
     let Ok(sh) = sh else {
         eprintln!("skipping sh round trip: no sh on host");
         return;

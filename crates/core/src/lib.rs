@@ -99,7 +99,9 @@ impl Kumquat {
     }
 
     /// Writes a file into the virtual filesystem visible to pipelines.
-    pub fn write_file(&self, path: impl Into<String>, content: impl Into<String>) {
+    /// Accepts anything convertible to shared [`stream::Bytes`]; handing
+    /// in a `Bytes` stores the slice without copying.
+    pub fn write_file(&self, path: impl Into<String>, content: impl Into<kq_stream::Bytes>) {
         self.ctx.vfs.write(path, content);
     }
 
@@ -138,7 +140,7 @@ impl Kumquat {
             ));
         }
         Ok(ParallelRun {
-            output: parallel.output,
+            output: parallel.output.into_string(),
             parallelized: plan.parallelized_counts(),
             eliminated: plan.eliminated_count(),
         })

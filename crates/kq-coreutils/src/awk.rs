@@ -9,7 +9,7 @@
 //! (`"$1 >= 1000"` on `uniq -c` output), while string-vs-string compares
 //! byte-wise.
 
-use crate::{CmdError, ExecContext, UnixCommand};
+use crate::{Bytes, CmdError, ExecContext, UnixCommand};
 use std::collections::HashMap;
 
 #[derive(Debug, Clone, PartialEq)]
@@ -254,7 +254,12 @@ fn lex(text: &str) -> Result<Vec<Tok>, CmdError> {
                 }
                 toks.push(Tok::Ident(chars[start..i].iter().collect()));
             }
-            other => return Err(CmdError::new("awk", format!("unexpected character {other:?}"))),
+            other => {
+                return Err(CmdError::new(
+                    "awk",
+                    format!("unexpected character {other:?}"),
+                ))
+            }
         }
     }
     Ok(toks)
@@ -536,7 +541,10 @@ struct Interp<'a> {
 
 impl Interp<'_> {
     fn ofs(&self) -> String {
-        self.vars.get("OFS").cloned().unwrap_or_else(|| " ".to_owned())
+        self.vars
+            .get("OFS")
+            .cloned()
+            .unwrap_or_else(|| " ".to_owned())
     }
 
     fn eval(&self, expr: &Expr, rec: &Record) -> Value {
@@ -653,8 +661,7 @@ impl Interp<'_> {
                                             .get(name)
                                             .map(|v| numeric_prefix(v))
                                             .unwrap_or(0.0);
-                                        self.vars
-                                            .insert(name.clone(), format_num(cur + add));
+                                        self.vars.insert(name.clone(), format_num(cur + add));
                                     }
                                 }
                             }
@@ -671,21 +678,25 @@ impl UnixCommand for AwkCmd {
         self.display.clone()
     }
 
-    fn run(&self, input: &str, _ctx: &ExecContext) -> Result<String, CmdError> {
-        let mut interp = Interp {
-            vars: self.presets.iter().cloned().collect(),
-            items: &self.items,
+    fn run(&self, input: Bytes, _ctx: &ExecContext) -> Result<Bytes, CmdError> {
+        let input = crate::input_str(&input, "awk")?;
+        let text = || -> Result<String, CmdError> {
+            let mut interp = Interp {
+                vars: self.presets.iter().cloned().collect(),
+                items: &self.items,
+            };
+            let mut out = String::with_capacity(input.len());
+            interp.run_items(Section::Begin, "", &mut out);
+            let mut last = "";
+            for line in kq_stream::lines_of(input) {
+                interp.run_line(line, &mut out);
+                last = line;
+            }
+            // In END, `$0` holds the last record read (as in GNU awk).
+            interp.run_items(Section::End, last, &mut out);
+            Ok(out)
         };
-        let mut out = String::with_capacity(input.len());
-        interp.run_items(Section::Begin, "", &mut out);
-        let mut last = "";
-        for line in kq_stream::lines_of(input) {
-            interp.run_line(line, &mut out);
-            last = line;
-        }
-        // In END, `$0` holds the last record read (as in GNU awk).
-        interp.run_items(Section::End, last, &mut out);
-        Ok(out)
+        text().map(Bytes::from)
     }
 }
 
@@ -697,7 +708,7 @@ mod tests {
     fn run(cmd: &str, input: &str) -> String {
         parse_command(cmd)
             .unwrap()
-            .run(input, &ExecContext::default())
+            .run_str(input, &ExecContext::default())
             .unwrap()
     }
 
@@ -705,7 +716,10 @@ mod tests {
     fn numeric_threshold_pattern() {
         // poets 8.2_1: keep uniq -c lines with count >= 1000.
         let input = "   1500 the\n     30 ox\n   1000 a\n";
-        assert_eq!(run(r#"awk "\$1 >= 1000""#, input), "   1500 the\n   1000 a\n");
+        assert_eq!(
+            run(r#"awk "\$1 >= 1000""#, input),
+            "   1500 the\n   1000 a\n"
+        );
     }
 
     #[test]
@@ -779,16 +793,28 @@ mod tests {
     #[test]
     fn end_sum_reducer() {
         // The classic column summer: output is a bare total.
-        assert_eq!(run("awk '{s += $1} END {print s}'", "3
+        assert_eq!(
+            run(
+                "awk '{s += $1} END {print s}'",
+                "3
 4
 5
-"), "12
-");
+"
+            ),
+            "12
+"
+        );
         // Non-numeric fields coerce to 0, as in GNU awk.
-        assert_eq!(run("awk '{s += $1} END {print s}'", "2 x
+        assert_eq!(
+            run(
+                "awk '{s += $1} END {print s}'",
+                "2 x
 zz
-"), "2
-");
+"
+            ),
+            "2
+"
+        );
         // No input lines: s is unset, printing an empty line.
         assert_eq!(run("awk '{s += $1} END {print s}'", ""), "\n");
     }

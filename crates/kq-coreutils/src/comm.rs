@@ -7,7 +7,7 @@
 //! the sorted probe stream, which tells the synthesizer to generate sorted
 //! inputs for these commands.
 
-use crate::{CmdError, ExecContext, UnixCommand};
+use crate::{Bytes, CmdError, ExecContext, UnixCommand};
 
 /// The `comm` command.
 pub struct CommCmd {
@@ -53,12 +53,7 @@ impl CommCmd {
         })
     }
 
-    fn read_input(
-        &self,
-        name: &str,
-        stdin: &str,
-        ctx: &ExecContext,
-    ) -> Result<String, CmdError> {
+    fn read_input(&self, name: &str, stdin: &str, ctx: &ExecContext) -> Result<String, CmdError> {
         if name == "-" {
             Ok(stdin.to_owned())
         } else {
@@ -90,60 +85,64 @@ impl UnixCommand for CommCmd {
         self.file1 == "-" || self.file2 == "-"
     }
 
-    fn run(&self, input: &str, ctx: &ExecContext) -> Result<String, CmdError> {
-        let c1 = self.read_input(&self.file1, input, ctx)?;
-        let c2 = self.read_input(&self.file2, input, ctx)?;
-        let l1: Vec<&str> = kq_stream::lines_of(&c1).collect();
-        let l2: Vec<&str> = kq_stream::lines_of(&c2).collect();
-        check_sorted(&l1, 1)?;
-        check_sorted(&l2, 2)?;
+    fn run(&self, input: Bytes, ctx: &ExecContext) -> Result<Bytes, CmdError> {
+        let input = crate::input_str(&input, "comm")?;
+        let text = || -> Result<String, CmdError> {
+            let c1 = self.read_input(&self.file1, input, ctx)?;
+            let c2 = self.read_input(&self.file2, input, ctx)?;
+            let l1: Vec<&str> = kq_stream::lines_of(&c1).collect();
+            let l2: Vec<&str> = kq_stream::lines_of(&c2).collect();
+            check_sorted(&l1, 1)?;
+            check_sorted(&l2, 2)?;
 
-        // Column indentation mirrors GNU: each *printed* column to the left
-        // of the current one contributes one tab.
-        let col2_prefix = if self.suppress1 { "" } else { "\t" };
-        let col3_prefix = match (self.suppress1, self.suppress2) {
-            (false, false) => "\t\t",
-            (true, true) => "",
-            _ => "\t",
-        };
-
-        let mut out = String::new();
-        let (mut i, mut j) = (0, 0);
-        while i < l1.len() || j < l2.len() {
-            let ord = match (l1.get(i), l2.get(j)) {
-                (Some(a), Some(b)) => a.as_bytes().cmp(b.as_bytes()),
-                (Some(_), None) => std::cmp::Ordering::Less,
-                (None, Some(_)) => std::cmp::Ordering::Greater,
-                (None, None) => break,
+            // Column indentation mirrors GNU: each *printed* column to the left
+            // of the current one contributes one tab.
+            let col2_prefix = if self.suppress1 { "" } else { "\t" };
+            let col3_prefix = match (self.suppress1, self.suppress2) {
+                (false, false) => "\t\t",
+                (true, true) => "",
+                _ => "\t",
             };
-            match ord {
-                std::cmp::Ordering::Less => {
-                    if !self.suppress1 {
-                        out.push_str(l1[i]);
-                        out.push('\n');
+
+            let mut out = String::new();
+            let (mut i, mut j) = (0, 0);
+            while i < l1.len() || j < l2.len() {
+                let ord = match (l1.get(i), l2.get(j)) {
+                    (Some(a), Some(b)) => a.as_bytes().cmp(b.as_bytes()),
+                    (Some(_), None) => std::cmp::Ordering::Less,
+                    (None, Some(_)) => std::cmp::Ordering::Greater,
+                    (None, None) => break,
+                };
+                match ord {
+                    std::cmp::Ordering::Less => {
+                        if !self.suppress1 {
+                            out.push_str(l1[i]);
+                            out.push('\n');
+                        }
+                        i += 1;
                     }
-                    i += 1;
-                }
-                std::cmp::Ordering::Greater => {
-                    if !self.suppress2 {
-                        out.push_str(col2_prefix);
-                        out.push_str(l2[j]);
-                        out.push('\n');
+                    std::cmp::Ordering::Greater => {
+                        if !self.suppress2 {
+                            out.push_str(col2_prefix);
+                            out.push_str(l2[j]);
+                            out.push('\n');
+                        }
+                        j += 1;
                     }
-                    j += 1;
-                }
-                std::cmp::Ordering::Equal => {
-                    if !self.suppress3 {
-                        out.push_str(col3_prefix);
-                        out.push_str(l1[i]);
-                        out.push('\n');
+                    std::cmp::Ordering::Equal => {
+                        if !self.suppress3 {
+                            out.push_str(col3_prefix);
+                            out.push_str(l1[i]);
+                            out.push('\n');
+                        }
+                        i += 1;
+                        j += 1;
                     }
-                    i += 1;
-                    j += 1;
                 }
             }
-        }
-        Ok(out)
+            Ok(out)
+        };
+        text().map(Bytes::from)
     }
 }
 
@@ -162,14 +161,14 @@ mod tests {
     fn spellcheck_form() {
         // Lines in stdin but not in the dictionary: the spell benchmark.
         let c = parse_command("comm -23 - dict").unwrap();
-        let out = c.run("apple\nbanan\nzebra\n", &ctx()).unwrap();
+        let out = c.run_str("apple\nbanan\nzebra\n", &ctx()).unwrap();
         assert_eq!(out, "banan\nzebra\n");
     }
 
     #[test]
     fn unsorted_stdin_is_error() {
         let c = parse_command("comm -23 - dict").unwrap();
-        let err = c.run("zebra\napple\n", &ctx()).unwrap_err();
+        let err = c.run_str("zebra\napple\n", &ctx()).unwrap_err();
         assert!(err.message.contains("not in sorted order"), "{err}");
     }
 
@@ -179,7 +178,7 @@ mod tests {
         vfs.write("bad", "b\na\n");
         let ctx = ExecContext::with_vfs(vfs);
         let c = parse_command("comm -23 - bad").unwrap();
-        assert!(c.run("a\n", &ctx).is_err());
+        assert!(c.run_str("a\n", &ctx).is_err());
     }
 
     #[test]
@@ -188,7 +187,7 @@ mod tests {
         vfs.write("f2", "b\nc\n");
         let ctx = ExecContext::with_vfs(vfs);
         let c = parse_command("comm - f2").unwrap();
-        assert_eq!(c.run("a\nb\n", &ctx).unwrap(), "a\n\t\tb\n\tc\n");
+        assert_eq!(c.run_str("a\nb\n", &ctx).unwrap(), "a\n\t\tb\n\tc\n");
     }
 
     #[test]
@@ -197,7 +196,7 @@ mod tests {
         vfs.write("f2", "b\nc\n");
         let ctx = ExecContext::with_vfs(vfs);
         let c = parse_command("comm -12 - f2").unwrap();
-        assert_eq!(c.run("a\nb\n", &ctx).unwrap(), "b\n");
+        assert_eq!(c.run_str("a\nb\n", &ctx).unwrap(), "b\n");
     }
 
     #[test]
@@ -207,7 +206,10 @@ mod tests {
         vfs.write("y", "");
         let c = parse_command("comm x y").unwrap();
         assert!(!c.reads_stdin());
-        assert_eq!(c.run("ignored", &ExecContext::with_vfs(vfs)).unwrap(), "");
+        assert_eq!(
+            c.run_str("ignored", &ExecContext::with_vfs(vfs)).unwrap(),
+            ""
+        );
     }
 
     #[test]

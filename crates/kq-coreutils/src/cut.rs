@@ -6,7 +6,7 @@
 //! lines *without* the delimiter are printed whole in field mode; attached
 //! option forms (`-d: -f1`) parse like the detached ones.
 
-use crate::{CmdError, ExecContext, UnixCommand};
+use crate::{Bytes, CmdError, ExecContext, UnixCommand};
 
 #[derive(Debug, Clone, PartialEq, Eq)]
 struct RangeList {
@@ -142,38 +142,42 @@ impl UnixCommand for CutCmd {
         self.display.clone()
     }
 
-    fn run(&self, input: &str, _ctx: &ExecContext) -> Result<String, CmdError> {
-        let mut out = String::with_capacity(input.len());
-        for line in kq_stream::lines_of(input) {
-            match &self.mode {
-                Mode::Chars(list) => {
-                    for (i, c) in line.chars().enumerate() {
-                        if list.contains(i + 1) {
-                            out.push(c);
+    fn run(&self, input: Bytes, _ctx: &ExecContext) -> Result<Bytes, CmdError> {
+        let input = crate::input_str(&input, "cut")?;
+        let text = || -> Result<String, CmdError> {
+            let mut out = String::with_capacity(input.len());
+            for line in kq_stream::lines_of(input) {
+                match &self.mode {
+                    Mode::Chars(list) => {
+                        for (i, c) in line.chars().enumerate() {
+                            if list.contains(i + 1) {
+                                out.push(c);
+                            }
                         }
                     }
-                }
-                Mode::Fields { delim, list } => {
-                    if !line.contains(*delim) {
-                        // GNU: delimiter-free lines pass through whole.
-                        out.push_str(line);
-                    } else {
-                        let mut first = true;
-                        for (i, field) in line.split(*delim).enumerate() {
-                            if list.contains(i + 1) {
-                                if !first {
-                                    out.push(*delim);
+                    Mode::Fields { delim, list } => {
+                        if !line.contains(*delim) {
+                            // GNU: delimiter-free lines pass through whole.
+                            out.push_str(line);
+                        } else {
+                            let mut first = true;
+                            for (i, field) in line.split(*delim).enumerate() {
+                                if list.contains(i + 1) {
+                                    if !first {
+                                        out.push(*delim);
+                                    }
+                                    out.push_str(field);
+                                    first = false;
                                 }
-                                out.push_str(field);
-                                first = false;
                             }
                         }
                     }
                 }
+                out.push('\n');
             }
-            out.push('\n');
-        }
-        Ok(out)
+            Ok(out)
+        };
+        text().map(Bytes::from)
     }
 }
 
@@ -185,7 +189,7 @@ mod tests {
     fn run(cmd: &str, input: &str) -> String {
         parse_command(cmd)
             .unwrap()
-            .run(input, &ExecContext::default())
+            .run_str(input, &ExecContext::default())
             .unwrap()
     }
 

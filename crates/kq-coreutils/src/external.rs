@@ -8,7 +8,7 @@
 //! `KQ_VALIDATE_GNU=1 cargo test -- --ignored`) diff our outputs against
 //! the host's binaries over shared inputs.
 
-use crate::{CmdError, ExecContext, UnixCommand};
+use crate::{Bytes, CmdError, ExecContext, UnixCommand};
 use std::io::Write;
 use std::process::{Command as OsCommand, Stdio};
 
@@ -41,39 +41,45 @@ impl UnixCommand for ExternalCommand {
         self.argv.join(" ")
     }
 
-    fn run(&self, input: &str, _ctx: &ExecContext) -> Result<String, CmdError> {
-        let name = &self.argv[0];
-        let mut child = OsCommand::new(name)
-            .args(&self.argv[1..])
-            .env("LC_ALL", "C")
-            .stdin(Stdio::piped())
-            .stdout(Stdio::piped())
-            .stderr(Stdio::piped())
-            .spawn()
-            .map_err(|e| CmdError::new(name.clone(), format!("spawn failed: {e}")))?;
-        child
-            .stdin
-            .as_mut()
-            .expect("stdin piped")
-            .write_all(input.as_bytes())
-            .map_err(|e| CmdError::new(name.clone(), format!("stdin write failed: {e}")))?;
-        let output = child
-            .wait_with_output()
-            .map_err(|e| CmdError::new(name.clone(), format!("wait failed: {e}")))?;
-        if !output.status.success() && output.stdout.is_empty() {
-            return Err(CmdError::new(
-                name.clone(),
-                String::from_utf8_lossy(&output.stderr).trim().to_owned(),
-            ));
-        }
-        String::from_utf8(output.stdout)
-            .map_err(|_| CmdError::new(name.clone(), "non-UTF8 output"))
+    fn run(&self, input: Bytes, _ctx: &ExecContext) -> Result<Bytes, CmdError> {
+        let input = crate::input_str(&input, &self.argv[0])?;
+        let text = || -> Result<String, CmdError> {
+            let name = &self.argv[0];
+            let mut child = OsCommand::new(name)
+                .args(&self.argv[1..])
+                .env("LC_ALL", "C")
+                .stdin(Stdio::piped())
+                .stdout(Stdio::piped())
+                .stderr(Stdio::piped())
+                .spawn()
+                .map_err(|e| CmdError::new(name.clone(), format!("spawn failed: {e}")))?;
+            child
+                .stdin
+                .as_mut()
+                .expect("stdin piped")
+                .write_all(input.as_bytes())
+                .map_err(|e| CmdError::new(name.clone(), format!("stdin write failed: {e}")))?;
+            let output = child
+                .wait_with_output()
+                .map_err(|e| CmdError::new(name.clone(), format!("wait failed: {e}")))?;
+            if !output.status.success() && output.stdout.is_empty() {
+                return Err(CmdError::new(
+                    name.clone(),
+                    String::from_utf8_lossy(&output.stderr).trim().to_owned(),
+                ));
+            }
+            String::from_utf8(output.stdout)
+                .map_err(|_| CmdError::new(name.clone(), "non-UTF8 output"))
+        };
+        text().map(Bytes::from)
     }
 }
 
 /// True when GNU cross-validation was requested via `KQ_VALIDATE_GNU=1`.
 pub fn gnu_validation_enabled() -> bool {
-    std::env::var("KQ_VALIDATE_GNU").map(|v| v == "1").unwrap_or(false)
+    std::env::var("KQ_VALIDATE_GNU")
+        .map(|v| v == "1")
+        .unwrap_or(false)
 }
 
 #[cfg(test)]
@@ -106,8 +112,11 @@ mod tests {
             "rev",
             "sed s/the/THE/",
         ] {
-            let ours = crate::parse_command(line).unwrap().run(input, &ctx);
-            let theirs = ExternalCommand::parse(line).unwrap().run(input, &ctx);
+            let ours = crate::parse_command(line).unwrap().run_str(input, &ctx);
+            let theirs = ExternalCommand::parse(line)
+                .unwrap()
+                .run(Bytes::from(input), &ctx)
+                .map(Bytes::into_string);
             match (ours, theirs) {
                 (Ok(a), Ok(b)) => assert_eq!(a, b, "divergence for {line}"),
                 (a, b) => panic!("{line}: ours {a:?} vs GNU {b:?}"),

@@ -19,7 +19,7 @@
 //!   inconsistent outputs and eliminate every candidate (failure
 //!   injection for Algorithm 1).
 
-use crate::{CmdError, ExecContext, UnixCommand};
+use crate::{Bytes, CmdError, ExecContext, UnixCommand};
 use std::sync::atomic::{AtomicU64, Ordering};
 
 /// Line-numbering style shared by `nl` and `cat -n`.
@@ -59,7 +59,10 @@ impl NlCmd {
                 "a" => NumberStyle::AllLines,
                 "t" => NumberStyle::NonEmpty,
                 other => {
-                    return Err(CmdError::new("nl", format!("unsupported body type {other}")))
+                    return Err(CmdError::new(
+                        "nl",
+                        format!("unsupported body type {other}"),
+                    ))
                 }
             };
         }
@@ -101,8 +104,10 @@ impl UnixCommand for NlCmd {
         self.display.clone()
     }
 
-    fn run(&self, input: &str, _ctx: &ExecContext) -> Result<String, CmdError> {
-        Ok(self.number(input))
+    fn run(&self, input: Bytes, _ctx: &ExecContext) -> Result<Bytes, CmdError> {
+        let input = crate::input_str(&input, "nl")?;
+        let text = || -> Result<String, CmdError> { Ok(self.number(input)) };
+        text().map(Bytes::from)
     }
 }
 
@@ -114,14 +119,18 @@ impl UnixCommand for TacCmd {
         "tac".to_owned()
     }
 
-    fn run(&self, input: &str, _ctx: &ExecContext) -> Result<String, CmdError> {
-        let lines: Vec<&str> = kq_stream::lines_of(input).collect();
-        let mut out = String::with_capacity(input.len());
-        for line in lines.iter().rev() {
-            out.push_str(line);
-            out.push('\n');
-        }
-        Ok(out)
+    fn run(&self, input: Bytes, _ctx: &ExecContext) -> Result<Bytes, CmdError> {
+        let input = crate::input_str(&input, "tac")?;
+        let text = || -> Result<String, CmdError> {
+            let lines: Vec<&str> = kq_stream::lines_of(input).collect();
+            let mut out = String::with_capacity(input.len());
+            for line in lines.iter().rev() {
+                out.push_str(line);
+                out.push('\n');
+            }
+            Ok(out)
+        };
+        text().map(Bytes::from)
     }
 }
 
@@ -160,20 +169,24 @@ impl UnixCommand for FoldCmd {
         format!("fold -w{}", self.width)
     }
 
-    fn run(&self, input: &str, _ctx: &ExecContext) -> Result<String, CmdError> {
-        let mut out = String::with_capacity(input.len());
-        for line in kq_stream::lines_of(input) {
-            let chars: Vec<char> = line.chars().collect();
-            if chars.is_empty() {
-                out.push('\n');
-                continue;
+    fn run(&self, input: Bytes, _ctx: &ExecContext) -> Result<Bytes, CmdError> {
+        let input = crate::input_str(&input, "fold")?;
+        let text = || -> Result<String, CmdError> {
+            let mut out = String::with_capacity(input.len());
+            for line in kq_stream::lines_of(input) {
+                let chars: Vec<char> = line.chars().collect();
+                if chars.is_empty() {
+                    out.push('\n');
+                    continue;
+                }
+                for chunk in chars.chunks(self.width) {
+                    out.extend(chunk.iter());
+                    out.push('\n');
+                }
             }
-            for chunk in chars.chunks(self.width) {
-                out.extend(chunk.iter());
-                out.push('\n');
-            }
-        }
-        Ok(out)
+            Ok(out)
+        };
+        text().map(Bytes::from)
     }
 }
 
@@ -185,25 +198,29 @@ impl UnixCommand for ExpandCmd {
         "expand".to_owned()
     }
 
-    fn run(&self, input: &str, _ctx: &ExecContext) -> Result<String, CmdError> {
-        let mut out = String::with_capacity(input.len());
-        for line in kq_stream::lines_of(input) {
-            let mut col = 0usize;
-            for c in line.chars() {
-                if c == '\t' {
-                    let stop = (col / 8 + 1) * 8;
-                    while col < stop {
-                        out.push(' ');
+    fn run(&self, input: Bytes, _ctx: &ExecContext) -> Result<Bytes, CmdError> {
+        let input = crate::input_str(&input, "expand")?;
+        let text = || -> Result<String, CmdError> {
+            let mut out = String::with_capacity(input.len());
+            for line in kq_stream::lines_of(input) {
+                let mut col = 0usize;
+                for c in line.chars() {
+                    if c == '\t' {
+                        let stop = (col / 8 + 1) * 8;
+                        while col < stop {
+                            out.push(' ');
+                            col += 1;
+                        }
+                    } else {
+                        out.push(c);
                         col += 1;
                     }
-                } else {
-                    out.push(c);
-                    col += 1;
                 }
+                out.push('\n');
             }
-            out.push('\n');
-        }
-        Ok(out)
+            Ok(out)
+        };
+        text().map(Bytes::from)
     }
 }
 
@@ -221,27 +238,31 @@ impl UnixCommand for ShufCmd {
         "shuf".to_owned()
     }
 
-    fn run(&self, input: &str, _ctx: &ExecContext) -> Result<String, CmdError> {
-        let mut lines: Vec<&str> = kq_stream::lines_of(input).collect();
-        // xorshift* seeded from the run counter: cheap, deterministic per
-        // call index, different across calls.
-        let mut state = SHUF_RUNS.fetch_add(1, Ordering::Relaxed) | 1;
-        let mut next = move || {
-            state ^= state << 13;
-            state ^= state >> 7;
-            state ^= state << 17;
-            state
+    fn run(&self, input: Bytes, _ctx: &ExecContext) -> Result<Bytes, CmdError> {
+        let input = crate::input_str(&input, "shuf")?;
+        let text = || -> Result<String, CmdError> {
+            let mut lines: Vec<&str> = kq_stream::lines_of(input).collect();
+            // xorshift* seeded from the run counter: cheap, deterministic per
+            // call index, different across calls.
+            let mut state = SHUF_RUNS.fetch_add(1, Ordering::Relaxed) | 1;
+            let mut next = move || {
+                state ^= state << 13;
+                state ^= state >> 7;
+                state ^= state << 17;
+                state
+            };
+            for i in (1..lines.len()).rev() {
+                let j = (next() % (i as u64 + 1)) as usize;
+                lines.swap(i, j);
+            }
+            let mut out = String::with_capacity(input.len());
+            for line in lines {
+                out.push_str(line);
+                out.push('\n');
+            }
+            Ok(out)
         };
-        for i in (1..lines.len()).rev() {
-            let j = (next() % (i as u64 + 1)) as usize;
-            lines.swap(i, j);
-        }
-        let mut out = String::with_capacity(input.len());
-        for line in lines {
-            out.push_str(line);
-            out.push('\n');
-        }
-        Ok(out)
+        text().map(Bytes::from)
     }
 }
 
@@ -253,7 +274,7 @@ mod tests {
     fn run(cmd: &str, input: &str) -> String {
         parse_command(cmd)
             .unwrap()
-            .run(input, &ExecContext::default())
+            .run_str(input, &ExecContext::default())
             .unwrap()
     }
 

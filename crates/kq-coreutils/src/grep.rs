@@ -9,7 +9,7 @@
 //! every candidate — a Table 9-style entry created by an output format
 //! rather than by command semantics.
 
-use crate::{CmdError, ExecContext, UnixCommand};
+use crate::{Bytes, CmdError, ExecContext, UnixCommand};
 use kq_pattern::Regex;
 
 /// The `grep` command.
@@ -84,29 +84,33 @@ impl UnixCommand for GrepCmd {
         self.display.clone()
     }
 
-    fn run(&self, input: &str, _ctx: &ExecContext) -> Result<String, CmdError> {
-        let mut out = String::new();
-        let mut n: u64 = 0;
-        for (idx, line) in kq_stream::lines_of(input).enumerate() {
-            let hit = self.regex.is_match(line) != self.invert;
-            if hit {
-                if self.count {
-                    n += 1;
-                } else {
-                    if self.number {
-                        out.push_str(&(idx + 1).to_string());
-                        out.push(':');
+    fn run(&self, input: Bytes, _ctx: &ExecContext) -> Result<Bytes, CmdError> {
+        let input = crate::input_str(&input, "grep")?;
+        let text = || -> Result<String, CmdError> {
+            let mut out = String::new();
+            let mut n: u64 = 0;
+            for (idx, line) in kq_stream::lines_of(input).enumerate() {
+                let hit = self.regex.is_match(line) != self.invert;
+                if hit {
+                    if self.count {
+                        n += 1;
+                    } else {
+                        if self.number {
+                            out.push_str(&(idx + 1).to_string());
+                            out.push(':');
+                        }
+                        out.push_str(line);
+                        out.push('\n');
                     }
-                    out.push_str(line);
-                    out.push('\n');
                 }
             }
-        }
-        if self.count {
-            out.push_str(&n.to_string());
-            out.push('\n');
-        }
-        Ok(out)
+            if self.count {
+                out.push_str(&n.to_string());
+                out.push('\n');
+            }
+            Ok(out)
+        };
+        text().map(Bytes::from)
     }
 }
 
@@ -118,7 +122,7 @@ mod tests {
     fn run(cmd: &str, input: &str) -> String {
         parse_command(cmd)
             .unwrap()
-            .run(input, &ExecContext::default())
+            .run_str(input, &ExecContext::default())
             .unwrap()
     }
 

@@ -5,7 +5,7 @@
 //! `-n +N` (everything starting at line N) — the latter being Table 9's
 //! `tail +2`/`tail +3`, for which no combiner exists.
 
-use crate::{CmdError, ExecContext, UnixCommand};
+use crate::{Bytes, CmdError, ExecContext, UnixCommand};
 
 /// The `head` command.
 pub struct HeadCmd {
@@ -22,7 +22,9 @@ impl HeadCmd {
         let mut it = args.iter();
         while let Some(a) = it.next() {
             if a == "-n" {
-                let v = it.next().ok_or_else(|| CmdError::new("head", "missing count"))?;
+                let v = it
+                    .next()
+                    .ok_or_else(|| CmdError::new("head", "missing count"))?;
                 n = v
                     .parse()
                     .map_err(|_| CmdError::new("head", format!("invalid count {v:?}")))?;
@@ -58,26 +60,73 @@ impl UnixCommand for HeadCmd {
         self.file.is_none()
     }
 
-    fn run(&self, input: &str, ctx: &ExecContext) -> Result<String, CmdError> {
-        let content;
-        let input = match &self.file {
-            Some(f) => {
-                content = ctx.vfs.read(f).ok_or_else(|| {
-                    CmdError::new("head", format!("{f}: No such file or directory"))
-                })?;
-                content.as_str()
-            }
+    fn run(&self, input: Bytes, ctx: &ExecContext) -> Result<Bytes, CmdError> {
+        let stream = match &self.file {
+            Some(f) => ctx
+                .vfs
+                .read_bytes(f)
+                .ok_or_else(|| CmdError::new("head", format!("{f}: No such file or directory")))?,
             None => input,
         };
-        let mut out = String::new();
-        for (i, line) in kq_stream::lines_of(input).enumerate() {
-            if i >= self.n {
-                break;
-            }
-            out.push_str(line);
-            out.push('\n');
+        // The first n lines are a prefix slice of the input: zero-copy
+        // unless the window ends on an unterminated final line (which the
+        // stream model terminates, requiring one small copy).
+        match line_offset(stream.as_bytes(), self.n) {
+            Window::At(end) => Ok(stream.slice(0..end)),
+            Window::PastTerminated => Ok(stream),
+            Window::PastUnterminated => Ok(terminate(&stream)),
         }
-        Ok(out)
+    }
+}
+
+/// Where the `n`-th line boundary falls in `bytes`.
+enum Window {
+    /// Byte offset just after the `n`-th newline.
+    At(usize),
+    /// Fewer than `n` lines and the input is newline-terminated (or empty).
+    PastTerminated,
+    /// Fewer than `n` lines with an unterminated final line.
+    PastUnterminated,
+}
+
+fn line_offset(bytes: &[u8], n: usize) -> Window {
+    if n == 0 {
+        return Window::At(0);
+    }
+    let mut seen = 0usize;
+    for (i, &b) in bytes.iter().enumerate() {
+        if b == b'\n' {
+            seen += 1;
+            if seen == n {
+                return Window::At(i + 1);
+            }
+        }
+    }
+    if bytes.last().is_some_and(|&b| b != b'\n') {
+        Window::PastUnterminated
+    } else {
+        Window::PastTerminated
+    }
+}
+
+/// Copies `stream` with a final newline appended (the stream-model
+/// normalization the line-window commands apply to unterminated input).
+/// Valid text goes through `String` so the result keeps the known-UTF-8
+/// fast path; foreign bytes stay bytes instead of panicking.
+fn terminate(stream: &Bytes) -> Bytes {
+    match stream.to_str() {
+        Ok(text) => {
+            let mut out = String::with_capacity(text.len() + 1);
+            out.push_str(text);
+            out.push('\n');
+            Bytes::from(out)
+        }
+        Err(_) => {
+            let mut out = Vec::with_capacity(stream.len() + 1);
+            out.extend_from_slice(stream.as_bytes());
+            out.push(b'\n');
+            Bytes::from(out)
+        }
     }
 }
 
@@ -119,13 +168,16 @@ impl TailCmd {
                 return Err(CmdError::new("tail", "at most one file operand"));
             };
             mode = if let Some(from) = spec.strip_prefix('+') {
-                TailMode::FromLine(from.parse().map_err(|_| {
-                    CmdError::new("tail", format!("invalid line number {spec:?}"))
-                })?)
+                TailMode::FromLine(
+                    from.parse().map_err(|_| {
+                        CmdError::new("tail", format!("invalid line number {spec:?}"))
+                    })?,
+                )
             } else {
-                TailMode::LastN(spec.parse().map_err(|_| {
-                    CmdError::new("tail", format!("invalid count {spec:?}"))
-                })?)
+                TailMode::LastN(
+                    spec.parse()
+                        .map_err(|_| CmdError::new("tail", format!("invalid count {spec:?}")))?,
+                )
             };
         }
         let display = if args.is_empty() {
@@ -133,7 +185,11 @@ impl TailCmd {
         } else {
             format!("tail {}", args.join(" "))
         };
-        Ok(TailCmd { mode, file, display })
+        Ok(TailCmd {
+            mode,
+            file,
+            display,
+        })
     }
 }
 
@@ -146,28 +202,38 @@ impl UnixCommand for TailCmd {
         self.file.is_none()
     }
 
-    fn run(&self, input: &str, ctx: &ExecContext) -> Result<String, CmdError> {
-        let content;
-        let input = match &self.file {
-            Some(f) => {
-                content = ctx.vfs.read(f).ok_or_else(|| {
-                    CmdError::new("tail", format!("{f}: No such file or directory"))
-                })?;
-                content.as_str()
-            }
+    fn run(&self, input: Bytes, ctx: &ExecContext) -> Result<Bytes, CmdError> {
+        let stream = match &self.file {
+            Some(f) => ctx
+                .vfs
+                .read_bytes(f)
+                .ok_or_else(|| CmdError::new("tail", format!("{f}: No such file or directory")))?,
             None => input,
         };
-        let lines: Vec<&str> = kq_stream::lines_of(input).collect();
-        let start = match self.mode {
-            TailMode::LastN(n) => lines.len().saturating_sub(n),
+        let start_line = match self.mode {
+            TailMode::LastN(n) => {
+                // Only the last-N form needs the total line count (one
+                // O(n) byte scan); `tail +N` indexes from the front.
+                let newlines = stream.count_newlines();
+                let total =
+                    newlines + usize::from(stream.as_bytes().last().is_some_and(|&b| b != b'\n'));
+                total.saturating_sub(n)
+            }
             TailMode::FromLine(n) => n.saturating_sub(1),
         };
-        let mut out = String::new();
-        for line in &lines[start.min(lines.len())..] {
-            out.push_str(line);
-            out.push('\n');
+        // The suffix starting at `start_line` is a slice of the input:
+        // zero-copy unless the final line is unterminated (which the
+        // stream model terminates, requiring one small copy).
+        let start = match line_offset(stream.as_bytes(), start_line) {
+            Window::At(off) => off,
+            Window::PastTerminated | Window::PastUnterminated => stream.len(),
+        };
+        let suffix = stream.slice(start..stream.len());
+        if suffix.is_empty() || suffix.ends_with_newline() {
+            Ok(suffix)
+        } else {
+            Ok(terminate(&suffix))
         }
-        Ok(out)
     }
 }
 
@@ -179,7 +245,7 @@ mod tests {
     fn run(cmd: &str, input: &str) -> String {
         parse_command(cmd)
             .unwrap()
-            .run(input, &ExecContext::default())
+            .run_str(input, &ExecContext::default())
             .unwrap()
     }
 
@@ -221,6 +287,32 @@ mod tests {
         assert_eq!(run("tail -n +3", input), "3\n4\n");
         assert_eq!(run("tail +1", input), input);
         assert_eq!(run("tail +9", input), "");
+    }
+
+    #[test]
+    fn head_tail_windows_are_zero_copy() {
+        let input = Bytes::from("1\n2\n3\n4\n");
+        let ctx = ExecContext::default();
+        let head = parse_command("head -n 2").unwrap();
+        let out = head.run(input.clone(), &ctx).unwrap();
+        assert_eq!(out, "1\n2\n");
+        assert!(out.shares_buffer(&input), "head window must be a slice");
+        let tail = parse_command("tail -n 2").unwrap();
+        let out = tail.run(input.clone(), &ctx).unwrap();
+        assert_eq!(out, "3\n4\n");
+        assert!(out.shares_buffer(&input), "tail window must be a slice");
+    }
+
+    #[test]
+    fn head_tail_unterminated_input_normalizes() {
+        // The pre-refactor implementations emitted every line with a
+        // trailing newline; the sliced fast path must preserve that.
+        assert_eq!(run("head -n 3", "a\nb"), "a\nb\n");
+        assert_eq!(run("tail -n 1", "a\nb"), "b\n");
+        assert_eq!(run("tail +2", "a\nb"), "b\n");
+        assert_eq!(run("head -n 1", "a\nb"), "a\n");
+        assert_eq!(run("tail -n 5", ""), "");
+        assert_eq!(run("head -n 5", ""), "");
     }
 
     #[test]

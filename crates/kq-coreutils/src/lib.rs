@@ -13,11 +13,17 @@
 //! so that file-consuming commands (`xargs cat`, `comm - dict`, `paste a b`)
 //! work hermetically.
 //!
+//! The command interface is the zero-copy byte plane: [`UnixCommand::run`]
+//! consumes and produces [`Bytes`] — refcounted slices of shared buffers —
+//! so pass-through commands (`cat`) and the executors' split/hand-off
+//! never copy stream payloads. [`Command::run_str`] is a thin owned-string
+//! compatibility shim for tests and probes.
+//!
 //! ```
 //! use kq_coreutils::{parse_command, ExecContext};
 //!
 //! let uniq_c = parse_command("uniq -c").unwrap();
-//! let out = uniq_c.run("a\na\nb\n", &ExecContext::default()).unwrap();
+//! let out = uniq_c.run_str("a\na\nb\n", &ExecContext::default()).unwrap();
 //! assert_eq!(out, "      2 a\n      1 b\n");   // GNU's 7-column padding
 //! ```
 
@@ -44,8 +50,18 @@ pub mod xargs;
 use std::fmt;
 use std::sync::Arc;
 
+pub use kq_stream::{Bytes, Rope};
 pub use shellwords::split_words;
 pub use vfs::Vfs;
+
+/// Views a command input as UTF-8 text, reporting a command-attributed
+/// error for foreign byte data (the corpus is always text, but [`Bytes`]
+/// itself does not enforce that).
+pub(crate) fn input_str<'a>(input: &'a Bytes, command: &str) -> Result<&'a str, CmdError> {
+    input
+        .to_str()
+        .map_err(|_| CmdError::new(command, "input is not valid UTF-8"))
+}
 
 /// An execution failure: the in-process analogue of a command writing to
 /// stderr and exiting non-zero (e.g. `comm` on unsorted input, `cat` on a
@@ -100,7 +116,12 @@ pub trait UnixCommand: Send + Sync {
     fn display(&self) -> String;
 
     /// Runs the command on `input`, producing its stdout.
-    fn run(&self, input: &str, ctx: &ExecContext) -> Result<String, CmdError>;
+    ///
+    /// Input and output are [`Bytes`]: refcounted shared slices. Taking
+    /// `Bytes` by value lets pass-through implementations return the
+    /// input (or a slice of it) without copying, and lets executors hand
+    /// split pieces to worker threads as refcount bumps.
+    fn run(&self, input: Bytes, ctx: &ExecContext) -> Result<Bytes, CmdError>;
 
     /// True when the command consumes its standard input. `cat file.txt`,
     /// `paste a b` and friends do not; pipelines treat them as sources.
@@ -147,9 +168,19 @@ impl Command {
         self.imp.display()
     }
 
-    /// Runs the command on `input`.
-    pub fn run(&self, input: &str, ctx: &ExecContext) -> Result<String, CmdError> {
+    /// Runs the command on `input` (the zero-copy byte plane).
+    pub fn run(&self, input: Bytes, ctx: &ExecContext) -> Result<Bytes, CmdError> {
         self.imp.run(input, ctx)
+    }
+
+    /// Owned-string compatibility shim over [`Command::run`]: copies the
+    /// input into a fresh buffer and the output into a `String`. Tests and
+    /// synthesis probes (which run on tiny generated streams) use this;
+    /// the executors stay on [`Command::run`].
+    pub fn run_str(&self, input: &str, ctx: &ExecContext) -> Result<String, CmdError> {
+        self.imp
+            .run(Bytes::from(input), ctx)
+            .map(Bytes::into_string)
     }
 
     /// See [`UnixCommand::reads_stdin`].
@@ -181,10 +212,9 @@ pub fn from_argv(words: &[String]) -> Result<Command, CmdError> {
     while start < words.len()
         && words[start].contains('=')
         && !words[start].starts_with('-')
-        && words[start]
-            .split('=')
-            .next()
-            .is_some_and(|name| !name.is_empty() && name.chars().all(|c| c.is_ascii_alphanumeric() || c == '_'))
+        && words[start].split('=').next().is_some_and(|name| {
+            !name.is_empty() && name.chars().all(|c| c.is_ascii_alphanumeric() || c == '_')
+        })
         && words[start].find('=').unwrap() > 0
     {
         start += 1;
@@ -262,17 +292,18 @@ impl UnixCommand for CatCmd {
         self.files.is_empty() || self.files.iter().any(|f| f == "-")
     }
 
-    fn run(&self, input: &str, ctx: &ExecContext) -> Result<String, CmdError> {
+    fn run(&self, input: Bytes, ctx: &ExecContext) -> Result<Bytes, CmdError> {
         if self.files.is_empty() {
-            return Ok(input.to_owned());
+            // Pure pass-through: the refcount bump *is* the copy.
+            return Ok(input);
         }
-        let mut out = String::new();
+        let mut out = Rope::new();
         for f in &self.files {
             if f == "-" {
-                out.push_str(input);
+                out.push(input.clone());
             } else {
-                match ctx.vfs.read(f) {
-                    Some(content) => out.push_str(&content),
+                match ctx.vfs.read_bytes(f) {
+                    Some(content) => out.push(content),
                     None => {
                         return Err(CmdError::new(
                             "cat",
@@ -282,7 +313,7 @@ impl UnixCommand for CatCmd {
                 }
             }
         }
-        Ok(out)
+        Ok(out.into_bytes())
     }
 }
 
@@ -300,21 +331,21 @@ mod tests {
     #[test]
     fn cat_copies_stdin() {
         let c = parse_command("cat").unwrap();
-        assert_eq!(c.run("x\ny\n", &ctx()).unwrap(), "x\ny\n");
+        assert_eq!(c.run_str("x\ny\n", &ctx()).unwrap(), "x\ny\n");
         assert!(c.reads_stdin());
     }
 
     #[test]
     fn cat_reads_files() {
         let c = parse_command("cat a.txt b.txt").unwrap();
-        assert_eq!(c.run("", &ctx()).unwrap(), "alpha\nbeta\n");
+        assert_eq!(c.run_str("", &ctx()).unwrap(), "alpha\nbeta\n");
         assert!(!c.reads_stdin());
     }
 
     #[test]
     fn cat_missing_file_errors() {
         let c = parse_command("cat nope.txt").unwrap();
-        assert!(c.run("", &ctx()).is_err());
+        assert!(c.run_str("", &ctx()).is_err());
     }
 
     #[test]

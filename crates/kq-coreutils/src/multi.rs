@@ -5,7 +5,7 @@
 //! ("commands that process multiple input streams" and "commands that do
 //! not process data streams") but which the benchmark scripts still execute.
 
-use crate::{CmdError, ExecContext, UnixCommand};
+use crate::{Bytes, CmdError, ExecContext, UnixCommand};
 
 /// `paste f1 f2 ...` — join corresponding lines with tabs. Exhausted files
 /// contribute empty fields, as in GNU.
@@ -34,33 +34,37 @@ impl UnixCommand for PasteCmd {
         self.files.iter().any(|f| f == "-")
     }
 
-    fn run(&self, input: &str, ctx: &ExecContext) -> Result<String, CmdError> {
-        let mut contents = Vec::with_capacity(self.files.len());
-        for f in &self.files {
-            if f == "-" {
-                contents.push(input.to_owned());
-            } else {
-                contents.push(ctx.vfs.read(f).ok_or_else(|| {
-                    CmdError::new("paste", format!("{f}: No such file or directory"))
-                })?);
-            }
-        }
-        let columns: Vec<Vec<&str>> = contents
-            .iter()
-            .map(|c| kq_stream::lines_of(c).collect())
-            .collect();
-        let rows = columns.iter().map(Vec::len).max().unwrap_or(0);
-        let mut out = String::new();
-        for r in 0..rows {
-            for (ci, col) in columns.iter().enumerate() {
-                if ci > 0 {
-                    out.push('\t');
+    fn run(&self, input: Bytes, ctx: &ExecContext) -> Result<Bytes, CmdError> {
+        let input = crate::input_str(&input, "paste")?;
+        let text = || -> Result<String, CmdError> {
+            let mut contents = Vec::with_capacity(self.files.len());
+            for f in &self.files {
+                if f == "-" {
+                    contents.push(input.to_owned());
+                } else {
+                    contents.push(ctx.vfs.read(f).ok_or_else(|| {
+                        CmdError::new("paste", format!("{f}: No such file or directory"))
+                    })?);
                 }
-                out.push_str(col.get(r).copied().unwrap_or(""));
             }
-            out.push('\n');
-        }
-        Ok(out)
+            let columns: Vec<Vec<&str>> = contents
+                .iter()
+                .map(|c| kq_stream::lines_of(c).collect())
+                .collect();
+            let rows = columns.iter().map(Vec::len).max().unwrap_or(0);
+            let mut out = String::new();
+            for r in 0..rows {
+                for (ci, col) in columns.iter().enumerate() {
+                    if ci > 0 {
+                        out.push('\t');
+                    }
+                    out.push_str(col.get(r).copied().unwrap_or(""));
+                }
+                out.push('\n');
+            }
+            Ok(out)
+        };
+        text().map(Bytes::from)
     }
 }
 
@@ -75,7 +79,10 @@ pub struct DiffCmd {
 impl DiffCmd {
     /// Parses `diff` arguments.
     pub fn parse(args: &[String]) -> Result<DiffCmd, CmdError> {
-        let files: Vec<&String> = args.iter().filter(|a| !a.starts_with('-') || *a == "-").collect();
+        let files: Vec<&String> = args
+            .iter()
+            .filter(|a| !a.starts_with('-') || *a == "-")
+            .collect();
         if files.len() != 2 {
             return Err(CmdError::new("diff", "expected exactly two files"));
         }
@@ -95,21 +102,25 @@ impl UnixCommand for DiffCmd {
         self.file1 == "-" || self.file2 == "-"
     }
 
-    fn run(&self, input: &str, ctx: &ExecContext) -> Result<String, CmdError> {
-        let read = |name: &str| -> Result<String, CmdError> {
-            if name == "-" {
-                Ok(input.to_owned())
-            } else {
-                ctx.vfs
-                    .read(name)
-                    .ok_or_else(|| CmdError::new("diff", format!("{name}: No such file or directory")))
-            }
+    fn run(&self, input: Bytes, ctx: &ExecContext) -> Result<Bytes, CmdError> {
+        let input = crate::input_str(&input, "diff")?;
+        let text = || -> Result<String, CmdError> {
+            let read = |name: &str| -> Result<String, CmdError> {
+                if name == "-" {
+                    Ok(input.to_owned())
+                } else {
+                    ctx.vfs.read(name).ok_or_else(|| {
+                        CmdError::new("diff", format!("{name}: No such file or directory"))
+                    })
+                }
+            };
+            let c1 = read(&self.file1)?;
+            let c2 = read(&self.file2)?;
+            let a: Vec<&str> = kq_stream::lines_of(&c1).collect();
+            let b: Vec<&str> = kq_stream::lines_of(&c2).collect();
+            Ok(normal_diff(&a, &b))
         };
-        let c1 = read(&self.file1)?;
-        let c2 = read(&self.file2)?;
-        let a: Vec<&str> = kq_stream::lines_of(&c1).collect();
-        let b: Vec<&str> = kq_stream::lines_of(&c2).collect();
-        Ok(normal_diff(&a, &b))
+        text().map(Bytes::from)
     }
 }
 
@@ -178,13 +189,13 @@ impl UnixCommand for LsCmd {
         false
     }
 
-    fn run(&self, _input: &str, ctx: &ExecContext) -> Result<String, CmdError> {
+    fn run(&self, _input: Bytes, ctx: &ExecContext) -> Result<Bytes, CmdError> {
         let mut out = String::new();
         for p in ctx.vfs.paths() {
             out.push_str(&p);
             out.push('\n');
         }
-        Ok(out)
+        Ok(Bytes::from(out))
     }
 }
 
@@ -203,8 +214,8 @@ impl UnixCommand for NoopCmd {
         false
     }
 
-    fn run(&self, _input: &str, _ctx: &ExecContext) -> Result<String, CmdError> {
-        Ok(String::new())
+    fn run(&self, _input: Bytes, _ctx: &ExecContext) -> Result<Bytes, CmdError> {
+        Ok(Bytes::new())
     }
 }
 
@@ -223,14 +234,14 @@ mod tests {
     #[test]
     fn paste_joins_with_tabs() {
         let c = parse_command("paste w1 w2").unwrap();
-        assert_eq!(c.run("", &ctx()).unwrap(), "a\tx\nb\ty\nc\t\n");
+        assert_eq!(c.run_str("", &ctx()).unwrap(), "a\tx\nb\ty\nc\t\n");
         assert!(!c.reads_stdin());
     }
 
     #[test]
     fn paste_stdin_column() {
         let c = parse_command("paste - w2").unwrap();
-        assert_eq!(c.run("1\n2\n", &ctx()).unwrap(), "1\tx\n2\ty\n");
+        assert_eq!(c.run_str("1\n2\n", &ctx()).unwrap(), "1\tx\n2\ty\n");
         assert!(c.reads_stdin());
     }
 
@@ -240,7 +251,7 @@ mod tests {
         vfs.write("f1", "same\nlines\n");
         vfs.write("f2", "same\nlines\n");
         let c = parse_command("diff f1 f2").unwrap();
-        assert_eq!(c.run("", &ExecContext::with_vfs(vfs)).unwrap(), "");
+        assert_eq!(c.run_str("", &ExecContext::with_vfs(vfs)).unwrap(), "");
     }
 
     #[test]
@@ -249,7 +260,10 @@ mod tests {
         vfs.write("f1", "a\nB\nc\n");
         vfs.write("f2", "a\nX\nc\n");
         let c = parse_command("diff f1 f2").unwrap();
-        assert_eq!(c.run("", &ExecContext::with_vfs(vfs)).unwrap(), "2c2\n< B\n---\n> X\n");
+        assert_eq!(
+            c.run_str("", &ExecContext::with_vfs(vfs)).unwrap(),
+            "2c2\n< B\n---\n> X\n"
+        );
     }
 
     #[test]
@@ -258,20 +272,20 @@ mod tests {
         vfs.write("f1", "a\n");
         vfs.write("f2", "a\nb\n");
         let c = parse_command("diff f1 f2").unwrap();
-        let out = c.run("", &ExecContext::with_vfs(vfs)).unwrap();
+        let out = c.run_str("", &ExecContext::with_vfs(vfs)).unwrap();
         assert_eq!(out, "1a2\n> b\n");
     }
 
     #[test]
     fn ls_lists_vfs() {
         let c = parse_command("ls").unwrap();
-        assert_eq!(c.run("", &ctx()).unwrap(), "w1\nw2\n");
+        assert_eq!(c.run_str("", &ctx()).unwrap(), "w1\nw2\n");
     }
 
     #[test]
     fn noop_commands_swallow_input() {
         let c = parse_command("rm -f temp").unwrap();
-        assert_eq!(c.run("anything\n", &ctx()).unwrap(), "");
+        assert_eq!(c.run_str("anything\n", &ctx()).unwrap(), "");
         assert!(!c.reads_stdin());
     }
 }

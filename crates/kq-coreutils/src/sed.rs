@@ -8,7 +8,7 @@
 //!   no-combiner-exists commands);
 //! * `$d` — delete the last line.
 
-use crate::{CmdError, ExecContext, UnixCommand};
+use crate::{Bytes, CmdError, ExecContext, UnixCommand};
 use kq_pattern::Regex;
 
 enum Script {
@@ -37,8 +37,10 @@ impl SedCmd {
         while let Some(a) = it.next() {
             match a.as_str() {
                 "-e" => {
-                    script_text =
-                        Some(it.next().ok_or_else(|| CmdError::new("sed", "missing script"))?);
+                    script_text = Some(
+                        it.next()
+                            .ok_or_else(|| CmdError::new("sed", "missing script"))?,
+                    );
                 }
                 "-n" => return Err(CmdError::new("sed", "-n is not supported")),
                 other if script_text.is_none() => {
@@ -123,51 +125,55 @@ impl UnixCommand for SedCmd {
         self.display.clone()
     }
 
-    fn run(&self, input: &str, _ctx: &ExecContext) -> Result<String, CmdError> {
-        let mut out = String::with_capacity(input.len());
-        match &self.script {
-            Script::Substitute {
-                regex,
-                replacement,
-                global,
-            } => {
-                for line in kq_stream::lines_of(input) {
-                    let new = if *global {
-                        regex.replace_all(line, replacement)
-                    } else {
-                        regex.replace_first(line, replacement)
-                    };
-                    out.push_str(&new);
-                    out.push('\n');
-                }
-            }
-            Script::QuitAfter(n) => {
-                for (i, line) in kq_stream::lines_of(input).enumerate() {
-                    if i >= *n {
-                        break;
+    fn run(&self, input: Bytes, _ctx: &ExecContext) -> Result<Bytes, CmdError> {
+        let input = crate::input_str(&input, "sed")?;
+        let text = || -> Result<String, CmdError> {
+            let mut out = String::with_capacity(input.len());
+            match &self.script {
+                Script::Substitute {
+                    regex,
+                    replacement,
+                    global,
+                } => {
+                    for line in kq_stream::lines_of(input) {
+                        let new = if *global {
+                            regex.replace_all(line, replacement)
+                        } else {
+                            regex.replace_first(line, replacement)
+                        };
+                        out.push_str(&new);
+                        out.push('\n');
                     }
-                    out.push_str(line);
-                    out.push('\n');
                 }
-            }
-            Script::DeleteLine(n) => {
-                for (i, line) in kq_stream::lines_of(input).enumerate() {
-                    if i + 1 == *n {
-                        continue;
+                Script::QuitAfter(n) => {
+                    for (i, line) in kq_stream::lines_of(input).enumerate() {
+                        if i >= *n {
+                            break;
+                        }
+                        out.push_str(line);
+                        out.push('\n');
                     }
-                    out.push_str(line);
-                    out.push('\n');
+                }
+                Script::DeleteLine(n) => {
+                    for (i, line) in kq_stream::lines_of(input).enumerate() {
+                        if i + 1 == *n {
+                            continue;
+                        }
+                        out.push_str(line);
+                        out.push('\n');
+                    }
+                }
+                Script::DeleteLast => {
+                    let lines: Vec<&str> = kq_stream::lines_of(input).collect();
+                    for line in lines.iter().take(lines.len().saturating_sub(1)) {
+                        out.push_str(line);
+                        out.push('\n');
+                    }
                 }
             }
-            Script::DeleteLast => {
-                let lines: Vec<&str> = kq_stream::lines_of(input).collect();
-                for line in lines.iter().take(lines.len().saturating_sub(1)) {
-                    out.push_str(line);
-                    out.push('\n');
-                }
-            }
-        }
-        Ok(out)
+            Ok(out)
+        };
+        text().map(Bytes::from)
     }
 }
 
@@ -179,7 +185,7 @@ mod tests {
     fn run(cmd: &str, input: &str) -> String {
         parse_command(cmd)
             .unwrap()
-            .run(input, &ExecContext::default())
+            .run_str(input, &ExecContext::default())
             .unwrap()
     }
 
@@ -195,7 +201,10 @@ mod tests {
 
     #[test]
     fn substitute_with_semicolon_delimiter() {
-        assert_eq!(run("sed 's;^;/in/;'", "a.txt\nb.txt\n"), "/in/a.txt\n/in/b.txt\n");
+        assert_eq!(
+            run("sed 's;^;/in/;'", "a.txt\nb.txt\n"),
+            "/in/a.txt\n/in/b.txt\n"
+        );
     }
 
     #[test]

@@ -11,7 +11,7 @@
 //! `merge <flags>` operator (`unixMerge` in the paper, realized as
 //! `sort -m <flags>`), exposed programmatically via [`merge_streams`].
 
-use crate::{CmdError, ExecContext, UnixCommand};
+use crate::{Bytes, CmdError, ExecContext, UnixCommand};
 use std::cmp::Ordering;
 
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -115,7 +115,10 @@ fn parse_key(spec: &str, flags: &mut SortFlags) -> Result<(), CmdError> {
             'r' => flags.reverse = true,
             'f' => flags.fold_case = true,
             other => {
-                return Err(CmdError::new("sort", format!("unsupported key modifier {other}")))
+                return Err(CmdError::new(
+                    "sort",
+                    format!("unsupported key modifier {other}"),
+                ))
             }
         }
     }
@@ -170,7 +173,11 @@ fn key_compare(a: &str, b: &str, flags: SortFlags) -> Ordering {
     }
     if flags.fold_case {
         // GNU -f folds lowercase onto uppercase (byte-wise under C).
-        let fold = |s: &str| s.bytes().map(|c| c.to_ascii_uppercase()).collect::<Vec<_>>();
+        let fold = |s: &str| {
+            s.bytes()
+                .map(|c| c.to_ascii_uppercase())
+                .collect::<Vec<_>>()
+        };
         return fold(a).cmp(&fold(b));
     }
     a.as_bytes().cmp(b.as_bytes())
@@ -274,28 +281,33 @@ impl UnixCommand for SortCmd {
         self.files.is_empty() || self.files.iter().any(|f| f == "-")
     }
 
-    fn run(&self, input: &str, ctx: &ExecContext) -> Result<String, CmdError> {
-        let mut contents: Vec<String> = Vec::new();
-        if self.files.is_empty() {
-            contents.push(input.to_owned());
-        } else {
-            for f in &self.files {
-                if f == "-" {
+    fn run(&self, input: Bytes, ctx: &ExecContext) -> Result<Bytes, CmdError> {
+        let input = crate::input_str(&input, "sort")?;
+        let text =
+            || -> Result<String, CmdError> {
+                let mut contents: Vec<String> = Vec::new();
+                if self.files.is_empty() {
                     contents.push(input.to_owned());
                 } else {
-                    contents.push(ctx.vfs.read(f).ok_or_else(|| {
-                        CmdError::new("sort", format!("cannot read: {f}"))
-                    })?);
+                    for f in &self.files {
+                        if f == "-" {
+                            contents.push(input.to_owned());
+                        } else {
+                            contents.push(ctx.vfs.read(f).ok_or_else(|| {
+                                CmdError::new("sort", format!("cannot read: {f}"))
+                            })?);
+                        }
+                    }
                 }
-            }
-        }
-        if self.merge {
-            let refs: Vec<&str> = contents.iter().map(String::as_str).collect();
-            Ok(merge_sorted(&refs, self.flags))
-        } else {
-            let joined = contents.concat();
-            Ok(sort_lines(&joined, self.flags))
-        }
+                if self.merge {
+                    let refs: Vec<&str> = contents.iter().map(String::as_str).collect();
+                    Ok(merge_sorted(&refs, self.flags))
+                } else {
+                    let joined = contents.concat();
+                    Ok(sort_lines(&joined, self.flags))
+                }
+            };
+        text().map(Bytes::from)
     }
 }
 
@@ -308,7 +320,7 @@ mod tests {
     fn run(cmd: &str, input: &str) -> String {
         parse_command(cmd)
             .unwrap()
-            .run(input, &ExecContext::default())
+            .run_str(input, &ExecContext::default())
             .unwrap()
     }
 
@@ -376,7 +388,7 @@ mod tests {
             ExecContext::with_vfs(vfs)
         };
         let c = parse_command("sort -m s1 s2").unwrap();
-        assert_eq!(c.run("", &ctx).unwrap(), "a\nb\nc\nd\n");
+        assert_eq!(c.run_str("", &ctx).unwrap(), "a\nb\nc\nd\n");
         assert!(!c.reads_stdin());
     }
 

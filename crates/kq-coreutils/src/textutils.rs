@@ -1,7 +1,7 @@
 //! Small text-filter commands: `col -bx`, `rev`, `fmt -w N`, and
 //! `iconv -f utf-8 -t ascii//translit`.
 
-use crate::{CmdError, ExecContext, UnixCommand};
+use crate::{Bytes, CmdError, ExecContext, UnixCommand};
 
 /// `col -bx` — process backspaces (keeping the last character written to
 /// each column) and expand tabs to spaces. The spell benchmark uses it to
@@ -50,29 +50,33 @@ impl UnixCommand for ColCmd {
         s
     }
 
-    fn run(&self, input: &str, _ctx: &ExecContext) -> Result<String, CmdError> {
-        let mut out = String::with_capacity(input.len());
-        for line in kq_stream::lines_of(input) {
-            let mut cols: Vec<char> = Vec::with_capacity(line.len());
-            for c in line.chars() {
-                match c {
-                    '\u{8}' if self.no_backspaces => {
-                        cols.pop();
-                    }
-                    '\t' if self.expand_tabs => {
-                        let next_stop = (cols.len() / 8 + 1) * 8;
-                        while cols.len() < next_stop {
-                            cols.push(' ');
+    fn run(&self, input: Bytes, _ctx: &ExecContext) -> Result<Bytes, CmdError> {
+        let input = crate::input_str(&input, "col")?;
+        let text = || -> Result<String, CmdError> {
+            let mut out = String::with_capacity(input.len());
+            for line in kq_stream::lines_of(input) {
+                let mut cols: Vec<char> = Vec::with_capacity(line.len());
+                for c in line.chars() {
+                    match c {
+                        '\u{8}' if self.no_backspaces => {
+                            cols.pop();
                         }
+                        '\t' if self.expand_tabs => {
+                            let next_stop = (cols.len() / 8 + 1) * 8;
+                            while cols.len() < next_stop {
+                                cols.push(' ');
+                            }
+                        }
+                        '\r' => {}
+                        other => cols.push(other),
                     }
-                    '\r' => {}
-                    other => cols.push(other),
                 }
+                out.extend(cols);
+                out.push('\n');
             }
-            out.extend(cols);
-            out.push('\n');
-        }
-        Ok(out)
+            Ok(out)
+        };
+        text().map(Bytes::from)
     }
 }
 
@@ -84,13 +88,17 @@ impl UnixCommand for RevCmd {
         "rev".to_owned()
     }
 
-    fn run(&self, input: &str, _ctx: &ExecContext) -> Result<String, CmdError> {
-        let mut out = String::with_capacity(input.len());
-        for line in kq_stream::lines_of(input) {
-            out.extend(line.chars().rev());
-            out.push('\n');
-        }
-        Ok(out)
+    fn run(&self, input: Bytes, _ctx: &ExecContext) -> Result<Bytes, CmdError> {
+        let input = crate::input_str(&input, "rev")?;
+        let text = || -> Result<String, CmdError> {
+            let mut out = String::with_capacity(input.len());
+            for line in kq_stream::lines_of(input) {
+                out.extend(line.chars().rev());
+                out.push('\n');
+            }
+            Ok(out)
+        };
+        text().map(Bytes::from)
     }
 }
 
@@ -107,7 +115,8 @@ impl FmtCmd {
         let mut it = args.iter();
         while let Some(a) = it.next() {
             let spec: &str = if a == "-w" {
-                it.next().ok_or_else(|| CmdError::new("fmt", "missing width"))?
+                it.next()
+                    .ok_or_else(|| CmdError::new("fmt", "missing width"))?
             } else if let Some(body) = a.strip_prefix("-w") {
                 body
             } else if let Some(body) = a.strip_prefix('-') {
@@ -128,38 +137,42 @@ impl UnixCommand for FmtCmd {
         format!("fmt -w{}", self.width)
     }
 
-    fn run(&self, input: &str, _ctx: &ExecContext) -> Result<String, CmdError> {
-        let mut out = String::with_capacity(input.len());
-        let mut line_len = 0usize;
-        for line in kq_stream::lines_of(input) {
-            if line.trim().is_empty() {
-                if line_len > 0 {
+    fn run(&self, input: Bytes, _ctx: &ExecContext) -> Result<Bytes, CmdError> {
+        let input = crate::input_str(&input, "fmt")?;
+        let text = || -> Result<String, CmdError> {
+            let mut out = String::with_capacity(input.len());
+            let mut line_len = 0usize;
+            for line in kq_stream::lines_of(input) {
+                if line.trim().is_empty() {
+                    if line_len > 0 {
+                        out.push('\n');
+                        line_len = 0;
+                    }
                     out.push('\n');
-                    line_len = 0;
+                    continue;
                 }
+                for word in line.split_ascii_whitespace() {
+                    let wlen = word.chars().count();
+                    if line_len == 0 {
+                        out.push_str(word);
+                        line_len = wlen;
+                    } else if line_len + 1 + wlen <= self.width {
+                        out.push(' ');
+                        out.push_str(word);
+                        line_len += 1 + wlen;
+                    } else {
+                        out.push('\n');
+                        out.push_str(word);
+                        line_len = wlen;
+                    }
+                }
+            }
+            if line_len > 0 {
                 out.push('\n');
-                continue;
             }
-            for word in line.split_ascii_whitespace() {
-                let wlen = word.chars().count();
-                if line_len == 0 {
-                    out.push_str(word);
-                    line_len = wlen;
-                } else if line_len + 1 + wlen <= self.width {
-                    out.push(' ');
-                    out.push_str(word);
-                    line_len += 1 + wlen;
-                } else {
-                    out.push('\n');
-                    out.push_str(word);
-                    line_len = wlen;
-                }
-            }
-        }
-        if line_len > 0 {
-            out.push('\n');
-        }
-        Ok(out)
+            Ok(out)
+        };
+        text().map(Bytes::from)
     }
 }
 
@@ -178,7 +191,12 @@ impl IconvCmd {
             match a.as_str() {
                 "-f" => from = it.next().map(String::as_str),
                 "-t" => to = it.next().map(String::as_str),
-                other => return Err(CmdError::new("iconv", format!("unexpected operand {other}"))),
+                other => {
+                    return Err(CmdError::new(
+                        "iconv",
+                        format!("unexpected operand {other}"),
+                    ))
+                }
             }
         }
         match (from, to) {
@@ -231,18 +249,22 @@ impl UnixCommand for IconvCmd {
         "iconv -f utf-8 -t ascii//translit".to_owned()
     }
 
-    fn run(&self, input: &str, _ctx: &ExecContext) -> Result<String, CmdError> {
-        let mut out = String::with_capacity(input.len());
-        for c in input.chars() {
-            if c.is_ascii() {
-                out.push(c);
-            } else if let Some(t) = translit(c) {
-                out.push_str(t);
-            } else {
-                out.push('?');
+    fn run(&self, input: Bytes, _ctx: &ExecContext) -> Result<Bytes, CmdError> {
+        let input = crate::input_str(&input, "iconv")?;
+        let text = || -> Result<String, CmdError> {
+            let mut out = String::with_capacity(input.len());
+            for c in input.chars() {
+                if c.is_ascii() {
+                    out.push(c);
+                } else if let Some(t) = translit(c) {
+                    out.push_str(t);
+                } else {
+                    out.push('?');
+                }
             }
-        }
-        Ok(out)
+            Ok(out)
+        };
+        text().map(Bytes::from)
     }
 }
 
@@ -254,7 +276,7 @@ mod tests {
     fn run(cmd: &str, input: &str) -> String {
         parse_command(cmd)
             .unwrap()
-            .run(input, &ExecContext::default())
+            .run_str(input, &ExecContext::default())
             .unwrap()
     }
 

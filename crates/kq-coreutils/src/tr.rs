@@ -9,7 +9,7 @@
 //! Flags: any combination of `-c` (complement SET1), `-d` (delete), and
 //! `-s` (squeeze), including the combined forms `-cs`, `-sc`, `-ds`.
 
-use crate::{CmdError, ExecContext, UnixCommand};
+use crate::{Bytes, CmdError, ExecContext, UnixCommand};
 
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 enum SetItem {
@@ -144,7 +144,11 @@ fn class_members(name: &str) -> Option<Vec<char>> {
             v.extend('A'..='Z');
             v.extend('a'..='z');
         }
-        "punct" => v.extend((0x21..=0x7eu8).map(|b| b as char).filter(|c| c.is_ascii_punctuation())),
+        "punct" => v.extend(
+            (0x21..=0x7eu8)
+                .map(|b| b as char)
+                .filter(|c| c.is_ascii_punctuation()),
+        ),
         "space" => v.extend([' ', '\t', '\n', '\r', '\x0b', '\x0c']),
         "blank" => v.extend([' ', '\t']),
         _ => return None,
@@ -316,103 +320,107 @@ impl UnixCommand for TrCmd {
         self.display.clone()
     }
 
-    fn run(&self, input: &str, _ctx: &ExecContext) -> Result<String, CmdError> {
-        let set1 = CharSet::from_chars(&self.set1);
-        let in_set1 = |c: char| set1.contains(c) != self.complement;
+    fn run(&self, input: Bytes, _ctx: &ExecContext) -> Result<Bytes, CmdError> {
+        let input = crate::input_str(&input, "tr")?;
+        let text = || -> Result<String, CmdError> {
+            let set1 = CharSet::from_chars(&self.set1);
+            let in_set1 = |c: char| set1.contains(c) != self.complement;
 
-        let mut out = String::with_capacity(input.len());
-        if self.delete {
-            // Delete members of (complemented) SET1; with -s also squeeze
-            // SET2 members afterwards.
+            let mut out = String::with_capacity(input.len());
+            if self.delete {
+                // Delete members of (complemented) SET1; with -s also squeeze
+                // SET2 members afterwards.
+                let squeeze_set = if self.squeeze {
+                    Some(CharSet::from_chars(&expand_set1(&self.set2_items)))
+                } else {
+                    None
+                };
+                let mut prev: Option<char> = None;
+                for c in input.chars() {
+                    if in_set1(c) {
+                        continue;
+                    }
+                    if let Some(sq) = &squeeze_set {
+                        if sq.contains(c) && prev == Some(c) {
+                            continue;
+                        }
+                    }
+                    out.push(c);
+                    prev = Some(c);
+                }
+                return Ok(out);
+            }
+
+            if self.set2_items.is_empty() {
+                // Pure squeeze of SET1 members.
+                let mut prev: Option<char> = None;
+                for c in input.chars() {
+                    if in_set1(c) && prev == Some(c) {
+                        continue;
+                    }
+                    out.push(c);
+                    prev = Some(c);
+                }
+                return Ok(out);
+            }
+
+            // Translate (then optionally squeeze SET2 members). With -c, GNU
+            // builds the complement of SET1 in ascending character order and
+            // maps it element-wise onto SET2 (padded with its last character).
+            let mut table = [0u32; 128];
+            for (i, b) in table.iter_mut().enumerate() {
+                *b = i as u32;
+            }
+            let (set2, fallback) = if self.complement {
+                let comp: Vec<char> = (0u32..128)
+                    .filter_map(char::from_u32)
+                    .filter(|&c| !set1.contains(c))
+                    .collect();
+                let set2 = expand_set2(&self.set2_items, comp.len().max(1));
+                let fallback = *set2.last().expect("SET2 cannot be empty here");
+                for (i, &c) in comp.iter().enumerate() {
+                    table[c as usize] = set2[i.min(set2.len() - 1)] as u32;
+                }
+                (set2, fallback)
+            } else {
+                let set2 = expand_set2(&self.set2_items, self.set1.len().max(1));
+                let fallback = *set2.last().expect("SET2 cannot be empty here");
+                for (i, &c) in self.set1.iter().enumerate() {
+                    if (c as u32) < 128 {
+                        table[c as usize] = set2[i.min(set2.len() - 1)] as u32;
+                    }
+                }
+                (set2, fallback)
+            };
+            let translate = |c: char| -> char {
+                if (c as u32) < 128 {
+                    char::from_u32(table[c as usize]).unwrap_or(c)
+                } else if self.complement {
+                    // Non-ASCII characters are outside every corpus SET1.
+                    fallback
+                } else {
+                    c
+                }
+            };
             let squeeze_set = if self.squeeze {
-                Some(CharSet::from_chars(&expand_set1(&self.set2_items)))
+                Some(CharSet::from_chars(&set2))
             } else {
                 None
             };
             let mut prev: Option<char> = None;
             for c in input.chars() {
-                if in_set1(c) {
-                    continue;
-                }
+                let t = translate(c);
                 if let Some(sq) = &squeeze_set {
-                    if sq.contains(c) && prev == Some(c) {
+                    if sq.contains(t) && prev == Some(t) {
                         continue;
                     }
                 }
-                out.push(c);
-                prev = Some(c);
+                out.push(t);
+                prev = Some(t);
             }
-            return Ok(out);
-        }
-
-        if self.set2_items.is_empty() {
-            // Pure squeeze of SET1 members.
-            let mut prev: Option<char> = None;
-            for c in input.chars() {
-                if in_set1(c) && prev == Some(c) {
-                    continue;
-                }
-                out.push(c);
-                prev = Some(c);
-            }
-            return Ok(out);
-        }
-
-        // Translate (then optionally squeeze SET2 members). With -c, GNU
-        // builds the complement of SET1 in ascending character order and
-        // maps it element-wise onto SET2 (padded with its last character).
-        let mut table = [0u32; 128];
-        for (i, b) in table.iter_mut().enumerate() {
-            *b = i as u32;
-        }
-        let (set2, fallback) = if self.complement {
-            let comp: Vec<char> = (0u32..128)
-                .filter_map(char::from_u32)
-                .filter(|&c| !set1.contains(c))
-                .collect();
-            let set2 = expand_set2(&self.set2_items, comp.len().max(1));
-            let fallback = *set2.last().expect("SET2 cannot be empty here");
-            for (i, &c) in comp.iter().enumerate() {
-                table[c as usize] = set2[i.min(set2.len() - 1)] as u32;
-            }
-            (set2, fallback)
-        } else {
-            let set2 = expand_set2(&self.set2_items, self.set1.len().max(1));
-            let fallback = *set2.last().expect("SET2 cannot be empty here");
-            for (i, &c) in self.set1.iter().enumerate() {
-                if (c as u32) < 128 {
-                    table[c as usize] = set2[i.min(set2.len() - 1)] as u32;
-                }
-            }
-            (set2, fallback)
+            Ok(out)
         };
-        let translate = |c: char| -> char {
-            if (c as u32) < 128 {
-                char::from_u32(table[c as usize]).unwrap_or(c)
-            } else if self.complement {
-                // Non-ASCII characters are outside every corpus SET1.
-                fallback
-            } else {
-                c
-            }
-        };
-        let squeeze_set = if self.squeeze {
-            Some(CharSet::from_chars(&set2))
-        } else {
-            None
-        };
-        let mut prev: Option<char> = None;
-        for c in input.chars() {
-            let t = translate(c);
-            if let Some(sq) = &squeeze_set {
-                if sq.contains(t) && prev == Some(t) {
-                    continue;
-                }
-            }
-            out.push(t);
-            prev = Some(t);
-        }
-        Ok(out)
+        text().map(Bytes::from)
     }
 }
 
@@ -424,7 +432,7 @@ mod tests {
     fn run(cmd: &str, input: &str) -> String {
         parse_command(cmd)
             .unwrap()
-            .run(input, &ExecContext::default())
+            .run_str(input, &ExecContext::default())
             .unwrap()
     }
 
@@ -454,7 +462,10 @@ mod tests {
     #[test]
     fn complement_squeeze_is_the_word_splitter() {
         // The Figure 1 stage: runs of non-letters collapse to one newline.
-        assert_eq!(run(r"tr -cs A-Za-z '\n'", "one  two!!three\n"), "one\ntwo\nthree\n");
+        assert_eq!(
+            run(r"tr -cs A-Za-z '\n'", "one  two!!three\n"),
+            "one\ntwo\nthree\n"
+        );
         // Leading separators produce a single leading newline.
         assert_eq!(run(r"tr -cs A-Za-z '\n'", "  x\n"), "\nx\n");
     }

@@ -4,7 +4,7 @@
 //! `stitch2` combiner deformats it with `delPad`/`addPad`, and the
 //! synthesized combiner must reproduce it byte-for-byte.
 
-use crate::{CmdError, ExecContext, UnixCommand};
+use crate::{Bytes, CmdError, ExecContext, UnixCommand};
 
 /// The `uniq` command.
 pub struct UniqCmd {
@@ -34,31 +34,35 @@ impl UnixCommand for UniqCmd {
         }
     }
 
-    fn run(&self, input: &str, _ctx: &ExecContext) -> Result<String, CmdError> {
-        let mut out = String::with_capacity(input.len());
-        let mut current: Option<(&str, u64)> = None;
-        let emit = |line: &str, n: u64, out: &mut String| {
-            if self.count {
-                out.push_str(&format!("{n:>7} {line}\n"));
-            } else {
-                out.push_str(line);
-                out.push('\n');
-            }
-        };
-        for line in kq_stream::lines_of(input) {
-            match current {
-                Some((prev, n)) if prev == line => current = Some((prev, n + 1)),
-                Some((prev, n)) => {
-                    emit(prev, n, &mut out);
-                    current = Some((line, 1));
+    fn run(&self, input: Bytes, _ctx: &ExecContext) -> Result<Bytes, CmdError> {
+        let input = crate::input_str(&input, "uniq")?;
+        let text = || -> Result<String, CmdError> {
+            let mut out = String::with_capacity(input.len());
+            let mut current: Option<(&str, u64)> = None;
+            let emit = |line: &str, n: u64, out: &mut String| {
+                if self.count {
+                    out.push_str(&format!("{n:>7} {line}\n"));
+                } else {
+                    out.push_str(line);
+                    out.push('\n');
                 }
-                None => current = Some((line, 1)),
+            };
+            for line in kq_stream::lines_of(input) {
+                match current {
+                    Some((prev, n)) if prev == line => current = Some((prev, n + 1)),
+                    Some((prev, n)) => {
+                        emit(prev, n, &mut out);
+                        current = Some((line, 1));
+                    }
+                    None => current = Some((line, 1)),
+                }
             }
-        }
-        if let Some((prev, n)) = current {
-            emit(prev, n, &mut out);
-        }
-        Ok(out)
+            if let Some((prev, n)) = current {
+                emit(prev, n, &mut out);
+            }
+            Ok(out)
+        };
+        text().map(Bytes::from)
     }
 }
 
@@ -71,7 +75,7 @@ mod tests {
     fn run(cmd: &str, input: &str) -> String {
         parse_command(cmd)
             .unwrap()
-            .run(input, &ExecContext::default())
+            .run_str(input, &ExecContext::default())
             .unwrap()
     }
 

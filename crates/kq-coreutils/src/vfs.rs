@@ -10,12 +10,13 @@
 //! can report e.g. "POSIX shell script, ASCII text executable" for the
 //! `shortest-scripts.sh` benchmark.
 
+use kq_stream::Bytes;
 use parking_lot::RwLock;
 use std::collections::BTreeMap;
 
 #[derive(Debug, Default)]
 struct Entry {
-    content: String,
+    content: Bytes,
     file_type: Option<String>,
 }
 
@@ -34,39 +35,53 @@ impl Vfs {
         Vfs::default()
     }
 
-    /// Writes (or overwrites) a file.
-    pub fn write(&self, path: impl Into<String>, content: impl Into<String>) {
+    /// Writes (or overwrites) a file. Accepts anything convertible to
+    /// [`Bytes`]; handing in a `Bytes` (e.g. a pipeline redirection
+    /// target) stores the shared slice without copying — unless the slice
+    /// pins a much larger backing buffer, in which case it is compacted
+    /// so a few-byte file never retains a multi-MiB input allocation.
+    pub fn write(&self, path: impl Into<String>, content: impl Into<Bytes>) {
         self.files.write().insert(
             path.into(),
             Entry {
-                content: content.into(),
+                content: content.into().compact(),
                 file_type: None,
             },
         );
     }
 
-    /// Writes a file with an explicit `file(1)` type description.
+    /// Writes a file with an explicit `file(1)` type description. Applies
+    /// the same slice compaction as [`Vfs::write`].
     pub fn write_typed(
         &self,
         path: impl Into<String>,
-        content: impl Into<String>,
+        content: impl Into<Bytes>,
         file_type: impl Into<String>,
     ) {
         self.files.write().insert(
             path.into(),
             Entry {
-                content: content.into(),
+                content: content.into().compact(),
                 file_type: Some(file_type.into()),
             },
         );
     }
 
-    /// Reads a file's content. Returns `None` when the path does not exist.
-    ///
-    /// The returned value is an owned clone-on-read snapshot; corpus files
-    /// are read once per stage so this stays off the hot path.
-    pub fn read(&self, path: &str) -> Option<String> {
+    /// Reads a file's content as a shared byte slice: a refcount bump, no
+    /// copy. This is what the executors' input gathering uses.
+    pub fn read_bytes(&self, path: &str) -> Option<Bytes> {
         self.files.read().get(path).map(|e| e.content.clone())
+    }
+
+    /// Reads a file's content as an owned `String` (copies; compatibility
+    /// for text-shaping call sites off the hot path). Foreign byte data
+    /// written through the `From<Vec<u8>>` door degrades lossily rather
+    /// than panicking.
+    pub fn read(&self, path: &str) -> Option<String> {
+        self.files
+            .read()
+            .get(path)
+            .map(|e| String::from_utf8_lossy(e.content.as_bytes()).into_owned())
     }
 
     /// The `file(1)` description for a path: the declared type if present,
@@ -76,7 +91,7 @@ impl Vfs {
         let entry = files.get(path)?;
         Some(match &entry.file_type {
             Some(t) => t.clone(),
-            None if entry.content.starts_with("#!") => {
+            None if entry.content.as_bytes().starts_with(b"#!") => {
                 "POSIX shell script, ASCII text executable".to_owned()
             }
             None if entry.content.is_empty() => "empty".to_owned(),

@@ -5,7 +5,7 @@
 //! triple. The corpus uses `wc -l`, `wc -w`, and `wc -c`; the synthesized
 //! combiner for all of them is `(back '\n' add)`.
 
-use crate::{CmdError, ExecContext, UnixCommand};
+use crate::{Bytes, CmdError, ExecContext, UnixCommand};
 
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 enum Count {
@@ -73,22 +73,30 @@ impl UnixCommand for WcCmd {
         self.display.clone()
     }
 
-    fn run(&self, input: &str, _ctx: &ExecContext) -> Result<String, CmdError> {
-        let counts: Vec<usize> = self.selected.iter().map(|&c| Self::count(input, c)).collect();
-        let mut out = String::new();
-        if counts.len() == 1 {
-            out.push_str(&counts[0].to_string());
-        } else {
-            // GNU pads multi-column stdin output to 7 columns.
-            for (i, c) in counts.iter().enumerate() {
-                if i > 0 {
-                    out.push(' ');
+    fn run(&self, input: Bytes, _ctx: &ExecContext) -> Result<Bytes, CmdError> {
+        let input = crate::input_str(&input, "wc")?;
+        let text = || -> Result<String, CmdError> {
+            let counts: Vec<usize> = self
+                .selected
+                .iter()
+                .map(|&c| Self::count(input, c))
+                .collect();
+            let mut out = String::new();
+            if counts.len() == 1 {
+                out.push_str(&counts[0].to_string());
+            } else {
+                // GNU pads multi-column stdin output to 7 columns.
+                for (i, c) in counts.iter().enumerate() {
+                    if i > 0 {
+                        out.push(' ');
+                    }
+                    out.push_str(&format!("{c:>7}"));
                 }
-                out.push_str(&format!("{c:>7}"));
             }
-        }
-        out.push('\n');
-        Ok(out)
+            out.push('\n');
+            Ok(out)
+        };
+        text().map(Bytes::from)
     }
 }
 
@@ -101,7 +109,7 @@ mod tests {
     fn run(cmd: &str, input: &str) -> String {
         parse_command(cmd)
             .unwrap()
-            .run(input, &ExecContext::default())
+            .run_str(input, &ExecContext::default())
             .unwrap()
     }
 

@@ -7,7 +7,7 @@
 //! `xargs` commands a word list, a sorted word list, and a file-name list,
 //! and relies on the first two failing so it knows to generate file names.
 
-use crate::{CmdError, ExecContext, UnixCommand};
+use crate::{Bytes, CmdError, ExecContext, Rope, UnixCommand};
 
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 enum SubCommand {
@@ -30,7 +30,9 @@ impl XargsCmd {
         while let Some(a) = it.next() {
             match a.as_str() {
                 "-L" | "-n" => {
-                    let v = it.next().ok_or_else(|| CmdError::new("xargs", "missing count"))?;
+                    let v = it
+                        .next()
+                        .ok_or_else(|| CmdError::new("xargs", "missing count"))?;
                     let _n: usize = v
                         .parse()
                         .map_err(|_| CmdError::new("xargs", format!("invalid count {v:?}")))?;
@@ -63,50 +65,67 @@ impl UnixCommand for XargsCmd {
         self.display.clone()
     }
 
-    fn run(&self, input: &str, ctx: &ExecContext) -> Result<String, CmdError> {
-        let mut out = String::new();
+    fn run(&self, input: Bytes, ctx: &ExecContext) -> Result<Bytes, CmdError> {
+        let input = crate::input_str(&input, "xargs")?;
         // xargs tokenizes on whitespace; corpus inputs are one path per
         // line with no embedded blanks.
-        for path in input.split_ascii_whitespace() {
-            match self.sub {
-                SubCommand::Cat => match ctx.vfs.read(path) {
-                    Some(content) => out.push_str(&content),
-                    None => {
-                        return Err(CmdError::new(
-                            "cat",
-                            format!("{path}: No such file or directory"),
-                        ))
+        match self.sub {
+            // `xargs cat` is the gather position of the data plane: each
+            // named file joins the output rope as a refcounted slice.
+            SubCommand::Cat => {
+                let mut out = Rope::new();
+                for path in input.split_ascii_whitespace() {
+                    match ctx.vfs.read_bytes(path) {
+                        Some(content) => out.push(content),
+                        None => {
+                            return Err(CmdError::new(
+                                "cat",
+                                format!("{path}: No such file or directory"),
+                            ))
+                        }
                     }
-                },
-                SubCommand::File => match ctx.vfs.file_type(path) {
-                    Some(t) => {
-                        out.push_str(path);
-                        out.push_str(": ");
-                        out.push_str(&t);
-                        out.push('\n');
+                }
+                Ok(out.into_bytes())
+            }
+            SubCommand::File => {
+                let mut out = String::new();
+                for path in input.split_ascii_whitespace() {
+                    match ctx.vfs.file_type(path) {
+                        Some(t) => {
+                            out.push_str(path);
+                            out.push_str(": ");
+                            out.push_str(&t);
+                            out.push('\n');
+                        }
+                        None => {
+                            return Err(CmdError::new(
+                                "file",
+                                format!("{path}: cannot open (No such file or directory)"),
+                            ))
+                        }
                     }
-                    None => {
-                        return Err(CmdError::new(
-                            "file",
-                            format!("{path}: cannot open (No such file or directory)"),
-                        ))
+                }
+                Ok(Bytes::from(out))
+            }
+            SubCommand::WcL => {
+                let mut out = String::new();
+                for path in input.split_ascii_whitespace() {
+                    match ctx.vfs.read_bytes(path) {
+                        Some(content) => {
+                            let n = content.count_newlines();
+                            out.push_str(&format!("{n} {path}\n"));
+                        }
+                        None => {
+                            return Err(CmdError::new(
+                                "wc",
+                                format!("{path}: No such file or directory"),
+                            ))
+                        }
                     }
-                },
-                SubCommand::WcL => match ctx.vfs.read(path) {
-                    Some(content) => {
-                        let n = kq_stream::count_delim('\n', &content);
-                        out.push_str(&format!("{n} {path}\n"));
-                    }
-                    None => {
-                        return Err(CmdError::new(
-                            "wc",
-                            format!("{path}: No such file or directory"),
-                        ))
-                    }
-                },
+                }
+                Ok(Bytes::from(out))
             }
         }
-        Ok(out)
     }
 }
 
@@ -125,7 +144,7 @@ mod tests {
     #[test]
     fn xargs_cat_concatenates() {
         let c = parse_command("xargs cat").unwrap();
-        let out = c.run("/bin/a.sh\n/doc/b.txt\n", &ctx()).unwrap();
+        let out = c.run_str("/bin/a.sh\n/doc/b.txt\n", &ctx()).unwrap();
         assert_eq!(out, "#!/bin/sh\necho one\nline\nline\nline\n");
     }
 
@@ -134,27 +153,30 @@ mod tests {
         let c = parse_command("xargs cat").unwrap();
         // This is the probe behaviour preprocessing depends on: plain words
         // are not files.
-        assert!(c.run("hello\nworld\n", &ctx()).is_err());
+        assert!(c.run_str("hello\nworld\n", &ctx()).is_err());
     }
 
     #[test]
     fn xargs_file_describes() {
         let c = parse_command("xargs file").unwrap();
-        let out = c.run("/bin/a.sh\n", &ctx()).unwrap();
-        assert_eq!(out, "/bin/a.sh: POSIX shell script, ASCII text executable\n");
+        let out = c.run_str("/bin/a.sh\n", &ctx()).unwrap();
+        assert_eq!(
+            out,
+            "/bin/a.sh: POSIX shell script, ASCII text executable\n"
+        );
     }
 
     #[test]
     fn xargs_wc_counts_lines_per_file() {
         let c = parse_command("xargs -L 1 wc -l").unwrap();
-        let out = c.run("/doc/b.txt\n/bin/a.sh\n", &ctx()).unwrap();
+        let out = c.run_str("/doc/b.txt\n/bin/a.sh\n", &ctx()).unwrap();
         assert_eq!(out, "3 /doc/b.txt\n2 /bin/a.sh\n");
     }
 
     #[test]
     fn empty_input_produces_empty_output() {
         let c = parse_command("xargs cat").unwrap();
-        assert_eq!(c.run("", &ctx()).unwrap(), "");
+        assert_eq!(c.run_str("", &ctx()).unwrap(), "");
     }
 
     #[test]

@@ -76,9 +76,7 @@ impl Combiner {
         match self {
             Combiner::Rec(b) => b.expansions(),
             Combiner::Struct(StructOp::Stitch(b)) => 1 + b.expansions(),
-            Combiner::Struct(StructOp::Stitch2(_, b1, b2)) => {
-                1 + b1.expansions() + b2.expansions()
-            }
+            Combiner::Struct(StructOp::Stitch2(_, b1, b2)) => 1 + b1.expansions() + b2.expansions(),
             Combiner::Struct(StructOp::Offset(_, b)) => 1 + b.expansions(),
             Combiner::Run(_) => 1,
         }

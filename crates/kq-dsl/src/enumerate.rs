@@ -232,10 +232,7 @@ mod tests {
             Combiner::Run(RunOp::Rerun),
         ];
         for w in want {
-            assert!(
-                cands.iter().any(|c| c.op == w && !c.swapped),
-                "missing {w}"
-            );
+            assert!(cands.iter().any(|c| c.op == w && !c.swapped), "missing {w}");
         }
     }
 

@@ -40,6 +40,16 @@ pub trait RunEnv {
 
     /// `unixMerge <flags>`: merge pre-sorted streams (`sort -m <flags>`).
     fn merge(&self, flags: &[String], streams: &[&str]) -> Result<String, EvalError>;
+
+    /// Byte-plane `rerun_f`: execute `f` on a shared byte slice without
+    /// round-tripping through owned strings. The default shim copies;
+    /// command-backed environments override it with a zero-copy hand-off.
+    fn rerun_bytes(&self, input: kq_stream::Bytes) -> Result<kq_stream::Bytes, EvalError> {
+        let text = input
+            .to_str()
+            .map_err(|_| EvalError::Command("substream is not valid UTF-8".to_owned()))?;
+        self.rerun(text).map(kq_stream::Bytes::from)
+    }
 }
 
 /// A [`RunEnv`] for contexts where `RunOp` combiners cannot occur (pure
@@ -67,12 +77,18 @@ pub struct CommandEnv<'a> {
 impl RunEnv for CommandEnv<'_> {
     fn rerun(&self, input: &str) -> Result<String, EvalError> {
         self.command
-            .run(input, self.ctx)
+            .run_str(input, self.ctx)
             .map_err(|e| EvalError::Command(e.to_string()))
     }
 
     fn merge(&self, flags: &[String], streams: &[&str]) -> Result<String, EvalError> {
         kq_coreutils::sort::merge_streams(flags, streams)
+            .map_err(|e| EvalError::Command(e.to_string()))
+    }
+
+    fn rerun_bytes(&self, input: kq_stream::Bytes) -> Result<kq_stream::Bytes, EvalError> {
+        self.command
+            .run(input, self.ctx)
             .map_err(|e| EvalError::Command(e.to_string()))
     }
 }
@@ -322,7 +338,10 @@ mod tests {
     fn fuse_rule() {
         // wc-style triple counts fused by spaces.
         let fuse_add = R::Fuse(Delim::Space, Box::new(R::Add));
-        assert_eq!(rec(fuse_add.clone(), "1 2 3", "10 20 30").unwrap(), "11 22 33");
+        assert_eq!(
+            rec(fuse_add.clone(), "1 2 3", "10 20 30").unwrap(),
+            "11 22 33"
+        );
         assert!(rec(fuse_add.clone(), "1 2", "1 2 3").is_err());
         assert!(rec(fuse_add, "123", "456").is_err()); // no delimiter
     }

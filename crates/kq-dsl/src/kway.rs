@@ -8,6 +8,15 @@
 
 use crate::ast::{Candidate, Combiner, RecOp, RunOp};
 use crate::eval::{eval, EvalError, RunEnv};
+use kq_stream::Bytes;
+
+/// Text view of a substream for the string-semantic combiners; a
+/// non-UTF-8 piece is a domain error, not a panic.
+fn view(piece: &Bytes) -> Result<&str, EvalError> {
+    piece
+        .to_str()
+        .map_err(|_| EvalError::Command("substream is not valid UTF-8".to_owned()))
+}
 
 /// How a binary combiner is generalized to `k` substreams.
 ///
@@ -37,11 +46,16 @@ pub enum CombineStrategy {
 /// Empty substreams (a worker that received no lines) are skipped: they
 /// contribute nothing to the combined stream, matching the behaviour of
 /// the shell implementations (`cat`/`sort -m` of empty files).
+///
+/// Pieces arrive and leave as [`Bytes`]: a single surviving piece is
+/// returned by refcount bump, k-way `concat` gathers the segments with at
+/// most one memcpy ([`Rope::into_bytes`]), and `rerun` hands the gathered
+/// stream to the command without an extra owned-string round trip.
 pub fn combine_all(
     candidate: &Candidate,
-    pieces: &[String],
+    pieces: &[Bytes],
     env: &dyn RunEnv,
-) -> Result<String, EvalError> {
+) -> Result<Bytes, EvalError> {
     combine_all_with(CombineStrategy::Flat, candidate, pieces, env)
 }
 
@@ -49,54 +63,61 @@ pub fn combine_all(
 pub fn combine_all_with(
     strategy: CombineStrategy,
     candidate: &Candidate,
-    pieces: &[String],
+    pieces: &[Bytes],
     env: &dyn RunEnv,
-) -> Result<String, EvalError> {
-    let live: Vec<&str> = pieces.iter().map(String::as_str).filter(|p| !p.is_empty()).collect();
+) -> Result<Bytes, EvalError> {
+    let live: Vec<&Bytes> = pieces.iter().filter(|p| !p.is_empty()).collect();
     match live.as_slice() {
-        [] => return Ok(String::new()),
-        [one] => return Ok((*one).to_owned()),
+        [] => return Ok(Bytes::new()),
+        [one] => return Ok((*one).clone()),
         _ => {}
     }
     if strategy == CombineStrategy::Flat {
         match &candidate.op {
-            // concat == `cat $*`.
+            // concat == `cat $*`: a segment gather, no pairwise work.
             Combiner::Rec(RecOp::Concat) => {
                 let mut ordered = live;
                 if candidate.swapped {
                     ordered.reverse();
                 }
-                return Ok(ordered.concat());
+                return Ok(kq_stream::concat_bytes(ordered));
             }
-            // merge == `sort -m <flags> $*`.
-            Combiner::Run(RunOp::Merge(flags)) => return env.merge(flags, &live),
-            // rerun == concatenate everything, re-run `f` once.
-            Combiner::Run(RunOp::Rerun) => return env.rerun(&live.concat()),
+            // merge == `sort -m <flags> $*`: borrow the piece text in
+            // place (no per-piece copies).
+            Combiner::Run(RunOp::Merge(flags)) => {
+                let views: Vec<&str> = live.iter().map(|p| view(p)).collect::<Result<_, _>>()?;
+                return env.merge(flags, &views).map(Bytes::from);
+            }
+            // rerun == gather everything, re-run `f` once on the bytes.
+            Combiner::Run(RunOp::Rerun) => {
+                return env.rerun_bytes(kq_stream::concat_bytes(live));
+            }
             _ => {}
         }
     }
     match strategy {
         CombineStrategy::FoldLeft => {
-            let mut acc = live[0].to_owned();
+            let mut acc = live[0].clone();
             for piece in &live[1..] {
-                let (x, y) = candidate.oriented(&acc, piece);
-                acc = eval(&candidate.op, x, y, env)?;
+                let (x, y) = candidate.oriented(view(&acc)?, view(piece)?);
+                acc = Bytes::from(eval(&candidate.op, x, y, env)?);
             }
             Ok(acc)
         }
         // Tree fold: touches each byte O(log k) times, matching the
         // paper's observation that pairwise application "until only one
-        // substream remains" stays cheap.
+        // substream remains" stays cheap. Leaves enter the tree as
+        // refcounted slices; only combined intermediates are owned.
         CombineStrategy::Flat | CombineStrategy::TreeFold => {
-            let mut level: Vec<String> = live.iter().map(|p| (*p).to_owned()).collect();
+            let mut level: Vec<Bytes> = live.into_iter().cloned().collect();
             while level.len() > 1 {
                 let mut next = Vec::with_capacity(level.len().div_ceil(2));
                 let mut it = level.chunks(2);
                 for pair in &mut it {
                     match pair {
                         [a, b] => {
-                            let (x, y) = candidate.oriented(a, b);
-                            next.push(eval(&candidate.op, x, y, env)?);
+                            let (x, y) = candidate.oriented(view(a)?, view(b)?);
+                            next.push(Bytes::from(eval(&candidate.op, x, y, env)?));
                         }
                         [a] => next.push(a.clone()),
                         _ => unreachable!("chunks(2) yields 1- or 2-element slices"),
@@ -112,7 +133,7 @@ pub fn combine_all_with(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::ast::{StructOp};
+    use crate::ast::StructOp;
     use crate::eval::NoRunEnv;
     use kq_stream::Delim;
 
@@ -129,8 +150,8 @@ mod tests {
         }
     }
 
-    fn s(v: &[&str]) -> Vec<String> {
-        v.iter().map(|x| (*x).to_owned()).collect()
+    fn s(v: &[&str]) -> Vec<Bytes> {
+        v.iter().copied().map(Bytes::from).collect()
     }
 
     #[test]
@@ -193,8 +214,11 @@ mod tests {
     /// of a split stream is associative for these operators.
     #[test]
     fn strategies_agree_on_corpus_combiners() {
-        let cases: Vec<(Candidate, Vec<String>)> = vec![
-            (Candidate::rec(RecOp::Concat), s(&["a\n", "b\n", "c\n", "d\n", "e\n"])),
+        let cases: Vec<(Candidate, Vec<Bytes>)> = vec![
+            (
+                Candidate::rec(RecOp::Concat),
+                s(&["a\n", "b\n", "c\n", "d\n", "e\n"]),
+            ),
             (
                 Candidate::rec(RecOp::Back(Delim::Newline, Box::new(RecOp::Add))),
                 s(&["1\n", "2\n", "3\n", "4\n", "5\n"]),
@@ -204,23 +228,20 @@ mod tests {
                 s(&["a\nb\n", "b\nc\n", "c\nc\nd\n", "d\ne\n"]),
             ),
             (
-                Candidate::structural(StructOp::Stitch2(
-                    Delim::Space,
-                    RecOp::Add,
-                    RecOp::First,
-                )),
-                s(&["      2 a\n      1 b\n", "      3 b\n", "      1 b\n      4 c\n"]),
+                Candidate::structural(StructOp::Stitch2(Delim::Space, RecOp::Add, RecOp::First)),
+                s(&[
+                    "      2 a\n      1 b\n",
+                    "      3 b\n",
+                    "      1 b\n      4 c\n",
+                ]),
             ),
         ];
         for (cand, pieces) in cases {
-            let flat = combine_all_with(CombineStrategy::Flat, &cand, &pieces, &NoRunEnv)
-                .unwrap();
+            let flat = combine_all_with(CombineStrategy::Flat, &cand, &pieces, &NoRunEnv).unwrap();
             let tree =
-                combine_all_with(CombineStrategy::TreeFold, &cand, &pieces, &NoRunEnv)
-                    .unwrap();
+                combine_all_with(CombineStrategy::TreeFold, &cand, &pieces, &NoRunEnv).unwrap();
             let fold =
-                combine_all_with(CombineStrategy::FoldLeft, &cand, &pieces, &NoRunEnv)
-                    .unwrap();
+                combine_all_with(CombineStrategy::FoldLeft, &cand, &pieces, &NoRunEnv).unwrap();
             assert_eq!(flat, tree, "flat vs tree for {cand}");
             assert_eq!(flat, fold, "flat vs fold for {cand}");
         }

@@ -63,8 +63,8 @@ fn non_delim_nonzero(c: char) -> bool {
 
 /// `E(g_a, Y)`: some `y1` and some `y2` are not all-zero digit runs.
 pub fn e_add(obs: &[Observation]) -> bool {
-    obs.iter().any(|o| !o.y1.chars().all(|c| c == '0')) &&
-    obs.iter().any(|o| !o.y2.chars().all(|c| c == '0'))
+    obs.iter().any(|o| !o.y1.chars().all(|c| c == '0'))
+        && obs.iter().any(|o| !o.y2.chars().all(|c| c == '0'))
 }
 
 /// `E(g_c, Y)`: some `y1` and some `y2` are non-empty.
@@ -277,10 +277,7 @@ mod tests {
 
     #[test]
     fn e_back_add_strips_delimiter() {
-        assert!(e_back_add(
-            Delim::Newline,
-            &obs(&[("3\n", "4\n", "7\n")])
-        ));
+        assert!(e_back_add(Delim::Newline, &obs(&[("3\n", "4\n", "7\n")])));
         assert!(!e_back_add(Delim::Newline, &obs(&[("0\n", "0\n", "0\n")])));
         assert!(!e_back_add(Delim::Newline, &obs(&[("3", "4", "7")])));
     }
@@ -320,11 +317,7 @@ mod tests {
     #[test]
     fn e_struct_requires_second_line_in_y2() {
         // y2 must contain a second line after the shared boundary line.
-        let good = obs(&[(
-            "alpha\nword\n",
-            "word\nbeta\n",
-            "alpha\nword\nbeta\n",
-        )]);
+        let good = obs(&[("alpha\nword\n", "word\nbeta\n", "alpha\nword\nbeta\n")]);
         assert!(e_struct(&good));
         let no_second = obs(&[("word\n", "word\n", "word\n")]);
         assert!(!e_struct(&no_second));

@@ -2,11 +2,11 @@
 //! over randomly generated RecOp trees and strings. These lemmas underpin
 //! the equivalence proofs of Theorems 1–4.
 
+use kq_dsl::ast::Combiner;
 use kq_dsl::ast::RecOp;
 use kq_dsl::eval::eval;
-use kq_dsl::{domain, Delim};
-use kq_dsl::ast::Combiner;
 use kq_dsl::eval::NoRunEnv;
+use kq_dsl::{domain, Delim};
 use kq_stream::count_delim;
 use proptest::prelude::*;
 
@@ -19,7 +19,11 @@ fn rec_op() -> impl Strategy<Value = RecOp> {
         Just(RecOp::Second),
     ];
     leaf.prop_recursive(3, 12, 1, |inner| {
-        (inner, prop_oneof![Just(Delim::Space), Just(Delim::Comma), Just(Delim::Tab)], 0..3u8)
+        (
+            inner,
+            prop_oneof![Just(Delim::Space), Just(Delim::Comma), Just(Delim::Tab)],
+            0..3u8,
+        )
             .prop_map(|(child, d, which)| match which {
                 0 => RecOp::Front(d, Box::new(child)),
                 1 => RecOp::Back(d, Box::new(child)),
@@ -142,7 +146,9 @@ fn sample_in_domain(g: &RecOp, rng: &mut rand::rngs::SmallRng, arity: usize) -> 
         RecOp::Add => format!("{}", rng.gen_range(0..10_000u32)),
         RecOp::Concat | RecOp::First | RecOp::Second => {
             let n = rng.gen_range(1..6);
-            (0..n).map(|_| (b'a' + rng.gen_range(0..26)) as char).collect()
+            (0..n)
+                .map(|_| (b'a' + rng.gen_range(0..26)) as char)
+                .collect()
         }
         RecOp::Front(d, b) => format!("{}{}", d.as_char(), sample_in_domain(b, rng, arity)?),
         RecOp::Back(d, b) => format!("{}{}", sample_in_domain(b, rng, arity)?, d.as_char()),

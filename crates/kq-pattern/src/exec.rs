@@ -120,14 +120,24 @@ impl<'a> Ctx<'a> {
         k(pos)
     }
 
-    fn seq_match(&self, atoms: &[Atom], i: usize, pos: usize, k: &mut dyn FnMut(usize) -> bool) -> bool {
+    fn seq_match(
+        &self,
+        atoms: &[Atom],
+        i: usize,
+        pos: usize,
+        k: &mut dyn FnMut(usize) -> bool,
+    ) -> bool {
         match atoms.get(i) {
             None => k(pos),
             Some(atom) => {
                 if atom.star {
-                    self.star_match(&atom.piece, pos, &mut |p| self.seq_match(atoms, i + 1, p, k))
+                    self.star_match(&atom.piece, pos, &mut |p| {
+                        self.seq_match(atoms, i + 1, p, k)
+                    })
                 } else {
-                    self.piece_match(&atom.piece, pos, &mut |p| self.seq_match(atoms, i + 1, p, k))
+                    self.piece_match(&atom.piece, pos, &mut |p| {
+                        self.seq_match(atoms, i + 1, p, k)
+                    })
                 }
             }
         }
@@ -203,12 +213,7 @@ pub(crate) fn search(ast: &Ast, line: &str, ci: bool) -> Option<(usize, usize)> 
     Some((byte_offsets[m.start], byte_offsets[m.end]))
 }
 
-fn expand_replacement(
-    template: &str,
-    text: &[char],
-    m: &MatchResult,
-    out: &mut String,
-) {
+fn expand_replacement(template: &str, text: &[char], m: &MatchResult, out: &mut String) {
     let mut it = template.chars().peekable();
     while let Some(c) = it.next() {
         match c {

@@ -29,7 +29,11 @@ pub struct ParseError {
 
 impl fmt::Display for ParseError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "regex parse error at byte {}: {}", self.pos, self.message)
+        write!(
+            f,
+            "regex parse error at byte {}: {}",
+            self.pos, self.message
+        )
     }
 }
 
@@ -106,7 +110,10 @@ pub enum Piece {
     /// `.` — any character except newline.
     AnyChar,
     /// A bracket expression; `negated` for `[^...]`.
-    Class { negated: bool, items: Vec<ClassItem> },
+    Class {
+        negated: bool,
+        items: Vec<ClassItem>,
+    },
     /// `\(..\)` capture group, with its 1-based index.
     Group(usize, Box<Ast>),
     /// `\N` backreference to group N.

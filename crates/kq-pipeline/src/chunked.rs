@@ -21,12 +21,12 @@
 //! [crossbeam channel]: crossbeam::channel
 
 use crate::exec::{ExecutionResult, StageTiming, TimingLog};
-use crate::parse::{InputSource, Script};
+use crate::parse::Script;
 use crate::plan::{PlannedScript, StageMode, StageSegment};
 use crossbeam::channel;
 use kq_coreutils::{CmdError, Command, ExecContext};
 use kq_dsl::eval::CommandEnv;
-use kq_stream::split_chunks;
+use kq_stream::{Bytes, Rope};
 use std::time::{Duration, Instant};
 
 /// Tuning for the chunked executor.
@@ -53,15 +53,12 @@ impl Default for ChunkedOptions {
     }
 }
 
-/// Runs `chain` (one segment's commands) over one chunk.
-fn run_chain(
-    chain: &[&Command],
-    chunk: &str,
-    ctx: &ExecContext,
-) -> Result<String, CmdError> {
-    let mut cur = chunk.to_owned();
+/// Runs `chain` (one segment's commands) over one chunk. The chunk enters
+/// the first command as the refcounted slice itself — no per-chunk copy.
+fn run_chain(chain: &[&Command], chunk: Bytes, ctx: &ExecContext) -> Result<Bytes, CmdError> {
+    let mut cur = chunk;
     for cmd in chain {
-        cur = cmd.run(&cur, ctx)?;
+        cur = cmd.run(cur, ctx)?;
     }
     Ok(cur)
 }
@@ -71,25 +68,26 @@ fn run_chain(
 /// chunk's wall-clock cost.
 fn pooled_map(
     chain: &[&Command],
-    input: &str,
+    input: &Bytes,
     ctx: &ExecContext,
     opts: &ChunkedOptions,
-) -> Result<(Vec<String>, Vec<Duration>), CmdError> {
-    let chunks = split_chunks(input, opts.chunk_bytes);
+) -> Result<(Vec<Bytes>, Vec<Duration>), CmdError> {
+    let chunks = input.split_chunks(opts.chunk_bytes);
     let n = chunks.len();
     if n == 0 {
         return Ok((Vec::new(), Vec::new()));
     }
-    let mut outputs: Vec<Option<String>> = vec![None; n];
+    let mut outputs: Vec<Option<Bytes>> = vec![None; n];
     let mut times: Vec<Duration> = vec![Duration::ZERO; n];
     let workers = opts.workers.max(1).min(n);
 
     // Bounded task channel: the feeder blocks once the pool is saturated,
-    // so in-flight chunk *inputs* stay bounded by `2 × workers` even for
-    // huge streams. Results are collected unordered and slotted by index.
-    let (task_tx, task_rx) = channel::bounded::<(usize, &str)>(workers * 2);
-    let (result_tx, result_rx) =
-        channel::unbounded::<(usize, Duration, Result<String, CmdError>)>();
+    // so in-flight chunk *handles* stay bounded by `2 × workers` even for
+    // huge streams (each handle is a refcounted slice, so the payload is
+    // shared either way). Results are collected unordered and slotted by
+    // index.
+    let (task_tx, task_rx) = channel::bounded::<(usize, Bytes)>(workers * 2);
+    let (result_tx, result_rx) = channel::unbounded::<(usize, Duration, Result<Bytes, CmdError>)>();
 
     std::thread::scope(|scope| {
         for _ in 0..workers {
@@ -107,8 +105,9 @@ fn pooled_map(
         }
         drop(task_rx);
         drop(result_tx);
-        // Feed from this thread; workers drain concurrently.
-        for (idx, chunk) in chunks.iter().enumerate() {
+        // Feed from this thread; workers drain concurrently. Sending a
+        // chunk moves a handle (Arc bump), not the payload.
+        for (idx, chunk) in chunks.into_iter().enumerate() {
             task_tx
                 .send((idx, chunk))
                 .expect("worker pool hung up before consuming all chunks");
@@ -129,7 +128,7 @@ fn pooled_map(
         }
     })?;
 
-    let outputs: Vec<String> = outputs
+    let outputs: Vec<Bytes> = outputs
         .into_iter()
         .map(|o| o.expect("every chunk produced an output"))
         .collect();
@@ -146,10 +145,10 @@ pub fn run_chunked(
     ctx: &ExecContext,
     opts: &ChunkedOptions,
 ) -> Result<ExecutionResult, CmdError> {
-    let mut output = String::new();
+    let mut output = Rope::new();
     let mut timings = TimingLog::default();
     for (statement, planned) in script.statements.iter().zip(&plan.statements) {
-        let mut stream = gather_input(&statement.input, ctx)?;
+        let mut stream = crate::exec::gather_files(&statement.input, ctx)?;
         let mut stage_timings = Vec::new();
         for segment in planned.segments(opts.honor_elimination) {
             match segment {
@@ -157,7 +156,7 @@ pub fn run_chunked(
                     let cmd = &statement.stages[stage].command;
                     let bytes_in = stream.len();
                     let t0 = Instant::now();
-                    let out = cmd.run(&stream, ctx)?;
+                    let out = cmd.run(stream, ctx)?;
                     stage_timings.push(StageTiming {
                         label: cmd.display(),
                         parallel: false,
@@ -176,9 +175,7 @@ pub fn run_chunked(
                         .map(|i| &statement.stages[i].command)
                         .collect();
                     let closing = stages.end - 1;
-                    let StageMode::Parallel { combiner, .. } =
-                        &planned.stages[closing].mode
-                    else {
+                    let StageMode::Parallel { combiner, .. } = &planned.stages[closing].mode else {
                         unreachable!("parallel segment ends on a parallel stage");
                     };
                     let bytes_in = stream.len();
@@ -188,7 +185,7 @@ pub fn run_chunked(
                         command: closing_cmd,
                         ctx,
                     };
-                    let bytes_out_pieces: usize = pieces.iter().map(String::len).sum();
+                    let bytes_out_pieces: usize = pieces.iter().map(Bytes::len).sum();
                     let t0 = Instant::now();
                     let combined = combiner
                         .combine_all(&pieces, &env)
@@ -214,32 +211,15 @@ pub fn run_chunked(
         }
         timings.statements.push(stage_timings);
         match &statement.output {
+            // Redirection stores the shared slice — no copy.
             Some(target) => ctx.vfs.write(target.clone(), stream),
-            None => output.push_str(&stream),
+            None => output.push(stream),
         }
     }
-    Ok(ExecutionResult { output, timings })
-}
-
-fn gather_input(input: &InputSource, ctx: &ExecContext) -> Result<String, CmdError> {
-    match input {
-        InputSource::None => Ok(String::new()),
-        InputSource::Files(files) => {
-            let mut buf = String::new();
-            for f in files {
-                match ctx.vfs.read(f) {
-                    Some(content) => buf.push_str(&content),
-                    None => {
-                        return Err(CmdError::new(
-                            "cat",
-                            format!("{f}: No such file or directory"),
-                        ))
-                    }
-                }
-            }
-            Ok(buf)
-        }
-    }
+    Ok(ExecutionResult {
+        output: output.into_bytes(),
+        timings,
+    })
 }
 
 #[cfg(test)]
@@ -361,7 +341,8 @@ mod tests {
         // comm errors on unsorted input pieces.
         let script = parse_script("cat /in.txt | comm -23 - /dict", &env).unwrap();
         let ctx = ExecContext::default();
-        ctx.vfs.write("/in.txt", "zebra\napple\nzebra\napple\n".repeat(50));
+        ctx.vfs
+            .write("/in.txt", "zebra\napple\nzebra\napple\n".repeat(50));
         ctx.vfs.write("/dict", "apple\n");
         let mut planner = Planner::new(SynthesisConfig::default());
         let plan = planner.plan(&script, &ctx, "b\na\n");

@@ -91,10 +91,7 @@ fn makespan(piece_times: &[Duration], slots: usize) -> Duration {
     sorted.sort_unstable_by(|a, b| b.cmp(a));
     let mut loads = vec![Duration::ZERO; slots.min(sorted.len())];
     for t in sorted {
-        let min = loads
-            .iter_mut()
-            .min()
-            .expect("at least one slot");
+        let min = loads.iter_mut().min().expect("at least one slot");
         *min += t;
     }
     loads.into_iter().max().unwrap_or(Duration::ZERO)
@@ -120,8 +117,7 @@ pub fn distributed_time(
             if !st.parallel || n == 1 {
                 // Sequential stage (or single node): runs on the
                 // coordinator where the data already lives.
-                wall += cluster.spawn + st.piece_times.iter().sum::<Duration>()
-                    + st.combine_time;
+                wall += cluster.spawn + st.piece_times.iter().sum::<Duration>() + st.combine_time;
                 continue;
             }
             // Scatter: (n-1)/n of the input leaves the coordinator's NIC.
@@ -160,9 +156,7 @@ pub fn distributed_time(
                     // Coordinator merges n node results: n/pieces of the
                     // original combine work.
                     let pieces = st.piece_times.len().max(1) as f64;
-                    wall += st
-                        .combine_time
-                        .mul_f64((n as f64 / pieces).min(1.0));
+                    wall += st.combine_time.mul_f64((n as f64 / pieces).min(1.0));
                 }
             }
         }

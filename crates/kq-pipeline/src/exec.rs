@@ -17,7 +17,7 @@ use crate::parse::{InputSource, Script, Statement};
 use crate::plan::{PlannedScript, StageMode};
 use kq_coreutils::{CmdError, ExecContext};
 use kq_dsl::eval::CommandEnv;
-use kq_stream::split_stream;
+use kq_stream::{Bytes, Rope};
 use std::time::{Duration, Instant};
 
 /// Timing record for one executed stage.
@@ -61,20 +61,29 @@ pub struct TimingLog {
 /// The product of a script execution.
 #[derive(Debug)]
 pub struct ExecutionResult {
-    /// Concatenated stdout of all non-redirected statements.
-    pub output: String,
+    /// Concatenated stdout of all non-redirected statements, as a shared
+    /// byte slice (single-statement scripts hand their final stream
+    /// through without copying).
+    pub output: Bytes,
     /// Measured timings for the scheduler.
     pub timings: TimingLog,
 }
 
-fn gather_input(statement: &Statement, ctx: &ExecContext) -> Result<String, CmdError> {
-    match &statement.input {
-        InputSource::None => Ok(String::new()),
+/// Gathers a statement's input as shared bytes: a single input file is a
+/// refcount bump on the VFS entry; multiple files gather through a
+/// [`Rope`] with one memcpy total.
+pub(crate) fn gather_input(statement: &Statement, ctx: &ExecContext) -> Result<Bytes, CmdError> {
+    gather_files(&statement.input, ctx)
+}
+
+pub(crate) fn gather_files(input: &InputSource, ctx: &ExecContext) -> Result<Bytes, CmdError> {
+    match input {
+        InputSource::None => Ok(Bytes::new()),
         InputSource::Files(files) => {
-            let mut buf = String::new();
+            let mut rope = Rope::new();
             for f in files {
-                match ctx.vfs.read(f) {
-                    Some(content) => buf.push_str(&content),
+                match ctx.vfs.read_bytes(f) {
+                    Some(content) => rope.push(content),
                     None => {
                         return Err(CmdError::new(
                             "cat",
@@ -83,7 +92,7 @@ fn gather_input(statement: &Statement, ctx: &ExecContext) -> Result<String, CmdE
                     }
                 }
             }
-            Ok(buf)
+            Ok(rope.into_bytes())
         }
     }
 }
@@ -91,7 +100,7 @@ fn gather_input(statement: &Statement, ctx: &ExecContext) -> Result<String, CmdE
 /// Runs a script serially, stage to completion (the `u1` configuration and
 /// the baseline for output-correctness checks).
 pub fn run_serial(script: &Script, ctx: &ExecContext) -> Result<ExecutionResult, CmdError> {
-    let mut output = String::new();
+    let mut output = Rope::new();
     let mut timings = TimingLog::default();
     for statement in &script.statements {
         let mut stream = gather_input(statement, ctx)?;
@@ -99,7 +108,7 @@ pub fn run_serial(script: &Script, ctx: &ExecContext) -> Result<ExecutionResult,
         for stage in &statement.stages {
             let bytes_in = stream.len();
             let t0 = Instant::now();
-            let out = stage.command.run(&stream, ctx)?;
+            let out = stage.command.run(stream, ctx)?;
             let elapsed = t0.elapsed();
             stage_timings.push(StageTiming {
                 label: stage.command.display(),
@@ -115,17 +124,23 @@ pub fn run_serial(script: &Script, ctx: &ExecContext) -> Result<ExecutionResult,
         }
         timings.statements.push(stage_timings);
         match &statement.output {
+            // Redirection stores the shared slice — no copy.
             Some(target) => ctx.vfs.write(target.clone(), stream),
-            None => output.push_str(&stream),
+            None => output.push(stream),
         }
     }
-    Ok(ExecutionResult { output, timings })
+    Ok(ExecutionResult {
+        output: output.into_bytes(),
+        timings,
+    })
 }
 
-/// The stream state between stages of a parallel execution.
+/// The stream state between stages of a parallel execution: either one
+/// contiguous stream or the substream vector an eliminated combiner
+/// forwarded (both refcounted; moving the state never copies payload).
 enum State {
-    Single(String),
-    Split(Vec<String>),
+    Single(Bytes),
+    Split(Vec<Bytes>),
 }
 
 /// Runs a planned script with `workers`-way data parallelism on real
@@ -174,7 +189,7 @@ fn run_parallel_inner(
     use_threads: bool,
 ) -> Result<ExecutionResult, CmdError> {
     assert!(workers >= 1, "need at least one worker");
-    let mut output = String::new();
+    let mut output = Rope::new();
     let mut timings = TimingLog::default();
     for (statement, planned) in script.statements.iter().zip(&plan.statements) {
         let mut state = State::Single(gather_input(statement, ctx)?);
@@ -185,19 +200,20 @@ fn run_parallel_inner(
                 StageMode::Sequential => {
                     let input = match state {
                         State::Single(s) => s,
-                        State::Split(_) => unreachable!(
-                            "planner never feeds split streams to a sequential stage"
-                        ),
+                        State::Split(_) => {
+                            unreachable!("planner never feeds split streams to a sequential stage")
+                        }
                     };
+                    let bytes_in = input.len();
                     let t0 = Instant::now();
-                    let out = cmd.run(&input, ctx)?;
+                    let out = cmd.run(input, ctx)?;
                     stage_timings.push(StageTiming {
                         label: cmd.display(),
                         parallel: false,
                         eliminated: false,
                         piece_times: vec![t0.elapsed()],
                         combine_time: Duration::ZERO,
-                        bytes_in: input.len(),
+                        bytes_in,
                         bytes_out: out.len(),
                         bytes_out_pieces: out.len(),
                     });
@@ -207,23 +223,26 @@ fn run_parallel_inner(
                     combiner,
                     eliminated,
                 } => {
-                    let pieces: Vec<String> = match state {
-                        State::Single(s) => split_stream(&s, workers)
-                            .into_iter()
-                            .map(str::to_owned)
-                            .collect(),
+                    // Zero-copy piece setup: a contiguous stream splits
+                    // into O(workers) refcounted slices; an already-split
+                    // state (eliminated upstream combiner) is forwarded
+                    // as-is.
+                    let pieces: Vec<Bytes> = match state {
+                        State::Single(s) => s.split_stream(workers),
                         State::Split(p) => p,
                     };
-                    let bytes_in: usize = pieces.iter().map(String::len).sum();
+                    let bytes_in: usize = pieces.iter().map(Bytes::len).sum();
                     // Run one command instance per piece: on real threads
                     // (correctness mode) or one at a time (measured mode).
-                    let mut results: Vec<Result<(String, Duration), CmdError>> =
+                    // Threads receive their piece as a refcount bump.
+                    let mut results: Vec<Result<(Bytes, Duration), CmdError>> =
                         Vec::with_capacity(pieces.len());
                     if use_threads {
                         std::thread::scope(|scope| {
                             let handles: Vec<_> = pieces
                                 .iter()
                                 .map(|piece| {
+                                    let piece = piece.clone();
                                     scope.spawn(move || {
                                         let t0 = Instant::now();
                                         let out = cmd.run(piece, ctx)?;
@@ -238,7 +257,8 @@ fn run_parallel_inner(
                     } else {
                         for piece in &pieces {
                             let t0 = Instant::now();
-                            results.push(cmd.run(piece, ctx).map(|out| (out, t0.elapsed())));
+                            results
+                                .push(cmd.run(piece.clone(), ctx).map(|out| (out, t0.elapsed())));
                         }
                     }
                     let mut outputs = Vec::with_capacity(results.len());
@@ -248,9 +268,11 @@ fn run_parallel_inner(
                         outputs.push(out);
                         piece_times.push(d);
                     }
-                    let bytes_out_pieces: usize = outputs.iter().map(String::len).sum();
+                    let bytes_out_pieces: usize = outputs.iter().map(Bytes::len).sum();
                     let eliminate_now = *eliminated && honor_elimination;
                     if eliminate_now {
+                        // Theorem 5: the substream vector flows to the
+                        // next stage with zero copies.
                         stage_timings.push(StageTiming {
                             label: cmd.display(),
                             parallel: true,
@@ -258,8 +280,8 @@ fn run_parallel_inner(
                             piece_times,
                             combine_time: Duration::ZERO,
                             bytes_in,
-                            bytes_out: outputs.iter().map(String::len).sum(),
-                            bytes_out_pieces: outputs.iter().map(String::len).sum(),
+                            bytes_out: bytes_out_pieces,
+                            bytes_out_pieces,
                         });
                         state = State::Split(outputs);
                     } else {
@@ -288,15 +310,19 @@ fn run_parallel_inner(
             State::Single(s) => s,
             // The planner never eliminates the final combiner, but a
             // statement can *end* split if it had zero stages.
-            State::Split(pieces) => pieces.concat(),
+            State::Split(pieces) => kq_stream::concat_bytes(&pieces),
         };
         timings.statements.push(stage_timings);
         match &statement.output {
+            // Redirection stores the shared slice — no copy.
             Some(target) => ctx.vfs.write(target.clone(), final_stream),
-            None => output.push_str(&final_stream),
+            None => output.push(final_stream),
         }
     }
-    Ok(ExecutionResult { output, timings })
+    Ok(ExecutionResult {
+        output: output.into_bytes(),
+        timings,
+    })
 }
 
 #[cfg(test)]

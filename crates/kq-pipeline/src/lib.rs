@@ -9,6 +9,28 @@
 //! report ([`sim`] — a measured-cost scheduler replaying per-piece
 //! durations, the honest substitute for the paper's 80-core testbed on a
 //! single-core host; see DESIGN.md).
+//!
+//! # The zero-copy data plane
+//!
+//! All executors move stream payloads as [`kq_stream::Bytes`] — refcounted
+//! slices of shared buffers — rather than owned `String`s:
+//!
+//! * input gathering reads the virtual filesystem by refcount bump
+//!   (multi-file inputs gather through a [`kq_stream::Rope`], one memcpy
+//!   total);
+//! * splitting a stage input into `w` substreams ([`exec::run_parallel`])
+//!   or into load-balanced chunks ([`chunked::run_chunked`]) allocates
+//!   O(pieces): each piece is a slice of the parent buffer, and worker
+//!   threads receive it as an `Arc` clone;
+//! * a stage whose combiner is eliminated (Theorem 5) forwards its
+//!   substream *vector* to the next stage with zero copies;
+//! * k-way `concat` combining gathers segments with at most one memcpy,
+//!   and `> file` redirection stores the shared slice directly.
+//!
+//! Commands still allocate their own transformed output once (that's the
+//! command's job); what the data plane eliminates is every copy *between*
+//! stages. `crates/bench/benches/bytes_dataplane.rs` measures the
+//! difference against the legacy copy-per-piece path.
 
 //! ```
 //! use kq_pipeline::exec::{run_parallel, run_serial};

@@ -255,9 +255,7 @@ fn try_assignment(piece: &str) -> Option<(String, String)> {
     let eq = piece.find('=')?;
     let name = &piece[..eq];
     if name.is_empty()
-        || !name
-            .chars()
-            .all(|c| c.is_ascii_alphanumeric() || c == '_')
+        || !name.chars().all(|c| c.is_ascii_alphanumeric() || c == '_')
         || name.chars().next().is_some_and(|c| c.is_ascii_digit())
     {
         return None;
@@ -419,11 +417,8 @@ mod tests {
 
     #[test]
     fn variable_defaults_expand() {
-        let script = parse_script(
-            "IN=${IN:-/default.txt}\ncat $IN | wc -l",
-            &HashMap::new(),
-        )
-        .unwrap();
+        let script =
+            parse_script("IN=${IN:-/default.txt}\ncat $IN | wc -l", &HashMap::new()).unwrap();
         assert_eq!(
             script.statements[0].input,
             InputSource::Files(vec!["/default.txt".to_owned()])
@@ -479,8 +474,7 @@ mod tests {
 
     #[test]
     fn semicolons_split_statements() {
-        let script =
-            parse_script("cat /a | sort; cat /b | uniq", &HashMap::new()).unwrap();
+        let script = parse_script("cat /a | sort; cat /b | uniq", &HashMap::new()).unwrap();
         assert_eq!(script.statements.len(), 2);
     }
 
@@ -511,16 +505,16 @@ mod tests {
             &env(&[("IN", "/f"), ("1", "BAD")]),
         )
         .unwrap();
-        assert_eq!(script.statements[0].stages[0].command.display(), "awk '$1 >= 1000'");
+        assert_eq!(
+            script.statements[0].stages[0].command.display(),
+            "awk '$1 >= 1000'"
+        );
     }
 
     #[test]
     fn escaped_dollar_suppresses_expansion() {
-        let script = parse_script(
-            r#"cat /f | awk "\$1 >= 2 {print \$2}""#,
-            &HashMap::new(),
-        )
-        .unwrap();
+        let script =
+            parse_script(r#"cat /f | awk "\$1 >= 2 {print \$2}""#, &HashMap::new()).unwrap();
         assert_eq!(
             script.statements[0].stages[0].command.display(),
             "awk '$1 >= 2 {print $2}'"

@@ -81,7 +81,10 @@ impl PlannedStatement {
 
     /// Number of eliminated intermediate combiners.
     pub fn eliminated_count(&self) -> usize {
-        self.stages.iter().filter(|s| s.mode.is_eliminated()).count()
+        self.stages
+            .iter()
+            .filter(|s| s.mode.is_eliminated())
+            .count()
     }
 
     /// Groups the statement's stages into execution segments.
@@ -159,7 +162,10 @@ impl PlannedScript {
 
     /// Script-level eliminated-combiner count.
     pub fn eliminated_count(&self) -> usize {
-        self.statements.iter().map(PlannedStatement::eliminated_count).sum()
+        self.statements
+            .iter()
+            .map(PlannedStatement::eliminated_count)
+            .sum()
     }
 }
 
@@ -269,7 +275,11 @@ impl Planner {
             if !next_parallel {
                 continue;
             }
-            let StageMode::Parallel { combiner, eliminated } = &mut modes[i] else {
+            let StageMode::Parallel {
+                combiner,
+                eliminated,
+            } = &mut modes[i]
+            else {
                 continue;
             };
             if combiner.is_concat()
@@ -290,7 +300,7 @@ impl Planner {
     /// Probes whether the command shrinks the sample enough to justify a
     /// rerun combiner.
     fn shrinks_enough(&self, cmd: &kq_coreutils::Command, ctx: &ExecContext, sample: &str) -> bool {
-        match cmd.run(sample, ctx) {
+        match cmd.run_str(sample, ctx) {
             Ok(out) => {
                 let ratio = out.len() as f64 / sample.len().max(1) as f64;
                 ratio <= self.rerun_shrink_threshold
@@ -301,7 +311,7 @@ impl Planner {
 
     /// Theorem 5 precondition: outputs terminate with newlines.
     fn outputs_streams(cmd: &kq_coreutils::Command, ctx: &ExecContext, sample: &str) -> bool {
-        match cmd.run(sample, ctx) {
+        match cmd.run_str(sample, ctx) {
             Ok(out) => out.is_empty() || out.ends_with('\n'),
             Err(_) => false,
         }
@@ -337,13 +347,15 @@ mod tests {
         // §2: wf.sh — tr -cs runs sequentially (rerun, no shrink); the
         // other four stages parallelize; tr A-Z a-z's concat combiner is
         // eliminated into the following sort.
-        let (planned, _) = plan(
-            "cat $IN | tr -cs A-Za-z '\\n' | tr A-Z a-z | sort | uniq -c | sort -rn",
-        );
+        let (planned, _) =
+            plan("cat $IN | tr -cs A-Za-z '\\n' | tr A-Z a-z | sort | uniq -c | sort -rn");
         let st = &planned.statements[0];
         assert_eq!(st.parallelized_counts(), (4, 5));
         assert_eq!(st.eliminated_count(), 1);
-        assert!(!st.stages[0].mode.is_parallel(), "tr -cs must be sequential");
+        assert!(
+            !st.stages[0].mode.is_parallel(),
+            "tr -cs must be sequential"
+        );
         assert!(st.stages[1].mode.is_eliminated(), "tr A-Z a-z feeds sort");
         assert!(!st.stages[4].mode.is_eliminated(), "final combiner stays");
     }

@@ -114,7 +114,11 @@ pub fn optimized_time(log: &TimingLog, params: &SimParams) -> PipelineCosts {
             }
             // Per-worker chain time: worker p executes piece p of every
             // stage in the segment back to back.
-            let width = segment.iter().map(|s| s.piece_times.len()).max().unwrap_or(1);
+            let width = segment
+                .iter()
+                .map(|s| s.piece_times.len())
+                .max()
+                .unwrap_or(1);
             let mut chain_max = Duration::ZERO;
             for p in 0..width {
                 let chain: Duration = segment
@@ -123,7 +127,10 @@ pub fn optimized_time(log: &TimingLog, params: &SimParams) -> PipelineCosts {
                     .sum();
                 chain_max = chain_max.max(chain);
             }
-            let combine = segment.last().map(|s| s.combine_time).unwrap_or(Duration::ZERO);
+            let combine = segment
+                .last()
+                .map(|s| s.combine_time)
+                .unwrap_or(Duration::ZERO);
             wall += params.spawn_cost(width * segment.len()) + chain_max + combine;
             i = j + 1;
         }
@@ -252,8 +259,16 @@ mod tests {
         let p = pipelined_time(&l, &params(1));
         let serial = ms(120);
         let ideal = ms(40);
-        assert!(p.wall < serial, "pipelined {:?} not faster than serial", p.wall);
-        assert!(p.wall > ideal, "pipelined {:?} beats the bottleneck", p.wall);
+        assert!(
+            p.wall < serial,
+            "pipelined {:?} not faster than serial",
+            p.wall
+        );
+        assert!(
+            p.wall > ideal,
+            "pipelined {:?} beats the bottleneck",
+            p.wall
+        );
     }
 
     #[test]

@@ -1,0 +1,545 @@
+//! Shared-ownership byte slices: the zero-copy data plane.
+//!
+//! KumQuat's parallel executors split a stream into line-aligned pieces,
+//! hand each piece to a command instance, and pass eliminated-combiner
+//! outputs straight to the next stage. With owned `String`s every one of
+//! those hand-offs is a memcpy of the piece — O(bytes) per stage. [`Bytes`]
+//! makes the hand-off a refcount bump instead: it is an `Arc`-shared
+//! buffer plus a range, so [`Bytes::slice`] and [`Bytes::clone`] are O(1)
+//! and splitting an N-byte stream into k pieces allocates O(k), not O(N).
+//!
+//! [`Rope`] is the companion for the *gather* direction: stage outputs and
+//! multi-file inputs accumulate as a segment list and flatten at most once,
+//! when a contiguous view is actually demanded (and not at all when the
+//! rope holds a single segment).
+//!
+//! ```
+//! use kq_stream::Bytes;
+//!
+//! let stream = Bytes::from("alpha\nbeta\ngamma\n");
+//! let pieces = stream.split_stream(2);
+//! // Zero-copy: both pieces view the same allocation.
+//! assert_eq!(pieces.len(), 2);
+//! assert_eq!(pieces[0].as_str(), "alpha\nbeta\n");
+//! assert!(pieces.iter().all(|p| p.shares_buffer(&stream)));
+//! ```
+
+use std::fmt;
+use std::sync::Arc;
+
+/// A cheaply clonable, cheaply sliceable view into shared immutable bytes.
+///
+/// Always holds valid UTF-8 in this workspace (every constructor the
+/// pipeline uses starts from `str`, and the splitters only cut at `'\n'`
+/// boundaries, which cannot fall inside a UTF-8 code point). The type
+/// itself does not enforce UTF-8; use [`Bytes::to_str`] for checked
+/// access and [`Bytes::as_str`] where the text invariant is established.
+///
+/// The backing store is `Arc<Vec<u8>>` rather than `Arc<[u8]>` so that
+/// `From<String>`/`From<Vec<u8>>` *move* the buffer instead of copying it
+/// into a fresh slice allocation — commands produce their output as
+/// `String`, and wrapping that output must stay O(1).
+#[derive(Clone)]
+pub struct Bytes {
+    buf: Arc<Vec<u8>>,
+    start: usize,
+    end: usize,
+    /// The *entire backing buffer* is known-valid UTF-8 (set by the
+    /// `str`/`String` constructors). A view into such a buffer is valid
+    /// UTF-8 iff its two endpoints are char boundaries, so [`Bytes::to_str`]
+    /// checks O(1) bytes instead of rescanning the payload at every
+    /// pipeline stage.
+    text: bool,
+}
+
+impl Bytes {
+    /// An empty slice (no allocation is shared; cloning is still O(1)).
+    pub fn new() -> Bytes {
+        Bytes::from_arc(Arc::new(Vec::new()), true)
+    }
+
+    fn from_arc(buf: Arc<Vec<u8>>, text: bool) -> Bytes {
+        let end = buf.len();
+        Bytes {
+            buf,
+            start: 0,
+            end,
+            text,
+        }
+    }
+
+    /// True when `pos` does not fall inside a multi-byte UTF-8 sequence of
+    /// the backing buffer.
+    #[inline]
+    fn is_char_boundary(&self, pos: usize) -> bool {
+        pos == 0 || pos == self.buf.len() || (self.buf[pos] & 0xC0) != 0x80
+    }
+
+    /// Length in bytes.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.end - self.start
+    }
+
+    /// True when the slice is empty.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.start == self.end
+    }
+
+    /// The bytes of this view.
+    #[inline]
+    pub fn as_bytes(&self) -> &[u8] {
+        &self.buf[self.start..self.end]
+    }
+
+    /// Checked UTF-8 view of the bytes.
+    ///
+    /// O(1) when the backing buffer came from `str`/`String` data (the
+    /// endpoints are checked for char boundaries; the payload needs no
+    /// rescan); a full validation scan only for byte-constructed buffers.
+    #[inline]
+    pub fn to_str(&self) -> Result<&str, std::str::Utf8Error> {
+        if self.text && self.is_char_boundary(self.start) && self.is_char_boundary(self.end) {
+            // SAFETY: `text` asserts the whole backing buffer is valid
+            // UTF-8 (established at construction from `str`/`String`),
+            // and a sub-slice of valid UTF-8 whose endpoints are char
+            // boundaries is itself valid UTF-8.
+            return Ok(unsafe { std::str::from_utf8_unchecked(self.as_bytes()) });
+        }
+        std::str::from_utf8(self.as_bytes())
+    }
+
+    /// UTF-8 view of the bytes.
+    ///
+    /// # Panics
+    /// Panics when the bytes are not valid UTF-8. The pipeline only
+    /// constructs `Bytes` from `str` data and slices at newline
+    /// boundaries, so this holds throughout the workspace; callers
+    /// ingesting foreign byte data should use [`Bytes::to_str`].
+    #[inline]
+    pub fn as_str(&self) -> &str {
+        self.to_str().expect("Bytes holds non-UTF-8 data")
+    }
+
+    /// An owned `String` of the bytes. When this view covers a uniquely
+    /// owned whole buffer (the common final-output case), the buffer is
+    /// moved out — no copy; otherwise one allocation.
+    pub fn into_string(self) -> String {
+        if self.start == 0 && self.end == self.buf.len() {
+            let text = self.text;
+            match Arc::try_unwrap(self.buf) {
+                Ok(vec) if text => {
+                    // SAFETY: `text` asserts the whole buffer is valid
+                    // UTF-8 (see `to_str`), and this view covers all of it.
+                    return unsafe { String::from_utf8_unchecked(vec) };
+                }
+                Ok(vec) => return String::from_utf8(vec).expect("Bytes holds non-UTF-8 data"),
+                Err(buf) => {
+                    // Still shared: copy, taking the text fast path for
+                    // the validity check.
+                    return Bytes::from_arc(buf, text).as_str().to_owned();
+                }
+            }
+        }
+        self.as_str().to_owned()
+    }
+
+    /// O(1) sub-slice sharing the same allocation.
+    ///
+    /// # Panics
+    /// Panics when the range is out of bounds or inverted.
+    pub fn slice(&self, range: std::ops::Range<usize>) -> Bytes {
+        assert!(
+            range.start <= range.end && range.end <= self.len(),
+            "slice {range:?} out of bounds for {} bytes",
+            self.len()
+        );
+        Bytes {
+            buf: self.buf.clone(),
+            start: self.start + range.start,
+            end: self.start + range.end,
+            text: self.text,
+        }
+    }
+
+    /// True when `other` views the same underlying allocation — the
+    /// zero-copy tests use this to prove splitting did not copy.
+    pub fn shares_buffer(&self, other: &Bytes) -> bool {
+        Arc::ptr_eq(&self.buf, &other.buf)
+    }
+
+    /// Releases an oversized backing buffer: when this view covers less
+    /// than a quarter of a non-trivial allocation, the bytes are copied
+    /// into a right-sized buffer; otherwise the slice is returned as-is.
+    ///
+    /// Slice-returning commands (`head -n 1` of a 64 MiB stream) would
+    /// otherwise pin the whole input allocation for as long as their
+    /// output lives. Long-lived stores (the virtual filesystem) call this
+    /// at the storage boundary; transient pipeline hand-offs do not.
+    pub fn compact(self) -> Bytes {
+        const COMPACT_MIN_BACKING: usize = 4096;
+        if self.buf.len() < COMPACT_MIN_BACKING || self.len() * 4 >= self.buf.len() {
+            self
+        } else {
+            // The copy covers its whole new buffer, so it is text iff this
+            // view is valid UTF-8 (O(1) to determine for text buffers).
+            let text = self.to_str().is_ok();
+            let end = self.len();
+            Bytes {
+                buf: Arc::new(self.as_bytes().to_vec()),
+                start: 0,
+                end,
+                text,
+            }
+        }
+    }
+
+    /// Number of `'\n'` bytes in the view (shared by the line-window and
+    /// line-count commands; counting on raw bytes needs no UTF-8 view).
+    pub fn count_newlines(&self) -> usize {
+        self.as_bytes().iter().filter(|&&b| b == b'\n').count()
+    }
+
+    /// True when the final byte is `'\n'` (the stream predicate of
+    /// Definition 3.1 on the byte plane).
+    #[inline]
+    pub fn ends_with_newline(&self) -> bool {
+        self.as_bytes().last() == Some(&b'\n')
+    }
+
+    /// Splits into at most `k` contiguous newline-aligned pieces of
+    /// roughly equal size — the zero-copy analogue of
+    /// [`split_stream`](crate::split_stream). Each piece is an O(1) slice
+    /// of this buffer; total allocation is the O(k) vector.
+    pub fn split_stream(&self, k: usize) -> Vec<Bytes> {
+        crate::split::stream_boundaries(self.as_bytes(), k)
+            .into_iter()
+            .map(|(s, e)| self.slice(s..e))
+            .collect()
+    }
+
+    /// Splits into contiguous newline-aligned chunks of roughly
+    /// `target_bytes` each — the zero-copy analogue of
+    /// [`split_chunks`](crate::split_chunks).
+    pub fn split_chunks(&self, target_bytes: usize) -> Vec<Bytes> {
+        crate::split::chunk_boundaries(self.as_bytes(), target_bytes)
+            .into_iter()
+            .map(|(s, e)| self.slice(s..e))
+            .collect()
+    }
+}
+
+impl Default for Bytes {
+    fn default() -> Bytes {
+        Bytes::new()
+    }
+}
+
+impl From<String> for Bytes {
+    fn from(s: String) -> Bytes {
+        // O(1): the String's buffer is moved, not copied.
+        Bytes::from_arc(Arc::new(s.into_bytes()), true)
+    }
+}
+
+impl From<&str> for Bytes {
+    fn from(s: &str) -> Bytes {
+        Bytes::from_arc(Arc::new(s.as_bytes().to_vec()), true)
+    }
+}
+
+impl From<&String> for Bytes {
+    fn from(s: &String) -> Bytes {
+        Bytes::from(s.as_str())
+    }
+}
+
+impl From<Vec<u8>> for Bytes {
+    fn from(v: Vec<u8>) -> Bytes {
+        // O(1): the Vec is moved, not copied. Validity is not assumed;
+        // `to_str` on the result performs a full UTF-8 check.
+        Bytes::from_arc(Arc::new(v), false)
+    }
+}
+
+impl From<&Bytes> for Bytes {
+    fn from(b: &Bytes) -> Bytes {
+        b.clone()
+    }
+}
+
+impl PartialEq for Bytes {
+    fn eq(&self, other: &Bytes) -> bool {
+        self.as_bytes() == other.as_bytes()
+    }
+}
+
+impl Eq for Bytes {}
+
+impl PartialEq<str> for Bytes {
+    fn eq(&self, other: &str) -> bool {
+        self.as_bytes() == other.as_bytes()
+    }
+}
+
+impl PartialEq<&str> for Bytes {
+    fn eq(&self, other: &&str) -> bool {
+        self.as_bytes() == other.as_bytes()
+    }
+}
+
+impl PartialEq<String> for Bytes {
+    fn eq(&self, other: &String) -> bool {
+        self.as_bytes() == other.as_bytes()
+    }
+}
+
+impl PartialEq<Bytes> for String {
+    fn eq(&self, other: &Bytes) -> bool {
+        self.as_bytes() == other.as_bytes()
+    }
+}
+
+impl PartialEq<Bytes> for &str {
+    fn eq(&self, other: &Bytes) -> bool {
+        self.as_bytes() == other.as_bytes()
+    }
+}
+
+impl std::hash::Hash for Bytes {
+    fn hash<H: std::hash::Hasher>(&self, state: &mut H) {
+        self.as_bytes().hash(state);
+    }
+}
+
+impl fmt::Debug for Bytes {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self.to_str() {
+            Ok(s) => write!(f, "{s:?}"),
+            Err(_) => write!(f, "Bytes({:?})", self.as_bytes()),
+        }
+    }
+}
+
+impl fmt::Display for Bytes {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self.to_str() {
+            Ok(s) => f.write_str(s),
+            Err(_) => write!(f, "{:?}", self.as_bytes()),
+        }
+    }
+}
+
+/// A segment list over [`Bytes`]: concatenation without flattening.
+///
+/// Stage outputs, multi-file inputs, and k-way `concat` combines push
+/// their pieces here; the rope flattens into one contiguous [`Bytes`]
+/// only when [`Rope::into_bytes`] is called — and even then a
+/// single-segment rope hands back its segment with no copy at all.
+#[derive(Debug, Clone)]
+pub struct Rope {
+    segments: Vec<Bytes>,
+    len: usize,
+    /// Every pushed segment was valid UTF-8, so the gathered buffer is
+    /// too (concatenation preserves validity); lets [`Rope::into_bytes`]
+    /// hand the fast [`Bytes::to_str`] path onward.
+    text: bool,
+}
+
+impl Default for Rope {
+    fn default() -> Rope {
+        Rope {
+            segments: Vec::new(),
+            len: 0,
+            text: true,
+        }
+    }
+}
+
+impl Rope {
+    /// An empty rope.
+    pub fn new() -> Rope {
+        Rope::default()
+    }
+
+    /// Appends a segment (O(1); empty segments are dropped).
+    pub fn push(&mut self, segment: Bytes) {
+        if !segment.is_empty() {
+            self.text = self.text && segment.to_str().is_ok();
+            self.len += segment.len();
+            self.segments.push(segment);
+        }
+    }
+
+    /// Total byte length across segments.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// True when no bytes are held.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Number of segments.
+    pub fn segment_count(&self) -> usize {
+        self.segments.len()
+    }
+
+    /// The segments, in order.
+    pub fn segments(&self) -> &[Bytes] {
+        &self.segments
+    }
+
+    /// Consumes the rope into its segments (zero-copy).
+    pub fn into_segments(self) -> Vec<Bytes> {
+        self.segments
+    }
+
+    /// Flattens into one contiguous [`Bytes`]. A rope of zero or one
+    /// segments is returned without copying; otherwise this performs the
+    /// single gather memcpy the contiguous consumer requires.
+    pub fn into_bytes(mut self) -> Bytes {
+        match self.segments.len() {
+            0 => Bytes::new(),
+            1 => self.segments.pop().expect("one segment"),
+            _ => {
+                let mut out = Vec::with_capacity(self.len);
+                for seg in &self.segments {
+                    out.extend_from_slice(seg.as_bytes());
+                }
+                let end = out.len();
+                Bytes {
+                    buf: Arc::new(out),
+                    start: 0,
+                    end,
+                    text: self.text,
+                }
+            }
+        }
+    }
+}
+
+impl FromIterator<Bytes> for Rope {
+    fn from_iter<I: IntoIterator<Item = Bytes>>(iter: I) -> Rope {
+        let mut rope = Rope::new();
+        for seg in iter {
+            rope.push(seg);
+        }
+        rope
+    }
+}
+
+impl From<Vec<Bytes>> for Rope {
+    fn from(segments: Vec<Bytes>) -> Rope {
+        segments.into_iter().collect()
+    }
+}
+
+/// Flattens a piece list into one contiguous [`Bytes`] (single-segment
+/// lists are returned without copying). Convenience for executors.
+pub fn concat_bytes<'a>(pieces: impl IntoIterator<Item = &'a Bytes>) -> Bytes {
+    pieces.into_iter().cloned().collect::<Rope>().into_bytes()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn slice_is_zero_copy() {
+        let b = Bytes::from("hello\nworld\n");
+        let s = b.slice(6..12);
+        assert_eq!(s.as_str(), "world\n");
+        assert!(s.shares_buffer(&b));
+        assert_eq!(s.slice(0..0).len(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of bounds")]
+    fn slice_out_of_bounds_panics() {
+        Bytes::from("abc").slice(1..9);
+    }
+
+    #[test]
+    fn equality_across_types() {
+        let b = Bytes::from("abc");
+        assert_eq!(b, "abc");
+        assert_eq!(b, String::from("abc"));
+        assert_eq!("abc", b);
+        assert_eq!(b, Bytes::from("abc"));
+        assert_ne!(b, Bytes::from("abd"));
+    }
+
+    #[test]
+    fn split_stream_shares_buffer() {
+        let b = Bytes::from("a\nb\nc\nd\ne\nf\n");
+        let pieces = b.split_stream(3);
+        assert_eq!(concat_bytes(&pieces), b);
+        for p in &pieces {
+            assert!(p.shares_buffer(&b));
+            assert!(p.ends_with_newline());
+        }
+    }
+
+    #[test]
+    fn split_chunks_shares_buffer() {
+        let b = Bytes::from("aa\nbb\ncc\ndd\n");
+        let chunks = b.split_chunks(4);
+        assert_eq!(concat_bytes(&chunks), b);
+        assert!(chunks.iter().all(|c| c.shares_buffer(&b)));
+    }
+
+    #[test]
+    fn rope_single_segment_no_copy() {
+        let b = Bytes::from("payload\n");
+        let mut rope = Rope::new();
+        rope.push(Bytes::new());
+        rope.push(b.clone());
+        let out = rope.into_bytes();
+        assert!(out.shares_buffer(&b), "single-segment rope must not copy");
+    }
+
+    #[test]
+    fn rope_concatenates_in_order() {
+        let rope: Rope = ["a\n", "b\n", "", "c\n"]
+            .into_iter()
+            .map(Bytes::from)
+            .collect();
+        assert_eq!(rope.segment_count(), 3);
+        assert_eq!(rope.len(), 6);
+        assert_eq!(rope.into_bytes(), "a\nb\nc\n");
+    }
+
+    #[test]
+    fn empty_rope_is_empty_bytes() {
+        assert_eq!(Rope::new().into_bytes(), Bytes::new());
+        assert!(Rope::new().is_empty());
+    }
+
+    #[test]
+    fn compact_releases_oversized_backing() {
+        let big = Bytes::from("x\n".repeat(8192)); // 16 KiB backing
+        let tiny = big.slice(0..2).compact();
+        assert_eq!(tiny, "x\n");
+        assert!(
+            !tiny.shares_buffer(&big),
+            "tiny slice must drop the 16 KiB buffer"
+        );
+        // A slice covering most of the buffer stays shared.
+        let most = big.slice(0..big.len() - 2).compact();
+        assert!(most.shares_buffer(&big));
+        // Small backings are never worth compacting.
+        let small = Bytes::from("abcdef\n");
+        let piece = small.slice(0..1).compact();
+        assert!(piece.shares_buffer(&small));
+    }
+
+    #[test]
+    fn display_and_debug() {
+        let b = Bytes::from("x\n");
+        assert_eq!(format!("{b}"), "x\n");
+        assert_eq!(format!("{b:?}"), "\"x\\n\"");
+    }
+}

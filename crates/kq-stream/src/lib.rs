@@ -10,8 +10,19 @@
 //! the line-boundary stream splitting used to create the parallel input
 //! substreams.
 //!
-//! Everything here is pure string manipulation with no I/O, so both the
-//! synthesizer and the parallel executors can share it.
+//! Everything here is pure string/byte manipulation with no I/O, so both
+//! the synthesizer and the parallel executors can share it.
+//!
+//! Two views of the same stream model coexist:
+//!
+//! * **Borrowed text** — the paper-vocabulary helpers below and the
+//!   [`split_stream`]/[`split_chunks`] functions returning `&str` views,
+//!   used by the synthesizer's small probe streams and the DSL evaluator;
+//! * **Shared bytes** — [`Bytes`] (an `Arc`'d buffer plus range) and
+//!   [`Rope`] (a segment list), the zero-copy data plane the executors
+//!   move payloads through. [`Bytes::split_stream`]/[`Bytes::split_chunks`]
+//!   share the exact boundary computation with the borrowed splitters, so
+//!   the two views can never disagree about where a stream splits.
 //!
 //! ```
 //! // Line-aligned splitting never cuts a line and reassembles exactly.
@@ -20,6 +31,11 @@
 //! assert_eq!(pieces.concat(), stream);
 //! assert!(pieces.iter().all(|p| p.ends_with('\n')));
 //!
+//! // The zero-copy equivalent: pieces are refcounted slices.
+//! let shared = kq_stream::Bytes::from(stream);
+//! let pieces = shared.split_stream(3);
+//! assert!(pieces.iter().all(|p| p.shares_buffer(&shared)));
+//!
 //! // The appendix string helpers used by the DSL semantics.
 //! assert_eq!(kq_stream::del_pad("   42 apple"), (3, "42 apple"));
 //! assert_eq!(kq_stream::split_first(' ', "42 apple pie"), ("42", Some("apple pie")));
@@ -27,9 +43,11 @@
 
 #![warn(missing_docs)]
 
+pub mod bytes;
 pub mod delim;
 pub mod split;
 
+pub use bytes::{concat_bytes, Bytes, Rope};
 pub use delim::Delim;
 pub use split::{split_chunks, split_stream};
 

@@ -6,6 +6,68 @@
 //! and combine the outputs. This module implements the byte-balanced splitter
 //! used by both the executor and the synthesizer's observation harness.
 
+/// Piece boundaries for [`split_stream`]: `(start, end)` byte ranges of at
+/// most `k` contiguous, newline-aligned, roughly equal pieces.
+///
+/// This is the single boundary computation shared by the `&str` splitter
+/// and the zero-copy [`Bytes`](crate::Bytes) splitter, so the two can
+/// never diverge. Cost is O(bytes scanned) for the boundary search and
+/// O(k) allocation.
+pub(crate) fn stream_boundaries(bytes: &[u8], k: usize) -> Vec<(usize, usize)> {
+    assert!(k > 0, "cannot split into zero substreams");
+    if bytes.is_empty() {
+        return Vec::new();
+    }
+    if k == 1 {
+        return vec![(0, bytes.len())];
+    }
+    let mut pieces = Vec::with_capacity(k);
+    let mut start = 0usize;
+    for piece_idx in 0..k {
+        if start >= bytes.len() {
+            break;
+        }
+        let remaining_pieces = k - piece_idx;
+        if remaining_pieces == 1 {
+            pieces.push((start, bytes.len()));
+            break;
+        }
+        let remaining = bytes.len() - start;
+        let target = start + remaining.div_ceil(remaining_pieces);
+        // Advance to the next newline at or after `target - 1` so the piece
+        // ends on a line boundary.
+        let mut end = target.min(bytes.len());
+        while end < bytes.len() && bytes[end - 1] != b'\n' {
+            end += 1;
+        }
+        pieces.push((start, end));
+        start = end;
+    }
+    pieces
+}
+
+/// Chunk boundaries for [`split_chunks`]: `(start, end)` byte ranges of
+/// contiguous newline-aligned chunks of roughly `target_bytes` each.
+///
+/// Total-by-construction: `target_bytes = 0` is clamped to 1, a target
+/// larger than the input yields exactly one chunk, and non-empty input
+/// always yields at least one chunk (the loop pushes a range on every
+/// iteration and each range is non-empty because `end > start`).
+pub(crate) fn chunk_boundaries(bytes: &[u8], target_bytes: usize) -> Vec<(usize, usize)> {
+    let target = target_bytes.max(1);
+    let mut chunks = Vec::new();
+    let mut start = 0usize;
+    while start < bytes.len() {
+        let mut end = (start + target).min(bytes.len());
+        while end < bytes.len() && bytes[end - 1] != b'\n' {
+            end += 1;
+        }
+        chunks.push((start, end));
+        start = end;
+    }
+    chunks
+}
+
 /// Splits a stream into at most `k` contiguous, newline-terminated pieces of
 /// roughly equal byte size.
 ///
@@ -17,38 +79,15 @@
 ///
 /// An empty input produces no pieces. When the input is a non-stream
 /// (unterminated final line), the final piece carries the unterminated tail.
+///
+/// The returned pieces borrow `input`; the parallel executors use the
+/// zero-copy owned equivalent [`Bytes::split_stream`](crate::Bytes::split_stream)
+/// instead, which shares this function's boundary computation.
 pub fn split_stream(input: &str, k: usize) -> Vec<&str> {
-    assert!(k > 0, "cannot split into zero substreams");
-    if input.is_empty() {
-        return Vec::new();
-    }
-    if k == 1 {
-        return vec![input];
-    }
-    let mut pieces = Vec::with_capacity(k);
-    let bytes = input.as_bytes();
-    let mut start = 0usize;
-    for piece_idx in 0..k {
-        if start >= bytes.len() {
-            break;
-        }
-        let remaining_pieces = k - piece_idx;
-        if remaining_pieces == 1 {
-            pieces.push(&input[start..]);
-            break;
-        }
-        let remaining = bytes.len() - start;
-        let target = start + remaining.div_ceil(remaining_pieces);
-        // Advance to the next newline at or after `target - 1` so the piece
-        // ends on a line boundary.
-        let mut end = target.min(bytes.len());
-        while end < bytes.len() && bytes[end - 1] != b'\n' {
-            end += 1;
-        }
-        pieces.push(&input[start..end]);
-        start = end;
-    }
-    pieces
+    stream_boundaries(input.as_bytes(), k)
+        .into_iter()
+        .map(|(s, e)| &input[s..e])
+        .collect()
 }
 
 /// Splits a stream into contiguous, newline-terminated chunks of roughly
@@ -62,21 +101,14 @@ pub fn split_stream(input: &str, k: usize) -> Vec<&str> {
 ///
 /// Shares [`split_stream`]'s invariants: concatenation reproduces the
 /// input, no line is split, every chunk but possibly the last ends with
-/// `'\n'`.
+/// `'\n'`. Edge cases are total: `target_bytes = 0` behaves as 1, a
+/// target larger than the input yields one chunk, and non-empty input
+/// never yields an empty chunk list.
 pub fn split_chunks(input: &str, target_bytes: usize) -> Vec<&str> {
-    let target = target_bytes.max(1);
-    let mut chunks = Vec::new();
-    let bytes = input.as_bytes();
-    let mut start = 0usize;
-    while start < bytes.len() {
-        let mut end = (start + target).min(bytes.len());
-        while end < bytes.len() && bytes[end - 1] != b'\n' {
-            end += 1;
-        }
-        chunks.push(&input[start..end]);
-        start = end;
-    }
-    chunks
+    chunk_boundaries(input.as_bytes(), target_bytes)
+        .into_iter()
+        .map(|(s, e)| &input[s..e])
+        .collect()
 }
 
 /// Splits a stream into exactly two substreams at the line boundary closest
@@ -142,7 +174,11 @@ mod tests {
         let s: String = (0..500).map(|i| format!("line number {i}\n")).collect();
         let chunks = split_chunks(&s, 256);
         assert_eq!(chunks.concat(), s);
-        assert!(chunks.len() > 10, "expected many chunks, got {}", chunks.len());
+        assert!(
+            chunks.len() > 10,
+            "expected many chunks, got {}",
+            chunks.len()
+        );
         for c in &chunks {
             assert!(c.ends_with('\n'));
             // Each chunk is at most target + one line.
@@ -212,6 +248,59 @@ mod tests {
     fn boundary_split_single_line_is_none() {
         assert_eq!(split_at_line_boundary("abc\n", 1), None);
         assert_eq!(split_at_line_boundary("\n", 0), None);
+    }
+
+    #[test]
+    fn chunk_target_zero_is_total() {
+        // target 0 behaves as 1: one chunk per line, no panic, no empties.
+        let s = "a\nbb\nccc\n";
+        let chunks = split_chunks(s, 0);
+        assert_eq!(chunks, vec!["a\n", "bb\n", "ccc\n"]);
+        assert!(split_chunks("", 0).is_empty());
+    }
+
+    #[test]
+    fn chunk_nonempty_input_never_yields_empty_vec() {
+        for target in [0, 1, 2, 7, usize::MAX] {
+            for input in ["x", "x\n", "\n", "a\nb", "long-single-line"] {
+                let chunks = split_chunks(input, target);
+                assert!(!chunks.is_empty(), "target {target} input {input:?}");
+                assert!(chunks.iter().all(|c| !c.is_empty()));
+                assert_eq!(chunks.concat(), input);
+            }
+        }
+    }
+
+    #[test]
+    fn chunk_single_long_line_is_one_chunk() {
+        let line = "no-newline-anywhere-in-this-very-long-line";
+        assert_eq!(split_chunks(line, 4), vec![line]);
+        let line_nl = "one-terminated-line-longer-than-target\n";
+        assert_eq!(split_chunks(line_nl, 4), vec![line_nl]);
+    }
+
+    #[test]
+    fn bytes_and_str_splitters_agree() {
+        use crate::Bytes;
+        let s: String = (0..200).map(|i| format!("ln {i}\n")).collect();
+        let b = Bytes::from(s.as_str());
+        for k in [1, 2, 5, 13] {
+            let from_str: Vec<&str> = split_stream(&s, k);
+            let from_bytes = b.split_stream(k);
+            assert_eq!(from_str.len(), from_bytes.len(), "k={k}");
+            for (a, c) in from_str.iter().zip(&from_bytes) {
+                assert_eq!(*a, c.as_str());
+                assert!(c.shares_buffer(&b), "piece must be zero-copy");
+            }
+        }
+        for target in [0, 1, 17, 1000, 1 << 20] {
+            let from_str: Vec<&str> = split_chunks(&s, target);
+            let from_bytes = b.split_chunks(target);
+            assert_eq!(from_str.len(), from_bytes.len(), "target={target}");
+            for (a, c) in from_str.iter().zip(&from_bytes) {
+                assert_eq!(*a, c.as_str());
+            }
+        }
     }
 
     proptest! {

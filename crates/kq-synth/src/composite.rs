@@ -11,6 +11,7 @@
 use kq_dsl::ast::{Candidate, Combiner, RecOp};
 use kq_dsl::eval::{EvalError, RunEnv};
 use kq_dsl::{domain, kway};
+use kq_stream::Bytes;
 
 /// The synthesis product: an executable combiner built from the plausible
 /// set, plus the metadata the benchmark tables report.
@@ -47,7 +48,9 @@ impl SynthesizedCombiner {
         if let Some(universal) = members.iter().position(|c| {
             matches!(
                 c.op,
-                Combiner::Rec(RecOp::Concat) | Combiner::Rec(RecOp::First) | Combiner::Rec(RecOp::Second)
+                Combiner::Rec(RecOp::Concat)
+                    | Combiner::Rec(RecOp::First)
+                    | Combiner::Rec(RecOp::Second)
             )
         }) {
             members = vec![members[universal].clone()];
@@ -90,13 +93,15 @@ impl SynthesizedCombiner {
     }
 
     /// Combines `k` parallel substreams (paper §3.5): the first member
-    /// whose domain admits all pieces is applied k-way.
-    pub fn combine_all(&self, pieces: &[String], env: &dyn RunEnv) -> Result<String, EvalError> {
+    /// whose domain admits all pieces is applied k-way. Pieces flow as
+    /// refcounted [`Bytes`] slices; the domain checks borrow the piece
+    /// text in place.
+    pub fn combine_all(&self, pieces: &[Bytes], env: &dyn RunEnv) -> Result<Bytes, EvalError> {
         for member in &self.members {
             if pieces
                 .iter()
                 .filter(|p| !p.is_empty())
-                .all(|p| domain::in_domain(&member.op, p))
+                .all(|p| p.to_str().is_ok_and(|s| domain::in_domain(&member.op, s)))
             {
                 return kway::combine_all(member, pieces, env);
             }
@@ -165,10 +170,14 @@ mod tests {
 
     #[test]
     fn kway_combination_via_members() {
-        let s = SynthesizedCombiner::from_plausible(vec![Candidate::structural(
-            StructOp::Stitch(RecOp::First),
-        )]);
-        let pieces = vec!["a\nb\n".to_owned(), "b\nc\n".to_owned(), "d\n".to_owned()];
+        let s = SynthesizedCombiner::from_plausible(vec![Candidate::structural(StructOp::Stitch(
+            RecOp::First,
+        ))]);
+        let pieces = vec![
+            Bytes::from("a\nb\n"),
+            Bytes::from("b\nc\n"),
+            Bytes::from("d\n"),
+        ];
         assert_eq!(s.combine_all(&pieces, &NoRunEnv).unwrap(), "a\nb\nc\nd\n");
     }
 }

@@ -96,11 +96,7 @@ fn sample_line<R: Rng + ?Sized>(
     line
 }
 
-fn sample_word<R: Rng + ?Sized>(
-    shape: &InputShape,
-    pre: &Preprocessed,
-    rng: &mut R,
-) -> String {
+fn sample_word<R: Rng + ?Sized>(shape: &InputShape, pre: &Preprocessed, rng: &mut R) -> String {
     // Bias toward dictionary entries (regex samples, numeric literals) so
     // matching code paths are exercised; mix in random words so mismatch
     // paths are too.

@@ -124,7 +124,10 @@ pub fn preprocess<R: Rng + ?Sized>(
 }
 
 /// Extracts regex/number literals from the command line.
-fn extract_literals<R: Rng + ?Sized>(command: &Command, rng: &mut R) -> (Vec<String>, Option<usize>) {
+fn extract_literals<R: Rng + ?Sized>(
+    command: &Command,
+    rng: &mut R,
+) -> (Vec<String>, Option<usize>) {
     let argv = command.argv();
     let mut dictionary = Vec::new();
     let mut line_hint = None;
@@ -143,8 +146,7 @@ fn extract_literals<R: Rng + ?Sized>(command: &Command, rng: &mut R) -> (Vec<Str
         }
         "sed" => {
             if let Some(script) = argv[1..].iter().find(|a| !a.starts_with('-')) {
-                let digits: String =
-                    script.chars().take_while(|c| c.is_ascii_digit()).collect();
+                let digits: String = script.chars().take_while(|c| c.is_ascii_digit()).collect();
                 if !digits.is_empty() && (script.ends_with('q') || script.ends_with('d')) {
                     line_hint = digits.parse().ok();
                 } else if let Some(rest) = script.strip_prefix('s') {
@@ -168,7 +170,9 @@ fn extract_literals<R: Rng + ?Sized>(command: &Command, rng: &mut R) -> (Vec<Str
         }
         "head" | "tail" => {
             for a in &argv[1..] {
-                let trimmed = a.trim_start_matches(['-', '+', 'n']).trim_start_matches(' ');
+                let trimmed = a
+                    .trim_start_matches(['-', '+', 'n'])
+                    .trim_start_matches(' ');
                 if let Ok(n) = trimmed.parse::<usize>() {
                     line_hint = Some(n.max(2));
                 }
@@ -206,13 +210,13 @@ fn probe_profile(command: &Command, ctx: &ExecContext) -> InputProfile {
     let unsorted = "mango\napple\nzebra\nbanana\ncherry\napple\n";
     let sorted = "apple\napple\nbanana\ncherry\nmango\nzebra\n";
     let filenames: String = PROBE_FILES.iter().map(|f| format!("{f}\n")).collect();
-    if command.run(unsorted, ctx).is_ok() {
+    if command.run_str(unsorted, ctx).is_ok() {
         return InputProfile::Plain;
     }
-    if command.run(sorted, ctx).is_ok() {
+    if command.run_str(sorted, ctx).is_ok() {
         return InputProfile::Sorted;
     }
-    if command.run(&filenames, ctx).is_ok() {
+    if command.run_str(&filenames, ctx).is_ok() {
         return InputProfile::FileNames;
     }
     InputProfile::Unsupported
@@ -251,7 +255,7 @@ fn detect_delims<R: Rng + ?Sized>(
             continue;
         };
         let combined = format!("{x1}{x2}");
-        if let Ok(out) = command.run(&combined, ctx) {
+        if let Ok(out) = command.run_str(&combined, ctx) {
             seen_space |= out.contains(' ');
             seen_tab |= out.contains('\t');
             seen_comma |= out.contains(',');

@@ -123,7 +123,14 @@ impl InputShape {
                 dim.max = (dim.max * 2).clamp(1, 512);
             }
             Direction::FewerElements => {
-                dim.max = (dim.max / 2).max(dim.min).max(if matches!(m.dimension, Dimension::Words) { 0 } else { 1 });
+                dim.max =
+                    (dim.max / 2)
+                        .max(dim.min)
+                        .max(if matches!(m.dimension, Dimension::Words) {
+                            0
+                        } else {
+                            1
+                        });
                 dim.min = dim.min.min(dim.max);
             }
             Direction::MoreVaried => {
@@ -209,8 +216,10 @@ mod tests {
     fn twelve_distinct_mutations() {
         let all = Mutation::all();
         assert_eq!(all.len(), 12);
-        let set: std::collections::HashSet<_> =
-            all.iter().map(|m| (m.dimension as u8 as usize, m.direction as u8 as usize)).collect();
+        let set: std::collections::HashSet<_> = all
+            .iter()
+            .map(|m| (m.dimension as u8 as usize, m.direction as u8 as usize))
+            .collect();
         assert_eq!(set.len(), 12);
     }
 

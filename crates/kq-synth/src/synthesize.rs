@@ -111,10 +111,10 @@ impl SynthesisReport {
 /// `⟨f(x1), f(x2), f(x1 ++ x2)⟩` (Definition 3.5). `None` when the command
 /// rejects any of the three inputs.
 fn observe(command: &Command, ctx: &ExecContext, x1: &str, x2: &str) -> Option<Observation> {
-    let y1 = command.run(x1, ctx).ok()?;
-    let y2 = command.run(x2, ctx).ok()?;
+    let y1 = command.run_str(x1, ctx).ok()?;
+    let y2 = command.run_str(x2, ctx).ok()?;
     let combined = format!("{x1}{x2}");
-    let y12 = command.run(&combined, ctx).ok()?;
+    let y12 = command.run_str(&combined, ctx).ok()?;
     Some(Observation { y1, y2, y12 })
 }
 
@@ -231,7 +231,10 @@ fn gradient_round(
                 };
                 if let Some(obs) = observe(command, ctx, &x1, &x2) {
                     if !observations.contains(&obs) && !batch.contains(&obs) {
-                        if alive.iter().any(|c| !plausible(c, std::slice::from_ref(&obs), env)) {
+                        if alive
+                            .iter()
+                            .any(|c| !plausible(c, std::slice::from_ref(&obs), env))
+                        {
                             counterexample.get_or_insert((x1.clone(), x2.clone()));
                         }
                         batch.push(obs);
@@ -239,10 +242,7 @@ fn gradient_round(
                 }
             }
             // Score: how many live candidates does this batch eliminate?
-            let eliminated = alive
-                .iter()
-                .filter(|c| !plausible(c, &batch, env))
-                .count();
+            let eliminated = alive.iter().filter(|c| !plausible(c, &batch, env)).count();
             match best {
                 Some((score, _)) if score >= eliminated => {}
                 _ => best = Some((eliminated, mutated)),
@@ -290,7 +290,14 @@ mod tests {
     fn wc_l_synthesizes_back_newline_add() {
         let r = synth("wc -l");
         let want = Combiner::Rec(RecOp::Back(Delim::Newline, Box::new(RecOp::Add)));
-        assert!(has(&r, &want), "plausible: {:?}", r.plausible().iter().map(|c| c.to_string()).collect::<Vec<_>>());
+        assert!(
+            has(&r, &want),
+            "plausible: {:?}",
+            r.plausible()
+                .iter()
+                .map(|c| c.to_string())
+                .collect::<Vec<_>>()
+        );
         // concat must have been eliminated.
         assert!(!has(&r, &Combiner::Rec(RecOp::Concat)));
         // Space matches Table 10's wc -l row: newline-only outputs.
@@ -308,7 +315,11 @@ mod tests {
     fn tr_translate_synthesizes_concat() {
         let r = synth("tr A-Z a-z");
         let s = r.combiner().expect("combiner");
-        assert!(s.is_concat(), "members: {:?}", s.members.iter().map(|c| c.to_string()).collect::<Vec<_>>());
+        assert!(
+            s.is_concat(),
+            "members: {:?}",
+            s.members.iter().map(|c| c.to_string()).collect::<Vec<_>>()
+        );
     }
 
     #[test]
@@ -319,7 +330,10 @@ mod tests {
         assert!(
             has(&r, &stitch_first) || has(&r, &stitch_second),
             "plausible: {:?}",
-            r.plausible().iter().map(|c| c.to_string()).collect::<Vec<_>>()
+            r.plausible()
+                .iter()
+                .map(|c| c.to_string())
+                .collect::<Vec<_>>()
         );
         assert!(!has(&r, &Combiner::Rec(RecOp::Concat)));
     }
@@ -332,7 +346,10 @@ mod tests {
         assert!(
             has(&r, &want) || has(&r, &alt),
             "plausible: {:?}",
-            r.plausible().iter().map(|c| c.to_string()).collect::<Vec<_>>()
+            r.plausible()
+                .iter()
+                .map(|c| c.to_string())
+                .collect::<Vec<_>>()
         );
     }
 
@@ -346,7 +363,10 @@ mod tests {
     #[test]
     fn sort_rn_merge_carries_flags() {
         let r = synth("sort -rn");
-        assert!(has(&r, &Combiner::Run(RunOp::Merge(vec!["-rn".to_owned()]))));
+        assert!(has(
+            &r,
+            &Combiner::Run(RunOp::Merge(vec!["-rn".to_owned()]))
+        ));
     }
 
     #[test]
@@ -364,7 +384,14 @@ mod tests {
     #[test]
     fn sed_1d_has_no_combiner() {
         let r = synth("sed 1d");
-        assert!(r.combiner().is_none(), "plausible: {:?}", r.plausible().iter().map(|c| c.to_string()).collect::<Vec<_>>());
+        assert!(
+            r.combiner().is_none(),
+            "plausible: {:?}",
+            r.plausible()
+                .iter()
+                .map(|c| c.to_string())
+                .collect::<Vec<_>>()
+        );
     }
 
     #[test]
@@ -389,7 +416,11 @@ mod tests {
     fn sed_100q_synthesizes_rerun() {
         let r = synth("sed 100q");
         let s = r.combiner().expect("combiner");
-        assert!(s.is_rerun(), "members: {:?}", s.members.iter().map(|c| c.to_string()).collect::<Vec<_>>());
+        assert!(
+            s.is_rerun(),
+            "members: {:?}",
+            s.members.iter().map(|c| c.to_string()).collect::<Vec<_>>()
+        );
     }
 
     #[test]

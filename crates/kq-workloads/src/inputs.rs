@@ -13,15 +13,98 @@ use rand::{Rng, SeedableRng};
 /// Common English-like vocabulary with a Zipf-flavoured sampler: earlier
 /// words are proportionally more frequent.
 const VOCAB: &[&str] = &[
-    "the", "of", "and", "to", "a", "in", "that", "it", "was", "he", "for", "on", "with", "as",
-    "his", "they", "be", "at", "one", "have", "this", "from", "or", "had", "by", "word", "but",
-    "what", "some", "we", "can", "out", "other", "were", "all", "there", "when", "up", "use",
-    "your", "how", "said", "each", "she", "which", "their", "time", "will", "way", "about",
-    "many", "then", "them", "write", "would", "like", "these", "her", "long", "make", "thing",
-    "see", "him", "two", "has", "look", "more", "day", "could", "come", "did", "number", "sound",
-    "most", "people", "water", "over", "land", "light", "moonlight", "darkness", "kingdom",
-    "mountain", "river", "ancient", "whisper", "journey", "forgotten", "twilight",
-    "uncharacteristically", "incomprehensibilities", "misunderstandings",
+    "the",
+    "of",
+    "and",
+    "to",
+    "a",
+    "in",
+    "that",
+    "it",
+    "was",
+    "he",
+    "for",
+    "on",
+    "with",
+    "as",
+    "his",
+    "they",
+    "be",
+    "at",
+    "one",
+    "have",
+    "this",
+    "from",
+    "or",
+    "had",
+    "by",
+    "word",
+    "but",
+    "what",
+    "some",
+    "we",
+    "can",
+    "out",
+    "other",
+    "were",
+    "all",
+    "there",
+    "when",
+    "up",
+    "use",
+    "your",
+    "how",
+    "said",
+    "each",
+    "she",
+    "which",
+    "their",
+    "time",
+    "will",
+    "way",
+    "about",
+    "many",
+    "then",
+    "them",
+    "write",
+    "would",
+    "like",
+    "these",
+    "her",
+    "long",
+    "make",
+    "thing",
+    "see",
+    "him",
+    "two",
+    "has",
+    "look",
+    "more",
+    "day",
+    "could",
+    "come",
+    "did",
+    "number",
+    "sound",
+    "most",
+    "people",
+    "water",
+    "over",
+    "land",
+    "light",
+    "moonlight",
+    "darkness",
+    "kingdom",
+    "mountain",
+    "river",
+    "ancient",
+    "whisper",
+    "journey",
+    "forgotten",
+    "twilight",
+    "uncharacteristically",
+    "incomprehensibilities",
+    "misunderstandings",
 ];
 
 fn zipf_word<R: Rng + ?Sized>(rng: &mut R) -> &'static str {
@@ -155,8 +238,18 @@ pub fn names_list(rows: usize, seed: u64) -> String {
         "Brenda", "Lorinda",
     ];
     let last = [
-        "Thompson", "Ritchie", "Kernighan", "Pike", "McIlroy", "Ossanna", "Johnson", "Cherry",
-        "Baker", "Weinberger", "Aho", "Morris",
+        "Thompson",
+        "Ritchie",
+        "Kernighan",
+        "Pike",
+        "McIlroy",
+        "Ossanna",
+        "Johnson",
+        "Cherry",
+        "Baker",
+        "Weinberger",
+        "Aho",
+        "Morris",
     ];
     let mut out = String::new();
     for _ in 0..rows {
@@ -221,14 +314,20 @@ pub fn quoted_text(rows: usize, seed: u64) -> String {
     for i in 0..rows {
         match i % 5 {
             0 => out.push_str(&format!("printf(\"hello world {i}\");\n")),
-            1 => out.push_str(&format!("the PORTer carried TELEgrams to {} camp\n", zipf_word(&mut rng))),
+            1 => out.push_str(&format!(
+                "the PORTer carried TELEgrams to {} camp\n",
+                zipf_word(&mut rng)
+            )),
             2 => out.push_str(&format!(
                 "\"{} {}\" said the {}\n",
                 zipf_word(&mut rng),
                 zipf_word(&mut rng),
                 zipf_word(&mut rng)
             )),
-            3 => out.push_str(&format!("ELEPHANTs and BELLs ring {} times\n", rng.gen_range(1..9))),
+            3 => out.push_str(&format!(
+                "ELEPHANTs and BELLs ring {} times\n",
+                rng.gen_range(1..9)
+            )),
             _ => {
                 for _ in 0..6 {
                     out.push_str(zipf_word(&mut rng));
@@ -270,12 +369,22 @@ pub fn mail_text(rows: usize, seed: u64) -> String {
 /// Nobel-style award rows (unix50 11.x).
 pub fn awards_text(rows: usize, seed: u64) -> String {
     let mut rng = SmallRng::seed_from_u64(seed ^ 0x0b31);
-    let names = ["Ken Thompson", "Dennis Ritchie", "Niklaus Wirth", "Donald Knuth", "Barbara Liskov"];
+    let names = [
+        "Ken Thompson",
+        "Dennis Ritchie",
+        "Niklaus Wirth",
+        "Donald Knuth",
+        "Barbara Liskov",
+    ];
     let mut out = String::new();
     for i in 0..rows {
         let year = 1966 + (i as u32 % 50);
         let name = names[rng.gen_range(0..names.len())];
-        let what = if rng.gen_bool(0.3) { "UNIX" } else { "computing" };
+        let what = if rng.gen_bool(0.3) {
+            "UNIX"
+        } else {
+            "computing"
+        };
         out.push_str(&format!("{year} medal to {name} for {what}\n"));
     }
     out
@@ -306,8 +415,10 @@ pub fn book_library(n_books: usize, bytes_per_book: usize, seed: u64) -> Vec<(St
         .map(|i| {
             // Every book opens with a verse so the phrase-hunting poets
             // pipelines stay productive even at test scales.
-            let mut text = String::from("And he said unto them in the land of the river
-");
+            let mut text = String::from(
+                "And he said unto them in the land of the river
+",
+            );
             text.push_str(&gutenberg_text(bytes_per_book, seed.wrapping_add(i as u64)));
             (format!("pg{:04}.txt", 100 + i), text)
         })
@@ -406,7 +517,9 @@ mod tests {
     fn library_and_tree_shapes() {
         let lib = book_library(3, 1000, 9);
         assert_eq!(lib.len(), 3);
-        assert!(lib.iter().all(|(name, text)| name.ends_with(".txt") && text.len() >= 1000));
+        assert!(lib
+            .iter()
+            .all(|(name, text)| name.ends_with(".txt") && text.len() >= 1000));
         let tree = file_tree(20, 9);
         assert_eq!(tree.len(), 20);
         assert!(tree.iter().any(|(_, _, t)| t.contains("shell script")));

@@ -36,7 +36,9 @@ pub struct Scale {
 impl Scale {
     /// Small inputs for unit/integration tests (~40 KB).
     pub fn tests() -> Scale {
-        Scale { input_bytes: 40_000 }
+        Scale {
+            input_bytes: 40_000,
+        }
     }
 
     /// Bench-sized inputs, overridable with `KQ_SCALE_KB`.
@@ -115,7 +117,8 @@ pub fn setup(
             let tree = file_tree((scale.input_bytes / 600).clamp(24, 400), seed);
             let mut list = String::new();
             for (path, content, ftype) in &tree {
-                ctx.vfs.write_typed(path.clone(), content.clone(), ftype.clone());
+                ctx.vfs
+                    .write_typed(path.clone(), content.clone(), ftype.clone());
                 list.push_str(path);
                 list.push('\n');
             }
@@ -131,10 +134,14 @@ pub fn setup(
         env.insert("DICT".to_owned(), "/aux/dict".to_owned());
     }
     if script.text.contains("/books/exodus.txt") {
-        ctx.vfs
-            .write("/books/exodus.txt", gutenberg_text(scale.input_bytes / 4, seed ^ 1));
-        ctx.vfs
-            .write("/books/genesis.txt", gutenberg_text(scale.input_bytes / 4, seed ^ 2));
+        ctx.vfs.write(
+            "/books/exodus.txt",
+            gutenberg_text(scale.input_bytes / 4, seed ^ 1),
+        );
+        ctx.vfs.write(
+            "/books/genesis.txt",
+            gutenberg_text(scale.input_bytes / 4, seed ^ 2),
+        );
     }
     env
 }
@@ -149,7 +156,10 @@ mod tests {
     fn corpus_has_seventy_scripts() {
         let c = corpus();
         assert_eq!(c.len(), 70);
-        assert_eq!(c.iter().filter(|s| s.suite == Suite::AnalyticsMts).count(), 4);
+        assert_eq!(
+            c.iter().filter(|s| s.suite == Suite::AnalyticsMts).count(),
+            4
+        );
         assert_eq!(c.iter().filter(|s| s.suite == Suite::Oneliners).count(), 10);
         assert_eq!(c.iter().filter(|s| s.suite == Suite::Poets).count(), 22);
         assert_eq!(c.iter().filter(|s| s.suite == Suite::Unix50).count(), 34);
@@ -161,7 +171,13 @@ mod tests {
             let ctx = ExecContext::default();
             let env = setup(script, &ctx, &Scale { input_bytes: 2000 }, 1);
             let parsed = parse_script(script.text, &env);
-            assert!(parsed.is_ok(), "{}/{}: {:?}", script.suite.dir(), script.id, parsed.err());
+            assert!(
+                parsed.is_ok(),
+                "{}/{}: {:?}",
+                script.suite.dir(),
+                script.id,
+                parsed.err()
+            );
         }
     }
 
@@ -191,7 +207,14 @@ mod tests {
             let ctx = ExecContext::default();
             // 40 KB: large enough for the threshold-dependent pipelines
             // (poets 8.2_1 keeps vowel sequences with count >= 1000).
-            let env = setup(script, &ctx, &Scale { input_bytes: 40_000 }, 3);
+            let env = setup(
+                script,
+                &ctx,
+                &Scale {
+                    input_bytes: 40_000,
+                },
+                3,
+            );
             let parsed = parse_script(script.text, &env).unwrap();
             let result = run_serial(&parsed, &ctx).unwrap();
             if !result.output.is_empty() {

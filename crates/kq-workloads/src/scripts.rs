@@ -181,7 +181,12 @@ mod tests {
         let c = corpus();
         let mut seen = std::collections::HashSet::new();
         for s in c {
-            assert!(seen.insert((s.suite.dir(), s.id)), "duplicate {}/{}", s.suite.dir(), s.id);
+            assert!(
+                seen.insert((s.suite.dir(), s.id)),
+                "duplicate {}/{}",
+                s.suite.dir(),
+                s.id
+            );
         }
     }
 

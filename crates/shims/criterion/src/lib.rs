@@ -1,0 +1,248 @@
+//! Minimal API-compatible stand-in for `criterion`.
+//!
+//! No statistics machinery — each benchmark runs a short calibrated batch
+//! and reports the mean wall-clock per iteration (plus throughput when
+//! declared). Good enough to compare implementations in the same process;
+//! not a replacement for real criterion's outlier analysis.
+//!
+//! Environment knobs: `KQ_BENCH_TARGET_MS` (sampling budget per benchmark,
+//! default 300) and `KQ_BENCH_QUICK=1` (single-iteration smoke mode, used
+//! by CI to validate the bench binaries without burning minutes).
+
+use std::time::{Duration, Instant};
+
+/// Throughput declaration for a benchmark group.
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    /// Bytes processed per iteration.
+    Bytes(u64),
+    /// Logical elements processed per iteration.
+    Elements(u64),
+}
+
+/// Batch sizing hint for [`Bencher::iter_batched`] (accepted, ignored).
+#[derive(Debug, Clone, Copy)]
+pub enum BatchSize {
+    /// Small per-iteration inputs.
+    SmallInput,
+    /// Large per-iteration inputs.
+    LargeInput,
+    /// One batch per iteration.
+    PerIteration,
+}
+
+fn target_budget() -> Duration {
+    let ms = std::env::var("KQ_BENCH_TARGET_MS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(300u64);
+    Duration::from_millis(ms)
+}
+
+fn quick_mode() -> bool {
+    std::env::var("KQ_BENCH_QUICK")
+        .map(|v| v == "1")
+        .unwrap_or(false)
+}
+
+/// Drives one benchmark's iterations.
+pub struct Bencher {
+    /// Mean duration of one iteration, filled by `iter`/`iter_batched`.
+    mean: Duration,
+    iters: u64,
+}
+
+impl Bencher {
+    fn new() -> Bencher {
+        Bencher {
+            mean: Duration::ZERO,
+            iters: 0,
+        }
+    }
+
+    /// Times `routine`, auto-scaling the iteration count to the budget.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        if quick_mode() {
+            let t0 = Instant::now();
+            std::hint::black_box(routine());
+            self.mean = t0.elapsed();
+            self.iters = 1;
+            return;
+        }
+        // Calibrate with one iteration, then size the batch to the budget.
+        let t0 = Instant::now();
+        std::hint::black_box(routine());
+        let once = t0.elapsed().max(Duration::from_nanos(50));
+        let budget = target_budget();
+        let n = (budget.as_nanos() / once.as_nanos()).clamp(1, 10_000) as u64;
+        let t0 = Instant::now();
+        for _ in 0..n {
+            std::hint::black_box(routine());
+        }
+        self.mean = t0.elapsed() / (n as u32);
+        self.iters = n + 1;
+    }
+
+    /// Times `routine` over inputs produced by `setup` (setup excluded
+    /// from the measurement).
+    pub fn iter_batched<I, O, S, R>(&mut self, mut setup: S, mut routine: R, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        R: FnMut(I) -> O,
+    {
+        let reps: u64 = if quick_mode() { 1 } else { 16 };
+        let mut total = Duration::ZERO;
+        for _ in 0..reps {
+            let input = setup();
+            let t0 = Instant::now();
+            std::hint::black_box(routine(input));
+            total += t0.elapsed();
+        }
+        self.mean = total / (reps as u32);
+        self.iters = reps;
+    }
+}
+
+fn human(d: Duration) -> String {
+    let ns = d.as_nanos();
+    if ns < 1_000 {
+        format!("{ns} ns")
+    } else if ns < 1_000_000 {
+        format!("{:.2} µs", ns as f64 / 1e3)
+    } else if ns < 1_000_000_000 {
+        format!("{:.2} ms", ns as f64 / 1e6)
+    } else {
+        format!("{:.2} s", ns as f64 / 1e9)
+    }
+}
+
+fn report(group: &str, name: &str, mean: Duration, throughput: Option<Throughput>) {
+    let qualified = if group.is_empty() {
+        name.to_owned()
+    } else {
+        format!("{group}/{name}")
+    };
+    let rate = match throughput {
+        Some(Throughput::Bytes(b)) if mean > Duration::ZERO => {
+            let per_sec = b as f64 / mean.as_secs_f64();
+            format!("  {:.1} MiB/s", per_sec / (1024.0 * 1024.0))
+        }
+        Some(Throughput::Elements(e)) if mean > Duration::ZERO => {
+            format!("  {:.0} elem/s", e as f64 / mean.as_secs_f64())
+        }
+        _ => String::new(),
+    };
+    println!("{qualified:<50} time: {:>12}{rate}", human(mean));
+}
+
+/// A named group of benchmarks sharing throughput/sample settings.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the sample count (accepted for API compatibility, ignored).
+    pub fn sample_size(&mut self, _n: usize) -> &mut Self {
+        self
+    }
+
+    /// Sets the measurement time (accepted, ignored).
+    pub fn measurement_time(&mut self, _d: Duration) -> &mut Self {
+        self
+    }
+
+    /// Declares per-iteration throughput for rate reporting.
+    pub fn throughput(&mut self, t: Throughput) -> &mut Self {
+        self.throughput = Some(t);
+        self
+    }
+
+    /// Runs one benchmark in the group.
+    pub fn bench_function<F>(&mut self, id: impl std::fmt::Display, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut bencher = Bencher::new();
+        f(&mut bencher);
+        report(&self.name, &id.to_string(), bencher.mean, self.throughput);
+        self.criterion
+            .results
+            .push((format!("{}/{id}", self.name), bencher.mean));
+        self
+    }
+
+    /// Ends the group (no-op; output is incremental).
+    pub fn finish(&mut self) {}
+}
+
+/// The benchmark harness entry point.
+#[derive(Default)]
+pub struct Criterion {
+    /// `(qualified name, mean)` for every benchmark run.
+    pub results: Vec<(String, Duration)>,
+}
+
+impl Criterion {
+    /// Opens a named group.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.into(),
+            throughput: None,
+            criterion: self,
+        }
+    }
+
+    /// Runs an ungrouped benchmark.
+    pub fn bench_function<F>(&mut self, id: impl std::fmt::Display, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut bencher = Bencher::new();
+        f(&mut bencher);
+        report("", &id.to_string(), bencher.mean, None);
+        self.results.push((id.to_string(), bencher.mean));
+        self
+    }
+}
+
+/// Collects benchmark functions into a runnable group.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Emits `main` running the listed groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+/// Re-export mirroring criterion's `black_box`.
+pub use std::hint::black_box;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bencher_measures_something() {
+        std::env::set_var("KQ_BENCH_QUICK", "1");
+        let mut c = Criterion::default();
+        let mut group = c.benchmark_group("g");
+        group.throughput(Throughput::Bytes(1024));
+        group.bench_function("noop", |b| b.iter(|| 1 + 1));
+        group.finish();
+        assert_eq!(c.results.len(), 1);
+    }
+}

@@ -1,0 +1,219 @@
+//! Minimal API-compatible stand-in for the parts of `crossbeam` the
+//! workspace uses: `channel::{bounded, unbounded}` MPMC channels with
+//! clonable senders *and receivers*, blocking `send`, and a blocking
+//! receiver iterator that terminates when every sender is gone.
+//!
+//! The implementation is a `Mutex<VecDeque>` with two condvars — not
+//! lock-free like the real crossbeam, but the executors move chunk
+//! *handles* (refcounted byte slices) through the channel, so channel
+//! throughput is nowhere near the bottleneck.
+
+/// MPMC channels (`crossbeam::channel` subset).
+pub mod channel {
+    use std::collections::VecDeque;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+    use std::sync::{Arc, Condvar, Mutex};
+
+    struct Inner<T> {
+        queue: Mutex<VecDeque<T>>,
+        not_empty: Condvar,
+        not_full: Condvar,
+        capacity: Option<usize>,
+        senders: AtomicUsize,
+        receivers: AtomicUsize,
+    }
+
+    /// Error returned by [`Sender::send`] when every receiver is gone.
+    #[derive(Debug, PartialEq, Eq)]
+    pub struct SendError<T>(pub T);
+
+    /// The sending half. Clonable.
+    pub struct Sender<T> {
+        inner: Arc<Inner<T>>,
+    }
+
+    /// The receiving half. Clonable (MPMC: each value goes to one receiver).
+    pub struct Receiver<T> {
+        inner: Arc<Inner<T>>,
+    }
+
+    impl<T> Clone for Sender<T> {
+        fn clone(&self) -> Self {
+            self.inner.senders.fetch_add(1, Ordering::SeqCst);
+            Sender {
+                inner: self.inner.clone(),
+            }
+        }
+    }
+
+    impl<T> Clone for Receiver<T> {
+        fn clone(&self) -> Self {
+            self.inner.receivers.fetch_add(1, Ordering::SeqCst);
+            Receiver {
+                inner: self.inner.clone(),
+            }
+        }
+    }
+
+    impl<T> Drop for Sender<T> {
+        fn drop(&mut self) {
+            if self.inner.senders.fetch_sub(1, Ordering::SeqCst) == 1 {
+                // Last sender: wake blocked receivers so iterators finish.
+                // The notify must happen while holding the queue mutex:
+                // without it, a receiver that has checked `senders` but not
+                // yet parked in `wait` would miss this wakeup and block
+                // forever. Holding the lock serializes with that window
+                // (the receiver is either pre-check, and will observe the
+                // decremented counter, or already parked, and will be
+                // woken).
+                let _guard = self.inner.queue.lock().unwrap_or_else(|e| e.into_inner());
+                self.inner.not_empty.notify_all();
+            }
+        }
+    }
+
+    impl<T> Drop for Receiver<T> {
+        fn drop(&mut self) {
+            if self.inner.receivers.fetch_sub(1, Ordering::SeqCst) == 1 {
+                // Last receiver: wake blocked senders so they can error
+                // out. Same lock-before-notify requirement as above.
+                let _guard = self.inner.queue.lock().unwrap_or_else(|e| e.into_inner());
+                self.inner.not_full.notify_all();
+            }
+        }
+    }
+
+    impl<T> Sender<T> {
+        /// Blocks until the value is enqueued; errors when every receiver
+        /// has been dropped.
+        pub fn send(&self, value: T) -> Result<(), SendError<T>> {
+            let mut queue = self.inner.queue.lock().expect("channel poisoned");
+            loop {
+                if self.inner.receivers.load(Ordering::SeqCst) == 0 {
+                    return Err(SendError(value));
+                }
+                match self.inner.capacity {
+                    Some(cap) if queue.len() >= cap => {
+                        queue = self.inner.not_full.wait(queue).expect("channel poisoned");
+                    }
+                    _ => break,
+                }
+            }
+            queue.push_back(value);
+            drop(queue);
+            self.inner.not_empty.notify_one();
+            Ok(())
+        }
+    }
+
+    impl<T> Receiver<T> {
+        /// Blocks for the next value; `None` when the channel is empty and
+        /// every sender has been dropped.
+        pub fn recv(&self) -> Option<T> {
+            let mut queue = self.inner.queue.lock().expect("channel poisoned");
+            loop {
+                if let Some(v) = queue.pop_front() {
+                    drop(queue);
+                    self.inner.not_full.notify_one();
+                    return Some(v);
+                }
+                if self.inner.senders.load(Ordering::SeqCst) == 0 {
+                    return None;
+                }
+                queue = self.inner.not_empty.wait(queue).expect("channel poisoned");
+            }
+        }
+
+        /// A blocking iterator over received values; ends at disconnect.
+        pub fn iter(&self) -> Iter<'_, T> {
+            Iter { receiver: self }
+        }
+    }
+
+    /// Iterator returned by [`Receiver::iter`].
+    pub struct Iter<'a, T> {
+        receiver: &'a Receiver<T>,
+    }
+
+    impl<T> Iterator for Iter<'_, T> {
+        type Item = T;
+
+        fn next(&mut self) -> Option<T> {
+            self.receiver.recv()
+        }
+    }
+
+    fn with_capacity<T>(capacity: Option<usize>) -> (Sender<T>, Receiver<T>) {
+        let inner = Arc::new(Inner {
+            queue: Mutex::new(VecDeque::new()),
+            not_empty: Condvar::new(),
+            not_full: Condvar::new(),
+            capacity,
+            senders: AtomicUsize::new(1),
+            receivers: AtomicUsize::new(1),
+        });
+        (
+            Sender {
+                inner: inner.clone(),
+            },
+            Receiver { inner },
+        )
+    }
+
+    /// A channel that holds at most `cap` in-flight values.
+    pub fn bounded<T>(cap: usize) -> (Sender<T>, Receiver<T>) {
+        with_capacity(Some(cap.max(1)))
+    }
+
+    /// A channel with no capacity bound.
+    pub fn unbounded<T>() -> (Sender<T>, Receiver<T>) {
+        with_capacity(None)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::channel;
+
+    #[test]
+    fn fan_out_fan_in() {
+        let (tx, rx) = channel::bounded::<usize>(2);
+        let (otx, orx) = channel::unbounded::<usize>();
+        std::thread::scope(|scope| {
+            for _ in 0..3 {
+                let rx = rx.clone();
+                let otx = otx.clone();
+                scope.spawn(move || {
+                    for v in rx.iter() {
+                        otx.send(v * 2).unwrap();
+                    }
+                });
+            }
+            drop(rx);
+            drop(otx);
+            for i in 0..100 {
+                tx.send(i).unwrap();
+            }
+            drop(tx);
+            let mut got: Vec<usize> = orx.iter().collect();
+            got.sort_unstable();
+            assert_eq!(got, (0..100).map(|i| i * 2).collect::<Vec<_>>());
+        });
+    }
+
+    #[test]
+    fn send_fails_without_receivers() {
+        let (tx, rx) = channel::unbounded::<u8>();
+        drop(rx);
+        assert!(tx.send(1).is_err());
+    }
+
+    #[test]
+    fn iter_ends_on_disconnect() {
+        let (tx, rx) = channel::unbounded::<u8>();
+        tx.send(1).unwrap();
+        tx.send(2).unwrap();
+        drop(tx);
+        assert_eq!(rx.iter().collect::<Vec<_>>(), vec![1, 2]);
+    }
+}

@@ -1,0 +1,47 @@
+//! Minimal API-compatible stand-in for `proptest`.
+//!
+//! The build environment has no crates.io access, so this crate implements
+//! the subset of proptest the workspace's property tests use:
+//!
+//! * the [`Strategy`] trait with `prop_map`, `prop_recursive`, and `boxed`;
+//! * strategies for numeric ranges, tuples, [`Just`], `prop_oneof!`,
+//!   `collection::vec`, and `&str` regex-lite patterns of the form
+//!   `"[class]{m,n}"`;
+//! * the [`proptest!`] macro plus `prop_assert!`, `prop_assert_eq!`,
+//!   and `prop_assume!`.
+//!
+//! Shrinking is not implemented: a failing case panics with the generated
+//! inputs in the message (the tests embed them via format strings), which
+//! is enough to reproduce deterministically — generation is seeded per
+//! test from a fixed constant, so failures replay exactly.
+
+pub mod strategy;
+pub mod test_runner;
+
+/// Strategies over collections.
+pub mod collection {
+    use crate::strategy::{Strategy, VecStrategy};
+
+    /// A vector whose length is drawn from `len` and whose elements come
+    /// from `element`.
+    pub fn vec<S: Strategy>(element: S, len: std::ops::Range<usize>) -> VecStrategy<S> {
+        VecStrategy { element, len }
+    }
+}
+
+/// The glob import used by the tests: `use proptest::prelude::*`.
+pub mod prelude {
+    pub use crate::strategy::{BoxedStrategy, Just, Strategy};
+    pub use crate::test_runner::TestCaseError;
+    pub use crate::{
+        prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, prop_oneof, proptest,
+    };
+}
+
+/// Number of cases per property, overridable with `PROPTEST_CASES`.
+pub fn cases() -> usize {
+    std::env::var("PROPTEST_CASES")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(48)
+}

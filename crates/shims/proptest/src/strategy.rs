@@ -1,0 +1,434 @@
+//! Value-generation strategies (the `proptest::strategy` subset).
+
+use crate::test_runner::TestRng;
+use std::rc::Rc;
+
+/// A generator of values for property tests.
+///
+/// Unlike real proptest there is no shrinking: `sample` draws one value.
+pub trait Strategy {
+    /// The type of generated values.
+    type Value;
+
+    /// Draws one value.
+    fn sample(&self, rng: &mut TestRng) -> Self::Value;
+
+    /// Maps generated values through `f`.
+    fn prop_map<O, F>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+        F: Fn(Self::Value) -> O,
+    {
+        Map { inner: self, f }
+    }
+
+    /// Maps each generated value to a *strategy* and samples from it.
+    fn prop_flat_map<S2, F>(self, f: F) -> FlatMap<Self, F>
+    where
+        Self: Sized,
+        S2: Strategy,
+        F: Fn(Self::Value) -> S2,
+    {
+        FlatMap { inner: self, f }
+    }
+
+    /// Builds recursive values: `f` receives a strategy for the current
+    /// level and returns the next level; levels are stacked `depth` times
+    /// with a coin flip between recursing and bottoming out at the leaf.
+    /// `desired_size` and `expected_branch_size` are accepted for API
+    /// compatibility and ignored.
+    fn prop_recursive<S, F>(
+        self,
+        depth: u32,
+        _desired_size: u32,
+        _expected_branch_size: u32,
+        f: F,
+    ) -> BoxedStrategy<Self::Value>
+    where
+        Self: Sized + 'static,
+        Self::Value: 'static,
+        S: Strategy<Value = Self::Value> + 'static,
+        F: Fn(BoxedStrategy<Self::Value>) -> S,
+    {
+        let leaf = self.boxed();
+        let mut level = leaf.clone();
+        for _ in 0..depth {
+            let deeper = f(level).boxed();
+            let base = leaf.clone();
+            level = BoxedStrategy::new(move |rng: &mut TestRng| {
+                if rng.next_u64() & 1 == 0 {
+                    base.sample(rng)
+                } else {
+                    deeper.sample(rng)
+                }
+            });
+        }
+        level
+    }
+
+    /// Type-erases the strategy.
+    fn boxed(self) -> BoxedStrategy<Self::Value>
+    where
+        Self: Sized + 'static,
+    {
+        let inner = self;
+        BoxedStrategy::new(move |rng: &mut TestRng| inner.sample(rng))
+    }
+}
+
+/// Strategies behind shared references sample like their referent.
+impl<S: Strategy + ?Sized> Strategy for &S {
+    type Value = S::Value;
+
+    fn sample(&self, rng: &mut TestRng) -> S::Value {
+        (**self).sample(rng)
+    }
+}
+
+/// A type-erased, clonable strategy.
+pub struct BoxedStrategy<T> {
+    sampler: Rc<dyn Fn(&mut TestRng) -> T>,
+}
+
+impl<T> Clone for BoxedStrategy<T> {
+    fn clone(&self) -> Self {
+        BoxedStrategy {
+            sampler: self.sampler.clone(),
+        }
+    }
+}
+
+impl<T> BoxedStrategy<T> {
+    /// Wraps a sampling closure.
+    pub fn new(f: impl Fn(&mut TestRng) -> T + 'static) -> BoxedStrategy<T> {
+        BoxedStrategy {
+            sampler: Rc::new(f),
+        }
+    }
+}
+
+impl<T> Strategy for BoxedStrategy<T> {
+    type Value = T;
+
+    fn sample(&self, rng: &mut TestRng) -> T {
+        (self.sampler)(rng)
+    }
+}
+
+/// Always yields a clone of the wrapped value.
+#[derive(Debug, Clone)]
+pub struct Just<T: Clone>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+
+    fn sample(&self, _rng: &mut TestRng) -> T {
+        self.0.clone()
+    }
+}
+
+/// `prop_map` adapter.
+pub struct Map<S, F> {
+    pub(crate) inner: S,
+    pub(crate) f: F,
+}
+
+impl<S: Strategy, O, F: Fn(S::Value) -> O> Strategy for Map<S, F> {
+    type Value = O;
+
+    fn sample(&self, rng: &mut TestRng) -> O {
+        (self.f)(self.inner.sample(rng))
+    }
+}
+
+/// `prop_flat_map` adapter.
+pub struct FlatMap<S, F> {
+    pub(crate) inner: S,
+    pub(crate) f: F,
+}
+
+impl<S: Strategy, S2: Strategy, F: Fn(S::Value) -> S2> Strategy for FlatMap<S, F> {
+    type Value = S2::Value;
+
+    fn sample(&self, rng: &mut TestRng) -> S2::Value {
+        (self.f)(self.inner.sample(rng)).sample(rng)
+    }
+}
+
+/// Uniform choice between equally typed strategies (`prop_oneof!`).
+pub struct Union<T> {
+    options: Vec<BoxedStrategy<T>>,
+}
+
+impl<T> Union<T> {
+    /// A union over the given options (must be non-empty).
+    pub fn new(options: Vec<BoxedStrategy<T>>) -> Union<T> {
+        assert!(!options.is_empty(), "prop_oneof! needs at least one option");
+        Union { options }
+    }
+}
+
+impl<T> Strategy for Union<T> {
+    type Value = T;
+
+    fn sample(&self, rng: &mut TestRng) -> T {
+        let idx = rng.below(self.options.len());
+        self.options[idx].sample(rng)
+    }
+}
+
+/// Uniform choice between strategies of one value type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($option:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(vec![
+            $($crate::strategy::Strategy::boxed($option)),+
+        ])
+    };
+}
+
+macro_rules! impl_numeric_range {
+    ($($t:ty),*) => {$(
+        impl Strategy for std::ops::Range<$t> {
+            type Value = $t;
+
+            fn sample(&self, rng: &mut TestRng) -> $t {
+                assert!(self.start < self.end, "empty range strategy");
+                let span = (self.end as i128 - self.start as i128) as u128;
+                (self.start as i128 + (rng.next_u64() as u128 % span) as i128) as $t
+            }
+        }
+        impl Strategy for std::ops::RangeInclusive<$t> {
+            type Value = $t;
+
+            fn sample(&self, rng: &mut TestRng) -> $t {
+                let (lo, hi) = (*self.start(), *self.end());
+                assert!(lo <= hi, "empty range strategy");
+                let span = (hi as i128 - lo as i128) as u128 + 1;
+                (lo as i128 + (rng.next_u64() as u128 % span) as i128) as $t
+            }
+        }
+    )*};
+}
+
+impl_numeric_range!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+macro_rules! impl_tuple_strategy {
+    ($($name:ident),+) => {
+        impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+            type Value = ($($name::Value,)+);
+
+            #[allow(non_snake_case)]
+            fn sample(&self, rng: &mut TestRng) -> Self::Value {
+                let ($($name,)+) = self;
+                ($($name.sample(rng),)+)
+            }
+        }
+    };
+}
+
+impl_tuple_strategy!(A);
+impl_tuple_strategy!(A, B);
+impl_tuple_strategy!(A, B, C);
+impl_tuple_strategy!(A, B, C, D);
+impl_tuple_strategy!(A, B, C, D, E);
+
+/// Strategy returned by [`crate::collection::vec`].
+pub struct VecStrategy<S> {
+    pub(crate) element: S,
+    pub(crate) len: std::ops::Range<usize>,
+}
+
+impl<S: Strategy> Strategy for VecStrategy<S> {
+    type Value = Vec<S::Value>;
+
+    fn sample(&self, rng: &mut TestRng) -> Vec<S::Value> {
+        let n = self.len.clone().sample(rng);
+        (0..n).map(|_| self.element.sample(rng)).collect()
+    }
+}
+
+/// `&str` regex-lite patterns: a sequence of atoms, each an optional
+/// `{m,n}`-repeated character class (`[a-z0-9 ,]`, with `x-y` ranges and
+/// `\n`/`\t`/`\\` escapes), a `.` (printable ASCII), or a literal
+/// character. This covers every pattern the workspace's tests use;
+/// anything else panics loudly.
+impl Strategy for str {
+    type Value = String;
+
+    fn sample(&self, rng: &mut TestRng) -> String {
+        let atoms = parse_pattern(self)
+            .unwrap_or_else(|| panic!("unsupported test pattern {self:?} (shim supports class/dot/literal atoms with {{m,n}})"));
+        let mut out = String::new();
+        for atom in &atoms {
+            let n = atom.lo + rng.below(atom.hi - atom.lo + 1);
+            for _ in 0..n {
+                out.push(atom.chars[rng.below(atom.chars.len())]);
+            }
+        }
+        out
+    }
+}
+
+struct Atom {
+    chars: Vec<char>,
+    lo: usize,
+    hi: usize,
+}
+
+fn parse_class(class: &[char]) -> Option<Vec<char>> {
+    let mut chars = Vec::new();
+    let mut i = 0;
+    while i < class.len() {
+        let c = match class[i] {
+            '\\' => {
+                i += 1;
+                match class.get(i)? {
+                    'n' => '\n',
+                    't' => '\t',
+                    'r' => '\r',
+                    other => *other,
+                }
+            }
+            other => other,
+        };
+        // `a-z` range (a trailing `-` is a literal).
+        if class.get(i + 1) == Some(&'-') && i + 2 < class.len() {
+            let end = class[i + 2];
+            for v in c as u32..=end as u32 {
+                chars.push(char::from_u32(v)?);
+            }
+            i += 3;
+        } else {
+            chars.push(c);
+            i += 1;
+        }
+    }
+    if chars.is_empty() {
+        None
+    } else {
+        Some(chars)
+    }
+}
+
+fn parse_reps(chars: &[char], i: &mut usize) -> Option<(usize, usize)> {
+    if chars.get(*i) != Some(&'{') {
+        return Some((1, 1));
+    }
+    let close = chars[*i..].iter().position(|&c| c == '}')? + *i;
+    let body: String = chars[*i + 1..close].iter().collect();
+    *i = close + 1;
+    match body.split_once(',') {
+        Some((lo, hi)) => Some((lo.trim().parse().ok()?, hi.trim().parse().ok()?)),
+        None => {
+            let n: usize = body.trim().parse().ok()?;
+            Some((n, n))
+        }
+    }
+}
+
+fn parse_pattern(pattern: &str) -> Option<Vec<Atom>> {
+    let chars: Vec<char> = pattern.chars().collect();
+    let mut atoms = Vec::new();
+    let mut i = 0;
+    while i < chars.len() {
+        let set = match chars[i] {
+            '[' => {
+                let close = chars[i..].iter().position(|&c| c == ']')? + i;
+                let set = parse_class(&chars[i + 1..close])?;
+                i = close + 1;
+                set
+            }
+            '.' => {
+                i += 1;
+                (' '..='~').collect()
+            }
+            '\\' => {
+                i += 1;
+                let c = match chars.get(i)? {
+                    'n' => '\n',
+                    't' => '\t',
+                    'r' => '\r',
+                    other => *other,
+                };
+                i += 1;
+                vec![c]
+            }
+            other => {
+                i += 1;
+                vec![other]
+            }
+        };
+        let (lo, hi) = parse_reps(&chars, &mut i)?;
+        if lo > hi {
+            return None;
+        }
+        atoms.push(Atom { chars: set, lo, hi });
+    }
+    Some(atoms)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pattern_parsing() {
+        let atoms = parse_pattern("[a-c,\\n]{0,4}").unwrap();
+        assert_eq!(atoms.len(), 1);
+        assert_eq!(atoms[0].chars, vec!['a', 'b', 'c', ',', '\n']);
+        assert_eq!((atoms[0].lo, atoms[0].hi), (0, 4));
+        let atoms = parse_pattern("[ -~]{1,2}").unwrap();
+        assert_eq!(atoms[0].chars.len(), 95); // printable ASCII
+                                              // Class + literal suffix, and a bare dot atom.
+        let atoms = parse_pattern("[a-z]{1,3}\n").unwrap();
+        assert_eq!(atoms.len(), 2);
+        assert_eq!(atoms[1].chars, vec!['\n']);
+        let atoms = parse_pattern(".{0,4}").unwrap();
+        assert!(atoms[0].chars.contains(&'x'));
+        // Plain literals are a sequence of single-char atoms.
+        let atoms = parse_pattern("ab").unwrap();
+        assert_eq!(atoms.len(), 2);
+    }
+
+    #[test]
+    fn string_strategy_respects_bounds() {
+        let mut rng = TestRng::new();
+        for _ in 0..200 {
+            let s = "[a-z]{2,5}".sample(&mut rng);
+            assert!((2..=5).contains(&s.chars().count()), "{s:?}");
+            assert!(s.chars().all(|c| c.is_ascii_lowercase()));
+        }
+    }
+
+    #[test]
+    fn union_and_map() {
+        let mut rng = TestRng::new();
+        let s = prop_oneof![Just(1u8), Just(2u8)].prop_map(|v| v * 10);
+        for _ in 0..50 {
+            let v = s.sample(&mut rng);
+            assert!(v == 10 || v == 20);
+        }
+    }
+
+    #[test]
+    fn recursive_bottoms_out() {
+        #[derive(Debug, Clone)]
+        enum Tree {
+            Leaf,
+            Node(Box<Tree>),
+        }
+        fn depth(t: &Tree) -> usize {
+            match t {
+                Tree::Leaf => 0,
+                Tree::Node(c) => 1 + depth(c),
+            }
+        }
+        let strat = Just(Tree::Leaf)
+            .prop_recursive(3, 8, 1, |inner| inner.prop_map(|c| Tree::Node(Box::new(c))));
+        let mut rng = TestRng::new();
+        for _ in 0..100 {
+            assert!(depth(&strat.sample(&mut rng)) <= 3);
+        }
+    }
+}

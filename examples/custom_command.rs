@@ -10,10 +10,9 @@
 //! cargo run --release --example custom_command
 //! ```
 
-use kumquat::coreutils::{CmdError, Command, ExecContext, UnixCommand};
+use kumquat::coreutils::{Bytes, CmdError, Command, ExecContext, UnixCommand};
 use kumquat::dsl::eval::CommandEnv;
 use kumquat::synth::{synthesize, SynthesisConfig};
-use kumquat::stream::split_stream;
 
 /// `csvtotal` — a made-up domain command: each input line is `label,value`;
 /// the output annotates each line with the running total of `value`.
@@ -29,7 +28,12 @@ impl UnixCommand for CsvTotal {
         "csvtotal".to_owned()
     }
 
-    fn run(&self, input: &str, _ctx: &ExecContext) -> Result<String, CmdError> {
+    fn run(&self, input: Bytes, _ctx: &ExecContext) -> Result<Bytes, CmdError> {
+        // `input` is a refcounted slice of the pipeline's shared buffer;
+        // viewing it as text borrows in place.
+        let input = input
+            .to_str()
+            .map_err(|_| CmdError::new("csvtotal", "input is not valid UTF-8"))?;
         let mut total: i64 = 0;
         let mut out = String::with_capacity(input.len());
         for line in input.lines() {
@@ -41,7 +45,7 @@ impl UnixCommand for CsvTotal {
             total += value;
             out.push_str(&format!("{total},{line}\n"));
         }
-        Ok(out)
+        Ok(Bytes::from(out))
     }
 }
 
@@ -69,11 +73,14 @@ fn main() {
 
             // Use it: split a fresh input, run the command per piece in
             // parallel fashion, combine, and verify against serial.
-            let input: String = (0..12)
+            let input: Bytes = (0..12)
                 .map(|i| format!("item{},{}\n", i, (i * 7) % 20))
-                .collect::<String>();
-            let serial = command.run(&input, &ctx).unwrap();
-            let pieces: Vec<String> = split_stream(&input, 4)
+                .collect::<String>()
+                .into();
+            let serial = command.run(input.clone(), &ctx).unwrap();
+            // Splitting is zero-copy: each piece is a refcounted slice.
+            let pieces: Vec<Bytes> = input
+                .split_stream(4)
                 .into_iter()
                 .map(|p| command.run(p, &ctx).unwrap())
                 .collect();
@@ -84,7 +91,7 @@ fn main() {
             let combined = c.combine_all(&pieces, &env).unwrap();
             assert_eq!(combined, serial, "combiner must reproduce serial output");
             println!("\n4-way parallel output verified against serial:");
-            for line in combined.lines().take(6) {
+            for line in combined.as_str().lines().take(6) {
                 println!("  {line}");
             }
         }

@@ -46,6 +46,9 @@ fn main() {
             t8.wall,
             u1.wall.as_secs_f64() / t8.wall.as_secs_f64(),
         );
-        println!("   sample output: {:?}", serial.output.lines().next().unwrap_or(""));
+        println!(
+            "   sample output: {:?}",
+            serial.output.as_str().lines().next().unwrap_or("")
+        );
     }
 }

@@ -8,7 +8,9 @@ use kq_synth::SynthesisConfig;
 use kq_workloads::{corpus, setup, Scale};
 
 fn main() {
-    let scale = Scale { input_bytes: 1024 * 1024 };
+    let scale = Scale {
+        input_bytes: 1024 * 1024,
+    };
     let mut planner = Planner::new(SynthesisConfig::default());
     let mut bad = 0;
     for script in corpus() {
@@ -16,14 +18,21 @@ fn main() {
         let env = setup(script, &ctx, &scale, 0xBE7C);
         let parsed = parse_script(script.text, &env).unwrap();
         let sample = ctx.vfs.read(&env["IN"]).unwrap();
-        let cut = sample[..sample.len().min(48_000)].rfind('\n').map(|i| i + 1).unwrap_or(0);
+        let cut = sample[..sample.len().min(48_000)]
+            .rfind('\n')
+            .map(|i| i + 1)
+            .unwrap_or(0);
         let plan = planner.plan(&parsed, &ctx, &sample[..cut]);
         let serial = run_serial(&parsed, &ctx).unwrap();
         for w in [4usize, 16] {
             for honor in [false, true] {
                 let par = run_parallel_measured(&parsed, &plan, &ctx, w, honor).unwrap();
                 if par.output != serial.output {
-                    println!("DIVERGE {}/{} w={w} honor={honor}", script.suite.dir(), script.id);
+                    println!(
+                        "DIVERGE {}/{} w={w} honor={honor}",
+                        script.suite.dir(),
+                        script.id
+                    );
                     bad += 1;
                 }
             }

@@ -5,8 +5,8 @@
 //! cargo run --release --example quickstart
 //! ```
 
-use kumquat::Kumquat;
 use kq_workloads::inputs::gutenberg_text;
+use kumquat::Kumquat;
 
 fn main() {
     let mut kq = Kumquat::new();
@@ -19,7 +19,13 @@ fn main() {
     println!("pipeline: {script}\n");
 
     // Synthesize a combiner for each stage, as KumQuat does internally.
-    for stage in ["tr -cs A-Za-z '\\n'", "tr A-Z a-z", "sort", "uniq -c", "sort -rn"] {
+    for stage in [
+        "tr -cs A-Za-z '\\n'",
+        "tr A-Z a-z",
+        "sort",
+        "uniq -c",
+        "sort -rn",
+    ] {
         let report = kq.synthesize_command(stage).expect("command parses");
         let verdict = match report.combiner() {
             Some(c) => format!("combiner {}", c.primary()),
@@ -37,7 +43,10 @@ fn main() {
     // serial run internally.
     let run = kq.parallelize_and_run(script, 8).expect("pipeline runs");
     let (k, n) = run.parallelized;
-    println!("\nparallelized {k}/{n} stages, {} combiner(s) eliminated", run.eliminated);
+    println!(
+        "\nparallelized {k}/{n} stages, {} combiner(s) eliminated",
+        run.eliminated
+    );
     println!("top five words:");
     for line in run.output.lines().take(5) {
         println!("  {line}");

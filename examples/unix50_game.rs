@@ -13,7 +13,9 @@ use kq_synth::SynthesisConfig;
 use kq_workloads::{corpus, setup, Scale, Suite};
 
 fn main() {
-    let picks = ["4.sh", "7.sh", "10.sh", "12.sh", "17.sh", "21.sh", "34.sh", "36.sh"];
+    let picks = [
+        "4.sh", "7.sh", "10.sh", "12.sh", "17.sh", "21.sh", "34.sh", "36.sh",
+    ];
     let scale = Scale {
         input_bytes: 128 * 1024,
     };
@@ -37,7 +39,7 @@ fn main() {
         assert_eq!(serial.output, par.output, "{} diverged", script.id);
 
         let (k, n) = plan.parallelized_counts();
-        let first = serial.output.lines().next().unwrap_or("<empty>");
+        let first = serial.output.as_str().lines().next().unwrap_or("<empty>");
         println!(
             "{:6} {:38} {k}/{n} parallel, answer: {first:?}",
             script.id, script.name

@@ -31,10 +31,17 @@ fn main() {
     let plan = planner.plan(&script, &ctx, &input[..cut]);
 
     println!("stage plan for wf.sh:");
-    for (stage, planned) in script.statements[0].stages.iter().zip(&plan.statements[0].stages) {
+    for (stage, planned) in script.statements[0]
+        .stages
+        .iter()
+        .zip(&plan.statements[0].stages)
+    {
         let mode = match &planned.mode {
             StageMode::Sequential => "sequential".to_owned(),
-            StageMode::Parallel { combiner, eliminated } => {
+            StageMode::Parallel {
+                combiner,
+                eliminated,
+            } => {
                 let extra = if *eliminated { ", eliminated" } else { "" };
                 format!("parallel (combiner {}{extra})", combiner.primary())
             }
@@ -48,7 +55,10 @@ fn main() {
     let u1 = staged_time(&serial.timings, &params1);
     let torig = pipelined_time(&serial.timings, &params1);
     println!("\nvirtual times (measured pieces on simulated workers):");
-    println!("  T_orig (pipelined shell): {:>9.1?}   u_1 (staged serial): {:>9.1?}", torig.wall, u1.wall);
+    println!(
+        "  T_orig (pipelined shell): {:>9.1?}   u_1 (staged serial): {:>9.1?}",
+        torig.wall, u1.wall
+    );
 
     println!("\n  w   unoptimized u_w    speedup   optimized T_w    speedup");
     for w in [1usize, 2, 4, 8, 16] {

@@ -9,14 +9,16 @@
 use kq_coreutils::ExecContext;
 use kq_pipeline::chunked::{run_chunked, ChunkedOptions};
 use kq_pipeline::exec::run_serial;
-use kq_pipeline::plan::{Planner, StageSegment};
 use kq_pipeline::parse::parse_script;
+use kq_pipeline::plan::{Planner, StageSegment};
 use kq_synth::SynthesisConfig;
 use kq_workloads::{corpus, setup, Scale};
 
 #[test]
 fn all_seventy_scripts_run_chunked_correctly() {
-    let scale = Scale { input_bytes: 24_000 };
+    let scale = Scale {
+        input_bytes: 24_000,
+    };
     let mut planner = Planner::new(SynthesisConfig::default());
     for script in corpus() {
         let ctx = ExecContext::default();
@@ -42,7 +44,8 @@ fn all_seventy_scripts_run_chunked_correctly() {
         let chunked = run_chunked(&parsed, &plan, &ctx, &opts)
             .unwrap_or_else(|e| panic!("{}/{} chunked: {e}", script.suite.dir(), script.id));
         assert_eq!(
-            chunked.output, serial.output,
+            chunked.output,
+            serial.output,
             "{}/{} diverged under the chunked executor",
             script.suite.dir(),
             script.id

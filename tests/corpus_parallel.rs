@@ -14,7 +14,9 @@ use kq_workloads::{corpus, setup, Scale};
 
 #[test]
 fn all_seventy_scripts_parallelize_correctly() {
-    let scale = Scale { input_bytes: 24_000 };
+    let scale = Scale {
+        input_bytes: 24_000,
+    };
     let mut planner = Planner::new(SynthesisConfig::default());
     let mut parallelized_total = 0usize;
     let mut stage_total = 0usize;
@@ -37,7 +39,8 @@ fn all_seventy_scripts_parallelize_correctly() {
         let threaded = run_parallel(&parsed, &plan, &ctx, 3, true)
             .unwrap_or_else(|e| panic!("{}/{} threaded: {e}", script.suite.dir(), script.id));
         assert_eq!(
-            threaded.output, serial.output,
+            threaded.output,
+            serial.output,
             "{}/{} diverged (threads, w=3, optimized)",
             script.suite.dir(),
             script.id
@@ -47,7 +50,8 @@ fn all_seventy_scripts_parallelize_correctly() {
         let measured = run_parallel_measured(&parsed, &plan, &ctx, 5, false)
             .unwrap_or_else(|e| panic!("{}/{} measured: {e}", script.suite.dir(), script.id));
         assert_eq!(
-            measured.output, serial.output,
+            measured.output,
+            serial.output,
             "{}/{} diverged (measured, w=5, unoptimized)",
             script.suite.dir(),
             script.id
@@ -69,7 +73,9 @@ fn all_seventy_scripts_parallelize_correctly() {
 fn worker_count_does_not_change_output() {
     // Deeper sweep on a boundary-sensitive pipeline (uniq -c merges across
     // splits at every worker count).
-    let scale = Scale { input_bytes: 30_000 };
+    let scale = Scale {
+        input_bytes: 30_000,
+    };
     let script = corpus().iter().find(|s| s.id == "wf.sh").unwrap();
     let ctx = ExecContext::default();
     let env = setup(script, &ctx, &scale, 11);
@@ -88,7 +94,9 @@ fn worker_count_does_not_change_output() {
 fn different_seeds_still_verify() {
     // The corpus generators are seeded; correctness must not depend on a
     // lucky seed.
-    let scale = Scale { input_bytes: 12_000 };
+    let scale = Scale {
+        input_bytes: 12_000,
+    };
     let mut planner = Planner::new(SynthesisConfig::default());
     let script = corpus()
         .iter()

@@ -12,7 +12,17 @@ use rand::{Rng, SeedableRng};
 /// Random newline-terminated stream whose lines come from a small pool
 /// (so duplicates hit the uniq/stitch paths) mixed with fresh noise.
 fn random_stream(rng: &mut SmallRng, max_lines: usize) -> String {
-    const POOL: [&str; 9] = ["alpha", "beta", "beta beta", "42", "9 lives", "", "zz top", "0", "mid dle"];
+    const POOL: [&str; 9] = [
+        "alpha",
+        "beta",
+        "beta beta",
+        "42",
+        "9 lives",
+        "",
+        "zz top",
+        "0",
+        "mid dle",
+    ];
     let n = rng.gen_range(1..=max_lines);
     let mut out = String::new();
     for _ in 0..n {
@@ -57,9 +67,9 @@ fn check_dnc(cmd: &str, trials: usize, sorted: bool) {
             continue;
         };
         let (Ok(y1), Ok(y2), Ok(y12)) = (
-            command.run(x1, &ctx),
-            command.run(x2, &ctx),
-            command.run(&combined, &ctx),
+            command.run_str(x1, &ctx),
+            command.run_str(x2, &ctx),
+            command.run_str(&combined, &ctx),
         ) else {
             continue;
         };
@@ -67,13 +77,17 @@ fn check_dnc(cmd: &str, trials: usize, sorted: bool) {
             .combine2(&y1, &y2, &env)
             .unwrap_or_else(|e| panic!("{cmd}: combiner failed on {x1:?}/{x2:?}: {e}"));
         assert_eq!(
-            got, y12,
+            got,
+            y12,
             "{cmd}: D&C violated for x1={x1:?} x2={x2:?} (combiner {})",
             combiner.primary()
         );
         checked += 1;
     }
-    assert!(checked > trials / 2, "{cmd}: too few checked pairs ({checked})");
+    assert!(
+        checked > trials / 2,
+        "{cmd}: too few checked pairs ({checked})"
+    );
 }
 
 #[test]
@@ -143,15 +157,16 @@ fn dnc_generalizes_to_k_substreams() {
             ctx: &ctx,
         };
         for _ in 0..40 {
-            let combined = random_stream(&mut rng, 30);
+            let combined = kq_stream::Bytes::from(random_stream(&mut rng, 30));
             let k = rng.gen_range(2..=7);
-            let pieces = kq_stream::split_stream(&combined, k);
-            let outputs: Vec<String> = pieces
-                .iter()
+            // Zero-copy splitting: pieces are refcounted slices.
+            let outputs: Vec<kq_stream::Bytes> = combined
+                .split_stream(k)
+                .into_iter()
                 .map(|p| command.run(p, &ctx).unwrap())
                 .collect();
             let got = combiner.combine_all(&outputs, &env).unwrap();
-            let expect = command.run(&combined, &ctx).unwrap();
+            let expect = command.run(combined.clone(), &ctx).unwrap();
             assert_eq!(got, expect, "{cmd} at k={k} on {combined:?}");
         }
     }

@@ -95,7 +95,7 @@ fn check_emitted(tag: &str, pipeline: &str, input: &str, workers: usize) {
             String::from_utf8_lossy(&out.stderr),
             emitted.script
         );
-        let got = String::from_utf8_lossy(&out.stdout);
+        let got = String::from_utf8_lossy(&out.stdout).into_owned();
         assert_eq!(
             got, serial.output,
             "{tag} (opt={}): emitted-script output diverged from serial.\n--- script ---\n{}",

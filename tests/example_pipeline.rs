@@ -35,7 +35,10 @@ fn figure1_combiners_match_section2() {
     // "The combine operators for sort commands apply an appropriate merge
     // function, which may depend on the sort flag."
     let sort = kq.synthesize_command("sort -rn").unwrap();
-    assert_eq!(sort.combiner().unwrap().primary().to_string(), "(merge(-rn) a b)");
+    assert_eq!(
+        sort.combiner().unwrap().primary().to_string(),
+        "(merge(-rn) a b)"
+    );
     // "uniq -c ... combines the last and first lines to include the sum."
     let uniq = kq.synthesize_command("uniq -c").unwrap();
     assert!(uniq
@@ -80,7 +83,9 @@ fn divergence_detection_guards_outputs() {
     // the verification path itself.
     let mut kq = Kumquat::new();
     kq.write_file("/f", "3\n1\n2\n1\n");
-    let run = kq.parallelize_and_run("cat /f | sort -n | uniq", 3).unwrap();
+    let run = kq
+        .parallelize_and_run("cat /f | sort -n | uniq", 3)
+        .unwrap();
     assert_eq!(run.output, "1\n2\n3\n");
 }
 

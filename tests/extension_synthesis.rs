@@ -25,10 +25,7 @@ fn cat_n_synthesizes_offset_add() {
     let r = report("cat -n");
     let ops: Vec<Combiner> = r.plausible().iter().map(|c| c.op.clone()).collect();
     assert!(
-        ops.contains(&Combiner::Struct(StructOp::Offset(
-            Delim::Tab,
-            RecOp::Add
-        ))),
+        ops.contains(&Combiner::Struct(StructOp::Offset(Delim::Tab, RecOp::Add))),
         "expected (offset '\\t' add), got {ops:?}"
     );
     // Never plain concat: the second piece's numbering restarts at 1.
@@ -80,7 +77,10 @@ fn awk_end_sum_gets_back_newline_add() {
     let r = report("awk '{s += $1} END {print s}'");
     let ops: Vec<Combiner> = r.plausible().iter().map(|c| c.op.clone()).collect();
     let back_add = Combiner::Rec(RecOp::Back(Delim::Newline, Box::new(RecOp::Add)));
-    assert!(ops.contains(&back_add), "expected (back '\\n' add): {ops:?}");
+    assert!(
+        ops.contains(&back_add),
+        "expected (back '\\n' add): {ops:?}"
+    );
     assert!(!ops.contains(&Combiner::Rec(RecOp::Concat)), "{ops:?}");
 }
 

@@ -8,7 +8,7 @@
 //! degrade to sequential, and executors surface honest errors instead of
 //! wrong output.
 
-use kumquat::coreutils::{CmdError, Command, ExecContext, UnixCommand};
+use kumquat::coreutils::{Bytes, CmdError, Command, ExecContext, UnixCommand};
 use kumquat::synth::{synthesize, SynthesisConfig, SynthesisOutcome};
 use kumquat::Kumquat;
 use std::sync::atomic::{AtomicUsize, Ordering};
@@ -25,9 +25,13 @@ impl UnixCommand for StatefulCounter {
         "stateful-counter".to_owned()
     }
 
-    fn run(&self, input: &str, _ctx: &ExecContext) -> Result<String, CmdError> {
+    fn run(&self, input: Bytes, _ctx: &ExecContext) -> Result<Bytes, CmdError> {
         let n = self.calls.fetch_add(1, Ordering::Relaxed);
-        Ok(format!("{}:{}\n", n, input.lines().count()))
+        Ok(Bytes::from(format!(
+            "{}:{}\n",
+            n,
+            input.as_str().lines().count()
+        )))
     }
 }
 
@@ -40,11 +44,11 @@ impl UnixCommand for PoisonSensitive {
         "poison-sensitive".to_owned()
     }
 
-    fn run(&self, input: &str, _ctx: &ExecContext) -> Result<String, CmdError> {
-        if input.lines().any(|l| l == "POISON") {
+    fn run(&self, input: Bytes, _ctx: &ExecContext) -> Result<Bytes, CmdError> {
+        if input.as_str().lines().any(|l| l == "POISON") {
             return Err(CmdError::new("poison-sensitive", "bad record"));
         }
-        Ok(input.to_uppercase())
+        Ok(Bytes::from(input.as_str().to_uppercase()))
     }
 }
 
@@ -69,10 +73,7 @@ fn stateful_command_synthesizes_nothing() {
 fn command_failing_on_some_inputs_still_synthesizes_from_survivors() {
     // PoisonSensitive only fails on a line the generator never produces;
     // for everything else it is a per-line map, so concat synthesizes.
-    let cmd = Command::custom(
-        vec!["poison-sensitive".into()],
-        Box::new(PoisonSensitive),
-    );
+    let cmd = Command::custom(vec!["poison-sensitive".into()], Box::new(PoisonSensitive));
     let ctx = ExecContext::default();
     let report = synthesize(&cmd, &ctx, &SynthesisConfig::default());
     let combiner = report
@@ -104,7 +105,9 @@ fn nondeterminism_laundered_through_sort_is_fine() {
     // pipeline is a deterministic stream function even though one stage
     // is not, and parallelization of the *other* stages proceeds.
     let mut kq = Kumquat::new();
-    let input: String = (0..200).map(|i| format!("line{}\n", (i * 31) % 100)).collect();
+    let input: String = (0..200)
+        .map(|i| format!("line{}\n", (i * 31) % 100))
+        .collect();
     kq.write_file("/in.txt", &input);
     let run = kq
         .parallelize_and_run("cat /in.txt | shuf | sort | uniq -c", 4)
@@ -112,7 +115,10 @@ fn nondeterminism_laundered_through_sort_is_fine() {
     assert!(run.output.contains(" line0\n"), "got: {}", run.output);
     // shuf itself stayed sequential; sort and uniq -c parallelized.
     assert_eq!(run.parallelized.1, 3, "three stages total");
-    assert!(run.parallelized.0 >= 2, "sort and uniq -c should parallelize");
+    assert!(
+        run.parallelized.0 >= 2,
+        "sort and uniq -c should parallelize"
+    );
 }
 
 #[test]

@@ -64,9 +64,7 @@ fn contains_fuse(op: &Combiner) -> bool {
     match op {
         Combiner::Rec(b) => rec_has_fuse(b),
         Combiner::Struct(StructOp::Stitch(b)) => rec_has_fuse(b),
-        Combiner::Struct(StructOp::Stitch2(_, b1, b2)) => {
-            rec_has_fuse(b1) || rec_has_fuse(b2)
-        }
+        Combiner::Struct(StructOp::Stitch2(_, b1, b2)) => rec_has_fuse(b1) || rec_has_fuse(b2),
         Combiner::Struct(StructOp::Offset(_, b)) => rec_has_fuse(b),
         Combiner::Run(_) => false,
     }
@@ -79,8 +77,8 @@ fn contains_fuse(op: &Combiner) -> bool {
 #[test]
 fn fuse_domain_membership_does_not_imply_evaluation_success() {
     let op = Combiner::Rec(RecOp::Fuse(Delim::Space, Box::new(RecOp::Concat)));
-    let y1 = "a b\n";      // one space: two fuse segments
-    let y2 = "x y z\n";    // two spaces: three fuse segments
+    let y1 = "a b\n"; // one space: two fuse segments
+    let y2 = "x y z\n"; // two spaces: three fuse segments
     assert!(kq_dsl::domain::in_domain(&op, y1));
     assert!(kq_dsl::domain::in_domain(&op, y2));
     assert!(eval(&op, y1, y2, &NoRunEnv).is_err());
@@ -138,10 +136,7 @@ proptest! {
         k in 2usize..7,
     ) {
         let stream: String = lines.iter().map(|l| format!("{l}\n")).collect();
-        let pieces: Vec<String> = kq_stream::split_stream(&stream, k)
-            .into_iter()
-            .map(str::to_owned)
-            .collect();
+        let pieces: Vec<kq_stream::Bytes> = kq_stream::Bytes::from(stream.as_str()).split_stream(k);
         for cand in [
             Candidate::rec(RecOp::Concat),
             Candidate::structural(StructOp::Stitch(RecOp::First)),
@@ -167,5 +162,66 @@ proptest! {
     #[test]
     fn cli_args_never_panic(argv in proptest::collection::vec("[ -~]{0,12}", 0..8)) {
         let _ = kq_cli::args::ParsedArgs::parse(&argv);
+    }
+
+    /// Chunk splitting partitions the input exactly and cuts only at line
+    /// boundaries, for both the borrowed `&str` splitter and the zero-copy
+    /// `Bytes` splitter — and the two agree chunk for chunk. Exercises
+    /// pathological targets (0, tiny, larger than the input) and inputs
+    /// with and without a trailing newline.
+    #[test]
+    fn split_chunks_partitions_and_aligns(
+        lines in proptest::collection::vec("[a-z]{0,10}", 0..40),
+        target in 0usize..96,
+        terminated in 0u8..2,
+    ) {
+        let mut input: String = lines.iter().map(|l| format!("{l}\n")).collect();
+        if terminated == 0 {
+            // Drop the final newline to exercise the unterminated tail.
+            input.pop();
+        }
+        let chunks = kq_stream::split_chunks(&input, target);
+        // Exact partition.
+        prop_assert_eq!(chunks.concat(), input.clone());
+        if !input.is_empty() {
+            prop_assert!(!chunks.is_empty(), "non-empty input must chunk");
+        }
+        // Line alignment: every boundary between adjacent chunks falls
+        // just after a newline.
+        for c in &chunks[..chunks.len().saturating_sub(1)] {
+            prop_assert!(c.ends_with('\n'), "interior chunk {c:?} not line-aligned");
+        }
+        // The zero-copy splitter agrees chunk for chunk and shares the
+        // source buffer.
+        let owned = kq_stream::Bytes::from(input.as_str());
+        let byte_chunks = owned.split_chunks(target);
+        prop_assert_eq!(chunks.len(), byte_chunks.len());
+        for (a, b) in chunks.iter().zip(&byte_chunks) {
+            prop_assert_eq!(*a, b.as_str());
+            prop_assert!(b.shares_buffer(&owned), "chunk copied instead of sliced");
+        }
+    }
+
+    /// Same partition/alignment contract for the k-way stream splitter,
+    /// plus the piece-count bound.
+    #[test]
+    fn split_stream_partitions_and_aligns(
+        lines in proptest::collection::vec("[a-z]{0,10}", 0..40),
+        k in 1usize..12,
+    ) {
+        let input: String = lines.iter().map(|l| format!("{l}\n")).collect();
+        let pieces = kq_stream::split_stream(&input, k);
+        prop_assert_eq!(pieces.concat(), input.clone());
+        prop_assert!(pieces.len() <= k);
+        for p in &pieces {
+            prop_assert!(p.ends_with('\n'));
+        }
+        let owned = kq_stream::Bytes::from(input.as_str());
+        let byte_pieces = owned.split_stream(k);
+        prop_assert_eq!(pieces.len(), byte_pieces.len());
+        for (a, b) in pieces.iter().zip(&byte_pieces) {
+            prop_assert_eq!(*a, b.as_str());
+            prop_assert!(b.shares_buffer(&owned), "piece copied instead of sliced");
+        }
     }
 }

@@ -39,7 +39,9 @@ fn mapping_commands_get_concat() {
         "rev",
     ] {
         let report = kq.synthesize_command(cmd).unwrap();
-        let combiner = report.combiner().unwrap_or_else(|| panic!("{cmd}: no combiner"));
+        let combiner = report
+            .combiner()
+            .unwrap_or_else(|| panic!("{cmd}: no combiner"));
         assert!(combiner.is_concat(), "{cmd}: {}", combiner.primary());
     }
 }
@@ -67,13 +69,16 @@ fn selection_commands_get_stitch_family() {
     let mut kq = Kumquat::new();
     let ops = plausible_ops(&mut kq, "uniq");
     assert!(
-        ops.iter().any(|o| matches!(o, Combiner::Struct(StructOp::Stitch(_)))),
+        ops.iter()
+            .any(|o| matches!(o, Combiner::Struct(StructOp::Stitch(_)))),
         "uniq: {ops:?}"
     );
     let ops = plausible_ops(&mut kq, "uniq -c");
     assert!(
-        ops.iter()
-            .any(|o| matches!(o, Combiner::Struct(StructOp::Stitch2(Delim::Space, RecOp::Add, _)))),
+        ops.iter().any(|o| matches!(
+            o,
+            Combiner::Struct(StructOp::Stitch2(Delim::Space, RecOp::Add, _))
+        )),
         "uniq -c: {ops:?}"
     );
 }
@@ -107,12 +112,18 @@ fn squeezing_commands_need_rerun() {
 #[test]
 fn table9_commands_have_no_combiner() {
     let mut kq = Kumquat::new();
-    for cmd in ["sed 1d", "sed 2d", "sed 3d", "sed 4d", "sed 5d", "tail +2", "tail +3"] {
+    for cmd in [
+        "sed 1d", "sed 2d", "sed 3d", "sed 4d", "sed 5d", "tail +2", "tail +3",
+    ] {
         let report = kq.synthesize_command(cmd).unwrap();
         assert!(
             report.combiner().is_none(),
             "{cmd} unexpectedly synthesized {:?}",
-            report.plausible().iter().map(|c| c.to_string()).collect::<Vec<_>>()
+            report
+                .plausible()
+                .iter()
+                .map(|c| c.to_string())
+                .collect::<Vec<_>>()
         );
     }
 }
@@ -123,12 +134,18 @@ fn search_space_sizes_match_table10() {
     // Newline-only outputs → 2700.
     assert_eq!(kq.synthesize_command("wc -l").unwrap().space.total(), 2700);
     assert_eq!(
-        kq.synthesize_command(r"tr -cs A-Za-z '\n'").unwrap().space.total(),
+        kq.synthesize_command(r"tr -cs A-Za-z '\n'")
+            .unwrap()
+            .space
+            .total(),
         2700
     );
     // Newline + space outputs → 26404.
     assert_eq!(kq.synthesize_command("cat").unwrap().space.total(), 26404);
-    assert_eq!(kq.synthesize_command("uniq -c").unwrap().space.total(), 26404);
+    assert_eq!(
+        kq.synthesize_command("uniq -c").unwrap().space.total(),
+        26404
+    );
 }
 
 #[test]
@@ -146,9 +163,12 @@ fn comm_synthesizes_concat_when_dict_is_disjoint() {
     // generator's vocabulary, so the matching path never sees boundary
     // duplicates and concat survives (Table 10 row 1).
     let mut kq = Kumquat::new();
-    kq.write_file("/dict", "0qqqq
+    kq.write_file(
+        "/dict",
+        "0qqqq
 0zzzz
-");
+",
+    );
     let report = kq.synthesize_command("comm -23 - /dict").unwrap();
     assert_eq!(report.profile, kumquat::synth::InputProfile::Sorted);
     let combiner = report.combiner().expect("combiner for comm -23");
@@ -163,20 +183,38 @@ fn comm_concat_is_refuted_by_boundary_duplicates() {
     // combiner is correct for comm -23: comm consumes dictionary lines
     // per occurrence, so f(x1 ++ x2) != f(x1) ++ f(x2).
     let mut kq = Kumquat::new();
-    kq.write_file("/dict", "of
-");
+    kq.write_file(
+        "/dict", "of
+",
+    );
     let command = kumquat::coreutils::parse_command("comm -23 - /dict").unwrap();
-    let y1 = command.run("of
-", &kq.ctx).unwrap();
-    let y2 = command.run("of
-", &kq.ctx).unwrap();
-    let y12 = command.run("of
+    let y1 = command
+        .run_str(
+            "of
+", &kq.ctx,
+        )
+        .unwrap();
+    let y2 = command
+        .run_str(
+            "of
+", &kq.ctx,
+        )
+        .unwrap();
+    let y12 = command
+        .run_str(
+            "of
 of
-", &kq.ctx).unwrap();
+", &kq.ctx,
+        )
+        .unwrap();
     assert_eq!(y1, "");
     assert_eq!(y2, "");
-    assert_eq!(y12, "of
-", "the second occurrence has no dict line left");
+    assert_eq!(
+        y12,
+        "of
+",
+        "the second occurrence has no dict line left"
+    );
     // A dictionary overlapping the generator vocabulary lets synthesis
     // discover this: no combiner survives.
     kq.write_file("/overlapping", kq_workloads::inputs::dictionary());
@@ -184,7 +222,11 @@ of
     assert!(
         report.combiner().is_none(),
         "synthesis should refute every combiner, got {:?}",
-        report.plausible().iter().map(|c| c.to_string()).collect::<Vec<_>>()
+        report
+            .plausible()
+            .iter()
+            .map(|c| c.to_string())
+            .collect::<Vec<_>>()
     );
 }
 

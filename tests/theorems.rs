@@ -19,9 +19,9 @@ fn observe(cmd: &str, pairs: &[(&str, &str)]) -> (Vec<Observation>, kq_coreutils
     let obs = pairs
         .iter()
         .map(|(x1, x2)| {
-            let y1 = command.run(x1, &ctx).unwrap();
-            let y2 = command.run(x2, &ctx).unwrap();
-            let y12 = command.run(&format!("{x1}{x2}"), &ctx).unwrap();
+            let y1 = command.run_str(x1, &ctx).unwrap();
+            let y2 = command.run_str(x2, &ctx).unwrap();
+            let y12 = command.run_str(&format!("{x1}{x2}"), &ctx).unwrap();
             Observation { y1, y2, y12 }
         })
         .collect();
@@ -53,10 +53,18 @@ fn theorem2_wc_l_rec_ops_collapse_to_back_add() {
     // Equivalence is checked on the combiners' shared domain: padded
     // count streams.
     let domain_pairs: Vec<(String, String)> = (0..40)
-        .map(|i| (format!("{}\n", i * 7 % 90), format!("{}\n", i * 13 % 70 + 1)))
+        .map(|i| {
+            (
+                format!("{}\n", i * 7 % 90),
+                format!("{}\n", i * 13 % 70 + 1),
+            )
+        })
         .collect();
     let mut survivors = 0;
-    for cand in candidates.iter().filter(|c| matches!(c.op, Combiner::Rec(_))) {
+    for cand in candidates
+        .iter()
+        .filter(|c| matches!(c.op, Combiner::Rec(_)))
+    {
         if plausible(cand, &obs, &env) {
             survivors += 1;
             check_equiv_by_intersection(&cand.op, &correct, &domain_pairs, &NoRunEnv)
@@ -72,8 +80,8 @@ fn theorem2_wc_l_rec_ops_collapse_to_back_add() {
 #[test]
 fn theorem4_uniq_struct_ops_collapse_to_stitch_first() {
     let pairs = [
-        ("alpha\nword\n", "word\nbeta\n"),   // shared boundary line
-        ("alpha\nword\n", "other\nbeta\n"),  // distinct boundary lines
+        ("alpha\nword\n", "word\nbeta\n"),  // shared boundary line
+        ("alpha\nword\n", "other\nbeta\n"), // distinct boundary lines
         ("m\nm\nq\n", "q\nq\nr\n"),
         ("solo\n", "solo\nduo\n"),
     ];
@@ -129,7 +137,11 @@ fn insufficient_observations_leave_ambiguity() {
     // one (`first`) and the wrong one (`second`); only richer inputs
     // (satisfying E) separate them.
     assert!(plausible(&kq_dsl::Candidate::rec(RecOp::First), &obs, &env));
-    assert!(plausible(&kq_dsl::Candidate::rec(RecOp::Second), &obs, &env));
+    assert!(plausible(
+        &kq_dsl::Candidate::rec(RecOp::Second),
+        &obs,
+        &env
+    ));
 }
 
 /// Theorem 5: when `g1 = concat` and `f1` emits streams, combining before
@@ -149,18 +161,18 @@ fn theorem5_combiner_elimination_equation() {
     for (x1, x2) in inputs {
         // Unoptimized: combine f1's outputs, re-split is the identity
         // because g1 is concat, then run f2 on the combined halves.
-        let y1 = f1.run(x1, &ctx).unwrap();
-        let y2 = f1.run(x2, &ctx).unwrap();
+        let y1 = f1.run_str(x1, &ctx).unwrap();
+        let y2 = f1.run_str(x2, &ctx).unwrap();
         let lhs = kq_dsl::eval::eval(
             &g2,
-            &f2.run(&y1, &ctx).unwrap(),
-            &f2.run(&y2, &ctx).unwrap(),
+            &f2.run_str(&y1, &ctx).unwrap(),
+            &f2.run_str(&y2, &ctx).unwrap(),
             &NoRunEnv,
         )
         .unwrap();
         // Serial reference: f2(f1(x1 ++ x2)).
         let serial = f2
-            .run(&f1.run(&format!("{x1}{x2}"), &ctx).unwrap(), &ctx)
+            .run_str(&f1.run_str(&format!("{x1}{x2}"), &ctx).unwrap(), &ctx)
             .unwrap();
         assert_eq!(lhs, serial, "Theorem 5 equation failed for {x1:?}/{x2:?}");
     }
@@ -172,7 +184,7 @@ fn theorem5_combiner_elimination_equation() {
 fn theorem5_precondition_violation_detectable() {
     let ctx = ExecContext::default();
     let f1 = parse_command(r"tr -d '\n'").unwrap();
-    let out = f1.run("ab\ncd\n", &ctx).unwrap();
+    let out = f1.run_str("ab\ncd\n", &ctx).unwrap();
     assert!(!out.ends_with('\n'), "tr -d strips the trailing newline");
 }
 
@@ -192,8 +204,7 @@ fn example1_front_concat_equiv_back_concat() {
             // Pairs outside the intersection are skipped, not failures.
             ("plain".to_owned(), "text".to_owned()),
         ];
-        let exercised =
-            check_equiv_by_intersection(&g1, &g2, &pairs, &NoRunEnv).unwrap();
+        let exercised = check_equiv_by_intersection(&g1, &g2, &pairs, &NoRunEnv).unwrap();
         assert_eq!(exercised, 3, "delimiter {c:?}");
     }
 }
@@ -209,11 +220,7 @@ fn example1_front_concat_equiv_back_concat() {
 /// EXPERIMENTS.md.
 #[test]
 fn example1_stitch2_first_first_caveat() {
-    let g1 = Combiner::Struct(StructOp::Stitch2(
-        Delim::Space,
-        RecOp::First,
-        RecOp::First,
-    ));
+    let g1 = Combiner::Struct(StructOp::Stitch2(Delim::Space, RecOp::First, RecOp::First));
     let g2 = Combiner::Struct(StructOp::Stitch(RecOp::First));
 
     // Identical boundary lines: both merge the same way — agreement.
