@@ -20,7 +20,17 @@ pub struct ParsedArgs {
 
 /// Options that take a value (everything else is a boolean flag).
 const VALUED: &[&str] = &[
-    "workers", "input", "var", "seed", "scale-kb", "out", "suite", "executor", "chunk-kb",
+    "workers",
+    "input",
+    "var",
+    "seed",
+    "scale-kb",
+    "out",
+    "suite",
+    "executor",
+    "exec",
+    "chunk-kb",
+    "queue-depth",
 ];
 
 impl ParsedArgs {

@@ -60,11 +60,15 @@ USAGE:
     kumquat plan <script|file> [--var NAME=VALUE,...] [--input FILE]
         Parse a pipeline script and print the parallelization plan.
     kumquat run <script|file> [--workers N] [--no-opt] [--var ...]
-                               [--executor static|chunked] [--chunk-kb N]
+                               [--exec static|chunked|streaming]
+                               [--chunk-kb N] [--queue-depth N]
         Execute a script with N-way data parallelism (default 4); the
         parallel output is verified against the serial output. Files named
         by the script are read from the host filesystem. The chunked
-        executor load-balances many small chunks over the worker pool.
+        executor load-balances many small chunks over the worker pool; the
+        streaming executor additionally pipelines stages through bounded
+        chunk queues so a stage starts before its predecessor finishes.
+        (--executor is accepted as an alias for --exec.)
     kumquat emit <script|file> [--workers N] [--no-opt] [--out FILE]
         Compile the script into a runnable POSIX shell script that uses
         the real Unix commands plus the synthesized combiners.
@@ -214,7 +218,10 @@ fn cmd_run(args: &ParsedArgs) -> Result<CliOutput, String> {
         return Err("--workers must be at least 1".into());
     }
     let honor = !args.flag("no-opt");
-    let executor = args.opt("executor").unwrap_or("static");
+    let executor = args
+        .opt("exec")
+        .or_else(|| args.opt("executor"))
+        .unwrap_or("static");
     let planned = plan_from_args(args)?;
     let serial = run_serial(&planned.script, &planned.ctx).map_err(|e| e.to_string())?;
     let parallel = match executor {
@@ -229,9 +236,19 @@ fn cmd_run(args: &ParsedArgs) -> Result<CliOutput, String> {
             kq_pipeline::chunked::run_chunked(&planned.script, &planned.plan, &planned.ctx, &opts)
                 .map_err(|e| e.to_string())?
         }
+        "streaming" => {
+            let opts = kq_pipeline::StreamingOptions {
+                workers,
+                chunk_bytes: args.opt_parse("chunk-kb", 64usize)? * 1024,
+                queue_depth: args.opt_parse("queue-depth", 4usize)?,
+                fuse_streamable: honor,
+            };
+            kq_pipeline::run_streaming(&planned.script, &planned.plan, &planned.ctx, &opts)
+                .map_err(|e| e.to_string())?
+        }
         other => {
             return Err(format!(
-                "--executor must be 'static' or 'chunked', got {other:?}"
+                "--exec must be 'static', 'chunked', or 'streaming', got {other:?}"
             ))
         }
     };
@@ -424,6 +441,38 @@ mod tests {
         assert!(run.stdout.contains(" a\n"), "got: {}", run.stdout);
         assert!(run.notes.iter().any(|n| n.contains("chunked")));
         assert!(call(&["run", &script, "--executor", "warp"]).is_err());
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn run_with_streaming_executor() {
+        let dir = std::env::temp_dir().join(format!("kq-cli-stream-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let input = dir.join("w.txt");
+        std::fs::write(&input, "b x\na y\nb z\n".repeat(60)).unwrap();
+        let script = format!(
+            "cat {} | cut -d ' ' -f 1 | sort | uniq -c | sort -rn",
+            input.display()
+        );
+        let run = call(&[
+            "run",
+            &script,
+            "--workers",
+            "2",
+            "--exec",
+            "streaming",
+            "--chunk-kb",
+            "1",
+            "--queue-depth",
+            "2",
+        ])
+        .unwrap();
+        assert!(run.stdout.contains(" b\n"), "got: {}", run.stdout);
+        assert!(
+            run.notes.iter().any(|n| n.contains("streaming")),
+            "notes: {:?}",
+            run.notes
+        );
         std::fs::remove_dir_all(&dir).ok();
     }
 

@@ -57,8 +57,7 @@ impl CommCmd {
         if name == "-" {
             Ok(stdin.to_owned())
         } else {
-            ctx.vfs
-                .read(name)
+            crate::read_file_str(ctx, name, "comm")?
                 .ok_or_else(|| CmdError::new("comm", format!("{name}: No such file or directory")))
         }
     }

@@ -63,6 +63,28 @@ pub(crate) fn input_str<'a>(input: &'a Bytes, command: &str) -> Result<&'a str, 
         .map_err(|_| CmdError::new(command, "input is not valid UTF-8"))
 }
 
+/// Reads a file operand as text with the same UTF-8 validation piped input
+/// gets ([`input_str`]): foreign bytes are a hard, command-attributed
+/// error. (`Vfs::read` used to degrade lossily on this path while piped
+/// bytes hard-errored — the two doors now agree.) Returns `None` when the
+/// file does not exist, so each caller keeps its own missing-file message.
+pub(crate) fn read_file_str(
+    ctx: &ExecContext,
+    path: &str,
+    command: &str,
+) -> Result<Option<String>, CmdError> {
+    let Some(bytes) = ctx.vfs.read_bytes(path) else {
+        return Ok(None);
+    };
+    if bytes.to_str().is_err() {
+        return Err(CmdError::new(
+            command,
+            format!("{path}: input is not valid UTF-8"),
+        ));
+    }
+    Ok(Some(bytes.into_string()))
+}
+
 /// An execution failure: the in-process analogue of a command writing to
 /// stderr and exiting non-zero (e.g. `comm` on unsorted input, `cat` on a
 /// missing file). KumQuat's preprocessing probes rely on observing these.
@@ -369,5 +391,41 @@ mod tests {
     fn display_roundtrip() {
         let c = parse_command("grep -c foo").unwrap();
         assert_eq!(c.display(), "grep -c foo");
+    }
+
+    #[test]
+    fn foreign_bytes_error_identically_piped_and_as_file_operand() {
+        // The two input doors must agree: piped foreign bytes have always
+        // been a hard error; file operands used to degrade lossily via
+        // `Vfs::read` and now hard-error through the same validation.
+        let vfs = Vfs::new();
+        let foreign: Vec<u8> = vec![0xff, 0xfe, b'x', b'\n'];
+        vfs.write("/foreign", Bytes::from(foreign.clone()));
+        vfs.write("/clean", "a\nb\n");
+        let ctx = ExecContext::with_vfs(vfs);
+
+        // Piped path.
+        let sort = parse_command("sort").unwrap();
+        let piped = sort.run(Bytes::from(foreign), &ctx).unwrap_err();
+        assert!(piped.message.contains("not valid UTF-8"), "{piped}");
+
+        // File-operand paths, one per parsing command.
+        for line in [
+            "sort /foreign",
+            "comm - /foreign",
+            "paste /foreign",
+            "diff /clean /foreign",
+        ] {
+            let cmd = parse_command(line).unwrap();
+            let err = cmd.run(Bytes::from("a\n"), &ctx).unwrap_err();
+            assert!(
+                err.message.contains("not valid UTF-8"),
+                "{line:?} should hard-error like the piped path, got: {err}"
+            );
+        }
+
+        // Clean files still read fine through the validated door.
+        let cmd = parse_command("sort /clean").unwrap();
+        assert_eq!(cmd.run(Bytes::new(), &ctx).unwrap(), "a\nb\n");
     }
 }

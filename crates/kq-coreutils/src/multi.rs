@@ -42,7 +42,7 @@ impl UnixCommand for PasteCmd {
                 if f == "-" {
                     contents.push(input.to_owned());
                 } else {
-                    contents.push(ctx.vfs.read(f).ok_or_else(|| {
+                    contents.push(crate::read_file_str(ctx, f, "paste")?.ok_or_else(|| {
                         CmdError::new("paste", format!("{f}: No such file or directory"))
                     })?);
                 }
@@ -109,7 +109,7 @@ impl UnixCommand for DiffCmd {
                 if name == "-" {
                     Ok(input.to_owned())
                 } else {
-                    ctx.vfs.read(name).ok_or_else(|| {
+                    crate::read_file_str(ctx, name, "diff")?.ok_or_else(|| {
                         CmdError::new("diff", format!("{name}: No such file or directory"))
                     })
                 }

@@ -293,9 +293,9 @@ impl UnixCommand for SortCmd {
                         if f == "-" {
                             contents.push(input.to_owned());
                         } else {
-                            contents.push(ctx.vfs.read(f).ok_or_else(|| {
-                                CmdError::new("sort", format!("cannot read: {f}"))
-                            })?);
+                            contents.push(crate::read_file_str(ctx, f, "sort")?.ok_or_else(
+                                || CmdError::new("sort", format!("cannot read: {f}")),
+                            )?);
                         }
                     }
                 }

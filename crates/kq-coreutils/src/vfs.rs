@@ -74,9 +74,13 @@ impl Vfs {
     }
 
     /// Reads a file's content as an owned `String` (copies; compatibility
-    /// for text-shaping call sites off the hot path). Foreign byte data
-    /// written through the `From<Vec<u8>>` door degrades lossily rather
-    /// than panicking.
+    /// for text-shaping call sites off the hot path — planning samples and
+    /// test fixtures). Foreign byte data written through the
+    /// `From<Vec<u8>>` door degrades lossily rather than panicking.
+    ///
+    /// Commands never read operands through this door: they go through
+    /// `read_file_str`, which applies the same hard UTF-8 validation as
+    /// piped input, so a foreign file and a foreign pipe fail identically.
     pub fn read(&self, path: &str) -> Option<String> {
         self.files
             .read()

@@ -130,6 +130,164 @@ pub fn combine_all_with(
     }
 }
 
+/// Combines two adjacent substream groups with a binary combiner (the
+/// earlier group is the left argument; [`Candidate::oriented`] handles
+/// swapped combiners).
+fn combine_pair(
+    candidate: &Candidate,
+    env: &dyn RunEnv,
+    earlier: &Bytes,
+    later: &Bytes,
+) -> Result<Bytes, EvalError> {
+    let (x, y) = candidate.oriented(view(earlier)?, view(later)?);
+    eval(&candidate.op, x, y, env).map(Bytes::from)
+}
+
+/// Incremental k-way combining: substreams are folded *as they arrive*
+/// instead of being gathered first.
+///
+/// [`combine_all`] needs the complete piece list, which forces the
+/// streaming executor to buffer a stage's whole output before combining —
+/// exactly the barrier this type removes. Pieces are pushed in stream
+/// order and the combine work happens inside [`push`](IncrementalFold::push),
+/// overlapping with whatever produces the pieces; [`finish`](IncrementalFold::finish)
+/// only settles the remainder.
+///
+/// Strategy per combiner (mirroring [`CombineStrategy::Flat`]):
+///
+/// * unswapped `concat` — pieces accumulate in a segment list; `finish`
+///   is the single gather memcpy (zero work per push);
+/// * `rerun` — pieces are gathered and the command re-executes once at
+///   `finish` (pairwise rerun would re-run the command per piece on a
+///   growing accumulator, O(n·k) command work);
+/// * `merge` — run accumulation: every [`MERGE_RUN_ARITY`] arrivals are
+///   k-way merged into one sorted run as soon as they exist, and `finish`
+///   merges the runs. Each byte moves through at most two merges (versus
+///   one for the all-at-once merge — that's the price of overlapping —
+///   and `log k` for a pairwise tree);
+/// * everything else (the structural stitches, arithmetic folds) — a
+///   binary-counter tree fold: slot *i* holds a combined group of `2^i`
+///   adjacent pieces, so each push performs O(1) amortized combines and
+///   every byte is touched O(log k) times, matching the tree-fold cost.
+///
+/// All of these combiners are associative on adjacent pieces of a split
+/// stream (see `strategies_agree_on_corpus_combiners` and the
+/// `combine_strategies_agree_on_split_pieces` property), so the fold
+/// grouping cannot change the result.
+pub struct IncrementalFold<'a> {
+    candidate: &'a Candidate,
+    env: &'a dyn RunEnv,
+    state: FoldState,
+}
+
+/// Pieces per intermediate merge run (see [`IncrementalFold`]): wide
+/// enough that small piece counts degenerate to the single flat merge
+/// (no redundant pass), small enough that run merging genuinely overlaps
+/// with piece production on long streams.
+pub const MERGE_RUN_ARITY: usize = 32;
+
+enum FoldState {
+    /// Unswapped concat: a segment list, gathered once at finish.
+    Concat(Vec<Bytes>),
+    /// Rerun: gather everything, one re-execution at finish.
+    Gather(Vec<Bytes>),
+    /// Merge: k-way merge every [`MERGE_RUN_ARITY`] pieces into a run as
+    /// they arrive; finish merges the runs (earlier runs first, keeping
+    /// the stability tiebreak of one flat merge).
+    Merge {
+        runs: Vec<Bytes>,
+        pending: Vec<Bytes>,
+    },
+    /// Binary-counter tree: slot `i` is a combined run of `2^i` adjacent
+    /// pieces (higher slots hold earlier data).
+    Counter(Vec<Option<Bytes>>),
+}
+
+impl<'a> IncrementalFold<'a> {
+    /// An empty fold for `candidate` (finishing immediately yields the
+    /// empty stream, like [`combine_all`] on no pieces).
+    pub fn new(candidate: &'a Candidate, env: &'a dyn RunEnv) -> IncrementalFold<'a> {
+        let state = match &candidate.op {
+            Combiner::Rec(RecOp::Concat) if !candidate.swapped => FoldState::Concat(Vec::new()),
+            Combiner::Run(RunOp::Rerun) => FoldState::Gather(Vec::new()),
+            Combiner::Run(RunOp::Merge(_)) => FoldState::Merge {
+                runs: Vec::new(),
+                pending: Vec::new(),
+            },
+            _ => FoldState::Counter(Vec::new()),
+        };
+        IncrementalFold {
+            candidate,
+            env,
+            state,
+        }
+    }
+
+    /// Folds in the next substream (empty pieces are skipped, as in
+    /// [`combine_all`]). Combine errors surface immediately.
+    pub fn push(&mut self, piece: Bytes) -> Result<(), EvalError> {
+        if piece.is_empty() {
+            return Ok(());
+        }
+        let (candidate, env) = (self.candidate, self.env);
+        match &mut self.state {
+            FoldState::Concat(segments) | FoldState::Gather(segments) => segments.push(piece),
+            FoldState::Merge { runs, pending } => {
+                pending.push(piece);
+                if pending.len() >= MERGE_RUN_ARITY {
+                    let run = combine_all(candidate, pending, env)?;
+                    pending.clear();
+                    runs.push(run);
+                }
+            }
+            FoldState::Counter(slots) => {
+                let mut carry = piece;
+                for slot in slots.iter_mut() {
+                    match slot.take() {
+                        None => {
+                            *slot = Some(carry);
+                            return Ok(());
+                        }
+                        Some(earlier) => carry = combine_pair(candidate, env, &earlier, &carry)?,
+                    }
+                }
+                slots.push(Some(carry));
+            }
+        }
+        Ok(())
+    }
+
+    /// Settles the fold into the combined stream (empty when nothing was
+    /// pushed).
+    pub fn finish(self) -> Result<Bytes, EvalError> {
+        let (candidate, env) = (self.candidate, self.env);
+        match self.state {
+            // Only constructed for unswapped concat: stream order is
+            // output order.
+            FoldState::Concat(segments) => Ok(kq_stream::concat_bytes(&segments)),
+            FoldState::Gather(segments) => combine_all(candidate, &segments, env),
+            FoldState::Merge { mut runs, pending } => {
+                if !pending.is_empty() {
+                    runs.push(combine_all(candidate, &pending, env)?);
+                }
+                combine_all(candidate, &runs, env)
+            }
+            FoldState::Counter(slots) => {
+                // Low slots hold later data: combine upward so each slot
+                // (an earlier group) becomes the left argument.
+                let mut acc: Option<Bytes> = None;
+                for earlier in slots.into_iter().flatten() {
+                    acc = Some(match acc {
+                        None => earlier,
+                        Some(later) => combine_pair(candidate, env, &earlier, &later)?,
+                    });
+                }
+                Ok(acc.unwrap_or_default())
+            }
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -271,5 +429,100 @@ mod tests {
         let pieces = s(&["a\nd\n", "b\n", "c\ne\n"]);
         let fold = combine_all_with(CombineStrategy::FoldLeft, &c, &pieces, &FakeEnv).unwrap();
         assert_eq!(fold, "a\nb\nc\nd\ne\n");
+    }
+
+    fn incremental(c: &Candidate, pieces: &[Bytes], env: &dyn RunEnv) -> Bytes {
+        let mut fold = IncrementalFold::new(c, env);
+        for p in pieces {
+            fold.push(p.clone()).unwrap();
+        }
+        fold.finish().unwrap()
+    }
+
+    #[test]
+    fn incremental_fold_matches_combine_all_on_corpus_combiners() {
+        let cases: Vec<(Candidate, Vec<Bytes>)> = vec![
+            (
+                Candidate::rec(RecOp::Concat),
+                s(&["a\n", "", "b\n", "c\n", "d\n", "e\n", "f\n"]),
+            ),
+            (
+                Candidate::rec(RecOp::Back(Delim::Newline, Box::new(RecOp::Add))),
+                s(&["1\n", "2\n", "3\n", "4\n", "5\n", "6\n", "7\n"]),
+            ),
+            (
+                Candidate::structural(StructOp::Stitch(RecOp::First)),
+                s(&["a\nb\n", "b\nc\n", "c\nc\nd\n", "d\ne\n", "e\nf\n"]),
+            ),
+            (
+                Candidate::structural(StructOp::Stitch2(Delim::Space, RecOp::Add, RecOp::First)),
+                s(&[
+                    "      2 a\n      1 b\n",
+                    "      3 b\n",
+                    "      1 b\n      4 c\n",
+                ]),
+            ),
+        ];
+        for (cand, pieces) in cases {
+            let flat = combine_all(&cand, &pieces, &NoRunEnv).unwrap();
+            assert_eq!(
+                incremental(&cand, &pieces, &NoRunEnv),
+                flat,
+                "incremental vs flat for {cand}"
+            );
+        }
+    }
+
+    #[test]
+    fn incremental_merge_matches_kway_merge() {
+        let c = Candidate::run(RunOp::Merge(vec![]));
+        let pieces = s(&["a\nd\n", "b\n", "", "c\ne\n", "a\nz\n"]);
+        let flat = combine_all(&c, &pieces, &FakeEnv).unwrap();
+        assert_eq!(incremental(&c, &pieces, &FakeEnv), flat);
+    }
+
+    #[test]
+    fn incremental_merge_run_accumulation_matches_flat() {
+        // More pieces than MERGE_RUN_ARITY: intermediate runs form and the
+        // finish merge of runs must equal the one flat k-way merge,
+        // including the stability tiebreak (duplicates across pieces).
+        let c = Candidate::run(RunOp::Merge(vec![]));
+        let piece_strings: Vec<String> = (0..(MERGE_RUN_ARITY * 2 + 3))
+            .map(|i| {
+                let a = (b'a' + (i % 26) as u8) as char;
+                let b = (b'a' + ((i * 7) % 26) as u8) as char;
+                let (lo, hi) = if a <= b { (a, b) } else { (b, a) };
+                format!("{lo}\n{hi}\n")
+            })
+            .collect();
+        let pieces: Vec<Bytes> = piece_strings
+            .iter()
+            .map(|p| Bytes::from(p.as_str()))
+            .collect();
+        let flat = combine_all(&c, &pieces, &FakeEnv).unwrap();
+        assert_eq!(incremental(&c, &pieces, &FakeEnv), flat);
+    }
+
+    #[test]
+    fn incremental_rerun_executes_once() {
+        // One re-execution over the gathered stream, not one per push.
+        let c = Candidate::run(RunOp::Rerun);
+        let pieces = s(&["x\n", "y\n", "z\n"]);
+        assert_eq!(incremental(&c, &pieces, &FakeEnv), "f(x\ny\nz\n)");
+    }
+
+    #[test]
+    fn incremental_swapped_concat_reverses() {
+        let mut c = Candidate::rec(RecOp::Concat);
+        c.swapped = true;
+        let pieces = s(&["a\n", "b\n", "c\n"]);
+        assert_eq!(incremental(&c, &pieces, &NoRunEnv), "c\nb\na\n");
+    }
+
+    #[test]
+    fn incremental_empty_and_single() {
+        let c = Candidate::rec(RecOp::Concat);
+        assert_eq!(incremental(&c, &[], &NoRunEnv), "");
+        assert_eq!(incremental(&c, &s(&["only\n"]), &NoRunEnv), "only\n");
     }
 }

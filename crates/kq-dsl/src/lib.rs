@@ -52,7 +52,7 @@ pub use ast::{Candidate, Combiner, RecOp, RunOp, StructOp};
 pub use enumerate::{enumerate_candidates, EnumConfig, SpaceBreakdown};
 pub use eval::{CommandEnv, EvalError, RunEnv};
 pub use kq_stream::Delim;
-pub use kway::{combine_all, combine_all_with, CombineStrategy};
+pub use kway::{combine_all, combine_all_with, CombineStrategy, IncrementalFold};
 
 /// An observation `⟨y1, y2, y12⟩ = ⟨f(x1), f(x2), f(x1 ++ x2)⟩`
 /// (paper Definition 3.4/3.5).

@@ -55,7 +55,12 @@ impl Default for ChunkedOptions {
 
 /// Runs `chain` (one segment's commands) over one chunk. The chunk enters
 /// the first command as the refcounted slice itself — no per-chunk copy.
-fn run_chain(chain: &[&Command], chunk: Bytes, ctx: &ExecContext) -> Result<Bytes, CmdError> {
+/// Shared with the streaming executor's per-segment pools.
+pub(crate) fn run_chain(
+    chain: &[&Command],
+    chunk: Bytes,
+    ctx: &ExecContext,
+) -> Result<Bytes, CmdError> {
     let mut cur = chunk;
     for cmd in chain {
         cur = cmd.run(cur, ctx)?;

@@ -31,6 +31,25 @@
 //! command's job); what the data plane eliminates is every copy *between*
 //! stages. `crates/bench/benches/bytes_dataplane.rs` measures the
 //! difference against the legacy copy-per-piece path.
+//!
+//! # The executor matrix
+//!
+//! Four executors share the data plane and produce byte-identical output
+//! (asserted across the whole corpus by `tests/streaming_differential.rs`);
+//! they differ in how work is scheduled:
+//!
+//! | executor | parallelism | barriers | wins when |
+//! |---|---|---|---|
+//! | [`exec::run_serial`] | none | every stage | correctness baseline; tiny inputs |
+//! | [`exec::run_parallel`] | `w` static pieces per stage | every segment | uniform per-line cost (the paper's executor) |
+//! | [`chunked::run_chunked`] | many chunks over a `w`-thread pool | every segment | skewed per-line cost (dynamic balancing) |
+//! | [`streaming::run_streaming`] | pool per segment, segments pipelined | only where a stage truly needs its whole input | multi-segment pipelines: chunk-local stages (`grep`/`tr`/`cut`) flow chunks onward immediately, and barrier stages (`sort`, `uniq -c`) fold their combiner *while upstream still computes* |
+//!
+//! The streaming executor's segment classification (chunk-local versus
+//! barrier versus sequential) lives in
+//! [`plan::PlannedStatement::stream_segments`];
+//! `crates/bench/benches/streaming_exec.rs` measures streaming against
+//! chunked on a multi-stage pipeline.
 
 //! ```
 //! use kq_pipeline::exec::{run_parallel, run_serial};
@@ -57,8 +76,10 @@ pub mod exec;
 pub mod parse;
 pub mod plan;
 pub mod sim;
+pub mod streaming;
 
 pub use exec::{ExecutionResult, StageTiming, TimingLog};
 pub use parse::{InputSource, Script, Stage, Statement};
-pub use plan::{PlannedScript, PlannedStage, Planner, StageMode};
+pub use plan::{PlannedScript, PlannedStage, Planner, StageMode, StreamSegment, StreamSegmentKind};
 pub use sim::{PipelineCosts, SimParams};
+pub use streaming::{run_streaming, StreamingOptions};

@@ -63,6 +63,14 @@ pub struct PlannedStage {
     pub stage_idx: usize,
     /// Planned execution mode.
     pub mode: StageMode,
+    /// Chunk-local: the stage's combiner is plain `concat` and its outputs
+    /// are newline-terminated streams, so `f(c1 ++ c2) = f(c1) ++ f(c2)`
+    /// for line-aligned chunks and the streaming executor can let chunk
+    /// outputs flow to the next stage without ever materializing the whole
+    /// substream (`grep`, `tr`, `cut`, per-line `sed` qualify; `sort` and
+    /// `uniq -c` do not and must barrier). Always `false` for sequential
+    /// stages.
+    pub streamable: bool,
 }
 
 /// Planning result for one statement.
@@ -125,6 +133,83 @@ impl PlannedStatement {
         }
         out
     }
+
+    /// Groups the statement's stages into *streaming* segments — the unit
+    /// the bounded-queue streaming executor spawns workers for.
+    ///
+    /// Unlike [`segments`](Self::segments) (which fuses an eliminated run
+    /// *into* its closing combiner stage for split-once/combine-once
+    /// execution), streaming segmentation breaks at every stage that must
+    /// see its whole input:
+    ///
+    /// * a maximal run of consecutive [`streamable`](PlannedStage::streamable)
+    ///   stages forms one [`StreamSegmentKind::Streaming`] segment — chunks
+    ///   are piped through the run's commands and flow straight downstream,
+    ///   no combiner ever runs (the Theorem 5 argument, applied per chunk);
+    /// * a parallel stage that is not chunk-local (`sort`, `uniq -c`,
+    ///   `wc`, …) is a [`StreamSegmentKind::Barrier`]: chunks are still
+    ///   processed as they arrive, but the outputs fold through the
+    ///   stage's combiner and only the combined stream moves on;
+    /// * a sequential stage is [`StreamSegmentKind::Sequential`]: the
+    ///   input is re-gathered, the command runs once, and the output is
+    ///   re-chunked.
+    ///
+    /// With `fuse_streamable = false` every streamable stage forms its own
+    /// single-stage streaming segment (more hand-offs, same semantics) —
+    /// the differential suite uses this to exercise the channel plumbing
+    /// harder.
+    pub fn stream_segments(&self, fuse_streamable: bool) -> Vec<StreamSegment> {
+        let mut out = Vec::new();
+        let mut idx = 0;
+        while idx < self.stages.len() {
+            let stage = &self.stages[idx];
+            if stage.streamable {
+                let start = idx;
+                idx += 1;
+                while fuse_streamable && idx < self.stages.len() && self.stages[idx].streamable {
+                    idx += 1;
+                }
+                out.push(StreamSegment {
+                    stages: start..idx,
+                    kind: StreamSegmentKind::Streaming,
+                });
+            } else {
+                let kind = match &stage.mode {
+                    StageMode::Sequential => StreamSegmentKind::Sequential,
+                    StageMode::Parallel { .. } => StreamSegmentKind::Barrier,
+                };
+                out.push(StreamSegment {
+                    stages: idx..idx + 1,
+                    kind,
+                });
+                idx += 1;
+            }
+        }
+        out
+    }
+}
+
+/// How a [`StreamSegment`] moves data (see
+/// [`PlannedStatement::stream_segments`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum StreamSegmentKind {
+    /// Chunk-local stages: chunk outputs flow downstream uncombined.
+    Streaming,
+    /// A parallel stage whose outputs fold through its combiner; only the
+    /// combined stream continues.
+    Barrier,
+    /// A sequential stage: gather, run once, re-chunk.
+    Sequential,
+}
+
+/// One streaming-executor segment: a stage range plus how its data moves.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct StreamSegment {
+    /// Stage index range (`start..end`, end exclusive; length 1 except for
+    /// fused streamable runs).
+    pub stages: std::ops::Range<usize>,
+    /// Data movement.
+    pub kind: StreamSegmentKind,
 }
 
 /// One execution segment of a planned statement (see
@@ -265,34 +350,44 @@ impl Planner {
                 eliminated: false,
             });
         }
-        // Second pass: Theorem 5 elimination — a concat combiner followed
-        // by a parallel stage is dropped, provided the stage emits streams.
+        // Second pass: probe once per parallel stage whether its outputs
+        // are newline-terminated streams, then derive both chunk-locality
+        // (a concat combiner on a stream-emitting stage) and the Theorem 5
+        // elimination (chunk-local and followed by another parallel stage).
+        let streamable: Vec<bool> = statement
+            .stages
+            .iter()
+            .zip(&modes)
+            .map(|(stage, mode)| match mode {
+                StageMode::Parallel { combiner, .. } => {
+                    combiner.is_concat() && Self::outputs_streams(&stage.command, ctx, sample)
+                }
+                StageMode::Sequential => false,
+            })
+            .collect();
         for i in 0..modes.len() {
             let next_parallel = modes
                 .get(i + 1)
                 .map(StageMode::is_parallel)
                 .unwrap_or(false);
-            if !next_parallel {
+            if !(streamable[i] && next_parallel) {
                 continue;
             }
-            let StageMode::Parallel {
-                combiner,
-                eliminated,
-            } = &mut modes[i]
-            else {
-                continue;
+            let StageMode::Parallel { eliminated, .. } = &mut modes[i] else {
+                unreachable!("streamable implies parallel");
             };
-            if combiner.is_concat()
-                && Self::outputs_streams(&statement.stages[i].command, ctx, sample)
-            {
-                *eliminated = true;
-            }
+            *eliminated = true;
         }
         PlannedStatement {
             stages: modes
                 .into_iter()
+                .zip(streamable)
                 .enumerate()
-                .map(|(stage_idx, mode)| PlannedStage { stage_idx, mode })
+                .map(|(stage_idx, (mode, streamable))| PlannedStage {
+                    stage_idx,
+                    mode,
+                    streamable,
+                })
                 .collect(),
         }
     }
@@ -430,5 +525,52 @@ mod tests {
         assert_eq!(st.parallelized_counts(), (2, 2));
         // grep's concat feeds wc -l directly.
         assert_eq!(st.eliminated_count(), 1);
+    }
+
+    #[test]
+    fn streamable_stages_are_chunk_local_commands() {
+        // grep/tr/cut stream; sort (merge) and uniq -c (stitch) barrier;
+        // the final stage is streamable even with nothing after it
+        // (unlike Theorem 5 elimination, chunk-locality does not depend
+        // on the successor).
+        let (planned, _) = plan("cat $IN | grep fox | tr A-Z a-z | sort | uniq -c");
+        let st = &planned.statements[0];
+        let flags: Vec<bool> = st.stages.iter().map(|s| s.streamable).collect();
+        assert_eq!(flags, vec![true, true, false, false]);
+        let (planned, _) = plan("cat $IN | cut -d ' ' -f 1 | grep fox");
+        let st = &planned.statements[0];
+        assert!(st.stages.iter().all(|s| s.streamable));
+    }
+
+    #[test]
+    fn tr_d_newline_is_not_streamable() {
+        // Concat combiner but non-stream outputs: chunk boundaries would
+        // land mid-line downstream.
+        let (planned, _) = plan("cat $IN | tr -d '\\n' | wc -c");
+        assert!(!planned.statements[0].stages[0].streamable);
+    }
+
+    #[test]
+    fn stream_segments_fuse_streamable_runs_and_isolate_barriers() {
+        let (planned, _) =
+            plan("cat $IN | tr -cs A-Za-z '\\n' | tr A-Z a-z | grep o | sort | uniq -c | sort -rn");
+        let st = &planned.statements[0];
+        let segs = st.stream_segments(true);
+        let shape: Vec<(StreamSegmentKind, std::ops::Range<usize>)> =
+            segs.iter().map(|s| (s.kind, s.stages.clone())).collect();
+        assert_eq!(
+            shape,
+            vec![
+                (StreamSegmentKind::Sequential, 0..1), // tr -cs (rerun, no shrink)
+                (StreamSegmentKind::Streaming, 1..3),  // tr | grep fused
+                (StreamSegmentKind::Barrier, 3..4),    // sort
+                (StreamSegmentKind::Barrier, 4..5),    // uniq -c
+                (StreamSegmentKind::Barrier, 5..6),    // sort -rn
+            ]
+        );
+        // Unfused: the streamable run splits into single-stage segments.
+        let unfused = st.stream_segments(false);
+        assert_eq!(unfused.len(), 6);
+        assert!(unfused.iter().all(|s| s.stages.len() == 1));
     }
 }

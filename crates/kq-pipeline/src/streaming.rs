@@ -1,0 +1,589 @@
+//! Bounded-queue streaming executor: chunks flow stage-to-stage before the
+//! previous stage finishes.
+//!
+//! Every other executor in this crate barriers between stages — a stage's
+//! whole output materializes before the next stage starts, even in
+//! [`run_chunked`](crate::chunked::run_chunked), whose parallelism is
+//! *within* a segment. This executor instead runs every planned segment
+//! (see [`PlannedStatement::stream_segments`]) concurrently, connected by
+//! bounded MPMC channels carrying line-aligned [`Bytes`] chunks:
+//!
+//! * a **feeder** splits the statement input into chunks and pushes them
+//!   into the first channel;
+//! * a **streaming segment** (a fused run of chunk-local stages — concat
+//!   combiner, newline-terminated outputs: `grep`, `tr`, `cut`, per-line
+//!   `sed`) runs a small worker pool over incoming chunks and forwards the
+//!   outputs *in input order* as soon as they are contiguous, re-normalized
+//!   to the target chunk size by an [`IncrementalChunker`]. No combiner
+//!   ever runs — the Theorem 5 argument applied chunk-wise;
+//! * a **barrier segment** (`sort`, `uniq -c`, `wc`, … — any parallel
+//!   stage whose combiner is not plain concat) also processes chunks as
+//!   they arrive on its pool, but folds the outputs through the stage's
+//!   combiner incrementally ([`SynthesizedCombiner::incremental`]): the
+//!   combine work — e.g. `sort`'s k-way merge — overlaps with upstream
+//!   compute instead of serializing after it. Only the combined stream
+//!   moves on, re-chunked;
+//! * a **sequential segment** (no combiner, or a rerun that does not pay)
+//!   re-gathers its input through a [`Rope`], runs the command once, and
+//!   re-chunks the output;
+//! * the statement's final channel drains into the result rope.
+//!
+//! Backpressure: every inter-segment channel and every pool's result
+//! channel is bounded, so a fast producer blocks once `queue_depth` chunks
+//! are in flight — total buffering per statement is
+//! O(segments × (queue_depth + workers) × chunk_bytes) chunk *handles*
+//! (payloads are refcounted slices).
+//!
+//! Failure: a command error anywhere tears the whole pipeline down
+//! promptly — the failing segment drops its channel endpoints, upstream
+//! senders start failing and unwind, downstream receivers see end-of-input
+//! and drain; the error surfaces from [`run_streaming`]. Asserted with a
+//! watchdog in `tests/failure_injection.rs`.
+//!
+//! Output equivalence with [`run_serial`](crate::exec::run_serial) across
+//! the whole corpus — at several chunk sizes, including degenerate ones —
+//! is asserted by `tests/streaming_differential.rs`.
+//!
+//! [`SynthesizedCombiner::incremental`]: kq_synth::SynthesizedCombiner::incremental
+//! [`IncrementalChunker`]: kq_stream::IncrementalChunker
+
+use crate::chunked::run_chain;
+use crate::exec::{gather_files, ExecutionResult, StageTiming, TimingLog};
+use crate::parse::{Script, Statement};
+use crate::plan::{PlannedScript, PlannedStatement, StageMode, StreamSegmentKind};
+use crossbeam::channel;
+use kq_coreutils::{CmdError, Command, ExecContext};
+use kq_dsl::eval::CommandEnv;
+use kq_stream::{Bytes, IncrementalChunker, Rope};
+use std::collections::BTreeMap;
+use std::time::{Duration, Instant};
+
+/// Tuning for the streaming executor.
+#[derive(Debug, Clone)]
+pub struct StreamingOptions {
+    /// Worker threads per parallel (streaming or barrier) segment.
+    pub workers: usize,
+    /// Target chunk size in bytes for the feeder and for every
+    /// re-chunking point (sequential and barrier outputs, streaming
+    /// re-normalization).
+    pub chunk_bytes: usize,
+    /// Capacity of each bounded inter-segment channel, in chunks: the
+    /// backpressure knob. 1 is fully lock-step; larger values absorb
+    /// per-chunk cost variance between neighboring segments.
+    pub queue_depth: usize,
+    /// Fuse maximal runs of chunk-local stages into one segment (one pool
+    /// pipes each chunk through the whole run). `false` gives every stage
+    /// its own segment and channel hop — same output, more hand-offs; the
+    /// differential suite uses it to stress the plumbing.
+    pub fuse_streamable: bool,
+}
+
+impl Default for StreamingOptions {
+    fn default() -> Self {
+        StreamingOptions {
+            workers: 4,
+            chunk_bytes: 64 * 1024,
+            queue_depth: 4,
+            fuse_streamable: true,
+        }
+    }
+}
+
+/// A chunk in flight: its ordinal within the producing segment's output
+/// stream, and its payload (a refcounted slice — sending is an Arc bump).
+type Chunk = (usize, Bytes);
+
+/// A pool worker's report: chunk ordinal, input length, wall-clock cost,
+/// and the chain result.
+type WorkerResult = (usize, usize, Duration, Result<Bytes, CmdError>);
+
+/// Runs a planned script with the bounded-queue streaming executor.
+///
+/// Statements execute in order (later statements may read files redirected
+/// by earlier ones); within a statement all segments run concurrently as
+/// described in the [module docs](self).
+pub fn run_streaming(
+    script: &Script,
+    plan: &PlannedScript,
+    ctx: &ExecContext,
+    opts: &StreamingOptions,
+) -> Result<ExecutionResult, CmdError> {
+    let mut output = Rope::new();
+    let mut timings = TimingLog::default();
+    for (statement, planned) in script.statements.iter().zip(&plan.statements) {
+        let input = gather_files(&statement.input, ctx)?;
+        let (stream, stage_timings) = if statement.stages.is_empty() {
+            (input, Vec::new())
+        } else {
+            run_statement(statement, planned, input, ctx, opts)?
+        };
+        timings.statements.push(stage_timings);
+        match &statement.output {
+            // Redirection stores the shared slice — no copy.
+            Some(target) => ctx.vfs.write(target.clone(), stream),
+            None => output.push(stream),
+        }
+    }
+    Ok(ExecutionResult {
+        output: output.into_bytes(),
+        timings,
+    })
+}
+
+/// Pipelines one statement: spawns the feeder, one worker set per segment,
+/// and drains the sink on the calling thread.
+fn run_statement(
+    statement: &Statement,
+    planned: &PlannedStatement,
+    input: Bytes,
+    ctx: &ExecContext,
+    opts: &StreamingOptions,
+) -> Result<(Bytes, Vec<StageTiming>), CmdError> {
+    let chunk_bytes = opts.chunk_bytes.max(1);
+    let queue_depth = opts.queue_depth.max(1);
+    let workers = opts.workers.max(1);
+    let segments = planned.stream_segments(opts.fuse_streamable);
+
+    // Channel i feeds segment i; the last channel is the sink.
+    let mut txs = Vec::with_capacity(segments.len() + 1);
+    let mut rxs = Vec::with_capacity(segments.len() + 1);
+    for _ in 0..=segments.len() {
+        let (tx, rx) = channel::bounded::<Chunk>(queue_depth);
+        txs.push(tx);
+        rxs.push(rx);
+    }
+    let mut txs = txs.into_iter();
+    let mut rxs = rxs.into_iter();
+
+    std::thread::scope(|scope| {
+        let feed_tx = txs.next().expect("feeder sender");
+        scope.spawn(move || {
+            for chunk in input.split_chunks(chunk_bytes).into_iter().enumerate() {
+                if feed_tx.send(chunk).is_err() {
+                    break; // downstream tore down; unwind quietly
+                }
+            }
+        });
+
+        let mut handles = Vec::with_capacity(segments.len());
+        for segment in &segments {
+            let seg_rx = rxs.next().expect("segment receiver");
+            let seg_tx = txs.next().expect("segment sender");
+            let handle = match segment.kind {
+                StreamSegmentKind::Sequential => {
+                    let cmd = &statement.stages[segment.stages.start].command;
+                    scope.spawn(move || -> Result<StageTiming, CmdError> {
+                        let mut rope = Rope::new();
+                        for (_seq, chunk) in seg_rx.iter() {
+                            // Downstream tore down (its own handle carries
+                            // the error): stop gathering so upstream
+                            // unwinds now instead of draining the stream.
+                            if seg_tx.is_disconnected() {
+                                return Ok(empty_timing(cmd.display(), false, false));
+                            }
+                            rope.push(chunk);
+                        }
+                        let stage_in = rope.into_bytes();
+                        let bytes_in = stage_in.len();
+                        let t0 = Instant::now();
+                        let out = cmd.run(stage_in, ctx)?;
+                        let elapsed = t0.elapsed();
+                        let bytes_out = out.len();
+                        for chunk in out.split_chunks(chunk_bytes).into_iter().enumerate() {
+                            if seg_tx.send(chunk).is_err() {
+                                break;
+                            }
+                        }
+                        Ok(StageTiming {
+                            label: cmd.display(),
+                            parallel: false,
+                            eliminated: false,
+                            piece_times: vec![elapsed],
+                            combine_time: Duration::ZERO,
+                            bytes_in,
+                            bytes_out,
+                            bytes_out_pieces: bytes_out,
+                        })
+                    })
+                }
+                StreamSegmentKind::Streaming | StreamSegmentKind::Barrier => {
+                    // The pool: `workers` threads pull chunks off the
+                    // segment's input channel (MPMC, cloned receiver) and
+                    // report results unordered on a bounded side channel —
+                    // the same shape as the chunked executor's pool, with
+                    // the feeder replaced by the upstream segment.
+                    let chain: Vec<&Command> = segment
+                        .stages
+                        .clone()
+                        .map(|i| &statement.stages[i].command)
+                        .collect();
+                    let label = chain
+                        .iter()
+                        .map(|c| c.display())
+                        .collect::<Vec<_>>()
+                        .join(" | ");
+                    let (res_tx, res_rx) =
+                        channel::bounded::<WorkerResult>((workers * 2).max(queue_depth));
+                    for _ in 0..workers {
+                        let rx = seg_rx.clone();
+                        let res_tx = res_tx.clone();
+                        let chain = chain.clone();
+                        scope.spawn(move || {
+                            for (seq, chunk) in rx.iter() {
+                                let in_len = chunk.len();
+                                let t0 = Instant::now();
+                                let out = run_chain(&chain, chunk, ctx);
+                                let failed = out.is_err();
+                                if res_tx.send((seq, in_len, t0.elapsed(), out)).is_err() || failed
+                                {
+                                    break;
+                                }
+                            }
+                        });
+                    }
+                    drop(seg_rx);
+                    drop(res_tx);
+
+                    match segment.kind {
+                        StreamSegmentKind::Streaming => scope
+                            .spawn(move || collect_streaming(label, res_rx, seg_tx, chunk_bytes)),
+                        StreamSegmentKind::Barrier => {
+                            let closing = segment.stages.start;
+                            let StageMode::Parallel { combiner, .. } =
+                                &planned.stages[closing].mode
+                            else {
+                                unreachable!("barrier segments are parallel stages");
+                            };
+                            let combiner = combiner.clone();
+                            let closing_cmd = &statement.stages[closing].command;
+                            scope.spawn(move || {
+                                collect_barrier(
+                                    label,
+                                    &combiner,
+                                    closing_cmd,
+                                    ctx,
+                                    res_rx,
+                                    seg_tx,
+                                    chunk_bytes,
+                                )
+                            })
+                        }
+                        StreamSegmentKind::Sequential => unreachable!(),
+                    }
+                }
+            };
+            handles.push(handle);
+        }
+
+        // Drain the sink here: the pipeline needs a live consumer before
+        // any segment result can be joined.
+        let sink_rx = rxs.next().expect("sink receiver");
+        let mut rope = Rope::new();
+        for (_seq, chunk) in sink_rx.iter() {
+            rope.push(chunk);
+        }
+
+        let mut stage_timings = Vec::with_capacity(handles.len());
+        let mut first_err: Option<CmdError> = None;
+        for handle in handles {
+            match handle.join().expect("segment thread panicked") {
+                Ok(timing) => stage_timings.push(timing),
+                Err(e) => first_err = first_err.or(Some(e)),
+            }
+        }
+        match first_err {
+            Some(e) => Err(e),
+            None => Ok((rope.into_bytes(), stage_timings)),
+        }
+    })
+}
+
+/// Collector for a streaming segment: restores input order, re-normalizes
+/// chunk sizes, and forwards downstream as soon as a contiguous prefix of
+/// outputs exists.
+fn collect_streaming(
+    label: String,
+    res_rx: channel::Receiver<WorkerResult>,
+    seg_tx: channel::Sender<Chunk>,
+    chunk_bytes: usize,
+) -> Result<StageTiming, CmdError> {
+    let mut pending: BTreeMap<usize, Bytes> = BTreeMap::new();
+    let mut next = 0usize;
+    let mut out_seq = 0usize;
+    let mut chunker = IncrementalChunker::new(chunk_bytes);
+    let mut piece_times: Vec<Duration> = Vec::new();
+    let (mut bytes_in, mut bytes_out) = (0usize, 0usize);
+    for (seq, in_len, dur, res) in res_rx.iter() {
+        record_piece(&mut piece_times, seq, dur);
+        bytes_in += in_len;
+        // A chain error tears the pipeline down: returning drops `res_rx`
+        // (pool workers' sends fail → they drop the input receiver →
+        // upstream sends fail) and `seg_tx` (downstream sees end-of-input
+        // and drains).
+        let out = res?;
+        pending.insert(seq, out);
+        while let Some(ready) = pending.remove(&next) {
+            next += 1;
+            bytes_out += ready.len();
+            for chunk in chunker.push(ready) {
+                if seg_tx.send((out_seq, chunk)).is_err() {
+                    // Downstream tore down (its own handle carries the
+                    // error). Returning, rather than draining `res_rx`,
+                    // stops this segment's workers — and transitively
+                    // everything upstream — immediately.
+                    return Ok(empty_timing(label, true, true));
+                }
+                out_seq += 1;
+            }
+        }
+    }
+    for chunk in chunker.finish() {
+        if seg_tx.send((out_seq, chunk)).is_err() {
+            return Ok(empty_timing(label, true, true));
+        }
+        out_seq += 1;
+    }
+    Ok(StageTiming {
+        label,
+        parallel: true,
+        eliminated: true, // no combiner ran: chunk outputs flowed through
+        piece_times,
+        combine_time: Duration::ZERO,
+        bytes_in,
+        bytes_out,
+        bytes_out_pieces: bytes_out,
+    })
+}
+
+/// Collector for a barrier segment: restores input order and folds chunk
+/// outputs through the stage's combiner *as they arrive*; only the final
+/// combined stream is re-chunked downstream.
+fn collect_barrier(
+    label: String,
+    combiner: &kq_synth::SynthesizedCombiner,
+    closing_cmd: &Command,
+    ctx: &ExecContext,
+    res_rx: channel::Receiver<WorkerResult>,
+    seg_tx: channel::Sender<Chunk>,
+    chunk_bytes: usize,
+) -> Result<StageTiming, CmdError> {
+    let env = CommandEnv {
+        command: closing_cmd,
+        ctx,
+    };
+    let mut accum = combiner.incremental(&env);
+    let mut pending: BTreeMap<usize, Bytes> = BTreeMap::new();
+    let mut next = 0usize;
+    let mut piece_times: Vec<Duration> = Vec::new();
+    let (mut bytes_in, mut bytes_out_pieces) = (0usize, 0usize);
+    let mut combine_time = Duration::ZERO;
+    for (seq, in_len, dur, res) in res_rx.iter() {
+        // This collector only transmits after end-of-input, so a blocked
+        // `send` cannot tell it the consumer died — poll instead, and bail
+        // without combining the rest (the failing segment's handle carries
+        // the error).
+        if seg_tx.is_disconnected() {
+            return Ok(empty_timing(label, true, false));
+        }
+        record_piece(&mut piece_times, seq, dur);
+        bytes_in += in_len;
+        let out = res?;
+        pending.insert(seq, out);
+        while let Some(piece) = pending.remove(&next) {
+            next += 1;
+            bytes_out_pieces += piece.len();
+            let t0 = Instant::now();
+            accum.push(piece);
+            combine_time += t0.elapsed();
+        }
+    }
+    let t0 = Instant::now();
+    let combined = accum
+        .finish()
+        .map_err(|e| CmdError::new(closing_cmd.display(), e.to_string()))?;
+    combine_time += t0.elapsed();
+    let bytes_out = combined.len();
+    for chunk in combined.split_chunks(chunk_bytes).into_iter().enumerate() {
+        if seg_tx.send(chunk).is_err() {
+            break;
+        }
+    }
+    Ok(StageTiming {
+        label,
+        parallel: true,
+        eliminated: false,
+        piece_times,
+        combine_time,
+        bytes_in,
+        bytes_out,
+        bytes_out_pieces,
+    })
+}
+
+/// The placeholder timing a segment returns when it bails out because a
+/// downstream segment tore the pipeline down — the statement is about to
+/// surface that segment's error, so these numbers are never reported.
+fn empty_timing(label: String, parallel: bool, eliminated: bool) -> StageTiming {
+    StageTiming {
+        label,
+        parallel,
+        eliminated,
+        piece_times: Vec::new(),
+        combine_time: Duration::ZERO,
+        bytes_in: 0,
+        bytes_out: 0,
+        bytes_out_pieces: 0,
+    }
+}
+
+/// Slots a piece duration at its chunk ordinal (results arrive unordered).
+fn record_piece(times: &mut Vec<Duration>, seq: usize, dur: Duration) {
+    if times.len() <= seq {
+        times.resize(seq + 1, Duration::ZERO);
+    }
+    times[seq] = dur;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::exec::run_serial;
+    use crate::parse::parse_script;
+    use crate::plan::Planner;
+    use kq_synth::SynthesisConfig;
+    use std::collections::HashMap;
+
+    fn make_input(lines: usize) -> String {
+        let words = ["apple", "dog", "cat", "apple", "bird", "cat", "fox"];
+        let mut s = String::new();
+        for i in 0..lines {
+            s.push_str(&format!(
+                "{} {} line {}\n",
+                words[i % words.len()],
+                words[(i * 3 + 1) % words.len()],
+                i % 11
+            ));
+        }
+        s
+    }
+
+    fn check(script_text: &str, chunk_bytes: usize) {
+        let env: HashMap<String, String> = HashMap::new();
+        let script = parse_script(script_text, &env).unwrap();
+        let ctx = ExecContext::default();
+        ctx.vfs.write("/in.txt", make_input(500));
+        let serial = run_serial(&script, &ctx).unwrap();
+        let mut planner = Planner::new(SynthesisConfig::default());
+        let plan = planner.plan(&script, &ctx, &make_input(100));
+        for workers in [1, 3] {
+            for queue_depth in [1, 4] {
+                for fuse in [true, false] {
+                    let opts = StreamingOptions {
+                        workers,
+                        chunk_bytes,
+                        queue_depth,
+                        fuse_streamable: fuse,
+                    };
+                    let got = run_streaming(&script, &plan, &ctx, &opts).unwrap();
+                    assert_eq!(
+                        got.output, serial.output,
+                        "{script_text:?} differs (w={workers}, chunk={chunk_bytes}, \
+                         depth={queue_depth}, fuse={fuse})"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn word_frequency_streams() {
+        check(
+            "cat /in.txt | cut -d ' ' -f 1 | sort | uniq -c | sort -rn",
+            256,
+        );
+    }
+
+    #[test]
+    fn streamable_chain_streams() {
+        check(
+            "cat /in.txt | grep apple | tr a-z A-Z | cut -d ' ' -f 1",
+            300,
+        );
+    }
+
+    #[test]
+    fn counting_pipeline_streams() {
+        check("cat /in.txt | grep apple | wc -l", 512);
+    }
+
+    #[test]
+    fn sequential_stage_mid_pipeline() {
+        // sed 1d has no combiner: gather → run once → re-chunk.
+        check("cat /in.txt | sed 1d | sort | uniq", 400);
+    }
+
+    #[test]
+    fn chunk_larger_than_input_degenerates_to_serial() {
+        check("cat /in.txt | sort | uniq -c", 10_000_000);
+    }
+
+    #[test]
+    fn one_byte_chunks_are_one_line_each() {
+        check("cat /in.txt | cut -d ' ' -f 2 | sort | uniq -c", 1);
+    }
+
+    #[test]
+    fn redirect_chain_streams() {
+        check(
+            "cat /in.txt | cut -d ' ' -f 1 | sort > /tmp1\ncat /tmp1 | uniq -c | sort -rn",
+            350,
+        );
+    }
+
+    #[test]
+    fn empty_input_is_fine() {
+        let env: HashMap<String, String> = HashMap::new();
+        let script = parse_script("cat /empty | sort | uniq -c", &env).unwrap();
+        let ctx = ExecContext::default();
+        ctx.vfs.write("/empty", "");
+        let mut planner = Planner::new(SynthesisConfig::default());
+        let plan = planner.plan(&script, &ctx, &make_input(50));
+        let got = run_streaming(&script, &plan, &ctx, &StreamingOptions::default()).unwrap();
+        assert_eq!(got.output, "");
+    }
+
+    #[test]
+    fn timing_log_reports_segments() {
+        let env: HashMap<String, String> = HashMap::new();
+        let script = parse_script("cat /in.txt | tr A-Z a-z | grep a | sort", &env).unwrap();
+        let ctx = ExecContext::default();
+        let input = make_input(400);
+        ctx.vfs.write("/in.txt", &input);
+        let mut planner = Planner::new(SynthesisConfig::default());
+        let plan = planner.plan(&script, &ctx, &input);
+        let opts = StreamingOptions {
+            workers: 2,
+            chunk_bytes: 1024,
+            queue_depth: 2,
+            fuse_streamable: true,
+        };
+        let got = run_streaming(&script, &plan, &ctx, &opts).unwrap();
+        let stages = &got.timings.statements[0];
+        // tr|grep fuse into one streaming segment; sort barriers.
+        assert_eq!(stages.len(), 2);
+        assert!(stages[0].label.contains('|'));
+        assert!(stages[0].eliminated, "streaming segment skips its combiner");
+        assert!(!stages[1].eliminated, "sort combines");
+        assert!(stages[1].combine_time > Duration::ZERO);
+        assert!(stages[0].piece_times.len() > 1, "expected many chunks");
+    }
+
+    #[test]
+    fn missing_input_file_is_an_error() {
+        let script = parse_script("cat /absent | sort", &HashMap::new()).unwrap();
+        let ctx = ExecContext::default();
+        let mut planner = Planner::new(SynthesisConfig::default());
+        let plan = planner.plan(&script, &ctx, "b\na\n");
+        assert!(run_streaming(&script, &plan, &ctx, &StreamingOptions::default()).is_err());
+    }
+}

@@ -44,10 +44,12 @@
 #![warn(missing_docs)]
 
 pub mod bytes;
+pub mod chunker;
 pub mod delim;
 pub mod split;
 
 pub use bytes::{concat_bytes, Bytes, Rope};
+pub use chunker::IncrementalChunker;
 pub use delim::Delim;
 pub use split::{split_chunks, split_stream};
 

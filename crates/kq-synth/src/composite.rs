@@ -108,6 +108,77 @@ impl SynthesizedCombiner {
         }
         kway::combine_all(self.members.last().expect("non-empty"), pieces, env)
     }
+
+    /// Starts an incremental k-way combine: substreams are folded as they
+    /// arrive (see [`kway::IncrementalFold`]) instead of being gathered
+    /// first, so combine work overlaps with whatever produces the pieces.
+    ///
+    /// The fold speculatively commits to the primary member (the one
+    /// [`combine_all`](Self::combine_all) picks for well-formed adjacent
+    /// substreams). Raw piece *handles* are retained alongside — they are
+    /// refcounted slices, so this costs O(pieces), not O(bytes) — and if
+    /// any incremental step fails, [`IncrementalCombine::finish`] falls
+    /// back to the gather-first [`combine_all`](Self::combine_all) over
+    /// them, restoring the composite's full member-selection semantics.
+    pub fn incremental<'a>(&'a self, env: &'a dyn RunEnv) -> IncrementalCombine<'a> {
+        IncrementalCombine {
+            combiner: self,
+            env,
+            raw: Vec::new(),
+            fold: Some(kway::IncrementalFold::new(self.primary(), env)),
+        }
+    }
+}
+
+/// Incremental combining over a [`SynthesizedCombiner`] (see
+/// [`SynthesizedCombiner::incremental`]).
+pub struct IncrementalCombine<'a> {
+    combiner: &'a SynthesizedCombiner,
+    env: &'a dyn RunEnv,
+    /// Every pushed piece, kept for the gather-first fallback. Handles
+    /// only: the payload is shared with the fold.
+    raw: Vec<Bytes>,
+    /// The speculative primary-member fold; `None` after a step failed.
+    fold: Option<kway::IncrementalFold<'a>>,
+}
+
+impl IncrementalCombine<'_> {
+    /// Folds in the next substream. Never fails: a combine error merely
+    /// disables the speculative fold, and [`finish`](Self::finish) takes
+    /// the gather-first path instead.
+    pub fn push(&mut self, piece: Bytes) {
+        if let Some(fold) = &mut self.fold {
+            // Committing to the primary member is sound only under the
+            // condition [`combine_all`](SynthesizedCombiner::combine_all)
+            // would select it: every piece lies in its legal domain. An
+            // out-of-domain piece might still *evaluate* cleanly at the
+            // boundaries the fold touches while the composite would have
+            // chosen another member — so the domain check, not evaluation
+            // success, gates the speculation. Single-member composites
+            // skip the scan: selection is unconditional there.
+            let multi = self.combiner.members.len() > 1;
+            let primary = self.combiner.primary();
+            let admissible = !multi
+                || piece.is_empty()
+                || piece
+                    .to_str()
+                    .is_ok_and(|s| domain::in_domain(&primary.op, s));
+            if !admissible || fold.push(piece.clone()).is_err() {
+                self.fold = None;
+            }
+        }
+        self.raw.push(piece);
+    }
+
+    /// Settles into the combined stream.
+    pub fn finish(self) -> Result<Bytes, EvalError> {
+        if let Some(fold) = self.fold {
+            if let Ok(combined) = fold.finish() {
+                return Ok(combined);
+            }
+        }
+        self.combiner.combine_all(&self.raw, self.env)
+    }
 }
 
 #[cfg(test)]

@@ -33,7 +33,7 @@ pub mod preprocess;
 pub mod shape;
 pub mod synthesize;
 
-pub use composite::SynthesizedCombiner;
+pub use composite::{IncrementalCombine, SynthesizedCombiner};
 pub use preprocess::{preprocess, InputProfile, Preprocessed};
 pub use shape::{Config, InputShape, Mutation};
 pub use synthesize::{synthesize, SynthesisConfig, SynthesisOutcome, SynthesisReport};

@@ -84,6 +84,14 @@ pub mod channel {
     }
 
     impl<T> Sender<T> {
+        /// True when every receiver has been dropped (a subsequent `send`
+        /// would fail). Lets producers with batched sends — e.g. a
+        /// combiner that only transmits at end-of-input — notice a
+        /// downstream teardown early and stop consuming.
+        pub fn is_disconnected(&self) -> bool {
+            self.inner.receivers.load(Ordering::SeqCst) == 0
+        }
+
         /// Blocks until the value is enqueued; errors when every receiver
         /// has been dropped.
         pub fn send(&self, value: T) -> Result<(), SendError<T>> {
@@ -204,7 +212,9 @@ mod tests {
     #[test]
     fn send_fails_without_receivers() {
         let (tx, rx) = channel::unbounded::<u8>();
+        assert!(!tx.is_disconnected());
         drop(rx);
+        assert!(tx.is_disconnected());
         assert!(tx.send(1).is_err());
     }
 

@@ -9,6 +9,9 @@
 //! wrong output.
 
 use kumquat::coreutils::{Bytes, CmdError, Command, ExecContext, UnixCommand};
+use kumquat::pipeline::plan::Planner;
+use kumquat::pipeline::streaming::{run_streaming, StreamingOptions};
+use kumquat::pipeline::{InputSource, Script, Stage, Statement};
 use kumquat::synth::{synthesize, SynthesisConfig, SynthesisOutcome};
 use kumquat::Kumquat;
 use std::sync::atomic::{AtomicUsize, Ordering};
@@ -153,6 +156,26 @@ fn missing_input_file_fails_before_spawning_workers() {
 }
 
 #[test]
+fn foreign_bytes_fail_consistently_piped_and_as_file_operand() {
+    // ROADMAP's non-UTF-8 inconsistency, pinned end-to-end: a foreign
+    // input file fails the same way whether the bytes reach the command
+    // through a pipe (`cat /foreign | sort`) or as a file operand
+    // (`sort /foreign`). Before the fix the operand path silently
+    // produced lossily-transcoded output.
+    let mut kq = Kumquat::new();
+    kq.write_file("/foreign", vec![0xffu8, 0xfe, b'x', b'\n']);
+    let piped = kq
+        .parallelize_and_run("cat /foreign | sort", 2)
+        .expect_err("piped foreign bytes must fail");
+    let operand = kq
+        .parallelize_and_run("sort /foreign", 2)
+        .expect_err("file-operand foreign bytes must fail");
+    for err in [&piped, &operand] {
+        assert!(err.to_string().contains("not valid UTF-8"), "{err}");
+    }
+}
+
+#[test]
 fn zero_length_input_runs_through_every_executor() {
     let mut kq = Kumquat::new();
     kq.write_file("/empty.txt", "");
@@ -160,4 +183,169 @@ fn zero_length_input_runs_through_every_executor() {
         .parallelize_and_run("cat /empty.txt | sort | uniq -c | sort -rn", 8)
         .unwrap();
     assert_eq!(run.output, "");
+}
+
+/// Builds `cat /in.txt | <prefix...> | poison-sensitive | <tail...>` as a
+/// Script (the parser cannot produce custom commands), with a manual
+/// concat combiner registered so the planner keeps the poison stage
+/// parallel — and, since its probe outputs are streams, *chunk-local*,
+/// i.e. on the streaming executor's fast path.
+fn poison_script(
+    ctx: &ExecContext,
+    prefix: &[&str],
+    tail: &[&str],
+) -> (Script, kumquat::pipeline::PlannedScript) {
+    use kumquat::dsl::ast::{Candidate, RecOp};
+    use kumquat::synth::SynthesizedCombiner;
+    let mut stages: Vec<Stage> = prefix
+        .iter()
+        .map(|t| Stage {
+            command: kumquat::coreutils::parse_command(t).unwrap(),
+        })
+        .collect();
+    stages.push(Stage {
+        command: Command::custom(vec!["poison-sensitive".into()], Box::new(PoisonSensitive)),
+    });
+    for t in tail {
+        stages.push(Stage {
+            command: kumquat::coreutils::parse_command(t).unwrap(),
+        });
+    }
+    let script = Script {
+        statements: vec![Statement {
+            stages,
+            input: InputSource::Files(vec!["/in.txt".to_owned()]),
+            output: None,
+        }],
+    };
+    let mut planner = Planner::new(SynthesisConfig::default());
+    planner.register_manual(
+        "poison-sensitive",
+        SynthesizedCombiner::from_plausible(vec![Candidate::rec(RecOp::Concat)]),
+    );
+    let sample: String = (0..50).map(|i| format!("clean line {i}\n")).collect();
+    let plan = planner.plan(&script, ctx, &sample);
+    (script, plan)
+}
+
+/// Runs `run_streaming` on another thread under a watchdog: the streaming
+/// pipeline must *return* (tearing down every worker — scoped threads
+/// cannot leak past the call) within the timeout, not hang on a blocked
+/// channel.
+fn streaming_under_watchdog(
+    ctx: ExecContext,
+    script: Script,
+    plan: kumquat::pipeline::PlannedScript,
+    opts: StreamingOptions,
+) -> Result<Bytes, CmdError> {
+    let (done_tx, done_rx) = std::sync::mpsc::channel();
+    let handle = std::thread::spawn(move || {
+        let result = run_streaming(&script, &plan, &ctx, &opts).map(|r| r.output);
+        done_tx.send(()).ok();
+        result
+    });
+    done_rx
+        .recv_timeout(std::time::Duration::from_secs(30))
+        .expect("streaming pipeline hung: teardown did not complete within the watchdog");
+    handle.join().expect("streaming thread panicked")
+}
+
+#[test]
+fn streaming_mid_pipeline_error_tears_down_promptly() {
+    // The poison line lands mid-stream: upstream chunks have already been
+    // forwarded, downstream stages (a barrier sort and a chunk-local tr)
+    // are already consuming, and the queues are depth-1 so every channel
+    // is under backpressure when the failing chunk is hit.
+    let ctx = ExecContext::default();
+    let mut input = String::new();
+    for i in 0..400 {
+        input.push_str(&format!("line number {i}\n"));
+        if i == 200 {
+            input.push_str("POISON\n");
+        }
+    }
+    ctx.vfs.write("/in.txt", input);
+    let (script, plan) = poison_script(&ctx, &[], &["tr a-z A-Z", "sort"]);
+    let opts = StreamingOptions {
+        workers: 2,
+        chunk_bytes: 64,
+        queue_depth: 1,
+        fuse_streamable: true,
+    };
+    let err = streaming_under_watchdog(ctx, script, plan, opts)
+        .expect_err("the poison chunk must fail the run");
+    assert!(
+        err.to_string().contains("poison-sensitive"),
+        "error not attributed to the failing stage: {err}"
+    );
+}
+
+#[test]
+fn streaming_error_downstream_of_sequential_stage_tears_down() {
+    // The failing stage sits *after* a sequential stage (sed 1d gathers
+    // everything first), so the error propagates backwards across a
+    // gather boundary and forwards into a barrier (uniq -c).
+    let ctx = ExecContext::default();
+    let mut input = String::new();
+    for i in 0..300 {
+        input.push_str(&format!("row {i}\n"));
+    }
+    input.push_str("POISON\n");
+    ctx.vfs.write("/in.txt", input);
+    let (script, plan) = poison_script(&ctx, &["sed 1d"], &["uniq -c"]);
+    let opts = StreamingOptions {
+        workers: 1,
+        chunk_bytes: 32,
+        queue_depth: 1,
+        fuse_streamable: true,
+    };
+    let err = streaming_under_watchdog(ctx, script, plan, opts)
+        .expect_err("poison after the gather stage must fail the run");
+    assert!(err.to_string().contains("poison-sensitive"), "{err}");
+}
+
+#[test]
+fn streaming_error_downstream_of_streamable_run_tears_down() {
+    // The failing stage is the *last* segment; the streamable run ahead
+    // of it (tr | cut fused) must notice the teardown and stop rather
+    // than chain-process the rest of the stream, and the feeder must
+    // unwind behind it.
+    let ctx = ExecContext::default();
+    let mut input = String::new();
+    for i in 0..2_000 {
+        input.push_str(&format!("line number {i}\n"));
+        if i == 40 {
+            input.push_str("POISON\n");
+        }
+    }
+    ctx.vfs.write("/in.txt", input);
+    let (script, plan) = poison_script(&ctx, &["tr a-z A-Z", "cut -d ' ' -f 1-3"], &[]);
+    let opts = StreamingOptions {
+        workers: 2,
+        chunk_bytes: 64,
+        queue_depth: 1,
+        fuse_streamable: true,
+    };
+    let err = streaming_under_watchdog(ctx, script, plan, opts)
+        .expect_err("poison in the final segment must fail the run");
+    assert!(err.to_string().contains("poison-sensitive"), "{err}");
+}
+
+#[test]
+fn streaming_clean_run_of_custom_stage_matches_serial() {
+    // Sanity check on the same harness without poison: the custom stage
+    // uppercases, and streaming equals serial.
+    let ctx = ExecContext::default();
+    let input: String = (0..200).map(|i| format!("word {i}\n")).collect();
+    ctx.vfs.write("/in.txt", input);
+    let (script, plan) = poison_script(&ctx, &[], &["sort", "uniq"]);
+    let serial = kumquat::pipeline::exec::run_serial(&script, &ctx).unwrap();
+    let opts = StreamingOptions {
+        workers: 2,
+        chunk_bytes: 128,
+        queue_depth: 2,
+        fuse_streamable: true,
+    };
+    let got = streaming_under_watchdog(ctx, script, plan, opts).unwrap();
+    assert_eq!(got, serial.output);
 }

@@ -202,6 +202,60 @@ proptest! {
         }
     }
 
+    /// The incremental chunker's contract, for arbitrary segmentations of
+    /// arbitrary line material and arbitrary targets: (1) concatenating
+    /// every yielded chunk reproduces the concatenated input exactly;
+    /// (2) every chunk boundary is line-aligned (all but the final chunk
+    /// end with '\n', and the final chunk is unterminated only when the
+    /// input is); (3) no chunk exceeds the target unless a single line
+    /// forces it — the bytes past the target contain no interior newline.
+    #[test]
+    fn incremental_chunker_partitions_and_aligns(
+        segments in proptest::collection::vec("[a-z\n]{0,24}", 0..12),
+        target in 1usize..48,
+        terminated in 0u8..2,
+    ) {
+        let mut input: String = segments.concat();
+        if terminated == 1 && !input.ends_with('\n') {
+            input.push('\n');
+        }
+        // Re-segment the (possibly adjusted) input at arbitrary points so
+        // pushed segments need not be line-aligned.
+        let mut chunker = kq_stream::IncrementalChunker::new(target);
+        let mut chunks = Vec::new();
+        let mut rest = input.as_str();
+        for seg in &segments {
+            let take = seg.len().min(rest.len());
+            let (head, tail) = rest.split_at(take);
+            rest = tail;
+            chunks.extend(chunker.push(kq_stream::Bytes::from(head)));
+        }
+        chunks.extend(chunker.push(kq_stream::Bytes::from(rest)));
+        chunks.extend(chunker.finish());
+
+        // (1) Exact partition.
+        let rebuilt: String = chunks.iter().map(|c| c.as_str().to_owned()).collect();
+        prop_assert_eq!(rebuilt, input.clone());
+        // (2) Line-aligned boundaries.
+        for c in &chunks[..chunks.len().saturating_sub(1)] {
+            prop_assert!(c.ends_with_newline(), "interior chunk {c:?} not line-aligned");
+        }
+        if let Some(last) = chunks.last() {
+            prop_assert_eq!(last.ends_with_newline(), input.ends_with('\n'));
+        }
+        // (3) Oversize only from a single long line.
+        for c in &chunks {
+            if c.len() > target {
+                let overflow = &c.as_bytes()[target - 1..c.len() - 1];
+                prop_assert!(
+                    !overflow.contains(&b'\n'),
+                    "chunk {c:?} exceeds target {target} without a forcing line"
+                );
+            }
+            prop_assert!(!c.is_empty(), "chunker must not emit empty chunks");
+        }
+    }
+
     /// Same partition/alignment contract for the k-way stream splitter,
     /// plus the piece-count bound.
     #[test]

@@ -1,0 +1,128 @@
+//! The serial-vs-streaming differential harness: every executor must
+//! produce byte-identical output on every script of the paper corpus.
+//!
+//! `run_serial` is the semantics oracle. `run_parallel` (static split),
+//! `run_chunked` (dynamic load balancing), and `run_streaming`
+//! (bounded-queue pipelining) each re-schedule the same work in a
+//! different way, and the combiner equation is the only thing standing
+//! between a scheduling change and silent corruption — so the whole
+//! 70-script corpus runs through all four, and the streaming executor
+//! additionally sweeps chunk sizes including the degenerate extremes
+//! (1 byte → one chunk per line; larger than the input → one chunk
+//! total, i.e. serial execution with channel plumbing).
+
+use kq_coreutils::ExecContext;
+use kq_pipeline::chunked::{run_chunked, ChunkedOptions};
+use kq_pipeline::exec::{run_parallel, run_serial};
+use kq_pipeline::parse::parse_script;
+use kq_pipeline::plan::Planner;
+use kq_pipeline::streaming::{run_streaming, StreamingOptions};
+use kq_synth::SynthesisConfig;
+use kq_workloads::{corpus, setup, Scale};
+
+#[test]
+fn full_corpus_all_executors_agree() {
+    let scale = Scale {
+        input_bytes: 10_000,
+    };
+    // One planner across scripts: combiners cache per command line.
+    let mut planner = Planner::new(SynthesisConfig::default());
+    for script in corpus() {
+        let ctx = ExecContext::default();
+        let env = setup(script, &ctx, &scale, 0xD1FF);
+        let parsed = parse_script(script.text, &env)
+            .unwrap_or_else(|e| panic!("{}/{} parse: {e}", script.suite.dir(), script.id));
+        let sample = ctx.vfs.read(&env["IN"]).unwrap();
+        let cut = sample[..sample.len().min(8_000)]
+            .rfind('\n')
+            .map(|i| i + 1)
+            .unwrap_or(sample.len());
+        let plan = planner.plan(&parsed, &ctx, &sample[..cut]);
+
+        let id = format!("{}/{}", script.suite.dir(), script.id);
+        let serial = run_serial(&parsed, &ctx).unwrap_or_else(|e| panic!("{id} serial: {e}"));
+
+        let parallel = run_parallel(&parsed, &plan, &ctx, 3, true)
+            .unwrap_or_else(|e| panic!("{id} parallel: {e}"));
+        assert_eq!(parallel.output, serial.output, "{id}: parallel diverged");
+
+        let copts = ChunkedOptions {
+            workers: 3,
+            chunk_bytes: 700,
+            honor_elimination: true,
+        };
+        let chunked = run_chunked(&parsed, &plan, &ctx, &copts)
+            .unwrap_or_else(|e| panic!("{id} chunked: {e}"));
+        assert_eq!(chunked.output, serial.output, "{id}: chunked diverged");
+
+        // Streaming sweep: degenerate 1-byte chunks (one line each), a
+        // mid-size target, and a target larger than any input.
+        for chunk_bytes in [1usize, 700, 1 << 24] {
+            let sopts = StreamingOptions {
+                workers: 2,
+                chunk_bytes,
+                queue_depth: 2,
+                fuse_streamable: true,
+            };
+            let streaming = run_streaming(&parsed, &plan, &ctx, &sopts)
+                .unwrap_or_else(|e| panic!("{id} streaming (chunk={chunk_bytes}): {e}"));
+            assert_eq!(
+                streaming.output, serial.output,
+                "{id}: streaming diverged at chunk_bytes={chunk_bytes}"
+            );
+        }
+    }
+}
+
+#[test]
+fn streaming_options_sweep_on_boundary_sensitive_scripts() {
+    // Deeper option sweep on pipelines whose combiners are sensitive to
+    // where the stream splits (uniq -c stitching, sort merging, head
+    // rerun), exercising single-worker pools, depth-1 queues (fully
+    // lock-step), and unfused per-stage channels.
+    let scale = Scale {
+        input_bytes: 20_000,
+    };
+    let mut planner = Planner::new(SynthesisConfig::default());
+    let picks = ["wf.sh", "2.sh", "4_3.sh"];
+    let selected: Vec<_> = corpus()
+        .iter()
+        .filter(|s| picks.contains(&s.id) || (s.id == "4.sh" && s.suite.dir() == "analytics-mts"))
+        .collect();
+    assert!(
+        selected.len() >= 4,
+        "pick list drifted from the corpus: {selected:?}"
+    );
+    for script in selected {
+        let ctx = ExecContext::default();
+        let env = setup(script, &ctx, &scale, 7);
+        let parsed = parse_script(script.text, &env).unwrap();
+        let sample = ctx.vfs.read(&env["IN"]).unwrap();
+        let cut = sample[..sample.len().min(8_000)]
+            .rfind('\n')
+            .map(|i| i + 1)
+            .unwrap_or(sample.len());
+        let plan = planner.plan(&parsed, &ctx, &sample[..cut]);
+        let serial = run_serial(&parsed, &ctx).unwrap();
+        for workers in [1usize, 4] {
+            for queue_depth in [1usize, 8] {
+                for fuse in [true, false] {
+                    let opts = StreamingOptions {
+                        workers,
+                        chunk_bytes: 512,
+                        queue_depth,
+                        fuse_streamable: fuse,
+                    };
+                    let got = run_streaming(&parsed, &plan, &ctx, &opts).unwrap();
+                    assert_eq!(
+                        got.output,
+                        serial.output,
+                        "{}/{} diverged (w={workers}, depth={queue_depth}, fuse={fuse})",
+                        script.suite.dir(),
+                        script.id
+                    );
+                }
+            }
+        }
+    }
+}
