@@ -1,0 +1,81 @@
+//! Heap read versus mmap for file ingest: the O(file) / O(1) split.
+//!
+//! Heap ingest (`MmapMode::Off`) pays one full copy before the first
+//! chunk can move — its cost scales linearly with file size. Mapped
+//! ingest (`MmapMode::On`) is a syscall plus page-table setup: no byte is
+//! copied or touched, so its cost is flat across file sizes (the
+//! `mapped_*` series should be size-independent and several orders of
+//! magnitude below `heap_*` at the top size).
+//!
+//! `first_chunk/*` additionally measures ingest-to-first-chunk latency —
+//! the time until a streaming pipeline can start — where the mapped path
+//! only faults the first chunk's pages in.
+//!
+//! Run with `cargo bench -p kq-bench --bench mmap_ingest`
+//! (`KQ_BENCH_QUICK=1` for the CI smoke) and record the numbers in
+//! CHANGES.md when they move.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use kq_io::{read_path, IngestOptions, MmapMode};
+use kq_workloads::inputs::gutenberg_text;
+use std::hint::black_box;
+use std::path::PathBuf;
+
+const MIB: usize = 1024 * 1024;
+
+/// Writes a corpus-shaped file of `mib` MiB once, returning its path (the
+/// bench iterations only read it).
+fn corpus_file(dir: &std::path::Path, mib: usize) -> PathBuf {
+    let path = dir.join(format!("ingest-{mib}mib.txt"));
+    if !path.is_file() {
+        std::fs::write(&path, gutenberg_text(mib * MIB, 42)).unwrap();
+    }
+    path
+}
+
+fn bench_ingest(c: &mut Criterion) {
+    let dir = std::env::temp_dir().join(format!("kq-mmap-ingest-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+
+    let mut group = c.benchmark_group("ingest");
+    group.sample_size(10);
+    for mib in [4usize, 16, 64] {
+        let path = corpus_file(&dir, mib);
+        group.throughput(Throughput::Bytes((mib * MIB) as u64));
+        group.bench_function(format!("heap_{mib}MiB"), |b| {
+            b.iter(|| {
+                read_path(black_box(&path), &IngestOptions::with_mode(MmapMode::Off))
+                    .unwrap()
+                    .len()
+            })
+        });
+        group.bench_function(format!("mapped_{mib}MiB"), |b| {
+            b.iter(|| {
+                read_path(black_box(&path), &IngestOptions::with_mode(MmapMode::On))
+                    .unwrap()
+                    .len()
+            })
+        });
+    }
+    group.finish();
+
+    // Ingest-to-first-chunk: how long before a streaming pipeline has its
+    // first 64 KiB line-aligned chunk in hand.
+    let mut group = c.benchmark_group("first_chunk");
+    group.sample_size(10);
+    for mode in [MmapMode::Off, MmapMode::On] {
+        let path = corpus_file(&dir, 64);
+        group.bench_function(format!("{mode}_64MiB"), |b| {
+            b.iter(|| {
+                let bytes = read_path(black_box(&path), &IngestOptions::with_mode(mode)).unwrap();
+                bytes.chunks(64 * 1024).next().map(|c| c.len())
+            })
+        });
+    }
+    group.finish();
+
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+criterion_group!(benches, bench_ingest);
+criterion_main!(benches);

@@ -31,6 +31,7 @@ const VALUED: &[&str] = &[
     "exec",
     "chunk-kb",
     "queue-depth",
+    "mmap",
 ];
 
 impl ParsedArgs {
@@ -87,6 +88,18 @@ impl ParsedArgs {
                 .parse::<T>()
                 .map_err(|_| format!("--{name}: invalid value {v:?}")),
         }
+    }
+
+    /// `--name` parsed as a *nonzero* count, or `default` when absent.
+    /// Every caller is a capacity knob (workers, chunk size, queue depth)
+    /// where 0 would deadlock the bounded queues or make no progress, so
+    /// zero is rejected with its own message rather than a parse error.
+    pub fn opt_parse_nonzero(&self, name: &str, default: usize) -> Result<usize, String> {
+        let v = self.opt_parse::<usize>(name, default)?;
+        if v == 0 {
+            return Err(format!("--{name} must be at least 1"));
+        }
+        Ok(v)
     }
 
     /// All `--var NAME=VALUE` bindings (repeatable via comma separation).
@@ -181,5 +194,29 @@ mod tests {
     fn invalid_number_is_an_error() {
         let a = parse(&["plan", "x", "--workers", "lots"]);
         assert!(a.opt_parse::<usize>("workers", 1).is_err());
+    }
+
+    #[test]
+    fn zero_counts_are_rejected_with_a_clear_message() {
+        for name in ["queue-depth", "chunk-kb", "workers"] {
+            let a = parse(&["run", "x", &format!("--{name}"), "0"]);
+            let err = a.opt_parse_nonzero(name, 4).unwrap_err();
+            assert_eq!(err, format!("--{name} must be at least 1"));
+        }
+    }
+
+    #[test]
+    fn nonzero_counts_parse_and_default() {
+        let a = parse(&["run", "x", "--queue-depth", "8"]);
+        assert_eq!(a.opt_parse_nonzero("queue-depth", 4).unwrap(), 8);
+        assert_eq!(a.opt_parse_nonzero("chunk-kb", 64).unwrap(), 64);
+    }
+
+    #[test]
+    fn non_numeric_count_names_the_option() {
+        let a = parse(&["run", "x", "--queue-depth", "deep"]);
+        let err = a.opt_parse_nonzero("queue-depth", 4).unwrap_err();
+        assert!(err.contains("--queue-depth"), "{err}");
+        assert!(err.contains("invalid value"), "{err}");
     }
 }

@@ -9,9 +9,11 @@ use crate::args::ParsedArgs;
 use crate::emit::{emit_script, EmitOptions};
 use crate::report::{render_plan, render_synthesis};
 use kq_coreutils::ExecContext;
+use kq_io::{IngestOptions, MmapMode};
 use kq_pipeline::exec::{run_parallel, run_serial};
 use kq_pipeline::parse::{parse_script, InputSource, Script};
 use kq_pipeline::plan::{PlannedScript, Planner};
+use kq_stream::Bytes;
 use kq_synth::SynthesisConfig;
 use std::collections::HashMap;
 use std::fmt::Write as _;
@@ -62,13 +64,19 @@ USAGE:
     kumquat run <script|file> [--workers N] [--no-opt] [--var ...]
                                [--exec static|chunked|streaming]
                                [--chunk-kb N] [--queue-depth N]
+                               [--mmap auto|on|off] [--no-verify]
         Execute a script with N-way data parallelism (default 4); the
-        parallel output is verified against the serial output. Files named
-        by the script are read from the host filesystem. The chunked
-        executor load-balances many small chunks over the worker pool; the
-        streaming executor additionally pipelines stages through bounded
-        chunk queues so a stage starts before its predecessor finishes.
-        (--executor is accepted as an alias for --exec.)
+        parallel output is verified against the serial output unless
+        --no-verify is given (the serial oracle re-reads the whole input
+        onto the heap — skip it for out-of-core runs). Files named
+        by the script are read from the host filesystem — memory-mapped
+        into the data plane when large (--mmap auto, the default; 'on'
+        and 'off' force one backing), so multi-GB inputs are never copied
+        into the heap. The chunked executor load-balances many small
+        chunks over the worker pool; the streaming executor additionally
+        pipelines stages through bounded chunk queues so a stage starts
+        before its predecessor finishes. (--executor is accepted as an
+        alias for --exec.)
     kumquat emit <script|file> [--workers N] [--no-opt] [--out FILE]
         Compile the script into a runnable POSIX shell script that uses
         the real Unix commands plus the synthesized combiners.
@@ -106,11 +114,32 @@ fn cmd_synthesize(args: &ParsedArgs) -> Result<CliOutput, String> {
     })
 }
 
+/// The ingest policy from `--mmap auto|on|off` (default `auto`: map files
+/// at or above the size threshold, heap-read the rest).
+fn ingest_options(args: &ParsedArgs) -> Result<IngestOptions, String> {
+    match args.opt("mmap") {
+        None => Ok(IngestOptions::default()),
+        Some(v) => v
+            .parse::<MmapMode>()
+            .map(IngestOptions::with_mode)
+            .map_err(|e| format!("--mmap: {e}")),
+    }
+}
+
+/// The one host-file ingest door: every path the CLI reads — the script
+/// argument, files the script references, `--input` — comes through here,
+/// so error attribution (`path: message`) and the hard UTF-8 policy are
+/// identical everywhere, and `--mmap` governs them all. Large files enter
+/// the data plane as mapped regions without a heap read.
+fn ingest_file(path: &str, opts: &IngestOptions) -> Result<Bytes, String> {
+    kq_io::read_path_text(path, opts).map_err(|e| format!("{path}: {e}"))
+}
+
 /// Reads the script argument: a file path when one exists, otherwise the
 /// argument itself is the script text.
-fn load_script_text(arg: &str) -> Result<String, String> {
+fn load_script_text(arg: &str, opts: &IngestOptions) -> Result<String, String> {
     if Path::new(arg).is_file() {
-        std::fs::read_to_string(arg).map_err(|e| format!("{arg}: {e}"))
+        ingest_file(arg, opts).map(Bytes::into_string)
     } else if arg.contains('|') || arg.contains(' ') {
         Ok(arg.to_owned())
     } else {
@@ -120,7 +149,7 @@ fn load_script_text(arg: &str) -> Result<String, String> {
 
 /// Loads files the script references from the host filesystem into the
 /// virtual filesystem, returning notes about anything missing.
-fn load_referenced_files(script: &Script, ctx: &ExecContext) -> Vec<String> {
+fn load_referenced_files(script: &Script, ctx: &ExecContext, opts: &IngestOptions) -> Vec<String> {
     let mut notes = Vec::new();
     let mut wanted: Vec<String> = Vec::new();
     for statement in &script.statements {
@@ -144,12 +173,24 @@ fn load_referenced_files(script: &Script, ctx: &ExecContext) -> Vec<String> {
     wanted.sort();
     wanted.dedup();
     for path in wanted {
-        if ctx.vfs.read(&path).is_some() {
+        if ctx.vfs.exists(&path) {
             continue;
         }
-        match std::fs::read_to_string(&path) {
-            Ok(content) => ctx.vfs.write(path, content),
-            Err(_) => notes.push(format!("input file {path} not found on host")),
+        if !Path::new(&path).is_file() {
+            notes.push(format!("input file {path} not found on host"));
+            continue;
+        }
+        match ingest_file(&path, opts) {
+            Ok(content) => {
+                if content.is_mmap_backed() {
+                    notes.push(format!(
+                        "mapped {path} ({} bytes, zero-copy)",
+                        content.len()
+                    ));
+                }
+                ctx.vfs.write(path, content);
+            }
+            Err(e) => notes.push(format!("input file {e}")),
         }
     }
     notes
@@ -166,15 +207,16 @@ fn plan_from_args(args: &ParsedArgs) -> Result<PlannedRun, String> {
     let [arg] = args.positional.as_slice() else {
         return Err("expected exactly one script argument".into());
     };
-    let text = load_script_text(arg)?;
+    let ingest = ingest_options(args)?;
+    let text = load_script_text(arg, &ingest)?;
     let env: HashMap<String, String> = args.vars()?.into_iter().collect();
     let script = parse_script(&text, &env).map_err(|e| e.to_string())?;
     let ctx = ExecContext::default();
-    let mut notes = load_referenced_files(&script, &ctx);
+    let mut notes = load_referenced_files(&script, &ctx, &ingest);
     if let Some(input) = args.opt("input") {
-        match std::fs::read_to_string(input) {
+        match ingest_file(input, &ingest) {
             Ok(content) => ctx.vfs.write(input, content),
-            Err(e) => notes.push(format!("--input {input}: {e}")),
+            Err(e) => notes.push(format!("--input {e}")),
         }
     }
     let sample = planning_sample(&script, &ctx);
@@ -191,9 +233,16 @@ fn plan_from_args(args: &ParsedArgs) -> Result<PlannedRun, String> {
 fn planning_sample(script: &Script, ctx: &ExecContext) -> String {
     for statement in &script.statements {
         if let InputSource::Files(files) = &statement.input {
-            if let Some(content) = files.first().and_then(|f| ctx.vfs.read(f)) {
-                let cap = content.len().min(64 * 1024);
-                let mut sample = content[..cap].to_owned();
+            if let Some(content) = files.first().and_then(|f| ctx.vfs.read_bytes(f)) {
+                // Copy only the sampled prefix — never the whole file (the
+                // input may be a multi-GB mapped region). Walk the cut
+                // back off any UTF-8 continuation bytes.
+                let bytes = content.as_bytes();
+                let mut cap = bytes.len().min(64 * 1024);
+                while cap > 0 && cap < bytes.len() && (bytes[cap] & 0xC0) == 0x80 {
+                    cap -= 1;
+                }
+                let mut sample = String::from_utf8_lossy(&bytes[..cap]).into_owned();
                 if !sample.ends_with('\n') {
                     sample.push('\n');
                 }
@@ -213,24 +262,33 @@ fn cmd_plan(args: &ParsedArgs) -> Result<CliOutput, String> {
 }
 
 fn cmd_run(args: &ParsedArgs) -> Result<CliOutput, String> {
-    let workers: usize = args.opt_parse("workers", 4)?;
-    if workers == 0 {
-        return Err("--workers must be at least 1".into());
-    }
+    // All capacity knobs are validated up front — even ones the selected
+    // executor ignores — so `--queue-depth 0` fails the same clear way
+    // under every `--exec`.
+    let workers = args.opt_parse_nonzero("workers", 4)?;
+    let chunk_bytes = args.opt_parse_nonzero("chunk-kb", 64)? * 1024;
+    let queue_depth = args.opt_parse_nonzero("queue-depth", 4)?;
     let honor = !args.flag("no-opt");
     let executor = args
         .opt("exec")
         .or_else(|| args.opt("executor"))
         .unwrap_or("static");
     let planned = plan_from_args(args)?;
-    let serial = run_serial(&planned.script, &planned.ctx).map_err(|e| e.to_string())?;
+    // The serial oracle gathers the whole input and output on the heap —
+    // exactly what an out-of-core run cannot afford. --no-verify skips it
+    // (the differential suite pins executor equivalence corpus-wide).
+    let serial = if args.flag("no-verify") {
+        None
+    } else {
+        Some(run_serial(&planned.script, &planned.ctx).map_err(|e| e.to_string())?)
+    };
     let parallel = match executor {
         "static" => run_parallel(&planned.script, &planned.plan, &planned.ctx, workers, honor)
             .map_err(|e| e.to_string())?,
         "chunked" => {
             let opts = kq_pipeline::chunked::ChunkedOptions {
                 workers,
-                chunk_bytes: args.opt_parse("chunk-kb", 64usize)? * 1024,
+                chunk_bytes,
                 honor_elimination: honor,
             };
             kq_pipeline::chunked::run_chunked(&planned.script, &planned.plan, &planned.ctx, &opts)
@@ -239,8 +297,8 @@ fn cmd_run(args: &ParsedArgs) -> Result<CliOutput, String> {
         "streaming" => {
             let opts = kq_pipeline::StreamingOptions {
                 workers,
-                chunk_bytes: args.opt_parse("chunk-kb", 64usize)? * 1024,
-                queue_depth: args.opt_parse("queue-depth", 4usize)?,
+                chunk_bytes,
+                queue_depth,
                 fuse_streamable: honor,
             };
             kq_pipeline::run_streaming(&planned.script, &planned.plan, &planned.ctx, &opts)
@@ -252,16 +310,25 @@ fn cmd_run(args: &ParsedArgs) -> Result<CliOutput, String> {
             ))
         }
     };
-    if parallel.output != serial.output {
-        return Err("parallel output diverged from serial output (combiner bug)".into());
-    }
     let mut notes = planned.notes;
     let (par, total) = planned.plan.parallelized_counts();
-    notes.push(format!(
-        "verified: {executor} parallel output (w={workers}) equals serial output; \
-         {par}/{total} stages parallel, {} combiner(s) eliminated",
-        planned.plan.eliminated_count()
-    ));
+    match &serial {
+        Some(serial) => {
+            if parallel.output != serial.output {
+                return Err("parallel output diverged from serial output (combiner bug)".into());
+            }
+            notes.push(format!(
+                "verified: {executor} parallel output (w={workers}) equals serial output; \
+                 {par}/{total} stages parallel, {} combiner(s) eliminated",
+                planned.plan.eliminated_count()
+            ));
+        }
+        None => notes.push(format!(
+            "unverified (--no-verify): {executor} output (w={workers}); \
+             {par}/{total} stages parallel, {} combiner(s) eliminated",
+            planned.plan.eliminated_count()
+        )),
+    }
     Ok(CliOutput {
         stdout: parallel.output.into_string(),
         notes,
@@ -269,10 +336,7 @@ fn cmd_run(args: &ParsedArgs) -> Result<CliOutput, String> {
 }
 
 fn cmd_emit(args: &ParsedArgs) -> Result<CliOutput, String> {
-    let workers: usize = args.opt_parse("workers", 16)?;
-    if workers == 0 {
-        return Err("--workers must be at least 1".into());
-    }
+    let workers = args.opt_parse_nonzero("workers", 16)?;
     let opts = EmitOptions {
         workers,
         honor_elimination: !args.flag("no-opt"),
@@ -479,6 +543,96 @@ mod tests {
     #[test]
     fn run_rejects_zero_workers() {
         assert!(call(&["run", "cat x | sort", "--workers", "0"]).is_err());
+    }
+
+    #[test]
+    fn run_rejects_bad_numeric_options() {
+        let s = "cat x | sort";
+        let err = call(&["run", s, "--queue-depth", "0"]).unwrap_err();
+        assert!(err.contains("--queue-depth must be at least 1"), "{err}");
+        let err = call(&["run", s, "--chunk-kb", "0"]).unwrap_err();
+        assert!(err.contains("--chunk-kb must be at least 1"), "{err}");
+        let err = call(&["run", s, "--queue-depth", "deep"]).unwrap_err();
+        assert!(err.contains("--queue-depth: invalid value"), "{err}");
+        let err = call(&["run", s, "--chunk-kb", "wide"]).unwrap_err();
+        assert!(err.contains("--chunk-kb: invalid value"), "{err}");
+    }
+
+    #[test]
+    fn run_rejects_bad_mmap_mode() {
+        let err = call(&["run", "cat x | sort", "--mmap", "sometimes"]).unwrap_err();
+        assert!(err.contains("--mmap"), "{err}");
+        assert!(err.contains("'auto', 'on', or 'off'"), "{err}");
+    }
+
+    #[test]
+    fn run_with_mmap_on_matches_heap_ingest() {
+        let dir = std::env::temp_dir().join(format!("kq-cli-mmap-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let input = dir.join("m.txt");
+        std::fs::write(&input, "b x\na y\nb z\nc w\n".repeat(200)).unwrap();
+        let script = format!("cat {} | cut -d ' ' -f 1 | sort | uniq -c", input.display());
+        let mapped = call(&["run", &script, "--mmap", "on", "--exec", "streaming"]).unwrap();
+        let heap = call(&["run", &script, "--mmap", "off"]).unwrap();
+        assert_eq!(mapped.stdout, heap.stdout, "backings must be invisible");
+        assert!(
+            mapped.notes.iter().any(|n| n.contains("mapped")),
+            "notes should report the mapping: {:?}",
+            mapped.notes
+        );
+        assert!(
+            !heap.notes.iter().any(|n| n.contains("mapped")),
+            "--mmap off must not map: {:?}",
+            heap.notes
+        );
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn no_verify_skips_the_serial_oracle() {
+        let dir = std::env::temp_dir().join(format!("kq-cli-nv-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let input = dir.join("n.txt");
+        std::fs::write(&input, "b x\na y\n".repeat(50)).unwrap();
+        let script = format!("cat {} | cut -d ' ' -f 1 | sort", input.display());
+        let verified = call(&["run", &script]).unwrap();
+        let unverified = call(&["run", &script, "--no-verify", "--exec", "streaming"]).unwrap();
+        assert_eq!(verified.stdout, unverified.stdout);
+        assert!(unverified.notes.iter().any(|n| n.contains("unverified")));
+        assert!(!unverified.notes.iter().any(|n| n.contains("equals serial")));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn non_utf8_host_file_is_attributed() {
+        let dir = std::env::temp_dir().join(format!("kq-cli-utf8-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let input = dir.join("foreign.txt");
+        std::fs::write(&input, [0xff, 0xfe, b'x', b'\n']).unwrap();
+        let script = format!("cat {} | sort", input.display());
+        // The referenced-file ingest door degrades foreign bytes to an
+        // attributed note (planning continues without the file)...
+        let out = call(&["plan", &script, "--mmap", "on"]).unwrap();
+        let notes = out.notes.join("\n");
+        assert!(notes.contains("not valid UTF-8"), "{notes}");
+        assert!(
+            notes.contains(&input.display().to_string()),
+            "error must name the file: {notes}"
+        );
+        // ...and the --input door reports through the same helper.
+        let out = call(&[
+            "plan",
+            "cat /x | sort",
+            "--input",
+            &input.display().to_string(),
+        ])
+        .unwrap();
+        assert!(
+            out.notes.iter().any(|n| n.contains("not valid UTF-8")),
+            "{:?}",
+            out.notes
+        );
+        std::fs::remove_dir_all(&dir).ok();
     }
 
     #[test]

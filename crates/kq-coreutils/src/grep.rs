@@ -8,8 +8,17 @@
 //! in the DSL's delimiter alphabet (Figure 3), so synthesis eliminates
 //! every candidate — a Table 9-style entry created by an output format
 //! rather than by command semantics.
+//!
+//! Plain selection (`grep PAT`, `-v`, `-i` — no `-c`/`-n` reformatting)
+//! takes a **byte fast path**: matching lines are returned as sub-slices
+//! of the input [`Bytes`], with adjacent matches coalesced into runs. An
+//! all-match result is the input handle itself (refcount bump, zero
+//! copies — also zero *pages touched* beyond the match scan when the
+//! input is a mapped file); sparse results gather once, sized to the
+//! output. The old rebuild-a-`String` path remains for `-c`/`-n` and as
+//! the differential-test oracle ([`GrepCmd::run_reference`]).
 
-use crate::{Bytes, CmdError, ExecContext, UnixCommand};
+use crate::{Bytes, CmdError, ExecContext, Rope, UnixCommand};
 use kq_pattern::Regex;
 
 /// The `grep` command.
@@ -77,6 +86,75 @@ impl GrepCmd {
             display,
         })
     }
+
+    /// True when a matched line is emitted verbatim (no `-c` count, no
+    /// `-n` prefix) — the precondition for the slice fast path.
+    fn emits_verbatim(&self) -> bool {
+        !self.count && !self.number
+    }
+
+    /// The slice fast path: walks line boundaries, tests each line, and
+    /// emits matches as coalesced sub-slice runs of `input`. `text` must
+    /// be the UTF-8 view of `input` (same indices).
+    fn run_select_slices(&self, input: &Bytes, text: &str) -> Bytes {
+        let mut out = Rope::new();
+        let mut run_start: Option<usize> = None;
+        let mut pos = 0usize;
+        let len = text.len();
+        while pos < len {
+            let (line_end, next) = match text[pos..].find('\n') {
+                Some(i) => (pos + i, pos + i + 1),
+                None => (len, len),
+            };
+            let hit = self.regex.is_match(&text[pos..line_end]) != self.invert;
+            if hit {
+                run_start.get_or_insert(pos);
+            } else if let Some(s) = run_start.take() {
+                out.push(input.slice(s..pos));
+            }
+            pos = next;
+        }
+        if let Some(s) = run_start.take() {
+            out.push(input.slice(s..len));
+            if !text.ends_with('\n') {
+                // GNU grep newline-terminates a matched unterminated
+                // final line; only this rare case leaves pure slicing.
+                out.push(Bytes::from("\n"));
+            }
+        }
+        out.into_bytes()
+    }
+
+    /// The pre-fast-path implementation: rebuilds the output as a fresh
+    /// `String`, one line at a time. Still the real path for `-c`/`-n`
+    /// (their output is a reformatting, not a subsequence of the input)
+    /// and the oracle the differential tests compare the slice path
+    /// against.
+    #[doc(hidden)]
+    pub fn run_reference(&self, input: &str) -> String {
+        let mut out = String::new();
+        let mut n: u64 = 0;
+        for (idx, line) in kq_stream::lines_of(input).enumerate() {
+            let hit = self.regex.is_match(line) != self.invert;
+            if hit {
+                if self.count {
+                    n += 1;
+                } else {
+                    if self.number {
+                        out.push_str(&(idx + 1).to_string());
+                        out.push(':');
+                    }
+                    out.push_str(line);
+                    out.push('\n');
+                }
+            }
+        }
+        if self.count {
+            out.push_str(&n.to_string());
+            out.push('\n');
+        }
+        out
+    }
 }
 
 impl UnixCommand for GrepCmd {
@@ -85,32 +163,11 @@ impl UnixCommand for GrepCmd {
     }
 
     fn run(&self, input: Bytes, _ctx: &ExecContext) -> Result<Bytes, CmdError> {
-        let input = crate::input_str(&input, "grep")?;
-        let text = || -> Result<String, CmdError> {
-            let mut out = String::new();
-            let mut n: u64 = 0;
-            for (idx, line) in kq_stream::lines_of(input).enumerate() {
-                let hit = self.regex.is_match(line) != self.invert;
-                if hit {
-                    if self.count {
-                        n += 1;
-                    } else {
-                        if self.number {
-                            out.push_str(&(idx + 1).to_string());
-                            out.push(':');
-                        }
-                        out.push_str(line);
-                        out.push('\n');
-                    }
-                }
-            }
-            if self.count {
-                out.push_str(&n.to_string());
-                out.push('\n');
-            }
-            Ok(out)
-        };
-        text().map(Bytes::from)
+        let text = crate::input_str(&input, "grep")?;
+        if self.emits_verbatim() {
+            return Ok(self.run_select_slices(&input, text));
+        }
+        Ok(Bytes::from(self.run_reference(text)))
     }
 }
 
@@ -171,5 +228,73 @@ mod tests {
     fn missing_pattern_is_error() {
         assert!(parse_command("grep -c").is_err());
         assert!(parse_command("grep").is_err());
+    }
+
+    fn grep(line: &str) -> GrepCmd {
+        let words = crate::split_words(line).unwrap();
+        GrepCmd::parse(&words[1..]).unwrap()
+    }
+
+    #[test]
+    fn all_match_is_a_refcount_bump() {
+        let input = Bytes::from("aa\nab\nba\n");
+        let out = grep("grep a")
+            .run(input.clone(), &ExecContext::default())
+            .unwrap();
+        assert_eq!(out, input);
+        assert!(
+            out.shares_buffer(&input),
+            "all-match output must be the input slice, not a copy"
+        );
+    }
+
+    #[test]
+    fn adjacent_matches_coalesce_into_runs() {
+        // Lines 1-2 match, 3 doesn't, 4 matches: two runs, one gather.
+        let input = Bytes::from("ax\nay\nbz\naw\n");
+        let out = grep("grep a")
+            .run(input.clone(), &ExecContext::default())
+            .unwrap();
+        assert_eq!(out, "ax\nay\naw\n");
+        // A prefix-only match stays a pure slice.
+        let prefix = grep("grep -v w")
+            .run(input.clone(), &ExecContext::default())
+            .unwrap();
+        assert_eq!(prefix, "ax\nay\nbz\n");
+        assert!(prefix.shares_buffer(&input));
+    }
+
+    #[test]
+    fn unterminated_matched_final_line_gains_newline() {
+        let input = Bytes::from("ax\nbz\nay");
+        let out = grep("grep a").run(input, &ExecContext::default()).unwrap();
+        assert_eq!(out, "ax\nay\n");
+    }
+
+    #[test]
+    fn slice_path_agrees_with_reference_on_edge_cases() {
+        let cases = [
+            "",
+            "\n",
+            "a\n",
+            "x\n",
+            "\n\n",
+            "a",
+            "a\nb",
+            "a\n\nb\n",
+            "aa\nbb\naa\n",
+            "zzz\n\nzzz",
+        ];
+        for cmd_line in ["grep a", "grep -v a", "grep -i A", "grep '^$'"] {
+            let g = grep(cmd_line);
+            for input in cases {
+                let fast = g.run(Bytes::from(input), &ExecContext::default()).unwrap();
+                assert_eq!(
+                    fast.as_str(),
+                    g.run_reference(input),
+                    "{cmd_line:?} diverged on {input:?}"
+                );
+            }
+        }
     }
 }

@@ -394,8 +394,13 @@ impl Planner {
 
     /// Probes whether the command shrinks the sample enough to justify a
     /// rerun combiner.
+    ///
+    /// Byte-plane probe on purpose: a source command (`cat big-file`)
+    /// ignores the sample and returns the file handle — under `run` that
+    /// is a refcount bump whose length is O(1) to read, where `run_str`
+    /// would copy a possibly mapped multi-GB output just to measure it.
     fn shrinks_enough(&self, cmd: &kq_coreutils::Command, ctx: &ExecContext, sample: &str) -> bool {
-        match cmd.run_str(sample, ctx) {
+        match cmd.run(kq_coreutils::Bytes::from(sample), ctx) {
             Ok(out) => {
                 let ratio = out.len() as f64 / sample.len().max(1) as f64;
                 ratio <= self.rerun_shrink_threshold
@@ -404,10 +409,12 @@ impl Planner {
         }
     }
 
-    /// Theorem 5 precondition: outputs terminate with newlines.
+    /// Theorem 5 precondition: outputs terminate with newlines. (Same
+    /// byte-plane reasoning as [`Planner::shrinks_enough`]: only the final
+    /// byte is inspected.)
     fn outputs_streams(cmd: &kq_coreutils::Command, ctx: &ExecContext, sample: &str) -> bool {
-        match cmd.run_str(sample, ctx) {
-            Ok(out) => out.is_empty() || out.ends_with('\n'),
+        match cmd.run(kq_coreutils::Bytes::from(sample), ctx) {
+            Ok(out) => out.is_empty() || out.ends_with_newline(),
             Err(_) => false,
         }
     }

@@ -34,6 +34,16 @@
 //! O(segments × (queue_depth + workers) × chunk_bytes) chunk *handles*
 //! (payloads are refcounted slices).
 //!
+//! Out-of-core inputs: every chunk producer (the feeder, sequential
+//! segments, barrier outputs) cuts its stream with the *lazy* chunker
+//! ([`Bytes::chunks`]) and trails a page-release hint
+//! ([`Bytes::release_range`]) a bounded lag behind its cursor. For a
+//! memory-mapped input (see `kq-io`) this means pages fault in just ahead
+//! of consumption and are dropped once the in-flight window has passed
+//! them, so a multi-GB file streams through at O(window) resident memory
+//! — both calls are no-ops for heap-backed streams, and an early release
+//! is only ever a refault, never a correctness edge.
+//!
 //! Failure: a command error anywhere tears the whole pipeline down
 //! promptly — the failing segment drops its channel endpoints, upstream
 //! senders start failing and unwind, downstream receivers see end-of-input
@@ -92,6 +102,40 @@ impl Default for StreamingOptions {
 /// A chunk in flight: its ordinal within the producing segment's output
 /// stream, and its payload (a refcounted slice — sending is an Arc bump).
 type Chunk = (usize, Bytes);
+
+/// Sends `source` downstream as lazily cut, line-aligned chunks, with a
+/// page-release hint trailing `release_lag` bytes behind the cursor.
+///
+/// This is the out-of-core discipline shared by the feeder and by every
+/// segment that re-chunks a materialized stream: boundaries are computed
+/// just ahead of each send (so a mapped source pages in chunk by chunk
+/// instead of being scanned — and made resident — up front), and pages
+/// the bounded in-flight window has structurally passed are dropped
+/// ([`Bytes::release_range`]; a no-op for heap sources, a refault-on-
+/// retouch hint for mapped ones). Returns `false` when the consumer
+/// disappeared (pipeline teardown).
+fn send_chunked(
+    source: &Bytes,
+    chunk_bytes: usize,
+    release_lag: usize,
+    tx: &channel::Sender<Chunk>,
+) -> bool {
+    let mut fed = 0usize;
+    let mut released = 0usize;
+    for chunk in source.chunks(chunk_bytes).enumerate() {
+        let len = chunk.1.len();
+        if tx.send(chunk).is_err() {
+            return false;
+        }
+        fed += len;
+        if fed > released + 2 * release_lag {
+            let upto = fed - release_lag;
+            source.release_range(released..upto);
+            released = upto;
+        }
+    }
+    true
+}
 
 /// A pool worker's report: chunk ordinal, input length, wall-clock cost,
 /// and the chain result.
@@ -155,14 +199,21 @@ fn run_statement(
     let mut txs = txs.into_iter();
     let mut rxs = rxs.into_iter();
 
+    // How far the feeder's page-release hint trails its cursor: generously
+    // past the pipeline's bounded in-flight window (every channel and pool
+    // full), floored so small configurations never thrash. Pages released
+    // early merely refault — a perf hint, never a correctness edge.
+    let release_lag = chunk_bytes
+        .saturating_mul(queue_depth + workers)
+        .saturating_mul(segments.len() + 2)
+        .max(16 << 20);
+
     std::thread::scope(|scope| {
         let feed_tx = txs.next().expect("feeder sender");
+        let feed_input = input.clone();
         scope.spawn(move || {
-            for chunk in input.split_chunks(chunk_bytes).into_iter().enumerate() {
-                if feed_tx.send(chunk).is_err() {
-                    break; // downstream tore down; unwind quietly
-                }
-            }
+            // A send failure means downstream tore down; unwind quietly.
+            send_chunked(&feed_input, chunk_bytes, release_lag, &feed_tx);
         });
 
         let mut handles = Vec::with_capacity(segments.len());
@@ -189,11 +240,11 @@ fn run_statement(
                         let out = cmd.run(stage_in, ctx)?;
                         let elapsed = t0.elapsed();
                         let bytes_out = out.len();
-                        for chunk in out.split_chunks(chunk_bytes).into_iter().enumerate() {
-                            if seg_tx.send(chunk).is_err() {
-                                break;
-                            }
-                        }
+                        // Source commands (`cat big-file`) return the
+                        // mapped input itself: chunk it lazily with the
+                        // same trailing release as the feeder, or the
+                        // re-chunk scan would page the whole map in.
+                        send_chunked(&out, chunk_bytes, release_lag, &seg_tx);
                         Ok(StageTiming {
                             label: cmd.display(),
                             parallel: false,
@@ -265,6 +316,7 @@ fn run_statement(
                                     res_rx,
                                     seg_tx,
                                     chunk_bytes,
+                                    release_lag,
                                 )
                             })
                         }
@@ -358,6 +410,7 @@ fn collect_streaming(
 /// Collector for a barrier segment: restores input order and folds chunk
 /// outputs through the stage's combiner *as they arrive*; only the final
 /// combined stream is re-chunked downstream.
+#[allow(clippy::too_many_arguments)]
 fn collect_barrier(
     label: String,
     combiner: &kq_synth::SynthesizedCombiner,
@@ -366,6 +419,7 @@ fn collect_barrier(
     res_rx: channel::Receiver<WorkerResult>,
     seg_tx: channel::Sender<Chunk>,
     chunk_bytes: usize,
+    release_lag: usize,
 ) -> Result<StageTiming, CmdError> {
     let env = CommandEnv {
         command: closing_cmd,
@@ -403,11 +457,7 @@ fn collect_barrier(
         .map_err(|e| CmdError::new(closing_cmd.display(), e.to_string()))?;
     combine_time += t0.elapsed();
     let bytes_out = combined.len();
-    for chunk in combined.split_chunks(chunk_bytes).into_iter().enumerate() {
-        if seg_tx.send(chunk).is_err() {
-            break;
-        }
-    }
+    send_chunked(&combined, chunk_bytes, release_lag, &seg_tx);
     Ok(StageTiming {
         label,
         parallel: true,

@@ -13,6 +13,33 @@
 //! when a contiguous view is actually demanded (and not at all when the
 //! rope holds a single segment).
 //!
+//! # Backing stores
+//!
+//! A `Bytes` views one of two backings, chosen at construction and
+//! invisible to every consumer:
+//!
+//! * **Heap** — an owned `Vec<u8>` (command outputs, test fixtures, small
+//!   files). `From<String>`/`From<Vec<u8>>` move the buffer in, O(1).
+//! * **Mmap** — a memory-mapped file region ([`MmapRegion`], unix only),
+//!   created by the `kq-io` crate so multi-GB corpus files enter the data
+//!   plane as O(1) maps instead of O(file) heap reads. The pages are
+//!   demand-paged and evictable; the region is unmapped exactly once, when
+//!   the last `Bytes` referencing it drops (the `Arc` refcount *is* the
+//!   unmap lifecycle).
+//!
+//! Slicing, splitting, hashing, comparison, and `compact()` behave
+//! identically across backings — the line-aligned splitters cut mapped
+//! memory verbatim. The differences are confined to ownership hand-offs:
+//! [`Bytes::into_string`] moves a uniquely-owned whole *heap* buffer but
+//! must copy out of a mapped region (a map cannot become a `Vec`).
+//!
+//! **Sharp edge (SIGBUS):** a mapped region snapshots the file's length at
+//! open time. If another process truncates the file while the map is live,
+//! touching pages past the new end raises `SIGBUS` — this is inherent to
+//! `mmap` and documented rather than defended against; the corpus inputs
+//! are not mutated during a run. Heap backings are immune (the read
+//! completed before the `Bytes` existed).
+//!
 //! ```
 //! use kq_stream::Bytes;
 //!
@@ -27,6 +54,95 @@
 use std::fmt;
 use std::sync::Arc;
 
+/// A read-only memory-mapped file region: the out-of-core backing for
+/// [`Bytes`] (unix only; created by the `kq-io` crate).
+///
+/// Owns the mapping: dropping the region calls `munmap` exactly once.
+/// Inside a `Bytes` the region sits behind an `Arc`, so the unmap happens
+/// when the *last* clone or sub-slice referencing the map drops — O(1)
+/// clones and slices of mapped files are as safe as heap ones.
+///
+/// See the [module docs](self) for the truncation/`SIGBUS` caveat.
+#[cfg(unix)]
+pub struct MmapRegion {
+    ptr: *mut u8,
+    len: usize,
+}
+
+// SAFETY: the region is an immutable, privately mapped byte range; no
+// interior mutability, and `munmap` in Drop runs on whichever thread drops
+// the last reference — both are thread-safe kernel operations.
+#[cfg(unix)]
+unsafe impl Send for MmapRegion {}
+#[cfg(unix)]
+unsafe impl Sync for MmapRegion {}
+
+#[cfg(unix)]
+impl MmapRegion {
+    /// Takes ownership of a live mapping.
+    ///
+    /// # Safety
+    /// `ptr` must be the non-`MAP_FAILED` result of an `mmap` call of
+    /// exactly `len > 0` bytes, readable for the mapping's whole lifetime,
+    /// and not unmapped by anyone else: this region's `Drop` performs the
+    /// one `munmap`.
+    pub unsafe fn from_raw(ptr: *mut u8, len: usize) -> MmapRegion {
+        debug_assert!(!ptr.is_null() && len > 0);
+        MmapRegion { ptr, len }
+    }
+
+    /// The mapped bytes.
+    #[inline]
+    pub fn as_slice(&self) -> &[u8] {
+        // SAFETY: `from_raw`'s contract — `ptr` is a live readable mapping
+        // of `len` bytes until this region drops.
+        unsafe { std::slice::from_raw_parts(self.ptr, self.len) }
+    }
+}
+
+#[cfg(unix)]
+impl Drop for MmapRegion {
+    fn drop(&mut self) {
+        // SAFETY: we own the mapping (from_raw's contract); this is the
+        // single munmap of the region.
+        unsafe {
+            libc::munmap(self.ptr as *mut libc::c_void, self.len);
+        }
+    }
+}
+
+#[cfg(unix)]
+impl fmt::Debug for MmapRegion {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "MmapRegion({} bytes)", self.len)
+    }
+}
+
+/// The storage behind a [`Bytes`]: an owned heap buffer or a mapped file
+/// region. Everything above the backing works on `as_slice()` and cannot
+/// tell the two apart.
+enum Backing {
+    Heap(Vec<u8>),
+    #[cfg(unix)]
+    Mmap(MmapRegion),
+}
+
+impl Backing {
+    #[inline]
+    fn as_slice(&self) -> &[u8] {
+        match self {
+            Backing::Heap(v) => v,
+            #[cfg(unix)]
+            Backing::Mmap(m) => m.as_slice(),
+        }
+    }
+
+    #[inline]
+    fn len(&self) -> usize {
+        self.as_slice().len()
+    }
+}
+
 /// A cheaply clonable, cheaply sliceable view into shared immutable bytes.
 ///
 /// Always holds valid UTF-8 in this workspace (every constructor the
@@ -35,13 +151,15 @@ use std::sync::Arc;
 /// itself does not enforce UTF-8; use [`Bytes::to_str`] for checked
 /// access and [`Bytes::as_str`] where the text invariant is established.
 ///
-/// The backing store is `Arc<Vec<u8>>` rather than `Arc<[u8]>` so that
-/// `From<String>`/`From<Vec<u8>>` *move* the buffer instead of copying it
-/// into a fresh slice allocation — commands produce their output as
-/// `String`, and wrapping that output must stay O(1).
+/// The backing store is a refcounted [`Backing`]: either an owned
+/// `Vec<u8>` — so `From<String>`/`From<Vec<u8>>` *move* the buffer
+/// instead of copying it, and commands wrapping their `String` output
+/// stay O(1) — or a memory-mapped file region ([`MmapRegion`]) so
+/// out-of-core inputs enter the data plane without a heap read. See the
+/// [module docs](self) for the backing-store rules.
 #[derive(Clone)]
 pub struct Bytes {
-    buf: Arc<Vec<u8>>,
+    buf: Arc<Backing>,
     start: usize,
     end: usize,
     /// The *entire backing buffer* is known-valid UTF-8 (set by the
@@ -55,16 +173,45 @@ pub struct Bytes {
 impl Bytes {
     /// An empty slice (no allocation is shared; cloning is still O(1)).
     pub fn new() -> Bytes {
-        Bytes::from_arc(Arc::new(Vec::new()), true)
+        Bytes::from_heap(Vec::new(), true)
     }
 
-    fn from_arc(buf: Arc<Vec<u8>>, text: bool) -> Bytes {
-        let end = buf.len();
+    fn from_heap(vec: Vec<u8>, text: bool) -> Bytes {
+        let end = vec.len();
         Bytes {
-            buf,
+            buf: Arc::new(Backing::Heap(vec)),
             start: 0,
             end,
             text,
+        }
+    }
+
+    /// Wraps a mapped file region as a whole-buffer view — the `kq-io`
+    /// ingest door. O(1): no page is touched here. The bytes are *not*
+    /// assumed to be UTF-8 (a file can hold anything); run the result
+    /// through [`Bytes::into_text`] once to establish the text fast path,
+    /// or let per-command validation reject foreign data lazily.
+    #[cfg(unix)]
+    pub fn from_mmap_region(region: MmapRegion) -> Bytes {
+        let end = region.as_slice().len();
+        Bytes {
+            buf: Arc::new(Backing::Mmap(region)),
+            start: 0,
+            end,
+            text: false,
+        }
+    }
+
+    /// True when this view is backed by a memory-mapped file region (the
+    /// zero-copy ingest tests use this to prove no heap read happened).
+    pub fn is_mmap_backed(&self) -> bool {
+        #[cfg(unix)]
+        {
+            matches!(*self.buf, Backing::Mmap(_))
+        }
+        #[cfg(not(unix))]
+        {
+            false
         }
     }
 
@@ -72,7 +219,8 @@ impl Bytes {
     /// the backing buffer.
     #[inline]
     fn is_char_boundary(&self, pos: usize) -> bool {
-        pos == 0 || pos == self.buf.len() || (self.buf[pos] & 0xC0) != 0x80
+        let buf = self.buf.as_slice();
+        pos == 0 || pos == buf.len() || (buf[pos] & 0xC0) != 0x80
     }
 
     /// Length in bytes.
@@ -90,7 +238,7 @@ impl Bytes {
     /// The bytes of this view.
     #[inline]
     pub fn as_bytes(&self) -> &[u8] {
-        &self.buf[self.start..self.end]
+        &self.buf.as_slice()[self.start..self.end]
     }
 
     /// Checked UTF-8 view of the bytes.
@@ -123,26 +271,106 @@ impl Bytes {
     }
 
     /// An owned `String` of the bytes. When this view covers a uniquely
-    /// owned whole buffer (the common final-output case), the buffer is
-    /// moved out — no copy; otherwise one allocation.
+    /// owned whole *heap* buffer (the common final-output case), the
+    /// buffer is moved out — no copy; otherwise one allocation. A mapped
+    /// region can never become a `Vec`, so mmap-backed views always copy
+    /// out (and, when this was the last reference, unmap on return).
     pub fn into_string(self) -> String {
         if self.start == 0 && self.end == self.buf.len() {
-            let text = self.text;
+            let (text, end) = (self.text, self.end);
             match Arc::try_unwrap(self.buf) {
-                Ok(vec) if text => {
+                Ok(Backing::Heap(vec)) if text => {
                     // SAFETY: `text` asserts the whole buffer is valid
                     // UTF-8 (see `to_str`), and this view covers all of it.
                     return unsafe { String::from_utf8_unchecked(vec) };
                 }
-                Ok(vec) => return String::from_utf8(vec).expect("Bytes holds non-UTF-8 data"),
+                Ok(Backing::Heap(vec)) => {
+                    return String::from_utf8(vec).expect("Bytes holds non-UTF-8 data")
+                }
+                #[cfg(unix)]
+                Ok(backing @ Backing::Mmap(_)) => {
+                    // Unique but mapped: copy out; dropping `backing`
+                    // afterwards performs the unmap.
+                    let whole = Bytes {
+                        buf: Arc::new(backing),
+                        start: 0,
+                        end,
+                        text,
+                    };
+                    return whole.as_str().to_owned();
+                }
                 Err(buf) => {
                     // Still shared: copy, taking the text fast path for
                     // the validity check.
-                    return Bytes::from_arc(buf, text).as_str().to_owned();
+                    let whole = Bytes {
+                        buf,
+                        start: 0,
+                        end,
+                        text,
+                    };
+                    return whole.as_str().to_owned();
                 }
             }
         }
         self.as_str().to_owned()
+    }
+
+    /// Establishes the text invariant for a whole-buffer view: validates
+    /// the bytes as UTF-8 **once** and records the result, so every later
+    /// [`Bytes::to_str`] across the pipeline is O(1) instead of an
+    /// O(bytes) rescan. This is how ingest marks a freshly mapped (or
+    /// byte-read) file as known text.
+    ///
+    /// The scan runs in bounded windows with a trailing
+    /// [`Bytes::release_range`] hint, so validating a mapped multi-GB
+    /// file keeps O(window) pages resident instead of pinning the whole
+    /// map — the validated pages refault from the file when the pipeline
+    /// actually consumes them. (Heap backings scan the same way; the
+    /// release is a no-op.)
+    ///
+    /// Partial views validate but cannot record (the flag asserts the
+    /// *whole backing* is UTF-8); they are returned unchanged.
+    pub fn into_text(self) -> Result<Bytes, std::str::Utf8Error> {
+        if self.text && self.is_char_boundary(self.start) && self.is_char_boundary(self.end) {
+            return Ok(self);
+        }
+        const WINDOW: usize = 4 << 20;
+        let bytes = self.as_bytes();
+        let mut pos = 0usize;
+        let mut released = 0usize;
+        while pos < bytes.len() {
+            let end = (pos + WINDOW).min(bytes.len());
+            match std::str::from_utf8(&bytes[pos..end]) {
+                Ok(_) => pos = end,
+                // An incomplete final sequence at an interior window edge
+                // is not an error — resume the next window at the char
+                // boundary. (`valid_up_to() == 0` cannot stall: a UTF-8
+                // sequence is at most 4 bytes and WINDOW is far larger,
+                // so zero progress means genuinely invalid bytes.)
+                Err(e) if e.error_len().is_none() && end < bytes.len() && e.valid_up_to() > 0 => {
+                    pos += e.valid_up_to();
+                }
+                // Genuinely invalid: rescan the whole view so the returned
+                // error carries offsets relative to the *view*, not to the
+                // failing window (the error path may touch every page —
+                // the caller is about to abort the ingest anyway).
+                Err(_) => {
+                    return Err(
+                        std::str::from_utf8(bytes).expect_err("windowed scan found invalid bytes")
+                    )
+                }
+            }
+            if pos > released + 2 * WINDOW {
+                let upto = pos - WINDOW;
+                self.release_range(released..upto);
+                released = upto;
+            }
+        }
+        let whole = self.start == 0 && self.end == self.buf.len();
+        Ok(Bytes {
+            text: self.text || whole,
+            ..self
+        })
     }
 
     /// O(1) sub-slice sharing the same allocation.
@@ -177,6 +405,12 @@ impl Bytes {
     /// otherwise pin the whole input allocation for as long as their
     /// output lives. Long-lived stores (the virtual filesystem) call this
     /// at the storage boundary; transient pipeline hand-offs do not.
+    ///
+    /// The same rule applies to both backings: a small slice of a large
+    /// mapped file copies into a right-sized heap buffer (releasing the
+    /// map when the last reference drops), so a few-line result never
+    /// keeps a multi-GB file mapped — and never assumes the backing is a
+    /// `Vec` it could shrink in place.
     pub fn compact(self) -> Bytes {
         const COMPACT_MIN_BACKING: usize = 4096;
         if self.buf.len() < COMPACT_MIN_BACKING || self.len() * 4 >= self.buf.len() {
@@ -185,13 +419,7 @@ impl Bytes {
             // The copy covers its whole new buffer, so it is text iff this
             // view is valid UTF-8 (O(1) to determine for text buffers).
             let text = self.to_str().is_ok();
-            let end = self.len();
-            Bytes {
-                buf: Arc::new(self.as_bytes().to_vec()),
-                start: 0,
-                end,
-                text,
-            }
+            Bytes::from_heap(self.as_bytes().to_vec(), text)
         }
     }
 
@@ -228,6 +456,84 @@ impl Bytes {
             .map(|(s, e)| self.slice(s..e))
             .collect()
     }
+
+    /// Lazy [`Bytes::split_chunks`]: yields the same chunks in the same
+    /// order, but computes each boundary on demand, touching only the
+    /// pages of the chunk being produced. The streaming feeder uses this
+    /// so a mapped multi-GB input is paged in chunk by chunk, just ahead
+    /// of consumption, instead of being fully scanned (and made fully
+    /// resident) before the first chunk is sent.
+    pub fn chunks(&self, target_bytes: usize) -> ChunkIter<'_> {
+        ChunkIter {
+            source: self,
+            pos: 0,
+            target: target_bytes.max(1),
+        }
+    }
+
+    /// Hints that `range` (relative to this view) will not be needed
+    /// again: for a mapped backing, drops the resident pages wholly inside
+    /// the range (`madvise(MADV_DONTNEED)`); a heap backing is untouched.
+    ///
+    /// Purely a memory-pressure hint — correctness is unaffected either
+    /// way, because a read-only file-backed private map refaults dropped
+    /// pages from the file on the next touch (at re-read cost; callers
+    /// should only release data they have structurally finished with).
+    /// The streaming feeder trails one of these behind its chunk cursor so
+    /// a sequential pass over a mapped file keeps O(window) pages
+    /// resident, not O(file).
+    pub fn release_range(&self, range: std::ops::Range<usize>) {
+        assert!(
+            range.start <= range.end && range.end <= self.len(),
+            "release {range:?} out of bounds for {} bytes",
+            self.len()
+        );
+        #[cfg(unix)]
+        if let Backing::Mmap(region) = &*self.buf {
+            // Align inward to a generous 64 KiB grain: a multiple of every
+            // real page size, so the madvise range is always page-aligned
+            // (a partially covered page at either end is simply kept).
+            const GRAIN: usize = 1 << 16;
+            let abs_start = (self.start + range.start).next_multiple_of(GRAIN);
+            let abs_end = (self.start + range.end) / GRAIN * GRAIN;
+            if abs_start < abs_end {
+                // SAFETY: the region is live for as long as `self` exists
+                // and the aligned range is inside it; DONTNEED on a
+                // read-only file mapping only drops reconstructible pages.
+                unsafe {
+                    libc::madvise(
+                        region.ptr.add(abs_start) as *mut libc::c_void,
+                        abs_end - abs_start,
+                        libc::MADV_DONTNEED,
+                    );
+                }
+            }
+        }
+        #[cfg(not(unix))]
+        let _ = range;
+    }
+}
+
+/// Lazy chunk iterator over a [`Bytes`] — see [`Bytes::chunks`].
+pub struct ChunkIter<'a> {
+    source: &'a Bytes,
+    pos: usize,
+    target: usize,
+}
+
+impl Iterator for ChunkIter<'_> {
+    type Item = Bytes;
+
+    fn next(&mut self) -> Option<Bytes> {
+        let bytes = self.source.as_bytes();
+        if self.pos >= bytes.len() {
+            return None;
+        }
+        let end = crate::split::next_chunk_end(bytes, self.pos, self.target);
+        let chunk = self.source.slice(self.pos..end);
+        self.pos = end;
+        Some(chunk)
+    }
 }
 
 impl Default for Bytes {
@@ -239,13 +545,13 @@ impl Default for Bytes {
 impl From<String> for Bytes {
     fn from(s: String) -> Bytes {
         // O(1): the String's buffer is moved, not copied.
-        Bytes::from_arc(Arc::new(s.into_bytes()), true)
+        Bytes::from_heap(s.into_bytes(), true)
     }
 }
 
 impl From<&str> for Bytes {
     fn from(s: &str) -> Bytes {
-        Bytes::from_arc(Arc::new(s.as_bytes().to_vec()), true)
+        Bytes::from_heap(s.as_bytes().to_vec(), true)
     }
 }
 
@@ -259,7 +565,7 @@ impl From<Vec<u8>> for Bytes {
     fn from(v: Vec<u8>) -> Bytes {
         // O(1): the Vec is moved, not copied. Validity is not assumed;
         // `to_str` on the result performs a full UTF-8 check.
-        Bytes::from_arc(Arc::new(v), false)
+        Bytes::from_heap(v, false)
     }
 }
 
@@ -409,13 +715,7 @@ impl Rope {
                 for seg in &self.segments {
                     out.extend_from_slice(seg.as_bytes());
                 }
-                let end = out.len();
-                Bytes {
-                    buf: Arc::new(out),
-                    start: 0,
-                    end,
-                    text: self.text,
-                }
+                Bytes::from_heap(out, self.text)
             }
         }
     }
@@ -534,6 +834,52 @@ mod tests {
         let small = Bytes::from("abcdef\n");
         let piece = small.slice(0..1).compact();
         assert!(piece.shares_buffer(&small));
+    }
+
+    #[test]
+    fn lazy_chunks_agree_with_eager_split() {
+        for input in ["", "a\n", "aa\nbb\ncc\ndd\n", "a\nb\nunterminated"] {
+            let b = Bytes::from(input);
+            for target in [1usize, 3, 5, 1 << 20] {
+                let eager = b.split_chunks(target);
+                let lazy: Vec<Bytes> = b.chunks(target).collect();
+                assert_eq!(eager, lazy, "input {input:?} target {target}");
+                assert!(lazy.iter().all(|c| c.shares_buffer(&b)));
+            }
+        }
+    }
+
+    #[test]
+    fn into_text_error_offsets_are_view_relative_across_windows() {
+        // Invalid byte past the first 4 MiB validation window: the error
+        // must locate it relative to the view, not the failing window.
+        let bad_at = 5 * 1024 * 1024;
+        let mut data = vec![b'a'; bad_at];
+        data.push(0xFF);
+        data.push(b'\n');
+        let err = Bytes::from(data).into_text().unwrap_err();
+        assert_eq!(err.valid_up_to(), bad_at);
+    }
+
+    #[test]
+    fn into_text_handles_chars_straddling_window_edges() {
+        let b = Bytes::from("héllo wörld\n");
+        let text = b.into_text().unwrap();
+        assert!(text.to_str().is_ok());
+    }
+
+    #[test]
+    fn release_range_is_inert_on_heap_backings() {
+        let b = Bytes::from("a\nb\nc\n");
+        b.release_range(0..b.len());
+        b.release_range(2..2);
+        assert_eq!(b, "a\nb\nc\n");
+    }
+
+    #[test]
+    #[should_panic(expected = "out of bounds")]
+    fn release_range_checks_bounds() {
+        Bytes::from("ab").release_range(0..9);
     }
 
     #[test]

@@ -18,11 +18,15 @@
 //! * **Borrowed text** — the paper-vocabulary helpers below and the
 //!   [`split_stream`]/[`split_chunks`] functions returning `&str` views,
 //!   used by the synthesizer's small probe streams and the DSL evaluator;
-//! * **Shared bytes** — [`Bytes`] (an `Arc`'d buffer plus range) and
+//! * **Shared bytes** — [`Bytes`] (an `Arc`'d backing plus range) and
 //!   [`Rope`] (a segment list), the zero-copy data plane the executors
 //!   move payloads through. [`Bytes::split_stream`]/[`Bytes::split_chunks`]
 //!   share the exact boundary computation with the borrowed splitters, so
-//!   the two views can never disagree about where a stream splits.
+//!   the two views can never disagree about where a stream splits. The
+//!   backing is either an owned heap buffer or a memory-mapped file
+//!   region ([`MmapRegion`], created by `kq-io`) — see the
+//!   [`bytes`] module docs for the backing-store rules, the unmap
+//!   lifecycle, and the truncation/`SIGBUS` caveat.
 //!
 //! ```
 //! // Line-aligned splitting never cuts a line and reassembles exactly.
@@ -48,7 +52,9 @@ pub mod chunker;
 pub mod delim;
 pub mod split;
 
-pub use bytes::{concat_bytes, Bytes, Rope};
+#[cfg(unix)]
+pub use bytes::MmapRegion;
+pub use bytes::{concat_bytes, Bytes, ChunkIter, Rope};
 pub use chunker::IncrementalChunker;
 pub use delim::Delim;
 pub use split::{split_chunks, split_stream};

@@ -58,14 +58,25 @@ pub(crate) fn chunk_boundaries(bytes: &[u8], target_bytes: usize) -> Vec<(usize,
     let mut chunks = Vec::new();
     let mut start = 0usize;
     while start < bytes.len() {
-        let mut end = (start + target).min(bytes.len());
-        while end < bytes.len() && bytes[end - 1] != b'\n' {
-            end += 1;
-        }
+        let end = next_chunk_end(bytes, start, target);
         chunks.push((start, end));
         start = end;
     }
     chunks
+}
+
+/// One step of the chunk-boundary rule: the end of the chunk starting at
+/// `start` — `target` bytes, extended to the next newline. Shared by
+/// [`chunk_boundaries`] (eager) and [`Bytes::chunks`](crate::Bytes::chunks)
+/// (lazy), so the two can never disagree; the lazy form only ever touches
+/// the pages of the chunk it is producing, which is what keeps mapped
+/// multi-GB inputs out-of-core.
+pub(crate) fn next_chunk_end(bytes: &[u8], start: usize, target: usize) -> usize {
+    let mut end = (start + target.max(1)).min(bytes.len());
+    while end < bytes.len() && bytes[end - 1] != b'\n' {
+        end += 1;
+    }
+    end
 }
 
 /// Splits a stream into at most `k` contiguous, newline-terminated pieces of

@@ -115,11 +115,19 @@ impl SynthesizedCombiner {
     ///
     /// The fold speculatively commits to the primary member (the one
     /// [`combine_all`](Self::combine_all) picks for well-formed adjacent
-    /// substreams). Raw piece *handles* are retained alongside — they are
-    /// refcounted slices, so this costs O(pieces), not O(bytes) — and if
+    /// substreams). Raw piece *handles* are retained alongside, and if
     /// any incremental step fails, [`IncrementalCombine::finish`] falls
     /// back to the gather-first [`combine_all`](Self::combine_all) over
     /// them, restoring the composite's full member-selection semantics.
+    ///
+    /// Memory note: the handles are refcounted slices — O(pieces) extra
+    /// *when the pieces share a buffer* (splits of one input). Pieces that
+    /// own fresh buffers (per-chunk command outputs in the streaming
+    /// barrier path) stay alive until `finish`, so a barrier stage's peak
+    /// memory is on par with the gather-first executors, not below them —
+    /// the safety net is reachable (fold-vs-gather error equality is only
+    /// proven on success paths), so the handles cannot be dropped early.
+    /// ROADMAP tracks this as streaming headroom.
     pub fn incremental<'a>(&'a self, env: &'a dyn RunEnv) -> IncrementalCombine<'a> {
         IncrementalCombine {
             combiner: self,

@@ -1,0 +1,64 @@
+//! Differential harness for the grep byte fast path: every `grep` stage
+//! appearing in the 70-script paper corpus runs over that script's
+//! generated input through both implementations — the slice fast path
+//! (coalesced sub-slices of the input `Bytes`) and the pre-existing
+//! rebuild-a-`String` path — and the outputs must be byte-identical.
+
+use kq_coreutils::grep::GrepCmd;
+use kq_coreutils::{Bytes, ExecContext, UnixCommand};
+use kq_pipeline::parse::parse_script;
+use kq_workloads::{corpus, setup, Scale};
+
+#[test]
+fn corpus_grep_stages_agree_with_reference_path() {
+    let scale = Scale {
+        input_bytes: 20_000,
+    };
+    let mut grep_stages = 0usize;
+    for script in corpus() {
+        let ctx = ExecContext::default();
+        let env = setup(script, &ctx, &scale, 0xBEEF);
+        let parsed = parse_script(script.text, &env)
+            .unwrap_or_else(|e| panic!("{}/{} parse: {e}", script.suite.dir(), script.id));
+        let input = ctx.vfs.read(&env["IN"]).unwrap();
+        for statement in &parsed.statements {
+            for stage in &statement.stages {
+                if stage.command.program() != "grep" {
+                    continue;
+                }
+                let g = GrepCmd::parse(&stage.command.argv()[1..]).unwrap_or_else(|e| {
+                    panic!("{}/{} grep parse: {e}", script.suite.dir(), script.id)
+                });
+                let fast = g
+                    .run(Bytes::from(input.as_str()), &ctx)
+                    .unwrap_or_else(|e| panic!("{}/{}: {e}", script.suite.dir(), script.id));
+                assert_eq!(
+                    fast.as_str(),
+                    g.run_reference(&input),
+                    "{}/{}: fast path diverged for {:?}",
+                    script.suite.dir(),
+                    script.id,
+                    stage.command.display()
+                );
+                grep_stages += 1;
+            }
+        }
+    }
+    assert!(
+        grep_stages >= 10,
+        "corpus should exercise many grep stages, found {grep_stages}"
+    );
+}
+
+#[test]
+fn fast_path_is_zero_copy_for_dense_matches() {
+    // The point of the fast path: a selecting grep over realistic text
+    // returns slices of its input. All-match → the input handle itself.
+    let text = "the quick brown fox\njumps over the lazy dog\n".repeat(500);
+    let input = Bytes::from(text);
+    let ctx = ExecContext::default();
+    let all = GrepCmd::parse(&["o".into()]).unwrap();
+    let out = all.run(input.clone(), &ctx).unwrap();
+    assert!(out.shares_buffer(&input), "all lines match: refcount bump");
+    assert_eq!(out, input);
+}

@@ -1,6 +1,7 @@
 //! Cross-crate property tests: total-function behaviour of the DSL
 //! evaluator, strategy-independence of k-way combining, shell-quoting
-//! round trips, and CLI-parser robustness.
+//! round trips, CLI-parser robustness, and heap-versus-mmap backing
+//! equivalence for the `Bytes` data plane.
 
 use kq_coreutils::split_words;
 use kq_dsl::ast::{Candidate, Combiner, RecOp, StructOp};
@@ -68,6 +69,62 @@ fn contains_fuse(op: &Combiner) -> bool {
         Combiner::Struct(StructOp::Offset(_, b)) => rec_has_fuse(b),
         Combiner::Run(_) => false,
     }
+}
+
+/// Writes `content` to a fresh temp file and ingests it as a mapped
+/// `Bytes` (forced `MmapMode::On`; empty inputs legitimately fall back to
+/// heap). The file is unlinked immediately — the mapping keeps the inode
+/// alive, which doubles as a lifecycle check.
+#[cfg(unix)]
+fn mmap_bytes(content: &str, tag: &str) -> kq_stream::Bytes {
+    use std::sync::atomic::{AtomicUsize, Ordering};
+    static N: AtomicUsize = AtomicUsize::new(0);
+    let path = std::env::temp_dir().join(format!(
+        "kq-prop-{tag}-{}-{}",
+        std::process::id(),
+        N.fetch_add(1, Ordering::Relaxed)
+    ));
+    std::fs::write(&path, content).unwrap();
+    let bytes = kq_io::read_path(&path, &kq_io::IngestOptions::with_mode(kq_io::MmapMode::On))
+        .unwrap_or_else(|e| panic!("{}: {e}", path.display()));
+    std::fs::remove_file(&path).ok();
+    bytes
+}
+
+/// `compact()` must release an oversized backing the same way whether the
+/// backing is a heap buffer or a mapped file: a tiny slice of a big mapped
+/// input copies onto the heap (dropping the last map reference unmaps),
+/// while a slice covering most of the map stays shared.
+#[cfg(unix)]
+#[test]
+fn compact_releases_mapped_backings_like_heap_ones() {
+    let content = "line of corpus text\n".repeat(1024); // 20 KiB
+    let mapped = mmap_bytes(&content, "compact");
+    let heap = kq_stream::Bytes::from(content.as_str());
+    assert!(mapped.is_mmap_backed());
+
+    let tiny_m = mapped.slice(0..20).compact();
+    let tiny_h = heap.slice(0..20).compact();
+    assert_eq!(tiny_m, tiny_h);
+    assert!(
+        !tiny_m.is_mmap_backed(),
+        "a compacted small slice must not pin the map"
+    );
+    assert!(!tiny_m.shares_buffer(&mapped));
+
+    let most_m = mapped.slice(0..content.len() - 20).compact();
+    assert!(
+        most_m.shares_buffer(&mapped),
+        "a slice covering most of the map stays shared"
+    );
+    assert!(most_m.is_mmap_backed());
+
+    // into_string out of a *shared* mapped view copies; out of the last
+    // reference it copies then unmaps — both equal the heap result.
+    assert_eq!(mapped.clone().into_string(), content);
+    drop(most_m);
+    drop(tiny_m);
+    assert_eq!(mapped.into_string(), content);
 }
 
 /// The fuse caveat, pinned concretely: both arguments lie in
@@ -254,6 +311,55 @@ proptest! {
             }
             prop_assert!(!c.is_empty(), "chunker must not emit empty chunks");
         }
+    }
+
+    /// Backing-store transparency: for arbitrary line material (with and
+    /// without a trailing newline), a heap-backed and an mmap-backed
+    /// `Bytes` over the same content are indistinguishable through the
+    /// whole observable surface — equality, `split_stream`,
+    /// `split_chunks`, `compact()`, and `into_string` — and mapped pieces
+    /// are still zero-copy slices of the map.
+    #[cfg(unix)]
+    #[test]
+    fn heap_and_mmap_backings_behave_identically(
+        lines in proptest::collection::vec("[a-z]{0,12}", 0..30),
+        k in 1usize..8,
+        target in 1usize..64,
+        terminated in 0u8..2,
+    ) {
+        let mut input: String = lines.iter().map(|l| format!("{l}\n")).collect();
+        if terminated == 0 {
+            input.pop();
+        }
+        let heap = kq_stream::Bytes::from(input.as_str());
+        let mapped = mmap_bytes(&input, "equiv");
+        prop_assert_eq!(&heap, &mapped);
+        if !input.is_empty() {
+            prop_assert!(mapped.is_mmap_backed(), "non-empty forced map");
+        }
+
+        let hp = heap.split_stream(k);
+        let mp = mapped.split_stream(k);
+        prop_assert_eq!(hp.len(), mp.len());
+        for (a, b) in hp.iter().zip(&mp) {
+            prop_assert_eq!(a, b);
+            prop_assert!(b.shares_buffer(&mapped), "mapped piece copied");
+        }
+
+        let hc = heap.split_chunks(target);
+        let mc = mapped.split_chunks(target);
+        prop_assert_eq!(hc.len(), mc.len());
+        for (a, b) in hc.iter().zip(&mc) {
+            prop_assert_eq!(a, b);
+            let (ca, cb) = (a.clone().compact(), b.clone().compact());
+            prop_assert_eq!(ca, cb);
+        }
+
+        prop_assert_eq!(heap.into_string(), mapped.clone().into_string());
+        // And once more as the sole surviving reference (unmap path).
+        drop(mp);
+        drop(mc);
+        prop_assert_eq!(mapped.into_string(), input);
     }
 
     /// Same partition/alignment contract for the k-way stream splitter,

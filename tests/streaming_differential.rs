@@ -19,6 +19,7 @@ use kq_pipeline::plan::Planner;
 use kq_pipeline::streaming::{run_streaming, StreamingOptions};
 use kq_synth::SynthesisConfig;
 use kq_workloads::{corpus, setup, Scale};
+use std::collections::HashMap;
 
 #[test]
 fn full_corpus_all_executors_agree() {
@@ -72,6 +73,104 @@ fn full_corpus_all_executors_agree() {
             );
         }
     }
+}
+
+/// Mapped inputs through every executor: the backing store must be
+/// invisible. A heap-ingested context is the oracle (serial semantics on
+/// owned buffers — exactly the pre-mmap world); the mmap-ingested context
+/// runs parallel, chunked, and streaming at chunk sizes bracketing the
+/// file size. Cases cover the documented edges: the empty file (mmap
+/// refuses zero length — heap fallback), a file without a trailing
+/// newline (unterminated final chunk), and a file much larger than the
+/// chunk size (many chunks slicing one mapped region).
+#[cfg(unix)]
+#[test]
+fn mmap_backed_inputs_match_heap_ingest_on_every_executor() {
+    use kq_io::{IngestOptions, MmapMode};
+    let dir = std::env::temp_dir().join(format!("kq-mmap-diff-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let chunk_bytes = 700usize;
+    let big: String = (0..2000)
+        .map(|i| format!("word{} tail{}\n", i % 13, i % 7))
+        .collect();
+    assert!(
+        big.len() > 8 * chunk_bytes,
+        "big case must dwarf the chunks"
+    );
+    let cases: Vec<(&str, String)> = vec![
+        ("empty", String::new()),
+        (
+            "unterminated",
+            "alpha one\nbeta two\ngamma three".to_owned(),
+        ),
+        ("big", big),
+    ];
+    let scripts = [
+        "cat IN | grep a | tr a-z A-Z | cut -d ' ' -f 1", // fully streamable
+        "cat IN | cut -d ' ' -f 1 | sort | uniq -c",      // barrier combiners
+    ];
+    let mapped_policy = IngestOptions::with_mode(MmapMode::On);
+    for (name, content) in &cases {
+        let path = dir.join(name);
+        std::fs::write(&path, content).unwrap();
+        let path_str = path.display().to_string();
+
+        let heap_ctx = ExecContext::default();
+        heap_ctx.vfs.write(path_str.clone(), content.as_str());
+        let mmap_ctx = ExecContext::default();
+        let ingested = kq_io::read_path_text(&path, &mapped_policy).unwrap();
+        assert_eq!(
+            ingested.is_mmap_backed(),
+            !content.is_empty(),
+            "{name}: non-empty files must actually map"
+        );
+        mmap_ctx.vfs.write(path_str.clone(), ingested);
+
+        for template in scripts {
+            let text = template.replace("IN", &path_str);
+            let parsed = parse_script(&text, &HashMap::new()).unwrap();
+            let sample = "word1 tail1\nword2 tail2\nword3 tail3\n".repeat(20);
+            let mut planner = Planner::new(SynthesisConfig::default());
+            let plan = planner.plan(&parsed, &heap_ctx, &sample);
+            let oracle = run_serial(&parsed, &heap_ctx)
+                .unwrap_or_else(|e| panic!("{name} heap serial: {e}"));
+
+            let serial_m = run_serial(&parsed, &mmap_ctx)
+                .unwrap_or_else(|e| panic!("{name} mmap serial: {e}"));
+            assert_eq!(serial_m.output, oracle.output, "{name}: serial diverged");
+
+            let parallel = run_parallel(&parsed, &plan, &mmap_ctx, 3, true)
+                .unwrap_or_else(|e| panic!("{name} mmap parallel: {e}"));
+            assert_eq!(parallel.output, oracle.output, "{name}: parallel diverged");
+
+            let copts = ChunkedOptions {
+                workers: 3,
+                chunk_bytes,
+                honor_elimination: true,
+            };
+            let chunked = run_chunked(&parsed, &plan, &mmap_ctx, &copts)
+                .unwrap_or_else(|e| panic!("{name} mmap chunked: {e}"));
+            assert_eq!(chunked.output, oracle.output, "{name}: chunked diverged");
+
+            // Chunk sizes bracketing the file: many chunks per map, and
+            // one chunk swallowing the whole file.
+            for cb in [chunk_bytes, 1 << 24] {
+                let sopts = StreamingOptions {
+                    workers: 2,
+                    chunk_bytes: cb,
+                    queue_depth: 2,
+                    fuse_streamable: true,
+                };
+                let streaming = run_streaming(&parsed, &plan, &mmap_ctx, &sopts)
+                    .unwrap_or_else(|e| panic!("{name} mmap streaming (chunk={cb}): {e}"));
+                assert_eq!(
+                    streaming.output, oracle.output,
+                    "{name}: streaming diverged at chunk_bytes={cb}"
+                );
+            }
+        }
+    }
+    std::fs::remove_dir_all(&dir).ok();
 }
 
 #[test]
