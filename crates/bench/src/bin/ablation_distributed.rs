@@ -57,12 +57,8 @@ fn main() {
         let script = parse_script(text, &env).unwrap();
         let ctx = ExecContext::default();
         ctx.vfs.write("/in.txt", &input);
-        let sample_cut = input[..input.len().min(16_000)]
-            .rfind('\n')
-            .map(|i| i + 1)
-            .unwrap_or(input.len());
         let mut planner = Planner::new(SynthesisConfig::default());
-        let plan = planner.plan(&script, &ctx, &input[..sample_cut]);
+        let plan = planner.plan(&script, &ctx, kq_workloads::planning_sample(&input, 16_000));
 
         for nodes in [2usize, 4, 8] {
             let workers_per_node = 4;

@@ -32,6 +32,9 @@ const VALUED: &[&str] = &[
     "chunk-kb",
     "queue-depth",
     "mmap",
+    "synth-workers",
+    "combiner-cache",
+    "rerun-threshold",
 ];
 
 impl ParsedArgs {
@@ -98,6 +101,21 @@ impl ParsedArgs {
         let v = self.opt_parse::<usize>(name, default)?;
         if v == 0 {
             return Err(format!("--{name} must be at least 1"));
+        }
+        Ok(v)
+    }
+
+    /// `--name` parsed as a ratio in `(0, 1]`, or `default` when absent.
+    /// The one caller is `--rerun-threshold` (an output/input shrink
+    /// ratio): `0` would disable rerun parallelism by accident, anything
+    /// above `1` would "justify" rerun combiners on growing streams, and
+    /// `NaN`/`inf` parse as valid `f64`s — so all three are rejected up
+    /// front with their own message, in the same style as
+    /// [`ParsedArgs::opt_parse_nonzero`].
+    pub fn opt_parse_ratio(&self, name: &str, default: f64) -> Result<f64, String> {
+        let v = self.opt_parse::<f64>(name, default)?;
+        if !(v.is_finite() && v > 0.0 && v <= 1.0) {
+            return Err(format!("--{name} must be a number in (0, 1]"));
         }
         Ok(v)
     }
@@ -210,6 +228,30 @@ mod tests {
         let a = parse(&["run", "x", "--queue-depth", "8"]);
         assert_eq!(a.opt_parse_nonzero("queue-depth", 4).unwrap(), 8);
         assert_eq!(a.opt_parse_nonzero("chunk-kb", 64).unwrap(), 64);
+    }
+
+    #[test]
+    fn ratio_rejects_nan_inf_zero_and_out_of_range() {
+        for bad in ["NaN", "nan", "inf", "-inf", "0", "0.0", "-0.3", "1.5", "2"] {
+            let a = parse(&["run", "x", "--rerun-threshold", bad]);
+            let err = a.opt_parse_ratio("rerun-threshold", 0.5).unwrap_err();
+            assert_eq!(err, "--rerun-threshold must be a number in (0, 1]", "{bad}");
+        }
+        let a = parse(&["run", "x", "--rerun-threshold", "lots"]);
+        assert!(a
+            .opt_parse_ratio("rerun-threshold", 0.5)
+            .unwrap_err()
+            .contains("invalid value"));
+    }
+
+    #[test]
+    fn ratio_accepts_the_valid_range_and_defaults() {
+        for (raw, want) in [("0.25", 0.25), ("1", 1.0), ("1.0", 1.0), ("0.999", 0.999)] {
+            let a = parse(&["run", "x", "--rerun-threshold", raw]);
+            assert_eq!(a.opt_parse_ratio("rerun-threshold", 0.5).unwrap(), want);
+        }
+        let a = parse(&["run", "x"]);
+        assert_eq!(a.opt_parse_ratio("rerun-threshold", 0.5).unwrap(), 0.5);
     }
 
     #[test]

@@ -7,9 +7,10 @@
 
 use crate::args::ParsedArgs;
 use crate::emit::{emit_script, EmitOptions};
-use crate::report::{render_plan, render_synthesis};
+use crate::report::{render_plan, render_synthesis, render_synthesis_summary};
 use kq_coreutils::ExecContext;
 use kq_io::{IngestOptions, MmapMode};
+use kq_pipeline::cache::CombinerCache;
 use kq_pipeline::exec::{run_parallel, run_serial};
 use kq_pipeline::parse::{parse_script, InputSource, Script};
 use kq_pipeline::plan::{PlannedScript, Planner};
@@ -60,11 +61,23 @@ USAGE:
         --external probes the real system binary (the paper's setup)
         instead of the in-process implementation.
     kumquat plan <script|file> [--var NAME=VALUE,...] [--input FILE]
-        Parse a pipeline script and print the parallelization plan.
+                               [--synth-workers N] [--combiner-cache FILE]
+                               [--rerun-threshold R]
+        Parse a pipeline script and print the parallelization plan plus a
+        synthesis summary (per-command wall time, cache hit/miss counts).
+        --synth-workers fans candidate filtering and distinct-command
+        synthesis out over N threads (plans are identical for every N);
+        --combiner-cache persists synthesized combiners to FILE so repeat
+        invocations skip synthesis (on-disk hits are re-validated against
+        a fresh observation before being trusted); --rerun-threshold sets
+        the output/input shrink ratio, in (0, 1], below which a
+        rerun-combiner stage still parallelizes (default 0.5).
     kumquat run <script|file> [--workers N] [--no-opt] [--var ...]
                                [--exec static|chunked|streaming]
                                [--chunk-kb N] [--queue-depth N]
                                [--mmap auto|on|off] [--no-verify]
+                               [--synth-workers N] [--combiner-cache FILE]
+                               [--rerun-threshold R]
         Execute a script with N-way data parallelism (default 4); the
         parallel output is verified against the serial output unless
         --no-verify is given (the serial oracle re-reads the whole input
@@ -80,14 +93,62 @@ USAGE:
     kumquat emit <script|file> [--workers N] [--no-opt] [--out FILE]
         Compile the script into a runnable POSIX shell script that uses
         the real Unix commands plus the synthesized combiners.
-    kumquat corpus [--suite NAME]
-        List the 70-script benchmark corpus from the paper.
+    kumquat corpus [--suite NAME] [--plan] [--combiner-cache FILE]
+                   [--synth-workers N]
+        List the 70-script benchmark corpus from the paper. With --plan,
+        generate each script's inputs and plan it, sharing one combiner
+        cache across the whole corpus, then print per-command synthesis
+        times and cache statistics (CI plans the corpus twice against a
+        shared --combiner-cache and asserts the second pass reports zero
+        synthesis rounds).
 ";
 
 fn synthesis_config(args: &ParsedArgs) -> Result<SynthesisConfig, String> {
     let mut config = SynthesisConfig::default();
     config.rng_seed = args.opt_parse("seed", config.rng_seed)?;
+    config.workers = args.opt_parse_nonzero("synth-workers", 4)?;
     Ok(config)
+}
+
+/// Builds the planner the way every planning subcommand shares: synthesis
+/// config from `--seed`/`--synth-workers`, an on-disk combiner cache when
+/// `--combiner-cache` is given, and the `--rerun-threshold` heuristic
+/// knob. Cache-load warnings land in `notes`.
+fn planner_from_args(args: &ParsedArgs, notes: &mut Vec<String>) -> Result<Planner, String> {
+    let config = synthesis_config(args)?;
+    let mut planner = match args.opt("combiner-cache") {
+        Some(path) => Planner::with_cache(config.clone(), CombinerCache::open(path, &config)),
+        None => Planner::new(config),
+    };
+    planner.rerun_shrink_threshold = args.opt_parse_ratio("rerun-threshold", 0.5)?;
+    notes.extend(planner.cache_warnings().iter().cloned());
+    Ok(planner)
+}
+
+/// The one-line synthesis/cache summary appended to `plan`/`run` notes,
+/// plus the cache write-back.
+fn finish_planning(planner: &mut Planner, notes: &mut Vec<String>) {
+    let stats = planner.cache_stats();
+    let synth_ms = crate::report::total_synthesis_ms(&planner.reports);
+    let rounds: usize = planner.reports.iter().map(|r| r.rounds).sum();
+    notes.push(format!(
+        "synthesis: {} command(s) synthesized in {synth_ms:.1} ms ({rounds} round(s)); \
+         combiner cache: {} hit(s) ({} validated, {} rejected), {} miss(es)",
+        planner.reports.len(),
+        stats.hits,
+        stats.validated,
+        stats.rejected,
+        stats.misses,
+    ));
+    let path = planner
+        .cache_path()
+        .map(|p| p.display().to_string())
+        .unwrap_or_default();
+    match planner.save_cache() {
+        Ok(true) => notes.push(format!("combiner cache written to {path}")),
+        Ok(false) => {}
+        Err(e) => notes.push(format!("combiner cache not saved: {e}")),
+    }
 }
 
 fn cmd_synthesize(args: &ParsedArgs) -> Result<CliOutput, String> {
@@ -201,12 +262,18 @@ struct PlannedRun {
     plan: PlannedScript,
     ctx: ExecContext,
     notes: Vec<String>,
+    planner: Planner,
 }
 
 fn plan_from_args(args: &ParsedArgs) -> Result<PlannedRun, String> {
     let [arg] = args.positional.as_slice() else {
         return Err("expected exactly one script argument".into());
     };
+    // Validate every synthesis knob up front — like the executor capacity
+    // knobs, a bad --synth-workers/--rerun-threshold fails before any
+    // file is read or synthesis starts.
+    synthesis_config(args)?;
+    args.opt_parse_ratio("rerun-threshold", 0.5)?;
     let ingest = ingest_options(args)?;
     let text = load_script_text(arg, &ingest)?;
     let env: HashMap<String, String> = args.vars()?.into_iter().collect();
@@ -220,13 +287,15 @@ fn plan_from_args(args: &ParsedArgs) -> Result<PlannedRun, String> {
         }
     }
     let sample = planning_sample(&script, &ctx);
-    let mut planner = Planner::new(synthesis_config(args)?);
+    let mut planner = planner_from_args(args, &mut notes)?;
     let plan = planner.plan(&script, &ctx, &sample);
+    finish_planning(&mut planner, &mut notes);
     Ok(PlannedRun {
         script,
         plan,
         ctx,
         notes,
+        planner,
     })
 }
 
@@ -255,8 +324,13 @@ fn planning_sample(script: &Script, ctx: &ExecContext) -> String {
 
 fn cmd_plan(args: &ParsedArgs) -> Result<CliOutput, String> {
     let planned = plan_from_args(args)?;
+    let mut stdout = render_plan(&planned.script, &planned.plan);
+    stdout.push_str(&render_synthesis_summary(
+        &planned.planner.reports,
+        planned.planner.cache_stats(),
+    ));
     Ok(CliOutput {
-        stdout: render_plan(&planned.script, &planned.plan),
+        stdout,
         notes: planned.notes,
     })
 }
@@ -369,6 +443,9 @@ fn cmd_emit(args: &ParsedArgs) -> Result<CliOutput, String> {
 
 fn cmd_corpus(args: &ParsedArgs) -> Result<CliOutput, String> {
     let filter = args.opt("suite");
+    if args.flag("plan") {
+        return cmd_corpus_plan(args, filter);
+    }
     let mut out = String::new();
     let mut shown = 0usize;
     for script in kq_workloads::corpus() {
@@ -397,6 +474,62 @@ fn cmd_corpus(args: &ParsedArgs) -> Result<CliOutput, String> {
     }
     writeln!(out, "{shown} script(s)").unwrap();
     Ok(CliOutput::from_stdout(out))
+}
+
+/// `kumquat corpus --plan`: generate each corpus script's inputs, plan it
+/// against one shared planner (and, with `--combiner-cache`, one shared
+/// on-disk store), and report per-command synthesis times plus cache
+/// statistics. The trailing "synthesis rounds" line is what CI's
+/// warm-cache job asserts reaches zero on the second pass.
+fn cmd_corpus_plan(args: &ParsedArgs, filter: Option<&str>) -> Result<CliOutput, String> {
+    let mut notes = Vec::new();
+    let mut planner = planner_from_args(args, &mut notes)?;
+    let scale = kq_workloads::Scale::tests();
+    let mut out = String::new();
+    let mut shown = 0usize;
+    for script in kq_workloads::corpus() {
+        let suite = script.suite.dir();
+        if filter.is_some_and(|f| f != suite) {
+            continue;
+        }
+        let ctx = ExecContext::default();
+        let env = kq_workloads::setup(script, &ctx, &scale, 0xC0FFEE);
+        let parsed =
+            parse_script(script.text, &env).map_err(|e| format!("{suite}/{}: {e}", script.id))?;
+        let sample = corpus_planning_sample(&env, &ctx)
+            .ok_or_else(|| format!("{suite}/{}: no $IN input generated", script.id))?;
+        let plan = planner.plan(&parsed, &ctx, &sample);
+        let (k, n) = plan.parallelized_counts();
+        writeln!(
+            out,
+            "{suite:>14}  {:<16} {k}/{n} stages parallel",
+            script.id
+        )
+        .unwrap();
+        shown += 1;
+    }
+    if shown == 0 {
+        return Err(format!(
+            "no scripts match --suite {:?} (suites: analytics-mts, oneliners, poets, unix50)",
+            filter.unwrap_or("")
+        ));
+    }
+    out.push_str(&render_synthesis_summary(
+        &planner.reports,
+        planner.cache_stats(),
+    ));
+    let rounds: usize = planner.reports.iter().map(|r| r.rounds).sum();
+    writeln!(out, "planned {shown} script(s); synthesis rounds: {rounds}").unwrap();
+    finish_planning(&mut planner, &mut notes);
+    Ok(CliOutput { stdout: out, notes })
+}
+
+/// The planning sample for a corpus script: a line-aligned 16 KiB prefix
+/// of its generated `$IN` input (the same probe the corpus test suite
+/// plans against).
+fn corpus_planning_sample(env: &HashMap<String, String>, ctx: &ExecContext) -> Option<String> {
+    let sample = ctx.vfs.read(env.get("IN")?)?;
+    Some(kq_workloads::planning_sample(&sample, 16_000).to_owned())
 }
 
 #[cfg(test)]
@@ -632,6 +765,192 @@ mod tests {
             "{:?}",
             out.notes
         );
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn plan_reports_synthesis_times_and_cache_counts() {
+        let dir = std::env::temp_dir().join(format!("kq-cli-synthrep-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let input = dir.join("in.txt");
+        std::fs::write(&input, "a x\nb y\n".repeat(40)).unwrap();
+        let script = format!("cat {} | grep a | wc -l", input.display());
+        let out = call(&["plan", &script]).unwrap();
+        assert!(
+            out.stdout.contains("command(s) synthesized"),
+            "{}",
+            out.stdout
+        );
+        assert!(out.stdout.contains(" ms  grep a"), "{}", out.stdout);
+        assert!(out.stdout.contains("combiner cache:"), "{}", out.stdout);
+        assert!(
+            out.notes.iter().any(|n| n.contains("synthesis:")),
+            "{:?}",
+            out.notes
+        );
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn combiner_cache_warms_across_invocations() {
+        let dir = std::env::temp_dir().join(format!("kq-cli-warm-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let input = dir.join("in.txt");
+        std::fs::write(&input, "a x\nb y\na z\n".repeat(40)).unwrap();
+        let cache = dir.join("combiners.v1");
+        let cache_arg = cache.display().to_string();
+        let script = format!("cat {} | grep a | sort | uniq -c", input.display());
+
+        let cold = call(&["plan", &script, "--combiner-cache", &cache_arg]).unwrap();
+        assert!(
+            cold.stdout.contains("3 command(s) synthesized"),
+            "{}",
+            cold.stdout
+        );
+        assert!(
+            cold.notes
+                .iter()
+                .any(|n| n.contains("combiner cache written")),
+            "{:?}",
+            cold.notes
+        );
+        assert!(cache.is_file());
+
+        // Second process: everything validates out of the store, nothing
+        // synthesizes, and the plan is unchanged.
+        let warm = call(&["plan", &script, "--combiner-cache", &cache_arg]).unwrap();
+        assert!(
+            warm.stdout.contains("0 command(s) synthesized"),
+            "{}",
+            warm.stdout
+        );
+        assert!(warm.stdout.contains("(3 validated"), "{}", warm.stdout);
+        let plan_of = |s: &str| {
+            s.lines()
+                .take_while(|l| !l.starts_with("synthesis:"))
+                .collect::<Vec<_>>()
+                .join("\n")
+        };
+        assert_eq!(plan_of(&cold.stdout), plan_of(&warm.stdout));
+
+        // A run through the warm cache still verifies against serial.
+        let run = call(&[
+            "run",
+            &script,
+            "--combiner-cache",
+            &cache_arg,
+            "--exec",
+            "streaming",
+        ])
+        .unwrap();
+        assert!(
+            run.notes.iter().any(|n| n.contains("verified")),
+            "{:?}",
+            run.notes
+        );
+
+        // A corrupted store is ignored with a warning and re-synthesized.
+        std::fs::write(&cache, "garbage\nmore garbage\n").unwrap();
+        let poisoned = call(&["plan", &script, "--combiner-cache", &cache_arg]).unwrap();
+        assert!(
+            poisoned
+                .notes
+                .iter()
+                .any(|n| n.contains("ignoring the file")),
+            "{:?}",
+            poisoned.notes
+        );
+        assert!(
+            poisoned.stdout.contains("3 command(s) synthesized"),
+            "{}",
+            poisoned.stdout
+        );
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn corpus_plan_warms_to_zero_rounds() {
+        let dir = std::env::temp_dir().join(format!("kq-cli-corpusplan-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let cache = dir.join("combiners.v1");
+        let cache_arg = cache.display().to_string();
+        let cold = call(&[
+            "corpus",
+            "--plan",
+            "--suite",
+            "analytics-mts",
+            "--combiner-cache",
+            &cache_arg,
+        ])
+        .unwrap();
+        assert!(
+            cold.stdout.contains("planned 4 script(s)"),
+            "{}",
+            cold.stdout
+        );
+        assert!(
+            !cold.stdout.contains("synthesis rounds: 0"),
+            "{}",
+            cold.stdout
+        );
+        let warm = call(&[
+            "corpus",
+            "--plan",
+            "--suite",
+            "analytics-mts",
+            "--combiner-cache",
+            &cache_arg,
+        ])
+        .unwrap();
+        assert!(
+            warm.stdout.contains("synthesis rounds: 0"),
+            "{}",
+            warm.stdout
+        );
+        assert!(
+            warm.stdout.contains("0 command(s) synthesized"),
+            "{}",
+            warm.stdout
+        );
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn synth_workers_and_rerun_threshold_validate_up_front() {
+        let s = "cat x | sort";
+        let err = call(&["plan", s, "--synth-workers", "0"]).unwrap_err();
+        assert!(err.contains("--synth-workers must be at least 1"), "{err}");
+        let err = call(&["run", s, "--rerun-threshold", "NaN"]).unwrap_err();
+        assert!(
+            err.contains("--rerun-threshold must be a number in (0, 1]"),
+            "{err}"
+        );
+        let err = call(&["run", s, "--rerun-threshold", "0"]).unwrap_err();
+        assert!(err.contains("(0, 1]"), "{err}");
+        let err = call(&["emit", s, "--rerun-threshold", "1.5"]).unwrap_err();
+        assert!(err.contains("(0, 1]"), "{err}");
+    }
+
+    #[test]
+    fn rerun_threshold_changes_the_plan() {
+        // `sort -u | head` keeps a rerun stage parallel at the default
+        // threshold on a duplicate-heavy input; an extreme threshold
+        // (a hair above zero) demands an impossible shrink and forces it
+        // sequential.
+        let dir = std::env::temp_dir().join(format!("kq-cli-thresh-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let input = dir.join("in.txt");
+        std::fs::write(&input, "b\na\nb\na\nc\n".repeat(60)).unwrap();
+        let script = format!("cat {} | sort -u | head -n 2", input.display());
+        let default = call(&["plan", &script]).unwrap();
+        let strict = call(&["plan", &script, "--rerun-threshold", "0.0001"]).unwrap();
+        let par_line = |s: &str| {
+            s.lines()
+                .find(|l| l.contains("stages parallelized"))
+                .unwrap()
+                .to_owned()
+        };
+        assert_ne!(par_line(&default.stdout), par_line(&strict.stdout));
         std::fs::remove_dir_all(&dir).ok();
     }
 

@@ -1,5 +1,6 @@
 //! Human-readable rendering of synthesis reports and pipeline plans.
 
+use kq_pipeline::cache::CacheStats;
 use kq_pipeline::parse::Script;
 use kq_pipeline::plan::{PlannedScript, StageMode};
 use kq_synth::{SynthesisOutcome, SynthesisReport};
@@ -85,6 +86,51 @@ pub fn render_plan(script: &Script, plan: &PlannedScript) -> String {
     out
 }
 
+/// Total synthesis wall time in milliseconds. (An empty float sum is
+/// `-0.0`, which `{:.1}` renders as "-0.0 ms"; normalize it away.)
+pub(crate) fn total_synthesis_ms(reports: &[SynthesisReport]) -> f64 {
+    let ms: f64 = reports.iter().map(|r| r.elapsed.as_secs_f64() * 1e3).sum();
+    if ms == 0.0 {
+        0.0
+    } else {
+        ms
+    }
+}
+
+/// Renders the planner's synthesis ledger: per-command wall time for
+/// every command synthesized this process (cache hits cost none and list
+/// none) plus the cache hit/miss/validated counters.
+pub fn render_synthesis_summary(reports: &[SynthesisReport], stats: CacheStats) -> String {
+    let mut out = String::new();
+    let total_ms = total_synthesis_ms(reports);
+    writeln!(
+        out,
+        "synthesis: {} command(s) synthesized in {total_ms:.1} ms",
+        reports.len()
+    )
+    .unwrap();
+    for report in reports {
+        let verdict = match &report.outcome {
+            SynthesisOutcome::Synthesized(c) => c.primary().to_string(),
+            SynthesisOutcome::NoCombiner { .. } => "no combiner".to_owned(),
+        };
+        writeln!(
+            out,
+            "  {:>9.2} ms  {:<28} {verdict}",
+            report.elapsed.as_secs_f64() * 1e3,
+            report.command,
+        )
+        .unwrap();
+    }
+    writeln!(
+        out,
+        "combiner cache: {} hit(s) ({} validated, {} rejected), {} miss(es), {} loaded from disk",
+        stats.hits, stats.validated, stats.rejected, stats.misses, stats.loaded
+    )
+    .unwrap();
+    out
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -115,5 +161,22 @@ mod tests {
         let text = render_plan(&script, &plan);
         assert!(text.contains("stages parallelized"));
         assert!(text.contains("[par"));
+    }
+
+    #[test]
+    fn synthesis_summary_lists_per_command_times_and_cache_counts() {
+        let script = parse_script("cat in.txt | grep a | grep a | wc -l", &HashMap::new()).unwrap();
+        let ctx = ExecContext::default();
+        ctx.vfs.write("in.txt", "a x\nb y\na z\n".repeat(30));
+        let mut planner = Planner::new(SynthesisConfig::default());
+        let _ = planner.plan(&script, &ctx, "a x\nb y\na z\n");
+        let text = render_synthesis_summary(&planner.reports, planner.cache_stats());
+        assert!(text.contains("2 command(s) synthesized"), "{text}");
+        assert!(text.contains(" ms  grep a"), "{text}");
+        assert!(text.contains(" ms  wc -l"), "{text}");
+        assert!(text.contains("combiner cache:"), "{text}");
+        assert!(text.contains("2 miss(es)"), "{text}");
+        // The duplicated grep stage is a hit, not a second synthesis.
+        assert!(text.contains("hit(s)"), "{text}");
     }
 }

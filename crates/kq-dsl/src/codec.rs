@@ -1,0 +1,304 @@
+//! A stable text encoding for candidates — the wire format of the
+//! persistent combiner cache.
+//!
+//! The `Display` forms in [`crate::ast`] follow the paper's notation and
+//! are for humans; this codec is for round-tripping. Every candidate
+//! encodes to one whitespace-separated token line and decodes back to an
+//! identical value ([`decode_candidate`]`(`[`encode_candidate`]`(c)) ==
+//! Ok(c)`, property-tested over the full enumeration in the lemmas suite).
+//! Decoding is strict: unknown tokens, wrong arity, or trailing garbage
+//! all fail, so a corrupted cache line is rejected rather than guessed at.
+//!
+//! Grammar (prefix notation, one token per operator):
+//!
+//! ```text
+//! candidate := ("ab" | "ba") op            # argument orientation
+//! op        := "add" | "concat" | "first" | "second"
+//!            | ("front"|"back"|"fuse") delim rec
+//!            | "stitch" rec
+//!            | "stitch2" delim rec rec
+//!            | "offset" delim rec
+//!            | "rerun"
+//!            | "merge" count flag*         # flags percent-escaped
+//! delim     := "nl" | "tab" | "sp" | "comma"
+//! ```
+
+use crate::ast::{Candidate, Combiner, RecOp, RunOp, StructOp};
+use kq_stream::Delim;
+
+/// Encodes one candidate as a single line of whitespace-separated tokens
+/// (no newline).
+pub fn encode_candidate(candidate: &Candidate) -> String {
+    let mut out = String::new();
+    out.push_str(if candidate.swapped { "ba" } else { "ab" });
+    encode_op(&candidate.op, &mut out);
+    out
+}
+
+/// Decodes a line produced by [`encode_candidate`]. Strict: every token
+/// must be consumed and well-formed.
+pub fn decode_candidate(line: &str) -> Result<Candidate, String> {
+    let mut tokens = line.split_ascii_whitespace();
+    let swapped = match tokens.next() {
+        Some("ab") => false,
+        Some("ba") => true,
+        other => return Err(format!("bad orientation token {other:?}")),
+    };
+    let op = decode_op(&mut tokens)?;
+    if let Some(extra) = tokens.next() {
+        return Err(format!("trailing token {extra:?}"));
+    }
+    Ok(Candidate { op, swapped })
+}
+
+fn encode_op(op: &Combiner, out: &mut String) {
+    match op {
+        Combiner::Rec(b) => encode_rec(b, out),
+        Combiner::Struct(StructOp::Stitch(b)) => {
+            out.push_str(" stitch");
+            encode_rec(b, out);
+        }
+        Combiner::Struct(StructOp::Stitch2(d, b1, b2)) => {
+            out.push_str(" stitch2 ");
+            out.push_str(delim_name(*d));
+            encode_rec(b1, out);
+            encode_rec(b2, out);
+        }
+        Combiner::Struct(StructOp::Offset(d, b)) => {
+            out.push_str(" offset ");
+            out.push_str(delim_name(*d));
+            encode_rec(b, out);
+        }
+        Combiner::Run(RunOp::Rerun) => out.push_str(" rerun"),
+        Combiner::Run(RunOp::Merge(flags)) => {
+            out.push_str(&format!(" merge {}", flags.len()));
+            for flag in flags {
+                out.push(' ');
+                out.push_str(&escape_token(flag));
+            }
+        }
+    }
+}
+
+fn encode_rec(b: &RecOp, out: &mut String) {
+    match b {
+        RecOp::Add => out.push_str(" add"),
+        RecOp::Concat => out.push_str(" concat"),
+        RecOp::First => out.push_str(" first"),
+        RecOp::Second => out.push_str(" second"),
+        RecOp::Front(d, child) | RecOp::Back(d, child) | RecOp::Fuse(d, child) => {
+            out.push(' ');
+            out.push_str(match b {
+                RecOp::Front(..) => "front",
+                RecOp::Back(..) => "back",
+                _ => "fuse",
+            });
+            out.push(' ');
+            out.push_str(delim_name(*d));
+            encode_rec(child, out);
+        }
+    }
+}
+
+fn decode_op<'a>(tokens: &mut impl Iterator<Item = &'a str>) -> Result<Combiner, String> {
+    let head = tokens.next().ok_or("missing operator token")?;
+    Ok(match head {
+        "stitch" => Combiner::Struct(StructOp::Stitch(decode_rec(tokens)?)),
+        "stitch2" => {
+            let d = decode_delim(tokens)?;
+            Combiner::Struct(StructOp::Stitch2(
+                d,
+                decode_rec(tokens)?,
+                decode_rec(tokens)?,
+            ))
+        }
+        "offset" => {
+            let d = decode_delim(tokens)?;
+            Combiner::Struct(StructOp::Offset(d, decode_rec(tokens)?))
+        }
+        "rerun" => Combiner::Run(RunOp::Rerun),
+        "merge" => {
+            let count: usize = tokens
+                .next()
+                .ok_or("merge: missing flag count")?
+                .parse()
+                .map_err(|_| "merge: bad flag count".to_owned())?;
+            let mut flags = Vec::with_capacity(count);
+            for _ in 0..count {
+                let raw = tokens.next().ok_or("merge: missing flag")?;
+                flags.push(unescape_token(raw)?);
+            }
+            Combiner::Run(RunOp::Merge(flags))
+        }
+        rec => Combiner::Rec(decode_rec_head(rec, tokens)?),
+    })
+}
+
+fn decode_rec<'a>(tokens: &mut impl Iterator<Item = &'a str>) -> Result<RecOp, String> {
+    let head = tokens.next().ok_or("missing RecOp token")?;
+    decode_rec_head(head, tokens)
+}
+
+fn decode_rec_head<'a>(
+    head: &str,
+    tokens: &mut impl Iterator<Item = &'a str>,
+) -> Result<RecOp, String> {
+    Ok(match head {
+        "add" => RecOp::Add,
+        "concat" => RecOp::Concat,
+        "first" => RecOp::First,
+        "second" => RecOp::Second,
+        "front" | "back" | "fuse" => {
+            let d = decode_delim(tokens)?;
+            let child = Box::new(decode_rec(tokens)?);
+            match head {
+                "front" => RecOp::Front(d, child),
+                "back" => RecOp::Back(d, child),
+                _ => RecOp::Fuse(d, child),
+            }
+        }
+        other => return Err(format!("unknown RecOp token {other:?}")),
+    })
+}
+
+fn delim_name(d: Delim) -> &'static str {
+    match d {
+        Delim::Newline => "nl",
+        Delim::Tab => "tab",
+        Delim::Space => "sp",
+        Delim::Comma => "comma",
+    }
+}
+
+fn decode_delim<'a>(tokens: &mut impl Iterator<Item = &'a str>) -> Result<Delim, String> {
+    match tokens.next() {
+        Some("nl") => Ok(Delim::Newline),
+        Some("tab") => Ok(Delim::Tab),
+        Some("sp") => Ok(Delim::Space),
+        Some("comma") => Ok(Delim::Comma),
+        other => Err(format!("bad delimiter token {other:?}")),
+    }
+}
+
+/// Percent-escapes a token so it contains no whitespace, control bytes,
+/// `%`, or `;` (the cache file's candidate separator). Lossless over
+/// arbitrary strings.
+pub fn escape_token(raw: &str) -> String {
+    let mut out = String::with_capacity(raw.len());
+    for b in raw.bytes() {
+        if b <= 0x20 || b >= 0x7f || b == b'%' || b == b';' {
+            out.push('%');
+            out.push_str(&format!("{b:02x}"));
+        } else {
+            out.push(b as char);
+        }
+    }
+    out
+}
+
+/// Reverses [`escape_token`]; fails on malformed escapes or invalid UTF-8.
+pub fn unescape_token(escaped: &str) -> Result<String, String> {
+    let bytes = escaped.as_bytes();
+    let mut out: Vec<u8> = Vec::with_capacity(bytes.len());
+    let mut i = 0;
+    while i < bytes.len() {
+        if bytes[i] == b'%' {
+            let hex = bytes
+                .get(i + 1..i + 3)
+                .ok_or_else(|| format!("truncated escape in {escaped:?}"))?;
+            let hex = std::str::from_utf8(hex).map_err(|_| "non-ASCII escape".to_owned())?;
+            out.push(u8::from_str_radix(hex, 16).map_err(|_| format!("bad escape %{hex}"))?);
+            i += 3;
+        } else {
+            out.push(bytes[i]);
+            i += 1;
+        }
+    }
+    String::from_utf8(out).map_err(|_| format!("escaped token {escaped:?} is not UTF-8"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn roundtrip(c: &Candidate) {
+        let line = encode_candidate(c);
+        let back = decode_candidate(&line).unwrap_or_else(|e| panic!("{line:?}: {e}"));
+        assert_eq!(&back, c, "through {line:?}");
+    }
+
+    #[test]
+    fn representative_candidates_roundtrip() {
+        roundtrip(&Candidate::rec(RecOp::Concat));
+        roundtrip(&Candidate {
+            op: Combiner::Rec(RecOp::Second),
+            swapped: true,
+        });
+        roundtrip(&Candidate::rec(RecOp::Back(
+            Delim::Newline,
+            Box::new(RecOp::Fuse(Delim::Space, Box::new(RecOp::Add))),
+        )));
+        roundtrip(&Candidate::structural(StructOp::Stitch(RecOp::First)));
+        roundtrip(&Candidate::structural(StructOp::Stitch2(
+            Delim::Space,
+            RecOp::Add,
+            RecOp::First,
+        )));
+        roundtrip(&Candidate::structural(StructOp::Offset(
+            Delim::Tab,
+            RecOp::Add,
+        )));
+        roundtrip(&Candidate::run(RunOp::Rerun));
+        roundtrip(&Candidate::run(RunOp::Merge(vec![])));
+        roundtrip(&Candidate::run(RunOp::Merge(vec![
+            "-rn".to_owned(),
+            "-k1,2 %;".to_owned(), // space, percent, semicolon all escape
+        ])));
+    }
+
+    #[test]
+    fn full_enumeration_roundtrips() {
+        // Every candidate the enumerator can emit survives the codec.
+        let config = crate::EnumConfig {
+            delims: vec![Delim::Newline, Delim::Space, Delim::Tab, Delim::Comma],
+            max_size: 6,
+            merge_flags: vec!["-rn".to_owned()],
+        };
+        let (candidates, _) = crate::enumerate_candidates(&config);
+        assert!(candidates.len() > 1000, "space too small to be convincing");
+        for c in &candidates {
+            roundtrip(c);
+        }
+    }
+
+    #[test]
+    fn corrupted_lines_are_rejected() {
+        for bad in [
+            "",
+            "ab",
+            "xy concat",
+            "ab frobnicate",
+            "ab front concat",   // missing delimiter
+            "ab front nl",       // missing child
+            "ab concat extra",   // trailing garbage
+            "ab merge",          // missing count
+            "ab merge 2 -r",     // missing flag
+            "ab merge one -r",   // non-numeric count
+            "ab stitch2 sp add", // missing second child
+        ] {
+            assert!(decode_candidate(bad).is_err(), "{bad:?} should fail");
+        }
+    }
+
+    #[test]
+    fn escape_roundtrips_hostile_tokens() {
+        for raw in ["", "-rn", "a b", "100%;", "\t\n\u{1f}", "naïve"] {
+            assert_eq!(unescape_token(&escape_token(raw)).unwrap(), raw);
+            let escaped = escape_token(raw);
+            assert!(!escaped.contains(char::is_whitespace));
+            assert!(!escaped.contains(';'));
+        }
+        assert!(unescape_token("%zz").is_err());
+        assert!(unescape_token("%2").is_err());
+    }
+}

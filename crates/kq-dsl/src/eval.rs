@@ -34,7 +34,14 @@ impl std::error::Error for EvalError {}
 
 /// The environment needed by `RunOp` combiners: how to re-run the command
 /// `f` and how to invoke `unixMerge`.
-pub trait RunEnv {
+///
+/// `Sync` is a supertrait so one environment can serve concurrent
+/// candidate filtering ([`crate::filter`]): partitions of a candidate set
+/// are evaluated on worker threads that share the `&dyn RunEnv`. Both
+/// built-in environments qualify ([`NoRunEnv`] is stateless;
+/// [`CommandEnv`] borrows a `Send + Sync` command and context), and the
+/// requirement is what makes `&dyn RunEnv: Send`.
+pub trait RunEnv: Sync {
     /// `rerun_f`: execute `f` on the given input.
     fn rerun(&self, input: &str) -> Result<String, EvalError>;
 

@@ -42,15 +42,21 @@
 #![warn(missing_docs)]
 
 pub mod ast;
+pub mod codec;
 pub mod domain;
 pub mod enumerate;
 pub mod eval;
+pub mod filter;
 pub mod kway;
 pub mod repr;
 
 pub use ast::{Candidate, Combiner, RecOp, RunOp, StructOp};
+pub use codec::{decode_candidate, encode_candidate};
 pub use enumerate::{enumerate_candidates, EnumConfig, SpaceBreakdown};
 pub use eval::{CommandEnv, EvalError, RunEnv};
+pub use filter::{
+    eliminated_count, filter_candidates, filter_candidates_partitioned, retain_by_mask,
+};
 pub use kq_stream::Delim;
 pub use kway::{combine_all, combine_all_with, CombineStrategy, IncrementalFold};
 

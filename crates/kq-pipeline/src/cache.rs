@@ -1,0 +1,676 @@
+//! The combiner cache: normalized command signatures, in-process reuse,
+//! and an optional versioned on-disk store.
+//!
+//! # Keys
+//!
+//! Entries are keyed by a *normalized command signature*
+//! ([`cache_key`]) rather than the raw display line: the program name,
+//! the flag set in canonical form (single-letter clusters exploded,
+//! value-taking options paired with their values, the whole set sorted),
+//! and the operands in order. `grep -n -c p`, `grep -cn p`, and
+//! `grep -c -n p` all share one entry; `grep -cn q` does not.
+//! Normalization is deliberately conservative — only the programs this
+//! crate ships (with a per-program table of value-taking options) are
+//! normalized; anything else (e.g. a [`Command::custom`] wrapper) keys on
+//! its raw display line. A key collision can therefore only arise from
+//! the normalizer itself, and even then costs at most a wasted
+//! re-synthesis: on-disk hits are validated against a fresh observation
+//! before being trusted (see below).
+//!
+//! # The on-disk store
+//!
+//! [`CombinerCache::open`] attaches a line-oriented store:
+//!
+//! ```text
+//! kumquat-combiner-cache v1 seed=<rng_seed> max_size=<n>
+//! <escaped-key>\t-                      # synthesis proved: no combiner
+//! <escaped-key>\t+\t<cand>;<cand>;...   # the plausible set (kq_dsl::codec)
+//! ```
+//!
+//! The header pins both the format version and the synthesis
+//! configuration fingerprint: a version bump or a different
+//! `rng_seed`/`max_size` would make cached results unreproducible, so a
+//! mismatched or corrupted file is **ignored with a warning, never
+//! trusted** — any malformed line discards the whole file. Saving writes
+//! to a temp file and renames, so concurrent processes sharing a path
+//! can race without producing a torn file.
+//!
+//! # Trust policy
+//!
+//! An entry freshly synthesized in this process is trusted outright. An
+//! entry loaded from disk is *pending*: the first lookup replays its
+//! candidates against a fresh observation ([`kq_synth::spot_check`]) and
+//! either promotes it (counted `validated`) or discards it and
+//! re-synthesizes (counted `rejected`). Negative entries cannot be
+//! replayed and are trusted as-is — a wrong negative only loses
+//! parallelism (the stage runs sequentially), never correctness. Negative
+//! results whose input profile was `Unsupported` (a probe environment
+//! problem, e.g. a file dependency the script writes later) are not
+//! persisted at all: they describe the context, not the command.
+
+use kq_coreutils::Command;
+use kq_dsl::ast::Candidate;
+use kq_dsl::codec::{decode_candidate, encode_candidate, escape_token, unescape_token};
+use kq_synth::{SynthesisConfig, SynthesizedCombiner};
+use std::collections::HashMap;
+use std::path::{Path, PathBuf};
+use std::sync::Arc;
+
+/// Programs whose flag grammar the normalizer understands, with their
+/// value-taking single-letter options. Everything else keys raw.
+fn value_taking(program: &str, flag: char) -> bool {
+    matches!(
+        (program, flag),
+        ("cut", 'd' | 'f' | 'c' | 'b')
+            | ("head" | "tail", 'n' | 'c')
+            | ("sort", 'k' | 't' | 'o' | 'S')
+            | ("uniq", 'f' | 's' | 'w')
+            | ("grep", 'e' | 'f' | 'm' | 'A' | 'B' | 'C')
+            | ("sed", 'e')
+            | ("awk" | "gawk", 'F' | 'v')
+            | ("fold" | "fmt", 'w')
+            | ("iconv", 'f' | 't')
+            | ("xargs", 'L' | 'n' | 'I')
+    )
+}
+
+const NORMALIZED_PROGRAMS: &[&str] = &[
+    "cat", "nl", "tac", "fold", "expand", "shuf", "tr", "sort", "uniq", "grep", "sed", "cut",
+    "head", "tail", "wc", "comm", "awk", "gawk", "xargs", "col", "rev", "fmt", "iconv", "paste",
+    "diff", "ls", "mkfifo", "rm",
+];
+
+/// The raw-line key used for commands the normalizer does not
+/// understand (and for manual registrations that fail to parse). The
+/// line is escaped so it cannot smuggle the `\x1f` field separator.
+pub(crate) fn raw_key(line: &str) -> String {
+    format!("raw\x1f{}", escape_token(line))
+}
+
+/// The normalized cache signature for a command (see the module docs).
+/// Every field is percent-escaped before being joined with `\x1f`, so a
+/// hostile argument containing the separator byte cannot make two
+/// different commands collide on one key.
+pub fn cache_key(command: &Command) -> String {
+    let argv = command.argv();
+    let program = argv[0].as_str();
+    if !NORMALIZED_PROGRAMS.contains(&program) {
+        return raw_key(&command.display());
+    }
+    let mut flags: Vec<String> = Vec::new();
+    let mut operands: Vec<&str> = Vec::new();
+    let mut i = 1;
+    while i < argv.len() {
+        let word = argv[i].as_str();
+        i += 1;
+        if word == "-" || word == "--" || !word.starts_with('-') {
+            operands.push(word);
+            continue;
+        }
+        if word.starts_with("--") {
+            flags.push(word.to_owned());
+            continue;
+        }
+        // A short cluster: explode letter flags, pair a value-taking
+        // option with the rest of the cluster (or the next word). A
+        // cluster containing anything that is not a plain letter (e.g.
+        // `head -15`) is kept whole — no guessing.
+        let body = &word[1..];
+        let mut exploded: Vec<String> = Vec::new();
+        let mut intact = true;
+        for (pos, c) in body.char_indices() {
+            if value_taking(program, c) {
+                let attached = &body[pos + c.len_utf8()..];
+                let value = if !attached.is_empty() {
+                    attached.to_owned()
+                } else if i < argv.len() {
+                    let v = argv[i].clone();
+                    i += 1;
+                    v
+                } else {
+                    String::new()
+                };
+                exploded.push(format!("-{c}={value}"));
+                break;
+            } else if c.is_ascii_alphabetic() {
+                exploded.push(format!("-{c}"));
+            } else {
+                intact = false;
+                break;
+            }
+        }
+        if intact {
+            flags.extend(exploded);
+        } else {
+            flags.push(word.to_owned());
+        }
+    }
+    flags.sort();
+    // Repeated boolean flags are idempotent (`grep -c -c`); repeated
+    // value-carrying flags can be semantically meaningful (`sed -e A -e A`
+    // applies the script twice), so only the former dedup.
+    flags.dedup_by(|a, b| a == b && !a.contains('='));
+    let mut key = String::from(program);
+    for f in &flags {
+        key.push('\x1f');
+        key.push_str(&escape_token(f));
+    }
+    key.push('\x1f');
+    key.push('|');
+    for o in &operands {
+        key.push('\x1f');
+        key.push_str(&escape_token(o));
+    }
+    key
+}
+
+/// Lookup/persistence counters, surfaced by the CLI's report lines.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct CacheStats {
+    /// Lookups answered without synthesizing (trusted in-memory entries
+    /// plus promoted disk entries).
+    pub hits: usize,
+    /// Lookups that fell through to synthesis (bumped by the planner
+    /// when it records a synthesis result — plain inserts, e.g. manual
+    /// registrations, do not count).
+    pub misses: usize,
+    /// Disk entries promoted after replay validation.
+    pub validated: usize,
+    /// Disk entries that failed replay validation and were re-synthesized.
+    pub rejected: usize,
+    /// Entries read from the on-disk store at open time.
+    pub loaded: usize,
+}
+
+/// One cached verdict.
+enum Slot {
+    /// Trusted: synthesized (or validated) in this process. `None` means
+    /// synthesis proved no combiner exists.
+    Ready {
+        combiner: Option<Arc<SynthesizedCombiner>>,
+        /// Whether `save` writes this entry (manual registrations and
+        /// Unsupported-profile negatives stay process-local).
+        persist: bool,
+    },
+    /// Loaded from disk, pending replay validation. `None` is a persisted
+    /// negative verdict.
+    Disk(Option<Vec<Candidate>>),
+}
+
+/// What a cache lookup found (validation is the caller's job — it needs
+/// the command and an execution context).
+pub enum CacheLookup {
+    /// A trusted entry.
+    Ready(Option<Arc<SynthesizedCombiner>>),
+    /// A disk entry whose candidates must be spot-checked first.
+    NeedsValidation(Vec<Candidate>),
+    /// Nothing cached.
+    Miss,
+}
+
+/// The planner's combiner cache (see the module docs).
+pub struct CombinerCache {
+    entries: HashMap<String, Slot>,
+    path: Option<PathBuf>,
+    fingerprint: (u64, usize),
+    dirty: bool,
+    /// Lookup/persistence counters.
+    pub stats: CacheStats,
+    /// Diagnostics from loading (version mismatch, corruption) — the CLI
+    /// prints these as notes.
+    pub warnings: Vec<String>,
+}
+
+impl CombinerCache {
+    /// A process-local cache (no disk store) — the planner default.
+    pub fn in_memory(config: &SynthesisConfig) -> CombinerCache {
+        CombinerCache {
+            entries: HashMap::new(),
+            path: None,
+            fingerprint: (config.rng_seed, config.max_size),
+            dirty: false,
+            stats: CacheStats::default(),
+            warnings: Vec::new(),
+        }
+    }
+
+    /// Attaches an on-disk store, loading any compatible entries. A
+    /// missing file is a cold cache; an unreadable, version-mismatched, or
+    /// corrupted file is ignored with a warning (and overwritten on the
+    /// next save).
+    pub fn open(path: impl Into<PathBuf>, config: &SynthesisConfig) -> CombinerCache {
+        let path = path.into();
+        let mut cache = CombinerCache::in_memory(config);
+        match std::fs::read_to_string(&path) {
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => {}
+            Err(e) => cache.warnings.push(format!(
+                "combiner cache {}: {e}; starting cold",
+                path.display()
+            )),
+            Ok(text) => match parse_store(&text, cache.fingerprint) {
+                Ok(entries) => {
+                    cache.stats.loaded = entries.len();
+                    cache.entries = entries
+                        .into_iter()
+                        .map(|(k, v)| (k, Slot::Disk(v)))
+                        .collect();
+                }
+                Err(reason) => cache.warnings.push(format!(
+                    "combiner cache {}: {reason}; ignoring the file",
+                    path.display()
+                )),
+            },
+        }
+        cache.path = Some(path);
+        cache
+    }
+
+    /// The attached store path, if any.
+    pub fn path(&self) -> Option<&Path> {
+        self.path.as_deref()
+    }
+
+    /// Looks up a key. Bumps the hit counter for trusted entries; disk
+    /// entries are returned for validation without touching counters —
+    /// settle them with [`CombinerCache::resolve_validation`] or a fresh
+    /// [`CombinerCache::insert`].
+    pub fn lookup(&mut self, key: &str) -> CacheLookup {
+        match self.entries.get(key) {
+            None => CacheLookup::Miss,
+            Some(Slot::Ready { combiner, .. }) => {
+                self.stats.hits += 1;
+                CacheLookup::Ready(combiner.clone())
+            }
+            Some(Slot::Disk(None)) => {
+                // Negative entries cannot be replayed; trust them (worst
+                // case a stage stays sequential).
+                let slot = Slot::Ready {
+                    combiner: None,
+                    persist: true,
+                };
+                self.entries.insert(key.to_owned(), slot);
+                self.stats.hits += 1;
+                CacheLookup::Ready(None)
+            }
+            Some(Slot::Disk(Some(candidates))) => CacheLookup::NeedsValidation(candidates.clone()),
+        }
+    }
+
+    /// Settles a [`CacheLookup::NeedsValidation`] verdict. On success the
+    /// entry is promoted (and the composite rebuilt from its plausible
+    /// set); on failure it is dropped and the caller re-synthesizes.
+    pub fn resolve_validation(
+        &mut self,
+        key: &str,
+        candidates: Vec<Candidate>,
+        valid: bool,
+    ) -> Option<Arc<SynthesizedCombiner>> {
+        if valid {
+            let combiner = Arc::new(SynthesizedCombiner::from_plausible(candidates));
+            self.entries.insert(
+                key.to_owned(),
+                Slot::Ready {
+                    combiner: Some(combiner.clone()),
+                    persist: true,
+                },
+            );
+            self.stats.hits += 1;
+            self.stats.validated += 1;
+            Some(combiner)
+        } else {
+            self.entries.remove(key);
+            self.stats.rejected += 1;
+            None
+        }
+    }
+
+    /// Records a synthesis result (or a manual registration with
+    /// `persist = false`).
+    pub fn insert(
+        &mut self,
+        key: impl Into<String>,
+        combiner: Option<Arc<SynthesizedCombiner>>,
+        persist: bool,
+    ) {
+        self.dirty |= persist;
+        self.entries
+            .insert(key.into(), Slot::Ready { combiner, persist });
+    }
+
+    /// Writes the store back to its path (temp file + rename, so a
+    /// concurrent reader never sees a torn file). No-op for in-memory
+    /// caches or when nothing changed. Returns whether a write happened.
+    pub fn save(&mut self) -> Result<bool, String> {
+        let Some(path) = &self.path else {
+            return Ok(false);
+        };
+        if !self.dirty {
+            return Ok(false);
+        }
+        let mut lines: Vec<String> = Vec::with_capacity(self.entries.len() + 1);
+        lines.push(format!(
+            "kumquat-combiner-cache v1 seed={} max_size={}",
+            self.fingerprint.0, self.fingerprint.1
+        ));
+        let mut body: Vec<String> = Vec::new();
+        for (key, slot) in &self.entries {
+            let encoded_key = escape_token(key);
+            match slot {
+                Slot::Ready { persist: false, .. } => {}
+                Slot::Ready {
+                    combiner: None,
+                    persist: true,
+                } => body.push(format!("{encoded_key}\t-")),
+                Slot::Ready {
+                    combiner: Some(c),
+                    persist: true,
+                } => body.push(format!("{encoded_key}\t+\t{}", encode_set(&c.plausible))),
+                // Entries loaded but never needed this run pass through.
+                Slot::Disk(None) => body.push(format!("{encoded_key}\t-")),
+                Slot::Disk(Some(cands)) => {
+                    body.push(format!("{encoded_key}\t+\t{}", encode_set(cands)))
+                }
+            }
+        }
+        body.sort(); // stable file contents for identical cache states
+        lines.extend(body);
+        let mut text = lines.join("\n");
+        text.push('\n');
+        let tmp = path.with_extension(format!("tmp.{}", std::process::id()));
+        std::fs::write(&tmp, &text).map_err(|e| format!("{}: {e}", tmp.display()))?;
+        std::fs::rename(&tmp, path).map_err(|e| format!("{}: {e}", path.display()))?;
+        self.dirty = false;
+        Ok(true)
+    }
+}
+
+fn encode_set(candidates: &[Candidate]) -> String {
+    candidates
+        .iter()
+        .map(encode_candidate)
+        .collect::<Vec<_>>()
+        .join(";")
+}
+
+type StoreEntries = Vec<(String, Option<Vec<Candidate>>)>;
+
+fn parse_store(text: &str, fingerprint: (u64, usize)) -> Result<StoreEntries, String> {
+    let mut lines = text.lines();
+    let header = lines.next().unwrap_or("");
+    let expected = format!(
+        "kumquat-combiner-cache v1 seed={} max_size={}",
+        fingerprint.0, fingerprint.1
+    );
+    if header != expected {
+        return Err(format!(
+            "header {header:?} does not match this build/configuration ({expected:?})"
+        ));
+    }
+    let mut entries: StoreEntries = Vec::new();
+    for (no, line) in lines.enumerate() {
+        if line.is_empty() {
+            continue;
+        }
+        let mut fields = line.split('\t');
+        let key = unescape_token(fields.next().unwrap_or(""))
+            .map_err(|e| format!("line {}: bad key: {e}", no + 2))?;
+        match (fields.next(), fields.next(), fields.next()) {
+            (Some("-"), None, None) => entries.push((key, None)),
+            (Some("+"), Some(cands), None) => {
+                let mut set = Vec::new();
+                for part in cands.split(';') {
+                    set.push(
+                        decode_candidate(part)
+                            .map_err(|e| format!("line {}: bad candidate: {e}", no + 2))?,
+                    );
+                }
+                if set.is_empty() {
+                    return Err(format!("line {}: empty plausible set", no + 2));
+                }
+                entries.push((key, Some(set)));
+            }
+            _ => return Err(format!("line {}: malformed entry", no + 2)),
+        }
+    }
+    Ok(entries)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use kq_coreutils::parse_command;
+    use kq_dsl::ast::RecOp;
+
+    fn key_of(line: &str) -> String {
+        cache_key(&parse_command(line).unwrap())
+    }
+
+    #[test]
+    fn equivalent_flag_orderings_share_one_key() {
+        // The satellite's canonical example plus a few families.
+        assert_eq!(key_of("grep -n -c p"), key_of("grep -cn p"));
+        assert_eq!(key_of("grep -cn p"), key_of("grep -nc p"));
+        assert_eq!(key_of("sort -rn"), key_of("sort -nr"));
+        assert_eq!(key_of("sort -r -n"), key_of("sort -nr"));
+        assert_eq!(key_of("tr -cs A-Za-z x"), key_of("tr -sc A-Za-z x"));
+        assert_eq!(key_of("cut -d ',' -f 1"), key_of("cut -f 1 -d ','"));
+        assert_eq!(key_of("cut -d, -f1"), key_of("cut -f 1 -d ','"));
+        assert_eq!(key_of("sort -k1n"), key_of("sort -k 1n"));
+        assert_eq!(key_of("head -n 3"), key_of("head -n3"));
+    }
+
+    #[test]
+    fn differing_operands_or_flags_miss() {
+        assert_ne!(key_of("grep -cn p"), key_of("grep -cn q"));
+        assert_ne!(key_of("grep -c p"), key_of("grep -cn p"));
+        assert_ne!(key_of("sort"), key_of("sort -r"));
+        assert_ne!(key_of("cut -d ',' -f 1"), key_of("cut -d ',' -f 2"));
+        assert_ne!(key_of("head -n 3"), key_of("head -n 4"));
+        assert_ne!(key_of("comm -23 - /a"), key_of("comm -23 - /b"));
+        // Numeric shorthand is kept whole, distinct from -n forms.
+        assert_ne!(key_of("head -15"), key_of("head -n 15"));
+        // A stdin dash is an operand, not noise.
+        assert_ne!(key_of("cat -"), key_of("cat"));
+        assert_ne!(key_of("comm -23 - /a"), key_of("comm -13 - /a"));
+    }
+
+    #[test]
+    fn separator_bytes_in_arguments_cannot_collide_keys() {
+        // Keying is defensive independently of what command parsers
+        // accept (sed, for one, rejects such scripts outright): a single
+        // hostile `-e` expression containing the field separator must not
+        // produce the same key as two separate expressions. `cache_key`
+        // reads argv only, so a custom wrapper stands in for the parser.
+        struct Noop;
+        impl kq_coreutils::UnixCommand for Noop {
+            fn display(&self) -> String {
+                "sed".to_owned()
+            }
+            fn run(
+                &self,
+                input: kq_coreutils::Bytes,
+                _: &kq_coreutils::ExecContext,
+            ) -> Result<kq_coreutils::Bytes, kq_coreutils::CmdError> {
+                Ok(input)
+            }
+        }
+        let argv = |words: &[&str]| -> Command {
+            Command::custom(
+                words.iter().map(|w| (*w).to_owned()).collect(),
+                Box::new(Noop),
+            )
+        };
+        let hostile = argv(&["sed", "-e", "1d\x1f-e=2d"]);
+        let honest = argv(&["sed", "-e", "1d", "-e", "2d"]);
+        assert_ne!(cache_key(&hostile), cache_key(&honest));
+        // Repeated value-carrying flags are NOT deduplicated (they can be
+        // semantically meaningful); repeated boolean flags are.
+        assert_ne!(
+            cache_key(&argv(&["sed", "-e", "1d", "-e", "1d"])),
+            cache_key(&argv(&["sed", "-e", "1d"]))
+        );
+        assert_eq!(key_of("grep -c -c a"), key_of("grep -c a"));
+        // Separator bytes in operands and raw-keyed lines escape too.
+        assert_ne!(key_of("grep a\x1fb"), key_of("grep a"));
+        assert_ne!(raw_key("x\x1fy"), raw_key("x"));
+    }
+
+    #[test]
+    fn unknown_programs_key_on_the_raw_line() {
+        use kq_coreutils::{Bytes, CmdError, ExecContext, UnixCommand};
+        struct Upper;
+        impl UnixCommand for Upper {
+            fn display(&self) -> String {
+                "upper -x".to_owned()
+            }
+            fn run(&self, input: Bytes, _: &ExecContext) -> Result<Bytes, CmdError> {
+                Ok(Bytes::from(input.to_str().unwrap().to_uppercase()))
+            }
+        }
+        let cmd = Command::custom(vec!["upper".to_owned(), "-x".to_owned()], Box::new(Upper));
+        assert_eq!(cache_key(&cmd), "raw\x1fupper%20-x");
+    }
+
+    fn sample_combiner() -> Arc<SynthesizedCombiner> {
+        Arc::new(SynthesizedCombiner::from_plausible(vec![
+            Candidate::rec(RecOp::Back(kq_stream::Delim::Newline, Box::new(RecOp::Add))),
+            Candidate::rec(RecOp::Fuse(kq_stream::Delim::Newline, Box::new(RecOp::Add))),
+        ]))
+    }
+
+    fn tmpfile(tag: &str) -> PathBuf {
+        std::env::temp_dir().join(format!("kq-cache-{tag}-{}", std::process::id()))
+    }
+
+    #[test]
+    fn roundtrip_through_disk() {
+        let path = tmpfile("roundtrip");
+        let config = SynthesisConfig::default();
+        let mut cache = CombinerCache::open(&path, &config);
+        cache.insert("wc\x1f-l\x1f|", Some(sample_combiner()), true);
+        cache.insert("sed\x1f|\x1f1d", None, true);
+        cache.insert("manual\x1f|", Some(sample_combiner()), false);
+        assert!(cache.save().unwrap());
+
+        let mut reloaded = CombinerCache::open(&path, &config);
+        assert_eq!(reloaded.stats.loaded, 2, "manual entry must not persist");
+        match reloaded.lookup("wc\x1f-l\x1f|") {
+            CacheLookup::NeedsValidation(cands) => {
+                assert_eq!(cands.len(), 2);
+                let promoted = reloaded
+                    .resolve_validation("wc\x1f-l\x1f|", cands, true)
+                    .unwrap();
+                assert_eq!(promoted.plausible.len(), 2);
+                assert_eq!(
+                    promoted.primary().to_string(),
+                    sample_combiner().primary().to_string()
+                );
+            }
+            _ => panic!("expected a pending disk entry"),
+        }
+        // Negative entries come back trusted.
+        assert!(matches!(
+            reloaded.lookup("sed\x1f|\x1f1d"),
+            CacheLookup::Ready(None)
+        ));
+        assert!(matches!(reloaded.lookup("manual\x1f|"), CacheLookup::Miss));
+        assert_eq!(reloaded.stats.validated, 1);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn rejected_validation_discards_the_entry() {
+        let config = SynthesisConfig::default();
+        let mut cache = CombinerCache::in_memory(&config);
+        cache.entries.insert(
+            "k".to_owned(),
+            Slot::Disk(Some(vec![Candidate::rec(RecOp::Concat)])),
+        );
+        let CacheLookup::NeedsValidation(cands) = cache.lookup("k") else {
+            panic!("expected pending entry");
+        };
+        assert!(cache.resolve_validation("k", cands, false).is_none());
+        assert!(matches!(cache.lookup("k"), CacheLookup::Miss));
+        assert_eq!(cache.stats.rejected, 1);
+    }
+
+    #[test]
+    fn version_mismatch_is_ignored_with_a_warning() {
+        let path = tmpfile("version");
+        std::fs::write(&path, "kumquat-combiner-cache v0 seed=1 max_size=7\nx\t-\n").unwrap();
+        let cache = CombinerCache::open(&path, &SynthesisConfig::default());
+        assert_eq!(cache.stats.loaded, 0);
+        assert!(
+            cache.warnings.iter().any(|w| w.contains("does not match")),
+            "{:?}",
+            cache.warnings
+        );
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn config_fingerprint_mismatch_is_ignored() {
+        let path = tmpfile("fingerprint");
+        let writer_config = SynthesisConfig {
+            rng_seed: 7,
+            ..SynthesisConfig::default()
+        };
+        let mut cache = CombinerCache::open(&path, &writer_config);
+        cache.insert("k", None, true);
+        cache.save().unwrap();
+        // A reader with a different seed must not trust the file.
+        let reader = CombinerCache::open(&path, &SynthesisConfig::default());
+        assert_eq!(reader.stats.loaded, 0);
+        assert!(!reader.warnings.is_empty());
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn corrupted_files_are_never_trusted() {
+        let header = "kumquat-combiner-cache v1 seed=24301 max_size=7";
+        for (tag, body) in [
+            ("truncated", "wc\t+\tab back nl"), // candidate cut short
+            ("garbage", "wc\t?\twhat"),         // unknown verdict tag
+            ("binary", "\u{1}\u{2}\u{3}"),      // not even a record
+            ("badescape", "wc%zz\t-"),          // malformed key escape
+            ("emptyset", "wc\t+\t"),            // positive with no candidates
+        ] {
+            let path = tmpfile(tag);
+            std::fs::write(&path, format!("{header}\n{body}\n")).unwrap();
+            let cache = CombinerCache::open(&path, &SynthesisConfig::default());
+            assert_eq!(cache.stats.loaded, 0, "{tag}: nothing may load");
+            assert!(
+                cache
+                    .warnings
+                    .iter()
+                    .any(|w| w.contains("ignoring the file")),
+                "{tag}: must warn, got {:?}",
+                cache.warnings
+            );
+            std::fs::remove_file(&path).ok();
+        }
+    }
+
+    #[test]
+    fn save_is_idempotent_and_skips_clean_caches() {
+        let path = tmpfile("idempotent");
+        let config = SynthesisConfig::default();
+        let mut cache = CombinerCache::open(&path, &config);
+        assert!(!cache.save().unwrap(), "clean cache must not write");
+        cache.insert("a", None, true);
+        assert!(cache.save().unwrap());
+        let first = std::fs::read_to_string(&path).unwrap();
+        assert!(!cache.save().unwrap(), "no changes, no rewrite");
+        // Reload + save-through keeps byte-identical content.
+        let mut reloaded = CombinerCache::open(&path, &config);
+        reloaded.insert("b", None, true);
+        reloaded.save().unwrap();
+        let second = std::fs::read_to_string(&path).unwrap();
+        assert!(second.contains(&first.lines().nth(1).unwrap().to_owned()));
+        std::fs::remove_file(&path).ok();
+        // In-memory caches never write.
+        let mut mem = CombinerCache::in_memory(&config);
+        mem.insert("a", None, true);
+        assert!(!mem.save().unwrap());
+    }
+}

@@ -70,6 +70,7 @@
 
 #![warn(missing_docs)]
 
+pub mod cache;
 pub mod chunked;
 pub mod dist;
 pub mod exec;
@@ -78,6 +79,7 @@ pub mod plan;
 pub mod sim;
 pub mod streaming;
 
+pub use cache::{cache_key, CacheStats, CombinerCache};
 pub use exec::{ExecutionResult, StageTiming, TimingLog};
 pub use parse::{InputSource, Script, Stage, Statement};
 pub use plan::{PlannedScript, PlannedStage, Planner, StageMode, StreamSegment, StreamSegmentKind};

@@ -1,8 +1,12 @@
 //! Parallelization planning (paper §2, §3.5).
 //!
-//! For every stage the planner synthesizes a combiner (caching by command
-//! line — the paper synthesizes once per unique command/flag combination)
-//! and decides the stage's execution mode:
+//! Planning is two-phase: the planner first walks the script to collect
+//! its *distinct* stdin-reading commands and synthesizes the uncached
+//! ones concurrently on a [`kq_synth::SynthPool`] (the paper synthesizes
+//! once per unique command/flag combination; combiners are cached under a
+//! normalized command signature, optionally persisted on disk — see
+//! [`crate::cache`]). It then assembles each statement's plan from the
+//! cache, deciding the stage's execution mode:
 //!
 //! * no combiner, or a command that does not read its standard input →
 //!   **sequential**;
@@ -17,9 +21,13 @@
 //! additionally requires the stage's outputs to be newline-terminated
 //! streams — `tr -d '\n'` fails that precondition and keeps its combiner.
 
+use crate::cache::{cache_key, CacheLookup, CacheStats, CombinerCache};
 use crate::parse::{Script, Statement};
 use kq_coreutils::ExecContext;
-use kq_synth::{synthesize, SynthesisConfig, SynthesisReport, SynthesizedCombiner};
+use kq_synth::{
+    spot_check, synthesize, InputProfile, SynthPool, SynthesisConfig, SynthesisReport,
+    SynthesizedCombiner,
+};
 use std::collections::HashMap;
 use std::sync::Arc;
 
@@ -257,24 +265,72 @@ impl PlannedScript {
 /// The planner: synthesis cache plus heuristics.
 pub struct Planner {
     config: SynthesisConfig,
-    /// Cache keyed by command display line. `None` records a synthesis
-    /// failure (no combiner).
-    cache: HashMap<String, Option<Arc<SynthesizedCombiner>>>,
-    /// Synthesis reports for every unique command seen (Table 10 rows).
+    /// Combiner cache keyed by normalized command signature
+    /// ([`cache_key`]); optionally backed by a versioned on-disk store.
+    cache: CombinerCache,
+    /// Synthesis reports for every unique command actually synthesized
+    /// this process (Table 10 rows); cache hits produce none.
     pub reports: Vec<SynthesisReport>,
-    /// Input shrink ratio below which a rerun-only stage still pays off.
+    /// Output/input size ratio at or below which a rerun-only combiner
+    /// still pays off (paper §2's cost observation, probed on the
+    /// planning sample). A rerun combiner re-executes the command on the
+    /// concatenated worker outputs, so parallelizing only wins when the
+    /// command *shrinks* its stream — `sort -u` or `grep -c` do,
+    /// `tr -cs A-Za-z '\n'` does not. `0.5` (the default) demands at
+    /// least a 2× reduction; `1.0` accepts any non-growing stage; values
+    /// near `0` effectively disable rerun parallelism. Exposed on the CLI
+    /// as `--rerun-threshold`, validated to be a real number in `(0, 1]`.
     pub rerun_shrink_threshold: f64,
+    /// Memoized `(output length, ends-with-newline)` probe results per
+    /// (command display, sample fingerprint): identical commands used to
+    /// re-run both planning probes in every statement mentioning them.
+    /// `None` records a probe failure. Cleared at the start of every
+    /// [`Planner::plan`] call: probe outputs can depend on `ExecContext`
+    /// file state (`comm - dict`), so memoization is scoped to one
+    /// (script, context) planning pass and must not leak across the
+    /// fresh-context-per-script pattern corpus planning uses.
+    probe_memo: HashMap<(String, u64), Option<(usize, bool)>>,
 }
 
 impl Planner {
-    /// A planner with the given synthesis configuration.
+    /// A planner with the given synthesis configuration and a
+    /// process-local cache.
     pub fn new(config: SynthesisConfig) -> Planner {
+        let cache = CombinerCache::in_memory(&config);
+        Planner::with_cache(config, cache)
+    }
+
+    /// A planner over an explicit combiner cache (e.g. one attached to an
+    /// on-disk store via [`CombinerCache::open`]).
+    pub fn with_cache(config: SynthesisConfig, cache: CombinerCache) -> Planner {
         Planner {
             config,
-            cache: HashMap::new(),
+            cache,
             reports: Vec::new(),
             rerun_shrink_threshold: 0.5,
+            probe_memo: HashMap::new(),
         }
+    }
+
+    /// Lookup/validation counters for the combiner cache.
+    pub fn cache_stats(&self) -> CacheStats {
+        self.cache.stats
+    }
+
+    /// Warnings accumulated while loading the on-disk cache.
+    pub fn cache_warnings(&self) -> &[String] {
+        &self.cache.warnings
+    }
+
+    /// The combiner cache's on-disk path, when disk-backed.
+    pub fn cache_path(&self) -> Option<&std::path::Path> {
+        self.cache.path()
+    }
+
+    /// Persists the combiner cache when it is disk-backed and dirty.
+    /// Returns whether a write happened.
+    pub fn save_cache(&mut self) -> Result<bool, String> {
+        self.cache.save()
     }
 
     /// Registers a manually written combiner for a command line,
@@ -283,42 +339,142 @@ impl Planner {
     /// whose combiners synthesis cannot certify (e.g. a command reading
     /// files produced earlier in the same script). The caller asserts
     /// correctness; the executors still verify outputs against serial
-    /// runs.
+    /// runs. Manual entries stay process-local: they are never persisted
+    /// to the on-disk store (no synthesis provenance to validate).
     pub fn register_manual(
         &mut self,
         command_line: impl Into<String>,
         combiner: SynthesizedCombiner,
     ) {
-        self.cache
-            .insert(command_line.into(), Some(Arc::new(combiner)));
+        let line = command_line.into();
+        // Key like any other lookup so stages naming this command find it.
+        let key = match kq_coreutils::parse_command(&line) {
+            Ok(cmd) => cache_key(&cmd),
+            Err(_) => crate::cache::raw_key(&line),
+        };
+        self.cache.insert(key, Some(Arc::new(combiner)), false);
     }
 
-    /// Synthesizes (or recalls) the combiner for one command.
+    /// Synthesizes (or recalls) the combiner for one command: an
+    /// in-memory hit returns immediately, a disk hit is validated by
+    /// replaying its candidates against a fresh observation
+    /// ([`kq_synth::spot_check`]), and anything else synthesizes.
     pub fn combiner_for(
         &mut self,
         command: &kq_coreutils::Command,
         ctx: &ExecContext,
     ) -> Option<Arc<SynthesizedCombiner>> {
-        let key = command.display();
-        if let Some(cached) = self.cache.get(&key) {
-            return cached.clone();
+        let key = cache_key(command);
+        if let Some(resolved) = self.resolve_cached(&key, command, ctx) {
+            return resolved;
         }
         let report = synthesize(command, ctx, &self.config);
+        self.record_synthesis(key, report)
+    }
+
+    /// Resolves `key` from the cache when possible: trusted in-memory
+    /// entries outright, disk entries after replaying their candidates
+    /// against a fresh observation. `None` means synthesis is required
+    /// (a true miss, or a disk entry that failed validation).
+    fn resolve_cached(
+        &mut self,
+        key: &str,
+        command: &kq_coreutils::Command,
+        ctx: &ExecContext,
+    ) -> Option<Option<Arc<SynthesizedCombiner>>> {
+        match self.cache.lookup(key) {
+            CacheLookup::Ready(combiner) => Some(combiner),
+            CacheLookup::NeedsValidation(candidates) => {
+                let valid = spot_check(command, ctx, &self.config, &candidates);
+                self.cache
+                    .resolve_validation(key, candidates, valid)
+                    .map(Some)
+            }
+            CacheLookup::Miss => None,
+        }
+    }
+
+    /// Records one synthesis result: the report, the miss, and the cache
+    /// entry. Unsupported-profile negatives describe the probe
+    /// environment (e.g. a file the script writes later), not the
+    /// command — they stay out of the persistent store.
+    fn record_synthesis(
+        &mut self,
+        key: String,
+        report: SynthesisReport,
+    ) -> Option<Arc<SynthesizedCombiner>> {
         let combiner = report.combiner().cloned().map(Arc::new);
+        let persist = combiner.is_some() || !matches!(report.profile, InputProfile::Unsupported);
+        self.cache.stats.misses += 1;
         self.reports.push(report);
-        self.cache.insert(key, combiner.clone());
+        self.cache.insert(key, combiner.clone(), persist);
         combiner
     }
 
     /// Plans a whole script against a sample input (used for the shrink
     /// and stream-output probes).
+    ///
+    /// Planning is two-phase: first the script is walked to collect its
+    /// *distinct* uncached stdin-reading commands, which are synthesized
+    /// concurrently on a [`SynthPool`] (one job per command — synthesis
+    /// output is worker-count independent, so the fan-out is invisible in
+    /// the plan); then the per-statement plans are assembled from cache
+    /// hits alone.
     pub fn plan(&mut self, script: &Script, ctx: &ExecContext, sample: &str) -> PlannedScript {
+        // Probe results depend on context file state; scope the memo to
+        // this (script, context) pass.
+        self.probe_memo.clear();
+        self.synthesize_script_commands(script, ctx);
         let statements = script
             .statements
             .iter()
             .map(|st| self.plan_statement(st, ctx, sample))
             .collect();
         PlannedScript { statements }
+    }
+
+    /// Phase one of [`Planner::plan`]: resolve every distinct
+    /// stdin-reading command — validating disk entries in order, then
+    /// fanning the remaining cold syntheses out over the pool. Reports
+    /// and cache entries land in first-appearance order regardless of
+    /// which worker finishes first.
+    fn synthesize_script_commands(&mut self, script: &Script, ctx: &ExecContext) {
+        let mut pending: Vec<(String, &kq_coreutils::Command)> = Vec::new();
+        for statement in &script.statements {
+            for stage in &statement.stages {
+                let cmd = &stage.command;
+                if !cmd.reads_stdin() {
+                    continue;
+                }
+                let key = cache_key(cmd);
+                if pending.iter().any(|(k, _)| *k == key) {
+                    continue;
+                }
+                if self.resolve_cached(&key, cmd, ctx).is_some() {
+                    continue;
+                }
+                pending.push((key, cmd));
+            }
+        }
+        if pending.is_empty() {
+            return;
+        }
+        // Distinct commands synthesize concurrently; each job keeps its
+        // intra-command phases serial (workers = 1) so the machine is not
+        // oversubscribed workers² wide. Either split yields the same
+        // reports — parallelism here is a pure wall-clock choice.
+        let pool = SynthPool::new(self.config.workers);
+        let per_command = if pending.len() >= pool.workers() {
+            1
+        } else {
+            (pool.workers() / pending.len()).max(1)
+        };
+        let mut job_config = self.config.clone();
+        job_config.workers = per_command;
+        let reports = pool.map(&pending, |_, (_, cmd)| synthesize(cmd, ctx, &job_config));
+        for ((key, _), report) in pending.into_iter().zip(reports) {
+            self.record_synthesis(key, report);
+        }
     }
 
     fn plan_statement(
@@ -354,17 +510,15 @@ impl Planner {
         // are newline-terminated streams, then derive both chunk-locality
         // (a concat combiner on a stream-emitting stage) and the Theorem 5
         // elimination (chunk-local and followed by another parallel stage).
-        let streamable: Vec<bool> = statement
-            .stages
-            .iter()
-            .zip(&modes)
-            .map(|(stage, mode)| match mode {
+        let mut streamable: Vec<bool> = Vec::with_capacity(modes.len());
+        for (stage, mode) in statement.stages.iter().zip(&modes) {
+            streamable.push(match mode {
                 StageMode::Parallel { combiner, .. } => {
-                    combiner.is_concat() && Self::outputs_streams(&stage.command, ctx, sample)
+                    combiner.is_concat() && self.outputs_streams(&stage.command, ctx, sample)
                 }
                 StageMode::Sequential => false,
-            })
-            .collect();
+            });
+        }
         for i in 0..modes.len() {
             let next_parallel = modes
                 .get(i + 1)
@@ -392,32 +546,75 @@ impl Planner {
         }
     }
 
-    /// Probes whether the command shrinks the sample enough to justify a
-    /// rerun combiner.
+    /// One memoized probe run per (command display, sample): executes the
+    /// command on the sample once and records everything both planning
+    /// heuristics need — the output length (shrink ratio) and whether the
+    /// output ends with a newline (Theorem 5's stream precondition).
+    /// Identical commands used to pay both probe executions again in
+    /// every statement that mentioned them.
     ///
     /// Byte-plane probe on purpose: a source command (`cat big-file`)
     /// ignores the sample and returns the file handle — under `run` that
     /// is a refcount bump whose length is O(1) to read, where `run_str`
     /// would copy a possibly mapped multi-GB output just to measure it.
-    fn shrinks_enough(&self, cmd: &kq_coreutils::Command, ctx: &ExecContext, sample: &str) -> bool {
-        match cmd.run(kq_coreutils::Bytes::from(sample), ctx) {
-            Ok(out) => {
-                let ratio = out.len() as f64 / sample.len().max(1) as f64;
+    fn probe(
+        &mut self,
+        cmd: &kq_coreutils::Command,
+        ctx: &ExecContext,
+        sample: &str,
+    ) -> Option<(usize, bool)> {
+        let key = (cmd.display(), sample_fingerprint(sample));
+        if let Some(memo) = self.probe_memo.get(&key) {
+            return *memo;
+        }
+        let result = cmd
+            .run(kq_coreutils::Bytes::from(sample), ctx)
+            .ok()
+            .map(|out| (out.len(), out.is_empty() || out.ends_with_newline()));
+        self.probe_memo.insert(key, result);
+        result
+    }
+
+    /// Probes whether the command shrinks the sample enough to justify a
+    /// rerun combiner (see [`Planner::rerun_shrink_threshold`]).
+    fn shrinks_enough(
+        &mut self,
+        cmd: &kq_coreutils::Command,
+        ctx: &ExecContext,
+        sample: &str,
+    ) -> bool {
+        match self.probe(cmd, ctx, sample) {
+            Some((out_len, _)) => {
+                let ratio = out_len as f64 / sample.len().max(1) as f64;
                 ratio <= self.rerun_shrink_threshold
             }
-            Err(_) => false,
+            None => false,
         }
     }
 
-    /// Theorem 5 precondition: outputs terminate with newlines. (Same
-    /// byte-plane reasoning as [`Planner::shrinks_enough`]: only the final
-    /// byte is inspected.)
-    fn outputs_streams(cmd: &kq_coreutils::Command, ctx: &ExecContext, sample: &str) -> bool {
-        match cmd.run(kq_coreutils::Bytes::from(sample), ctx) {
-            Ok(out) => out.is_empty() || out.ends_with_newline(),
-            Err(_) => false,
+    /// Theorem 5 precondition: outputs terminate with newlines.
+    fn outputs_streams(
+        &mut self,
+        cmd: &kq_coreutils::Command,
+        ctx: &ExecContext,
+        sample: &str,
+    ) -> bool {
+        match self.probe(cmd, ctx, sample) {
+            Some((_, ends_with_newline)) => ends_with_newline,
+            None => false,
         }
     }
+}
+
+/// FNV-1a over the sample, so the probe memo distinguishes plan calls
+/// with different samples while staying O(sample) once per call site.
+fn sample_fingerprint(sample: &str) -> u64 {
+    let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in sample.as_bytes() {
+        hash ^= u64::from(*b);
+        hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    hash ^ (sample.len() as u64)
 }
 
 #[cfg(test)]

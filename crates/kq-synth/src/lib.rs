@@ -15,6 +15,35 @@
 //!    a composite combiner over the surviving set ([`composite`]) or `None`
 //!    when every candidate was eliminated (Table 9's unsupported commands).
 //!
+//! # The parallel synthesis engine
+//!
+//! Synthesis is staged so its two expensive sides fan out over a
+//! [`SynthPool`] ([`pool`]): *observation generation* (command executions
+//! on generated stream pairs) and *candidate elimination* (plausibility
+//! checks over the candidate set) each run as independent jobs, while the
+//! RNG-driven input generation and the order-sensitive dedup stay serial.
+//! Every parallel phase is a pure map whose results slot back in input
+//! order, so a report is **byte-identical for every worker count** — the
+//! pool buys wall clock, never different answers (`SynthesisConfig::workers`;
+//! pinned corpus-wide by `tests/synth_engine.rs`). The same pool fans a
+//! script's *distinct* commands out during planning
+//! (`kq_pipeline::plan::Planner`).
+//!
+//! # Caching and validation
+//!
+//! Synthesis results are cacheable: the planner keys them by a normalized
+//! command signature and can persist them across processes
+//! (`kq_pipeline::cache::CombinerCache`). A cache hit loaded from disk is
+//! **validated before it is trusted**: [`spot_check`] regenerates, from
+//! the configured RNG seed, the first observation synthesis itself would
+//! produce for the command and replays every cached candidate against it.
+//! Genuine entries always pass (they survived that very observation when
+//! they were synthesized); colliding or stale entries are rejected and the
+//! command is re-synthesized. Negative entries ("no combiner") skip
+//! validation — there is nothing to replay — and can only cost
+//! parallelism, never correctness, because the planner treats them as
+//! sequential stages.
+//!
 //! ```
 //! use kq_coreutils::{parse_command, ExecContext};
 //! use kq_synth::{synthesize, SynthesisConfig};
@@ -29,11 +58,13 @@
 
 pub mod composite;
 pub mod gen;
+pub mod pool;
 pub mod preprocess;
 pub mod shape;
 pub mod synthesize;
 
 pub use composite::{IncrementalCombine, SynthesizedCombiner};
+pub use pool::SynthPool;
 pub use preprocess::{preprocess, InputProfile, Preprocessed};
 pub use shape::{Config, InputShape, Mutation};
-pub use synthesize::{synthesize, SynthesisConfig, SynthesisOutcome, SynthesisReport};
+pub use synthesize::{spot_check, synthesize, SynthesisConfig, SynthesisOutcome, SynthesisReport};

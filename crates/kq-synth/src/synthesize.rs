@@ -8,9 +8,40 @@
 //! a round eliminates nothing `stall_rounds` times in succession (the
 //! paper's `MakingProgress`), or when the candidate set empties (no
 //! combiner exists — Table 9).
+//!
+//! # Staged rounds and parallelism
+//!
+//! Each gradient step runs in four phases so the two expensive sides —
+//! *observation generation* (three command executions per input pair) and
+//! *candidate elimination* (one evaluation per candidate per observation)
+//! — both fan out over a [`SynthPool`] while the RNG-driven and
+//! order-sensitive bookkeeping stays serial:
+//!
+//! 1. **generate** (serial, RNG): input pairs for all twelve mutations, in
+//!    the exact (mutation, pair) order the serial algorithm draws them —
+//!    the only phase that touches the RNG;
+//! 2. **observe** (pool): run `f` on each pair to form
+//!    `⟨f(x1), f(x2), f(x1++x2)⟩`, one independent job per pair;
+//! 3. **dedup** (serial, ordered): drop observations already seen, keeping
+//!    first-occurrence order so counterexample attribution is stable;
+//! 4. **filter** (pool): one plausibility verdict per (candidate, fresh
+//!    observation). Gradient scores are order-independent sums over the
+//!    verdict matrix, the counterexample is the first fresh observation
+//!    (in generation order) that eliminates anything, and retention keeps
+//!    exactly the candidates whose row is all-true.
+//!
+//! Retention filters against the *fresh* observations only: every live
+//! candidate already passed all prior observations (that is what kept it
+//! live), and plausibility over a concatenated observation list is the
+//! conjunction of per-observation plausibility — so the incremental
+//! filter provably equals the serial `retain` over the cumulative list.
+//! Every phase's output is a pure function of the phase inputs, so the
+//! whole report is byte-identical for any `workers` value (pinned over
+//! the corpus by `tests/synth_engine.rs`).
 
 use crate::composite::SynthesizedCombiner;
 use crate::gen::stream_pair;
+use crate::pool::SynthPool;
 use crate::preprocess::{preprocess, InputProfile, Preprocessed};
 use crate::shape::{InputShape, Mutation};
 use kq_coreutils::{Command, ExecContext};
@@ -41,6 +72,11 @@ pub struct SynthesisConfig {
     /// (Algorithm 2). With `false`, mutations are chosen uniformly at
     /// random — the ablation baseline for the paper's gradient design.
     pub use_gradient: bool,
+    /// Worker threads for the observe/filter phases (and, in the planner,
+    /// for synthesizing distinct commands concurrently). Affects wall
+    /// clock only: the report is identical for every value (see the
+    /// crate-level determinism discussion).
+    pub workers: usize,
 }
 
 impl Default for SynthesisConfig {
@@ -53,6 +89,7 @@ impl Default for SynthesisConfig {
             max_rounds: 8,
             rng_seed: 0x5eed,
             use_gradient: true,
+            workers: 1,
         }
     }
 }
@@ -125,6 +162,7 @@ pub fn synthesize(
     config: &SynthesisConfig,
 ) -> SynthesisReport {
     let start = Instant::now();
+    let pool = SynthPool::new(config.workers);
     let mut rng = SmallRng::seed_from_u64(config.rng_seed);
     let pre = preprocess(command, ctx, &mut rng);
     let enum_config = EnumConfig {
@@ -171,6 +209,7 @@ pub fn synthesize(
             &mut observations,
             &mut counterexample,
             &env,
+            &pool,
         );
         if alive.is_empty() {
             break;
@@ -203,9 +242,10 @@ pub fn synthesize(
     }
 }
 
-/// Algorithm 2: one gradient descent over shape mutations. All generated
-/// observations filter the candidate set; the mutation that eliminated the
-/// most candidates seeds the next step.
+/// Algorithm 2: one gradient descent over shape mutations, staged so the
+/// observe and filter phases fan out over the pool (see the module docs).
+/// All generated observations filter the candidate set; the mutation that
+/// eliminated the most candidates seeds the next step.
 #[allow(clippy::too_many_arguments)]
 fn gradient_round(
     command: &Command,
@@ -218,47 +258,98 @@ fn gradient_round(
     observations: &mut Vec<Observation>,
     counterexample: &mut Option<(String, String)>,
     env: &CommandEnv<'_>,
+    pool: &SynthPool,
 ) {
     for _step in 0..config.gradient_steps {
-        let mut best: Option<(usize, InputShape)> = None;
-        for mutation in Mutation::all() {
-            let mutated = shape.mutate(mutation);
-            // Generate this mutation's input set and collect observations.
-            let mut batch: Vec<Observation> = Vec::new();
+        // Phase 1 — generate (serial; the RNG draws happen in the same
+        // (mutation, pair) order as the serial algorithm's).
+        let shapes: Vec<InputShape> = Mutation::all().iter().map(|m| shape.mutate(*m)).collect();
+        let mut pairs: Vec<(usize, String, String)> = Vec::new();
+        for (mi, mutated) in shapes.iter().enumerate() {
             for _ in 0..config.pairs_per_shape {
-                let Some((x1, x2)) = stream_pair(&mutated, pre, rng) else {
-                    continue;
-                };
-                if let Some(obs) = observe(command, ctx, &x1, &x2) {
-                    if !observations.contains(&obs) && !batch.contains(&obs) {
-                        if alive
-                            .iter()
-                            .any(|c| !plausible(c, std::slice::from_ref(&obs), env))
-                        {
-                            counterexample.get_or_insert((x1.clone(), x2.clone()));
-                        }
-                        batch.push(obs);
-                    }
+                if let Some((x1, x2)) = stream_pair(mutated, pre, rng) {
+                    pairs.push((mi, x1, x2));
                 }
             }
-            // Score: how many live candidates does this batch eliminate?
-            let eliminated = alive.iter().filter(|c| !plausible(c, &batch, env)).count();
+        }
+
+        // Phase 2 — observe (pool): three command executions per pair,
+        // each an independent job; results slot back in generation order.
+        let observed: Vec<Option<Observation>> =
+            pool.map(&pairs, |_, (_, x1, x2)| observe(command, ctx, x1, x2));
+
+        // Phase 3 — dedup (serial, ordered): keep first occurrences only,
+        // recording which span of the fresh list each mutation produced.
+        let mut fresh: Vec<Observation> = Vec::new();
+        let mut fresh_pairs: Vec<(String, String)> = Vec::new();
+        let mut spans: Vec<std::ops::Range<usize>> = Vec::with_capacity(shapes.len());
+        let mut cursor = 0;
+        for mi in 0..shapes.len() {
+            let start = fresh.len();
+            while cursor < pairs.len() && pairs[cursor].0 == mi {
+                if let Some(obs) = &observed[cursor] {
+                    if !observations.contains(obs) && !fresh.contains(obs) {
+                        fresh.push(obs.clone());
+                        let (_, x1, x2) = &pairs[cursor];
+                        fresh_pairs.push((x1.clone(), x2.clone()));
+                    }
+                }
+                cursor += 1;
+            }
+            spans.push(start..fresh.len());
+        }
+
+        // Phase 4 — filter (pool): the (candidate × fresh observation)
+        // verdict matrix, partitioned over candidates.
+        let verdicts: Vec<Vec<bool>> = pool.map(alive, |_, c| {
+            fresh
+                .iter()
+                .map(|o| plausible(c, std::slice::from_ref(o), env))
+                .collect()
+        });
+
+        // Counterexample: the first fresh observation (generation order)
+        // that eliminates any live candidate — same pair the serial
+        // algorithm records at insertion time.
+        if counterexample.is_none() {
+            for (oi, pair) in fresh_pairs.iter().enumerate() {
+                if verdicts.iter().any(|row| !row[oi]) {
+                    *counterexample = Some(pair.clone());
+                    break;
+                }
+            }
+        }
+
+        // Score: how many live candidates does each mutation's batch
+        // eliminate? A candidate is eliminated by a batch iff some
+        // observation in the batch's span fails it — an order-independent
+        // sum over the verdict matrix. Ties keep the earliest mutation,
+        // as the serial fold does.
+        let mut best: Option<(usize, usize)> = None;
+        for (mi, span) in spans.iter().enumerate() {
+            let eliminated = verdicts
+                .iter()
+                .filter(|row| span.clone().any(|oi| !row[oi]))
+                .count();
             match best {
                 Some((score, _)) if score >= eliminated => {}
-                _ => best = Some((eliminated, mutated)),
+                _ => best = Some((eliminated, mi)),
             }
-            // Every batch joins the cumulative observation set (the paper
-            // adds all twelve I_j sets to I).
-            observations.extend(batch);
         }
-        // Filter against everything seen so far.
-        alive.retain(|c| plausible(c, observations, env));
+
+        // Retention: every live candidate already passed the cumulative
+        // observation set (that is the loop invariant the previous retain
+        // established), so keeping the all-true rows equals the serial
+        // retain over `observations ++ fresh`.
+        let mask: Vec<bool> = verdicts.iter().map(|row| row.iter().all(|&b| b)).collect();
+        kq_dsl::retain_by_mask(alive, &mask);
+        observations.extend(fresh);
         if alive.is_empty() {
             return;
         }
         if config.use_gradient {
-            if let Some((_, next)) = best {
-                shape = next;
+            if let Some((_, mi)) = best {
+                shape = shapes[mi];
             }
         } else {
             // Ablation: ignore the gradient, take a uniformly random step.
@@ -267,6 +358,52 @@ fn gradient_round(
             shape = shape.mutate(all[rng.gen_range(0..all.len())]);
         }
     }
+}
+
+/// Replays cached candidates against the first observation synthesis
+/// itself would generate for `command` under `config` — the persistent
+/// combiner cache's load-validation step.
+///
+/// The probe regenerates round 1's first successful observation from
+/// `config.rng_seed` (same preprocessing, same seed shape, same mutation
+/// order), so a genuine cache entry — a plausible set that survived that
+/// very observation during synthesis — always passes, while an entry that
+/// belongs to a different command (a cache-key collision), a different
+/// configuration, or a corrupted file is rejected unless it happens to be
+/// plausible for this command too. Returns `false` when no observation
+/// can be generated at all (e.g. a missing file dependency): with zero
+/// evidence the entry must not be trusted.
+pub fn spot_check(
+    command: &Command,
+    ctx: &ExecContext,
+    config: &SynthesisConfig,
+    candidates: &[Candidate],
+) -> bool {
+    if candidates.is_empty() {
+        return false;
+    }
+    let mut rng = SmallRng::seed_from_u64(config.rng_seed);
+    let pre = preprocess(command, ctx, &mut rng);
+    if matches!(pre.profile, InputProfile::Unsupported) {
+        return false;
+    }
+    let env = CommandEnv { command, ctx };
+    let seed_shape = InputShape::random(&mut rng, pre.line_hint);
+    for mutation in Mutation::all() {
+        let mutated = seed_shape.mutate(mutation);
+        for _ in 0..config.pairs_per_shape {
+            let Some((x1, x2)) = stream_pair(&mutated, &pre, &mut rng) else {
+                continue;
+            };
+            let Some(obs) = observe(command, ctx, &x1, &x2) else {
+                continue;
+            };
+            return candidates
+                .iter()
+                .all(|c| plausible(c, std::slice::from_ref(&obs), &env));
+        }
+    }
+    false
 }
 
 #[cfg(test)]

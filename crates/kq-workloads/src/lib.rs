@@ -57,6 +57,26 @@ impl Scale {
     }
 }
 
+/// A planning sample for a generated input: the longest prefix of `text`
+/// at most `max_bytes` long that ends on a newline, falling back to a
+/// char-aligned cut when the prefix holds no newline. Char-boundary-safe
+/// on purpose — corpus inputs contain multibyte text (`gutenberg_text`
+/// sprinkles accented words), so a raw `&text[..16_000]` can panic
+/// mid-character.
+pub fn planning_sample(text: &str, max_bytes: usize) -> &str {
+    if text.len() <= max_bytes {
+        return text;
+    }
+    let mut cut = max_bytes;
+    while cut > 0 && !text.is_char_boundary(cut) {
+        cut -= 1;
+    }
+    match text[..cut].rfind('\n') {
+        Some(newline) => &text[..newline + 1],
+        None => &text[..cut],
+    }
+}
+
 /// Writes the script's input (and auxiliary files) into the context's
 /// filesystem and returns the environment for parsing it.
 pub fn setup(
@@ -242,6 +262,24 @@ mod tests {
             (380..=470).contains(&total),
             "total stages {total} far from the paper's 427"
         );
+    }
+
+    #[test]
+    fn planning_sample_is_boundary_safe() {
+        // Newline-aligned cut within the budget.
+        assert_eq!(planning_sample("ab\ncd\nef\n", 7), "ab\ncd\n");
+        // Short inputs pass through whole.
+        assert_eq!(planning_sample("ab\n", 100), "ab\n");
+        // A multibyte char straddling the cut never panics: walk back to
+        // the char boundary, then to the newline.
+        let text = "line one\nliné two\nliné three\n";
+        for max in 0..text.len() {
+            let sample = planning_sample(text, max);
+            assert!(sample.len() <= max || sample == text);
+            assert!(text.starts_with(sample));
+        }
+        // No newline in the prefix: char-aligned fallback.
+        assert_eq!(planning_sample("ééééé", 3), "é");
     }
 
     #[test]

@@ -26,11 +26,11 @@ fn all_seventy_scripts_run_chunked_correctly() {
         let parsed = parse_script(script.text, &env)
             .unwrap_or_else(|e| panic!("{}/{} parse: {e}", script.suite.dir(), script.id));
         let sample = ctx.vfs.read(&env["IN"]).unwrap();
-        let cut = sample[..sample.len().min(16_000)]
-            .rfind('\n')
-            .map(|i| i + 1)
-            .unwrap_or(sample.len());
-        let plan = planner.plan(&parsed, &ctx, &sample[..cut]);
+        let plan = planner.plan(
+            &parsed,
+            &ctx,
+            kq_workloads::planning_sample(&sample, 16_000),
+        );
 
         let serial = run_serial(&parsed, &ctx)
             .unwrap_or_else(|e| panic!("{}/{} serial: {e}", script.suite.dir(), script.id));
