@@ -88,8 +88,10 @@ USAGE:
         into the heap. The chunked executor load-balances many small
         chunks over the worker pool; the streaming executor additionally
         pipelines stages through bounded chunk queues so a stage starts
-        before its predecessor finishes. (--executor is accepted as an
-        alias for --exec.)
+        before its predecessor finishes, and cancels upstream work early
+        once a prefix-bounded consumer (head -n k, sed kq) is satisfied
+        (reported as 'early-exit: ... after M chunk(s)'). (--executor is
+        accepted as an alias for --exec.)
     kumquat emit <script|file> [--workers N] [--no-opt] [--out FILE]
         Compile the script into a runnable POSIX shell script that uses
         the real Unix commands plus the synthesized combiners.
@@ -385,6 +387,25 @@ fn cmd_run(args: &ParsedArgs) -> Result<CliOutput, String> {
         }
     };
     let mut notes = planned.notes;
+    // Early-exit ledger: a prefix-bounded stage (head -n k / sed kq) that
+    // satisfied its demand before end-of-input reports how little it
+    // consumed (streaming executor only). The stage number comes from the
+    // EarlyExit record — timings are per *segment*, and fused chunk-local
+    // runs would make the timing index drift from the pipeline position.
+    for (si, stages) in parallel.timings.statements.iter().enumerate() {
+        for stage in stages {
+            if let Some(early) = stage.early_exit {
+                notes.push(format!(
+                    "early-exit: statement {} stage {} ({}) satisfied after {} chunk(s); \
+                     demand token released before end-of-input",
+                    si + 1,
+                    early.stage + 1,
+                    stage.label,
+                    early.chunks
+                ));
+            }
+        }
+    }
     let (par, total) = planned.plan.parallelized_counts();
     match &serial {
         Some(serial) => {
@@ -669,6 +690,42 @@ mod tests {
             run.notes.iter().any(|n| n.contains("streaming")),
             "notes: {:?}",
             run.notes
+        );
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn streaming_head_pipeline_reports_early_exit() {
+        let dir = std::env::temp_dir().join(format!("kq-cli-early-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let input = dir.join("w.txt");
+        std::fs::write(&input, "b x\na y\nb z\nc w\n".repeat(4000)).unwrap();
+        let script = format!("cat {} | grep b | head -n 1", input.display());
+        let run = call(&[
+            "run",
+            &script,
+            "--exec",
+            "streaming",
+            "--chunk-kb",
+            "1",
+            "--workers",
+            "2",
+        ])
+        .unwrap();
+        assert_eq!(run.stdout, "b x\n");
+        assert!(
+            run.notes
+                .iter()
+                .any(|n| n.starts_with("early-exit:") && n.contains("head -n 1")),
+            "notes: {:?}",
+            run.notes
+        );
+        // The other executors read everything: no early-exit note.
+        let chunked = call(&["run", &script, "--exec", "chunked"]).unwrap();
+        assert!(
+            !chunked.notes.iter().any(|n| n.starts_with("early-exit:")),
+            "notes: {:?}",
+            chunked.notes
         );
         std::fs::remove_dir_all(&dir).ok();
     }

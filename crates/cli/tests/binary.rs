@@ -57,6 +57,64 @@ fn run_streams_pipeline_output_and_notes_to_stderr() {
 }
 
 #[test]
+fn concurrent_planners_share_one_combiner_cache_without_losing_entries() {
+    // Two *processes* plan different scripts against the same on-disk
+    // combiner cache at the same time. Both load a cold store; without
+    // the flock'd read-merge-write in CombinerCache::save the second
+    // rename would silently discard the first process's entries. A third
+    // process planning the union of both scripts must then validate
+    // everything out of the store and synthesize nothing.
+    let dir = std::env::temp_dir().join(format!("kq-bin-cachelock-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let input = dir.join("in.txt");
+    std::fs::write(&input, "a x\nb y\na z\nc w\n".repeat(50)).unwrap();
+    let cache = dir.join("combiners.v1");
+    let cache_arg = cache.display().to_string();
+    let script_a = format!("cat {} | grep a | wc -l", input.display());
+    let script_b = format!("cat {} | sort | uniq -c", input.display());
+
+    let mut children: Vec<std::process::Child> = [&script_a, &script_b]
+        .iter()
+        .map(|script| {
+            kumquat()
+                .args(["plan", script, "--combiner-cache", &cache_arg])
+                .stdout(std::process::Stdio::piped())
+                .stderr(std::process::Stdio::piped())
+                .spawn()
+                .unwrap()
+        })
+        .collect();
+    for child in children.drain(..) {
+        let out = child.wait_with_output().unwrap();
+        assert!(
+            out.status.success(),
+            "planner failed: {}",
+            String::from_utf8_lossy(&out.stderr)
+        );
+    }
+
+    let union = dir.join("union.sh");
+    std::fs::write(&union, format!("{script_a}\n{script_b}\n")).unwrap();
+    let out = kumquat()
+        .args([
+            "plan",
+            &union.display().to_string(),
+            "--combiner-cache",
+            &cache_arg,
+        ])
+        .output()
+        .unwrap();
+    assert!(out.status.success());
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(
+        stdout.contains("0 command(s) synthesized"),
+        "a concurrent save lost cache entries: {stdout}"
+    );
+    assert!(stdout.contains("(4 validated"), "got: {stdout}");
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
 fn emit_then_sh_round_trip() {
     let dir = std::env::temp_dir().join(format!("kq-bin-emit-{}", std::process::id()));
     std::fs::create_dir_all(&dir).unwrap();

@@ -60,6 +60,13 @@ impl UnixCommand for HeadCmd {
         self.file.is_none()
     }
 
+    fn line_bound(&self) -> Option<usize> {
+        // The first n lines determine the whole output; with a file
+        // operand stdin is ignored entirely (Command::line_bound already
+        // masks that case, but the answer is honest either way).
+        self.file.is_none().then_some(self.n)
+    }
+
     fn run(&self, input: Bytes, ctx: &ExecContext) -> Result<Bytes, CmdError> {
         let stream = match &self.file {
             Some(f) => ctx
@@ -313,6 +320,35 @@ mod tests {
         assert_eq!(run("head -n 1", "a\nb"), "a\n");
         assert_eq!(run("tail -n 5", ""), "");
         assert_eq!(run("head -n 5", ""), "");
+    }
+
+    #[test]
+    fn head_signals_its_line_bound() {
+        assert_eq!(parse_command("head -n 3").unwrap().line_bound(), Some(3));
+        assert_eq!(parse_command("head -15").unwrap().line_bound(), Some(15));
+        assert_eq!(parse_command("head").unwrap().line_bound(), Some(10));
+        assert_eq!(parse_command("head -n 0").unwrap().line_bound(), Some(0));
+        // A file operand makes head a source: the bound applies to the
+        // file, never to the (ignored) pipe.
+        assert_eq!(
+            parse_command("head -n 3 /f.txt").unwrap().line_bound(),
+            None
+        );
+        // tail needs the end of the stream: never prefix-bounded.
+        assert_eq!(parse_command("tail -n 1").unwrap().line_bound(), None);
+        assert_eq!(parse_command("tail +2").unwrap().line_bound(), None);
+    }
+
+    #[test]
+    fn line_bound_contract_holds_on_prefixes() {
+        // The semantic contract: run on any stream holding >= n complete
+        // lines equals run on the full stream.
+        let full = "a\nb\nc\nd\ne\n";
+        let cmd = parse_command("head -n 2").unwrap();
+        let ctx = ExecContext::default();
+        let whole = cmd.run_str(full, &ctx).unwrap();
+        let prefix = cmd.run_str("a\nb\n", &ctx).unwrap();
+        assert_eq!(whole, prefix);
     }
 
     #[test]

@@ -150,6 +150,24 @@ pub trait UnixCommand: Send + Sync {
     fn reads_stdin(&self) -> bool {
         true
     }
+
+    /// Prefix bound: `Some(n)` when the command's output is fully
+    /// determined by the first `n` *complete* lines of its standard input
+    /// — it never observes anything past them. `head -n k` and `sed kq`
+    /// qualify; `sed kd` (needs the tail), `tail` (needs the end), and
+    /// everything else do not. `None` (the default) means the command may
+    /// read to end-of-input.
+    ///
+    /// This is the early-exit signal: a streaming executor can stop
+    /// feeding such a command the moment `n` complete lines exist and
+    /// cancel everything upstream (the paper-corpus
+    /// `… | sort -nr | head -n 1` shape). The contract is semantic, not
+    /// advisory — `run` on any stream holding at least `n` newline
+    /// terminated lines must return exactly what `run` on the full stream
+    /// would.
+    fn line_bound(&self) -> Option<usize> {
+        None
+    }
 }
 
 /// A parsed command: argv plus its boxed implementation.
@@ -208,6 +226,17 @@ impl Command {
     /// See [`UnixCommand::reads_stdin`].
     pub fn reads_stdin(&self) -> bool {
         self.imp.reads_stdin()
+    }
+
+    /// See [`UnixCommand::line_bound`]. Always `None` for commands that do
+    /// not read their standard input (a file-operand `head big.txt` is a
+    /// source; the bound applies to the file, not the pipe).
+    pub fn line_bound(&self) -> Option<usize> {
+        if self.imp.reads_stdin() {
+            self.imp.line_bound()
+        } else {
+            None
+        }
     }
 }
 

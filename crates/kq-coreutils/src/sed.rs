@@ -125,6 +125,17 @@ impl UnixCommand for SedCmd {
         self.display.clone()
     }
 
+    fn line_bound(&self) -> Option<usize> {
+        // Only the quit form stops reading: `sed kq` prints the first k
+        // lines and never observes the rest. The delete forms need the
+        // whole stream (`kd` must echo the tail, `$d` must find the end)
+        // and substitution reads everything.
+        match &self.script {
+            Script::QuitAfter(n) => Some(*n),
+            _ => None,
+        }
+    }
+
     fn run(&self, input: Bytes, _ctx: &ExecContext) -> Result<Bytes, CmdError> {
         let input = crate::input_str(&input, "sed")?;
         let text = || -> Result<String, CmdError> {
@@ -250,6 +261,17 @@ mod tests {
     fn delete_last_line() {
         assert_eq!(run("sed '$d'", "1\n2\n3\n"), "1\n2\n");
         assert_eq!(run("sed '$d'", ""), "");
+    }
+
+    #[test]
+    fn only_the_quit_form_is_prefix_bounded() {
+        assert_eq!(parse_command("sed 100q").unwrap().line_bound(), Some(100));
+        assert_eq!(parse_command("sed 5q").unwrap().line_bound(), Some(5));
+        // Delete forms echo the tail (or need the end); substitution
+        // reads everything — none may signal a bound.
+        assert_eq!(parse_command("sed 1d").unwrap().line_bound(), None);
+        assert_eq!(parse_command("sed '$d'").unwrap().line_bound(), None);
+        assert_eq!(parse_command("sed s/a/b/").unwrap().line_bound(), None);
     }
 
     #[test]

@@ -23,6 +23,22 @@ pub fn in_domain(g: &Combiner, y: &str) -> bool {
     }
 }
 
+/// True when `L(g)` is every string — [`in_domain`] is constantly `true`.
+///
+/// Universal-domain combiners (`concat`, `first`, `second`, `rerun`,
+/// `merge`) can never be deselected by a composite's first-member-whose-
+/// domain-admits-all-pieces rule: when such a combiner leads a composite,
+/// it is the selected member for *any* piece list. Incremental folds use
+/// this to commit to the primary member without retaining raw piece
+/// handles for a fallback that cannot be selected.
+pub fn is_universal(g: &Combiner) -> bool {
+    matches!(
+        g,
+        Combiner::Rec(RecOp::Concat | RecOp::First | RecOp::Second)
+            | Combiner::Run(RunOp::Rerun | RunOp::Merge(_))
+    )
+}
+
 pub(crate) fn rec_in_domain(b: &RecOp, y: &str) -> bool {
     match b {
         RecOp::Add => !y.is_empty() && y.bytes().all(|c| c.is_ascii_digit()),
@@ -152,5 +168,20 @@ mod tests {
     fn run_ops_accept_everything() {
         assert!(in_domain(&C::Run(RunOp::Rerun), "anything"));
         assert!(in_domain(&C::Run(RunOp::Merge(vec![])), ""));
+    }
+
+    #[test]
+    fn universal_domains_are_exactly_the_unrestricted_ops() {
+        assert!(is_universal(&C::Rec(R::Concat)));
+        assert!(is_universal(&C::Rec(R::First)));
+        assert!(is_universal(&C::Rec(R::Second)));
+        assert!(is_universal(&C::Run(RunOp::Rerun)));
+        assert!(is_universal(&C::Run(RunOp::Merge(vec!["-rn".into()]))));
+        assert!(!is_universal(&C::Rec(R::Add)));
+        assert!(!is_universal(&C::Rec(R::Back(
+            Delim::Newline,
+            Box::new(R::Add)
+        ))));
+        assert!(!is_universal(&C::Struct(S::Stitch(R::First))));
     }
 }

@@ -62,7 +62,11 @@ pub use kway::{combine_all, combine_all_with, CombineStrategy, IncrementalFold};
 
 /// An observation `⟨y1, y2, y12⟩ = ⟨f(x1), f(x2), f(x1 ++ x2)⟩`
 /// (paper Definition 3.4/3.5).
-#[derive(Debug, Clone, PartialEq, Eq)]
+///
+/// `Hash` lets the synthesis loop dedup observations through a hashed
+/// seen-set (the content fingerprint is the hash; equality resolves any
+/// collision exactly) instead of a quadratic `contains` scan.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
 pub struct Observation {
     /// `f(x1)`.
     pub y1: String,

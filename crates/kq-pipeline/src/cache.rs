@@ -35,6 +35,21 @@
 //! to a temp file and renames, so concurrent processes sharing a path
 //! can race without producing a torn file.
 //!
+//! ## Cross-process exclusion
+//!
+//! Rename atomicity alone cannot stop two concurrent planners from
+//! *losing entries*: both load the same (possibly empty) store,
+//! synthesize different commands, and the second rename silently discards
+//! the first writer's work. Load and persist therefore serialize on an
+//! advisory `flock` over a sidecar `<path>.lock` file (the store itself
+//! is replaced by rename, so its inode cannot carry the lock): readers
+//! take it shared, and [`CombinerCache::save`] takes it exclusive for a
+//! read-**merge**-write — the current store is re-parsed under the lock
+//! and any compatible entry this process does not already have passes
+//! through into the new file, so concurrent planners union their results
+//! instead of last-writer-wins. On targets without `flock` the lock
+//! degrades to a no-op (single-process workflows are unaffected).
+//!
 //! # Trust policy
 //!
 //! An entry freshly synthesized in this process is trusted outright. An
@@ -164,6 +179,54 @@ pub fn cache_key(command: &Command) -> String {
     key
 }
 
+/// An advisory cross-process lock over a store path, held for the
+/// value's lifetime (dropping closes the descriptor, which releases the
+/// `flock`). Lock failures — including non-unix targets, where the shim
+/// has no `flock` — degrade silently to the old unlocked behavior: the
+/// lock protects against *lost entries*, never against corruption (the
+/// versioned header and temp+rename already handle that).
+struct StoreLock {
+    #[cfg(unix)]
+    _file: Option<std::fs::File>,
+}
+
+impl StoreLock {
+    /// The sidecar lock path: `<store>.lock`, a stable inode next to a
+    /// store that rename keeps replacing.
+    fn lock_path(store: &Path) -> PathBuf {
+        let mut name = store.as_os_str().to_owned();
+        name.push(".lock");
+        PathBuf::from(name)
+    }
+
+    /// Blocks until the lock is granted (shared for readers, exclusive
+    /// for the save's read-merge-write critical section).
+    #[cfg_attr(not(unix), allow(unused_variables))]
+    fn acquire(store: &Path, exclusive: bool) -> StoreLock {
+        #[cfg(unix)]
+        {
+            use std::os::unix::io::AsRawFd;
+            let file = std::fs::OpenOptions::new()
+                .create(true)
+                .append(true)
+                .open(Self::lock_path(store))
+                .ok();
+            let locked = file.filter(|f| {
+                let op = if exclusive {
+                    libc::LOCK_EX
+                } else {
+                    libc::LOCK_SH
+                };
+                // SAFETY: a plain syscall on an fd we own.
+                unsafe { libc::flock(f.as_raw_fd(), op) == 0 }
+            });
+            StoreLock { _file: locked }
+        }
+        #[cfg(not(unix))]
+        StoreLock {}
+    }
+}
+
 /// Lookup/persistence counters, surfaced by the CLI's report lines.
 #[derive(Debug, Clone, Copy, Default)]
 pub struct CacheStats {
@@ -241,6 +304,9 @@ impl CombinerCache {
     pub fn open(path: impl Into<PathBuf>, config: &SynthesisConfig) -> CombinerCache {
         let path = path.into();
         let mut cache = CombinerCache::in_memory(config);
+        // Shared lock: serializes with a concurrent writer's
+        // read-merge-write critical section (see the module docs).
+        let _lock = StoreLock::acquire(&path, false);
         match std::fs::read_to_string(&path) {
             Err(e) if e.kind() == std::io::ErrorKind::NotFound => {}
             Err(e) => cache.warnings.push(format!(
@@ -340,12 +406,30 @@ impl CombinerCache {
     /// Writes the store back to its path (temp file + rename, so a
     /// concurrent reader never sees a torn file). No-op for in-memory
     /// caches or when nothing changed. Returns whether a write happened.
+    ///
+    /// Holds the exclusive store lock across a read-**merge**-write:
+    /// compatible entries another process persisted since this cache
+    /// loaded pass through into the new file (and into this cache, as
+    /// pending disk entries that validate like any other), so concurrent
+    /// planners sharing a store union their syntheses instead of the
+    /// last rename discarding the first writer's work.
     pub fn save(&mut self) -> Result<bool, String> {
         let Some(path) = &self.path else {
             return Ok(false);
         };
         if !self.dirty {
             return Ok(false);
+        }
+        let _lock = StoreLock::acquire(path, true);
+        // Merge under the lock: adopt entries we do not have. A file that
+        // is unreadable, mismatched, or corrupt contributes nothing (the
+        // same trust rule as open) and is simply overwritten.
+        if let Ok(text) = std::fs::read_to_string(path) {
+            if let Ok(disk_entries) = parse_store(&text, self.fingerprint) {
+                for (key, value) in disk_entries {
+                    self.entries.entry(key).or_insert(Slot::Disk(value));
+                }
+            }
         }
         let mut lines: Vec<String> = Vec::with_capacity(self.entries.len() + 1);
         lines.push(format!(
@@ -649,6 +733,43 @@ mod tests {
             );
             std::fs::remove_file(&path).ok();
         }
+    }
+
+    #[test]
+    fn interleaved_saves_union_instead_of_losing_entries() {
+        // The lost-update shape: two planners load the same cold store,
+        // synthesize different commands, and flush one after the other.
+        // Without the locked read-merge-write the second rename would
+        // discard the first writer's entry.
+        let path = tmpfile("union");
+        let config = SynthesisConfig::default();
+        let mut a = CombinerCache::open(&path, &config);
+        let mut b = CombinerCache::open(&path, &config);
+        a.insert("wc\x1f-l\x1f|", Some(sample_combiner()), true);
+        b.insert("sed\x1f|\x1f1d", None, true);
+        assert!(a.save().unwrap());
+        assert!(b.save().unwrap());
+        let mut reloaded = CombinerCache::open(&path, &config);
+        assert_eq!(
+            reloaded.stats.loaded, 2,
+            "an interleaved write lost an entry"
+        );
+        assert!(matches!(
+            reloaded.lookup("sed\x1f|\x1f1d"),
+            CacheLookup::Ready(None)
+        ));
+        assert!(matches!(
+            reloaded.lookup("wc\x1f-l\x1f|"),
+            CacheLookup::NeedsValidation(_)
+        ));
+        // The merge also flows the other process's entries into the
+        // still-open cache, as pending disk entries.
+        assert!(matches!(
+            b.lookup("wc\x1f-l\x1f|"),
+            CacheLookup::NeedsValidation(_)
+        ));
+        std::fs::remove_file(&path).ok();
+        std::fs::remove_file(StoreLock::lock_path(&path)).ok();
     }
 
     #[test]

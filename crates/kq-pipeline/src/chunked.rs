@@ -171,6 +171,7 @@ pub fn run_chunked(
                         bytes_in,
                         bytes_out: out.len(),
                         bytes_out_pieces: out.len(),
+                        early_exit: None,
                     });
                     stream = out;
                 }
@@ -209,6 +210,7 @@ pub fn run_chunked(
                         bytes_in,
                         bytes_out: combined.len(),
                         bytes_out_pieces,
+                        early_exit: None,
                     });
                     stream = combined;
                 }

@@ -185,6 +185,7 @@ mod tests {
             bytes_in: 1 << 20,
             bytes_out,
             bytes_out_pieces: 1 << 20,
+            early_exit: None,
         }
     }
 
@@ -263,6 +264,7 @@ mod tests {
             bytes_in: 1 << 20,
             bytes_out: 1 << 20,
             bytes_out_pieces: 1 << 20,
+            early_exit: None,
         };
         let got = distributed_time(
             &log_of(st),

@@ -42,6 +42,26 @@ pub struct StageTiming {
     /// for sequential stages; the distributed cost model uses the
     /// difference as the combiner's shrink).
     pub bytes_out_pieces: usize,
+    /// Early exit: set when this stage was a prefix-bounded consumer
+    /// (`head -n k`, `sed kq`) under the streaming executor and satisfied
+    /// its demand without waiting for end-of-input — it released its
+    /// receiver (the demand token), so any upstream producer still running
+    /// unwound without draining the rest of the stream. `None` for stages
+    /// that read their whole input (every stage under the other
+    /// executors). The CLI reports these as
+    /// `early-exit: statement N stage M ... after K chunk(s)`.
+    pub early_exit: Option<EarlyExit>,
+}
+
+/// The record behind [`StageTiming::early_exit`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct EarlyExit {
+    /// Index of the bounded stage within its statement (pipeline
+    /// position, not the segment-timing position — chunk-local stages
+    /// fuse, so the two can differ).
+    pub stage: usize,
+    /// Input chunks consumed before the demand was met.
+    pub chunks: usize,
 }
 
 impl StageTiming {
@@ -119,6 +139,7 @@ pub fn run_serial(script: &Script, ctx: &ExecContext) -> Result<ExecutionResult,
                 bytes_in,
                 bytes_out: out.len(),
                 bytes_out_pieces: out.len(),
+                early_exit: None,
             });
             stream = out;
         }
@@ -216,6 +237,7 @@ fn run_parallel_inner(
                         bytes_in,
                         bytes_out: out.len(),
                         bytes_out_pieces: out.len(),
+                        early_exit: None,
                     });
                     state = State::Single(out);
                 }
@@ -282,6 +304,7 @@ fn run_parallel_inner(
                             bytes_in,
                             bytes_out: bytes_out_pieces,
                             bytes_out_pieces,
+                            early_exit: None,
                         });
                         state = State::Split(outputs);
                     } else {
@@ -300,6 +323,7 @@ fn run_parallel_inner(
                             bytes_in,
                             bytes_out: combined.len(),
                             bytes_out_pieces,
+                            early_exit: None,
                         });
                         state = State::Single(combined);
                     }

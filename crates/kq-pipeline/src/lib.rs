@@ -80,7 +80,7 @@ pub mod sim;
 pub mod streaming;
 
 pub use cache::{cache_key, CacheStats, CombinerCache};
-pub use exec::{ExecutionResult, StageTiming, TimingLog};
+pub use exec::{EarlyExit, ExecutionResult, StageTiming, TimingLog};
 pub use parse::{InputSource, Script, Stage, Statement};
 pub use plan::{PlannedScript, PlannedStage, Planner, StageMode, StreamSegment, StreamSegmentKind};
 pub use sim::{PipelineCosts, SimParams};

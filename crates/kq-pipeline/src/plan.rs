@@ -79,6 +79,15 @@ pub struct PlannedStage {
     /// `uniq -c` do not and must barrier). Always `false` for sequential
     /// stages.
     pub streamable: bool,
+    /// Prefix bound ([`kq_synth::prefix_bound`]): `Some(k)` when the
+    /// stage's output depends only on the first `k` complete lines of its
+    /// input (`head -n k`, `sed kq`). Such a stage is a *bounded
+    /// consumer*: the streaming executor runs it as a
+    /// [`StreamSegmentKind::Bounded`] segment that stops demanding input
+    /// — and cancels everything upstream — the moment `k` lines exist.
+    /// Independent of the sequential/parallel mode decision: running the
+    /// command once on a `k`-line prefix is exact under either plan.
+    pub line_bound: Option<usize>,
 }
 
 /// Planning result for one statement.
@@ -160,7 +169,12 @@ impl PlannedStatement {
     ///   stage's combiner and only the combined stream moves on;
     /// * a sequential stage is [`StreamSegmentKind::Sequential`]: the
     ///   input is re-gathered, the command runs once, and the output is
-    ///   re-chunked.
+    ///   re-chunked;
+    /// * a prefix-bounded stage (`head -n k`, `sed kq` — see
+    ///   [`PlannedStage::line_bound`]) is [`StreamSegmentKind::Bounded`]
+    ///   whatever its mode: it consumes chunks only until `k` complete
+    ///   lines exist, then cancels everything upstream by dropping its
+    ///   receiver and runs the command once on the prefix.
     ///
     /// With `fuse_streamable = false` every streamable stage forms its own
     /// single-stage streaming segment (more hand-offs, same semantics) —
@@ -171,7 +185,19 @@ impl PlannedStatement {
         let mut idx = 0;
         while idx < self.stages.len() {
             let stage = &self.stages[idx];
-            if stage.streamable {
+            if let Some(lines) = stage.line_bound {
+                // A bounded consumer gets its own demand-token segment
+                // regardless of mode: the collector stops pulling chunks
+                // (and tears upstream down) once `lines` complete lines
+                // arrived. Checked before streamability — a prefix-bounded
+                // command is never chunk-local anyway (`head`/`sed kq`
+                // synthesize first/rerun combiners, not concat).
+                out.push(StreamSegment {
+                    stages: idx..idx + 1,
+                    kind: StreamSegmentKind::Bounded { lines },
+                });
+                idx += 1;
+            } else if stage.streamable {
                 let start = idx;
                 idx += 1;
                 while fuse_streamable && idx < self.stages.len() && self.stages[idx].streamable {
@@ -208,6 +234,16 @@ pub enum StreamSegmentKind {
     Barrier,
     /// A sequential stage: gather, run once, re-chunk.
     Sequential,
+    /// A prefix-bounded consumer (`head -n k`, `sed kq`): gathers chunks
+    /// only until `lines` complete lines exist, then drops its receiver —
+    /// the demand token — so every upstream producer unwinds without
+    /// draining the rest of the input, runs the command once on the
+    /// prefix, and re-chunks the output downstream. See
+    /// [`PlannedStage::line_bound`].
+    Bounded {
+        /// The stage's prefix bound in complete lines.
+        lines: usize,
+    },
 }
 
 /// One streaming-executor segment: a stage range plus how its data moves.
@@ -541,6 +577,11 @@ impl Planner {
                     stage_idx,
                     mode,
                     streamable,
+                    // The early-exit contract comes from the parsed
+                    // command itself (exact, never widened) — a stage
+                    // with a file operand reads no stdin and reports
+                    // no bound.
+                    line_bound: kq_synth::prefix_bound(&statement.stages[stage_idx].command),
                 })
                 .collect(),
         }
@@ -776,5 +817,41 @@ mod tests {
         let unfused = st.stream_segments(false);
         assert_eq!(unfused.len(), 6);
         assert!(unfused.iter().all(|s| s.stages.len() == 1));
+    }
+
+    #[test]
+    fn prefix_bounded_stages_surface_their_line_bound() {
+        let (planned, _) = plan("cat $IN | grep fox | head -n 1");
+        let st = &planned.statements[0];
+        assert_eq!(st.stages[0].line_bound, None);
+        assert_eq!(st.stages[1].line_bound, Some(1));
+        let (planned, _) = plan("cat $IN | sed 100q | sort");
+        assert_eq!(planned.statements[0].stages[0].line_bound, Some(100));
+        // Non-prefix-bounded line-windows stay unbounded.
+        let (planned, _) = plan("cat $IN | sed 1d | sort");
+        assert_eq!(planned.statements[0].stages[0].line_bound, None);
+        let (planned, _) = plan("cat $IN | tail -n 1");
+        assert_eq!(planned.statements[0].stages[0].line_bound, None);
+    }
+
+    #[test]
+    fn bounded_stages_form_their_own_stream_segment_in_any_mode() {
+        // head -n 1 plans parallel (First combiner); sed 100q plans with a
+        // rerun combiner — both must segment as Bounded regardless.
+        let (planned, _) = plan("cat $IN | grep fox | head -n 1");
+        let segs = planned.statements[0].stream_segments(true);
+        assert_eq!(
+            segs.last().map(|s| s.kind),
+            Some(StreamSegmentKind::Bounded { lines: 1 })
+        );
+        let (planned, _) = plan("cat $IN | sed 100q | sort");
+        let segs = planned.statements[0].stream_segments(true);
+        assert_eq!(segs[0].kind, StreamSegmentKind::Bounded { lines: 100 });
+        assert_eq!(segs[0].stages, 0..1);
+        // A bounded stage never fuses into a neighboring streamable run.
+        let (planned, _) = plan("cat $IN | grep fox | head -n 2 | grep o");
+        let segs = planned.statements[0].stream_segments(true);
+        assert_eq!(segs.len(), 3);
+        assert_eq!(segs[1].kind, StreamSegmentKind::Bounded { lines: 2 });
     }
 }

@@ -194,6 +194,7 @@ mod tests {
             bytes_in: 0,
             bytes_out: 0,
             bytes_out_pieces: 0,
+            early_exit: None,
         }
     }
 

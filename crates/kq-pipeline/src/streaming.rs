@@ -26,6 +26,12 @@
 //! * a **sequential segment** (no combiner, or a rerun that does not pay)
 //!   re-gathers its input through a [`Rope`], runs the command once, and
 //!   re-chunks the output;
+//! * a **bounded segment** (`head -n k`, `sed kq` — a stage whose output
+//!   depends only on its first `k` input lines, see
+//!   [`PlannedStage::line_bound`](crate::plan::PlannedStage::line_bound)) holds a *demand token*: it gathers
+//!   in-order chunks only until `k` complete lines exist, then drops its
+//!   receiver — cancelling every upstream producer — runs the command
+//!   once on the prefix, and re-chunks the output downstream;
 //! * the statement's final channel drains into the result rope.
 //!
 //! Backpressure: every inter-segment channel and every pool's result
@@ -44,11 +50,33 @@
 //! — both calls are no-ops for heap-backed streams, and an early release
 //! is only ever a refault, never a correctness edge.
 //!
-//! Failure: a command error anywhere tears the whole pipeline down
-//! promptly — the failing segment drops its channel endpoints, upstream
-//! senders start failing and unwind, downstream receivers see end-of-input
-//! and drain; the error surfaces from [`run_streaming`]. Asserted with a
-//! watchdog in `tests/failure_injection.rs`.
+//! # Teardown: cancelled versus failed
+//!
+//! Two events tear a pipeline down early, sharing one mechanism (dropping
+//! channel endpoints, observed upstream as failing sends or
+//! `Sender::is_disconnected`) but differing in verdict:
+//!
+//! | | trigger | upstream producers | downstream consumers | statement result |
+//! |---|---|---|---|---|
+//! | **failed** | a command error in any segment | sends fail → bail (timings are discarded with the error) | end-of-input → drain | the failing segment's `Err` surfaces from [`run_streaming`] |
+//! | **cancelled** | a bounded consumer met its `k`-line demand | sends fail → bail; pool collectors report the telemetry of the work they actually did | the bounded stage's re-chunked output, then end-of-input | `Ok` — success, with `StageTiming::early_exit` recording the bounded stage and its consumed chunk count |
+//!
+//! A cancelled pipeline stops cutting chunks at the feeder (which also
+//! releases the resident tail of a memory-mapped input via
+//! [`Bytes::release_range`]), so a `cat big | grep p | head -n 1` run
+//! does O(first match) bytes of upstream work, not O(file). Cancellation
+//! reproduces real Unix `SIGPIPE` semantics: bytes past the consumed
+//! prefix are never processed, so a command error lurking in the unread
+//! tail never fires — the serial oracle, which reads everything, can fail
+//! where a cancelled streaming run succeeds, exactly as
+//! `big | grep p | head -n 1` outruns a corrupt late line in a real
+//! shell. On *successful* serial runs the outputs are byte-identical
+//! (`tests/early_exit.rs` pins every prefix-bounded corpus script).
+//!
+//! Failure teardown is asserted with a watchdog in
+//! `tests/failure_injection.rs`; cancellation teardown (a 256 MiB
+//! producer must stop without draining its input) in
+//! `tests/early_exit.rs`.
 //!
 //! Output equivalence with [`run_serial`](crate::exec::run_serial) across
 //! the whole corpus — at several chunk sizes, including degenerate ones —
@@ -125,6 +153,12 @@ fn send_chunked(
     for chunk in source.chunks(chunk_bytes).enumerate() {
         let len = chunk.1.len();
         if tx.send(chunk).is_err() {
+            // The consumer disappeared — cancellation (a bounded consumer
+            // satisfied its demand) or failure teardown. Nobody will read
+            // the rest of this stream: drop the whole resident tail of a
+            // mapped source, including the in-flight window (a straggler
+            // worker touching an already-delivered slice merely refaults).
+            source.release_range(released..source.len());
             return false;
         }
         fed += len;
@@ -208,6 +242,23 @@ fn run_statement(
         .saturating_mul(segments.len() + 2)
         .max(16 << 20);
 
+    // Demand propagation: a streaming segment whose downstream chain
+    // leads to a prefix-bounded consumer through chunk-local stages only
+    // flushes its collector eagerly (complete lines ship immediately
+    // instead of re-normalizing to the chunk-size target). Otherwise a
+    // sparse stage — `grep` with one match — would buffer its only lines
+    // until end-of-input and the bound downstream could never cancel
+    // anything. Barriers and sequential stages need their whole input
+    // regardless, so the propagation stops there.
+    let mut eager_flush = vec![false; segments.len()];
+    for i in (0..segments.len().saturating_sub(1)).rev() {
+        eager_flush[i] = match segments[i + 1].kind {
+            StreamSegmentKind::Bounded { .. } => true,
+            StreamSegmentKind::Streaming => eager_flush[i + 1],
+            StreamSegmentKind::Barrier | StreamSegmentKind::Sequential => false,
+        };
+    }
+
     std::thread::scope(|scope| {
         let feed_tx = txs.next().expect("feeder sender");
         let feed_input = input.clone();
@@ -217,10 +268,64 @@ fn run_statement(
         });
 
         let mut handles = Vec::with_capacity(segments.len());
-        for segment in &segments {
+        for (seg_idx, segment) in segments.iter().enumerate() {
             let seg_rx = rxs.next().expect("segment receiver");
             let seg_tx = txs.next().expect("segment sender");
             let handle = match segment.kind {
+                StreamSegmentKind::Bounded { lines } => {
+                    let stage_idx = segment.stages.start;
+                    let cmd = &statement.stages[stage_idx].command;
+                    scope.spawn(move || -> Result<StageTiming, CmdError> {
+                        // The demand token is the receiver itself: hold it
+                        // only until `lines` complete lines exist, then
+                        // drop it so every upstream producer unwinds
+                        // without draining the rest of the input.
+                        let mut rope = Rope::new();
+                        let mut seen = 0usize;
+                        let mut chunks = 0usize;
+                        let mut upstream_done = false;
+                        while seen < lines {
+                            let Some((_seq, chunk)) = seg_rx.recv() else {
+                                upstream_done = true;
+                                break;
+                            };
+                            if seg_tx.is_disconnected() {
+                                return Ok(empty_timing(cmd.display(), false, false));
+                            }
+                            seen += chunk.count_newlines();
+                            chunks += 1;
+                            rope.push(chunk);
+                        }
+                        // Cancellation point. Sound because the chunks are
+                        // line-aligned and arrive in stream order from a
+                        // single upstream sender: the rope is a prefix of
+                        // the full stream holding >= `lines` complete
+                        // lines (or all of it), which is exactly what the
+                        // line_bound contract says the command may see.
+                        drop(seg_rx);
+                        let stage_in = rope.into_bytes();
+                        let bytes_in = stage_in.len();
+                        let t0 = Instant::now();
+                        let out = cmd.run(stage_in, ctx)?;
+                        let elapsed = t0.elapsed();
+                        let bytes_out = out.len();
+                        send_chunked(&out, chunk_bytes, release_lag, &seg_tx);
+                        Ok(StageTiming {
+                            label: cmd.display(),
+                            parallel: false,
+                            eliminated: false,
+                            piece_times: vec![elapsed],
+                            combine_time: Duration::ZERO,
+                            bytes_in,
+                            bytes_out,
+                            bytes_out_pieces: bytes_out,
+                            early_exit: (!upstream_done).then_some(crate::exec::EarlyExit {
+                                stage: stage_idx,
+                                chunks,
+                            }),
+                        })
+                    })
+                }
                 StreamSegmentKind::Sequential => {
                     let cmd = &statement.stages[segment.stages.start].command;
                     scope.spawn(move || -> Result<StageTiming, CmdError> {
@@ -254,6 +359,7 @@ fn run_statement(
                             bytes_in,
                             bytes_out,
                             bytes_out_pieces: bytes_out,
+                            early_exit: None,
                         })
                     })
                 }
@@ -296,8 +402,10 @@ fn run_statement(
                     drop(res_tx);
 
                     match segment.kind {
-                        StreamSegmentKind::Streaming => scope
-                            .spawn(move || collect_streaming(label, res_rx, seg_tx, chunk_bytes)),
+                        StreamSegmentKind::Streaming => scope.spawn({
+                            let eager = eager_flush[seg_idx];
+                            move || collect_streaming(label, res_rx, seg_tx, chunk_bytes, eager)
+                        }),
                         StreamSegmentKind::Barrier => {
                             let closing = segment.stages.start;
                             let StageMode::Parallel { combiner, .. } =
@@ -320,7 +428,9 @@ fn run_statement(
                                 )
                             })
                         }
-                        StreamSegmentKind::Sequential => unreachable!(),
+                        StreamSegmentKind::Sequential | StreamSegmentKind::Bounded { .. } => {
+                            unreachable!()
+                        }
                     }
                 }
             };
@@ -353,11 +463,19 @@ fn run_statement(
 /// Collector for a streaming segment: restores input order, re-normalizes
 /// chunk sizes, and forwards downstream as soon as a contiguous prefix of
 /// outputs exists.
+///
+/// With `eager_flush` (the demand-propagation mode: downstream reaches a
+/// prefix-bounded consumer through chunk-local stages only), every
+/// contiguous piece's complete lines ship immediately instead of waiting
+/// to fill the chunk-size target — otherwise a sparse stage would sit on
+/// the very lines that satisfy the bound until end-of-input and the
+/// cancellation could never fire. Same stream content, smaller chunks.
 fn collect_streaming(
     label: String,
     res_rx: channel::Receiver<WorkerResult>,
     seg_tx: channel::Sender<Chunk>,
     chunk_bytes: usize,
+    eager_flush: bool,
 ) -> Result<StageTiming, CmdError> {
     let mut pending: BTreeMap<usize, Bytes> = BTreeMap::new();
     let mut next = 0usize;
@@ -365,35 +483,52 @@ fn collect_streaming(
     let mut chunker = IncrementalChunker::new(chunk_bytes);
     let mut piece_times: Vec<Duration> = Vec::new();
     let (mut bytes_in, mut bytes_out) = (0usize, 0usize);
-    for (seq, in_len, dur, res) in res_rx.iter() {
+    // A downstream teardown (a failing segment, or a bounded consumer
+    // that satisfied its demand — the latter a *success* path) ends the
+    // collection early: breaking out drops `res_rx` (pool workers' sends
+    // fail → they drop the input receiver → upstream sends fail), and the
+    // telemetry accumulated so far is returned as-is — on a cancelled run
+    // these numbers land in the successful result and must describe the
+    // work that actually happened, not read as a zero-byte stage.
+    let mut torn_down = false;
+    'collect: for (seq, in_len, dur, res) in res_rx.iter() {
+        // Sends only happen when chunk output actually accumulates, so a
+        // sparse segment (`grep` with one match) could otherwise drain
+        // its whole input without ever noticing that a bounded consumer
+        // downstream cancelled — poll the demand token every result.
+        if seg_tx.is_disconnected() {
+            torn_down = true;
+            break 'collect;
+        }
         record_piece(&mut piece_times, seq, dur);
         bytes_in += in_len;
         // A chain error tears the pipeline down: returning drops `res_rx`
-        // (pool workers' sends fail → they drop the input receiver →
-        // upstream sends fail) and `seg_tx` (downstream sees end-of-input
-        // and drains).
+        // and `seg_tx` (downstream sees end-of-input and drains).
         let out = res?;
         pending.insert(seq, out);
         while let Some(ready) = pending.remove(&next) {
             next += 1;
             bytes_out += ready.len();
-            for chunk in chunker.push(ready) {
+            let mut outgoing = chunker.push(ready);
+            if eager_flush {
+                outgoing.extend(chunker.flush_pending());
+            }
+            for chunk in outgoing {
                 if seg_tx.send((out_seq, chunk)).is_err() {
-                    // Downstream tore down (its own handle carries the
-                    // error). Returning, rather than draining `res_rx`,
-                    // stops this segment's workers — and transitively
-                    // everything upstream — immediately.
-                    return Ok(empty_timing(label, true, true));
+                    torn_down = true;
+                    break 'collect;
                 }
                 out_seq += 1;
             }
         }
     }
-    for chunk in chunker.finish() {
-        if seg_tx.send((out_seq, chunk)).is_err() {
-            return Ok(empty_timing(label, true, true));
+    if !torn_down {
+        for chunk in chunker.finish() {
+            if seg_tx.send((out_seq, chunk)).is_err() {
+                break;
+            }
+            out_seq += 1;
         }
-        out_seq += 1;
     }
     Ok(StageTiming {
         label,
@@ -404,6 +539,7 @@ fn collect_streaming(
         bytes_in,
         bytes_out,
         bytes_out_pieces: bytes_out,
+        early_exit: None,
     })
 }
 
@@ -431,13 +567,17 @@ fn collect_barrier(
     let mut piece_times: Vec<Duration> = Vec::new();
     let (mut bytes_in, mut bytes_out_pieces) = (0usize, 0usize);
     let mut combine_time = Duration::ZERO;
+    // Downstream teardown ends the collection without combining the rest
+    // — a failing segment's handle carries the error, and a bounded
+    // consumer's cancellation (`sort | head -n 1`) is a success whose
+    // result must still report the piece work this barrier actually did.
+    let mut torn_down = false;
     for (seq, in_len, dur, res) in res_rx.iter() {
         // This collector only transmits after end-of-input, so a blocked
-        // `send` cannot tell it the consumer died — poll instead, and bail
-        // without combining the rest (the failing segment's handle carries
-        // the error).
+        // `send` cannot tell it the consumer died — poll instead.
         if seg_tx.is_disconnected() {
-            return Ok(empty_timing(label, true, false));
+            torn_down = true;
+            break;
         }
         record_piece(&mut piece_times, seq, dur);
         bytes_in += in_len;
@@ -451,13 +591,18 @@ fn collect_barrier(
             combine_time += t0.elapsed();
         }
     }
-    let t0 = Instant::now();
-    let combined = accum
-        .finish()
-        .map_err(|e| CmdError::new(closing_cmd.display(), e.to_string()))?;
-    combine_time += t0.elapsed();
-    let bytes_out = combined.len();
-    send_chunked(&combined, chunk_bytes, release_lag, &seg_tx);
+    let bytes_out = if torn_down {
+        // Nobody will read the combined stream: skip the final combine.
+        0
+    } else {
+        let t0 = Instant::now();
+        let combined = accum
+            .finish()
+            .map_err(|e| CmdError::new(closing_cmd.display(), e.to_string()))?;
+        combine_time += t0.elapsed();
+        send_chunked(&combined, chunk_bytes, release_lag, &seg_tx);
+        combined.len()
+    };
     Ok(StageTiming {
         label,
         parallel: true,
@@ -467,6 +612,7 @@ fn collect_barrier(
         bytes_in,
         bytes_out,
         bytes_out_pieces,
+        early_exit: None,
     })
 }
 
@@ -483,6 +629,7 @@ fn empty_timing(label: String, parallel: bool, eliminated: bool) -> StageTiming 
         bytes_in: 0,
         bytes_out: 0,
         bytes_out_pieces: 0,
+        early_exit: None,
     }
 }
 
@@ -626,6 +773,74 @@ mod tests {
         assert!(!stages[1].eliminated, "sort combines");
         assert!(stages[1].combine_time > Duration::ZERO);
         assert!(stages[0].piece_times.len() > 1, "expected many chunks");
+    }
+
+    #[test]
+    fn head_terminated_pipelines_stay_byte_identical() {
+        check("cat /in.txt | grep apple | head -n 1", 64);
+        check("cat /in.txt | head -n 2 | cut -d ' ' -f 1", 128);
+        check("cat /in.txt | sort -u | head -n 3", 256);
+        check("cat /in.txt | sed 5q | sort", 200);
+        check("cat /in.txt | grep apple | head -n 1 | tr a-z A-Z", 64);
+        // Degenerate bounds: zero lines, and a bound past end-of-input.
+        check("cat /in.txt | head -n 0 | sort", 128);
+        check("cat /in.txt | head -n 999 | sort", 300);
+    }
+
+    #[test]
+    fn bounded_consumer_cancels_upstream_and_reports_early_exit() {
+        let env: HashMap<String, String> = HashMap::new();
+        let script = parse_script("cat /in.txt | grep apple | head -n 1", &env).unwrap();
+        let ctx = ExecContext::default();
+        let input = make_input(5000);
+        ctx.vfs.write("/in.txt", &input);
+        let mut planner = Planner::new(SynthesisConfig::default());
+        let plan = planner.plan(&script, &ctx, &make_input(100));
+        let opts = StreamingOptions {
+            workers: 2,
+            chunk_bytes: 256,
+            queue_depth: 2,
+            fuse_streamable: true,
+        };
+        let got = run_streaming(&script, &plan, &ctx, &opts).unwrap();
+        let serial = run_serial(&script, &ctx).unwrap();
+        assert_eq!(got.output, serial.output);
+        let stages = &got.timings.statements[0];
+        let head = stages
+            .iter()
+            .find(|s| s.label.starts_with("head"))
+            .expect("head stage timing");
+        let early = head.early_exit.expect("head must report its early exit");
+        assert!(early.chunks >= 1, "head consumed at least the first chunk");
+        assert_eq!(early.stage, 1, "head is pipeline stage 1 (grep is 0)");
+        // The cancelled grep segment processed a small prefix, not the
+        // whole stream: upstream work is O(first match), O(input).
+        let grep = stages
+            .iter()
+            .find(|s| s.label.starts_with("grep"))
+            .expect("grep stage timing");
+        assert!(
+            grep.bytes_in < input.len() / 4,
+            "grep consumed {} of {} bytes despite the cancellation",
+            grep.bytes_in,
+            input.len()
+        );
+    }
+
+    #[test]
+    fn exhausted_bound_is_not_an_early_exit() {
+        // head -n past the end of the stream: upstream runs to end-of-input,
+        // so no cancellation happened and none may be reported.
+        let env: HashMap<String, String> = HashMap::new();
+        let script = parse_script("cat /in.txt | head -n 999", &env).unwrap();
+        let ctx = ExecContext::default();
+        ctx.vfs.write("/in.txt", make_input(200));
+        let mut planner = Planner::new(SynthesisConfig::default());
+        let plan = planner.plan(&script, &ctx, &make_input(50));
+        let got = run_streaming(&script, &plan, &ctx, &StreamingOptions::default()).unwrap();
+        let head = &got.timings.statements[0][0];
+        assert_eq!(head.early_exit, None);
+        assert_eq!(got.output, run_serial(&script, &ctx).unwrap().output);
     }
 
     #[test]

@@ -89,6 +89,38 @@ impl IncrementalChunker {
         self.cut(true)
     }
 
+    /// Flushes every *complete line* currently pending as one undersized
+    /// chunk, keeping only an unterminated line tail. `None` when no
+    /// complete line is pending.
+    ///
+    /// This is the low-latency mode for a prefix-bounded downstream
+    /// consumer (`head -n 1` behind a sparse `grep`): re-normalizing to
+    /// the size target would buffer the first — possibly only — matching
+    /// lines until end-of-input, so the demand is never satisfied and the
+    /// early-exit cancellation never fires. Callers that know downstream
+    /// needs only a line prefix trade chunk-size regularity for immediate
+    /// delivery; the emitted stream content is identical either way.
+    pub fn flush_pending(&mut self) -> Option<Bytes> {
+        if self.pending.is_empty() {
+            return None;
+        }
+        let flat = std::mem::take(&mut self.pending).into_bytes();
+        let cut = match flat.as_bytes().iter().rposition(|&b| b == b'\n') {
+            Some(pos) => pos + 1,
+            None => 0,
+        };
+        if cut == 0 {
+            // A single unterminated line: nothing complete to ship.
+            self.pending.push(flat);
+            return None;
+        }
+        let head = flat.slice(0..cut);
+        if cut < flat.len() {
+            self.pending.push(flat.slice(cut..flat.len()));
+        }
+        Some(head)
+    }
+
     /// Gathers the pending rope and emits its complete chunks, retaining
     /// the tail unless `flush`. The gather is zero-copy for a
     /// single-segment rope ([`Rope::into_bytes`]).
@@ -181,6 +213,41 @@ mod tests {
         assert_eq!(rebuilt, "aa\nbb\ntail-without-newline");
         assert!(!chunks.last().unwrap().ends_with_newline());
         for c in &chunks[..chunks.len() - 1] {
+            assert!(c.ends_with_newline());
+        }
+    }
+
+    #[test]
+    fn flush_pending_ships_complete_lines_early() {
+        let mut chunker = IncrementalChunker::new(1 << 20);
+        // Far below the target: push alone ships nothing...
+        assert!(chunker.push(Bytes::from("match one\nmatch tw")).is_empty());
+        // ...but a flush delivers the complete line now, keeping the
+        // unterminated tail.
+        assert_eq!(chunker.flush_pending().unwrap(), "match one\n");
+        assert_eq!(chunker.pending_len(), "match tw".len());
+        // Nothing complete pending: no flush.
+        assert!(chunker.flush_pending().is_none());
+        assert!(chunker.push(Bytes::from("o\n")).is_empty());
+        assert_eq!(chunker.flush_pending().unwrap(), "match two\n");
+        assert!(chunker.finish().is_empty());
+        // Empty chunker flushes nothing.
+        assert!(IncrementalChunker::new(8).flush_pending().is_none());
+    }
+
+    #[test]
+    fn flush_pending_interleaves_with_push_without_losing_bytes() {
+        let mut chunker = IncrementalChunker::new(8);
+        let mut out: Vec<Bytes> = Vec::new();
+        let segs = ["aa\nbb", "\ncc\n", "dd", "ee\nff"];
+        for s in segs {
+            out.extend(chunker.push(Bytes::from(s)));
+            out.extend(chunker.flush_pending());
+        }
+        out.extend(chunker.finish());
+        let rebuilt: String = out.iter().map(|c| c.as_str().to_owned()).collect();
+        assert_eq!(rebuilt, segs.concat());
+        for c in &out[..out.len() - 1] {
             assert!(c.ends_with_newline());
         }
     }

@@ -113,27 +113,40 @@ impl SynthesizedCombiner {
     /// arrive (see [`kway::IncrementalFold`]) instead of being gathered
     /// first, so combine work overlaps with whatever produces the pieces.
     ///
-    /// The fold speculatively commits to the primary member (the one
+    /// The fold commits to the primary member (the one
     /// [`combine_all`](Self::combine_all) picks for well-formed adjacent
-    /// substreams). Raw piece *handles* are retained alongside, and if
-    /// any incremental step fails, [`IncrementalCombine::finish`] falls
-    /// back to the gather-first [`combine_all`](Self::combine_all) over
-    /// them, restoring the composite's full member-selection semantics.
+    /// substreams). Whether raw piece *handles* are retained for a
+    /// gather-first fallback depends on whether that commitment can ever
+    /// be wrong:
     ///
-    /// Memory note: the handles are refcounted slices — O(pieces) extra
-    /// *when the pieces share a buffer* (splits of one input). Pieces that
-    /// own fresh buffers (per-chunk command outputs in the streaming
-    /// barrier path) stay alive until `finish`, so a barrier stage's peak
-    /// memory is on par with the gather-first executors, not below them —
-    /// the safety net is reachable (fold-vs-gather error equality is only
-    /// proven on success paths), so the handles cannot be dropped early.
-    /// ROADMAP tracks this as streaming headroom.
+    /// * **authoritative** — a single-member composite, or a primary
+    ///   whose legal domain is universal ([`kq_dsl::domain::is_universal`]:
+    ///   `concat`/`first`/`second`/`merge`/`rerun`). The composite's
+    ///   first-member-whose-domain-admits-all-pieces rule selects the
+    ///   primary for *every* piece list, so no other member can ever be
+    ///   chosen: pieces fold in and their handles drop immediately. A
+    ///   `sort` barrier (primary `merge`) thus frees each chunk output as
+    ///   soon as it is folded into a run instead of pinning the stage's
+    ///   whole output until `finish` — the memory win the out-of-core CI
+    ///   job asserts. A fold error on this path is final (the fallback
+    ///   would re-evaluate the very same member over the same pieces);
+    /// * **selective** — a multi-member composite with a restricted
+    ///   primary domain (`wc -l`'s `[back add, fuse add]`, `uniq -c`'s
+    ///   stitches). An out-of-domain piece must switch members, which
+    ///   requires every raw piece, so handles are retained and
+    ///   [`IncrementalCombine::finish`] falls back to
+    ///   [`combine_all`](Self::combine_all) when the speculation is
+    ///   abandoned. These combiners certify aggregated (tiny) outputs, so
+    ///   the retention is bytes-cheap.
     pub fn incremental<'a>(&'a self, env: &'a dyn RunEnv) -> IncrementalCombine<'a> {
+        let authoritative =
+            self.members.len() == 1 || kq_dsl::domain::is_universal(&self.primary().op);
         IncrementalCombine {
             combiner: self,
             env,
-            raw: Vec::new(),
+            raw: (!authoritative).then(Vec::new),
             fold: Some(kway::IncrementalFold::new(self.primary(), env)),
+            failed: None,
         }
     }
 }
@@ -143,49 +156,90 @@ impl SynthesizedCombiner {
 pub struct IncrementalCombine<'a> {
     combiner: &'a SynthesizedCombiner,
     env: &'a dyn RunEnv,
-    /// Every pushed piece, kept for the gather-first fallback. Handles
-    /// only: the payload is shared with the fold.
-    raw: Vec<Bytes>,
-    /// The speculative primary-member fold; `None` after a step failed.
+    /// Raw piece handles for the gather-first fallback — `Some` only on
+    /// the *selective* path (a non-primary member could still be chosen;
+    /// see [`SynthesizedCombiner::incremental`]). `None` on the
+    /// authoritative path: each piece's handle drops as soon as the fold
+    /// has consumed it, so a barrier stage's already-combined chunk
+    /// outputs are freed instead of pinned until `finish`.
+    raw: Option<Vec<Bytes>>,
+    /// The primary-member fold; `None` after the speculation (selective
+    /// path) or the fold itself (authoritative path) failed.
     fold: Option<kway::IncrementalFold<'a>>,
+    /// The first fold error on the authoritative path, surfaced by
+    /// [`finish`](Self::finish) — with no raw handles there is no
+    /// fallback, and none is needed: the fallback would re-evaluate the
+    /// same (unconditionally selected) member over the same pieces.
+    failed: Option<EvalError>,
 }
 
 impl IncrementalCombine<'_> {
-    /// Folds in the next substream. Never fails: a combine error merely
-    /// disables the speculative fold, and [`finish`](Self::finish) takes
-    /// the gather-first path instead.
+    /// Folds in the next substream. Never fails: an error either defers
+    /// to [`finish`](Self::finish) (authoritative path) or disables the
+    /// speculation so `finish` takes the gather-first fallback
+    /// (selective path).
     pub fn push(&mut self, piece: Bytes) {
-        if let Some(fold) = &mut self.fold {
-            // Committing to the primary member is sound only under the
-            // condition [`combine_all`](SynthesizedCombiner::combine_all)
-            // would select it: every piece lies in its legal domain. An
-            // out-of-domain piece might still *evaluate* cleanly at the
-            // boundaries the fold touches while the composite would have
-            // chosen another member — so the domain check, not evaluation
-            // success, gates the speculation. Single-member composites
-            // skip the scan: selection is unconditional there.
-            let multi = self.combiner.members.len() > 1;
-            let primary = self.combiner.primary();
-            let admissible = !multi
-                || piece.is_empty()
-                || piece
-                    .to_str()
-                    .is_ok_and(|s| domain::in_domain(&primary.op, s));
-            if !admissible || fold.push(piece.clone()).is_err() {
-                self.fold = None;
+        match &mut self.raw {
+            None => {
+                // Authoritative: the primary is combine_all's selection
+                // for any piece list; fold and drop the handle.
+                if let Some(fold) = &mut self.fold {
+                    if let Err(e) = fold.push(piece) {
+                        self.failed = Some(e);
+                        self.fold = None;
+                    }
+                }
+            }
+            Some(raw) => {
+                if let Some(fold) = &mut self.fold {
+                    // Committing to the primary member is sound only under
+                    // the condition
+                    // [`combine_all`](SynthesizedCombiner::combine_all)
+                    // would select it: every piece lies in its legal
+                    // domain. An out-of-domain piece might still
+                    // *evaluate* cleanly at the boundaries the fold
+                    // touches while the composite would have chosen
+                    // another member — so the domain check, not
+                    // evaluation success, gates the speculation.
+                    let primary = self.combiner.primary();
+                    let admissible = piece.is_empty()
+                        || piece
+                            .to_str()
+                            .is_ok_and(|s| domain::in_domain(&primary.op, s));
+                    if !admissible || fold.push(piece.clone()).is_err() {
+                        self.fold = None;
+                    }
+                }
+                raw.push(piece);
             }
         }
-        self.raw.push(piece);
+    }
+
+    /// Number of raw piece handles currently retained for the
+    /// gather-first fallback: always `0` on the authoritative path (the
+    /// memory-parity property the streaming barrier collectors rely on),
+    /// the pushed piece count on the selective path.
+    pub fn retained_handles(&self) -> usize {
+        self.raw.as_ref().map_or(0, Vec::len)
     }
 
     /// Settles into the combined stream.
     pub fn finish(self) -> Result<Bytes, EvalError> {
-        if let Some(fold) = self.fold {
-            if let Ok(combined) = fold.finish() {
-                return Ok(combined);
+        match self.raw {
+            None => match (self.fold, self.failed) {
+                (Some(fold), None) => fold.finish(),
+                (_, Some(e)) => Err(e),
+                (None, None) => unreachable!("fold disabled without a recorded error"),
+            },
+            Some(raw) => {
+                if let Some(fold) = self.fold {
+                    if let Ok(combined) = fold.finish() {
+                        return Ok(combined);
+                    }
+                }
+                self.combiner.combine_all(&raw, self.env)
             }
         }
-        self.combiner.combine_all(&self.raw, self.env)
     }
 }
 
@@ -245,6 +299,77 @@ mod tests {
             swapped: true,
         }]);
         assert!(!s.is_concat());
+    }
+
+    #[test]
+    fn authoritative_incremental_folds_retain_no_handles() {
+        use kq_dsl::eval::{EvalError, RunEnv};
+        struct MergeEnv;
+        impl RunEnv for MergeEnv {
+            fn rerun(&self, input: &str) -> Result<String, EvalError> {
+                Ok(input.to_owned())
+            }
+            fn merge(&self, _flags: &[String], streams: &[&str]) -> Result<String, EvalError> {
+                kq_coreutils::sort::merge_streams(&[], streams)
+                    .map_err(|e| EvalError::Command(e.to_string()))
+            }
+        }
+        // A sort-shaped composite: [merge, rerun] — multi-member, but the
+        // primary's domain is universal, so the primary is always
+        // selected and no fallback handles may be kept.
+        let s = SynthesizedCombiner::from_plausible(vec![
+            Candidate::run(RunOp::Merge(vec![])),
+            Candidate::run(RunOp::Rerun),
+        ]);
+        let pieces: Vec<Bytes> = ["b\nd\n", "a\nc\n", "e\n"]
+            .iter()
+            .map(|p| Bytes::from(*p))
+            .collect();
+        let mut inc = s.incremental(&MergeEnv);
+        for p in &pieces {
+            inc.push(p.clone());
+            assert_eq!(inc.retained_handles(), 0, "merge path must not pin pieces");
+        }
+        let expect = s.combine_all(&pieces, &MergeEnv).unwrap();
+        assert_eq!(inc.finish().unwrap(), expect);
+        // Single-member composites are authoritative whatever the domain.
+        let s = SynthesizedCombiner::from_plausible(vec![Candidate::structural(StructOp::Stitch(
+            RecOp::First,
+        ))]);
+        let mut inc = s.incremental(&NoRunEnv);
+        inc.push(Bytes::from("a\nb\n"));
+        inc.push(Bytes::from("b\nc\n"));
+        assert_eq!(inc.retained_handles(), 0);
+        assert_eq!(inc.finish().unwrap(), "a\nb\nc\n");
+    }
+
+    #[test]
+    fn selective_incremental_folds_keep_the_fallback() {
+        // wc -l-shaped composite: [back add, fuse add] — restricted
+        // primary domain, so an out-of-domain piece must be able to
+        // switch members over the full raw piece list.
+        let s = SynthesizedCombiner::from_plausible(vec![
+            Candidate::rec(RecOp::Back(Delim::Newline, Box::new(RecOp::Add))),
+            Candidate::rec(RecOp::Fuse(Delim::Newline, Box::new(RecOp::Add))),
+        ]);
+        let pieces = vec![Bytes::from("3\n"), Bytes::from("4\n"), Bytes::from("5\n")];
+        let mut inc = s.incremental(&NoRunEnv);
+        for p in &pieces {
+            inc.push(p.clone());
+        }
+        assert_eq!(inc.retained_handles(), pieces.len());
+        assert_eq!(inc.finish().unwrap(), "12\n");
+        // Pieces outside the primary's domain but inside the second
+        // member's ("3\n4" has no trailing newline, so `back` rejects it
+        // while `fuse` admits it): the speculation is abandoned and the
+        // fallback must reproduce combine_all's member switch.
+        let odd = vec![Bytes::from("3\n4"), Bytes::from("5\n6")];
+        let expect = s.combine_all(&odd, &NoRunEnv).unwrap();
+        let mut inc = s.incremental(&NoRunEnv);
+        for p in &odd {
+            inc.push(p.clone());
+        }
+        assert_eq!(inc.finish().unwrap(), expect);
     }
 
     #[test]

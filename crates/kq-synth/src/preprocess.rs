@@ -75,6 +75,21 @@ impl Preprocessed {
     }
 }
 
+/// The prefix bound a command certifies for the execution planner:
+/// `Some(k)` when its output depends only on the first `k` complete lines
+/// of its standard input (`head -n k`, `sed kq`), `None` otherwise.
+///
+/// This is the planning-side twin of the [`Preprocessed::line_hint`]
+/// extraction: the *hint* biases generated input sizes so synthesis
+/// exercises the boundary (and deliberately widens `head -n 1` to at
+/// least two lines), while the *bound* is the exact early-exit contract
+/// the streaming executor cancels upstream work against — it must never
+/// be widened or guessed, so it comes straight from the parsed command
+/// ([`Command::line_bound`]) rather than from the literal scan.
+pub fn prefix_bound(command: &Command) -> Option<usize> {
+    command.line_bound()
+}
+
 /// The probe file names written by [`ensure_probe_files`]; these populate
 /// the `FileNames` dictionary.
 pub const PROBE_FILES: [&str; 4] = [
@@ -345,6 +360,22 @@ mod tests {
         assert_eq!(pre("head -n 3").line_hint, Some(3));
         assert_eq!(pre("head -15").line_hint, Some(15));
         assert_eq!(pre("tail +2").line_hint, Some(2));
+    }
+
+    #[test]
+    fn prefix_bound_is_exact_where_the_hint_is_fuzzed() {
+        // The generation hint widens head -n 1 to 2 (boundary coverage);
+        // the execution bound must stay exactly 1. And the hint fires for
+        // commands that are NOT prefix-bounded (sed 1d, tail +2) — the
+        // bound must not.
+        let bound = |line: &str| prefix_bound(&parse_command(line).unwrap());
+        assert_eq!(bound("head -n 1"), Some(1));
+        assert_eq!(pre("head -n 1").line_hint, Some(2));
+        assert_eq!(bound("sed 100q"), Some(100));
+        assert_eq!(bound("sed 1d"), None);
+        assert_eq!(pre("sed 1d").line_hint, Some(1));
+        assert_eq!(bound("tail +2"), None);
+        assert_eq!(bound("grep x"), None);
     }
 
     #[test]

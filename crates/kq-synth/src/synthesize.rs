@@ -50,6 +50,7 @@ use kq_dsl::eval::CommandEnv;
 use kq_dsl::{enumerate_candidates, plausible, EnumConfig, Observation, SpaceBreakdown};
 use rand::rngs::SmallRng;
 use rand::SeedableRng;
+use std::collections::HashSet;
 use std::time::{Duration, Instant};
 
 /// Synthesis tuning knobs.
@@ -174,6 +175,11 @@ pub fn synthesize(
     let env = CommandEnv { command, ctx };
 
     let mut observations: Vec<Observation> = Vec::new();
+    // Cross-round dedup: every observation ever kept, hashed. Replaces
+    // the former O(n²) `observations.contains` scan per candidate
+    // observation (ROADMAP headroom) with one set probe; the retained
+    // sequence is identical (see `hashed_dedup_matches_quadratic_scan`).
+    let mut seen: HashSet<Observation> = HashSet::new();
     let mut counterexample: Option<(String, String)> = None;
     let mut rounds = 0;
     let mut stalled = 0;
@@ -207,6 +213,7 @@ pub fn synthesize(
             &mut rng,
             &mut alive,
             &mut observations,
+            &mut seen,
             &mut counterexample,
             &env,
             &pool,
@@ -256,6 +263,7 @@ fn gradient_round(
     rng: &mut SmallRng,
     alive: &mut Vec<Candidate>,
     observations: &mut Vec<Observation>,
+    seen: &mut HashSet<Observation>,
     counterexample: &mut Option<(String, String)>,
     env: &CommandEnv<'_>,
     pool: &SynthPool,
@@ -280,6 +288,8 @@ fn gradient_round(
 
         // Phase 3 — dedup (serial, ordered): keep first occurrences only,
         // recording which span of the fresh list each mutation produced.
+        // The seen-set spans rounds, so one probe covers both "already in
+        // the cumulative list" and "already fresh this round".
         let mut fresh: Vec<Observation> = Vec::new();
         let mut fresh_pairs: Vec<(String, String)> = Vec::new();
         let mut spans: Vec<std::ops::Range<usize>> = Vec::with_capacity(shapes.len());
@@ -288,7 +298,7 @@ fn gradient_round(
             let start = fresh.len();
             while cursor < pairs.len() && pairs[cursor].0 == mi {
                 if let Some(obs) = &observed[cursor] {
-                    if !observations.contains(obs) && !fresh.contains(obs) {
+                    if note_fresh(seen, obs) {
                         fresh.push(obs.clone());
                         let (_, x1, x2) = &pairs[cursor];
                         fresh_pairs.push((x1.clone(), x2.clone()));
@@ -357,6 +367,22 @@ fn gradient_round(
             let all = Mutation::all();
             shape = shape.mutate(all[rng.gen_range(0..all.len())]);
         }
+    }
+}
+
+/// Records `obs` in the cross-round seen-set, returning whether it is
+/// fresh (its first occurrence). This is the hashed replacement for the
+/// quadratic `Vec::contains` scan the dedup phase used to run per
+/// observation: the set keys on the observation's content hash and
+/// resolves collisions by full equality, so the retained sequence —
+/// order included — is exactly the quadratic scan's (pinned by
+/// `hashed_dedup_matches_quadratic_scan`).
+fn note_fresh(seen: &mut HashSet<Observation>, obs: &Observation) -> bool {
+    if seen.contains(obs) {
+        false
+    } else {
+        seen.insert(obs.clone());
+        true
     }
 }
 
@@ -570,6 +596,39 @@ mod tests {
         let r = synthesize(&command, &ctx, &SynthesisConfig::default());
         assert!(r.combiner().is_none());
         assert_eq!(r.observations, 0);
+    }
+
+    #[test]
+    fn hashed_dedup_matches_quadratic_scan() {
+        // A duplicate-heavy observation stream (23×11 distinct among 600):
+        // the hashed seen-set must retain exactly what the replaced
+        // quadratic `contains` scan retained, in the same order.
+        let stream: Vec<Observation> = (0..600)
+            .map(|i| {
+                let y1 = format!("{}\n", i % 23);
+                let y2 = format!("{}\n", (i * 7) % 11);
+                let y12 = format!("{y1}{y2}");
+                Observation::new(y1, y2, y12)
+            })
+            .collect();
+        let mut seen = HashSet::new();
+        let mut hashed: Vec<Observation> = Vec::new();
+        let mut quadratic: Vec<Observation> = Vec::new();
+        for obs in &stream {
+            if note_fresh(&mut seen, obs) {
+                hashed.push(obs.clone());
+            }
+            if !quadratic.contains(obs) {
+                quadratic.push(obs.clone());
+            }
+        }
+        assert_eq!(hashed, quadratic);
+        assert!(
+            hashed.len() < stream.len() / 2,
+            "the stream must actually contain duplicates"
+        );
+        // Replaying the whole stream finds nothing fresh.
+        assert!(stream.iter().all(|o| !note_fresh(&mut seen, o)));
     }
 
     #[test]
