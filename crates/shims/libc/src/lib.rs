@@ -38,6 +38,13 @@ pub const MADV_SEQUENTIAL: c_int = 2;
 /// faults them back in from the file.
 pub const MADV_DONTNEED: c_int = 4;
 
+/// `flock` operation: shared (reader) lock.
+pub const LOCK_SH: c_int = 1;
+/// `flock` operation: exclusive (writer) lock.
+pub const LOCK_EX: c_int = 2;
+/// `flock` operation: release the lock.
+pub const LOCK_UN: c_int = 8;
+
 #[cfg(unix)]
 extern "C" {
     /// Maps `len` bytes of the object behind `fd` at `offset` into the
@@ -58,6 +65,13 @@ extern "C" {
     /// Returns 0 on success, -1 on error (advice is best-effort; callers
     /// here ignore failures).
     pub fn madvise(addr: *mut c_void, len: size_t, advice: c_int) -> c_int;
+
+    /// Applies or removes an advisory lock on the open file behind `fd`
+    /// ([`LOCK_SH`]/[`LOCK_EX`]/[`LOCK_UN`]; blocks until granted).
+    /// Advisory: only other `flock` callers observe it. The lock rides
+    /// the *open file description*, so closing the fd releases it.
+    /// Returns 0 on success, -1 on error.
+    pub fn flock(fd: c_int, operation: c_int) -> c_int;
 }
 
 #[cfg(all(test, unix))]
@@ -81,6 +95,37 @@ mod tests {
             let bytes = std::slice::from_raw_parts(ptr as *const u8, len);
             assert_eq!(bytes, b"hello mapped world\n");
             assert_eq!(munmap(ptr, len), 0);
+        }
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn flock_round_trip_and_exclusion() {
+        use std::os::unix::io::AsRawFd;
+        let path = std::env::temp_dir().join(format!("libc-shim-flock-{}", std::process::id()));
+        std::fs::write(&path, b"lock me\n").unwrap();
+        let a = std::fs::File::open(&path).unwrap();
+        let b = std::fs::File::open(&path).unwrap();
+        unsafe {
+            assert_eq!(flock(a.as_raw_fd(), LOCK_EX), 0);
+            // A second shared lock on another descriptor must block, so
+            // prove exclusion from a thread that only succeeds after the
+            // unlock below.
+            let (tx, rx) = std::sync::mpsc::channel::<()>();
+            let fd_b = b.as_raw_fd();
+            let t = std::thread::spawn(move || {
+                assert_eq!(flock(fd_b, LOCK_SH), 0);
+                tx.send(()).unwrap();
+                flock(fd_b, LOCK_UN);
+            });
+            // Blocked while we hold the exclusive lock.
+            assert!(rx
+                .recv_timeout(std::time::Duration::from_millis(100))
+                .is_err());
+            assert_eq!(flock(a.as_raw_fd(), LOCK_UN), 0);
+            rx.recv_timeout(std::time::Duration::from_secs(10))
+                .expect("shared lock must be granted after unlock");
+            t.join().unwrap();
         }
         std::fs::remove_file(&path).ok();
     }
