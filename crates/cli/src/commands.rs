@@ -73,7 +73,7 @@ USAGE:
         the output/input shrink ratio, in (0, 1], below which a
         rerun-combiner stage still parallelizes (default 0.5).
     kumquat run <script|file> [--workers N] [--no-opt] [--var ...]
-                               [--exec static|chunked|streaming]
+                               [--exec static|chunked|streaming|dataflow]
                                [--chunk-kb N] [--queue-depth N]
                                [--mmap auto|on|off] [--no-verify]
                                [--synth-workers N] [--combiner-cache FILE]
@@ -90,8 +90,13 @@ USAGE:
         pipelines stages through bounded chunk queues so a stage starts
         before its predecessor finishes, and cancels upstream work early
         once a prefix-bounded consumer (head -n k, sed kq) is satisfied
-        (reported as 'early-exit: ... after M chunk(s)'). (--executor is
-        accepted as an alias for --exec.)
+        (reported as 'early-exit: ... after M chunk(s)'). The dataflow
+        executor compiles every statement to a dataflow graph and runs
+        the whole script on one shared work-stealing pool of exactly
+        --workers threads: independent statements overlap, dependent ones
+        (linked by > file redirects) wait, and early exit also drops
+        chunks already queued upstream. (--executor is accepted as an
+        alias for --exec.)
     kumquat emit <script|file> [--workers N] [--no-opt] [--out FILE]
         Compile the script into a runnable POSIX shell script that uses
         the real Unix commands plus the synthesized combiners.
@@ -380,13 +385,33 @@ fn cmd_run(args: &ParsedArgs) -> Result<CliOutput, String> {
             kq_pipeline::run_streaming(&planned.script, &planned.plan, &planned.ctx, &opts)
                 .map_err(|e| e.to_string())?
         }
+        "dataflow" => {
+            let opts = kq_pipeline::DataflowOptions {
+                workers,
+                chunk_bytes,
+                queue_depth,
+                fuse_streamable: honor,
+            };
+            kq_pipeline::run_dataflow(&planned.script, &planned.plan, &planned.ctx, &opts)
+                .map_err(|e| e.to_string())?
+        }
         other => {
             return Err(format!(
-                "--exec must be 'static', 'chunked', or 'streaming', got {other:?}"
+                "--exec must be 'static', 'chunked', 'streaming', or 'dataflow', got {other:?}"
             ))
         }
     };
     let mut notes = planned.notes;
+    // Worker accounting: the dataflow executor runs the whole script —
+    // every statement, segment, and fold — on one fixed pool, so the
+    // thread budget is exactly `--workers` regardless of statement count.
+    // (CI greps this line in its multi-statement smoke.)
+    if executor == "dataflow" {
+        notes.push(format!(
+            "dataflow: {} statement(s) share one work-stealing pool of {workers} worker thread(s)",
+            planned.script.statements.len()
+        ));
+    }
     // Early-exit ledger: a prefix-bounded stage (head -n k / sed kq) that
     // satisfied its demand before end-of-input reports how little it
     // consumed (streaming executor only). The stage number comes from the
@@ -726,6 +751,73 @@ mod tests {
             !chunked.notes.iter().any(|n| n.starts_with("early-exit:")),
             "notes: {:?}",
             chunked.notes
+        );
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn run_with_dataflow_executor() {
+        let dir = std::env::temp_dir().join(format!("kq-cli-dataflow-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let input = dir.join("w.txt");
+        std::fs::write(&input, "b x\na y\nb z\n".repeat(60)).unwrap();
+        // Two statements: the second reads the first's redirect target, so
+        // the scheduler must order them; both run on the one shared pool.
+        let script = format!(
+            "cat {inp} | cut -d ' ' -f 1 | sort > {tmp}\ncat {tmp} | uniq -c | sort -rn",
+            inp = input.display(),
+            tmp = dir.join("sorted.txt").display()
+        );
+        let run = call(&[
+            "run",
+            &script,
+            "--workers",
+            "2",
+            "--exec",
+            "dataflow",
+            "--chunk-kb",
+            "1",
+            "--queue-depth",
+            "2",
+        ])
+        .unwrap();
+        assert!(run.stdout.contains(" b\n"), "got: {}", run.stdout);
+        assert!(
+            run.notes
+                .iter()
+                .any(|n| n
+                    .contains("2 statement(s) share one work-stealing pool of 2 worker thread(s)")),
+            "notes: {:?}",
+            run.notes
+        );
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn dataflow_head_pipeline_reports_early_exit() {
+        let dir = std::env::temp_dir().join(format!("kq-cli-dfearly-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let input = dir.join("w.txt");
+        std::fs::write(&input, "b x\na y\nb z\nc w\n".repeat(4000)).unwrap();
+        let script = format!("cat {} | grep b | head -n 1", input.display());
+        let run = call(&[
+            "run",
+            &script,
+            "--exec",
+            "dataflow",
+            "--chunk-kb",
+            "1",
+            "--workers",
+            "2",
+        ])
+        .unwrap();
+        assert_eq!(run.stdout, "b x\n");
+        assert!(
+            run.notes
+                .iter()
+                .any(|n| n.starts_with("early-exit:") && n.contains("head -n 1")),
+            "notes: {:?}",
+            run.notes
         );
         std::fs::remove_dir_all(&dir).ok();
     }

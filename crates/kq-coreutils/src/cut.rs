@@ -5,7 +5,16 @@
 //! output order follows the input (`cut -d, -f3,1` prints field 1 then 3);
 //! lines *without* the delimiter are printed whole in field mode; attached
 //! option forms (`-d: -f1`) parse like the detached ones.
+//!
+//! When the LIST normalizes to a **single contiguous range** — the common
+//! corpus shape (`-f 1`, `-f 2`, `-c 1-8`) — each line's selection is one
+//! contiguous byte span of the input, so `cut` takes the same byte fast
+//! path as `grep`: spans are emitted as coalesced sub-slices of the input
+//! [`Bytes`] (selecting everything returns the input handle). Multi-range
+//! lists and the synthesized `'\n'` after a clipped line fall back to /
+//! interleave with the line-at-a-time oracle ([`CutCmd::run_reference`]).
 
+use crate::fastpath::SliceRuns;
 use crate::{Bytes, CmdError, ExecContext, UnixCommand};
 
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -137,47 +146,157 @@ impl CutCmd {
     }
 }
 
+impl CutCmd {
+    /// The single contiguous selection range `(lo, hi)` when the fast
+    /// path applies: one merged range, and (in field mode) an ASCII
+    /// delimiter so it can be searched bytewise.
+    fn single_range(&self) -> Option<(usize, usize)> {
+        let list = match &self.mode {
+            Mode::Chars(list) => list,
+            Mode::Fields { delim, list } => {
+                if !delim.is_ascii() {
+                    return None;
+                }
+                list
+            }
+        };
+        match list.ranges.as_slice() {
+            [(lo, hi)] => Some((*lo, *hi)),
+            _ => None,
+        }
+    }
+
+    /// The slice fast path: for a single-range LIST every line's
+    /// selection is one contiguous byte span, emitted as coalesced
+    /// sub-slices of `input`. `text` must be the UTF-8 view of `input`.
+    fn run_single_range_slices(&self, input: &Bytes, text: &str, lo: usize, hi: usize) -> Bytes {
+        let newline = Bytes::from("\n");
+        let bytes = text.as_bytes();
+        let len = bytes.len();
+        let mut runs = SliceRuns::new(input);
+        let mut pos = 0usize;
+        while pos < len {
+            let (line_end, next) = match bytes[pos..].iter().position(|&b| b == b'\n') {
+                Some(i) => (pos + i, pos + i + 1),
+                None => (len, len),
+            };
+            let line = &bytes[pos..line_end];
+            // The selected span, relative to the line; None = no field
+            // `lo` exists (GNU prints an empty line).
+            let span: Option<(usize, usize)> = match &self.mode {
+                Mode::Fields { delim, .. } => {
+                    let d = *delim as u8;
+                    let mut dcount = 0usize;
+                    let mut start = (lo == 1).then_some(0);
+                    let mut end = line.len();
+                    for (i, &b) in line.iter().enumerate() {
+                        if b == d {
+                            dcount += 1;
+                            if dcount + 1 == lo {
+                                start = Some(i + 1);
+                            }
+                            if dcount == hi {
+                                end = i;
+                                break;
+                            }
+                        }
+                    }
+                    if dcount == 0 {
+                        // Delimiter-free lines pass through whole.
+                        Some((0, line.len()))
+                    } else {
+                        start.map(|s| (s, end))
+                    }
+                }
+                Mode::Chars(_) => {
+                    if !line.is_ascii() {
+                        // Char positions ≠ byte positions: defer to the
+                        // oracle for this line, interleaved as a literal.
+                        let selected: String = std::str::from_utf8(line)
+                            .expect("line of a str is valid UTF-8")
+                            .chars()
+                            .skip(lo - 1)
+                            .take(hi - lo + 1)
+                            .collect();
+                        runs.lit(Bytes::from(selected));
+                        runs.lit(newline.clone());
+                        pos = next;
+                        continue;
+                    }
+                    if lo > line.len() {
+                        None
+                    } else {
+                        Some((lo - 1, hi.min(line.len())))
+                    }
+                }
+            };
+            match span {
+                None => runs.lit(newline.clone()),
+                Some((s, e)) => {
+                    runs.keep(pos + s..pos + e);
+                    if e == line.len() && next > line_end {
+                        // The span reaches the newline: slice through it.
+                        runs.keep(line_end..next);
+                    } else {
+                        runs.lit(newline.clone());
+                    }
+                }
+            }
+            pos = next;
+        }
+        runs.finish()
+    }
+
+    /// The line-at-a-time implementation — the real path for multi-range
+    /// lists and the oracle the differential tests compare the slice path
+    /// against.
+    #[doc(hidden)]
+    pub fn run_reference(&self, input: &str) -> String {
+        let mut out = String::with_capacity(input.len());
+        for line in kq_stream::lines_of(input) {
+            match &self.mode {
+                Mode::Chars(list) => {
+                    for (i, c) in line.chars().enumerate() {
+                        if list.contains(i + 1) {
+                            out.push(c);
+                        }
+                    }
+                }
+                Mode::Fields { delim, list } => {
+                    if !line.contains(*delim) {
+                        // GNU: delimiter-free lines pass through whole.
+                        out.push_str(line);
+                    } else {
+                        let mut first = true;
+                        for (i, field) in line.split(*delim).enumerate() {
+                            if list.contains(i + 1) {
+                                if !first {
+                                    out.push(*delim);
+                                }
+                                out.push_str(field);
+                                first = false;
+                            }
+                        }
+                    }
+                }
+            }
+            out.push('\n');
+        }
+        out
+    }
+}
+
 impl UnixCommand for CutCmd {
     fn display(&self) -> String {
         self.display.clone()
     }
 
     fn run(&self, input: Bytes, _ctx: &ExecContext) -> Result<Bytes, CmdError> {
-        let input = crate::input_str(&input, "cut")?;
-        let text = || -> Result<String, CmdError> {
-            let mut out = String::with_capacity(input.len());
-            for line in kq_stream::lines_of(input) {
-                match &self.mode {
-                    Mode::Chars(list) => {
-                        for (i, c) in line.chars().enumerate() {
-                            if list.contains(i + 1) {
-                                out.push(c);
-                            }
-                        }
-                    }
-                    Mode::Fields { delim, list } => {
-                        if !line.contains(*delim) {
-                            // GNU: delimiter-free lines pass through whole.
-                            out.push_str(line);
-                        } else {
-                            let mut first = true;
-                            for (i, field) in line.split(*delim).enumerate() {
-                                if list.contains(i + 1) {
-                                    if !first {
-                                        out.push(*delim);
-                                    }
-                                    out.push_str(field);
-                                    first = false;
-                                }
-                            }
-                        }
-                    }
-                }
-                out.push('\n');
-            }
-            Ok(out)
-        };
-        text().map(Bytes::from)
+        let text = crate::input_str(&input, "cut")?;
+        if let Some((lo, hi)) = self.single_range() {
+            return Ok(self.run_single_range_slices(&input, text, lo, hi));
+        }
+        Ok(Bytes::from(self.run_reference(text)))
     }
 }
 
@@ -254,5 +373,85 @@ mod tests {
         assert!(parse_command("cut -d ',' -c 1").is_err());
         assert!(parse_command("cut -d ab -f 1").is_err());
         assert!(parse_command("cut -c 4-2").is_err());
+    }
+
+    fn cut(line: &str) -> CutCmd {
+        let words = crate::split_words(line).unwrap();
+        CutCmd::parse(&words[1..]).unwrap()
+    }
+
+    #[test]
+    fn select_everything_is_a_refcount_bump() {
+        // `-c 1-` keeps every character of every line: pure slicing.
+        let input = Bytes::from("abc\ndef\n");
+        let out = cut("cut -c 1-")
+            .run(input.clone(), &ExecContext::default())
+            .unwrap();
+        assert_eq!(out, input);
+        assert!(
+            out.shares_buffer(&input),
+            "full selection must be the input slice, not a copy"
+        );
+    }
+
+    #[test]
+    fn trailing_field_selection_slices_through_newlines() {
+        // `-f 2-` on two-field lines keeps a suffix of every line plus its
+        // newline; runs stay sub-slices of the input buffer.
+        let input = Bytes::from("k1,v1\nk2,v2\n");
+        let out = cut("cut -d, -f2-")
+            .run(input.clone(), &ExecContext::default())
+            .unwrap();
+        assert_eq!(out, "v1\nv2\n");
+    }
+
+    #[test]
+    fn single_range_slice_path_agrees_with_reference_on_edge_cases() {
+        let cases = [
+            "",
+            "\n",
+            "a\n",
+            "a,b,c\n",
+            "plain\na,b\n",
+            "a,b",
+            ",\n,,\n",
+            "x,\n,y\n",
+            "caf\u{e9},th\u{e9}\n",
+            "\u{3b1}\u{3b2}\u{3b3}\n",
+            "one two three\nfour\n",
+        ];
+        for cmd_line in [
+            "cut -d ',' -f 1",
+            "cut -d ',' -f 2",
+            "cut -d ',' -f 2-",
+            "cut -d ',' -f -2",
+            "cut -d ',' -f 5",
+            "cut -c 1-2",
+            "cut -c 2-",
+            "cut -c 3",
+            "cut -c 10",
+        ] {
+            let c = cut(cmd_line);
+            assert!(
+                c.single_range().is_some(),
+                "{cmd_line} should take the fast path"
+            );
+            for input in cases {
+                let fast = c.run(Bytes::from(input), &ExecContext::default()).unwrap();
+                assert_eq!(
+                    fast.as_str(),
+                    c.run_reference(input),
+                    "{cmd_line:?} diverged on {input:?}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn multi_range_lists_stay_off_the_fast_path() {
+        assert!(cut("cut -d ',' -f 1,3").single_range().is_none());
+        assert!(cut("cut -c 1,5-6").single_range().is_none());
+        // Adjacent list elements merge into one range: still fast.
+        assert!(cut("cut -d ',' -f 1,2").single_range().is_some());
     }
 }

@@ -34,6 +34,7 @@ pub mod comm;
 pub mod cut;
 pub mod external;
 pub mod extras;
+mod fastpath;
 pub mod grep;
 pub mod headtail;
 pub mod multi;

@@ -8,7 +8,15 @@
 //!
 //! Flags: any combination of `-c` (complement SET1), `-d` (delete), and
 //! `-s` (squeeze), including the combined forms `-cs`, `-sc`, `-ds`.
+//!
+//! Pure deletion (`tr -d`, `tr -cd` — no squeeze, ASCII SET1) takes a
+//! **byte fast path** like `grep`'s: kept bytes are emitted as coalesced
+//! sub-slice runs of the input [`Bytes`] (a delete that removes nothing
+//! returns the input handle, zero copies). The character-at-a-time
+//! implementation remains for translate/squeeze and as the oracle
+//! ([`TrCmd::run_reference`]) the differential tests compare against.
 
+use crate::fastpath::SliceRuns;
 use crate::{Bytes, CmdError, ExecContext, UnixCommand};
 
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -315,112 +323,159 @@ fn shell_quote(s: &str) -> String {
     }
 }
 
+impl TrCmd {
+    /// True when the output is a byte subsequence of the input: pure
+    /// deletion (no squeeze pass, no translation) over an ASCII SET1, so
+    /// keep/delete is decidable per byte (every byte of a multi-byte
+    /// UTF-8 character is ≥ 0x80 and shares the character's fate).
+    fn deletes_verbatim(&self) -> bool {
+        self.delete && !self.squeeze && self.set1.iter().all(|c| c.is_ascii())
+    }
+
+    /// The slice fast path for [`TrCmd::deletes_verbatim`] commands:
+    /// scans bytes and emits kept bytes as coalesced sub-slice runs of
+    /// `input`. `text` must be the UTF-8 view of `input` (same indices).
+    fn run_delete_slices(&self, input: &Bytes, text: &str) -> Bytes {
+        let mut keep = [false; 256];
+        for (b, k) in keep.iter_mut().enumerate() {
+            // Non-ASCII bytes belong to non-ASCII characters, which are
+            // outside an ASCII SET1: kept unless SET1 is complemented.
+            *k = if b < 128 {
+                self.set1.contains(&(b as u8 as char)) == self.complement
+            } else {
+                !self.complement
+            };
+        }
+        let mut runs = SliceRuns::new(input);
+        let mut run_start: Option<usize> = None;
+        for (i, &b) in text.as_bytes().iter().enumerate() {
+            if keep[b as usize] {
+                run_start.get_or_insert(i);
+            } else if let Some(s) = run_start.take() {
+                runs.keep(s..i);
+            }
+        }
+        if let Some(s) = run_start.take() {
+            runs.keep(s..text.len());
+        }
+        runs.finish()
+    }
+
+    /// The character-at-a-time implementation — the real path for
+    /// translate/squeeze and the oracle the differential tests compare
+    /// the slice path against.
+    #[doc(hidden)]
+    pub fn run_reference(&self, input: &str) -> String {
+        let set1 = CharSet::from_chars(&self.set1);
+        let in_set1 = |c: char| set1.contains(c) != self.complement;
+
+        let mut out = String::with_capacity(input.len());
+        if self.delete {
+            // Delete members of (complemented) SET1; with -s also squeeze
+            // SET2 members afterwards.
+            let squeeze_set = if self.squeeze {
+                Some(CharSet::from_chars(&expand_set1(&self.set2_items)))
+            } else {
+                None
+            };
+            let mut prev: Option<char> = None;
+            for c in input.chars() {
+                if in_set1(c) {
+                    continue;
+                }
+                if let Some(sq) = &squeeze_set {
+                    if sq.contains(c) && prev == Some(c) {
+                        continue;
+                    }
+                }
+                out.push(c);
+                prev = Some(c);
+            }
+            return out;
+        }
+
+        if self.set2_items.is_empty() {
+            // Pure squeeze of SET1 members.
+            let mut prev: Option<char> = None;
+            for c in input.chars() {
+                if in_set1(c) && prev == Some(c) {
+                    continue;
+                }
+                out.push(c);
+                prev = Some(c);
+            }
+            return out;
+        }
+
+        // Translate (then optionally squeeze SET2 members). With -c, GNU
+        // builds the complement of SET1 in ascending character order and
+        // maps it element-wise onto SET2 (padded with its last character).
+        let mut table = [0u32; 128];
+        for (i, b) in table.iter_mut().enumerate() {
+            *b = i as u32;
+        }
+        let (set2, fallback) = if self.complement {
+            let comp: Vec<char> = (0u32..128)
+                .filter_map(char::from_u32)
+                .filter(|&c| !set1.contains(c))
+                .collect();
+            let set2 = expand_set2(&self.set2_items, comp.len().max(1));
+            let fallback = *set2.last().expect("SET2 cannot be empty here");
+            for (i, &c) in comp.iter().enumerate() {
+                table[c as usize] = set2[i.min(set2.len() - 1)] as u32;
+            }
+            (set2, fallback)
+        } else {
+            let set2 = expand_set2(&self.set2_items, self.set1.len().max(1));
+            let fallback = *set2.last().expect("SET2 cannot be empty here");
+            for (i, &c) in self.set1.iter().enumerate() {
+                if (c as u32) < 128 {
+                    table[c as usize] = set2[i.min(set2.len() - 1)] as u32;
+                }
+            }
+            (set2, fallback)
+        };
+        let translate = |c: char| -> char {
+            if (c as u32) < 128 {
+                char::from_u32(table[c as usize]).unwrap_or(c)
+            } else if self.complement {
+                // Non-ASCII characters are outside every corpus SET1.
+                fallback
+            } else {
+                c
+            }
+        };
+        let squeeze_set = if self.squeeze {
+            Some(CharSet::from_chars(&set2))
+        } else {
+            None
+        };
+        let mut prev: Option<char> = None;
+        for c in input.chars() {
+            let t = translate(c);
+            if let Some(sq) = &squeeze_set {
+                if sq.contains(t) && prev == Some(t) {
+                    continue;
+                }
+            }
+            out.push(t);
+            prev = Some(t);
+        }
+        out
+    }
+}
+
 impl UnixCommand for TrCmd {
     fn display(&self) -> String {
         self.display.clone()
     }
 
     fn run(&self, input: Bytes, _ctx: &ExecContext) -> Result<Bytes, CmdError> {
-        let input = crate::input_str(&input, "tr")?;
-        let text = || -> Result<String, CmdError> {
-            let set1 = CharSet::from_chars(&self.set1);
-            let in_set1 = |c: char| set1.contains(c) != self.complement;
-
-            let mut out = String::with_capacity(input.len());
-            if self.delete {
-                // Delete members of (complemented) SET1; with -s also squeeze
-                // SET2 members afterwards.
-                let squeeze_set = if self.squeeze {
-                    Some(CharSet::from_chars(&expand_set1(&self.set2_items)))
-                } else {
-                    None
-                };
-                let mut prev: Option<char> = None;
-                for c in input.chars() {
-                    if in_set1(c) {
-                        continue;
-                    }
-                    if let Some(sq) = &squeeze_set {
-                        if sq.contains(c) && prev == Some(c) {
-                            continue;
-                        }
-                    }
-                    out.push(c);
-                    prev = Some(c);
-                }
-                return Ok(out);
-            }
-
-            if self.set2_items.is_empty() {
-                // Pure squeeze of SET1 members.
-                let mut prev: Option<char> = None;
-                for c in input.chars() {
-                    if in_set1(c) && prev == Some(c) {
-                        continue;
-                    }
-                    out.push(c);
-                    prev = Some(c);
-                }
-                return Ok(out);
-            }
-
-            // Translate (then optionally squeeze SET2 members). With -c, GNU
-            // builds the complement of SET1 in ascending character order and
-            // maps it element-wise onto SET2 (padded with its last character).
-            let mut table = [0u32; 128];
-            for (i, b) in table.iter_mut().enumerate() {
-                *b = i as u32;
-            }
-            let (set2, fallback) = if self.complement {
-                let comp: Vec<char> = (0u32..128)
-                    .filter_map(char::from_u32)
-                    .filter(|&c| !set1.contains(c))
-                    .collect();
-                let set2 = expand_set2(&self.set2_items, comp.len().max(1));
-                let fallback = *set2.last().expect("SET2 cannot be empty here");
-                for (i, &c) in comp.iter().enumerate() {
-                    table[c as usize] = set2[i.min(set2.len() - 1)] as u32;
-                }
-                (set2, fallback)
-            } else {
-                let set2 = expand_set2(&self.set2_items, self.set1.len().max(1));
-                let fallback = *set2.last().expect("SET2 cannot be empty here");
-                for (i, &c) in self.set1.iter().enumerate() {
-                    if (c as u32) < 128 {
-                        table[c as usize] = set2[i.min(set2.len() - 1)] as u32;
-                    }
-                }
-                (set2, fallback)
-            };
-            let translate = |c: char| -> char {
-                if (c as u32) < 128 {
-                    char::from_u32(table[c as usize]).unwrap_or(c)
-                } else if self.complement {
-                    // Non-ASCII characters are outside every corpus SET1.
-                    fallback
-                } else {
-                    c
-                }
-            };
-            let squeeze_set = if self.squeeze {
-                Some(CharSet::from_chars(&set2))
-            } else {
-                None
-            };
-            let mut prev: Option<char> = None;
-            for c in input.chars() {
-                let t = translate(c);
-                if let Some(sq) = &squeeze_set {
-                    if sq.contains(t) && prev == Some(t) {
-                        continue;
-                    }
-                }
-                out.push(t);
-                prev = Some(t);
-            }
-            Ok(out)
-        };
-        text().map(Bytes::from)
+        let text = crate::input_str(&input, "tr")?;
+        if self.deletes_verbatim() {
+            return Ok(self.run_delete_slices(&input, text));
+        }
+        Ok(Bytes::from(self.run_reference(text)))
     }
 }
 
@@ -526,6 +581,63 @@ mod tests {
         assert!(parse_command("tr a-z").is_err()); // missing SET2
         assert!(parse_command("tr -q a b").is_err());
         assert!(parse_command("tr 'z-a' x").is_err());
+    }
+
+    fn tr(line: &str) -> TrCmd {
+        let words = crate::split_words(line).unwrap();
+        TrCmd::parse(&words[1..]).unwrap()
+    }
+
+    #[test]
+    fn delete_that_removes_nothing_is_a_refcount_bump() {
+        let input = Bytes::from("abc\ndef\n");
+        let out = tr("tr -d 'Q'")
+            .run(input.clone(), &ExecContext::default())
+            .unwrap();
+        assert_eq!(out, input);
+        assert!(
+            out.shares_buffer(&input),
+            "no-op delete must be the input slice, not a copy"
+        );
+    }
+
+    #[test]
+    fn delete_slice_path_agrees_with_reference_on_edge_cases() {
+        let cases = [
+            "",
+            "\n",
+            "a,b,,c\n",
+            "x.y!z",
+            "a\u{e9}b,\u{e9}\n",
+            ",,,",
+            "mixed, stuff; here\n",
+            "\na\n\nb",
+        ];
+        for cmd_line in [
+            "tr -d ','",
+            r"tr -d '\n'",
+            "tr -d '[:punct:]'",
+            "tr -cd 'a-z'",
+            "tr -d 'a-c'",
+        ] {
+            let t = tr(cmd_line);
+            assert!(t.deletes_verbatim(), "{cmd_line} should take the fast path");
+            for input in cases {
+                let fast = t.run(Bytes::from(input), &ExecContext::default()).unwrap();
+                assert_eq!(
+                    fast.as_str(),
+                    t.run_reference(input),
+                    "{cmd_line:?} diverged on {input:?}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn squeeze_and_translate_stay_off_the_fast_path() {
+        assert!(!tr("tr -ds ',' 'x'").deletes_verbatim());
+        assert!(!tr("tr a-z A-Z").deletes_verbatim());
+        assert!(!tr("tr -s ' ' ' '").deletes_verbatim());
     }
 
     #[test]

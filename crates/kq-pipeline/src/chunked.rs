@@ -172,6 +172,7 @@ pub fn run_chunked(
                         bytes_out: out.len(),
                         bytes_out_pieces: out.len(),
                         early_exit: None,
+                        queue: None,
                     });
                     stream = out;
                 }
@@ -211,6 +212,7 @@ pub fn run_chunked(
                         bytes_out: combined.len(),
                         bytes_out_pieces,
                         early_exit: None,
+                        queue: None,
                     });
                     stream = combined;
                 }

@@ -186,6 +186,7 @@ mod tests {
             bytes_out,
             bytes_out_pieces: 1 << 20,
             early_exit: None,
+            queue: None,
         }
     }
 
@@ -265,6 +266,7 @@ mod tests {
             bytes_out: 1 << 20,
             bytes_out_pieces: 1 << 20,
             early_exit: None,
+            queue: None,
         };
         let got = distributed_time(
             &log_of(st),

@@ -51,6 +51,37 @@ pub struct StageTiming {
     /// executors). The CLI reports these as
     /// `early-exit: statement N stage M ... after K chunk(s)`.
     pub early_exit: Option<EarlyExit>,
+    /// Queue-stall and occupancy counters for executors that move chunks
+    /// through queues (streaming, dataflow). `None` under the batch
+    /// executors, which have no inter-stage queues to stall on.
+    pub queue: Option<QueueTelemetry>,
+}
+
+/// Per-node queue telemetry — the measurable cost of moving chunks
+/// between stages, feeding the future adaptive-tuning plane.
+///
+/// Under the streaming executor the stalls are literal blocking time in
+/// channel `send`/`recv`; under the dataflow scheduler (which never
+/// blocks a worker thread on a queue) they are the wall-clock intervals
+/// during which the node *wanted* to make progress but could not — gated
+/// on a full downstream edge (`send_stall`) or starved on an empty input
+/// edge (`recv_stall`) — measured from the moment a task observed the
+/// condition to the moment a later task found it cleared.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct QueueTelemetry {
+    /// Time the node spent unable to forward output: blocked in a channel
+    /// `send` (streaming) or gated on a full downstream edge (dataflow).
+    pub send_stall: Duration,
+    /// Time the node spent waiting for input: blocked in a channel `recv`
+    /// (streaming) or starved on an empty input edge (dataflow).
+    pub recv_stall: Duration,
+    /// High-water mark of chunks queued at this node's input when one of
+    /// its tasks was stolen off the scheduler (dataflow; 0 for streaming,
+    /// whose bounded channels are observed only through blocking).
+    pub max_queued: usize,
+    /// Scheduler tasks executed for this node (dataflow), or chunks
+    /// received (streaming) — the denominator for the stall averages.
+    pub tasks: usize,
 }
 
 /// The record behind [`StageTiming::early_exit`].
@@ -140,6 +171,7 @@ pub fn run_serial(script: &Script, ctx: &ExecContext) -> Result<ExecutionResult,
                 bytes_out: out.len(),
                 bytes_out_pieces: out.len(),
                 early_exit: None,
+                queue: None,
             });
             stream = out;
         }
@@ -238,6 +270,7 @@ fn run_parallel_inner(
                         bytes_out: out.len(),
                         bytes_out_pieces: out.len(),
                         early_exit: None,
+                        queue: None,
                     });
                     state = State::Single(out);
                 }
@@ -305,6 +338,7 @@ fn run_parallel_inner(
                             bytes_out: bytes_out_pieces,
                             bytes_out_pieces,
                             early_exit: None,
+                            queue: None,
                         });
                         state = State::Split(outputs);
                     } else {
@@ -324,6 +358,7 @@ fn run_parallel_inner(
                             bytes_out: combined.len(),
                             bytes_out_pieces,
                             early_exit: None,
+                            queue: None,
                         });
                         state = State::Single(combined);
                     }

@@ -34,9 +34,10 @@
 //!
 //! # The executor matrix
 //!
-//! Four executors share the data plane and produce byte-identical output
-//! (asserted across the whole corpus by `tests/streaming_differential.rs`);
-//! they differ in how work is scheduled:
+//! Five executors share the data plane and produce byte-identical output
+//! (asserted across the whole corpus by `tests/streaming_differential.rs`
+//! and `tests/dataflow_differential.rs`); they differ in how work is
+//! scheduled:
 //!
 //! | executor | parallelism | barriers | wins when |
 //! |---|---|---|---|
@@ -44,12 +45,17 @@
 //! | [`exec::run_parallel`] | `w` static pieces per stage | every segment | uniform per-line cost (the paper's executor) |
 //! | [`chunked::run_chunked`] | many chunks over a `w`-thread pool | every segment | skewed per-line cost (dynamic balancing) |
 //! | [`streaming::run_streaming`] | pool per segment, segments pipelined | only where a stage truly needs its whole input | multi-segment pipelines: chunk-local stages (`grep`/`tr`/`cut`) flow chunks onward immediately, and barrier stages (`sort`, `uniq -c`) fold their combiner *while upstream still computes* |
+//! | [`scheduler::run_dataflow`] | one work-stealing pool of `w` threads for the *whole script* | graph properties, not thread boundaries | multi-statement scripts: every statement's [`dataflow`] graph shares the same fixed pool (no per-statement spawn/teardown), independent statements overlap, and early exit tears down queued upstream work |
 //!
 //! The streaming executor's segment classification (chunk-local versus
 //! barrier versus sequential) lives in
-//! [`plan::PlannedStatement::stream_segments`];
+//! [`plan::PlannedStatement::stream_segments`]; the dataflow executor
+//! reifies the same classification as a graph IR ([`dataflow`]) and
+//! executes it with a shared scheduler ([`scheduler`]).
 //! `crates/bench/benches/streaming_exec.rs` measures streaming against
-//! chunked on a multi-stage pipeline.
+//! chunked on a multi-stage pipeline, and
+//! `crates/bench/benches/dataflow_exec.rs` measures dataflow against
+//! streaming on a multi-statement script.
 
 //! ```
 //! use kq_pipeline::exec::{run_parallel, run_serial};
@@ -72,16 +78,20 @@
 
 pub mod cache;
 pub mod chunked;
+pub mod dataflow;
 pub mod dist;
 pub mod exec;
 pub mod parse;
 pub mod plan;
+pub mod scheduler;
 pub mod sim;
 pub mod streaming;
 
 pub use cache::{cache_key, CacheStats, CombinerCache};
-pub use exec::{EarlyExit, ExecutionResult, StageTiming, TimingLog};
+pub use dataflow::{DataflowGraph, DataflowNode, FoldMode, NodeKind};
+pub use exec::{EarlyExit, ExecutionResult, QueueTelemetry, StageTiming, TimingLog};
 pub use parse::{InputSource, Script, Stage, Statement};
 pub use plan::{PlannedScript, PlannedStage, Planner, StageMode, StreamSegment, StreamSegmentKind};
+pub use scheduler::{run_dataflow, DataflowOptions};
 pub use sim::{PipelineCosts, SimParams};
 pub use streaming::{run_streaming, StreamingOptions};

@@ -1,0 +1,1451 @@
+//! Work-stealing executor for the dataflow IR.
+//!
+//! Where the streaming executor spawns a private thread set per statement
+//! — a feeder plus `segments × (workers + collector)` threads, torn down
+//! and respawned for every statement — this executor runs the *whole
+//! script* on one fixed pool of exactly [`DataflowOptions::workers`]
+//! threads. Each statement's plan becomes a [`DataflowGraph`]
+//! (see [`crate::dataflow`] for the node and edge semantics), and the unit
+//! of scheduling is a *task*: "make progress at node N of statement S" —
+//! process one chunk at a map node, drain the input of a fold, cut the
+//! next chunk at a split, emit the next chunk of a materialized output.
+//!
+//! # Scheduling
+//!
+//! Tasks live in [`crossbeam::deque`] queues: each worker owns a local
+//! FIFO deque and pushes follow-up work there; tasks created off-pool
+//! (statement starts) land in a shared injector. An idle worker takes from
+//! its own deque first, then the injector, then *steals* from a sibling.
+//! Workers never block on data: a node that cannot progress (input empty,
+//! or downstream edge at capacity) simply returns, and the event that
+//! unblocks it — an upstream push, a downstream pop freeing a credit —
+//! schedules it again. Sleep/wake uses a generation-counted condvar: a
+//! worker records the generation *before* its final queue scan, so a task
+//! pushed concurrently either shows up in the scan or bumps the
+//! generation and cancels the sleep.
+//!
+//! # Statements run concurrently
+//!
+//! All statements whose dependencies are satisfied execute at once on the
+//! shared pool. Dependencies are inferred conservatively from VFS redirect
+//! targets: statement `j` waits for statement `i < j` when `j` may read a
+//! file `i` writes (any argv word or input file matching, with `xargs`
+//! treated as reading everything), when both write the same target, or
+//! when `j` overwrites a file `i` may read. Everything else overlaps —
+//! the per-statement pool spawn/teardown and the strict statement barrier
+//! are the costs this executor removes. One observable difference from
+//! the serial oracle: when a statement fails, *independent* sibling
+//! statements already in flight still run to completion (their VFS writes
+//! happen); the surfaced error is the lowest-indexed failing statement's.
+//!
+//! # Backpressure, cancellation, out-of-core
+//!
+//! Edges are soft-bounded at [`DataflowOptions::queue_depth`] chunks: a
+//! producer claims new input only while its output edge is below the
+//! bound (in-flight results may overshoot it by the amount already
+//! claimed). Early exit is the graph teardown described in
+//! [`crate::dataflow`]: a satisfied bounded consumer cancels every node
+//! above it and *drops chunks already queued on their edges* — work the
+//! channel-based streaming executor would still have drained. Splits and
+//! emitters cut chunks lazily and trail a page-release hint behind their
+//! cursor exactly like the streaming feeder, so mapped multi-GB inputs
+//! stream through at O(window) resident memory.
+//!
+//! Byte-equality with [`run_serial`](crate::exec::run_serial) across the
+//! corpus — plus multi-statement scripts with redirect dependencies — is
+//! asserted by `tests/dataflow_differential.rs` and
+//! `tests/multi_statement_differential.rs`.
+
+use crate::chunked::run_chain;
+use crate::dataflow::{DataflowGraph, FoldMode, NodeKind};
+use crate::exec::{
+    gather_files, EarlyExit, ExecutionResult, QueueTelemetry, StageTiming, TimingLog,
+};
+use crate::parse::{InputSource, Script, Statement};
+use crate::plan::{PlannedScript, StageMode};
+use crossbeam::deque::{Injector, Steal, Stealer, Worker};
+use kq_coreutils::{CmdError, Command, ExecContext};
+use kq_dsl::eval::CommandEnv;
+use kq_stream::{Bytes, IncrementalChunker, Rope};
+use kq_synth::IncrementalCombine;
+use std::collections::{BTreeMap, VecDeque};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::{Condvar, Mutex};
+use std::time::{Duration, Instant};
+
+/// Tuning for the dataflow executor.
+#[derive(Debug, Clone)]
+pub struct DataflowOptions {
+    /// Size of the shared worker pool — the *total* thread budget for the
+    /// whole script, not a per-segment or per-statement figure.
+    pub workers: usize,
+    /// Target chunk size in bytes for splits and for every re-chunking
+    /// point (fold outputs, stage-worker re-normalization).
+    pub chunk_bytes: usize,
+    /// Soft capacity of each edge, in chunks: a producer stops claiming
+    /// input once this many chunks are queued downstream.
+    pub queue_depth: usize,
+    /// Apply the fusion rewrite ([`DataflowGraph::fuse_streamable`]).
+    /// `false` leaves every chunk-local stage as its own node — same
+    /// output, more edge hops; the differential suite uses it to stress
+    /// the scheduler harder.
+    pub fuse_streamable: bool,
+}
+
+impl Default for DataflowOptions {
+    fn default() -> Self {
+        DataflowOptions {
+            workers: 4,
+            chunk_bytes: 64 * 1024,
+            queue_depth: 4,
+            fuse_streamable: true,
+        }
+    }
+}
+
+/// A scheduler task: make progress at node `1` of statement `0`.
+type Task = (usize, usize);
+
+/// One edge's queue. Order-preserving: producers push in stream order
+/// (map nodes drain their reorder buffer under the node lock), and
+/// `pop_seq` stamps each pop so consumers can restore order after
+/// parallel processing.
+#[derive(Default)]
+struct EdgeQ {
+    items: VecDeque<Bytes>,
+    /// Ordinal of the next pop (equals the number of chunks ever popped).
+    pop_seq: usize,
+    /// Sticky end-of-stream marker, set after the producer's final push.
+    closed: bool,
+}
+
+struct Edge {
+    q: Mutex<EdgeQ>,
+    /// Mirror of `q.items.len()` for lock-free credit checks.
+    len: AtomicUsize,
+}
+
+impl Edge {
+    fn new() -> Edge {
+        Edge {
+            q: Mutex::new(EdgeQ::default()),
+            len: AtomicUsize::new(0),
+        }
+    }
+}
+
+/// A lazy cursor over a materialized stream: cuts line-aligned chunks on
+/// demand and trails a page-release hint (`release_lag` bytes) behind,
+/// mirroring the streaming executor's `send_chunked` discipline.
+struct Emit {
+    source: Bytes,
+    cursor: usize,
+    released: usize,
+}
+
+impl Emit {
+    fn new(source: Bytes) -> Emit {
+        Emit {
+            source,
+            cursor: 0,
+            released: 0,
+        }
+    }
+
+    fn done(&self) -> bool {
+        self.cursor >= self.source.len()
+    }
+
+    fn next_chunk(&mut self, chunk_bytes: usize, release_lag: usize) -> Bytes {
+        let end = next_chunk_end(self.source.as_bytes(), self.cursor, chunk_bytes);
+        let chunk = self.source.slice(self.cursor..end);
+        self.cursor = end;
+        if self.cursor > self.released + 2 * release_lag {
+            let upto = self.cursor - release_lag;
+            self.source.release_range(self.released..upto);
+            self.released = upto;
+        }
+        chunk
+    }
+
+    /// Nobody will read the rest: drop the whole resident tail.
+    fn abandon(&self) {
+        self.source.release_range(self.released..self.source.len());
+    }
+}
+
+/// The chunk-boundary rule shared with `kq_stream`'s splitter: extend to
+/// the next newline so every chunk is line-aligned.
+fn next_chunk_end(bytes: &[u8], start: usize, target: usize) -> usize {
+    let mut end = (start + target.max(1)).min(bytes.len());
+    while end < bytes.len() && bytes[end - 1] != b'\n' {
+        end += 1;
+    }
+    end
+}
+
+/// What a node is currently doing.
+enum Phase {
+    /// Consuming input chunks.
+    Collecting,
+    /// One task is running the node's command (gather/bounded folds) or
+    /// finishing its combiner — long work done outside every lock.
+    Running,
+    /// Streaming a materialized output downstream, credit-gated.
+    Emitting(Emit),
+    /// Output edge closed (or node cancelled); nothing left to do.
+    Done,
+}
+
+/// Runtime state of one node, guarded by its mutex. The lock order is
+/// `node state → that node's output edge`; input-edge operations never
+/// nest inside the state lock.
+struct NodeState<'a> {
+    phase: Phase,
+    cancelled: bool,
+    /// Chunks claimed (inflight counter bumped) but not yet integrated.
+    inflight: usize,
+    /// Reorder buffer: results keyed by input pop ordinal.
+    pending: BTreeMap<usize, Bytes>,
+    next_seq: usize,
+    /// StageWorker: output re-normalization.
+    chunker: Option<IncrementalChunker>,
+    /// Fold(Combine): the incremental combiner fold.
+    accum: Option<IncrementalCombine<'a>>,
+    /// Fold(Gather) / BoundedConsumer: the gathered input prefix.
+    rope: Rope,
+    /// BoundedConsumer: complete lines gathered so far.
+    seen_lines: usize,
+    /// BoundedConsumer: input chunks consumed.
+    chunks_consumed: usize,
+    early_exit: Option<EarlyExit>,
+    // Timing fields, snapshotted into a StageTiming after the run.
+    piece_times: Vec<Duration>,
+    combine_time: Duration,
+    bytes_in: usize,
+    bytes_out: usize,
+    bytes_out_pieces: usize,
+    telem: QueueTelemetry,
+    gate_since: Option<Instant>,
+    starve_since: Option<Instant>,
+}
+
+impl NodeState<'_> {
+    fn new() -> NodeState<'static> {
+        NodeState {
+            phase: Phase::Collecting,
+            cancelled: false,
+            inflight: 0,
+            pending: BTreeMap::new(),
+            next_seq: 0,
+            chunker: None,
+            accum: None,
+            rope: Rope::new(),
+            seen_lines: 0,
+            chunks_consumed: 0,
+            early_exit: None,
+            piece_times: Vec::new(),
+            combine_time: Duration::ZERO,
+            bytes_in: 0,
+            bytes_out: 0,
+            bytes_out_pieces: 0,
+            telem: QueueTelemetry::default(),
+            gate_since: None,
+            starve_since: None,
+        }
+    }
+}
+
+/// Runtime state of one statement.
+struct StmtRt<'a> {
+    statement: &'a Statement,
+    graph: DataflowGraph,
+    /// Command chain per node (empty for the split node).
+    chains: Vec<Vec<&'a Command>>,
+    nodes: Vec<Mutex<NodeState<'a>>>,
+    /// `edges[i]` carries node `i`'s output; the last edge is the sink.
+    edges: Vec<Edge>,
+    error: Mutex<Option<CmdError>>,
+    started: AtomicBool,
+    finished: AtomicBool,
+    deps_left: AtomicUsize,
+    dependents: Vec<usize>,
+    output: Mutex<Option<Bytes>>,
+}
+
+struct IdleGate {
+    generation: Mutex<u64>,
+    cv: Condvar,
+}
+
+/// Shared run state: everything the worker pool operates on.
+struct RunState<'a> {
+    stmts: Vec<StmtRt<'a>>,
+    injector: Injector<Task>,
+    idle: IdleGate,
+    done: AtomicBool,
+    abort: AtomicBool,
+    finished_count: AtomicUsize,
+    ctx: &'a ExecContext,
+    chunk_bytes: usize,
+    queue_depth: usize,
+    release_lag: usize,
+}
+
+/// Per-thread scheduling context: where this thread's follow-up tasks go.
+struct Cx<'r, 'a> {
+    rt: &'r RunState<'a>,
+    local: Option<&'r Worker<Task>>,
+}
+
+impl<'r, 'a> Cx<'r, 'a> {
+    fn schedule(&self, task: Task) {
+        match self.local {
+            Some(local) => local.push(task),
+            None => self.rt.injector.push(task),
+        }
+        self.rt.signal();
+    }
+}
+
+impl RunState<'_> {
+    fn signal(&self) {
+        let mut generation = self
+            .idle
+            .generation
+            .lock()
+            .unwrap_or_else(|e| e.into_inner());
+        *generation += 1;
+        self.idle.cv.notify_all();
+    }
+}
+
+fn lock<'m, T>(m: &'m Mutex<T>) -> std::sync::MutexGuard<'m, T> {
+    m.lock().unwrap_or_else(|e| e.into_inner())
+}
+
+/// Runs a planned script on the shared work-stealing pool (see the
+/// [module docs](self)).
+pub fn run_dataflow(
+    script: &Script,
+    plan: &PlannedScript,
+    ctx: &ExecContext,
+    opts: &DataflowOptions,
+) -> Result<ExecutionResult, CmdError> {
+    let workers = opts.workers.max(1);
+    let chunk_bytes = opts.chunk_bytes.max(1);
+    let queue_depth = opts.queue_depth.max(1);
+
+    // Build the graphs first: the release lag and combiner environments
+    // depend on their shapes.
+    let graphs: Vec<DataflowGraph> = plan
+        .statements
+        .iter()
+        .map(|p| DataflowGraph::build(p, opts.fuse_streamable))
+        .collect();
+    let max_nodes = graphs.iter().map(|g| g.nodes.len()).max().unwrap_or(0);
+    let release_lag = chunk_bytes
+        .saturating_mul(queue_depth + workers)
+        .saturating_mul(max_nodes + 2)
+        .max(16 << 20);
+
+    // Combiner environments live outside the node states so the
+    // incremental folds (which borrow them) can be shared by the pool.
+    let envs: Vec<Vec<Option<CommandEnv<'_>>>> = script
+        .statements
+        .iter()
+        .zip(&graphs)
+        .map(|(statement, graph)| {
+            graph
+                .nodes
+                .iter()
+                .map(|node| match node.kind {
+                    NodeKind::Fold {
+                        mode: FoldMode::Combine,
+                    } => Some(CommandEnv {
+                        command: &statement.stages[node.stages.start].command,
+                        ctx,
+                    }),
+                    _ => None,
+                })
+                .collect()
+        })
+        .collect();
+
+    let mut stmts: Vec<StmtRt<'_>> = Vec::with_capacity(script.statements.len());
+    for (si, (statement, graph)) in script.statements.iter().zip(graphs).enumerate() {
+        let chains: Vec<Vec<&Command>> = graph
+            .nodes
+            .iter()
+            .map(|node| {
+                node.stages
+                    .clone()
+                    .map(|i| &statement.stages[i].command)
+                    .collect()
+            })
+            .collect();
+        let nodes: Vec<Mutex<NodeState<'_>>> = graph
+            .nodes
+            .iter()
+            .enumerate()
+            .map(|(ni, node)| {
+                let mut state = NodeState::new();
+                match node.kind {
+                    NodeKind::StageWorker => {
+                        state.chunker = Some(IncrementalChunker::new(chunk_bytes));
+                    }
+                    NodeKind::Fold {
+                        mode: FoldMode::Combine,
+                    } => {
+                        let StageMode::Parallel { combiner, .. } =
+                            &plan.statements[si].stages[node.stages.start].mode
+                        else {
+                            unreachable!("combine folds are parallel stages");
+                        };
+                        let env = envs[si][ni].as_ref().expect("combine fold env");
+                        state.accum = Some(combiner.incremental(env));
+                    }
+                    _ => {}
+                }
+                Mutex::new(state)
+            })
+            .collect();
+        let edges = (0..graph.nodes.len()).map(|_| Edge::new()).collect();
+        stmts.push(StmtRt {
+            statement,
+            graph,
+            chains,
+            nodes,
+            edges,
+            error: Mutex::new(None),
+            started: AtomicBool::new(false),
+            finished: AtomicBool::new(false),
+            deps_left: AtomicUsize::new(0),
+            dependents: Vec::new(),
+            output: Mutex::new(None),
+        });
+    }
+
+    // Conservative cross-statement dependencies over VFS redirect targets.
+    let deps = statement_deps(script);
+    for (j, dj) in deps.iter().enumerate() {
+        stmts[j].deps_left.store(dj.len(), Ordering::Relaxed);
+        for &i in dj {
+            stmts[i].dependents.push(j);
+        }
+    }
+
+    let total = stmts.len();
+    let rt = RunState {
+        stmts,
+        injector: Injector::new(),
+        idle: IdleGate {
+            generation: Mutex::new(0),
+            cv: Condvar::new(),
+        },
+        done: AtomicBool::new(total == 0),
+        abort: AtomicBool::new(false),
+        finished_count: AtomicUsize::new(0),
+        ctx,
+        chunk_bytes,
+        queue_depth,
+        release_lag,
+    };
+
+    // Seed every dependency-free statement, then let the pool run.
+    {
+        let cx = Cx {
+            rt: &rt,
+            local: None,
+        };
+        for si in 0..total {
+            if rt.stmts[si].deps_left.load(Ordering::Relaxed) == 0 {
+                start_statement(&cx, si);
+            }
+        }
+    }
+
+    let locals: Vec<Worker<Task>> = (0..workers).map(|_| Worker::new_fifo()).collect();
+    let stealers: Vec<Stealer<Task>> = locals.iter().map(Worker::stealer).collect();
+    std::thread::scope(|scope| {
+        for (idx, local) in locals.into_iter().enumerate() {
+            let rt = &rt;
+            let stealers = &stealers;
+            scope.spawn(move || worker_loop(rt, local, stealers, idx));
+        }
+    });
+
+    // Lowest-indexed statement error wins (closest to serial, which stops
+    // at the first failing statement).
+    for stmt in &rt.stmts {
+        if let Some(e) = lock(&stmt.error).take() {
+            return Err(e);
+        }
+    }
+
+    let mut output = Rope::new();
+    let mut timings = TimingLog::default();
+    for stmt in &rt.stmts {
+        if let Some(bytes) = lock(&stmt.output).take() {
+            output.push(bytes);
+        }
+        timings.statements.push(snapshot_timings(stmt));
+    }
+    Ok(ExecutionResult {
+        output: output.into_bytes(),
+        timings,
+    })
+}
+
+/// Conservative read/write dependency analysis over VFS paths:
+/// `deps[j]` lists every earlier statement `j` must wait for.
+fn statement_deps(script: &Script) -> Vec<Vec<usize>> {
+    struct Access {
+        reads: Vec<String>,
+        reads_everything: bool,
+        write: Option<String>,
+    }
+    let access: Vec<Access> = script
+        .statements
+        .iter()
+        .map(|st| {
+            let mut reads: Vec<String> = match &st.input {
+                InputSource::Files(files) => files.clone(),
+                InputSource::None => Vec::new(),
+            };
+            let mut reads_everything = false;
+            for stage in &st.stages {
+                // Any argv word could name a file the command reads
+                // (`comm - dict`, `paste a b`); xargs reads paths from its
+                // *data*, which no static scan can bound.
+                if stage.command.program() == "xargs" {
+                    reads_everything = true;
+                }
+                reads.extend(stage.command.argv().iter().skip(1).cloned());
+            }
+            Access {
+                reads,
+                reads_everything,
+                write: st.output.clone(),
+            }
+        })
+        .collect();
+    (0..access.len())
+        .map(|j| {
+            (0..j)
+                .filter(|&i| {
+                    let (ai, aj) = (&access[i], &access[j]);
+                    let raw = ai
+                        .write
+                        .as_ref()
+                        .is_some_and(|w| aj.reads_everything || aj.reads.iter().any(|r| r == w));
+                    let waw = ai.write.is_some() && ai.write == aj.write;
+                    let war = aj
+                        .write
+                        .as_ref()
+                        .is_some_and(|w| ai.reads_everything || ai.reads.iter().any(|r| r == w));
+                    raw || waw || war
+                })
+                .collect()
+        })
+        .collect()
+}
+
+fn worker_loop(rt: &RunState<'_>, local: Worker<Task>, stealers: &[Stealer<Task>], idx: usize) {
+    let cx = Cx {
+        rt,
+        local: Some(&local),
+    };
+    loop {
+        while let Some(task) = find_task(rt, &local, stealers, idx) {
+            run_task(&cx, task);
+        }
+        // Record the generation *before* the confirming scan: a task
+        // pushed after this read bumps the generation and cancels the
+        // sleep; a task pushed before it is visible to the scan.
+        let generation = *lock(&rt.idle.generation);
+        if rt.done.load(Ordering::Acquire) {
+            break;
+        }
+        if let Some(task) = find_task(rt, &local, stealers, idx) {
+            run_task(&cx, task);
+            continue;
+        }
+        let mut guard = lock(&rt.idle.generation);
+        while *guard == generation && !rt.done.load(Ordering::Acquire) {
+            guard = rt.idle.cv.wait(guard).unwrap_or_else(|e| e.into_inner());
+        }
+    }
+}
+
+fn find_task(
+    rt: &RunState<'_>,
+    local: &Worker<Task>,
+    stealers: &[Stealer<Task>],
+    idx: usize,
+) -> Option<Task> {
+    if let Some(task) = local.pop() {
+        return Some(task);
+    }
+    loop {
+        match rt.injector.steal() {
+            Steal::Success(task) => return Some(task),
+            Steal::Empty => break,
+            Steal::Retry => continue,
+        }
+    }
+    for (k, stealer) in stealers.iter().enumerate() {
+        if k == idx {
+            continue;
+        }
+        loop {
+            match stealer.steal() {
+                Steal::Success(task) => return Some(task),
+                Steal::Empty => break,
+                Steal::Retry => continue,
+            }
+        }
+    }
+    None
+}
+
+fn run_task(cx: &Cx<'_, '_>, (si, ni): Task) {
+    let stmt = &cx.rt.stmts[si];
+    match stmt.graph.nodes[ni].kind {
+        NodeKind::Split => split_task(cx, si),
+        NodeKind::StageWorker
+        | NodeKind::Fold {
+            mode: FoldMode::Combine,
+        } => map_task(cx, si, ni),
+        NodeKind::Fold {
+            mode: FoldMode::Gather,
+        }
+        | NodeKind::BoundedConsumer { .. } => gather_task(cx, si, ni),
+    }
+}
+
+/// Starts a statement once its dependencies are settled: gathers the
+/// input (which may be a file an earlier statement just redirected) and
+/// schedules the split.
+fn start_statement(cx: &Cx<'_, '_>, si: usize) {
+    let stmt = &cx.rt.stmts[si];
+    if stmt.started.swap(true, Ordering::AcqRel) {
+        return;
+    }
+    match gather_files(&stmt.statement.input, cx.rt.ctx) {
+        Err(e) => stmt_error(cx, si, e),
+        Ok(input) => {
+            if stmt.statement.stages.is_empty() {
+                // Pure plumbing (`cat a > b`): the input stream is the
+                // output, handle-through without touching the pool.
+                finish_statement(cx, si, Some(input));
+            } else {
+                lock(&stmt.nodes[0]).phase = Phase::Emitting(Emit::new(input));
+                cx.schedule((si, 0));
+            }
+        }
+    }
+}
+
+/// One split quantum: cut and push chunks until the first edge is at
+/// capacity (a downstream pop reschedules us) or the input is exhausted.
+fn split_task(cx: &Cx<'_, '_>, si: usize) {
+    let stmt = &cx.rt.stmts[si];
+    let mut scheduled_pushes = 0usize;
+    {
+        let mut st = lock(&stmt.nodes[0]);
+        if st.cancelled {
+            return;
+        }
+        let Phase::Emitting(emit) = &mut st.phase else {
+            return;
+        };
+        loop {
+            if emit.done() {
+                st.phase = Phase::Done;
+                break;
+            }
+            if cx.rt.stmts[si].edges[0].len.load(Ordering::Relaxed) >= cx.rt.queue_depth {
+                // Gated: the consumer's next pop schedules us again.
+                drop(st);
+                schedule_pushes(cx, si, 1, scheduled_pushes);
+                return;
+            }
+            let chunk = emit.next_chunk(cx.rt.chunk_bytes, cx.rt.release_lag);
+            push_edge(stmt, 0, chunk);
+            scheduled_pushes += 1;
+        }
+    }
+    schedule_pushes(cx, si, 1, scheduled_pushes);
+    close_edge(cx, si, 0);
+}
+
+/// Pushes one chunk onto edge `i` (caller holds the producing node's
+/// state lock, preserving stream order).
+fn push_edge(stmt: &StmtRt<'_>, i: usize, chunk: Bytes) {
+    let mut q = lock(&stmt.edges[i].q);
+    debug_assert!(!q.closed, "push after close");
+    q.items.push_back(chunk);
+    stmt.edges[i].len.fetch_add(1, Ordering::Relaxed);
+}
+
+/// Schedules `count` consumer tasks for node `ni` (one per pushed chunk).
+/// Pushes onto the sink edge have no consumer node — nothing to schedule.
+fn schedule_pushes(cx: &Cx<'_, '_>, si: usize, ni: usize, count: usize) {
+    if ni >= cx.rt.stmts[si].graph.nodes.len() {
+        return;
+    }
+    for _ in 0..count {
+        cx.schedule((si, ni));
+    }
+}
+
+/// Closes edge `i`: end-of-stream for its consumer. Closing the sink edge
+/// completes the statement.
+fn close_edge(cx: &Cx<'_, '_>, si: usize, i: usize) {
+    let stmt = &cx.rt.stmts[si];
+    lock(&stmt.edges[i].q).closed = true;
+    if i + 1 == stmt.graph.nodes.len() {
+        let sink = drain_sink(stmt, i);
+        finish_statement(cx, si, Some(sink));
+    } else {
+        cx.schedule((si, i + 1));
+    }
+}
+
+fn drain_sink(stmt: &StmtRt<'_>, i: usize) -> Bytes {
+    let mut q = lock(&stmt.edges[i].q);
+    let mut rope = Rope::new();
+    for chunk in q.items.drain(..) {
+        rope.push(chunk);
+    }
+    stmt.edges[i].len.store(0, Ordering::Relaxed);
+    rope.into_bytes()
+}
+
+/// Pops one chunk (with its order stamp and the pre-pop queue length)
+/// from node `ni`'s input edge.
+fn pop_input(stmt: &StmtRt<'_>, ni: usize) -> Result<(usize, Bytes, usize), bool> {
+    let edge = &stmt.edges[ni - 1];
+    let mut q = lock(&edge.q);
+    let len_at = q.items.len();
+    match q.items.pop_front() {
+        Some(chunk) => {
+            let seq = q.pop_seq;
+            q.pop_seq += 1;
+            edge.len.fetch_sub(1, Ordering::Relaxed);
+            Ok((seq, chunk, len_at))
+        }
+        None => Err(q.closed),
+    }
+}
+
+/// One map task at a StageWorker or Fold(Combine) node: claim one input
+/// chunk, run the chain on it outside every lock, integrate the result in
+/// input order, forward/fold, and finalize when the input is exhausted.
+fn map_task(cx: &Cx<'_, '_>, si: usize, ni: usize) {
+    let stmt = &cx.rt.stmts[si];
+    let node = &stmt.graph.nodes[ni];
+    let is_worker = node.kind == NodeKind::StageWorker;
+    let last = ni + 1 == stmt.graph.nodes.len();
+    {
+        let mut st = lock(&stmt.nodes[ni]);
+        if st.cancelled {
+            return;
+        }
+        match st.phase {
+            Phase::Collecting => {}
+            // A credit-freed wakeup can land while the fold's combined
+            // output is streaming out: continue the emission.
+            Phase::Emitting(_) => {
+                drop(st);
+                emit_task(cx, si, ni);
+                return;
+            }
+            _ => return,
+        }
+        // Credit gate: stage workers forward chunk-per-chunk, so claiming
+        // input while downstream is full only grows the overshoot. Folds
+        // consume everything before emitting — no gate.
+        if is_worker && !last && stmt.edges[ni].len.load(Ordering::Relaxed) >= cx.rt.queue_depth {
+            st.gate_since.get_or_insert_with(Instant::now);
+            return;
+        }
+        if let Some(gated) = st.gate_since.take() {
+            st.telem.send_stall += gated.elapsed();
+        }
+        st.inflight += 1;
+    }
+    let (seq, chunk, len_at) = match pop_input(stmt, ni) {
+        Ok(popped) => popped,
+        Err(_closed) => {
+            let mut st = lock(&stmt.nodes[ni]);
+            st.inflight -= 1;
+            st.starve_since.get_or_insert_with(Instant::now);
+            drop(st);
+            maybe_finalize_map(cx, si, ni);
+            return;
+        }
+    };
+    // The pop freed one credit upstream.
+    cx.schedule((si, ni - 1));
+    let t0 = Instant::now();
+    let result = run_chain(&stmt.chains[ni], chunk.clone(), cx.rt.ctx);
+    let dur = t0.elapsed();
+
+    let mut pushed = 0usize;
+    {
+        let mut st = lock(&stmt.nodes[ni]);
+        st.inflight -= 1;
+        if st.cancelled {
+            return;
+        }
+        if let Some(starved) = st.starve_since.take() {
+            st.telem.recv_stall += starved.elapsed();
+        }
+        st.telem.tasks += 1;
+        st.telem.max_queued = st.telem.max_queued.max(len_at);
+        record_piece(&mut st.piece_times, seq, dur);
+        st.bytes_in += chunk.len();
+        let out = match result {
+            Ok(out) => out,
+            Err(e) => {
+                drop(st);
+                stmt_error(cx, si, e);
+                return;
+            }
+        };
+        st.pending.insert(seq, out);
+        while let Some(ready) = {
+            let next = st.next_seq;
+            st.pending.remove(&next)
+        } {
+            st.next_seq += 1;
+            st.bytes_out_pieces += ready.len();
+            if is_worker {
+                st.bytes_out += ready.len();
+                let chunker = st.chunker.as_mut().expect("stage worker chunker");
+                let mut outgoing = chunker.push(ready);
+                if node.eager_flush {
+                    outgoing.extend(chunker.flush_pending());
+                }
+                for c in outgoing {
+                    push_edge(stmt, ni, c);
+                    pushed += 1;
+                }
+            } else {
+                let t0 = Instant::now();
+                st.accum.as_mut().expect("combine fold accum").push(ready);
+                let elapsed = t0.elapsed();
+                st.combine_time += elapsed;
+            }
+        }
+    }
+    schedule_pushes(cx, si, ni + 1, pushed);
+    maybe_finalize_map(cx, si, ni);
+}
+
+/// Finalizes a map node once its input is closed, drained, and no claims
+/// are in flight — a condition that is stable once true (`closed` is
+/// sticky and set after the producer's last push).
+fn maybe_finalize_map(cx: &Cx<'_, '_>, si: usize, ni: usize) {
+    let stmt = &cx.rt.stmts[si];
+    {
+        let q = lock(&stmt.edges[ni - 1].q);
+        if !q.closed || !q.items.is_empty() {
+            return;
+        }
+    }
+    let node = &stmt.graph.nodes[ni];
+    if node.kind == NodeKind::StageWorker {
+        let mut pushed = 0usize;
+        {
+            let mut st = lock(&stmt.nodes[ni]);
+            if st.cancelled || !matches!(st.phase, Phase::Collecting) || st.inflight > 0 {
+                return;
+            }
+            debug_assert!(st.pending.is_empty(), "gap in integrated sequence");
+            for c in st.chunker.take().expect("stage worker chunker").finish() {
+                push_edge(stmt, ni, c);
+                pushed += 1;
+            }
+            st.phase = Phase::Done;
+        }
+        schedule_pushes(cx, si, ni + 1, pushed);
+        close_edge(cx, si, ni);
+    } else {
+        // Fold(Combine): settle the incremental fold outside the lock —
+        // this is where `sort`'s final run merge happens.
+        let accum = {
+            let mut st = lock(&stmt.nodes[ni]);
+            if st.cancelled || !matches!(st.phase, Phase::Collecting) || st.inflight > 0 {
+                return;
+            }
+            st.phase = Phase::Running;
+            st.accum.take().expect("combine fold accum")
+        };
+        let closing = stmt.chains[ni][0];
+        let t0 = Instant::now();
+        match accum.finish() {
+            Err(e) => stmt_error(cx, si, CmdError::new(closing.display(), e.to_string())),
+            Ok(combined) => {
+                let elapsed = t0.elapsed();
+                {
+                    let mut st = lock(&stmt.nodes[ni]);
+                    st.combine_time += elapsed;
+                    st.bytes_out = combined.len();
+                    st.phase = Phase::Emitting(Emit::new(combined));
+                }
+                emit_task(cx, si, ni);
+            }
+        }
+    }
+}
+
+/// One task at a Fold(Gather) or BoundedConsumer node: claim one queued
+/// chunk, integrate it in order, and either finalize (input exhausted) or
+/// — for a satisfied bound — cancel upstream and run early.
+fn gather_task(cx: &Cx<'_, '_>, si: usize, ni: usize) {
+    let stmt = &cx.rt.stmts[si];
+    let bound = match stmt.graph.nodes[ni].kind {
+        NodeKind::BoundedConsumer { lines } => Some(lines),
+        _ => None,
+    };
+    {
+        let mut st = lock(&stmt.nodes[ni]);
+        if st.cancelled {
+            return;
+        }
+        match st.phase {
+            Phase::Collecting => {}
+            Phase::Emitting(_) => {
+                drop(st);
+                emit_task(cx, si, ni);
+                return;
+            }
+            _ => return,
+        }
+        st.inflight += 1;
+    }
+    let popped = pop_input(stmt, ni);
+    let popped_err = popped.is_err();
+    let mut satisfied = false;
+    {
+        let mut st = lock(&stmt.nodes[ni]);
+        st.inflight -= 1;
+        if st.cancelled || !matches!(st.phase, Phase::Collecting) {
+            return;
+        }
+        match popped {
+            Err(_closed) => {
+                st.starve_since.get_or_insert_with(Instant::now);
+            }
+            Ok((seq, chunk, len_at)) => {
+                if let Some(starved) = st.starve_since.take() {
+                    st.telem.recv_stall += starved.elapsed();
+                }
+                st.telem.tasks += 1;
+                st.telem.max_queued = st.telem.max_queued.max(len_at);
+                st.pending.insert(seq, chunk);
+                while let Some(ready) = {
+                    let next = st.next_seq;
+                    st.pending.remove(&next)
+                } {
+                    st.next_seq += 1;
+                    match bound {
+                        None => {
+                            st.bytes_in += ready.len();
+                            st.rope.push(ready);
+                        }
+                        Some(lines) if st.seen_lines < lines => {
+                            st.seen_lines += ready.count_newlines();
+                            st.chunks_consumed += 1;
+                            st.bytes_in += ready.len();
+                            st.rope.push(ready);
+                        }
+                        // Past the bound (late queued chunks): dropped.
+                        Some(_) => {}
+                    }
+                }
+            }
+        }
+        // A bound of zero lines is satisfied before any input arrives.
+        if let Some(lines) = bound {
+            if st.seen_lines >= lines {
+                st.phase = Phase::Running;
+                st.early_exit = Some(EarlyExit {
+                    stage: stmt.graph.nodes[ni].stages.start,
+                    chunks: st.chunks_consumed,
+                });
+                satisfied = true;
+            }
+        }
+    }
+    if satisfied {
+        cancel_upstream(cx, si, ni);
+        run_gathered(cx, si, ni);
+        return;
+    }
+    if popped_err {
+        maybe_finalize_gather(cx, si, ni);
+    } else {
+        cx.schedule((si, ni - 1));
+    }
+}
+
+/// Finalizes a gather/bounded node whose input closed without meeting any
+/// bound: run the command on everything gathered.
+fn maybe_finalize_gather(cx: &Cx<'_, '_>, si: usize, ni: usize) {
+    let stmt = &cx.rt.stmts[si];
+    {
+        let q = lock(&stmt.edges[ni - 1].q);
+        if !q.closed || !q.items.is_empty() {
+            return;
+        }
+    }
+    {
+        let mut st = lock(&stmt.nodes[ni]);
+        if st.cancelled || !matches!(st.phase, Phase::Collecting) || st.inflight > 0 {
+            return;
+        }
+        st.phase = Phase::Running;
+        // Input ended before the bound: a plain run, not an early exit.
+        st.early_exit = None;
+    }
+    run_gathered(cx, si, ni);
+}
+
+/// Runs a gather/bounded node's command once over its gathered prefix and
+/// switches to emitting. `Phase::Running` (set by the caller) keeps
+/// concurrent tasks out while the command runs lock-free.
+fn run_gathered(cx: &Cx<'_, '_>, si: usize, ni: usize) {
+    let stmt = &cx.rt.stmts[si];
+    let cmd = stmt.chains[ni][0];
+    let input = {
+        let mut st = lock(&stmt.nodes[ni]);
+        std::mem::replace(&mut st.rope, Rope::new()).into_bytes()
+    };
+    let t0 = Instant::now();
+    match cmd.run(input, cx.rt.ctx) {
+        Err(e) => stmt_error(cx, si, e),
+        Ok(out) => {
+            let elapsed = t0.elapsed();
+            {
+                let mut st = lock(&stmt.nodes[ni]);
+                st.piece_times.push(elapsed);
+                st.bytes_out = out.len();
+                st.bytes_out_pieces = out.len();
+                st.phase = Phase::Emitting(Emit::new(out));
+            }
+            emit_task(cx, si, ni);
+        }
+    }
+}
+
+/// One emit quantum: stream a materialized output downstream as lazily
+/// cut chunks, stopping at the credit bound (a downstream pop reschedules
+/// us) and closing the edge at the end.
+fn emit_task(cx: &Cx<'_, '_>, si: usize, ni: usize) {
+    let stmt = &cx.rt.stmts[si];
+    let last = ni + 1 == stmt.graph.nodes.len();
+    let mut pushed = 0usize;
+    {
+        let mut st = lock(&stmt.nodes[ni]);
+        if st.cancelled {
+            return;
+        }
+        loop {
+            if !matches!(st.phase, Phase::Emitting(_)) {
+                return;
+            }
+            if matches!(&st.phase, Phase::Emitting(emit) if emit.done()) {
+                st.phase = Phase::Done;
+                break;
+            }
+            if !last && stmt.edges[ni].len.load(Ordering::Relaxed) >= cx.rt.queue_depth {
+                st.gate_since.get_or_insert_with(Instant::now);
+                drop(st);
+                schedule_pushes(cx, si, ni + 1, pushed);
+                return;
+            }
+            if let Some(gated) = st.gate_since.take() {
+                st.telem.send_stall += gated.elapsed();
+            }
+            let Phase::Emitting(emit) = &mut st.phase else {
+                unreachable!()
+            };
+            let chunk = emit.next_chunk(cx.rt.chunk_bytes, cx.rt.release_lag);
+            push_edge(stmt, ni, chunk);
+            pushed += 1;
+        }
+    }
+    if !last {
+        schedule_pushes(cx, si, ni + 1, pushed);
+    }
+    close_edge(cx, si, ni);
+}
+
+/// Early-exit teardown: a satisfied bound (or a failing statement) marks
+/// every node above `upto` cancelled and drops the chunks already queued
+/// on their edges — see the cancellation matrix in [`crate::dataflow`].
+fn cancel_upstream(cx: &Cx<'_, '_>, si: usize, upto: usize) {
+    let stmt = &cx.rt.stmts[si];
+    for k in 0..upto {
+        let mut st = lock(&stmt.nodes[k]);
+        st.cancelled = true;
+        if let Phase::Emitting(emit) = &st.phase {
+            // Nobody reads the rest of this stream: drop the resident
+            // tail of a mapped source now.
+            emit.abandon();
+        }
+        st.phase = Phase::Done;
+    }
+    for e in 0..upto {
+        let mut q = lock(&stmt.edges[e].q);
+        q.items.clear();
+        q.closed = true;
+        stmt.edges[e].len.store(0, Ordering::Relaxed);
+    }
+}
+
+/// Records a statement failure (first error wins), tears the whole
+/// statement down, and aborts statements that have not started yet.
+fn stmt_error(cx: &Cx<'_, '_>, si: usize, err: CmdError) {
+    let stmt = &cx.rt.stmts[si];
+    {
+        let mut slot = lock(&stmt.error);
+        if slot.is_none() {
+            *slot = Some(err);
+        }
+    }
+    cancel_upstream(cx, si, stmt.graph.nodes.len());
+    {
+        let mut q = lock(&stmt.edges[stmt.graph.nodes.len() - 1].q);
+        q.items.clear();
+        q.closed = true;
+    }
+    cx.rt.abort.store(true, Ordering::Release);
+    finish_statement(cx, si, None);
+    // Statements that never started will never be needed: the run's
+    // result is this error. Running siblings finish on their own.
+    for other in 0..cx.rt.stmts.len() {
+        if !cx.rt.stmts[other].started.swap(true, Ordering::AcqRel) {
+            finish_statement(cx, other, None);
+        }
+    }
+}
+
+/// Completes a statement: stores/redirects its output, releases
+/// dependents, and — when it is the last one — shuts the pool down.
+fn finish_statement(cx: &Cx<'_, '_>, si: usize, output: Option<Bytes>) {
+    let stmt = &cx.rt.stmts[si];
+    if stmt.finished.swap(true, Ordering::AcqRel) {
+        return;
+    }
+    if let Some(out) = output {
+        match &stmt.statement.output {
+            // Redirection stores the shared slice — no copy — and must
+            // land before any dependent statement starts reading.
+            Some(target) => cx.rt.ctx.vfs.write(target.clone(), out),
+            None => *lock(&stmt.output) = Some(out),
+        }
+        for &d in &stmt.dependents {
+            if cx.rt.stmts[d].deps_left.fetch_sub(1, Ordering::AcqRel) == 1 {
+                start_statement(cx, d);
+            }
+        }
+    }
+    if cx.rt.finished_count.fetch_add(1, Ordering::AcqRel) + 1 == cx.rt.stmts.len() {
+        cx.rt.done.store(true, Ordering::Release);
+        cx.rt.signal();
+    }
+}
+
+/// Builds the per-node [`StageTiming`]s after the pool has drained.
+fn snapshot_timings(stmt: &StmtRt<'_>) -> Vec<StageTiming> {
+    let mut out = Vec::with_capacity(stmt.graph.nodes.len().saturating_sub(1));
+    for (ni, node) in stmt.graph.nodes.iter().enumerate().skip(1) {
+        let st = lock(&stmt.nodes[ni]);
+        let label = stmt.chains[ni]
+            .iter()
+            .map(|c| c.display())
+            .collect::<Vec<_>>()
+            .join(" | ");
+        let (parallel, eliminated) = match node.kind {
+            NodeKind::StageWorker => (true, true),
+            NodeKind::Fold {
+                mode: FoldMode::Combine,
+            } => (true, false),
+            _ => (false, false),
+        };
+        out.push(StageTiming {
+            label,
+            parallel,
+            eliminated,
+            piece_times: st.piece_times.clone(),
+            combine_time: st.combine_time,
+            bytes_in: st.bytes_in,
+            bytes_out: st.bytes_out,
+            bytes_out_pieces: st.bytes_out_pieces,
+            early_exit: st.early_exit,
+            queue: Some(st.telem),
+        });
+    }
+    out
+}
+
+/// Slots a piece duration at its chunk ordinal (results arrive unordered).
+fn record_piece(times: &mut Vec<Duration>, seq: usize, dur: Duration) {
+    if times.len() <= seq {
+        times.resize(seq + 1, Duration::ZERO);
+    }
+    times[seq] = dur;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::exec::run_serial;
+    use crate::parse::parse_script;
+    use crate::plan::Planner;
+    use kq_synth::SynthesisConfig;
+    use std::collections::HashMap;
+
+    fn make_input(lines: usize) -> String {
+        let words = ["apple", "dog", "cat", "apple", "bird", "cat", "fox"];
+        let mut s = String::new();
+        for i in 0..lines {
+            s.push_str(&format!(
+                "{} {} line {}\n",
+                words[i % words.len()],
+                words[(i * 3 + 1) % words.len()],
+                i % 11
+            ));
+        }
+        s
+    }
+
+    fn check(script_text: &str, chunk_bytes: usize) {
+        let env: HashMap<String, String> = HashMap::new();
+        let script = parse_script(script_text, &env).unwrap();
+        let ctx = ExecContext::default();
+        ctx.vfs.write("/in.txt", make_input(500));
+        let serial = run_serial(&script, &ctx).unwrap();
+        let mut planner = Planner::new(SynthesisConfig::default());
+        let plan = planner.plan(&script, &ctx, &make_input(100));
+        for workers in [1, 3] {
+            for queue_depth in [1, 4] {
+                for fuse in [true, false] {
+                    let opts = DataflowOptions {
+                        workers,
+                        chunk_bytes,
+                        queue_depth,
+                        fuse_streamable: fuse,
+                    };
+                    // Redirect targets persist in the VFS: reset them by
+                    // using a fresh context per configuration is not
+                    // needed — serial already wrote the same bytes.
+                    let got = run_dataflow(&script, &plan, &ctx, &opts).unwrap();
+                    assert_eq!(
+                        got.output, serial.output,
+                        "{script_text:?} differs (w={workers}, chunk={chunk_bytes}, \
+                         depth={queue_depth}, fuse={fuse})"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn word_frequency_runs_on_the_shared_pool() {
+        check(
+            "cat /in.txt | cut -d ' ' -f 1 | sort | uniq -c | sort -rn",
+            256,
+        );
+    }
+
+    #[test]
+    fn streamable_chain_runs() {
+        check(
+            "cat /in.txt | grep apple | tr a-z A-Z | cut -d ' ' -f 1",
+            300,
+        );
+    }
+
+    #[test]
+    fn counting_pipeline_runs() {
+        check("cat /in.txt | grep apple | wc -l", 512);
+    }
+
+    #[test]
+    fn sequential_stage_mid_pipeline() {
+        check("cat /in.txt | sed 1d | sort | uniq", 400);
+    }
+
+    #[test]
+    fn chunk_larger_than_input_degenerates_to_serial() {
+        check("cat /in.txt | sort | uniq -c", 10_000_000);
+    }
+
+    #[test]
+    fn one_byte_chunks_are_one_line_each() {
+        check("cat /in.txt | cut -d ' ' -f 2 | sort | uniq -c", 1);
+    }
+
+    #[test]
+    fn redirect_chain_orders_statements() {
+        check(
+            "cat /in.txt | cut -d ' ' -f 1 | sort > /tmp1\ncat /tmp1 | uniq -c | sort -rn",
+            350,
+        );
+    }
+
+    #[test]
+    fn independent_statements_share_the_pool() {
+        check(
+            "cat /in.txt | grep apple | wc -l\ncat /in.txt | cut -d ' ' -f 2 | sort -u\n\
+             cat /in.txt | tr a-z A-Z | grep APPLE | head -n 3",
+            256,
+        );
+    }
+
+    #[test]
+    fn head_terminated_pipelines_stay_byte_identical() {
+        check("cat /in.txt | grep apple | head -n 1", 64);
+        check("cat /in.txt | head -n 2 | cut -d ' ' -f 1", 128);
+        check("cat /in.txt | sort -u | head -n 3", 256);
+        check("cat /in.txt | sed 5q | sort", 200);
+        check("cat /in.txt | grep apple | head -n 1 | tr a-z A-Z", 64);
+        check("cat /in.txt | head -n 0 | sort", 128);
+        check("cat /in.txt | head -n 999 | sort", 300);
+    }
+
+    #[test]
+    fn empty_input_is_fine() {
+        let env: HashMap<String, String> = HashMap::new();
+        let script = parse_script("cat /empty | sort | uniq -c", &env).unwrap();
+        let ctx = ExecContext::default();
+        ctx.vfs.write("/empty", "");
+        let mut planner = Planner::new(SynthesisConfig::default());
+        let plan = planner.plan(&script, &ctx, &make_input(50));
+        let got = run_dataflow(&script, &plan, &ctx, &DataflowOptions::default()).unwrap();
+        assert_eq!(got.output, "");
+    }
+
+    #[test]
+    fn bounded_consumer_cancels_upstream_and_reports_early_exit() {
+        let env: HashMap<String, String> = HashMap::new();
+        let script = parse_script("cat /in.txt | grep apple | head -n 1", &env).unwrap();
+        let ctx = ExecContext::default();
+        let input = make_input(5000);
+        ctx.vfs.write("/in.txt", &input);
+        let mut planner = Planner::new(SynthesisConfig::default());
+        let plan = planner.plan(&script, &ctx, &make_input(100));
+        let opts = DataflowOptions {
+            workers: 2,
+            chunk_bytes: 256,
+            queue_depth: 2,
+            fuse_streamable: true,
+        };
+        let got = run_dataflow(&script, &plan, &ctx, &opts).unwrap();
+        let serial = run_serial(&script, &ctx).unwrap();
+        assert_eq!(got.output, serial.output);
+        let stages = &got.timings.statements[0];
+        let head = stages
+            .iter()
+            .find(|s| s.label.starts_with("head"))
+            .expect("head stage timing");
+        let early = head.early_exit.expect("head must report its early exit");
+        assert!(early.chunks >= 1, "head consumed at least the first chunk");
+        assert_eq!(early.stage, 1, "head is pipeline stage 1 (grep is 0)");
+        let grep = stages
+            .iter()
+            .find(|s| s.label.starts_with("grep"))
+            .expect("grep stage timing");
+        assert!(
+            grep.bytes_in < input.len() / 4,
+            "grep consumed {} of {} bytes despite the cancellation",
+            grep.bytes_in,
+            input.len()
+        );
+    }
+
+    #[test]
+    fn exhausted_bound_is_not_an_early_exit() {
+        let env: HashMap<String, String> = HashMap::new();
+        let script = parse_script("cat /in.txt | head -n 999", &env).unwrap();
+        let ctx = ExecContext::default();
+        ctx.vfs.write("/in.txt", make_input(200));
+        let mut planner = Planner::new(SynthesisConfig::default());
+        let plan = planner.plan(&script, &ctx, &make_input(50));
+        let got = run_dataflow(&script, &plan, &ctx, &DataflowOptions::default()).unwrap();
+        let head = &got.timings.statements[0][0];
+        assert_eq!(head.early_exit, None);
+        assert_eq!(got.output, run_serial(&script, &ctx).unwrap().output);
+    }
+
+    #[test]
+    fn missing_input_file_is_an_error() {
+        let script = parse_script("cat /absent | sort", &HashMap::new()).unwrap();
+        let ctx = ExecContext::default();
+        let mut planner = Planner::new(SynthesisConfig::default());
+        let plan = planner.plan(&script, &ctx, "b\na\n");
+        assert!(run_dataflow(&script, &plan, &ctx, &DataflowOptions::default()).is_err());
+    }
+
+    #[test]
+    fn command_error_mid_pipeline_surfaces() {
+        let env: HashMap<String, String> = HashMap::new();
+        let script =
+            parse_script("cat /in.txt | grep apple | comm -23 - /nonexistent", &env).unwrap();
+        let ctx = ExecContext::default();
+        ctx.vfs.write("/in.txt", make_input(200));
+        let mut planner = Planner::new(SynthesisConfig::default());
+        let plan = planner.plan(&script, &ctx, &make_input(50));
+        assert!(run_dataflow(&script, &plan, &ctx, &DataflowOptions::default()).is_err());
+    }
+
+    #[test]
+    fn timing_log_reports_nodes_with_queue_telemetry() {
+        let env: HashMap<String, String> = HashMap::new();
+        let script = parse_script("cat /in.txt | tr A-Z a-z | grep a | sort", &env).unwrap();
+        let ctx = ExecContext::default();
+        let input = make_input(400);
+        ctx.vfs.write("/in.txt", &input);
+        let mut planner = Planner::new(SynthesisConfig::default());
+        let plan = planner.plan(&script, &ctx, &input);
+        let opts = DataflowOptions {
+            workers: 2,
+            chunk_bytes: 1024,
+            queue_depth: 2,
+            fuse_streamable: true,
+        };
+        let got = run_dataflow(&script, &plan, &ctx, &opts).unwrap();
+        let stages = &got.timings.statements[0];
+        assert_eq!(stages.len(), 2, "tr|grep fuse; sort folds");
+        assert!(stages[0].label.contains('|'));
+        assert!(stages[0].eliminated);
+        assert!(!stages[1].eliminated);
+        assert!(stages[1].combine_time > Duration::ZERO);
+        assert!(stages[0].piece_times.len() > 1, "expected many chunks");
+        let telem = stages[0].queue.expect("dataflow reports queue telemetry");
+        assert!(telem.tasks > 1, "one task per chunk");
+        assert!(stages[1].queue.is_some());
+    }
+
+    #[test]
+    fn statement_deps_cover_raw_waw_war() {
+        let env: HashMap<String, String> = HashMap::new();
+        let script = parse_script(
+            "cat /a | sort > /x\ncat /x | uniq > /y\ncat /b | grep q > /x\ncat /c | wc -l",
+            &env,
+        )
+        .unwrap();
+        let deps = statement_deps(&script);
+        assert_eq!(deps[0], Vec::<usize>::new());
+        assert_eq!(deps[1], vec![0], "RAW on /x");
+        // Statement 2 rewrites /x: WAW with 0, WAR with 1 (which reads /x).
+        assert_eq!(deps[2], vec![0, 1]);
+        assert_eq!(deps[3], Vec::<usize>::new(), "independent statement");
+    }
+}

@@ -195,6 +195,7 @@ mod tests {
             bytes_out: 0,
             bytes_out_pieces: 0,
             early_exit: None,
+            queue: None,
         }
     }
 

@@ -141,18 +141,23 @@ type Chunk = (usize, Bytes);
 /// the bounded in-flight window has structurally passed are dropped
 /// ([`Bytes::release_range`]; a no-op for heap sources, a refault-on-
 /// retouch hint for mapped ones). Returns `false` when the consumer
-/// disappeared (pipeline teardown).
+/// disappeared (pipeline teardown). Time spent blocked inside `send`
+/// (downstream backpressure) accumulates into `send_stall`.
 fn send_chunked(
     source: &Bytes,
     chunk_bytes: usize,
     release_lag: usize,
     tx: &channel::Sender<Chunk>,
+    send_stall: &mut Duration,
 ) -> bool {
     let mut fed = 0usize;
     let mut released = 0usize;
     for chunk in source.chunks(chunk_bytes).enumerate() {
         let len = chunk.1.len();
-        if tx.send(chunk).is_err() {
+        let t0 = Instant::now();
+        let sent = tx.send(chunk);
+        *send_stall += t0.elapsed();
+        if sent.is_err() {
             // The consumer disappeared — cancellation (a bounded consumer
             // satisfied its demand) or failure teardown. Nobody will read
             // the rest of this stream: drop the whole resident tail of a
@@ -264,7 +269,15 @@ fn run_statement(
         let feed_input = input.clone();
         scope.spawn(move || {
             // A send failure means downstream tore down; unwind quietly.
-            send_chunked(&feed_input, chunk_bytes, release_lag, &feed_tx);
+            // The feeder has no StageTiming, so its stall is discarded.
+            let mut discarded_stall = Duration::ZERO;
+            send_chunked(
+                &feed_input,
+                chunk_bytes,
+                release_lag,
+                &feed_tx,
+                &mut discarded_stall,
+            );
         });
 
         let mut handles = Vec::with_capacity(segments.len());
@@ -284,8 +297,12 @@ fn run_statement(
                         let mut seen = 0usize;
                         let mut chunks = 0usize;
                         let mut upstream_done = false;
+                        let mut telem = crate::exec::QueueTelemetry::default();
                         while seen < lines {
-                            let Some((_seq, chunk)) = seg_rx.recv() else {
+                            let t0 = Instant::now();
+                            let received = seg_rx.recv();
+                            telem.recv_stall += t0.elapsed();
+                            let Some((_seq, chunk)) = received else {
                                 upstream_done = true;
                                 break;
                             };
@@ -294,6 +311,7 @@ fn run_statement(
                             }
                             seen += chunk.count_newlines();
                             chunks += 1;
+                            telem.tasks += 1;
                             rope.push(chunk);
                         }
                         // Cancellation point. Sound because the chunks are
@@ -309,7 +327,13 @@ fn run_statement(
                         let out = cmd.run(stage_in, ctx)?;
                         let elapsed = t0.elapsed();
                         let bytes_out = out.len();
-                        send_chunked(&out, chunk_bytes, release_lag, &seg_tx);
+                        send_chunked(
+                            &out,
+                            chunk_bytes,
+                            release_lag,
+                            &seg_tx,
+                            &mut telem.send_stall,
+                        );
                         Ok(StageTiming {
                             label: cmd.display(),
                             parallel: false,
@@ -323,6 +347,7 @@ fn run_statement(
                                 stage: stage_idx,
                                 chunks,
                             }),
+                            queue: Some(telem),
                         })
                     })
                 }
@@ -330,13 +355,19 @@ fn run_statement(
                     let cmd = &statement.stages[segment.stages.start].command;
                     scope.spawn(move || -> Result<StageTiming, CmdError> {
                         let mut rope = Rope::new();
-                        for (_seq, chunk) in seg_rx.iter() {
+                        let mut telem = crate::exec::QueueTelemetry::default();
+                        loop {
+                            let t0 = Instant::now();
+                            let received = seg_rx.recv();
+                            telem.recv_stall += t0.elapsed();
+                            let Some((_seq, chunk)) = received else { break };
                             // Downstream tore down (its own handle carries
                             // the error): stop gathering so upstream
                             // unwinds now instead of draining the stream.
                             if seg_tx.is_disconnected() {
                                 return Ok(empty_timing(cmd.display(), false, false));
                             }
+                            telem.tasks += 1;
                             rope.push(chunk);
                         }
                         let stage_in = rope.into_bytes();
@@ -349,7 +380,13 @@ fn run_statement(
                         // mapped input itself: chunk it lazily with the
                         // same trailing release as the feeder, or the
                         // re-chunk scan would page the whole map in.
-                        send_chunked(&out, chunk_bytes, release_lag, &seg_tx);
+                        send_chunked(
+                            &out,
+                            chunk_bytes,
+                            release_lag,
+                            &seg_tx,
+                            &mut telem.send_stall,
+                        );
                         Ok(StageTiming {
                             label: cmd.display(),
                             parallel: false,
@@ -360,6 +397,7 @@ fn run_statement(
                             bytes_out,
                             bytes_out_pieces: bytes_out,
                             early_exit: None,
+                            queue: Some(telem),
                         })
                     })
                 }
@@ -491,7 +529,14 @@ fn collect_streaming(
     // these numbers land in the successful result and must describe the
     // work that actually happened, not read as a zero-byte stage.
     let mut torn_down = false;
-    'collect: for (seq, in_len, dur, res) in res_rx.iter() {
+    let mut telem = crate::exec::QueueTelemetry::default();
+    'collect: loop {
+        let t0 = Instant::now();
+        let received = res_rx.recv();
+        telem.recv_stall += t0.elapsed();
+        let Some((seq, in_len, dur, res)) = received else {
+            break 'collect;
+        };
         // Sends only happen when chunk output actually accumulates, so a
         // sparse segment (`grep` with one match) could otherwise drain
         // its whole input without ever noticing that a bounded consumer
@@ -502,6 +547,7 @@ fn collect_streaming(
         }
         record_piece(&mut piece_times, seq, dur);
         bytes_in += in_len;
+        telem.tasks += 1;
         // A chain error tears the pipeline down: returning drops `res_rx`
         // and `seg_tx` (downstream sees end-of-input and drains).
         let out = res?;
@@ -514,7 +560,10 @@ fn collect_streaming(
                 outgoing.extend(chunker.flush_pending());
             }
             for chunk in outgoing {
-                if seg_tx.send((out_seq, chunk)).is_err() {
+                let t0 = Instant::now();
+                let sent = seg_tx.send((out_seq, chunk));
+                telem.send_stall += t0.elapsed();
+                if sent.is_err() {
                     torn_down = true;
                     break 'collect;
                 }
@@ -524,7 +573,10 @@ fn collect_streaming(
     }
     if !torn_down {
         for chunk in chunker.finish() {
-            if seg_tx.send((out_seq, chunk)).is_err() {
+            let t0 = Instant::now();
+            let sent = seg_tx.send((out_seq, chunk));
+            telem.send_stall += t0.elapsed();
+            if sent.is_err() {
                 break;
             }
             out_seq += 1;
@@ -540,6 +592,7 @@ fn collect_streaming(
         bytes_out,
         bytes_out_pieces: bytes_out,
         early_exit: None,
+        queue: Some(telem),
     })
 }
 
@@ -572,7 +625,14 @@ fn collect_barrier(
     // consumer's cancellation (`sort | head -n 1`) is a success whose
     // result must still report the piece work this barrier actually did.
     let mut torn_down = false;
-    for (seq, in_len, dur, res) in res_rx.iter() {
+    let mut telem = crate::exec::QueueTelemetry::default();
+    loop {
+        let t0 = Instant::now();
+        let received = res_rx.recv();
+        telem.recv_stall += t0.elapsed();
+        let Some((seq, in_len, dur, res)) = received else {
+            break;
+        };
         // This collector only transmits after end-of-input, so a blocked
         // `send` cannot tell it the consumer died — poll instead.
         if seg_tx.is_disconnected() {
@@ -581,6 +641,7 @@ fn collect_barrier(
         }
         record_piece(&mut piece_times, seq, dur);
         bytes_in += in_len;
+        telem.tasks += 1;
         let out = res?;
         pending.insert(seq, out);
         while let Some(piece) = pending.remove(&next) {
@@ -600,7 +661,13 @@ fn collect_barrier(
             .finish()
             .map_err(|e| CmdError::new(closing_cmd.display(), e.to_string()))?;
         combine_time += t0.elapsed();
-        send_chunked(&combined, chunk_bytes, release_lag, &seg_tx);
+        send_chunked(
+            &combined,
+            chunk_bytes,
+            release_lag,
+            &seg_tx,
+            &mut telem.send_stall,
+        );
         combined.len()
     };
     Ok(StageTiming {
@@ -613,6 +680,7 @@ fn collect_barrier(
         bytes_out,
         bytes_out_pieces,
         early_exit: None,
+        queue: Some(telem),
     })
 }
 
@@ -630,6 +698,7 @@ fn empty_timing(label: String, parallel: bool, eliminated: bool) -> StageTiming 
         bytes_out: 0,
         bytes_out_pieces: 0,
         early_exit: None,
+        queue: None,
     }
 }
 

@@ -1,11 +1,13 @@
 //! Minimal API-compatible stand-in for the parts of `crossbeam` the
 //! workspace uses: `channel::{bounded, unbounded}` MPMC channels with
-//! clonable senders *and receivers*, blocking `send`, and a blocking
-//! receiver iterator that terminates when every sender is gone.
+//! clonable senders *and receivers*, blocking `send`, a blocking
+//! receiver iterator that terminates when every sender is gone, and
+//! `deque::{Injector, Worker, Stealer}` — the work-stealing task queues
+//! behind the dataflow scheduler.
 //!
-//! The implementation is a `Mutex<VecDeque>` with two condvars — not
-//! lock-free like the real crossbeam, but the executors move chunk
-//! *handles* (refcounted byte slices) through the channel, so channel
+//! The implementations are `Mutex<VecDeque>`-based — not lock-free like
+//! the real crossbeam, but the executors move chunk *handles* (refcounted
+//! byte slices) and tiny task descriptors through them, so queue
 //! throughput is nowhere near the bottleneck.
 
 /// MPMC channels (`crossbeam::channel` subset).
@@ -179,9 +181,201 @@ pub mod channel {
     }
 }
 
+/// Work-stealing deques (`crossbeam::deque` subset): a global [`Injector`]
+/// plus one [`Worker`] per scheduler thread, each exposing a [`Stealer`]
+/// handle to its siblings. Non-blocking by design — an empty pop/steal
+/// returns immediately and the *caller* decides whether to park — which is
+/// exactly the contract the dataflow scheduler's idle protocol needs.
+pub mod deque {
+    use std::collections::VecDeque;
+    use std::sync::{Arc, Mutex};
+
+    /// Outcome of a steal attempt, mirroring crossbeam's three-way result.
+    /// This shim's `Mutex` queues never conflict, so [`Steal::Retry`] is
+    /// never produced here — but callers loop on it, keeping them correct
+    /// against the real lock-free implementation too.
+    #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+    pub enum Steal<T> {
+        /// The queue was observed empty.
+        Empty,
+        /// A task was stolen.
+        Success(T),
+        /// A concurrent operation interfered; try again.
+        Retry,
+    }
+
+    /// A FIFO global queue every worker can push to and steal from.
+    pub struct Injector<T> {
+        queue: Mutex<VecDeque<T>>,
+    }
+
+    impl<T> Default for Injector<T> {
+        fn default() -> Self {
+            Injector::new()
+        }
+    }
+
+    impl<T> Injector<T> {
+        /// An empty injector.
+        pub fn new() -> Injector<T> {
+            Injector {
+                queue: Mutex::new(VecDeque::new()),
+            }
+        }
+
+        /// Enqueues a task at the back.
+        pub fn push(&self, task: T) {
+            self.queue
+                .lock()
+                .unwrap_or_else(|e| e.into_inner())
+                .push_back(task);
+        }
+
+        /// Takes a task from the front.
+        pub fn steal(&self) -> Steal<T> {
+            match self
+                .queue
+                .lock()
+                .unwrap_or_else(|e| e.into_inner())
+                .pop_front()
+            {
+                Some(t) => Steal::Success(t),
+                None => Steal::Empty,
+            }
+        }
+
+        /// True when no task is queued (racy, advisory only).
+        pub fn is_empty(&self) -> bool {
+            self.queue
+                .lock()
+                .unwrap_or_else(|e| e.into_inner())
+                .is_empty()
+        }
+    }
+
+    /// A worker-owned queue: the owner pushes and pops at the front
+    /// (FIFO here, like `Worker::new_fifo()`), thieves steal from the
+    /// back via the [`Stealer`] handle.
+    pub struct Worker<T> {
+        queue: Arc<Mutex<VecDeque<T>>>,
+    }
+
+    impl<T> Worker<T> {
+        /// A FIFO worker queue (matches `crossbeam::deque::Worker::new_fifo`).
+        pub fn new_fifo() -> Worker<T> {
+            Worker {
+                queue: Arc::new(Mutex::new(VecDeque::new())),
+            }
+        }
+
+        /// Enqueues a task on the owner's side.
+        pub fn push(&self, task: T) {
+            self.queue
+                .lock()
+                .unwrap_or_else(|e| e.into_inner())
+                .push_back(task);
+        }
+
+        /// Dequeues the owner's next task.
+        pub fn pop(&self) -> Option<T> {
+            self.queue
+                .lock()
+                .unwrap_or_else(|e| e.into_inner())
+                .pop_front()
+        }
+
+        /// A handle siblings use to steal from this queue.
+        pub fn stealer(&self) -> Stealer<T> {
+            Stealer {
+                queue: self.queue.clone(),
+            }
+        }
+    }
+
+    /// The thief-side handle of a [`Worker`] queue. Clonable.
+    pub struct Stealer<T> {
+        queue: Arc<Mutex<VecDeque<T>>>,
+    }
+
+    impl<T> Clone for Stealer<T> {
+        fn clone(&self) -> Self {
+            Stealer {
+                queue: self.queue.clone(),
+            }
+        }
+    }
+
+    impl<T> Stealer<T> {
+        /// Steals one task from the back of the owner's queue (the
+        /// oldest-first end stays with the owner, minimizing contention).
+        pub fn steal(&self) -> Steal<T> {
+            match self
+                .queue
+                .lock()
+                .unwrap_or_else(|e| e.into_inner())
+                .pop_back()
+            {
+                Some(t) => Steal::Success(t),
+                None => Steal::Empty,
+            }
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::channel;
+    use super::deque::{Injector, Steal, Worker};
+
+    #[test]
+    fn deque_owner_and_thief_drain_everything() {
+        let injector = Injector::new();
+        let local = Worker::new_fifo();
+        let stealer = local.stealer();
+        for i in 0..10 {
+            injector.push(i);
+            local.push(100 + i);
+        }
+        let mut got = Vec::new();
+        while let Steal::Success(t) = injector.steal() {
+            got.push(t);
+        }
+        while let Some(t) = local.pop() {
+            got.push(t);
+        }
+        assert_eq!(stealer.steal(), Steal::Empty);
+        got.sort_unstable();
+        let want: Vec<i32> = (0..10).chain(100..110).collect();
+        assert_eq!(got, want);
+    }
+
+    #[test]
+    fn deque_steal_races_with_owner() {
+        let local = Worker::new_fifo();
+        let stealer = local.stealer();
+        for i in 0..1000 {
+            local.push(i);
+        }
+        let stolen = std::thread::scope(|scope| {
+            let handle = scope.spawn(|| {
+                let mut n = 0usize;
+                loop {
+                    match stealer.steal() {
+                        Steal::Success(_) => n += 1,
+                        Steal::Empty => break,
+                        Steal::Retry => continue,
+                    }
+                }
+                n
+            });
+            let mut popped = 0usize;
+            while local.pop().is_some() {
+                popped += 1;
+            }
+            (handle.join().unwrap(), popped)
+        });
+        assert_eq!(stolen.0 + stolen.1, 1000, "every task taken exactly once");
+    }
 
     #[test]
     fn fan_out_fan_in() {

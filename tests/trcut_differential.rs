@@ -1,0 +1,124 @@
+//! Differential harness for the `tr -d` and `cut` byte fast paths.
+//!
+//! Both commands gained `grep`-style slice fast paths: output assembled
+//! as coalesced sub-slices of the input `Bytes` instead of a rebuilt
+//! `String`. This suite mirrors `tests/grep_differential.rs`: walk every
+//! corpus script, re-parse each `tr`/`cut` stage, and run the fast path
+//! against the reference implementation on the script's own generated
+//! input — so the slice paths are validated on exactly the SET specs and
+//! field lists real scripts use, not just hand-picked unit cases.
+
+use kq_coreutils::cut::CutCmd;
+use kq_coreutils::tr::TrCmd;
+use kq_coreutils::{Bytes, ExecContext, UnixCommand};
+use kq_pipeline::parse::parse_script;
+use kq_workloads::{corpus, setup, Scale};
+
+#[test]
+fn corpus_tr_stages_fast_path_matches_reference() {
+    let scale = Scale {
+        input_bytes: 20_000,
+    };
+    let ctx_proto = ExecContext::default();
+    let mut stages_checked = 0usize;
+    for script in corpus() {
+        let ctx = ExecContext::default();
+        let env = setup(script, &ctx, &scale, 0xBEEF);
+        let parsed = parse_script(script.text, &env)
+            .unwrap_or_else(|e| panic!("{}/{} parse: {e}", script.suite.dir(), script.id));
+        let input = ctx.vfs.read(&env["IN"]).unwrap();
+        for statement in &parsed.statements {
+            for stage in &statement.stages {
+                if stage.command.program() != "tr" {
+                    continue;
+                }
+                let t = TrCmd::parse(&stage.command.argv()[1..])
+                    .unwrap_or_else(|e| panic!("{}: {e}", stage.command.display()));
+                let fast = t
+                    .run(Bytes::from(input.as_str()), &ctx_proto)
+                    .unwrap_or_else(|e| panic!("{}: {e}", stage.command.display()));
+                assert_eq!(
+                    fast.as_str(),
+                    t.run_reference(&input),
+                    "{}/{}: {} fast path diverged",
+                    script.suite.dir(),
+                    script.id,
+                    stage.command.display()
+                );
+                stages_checked += 1;
+            }
+        }
+    }
+    assert!(
+        stages_checked >= 10,
+        "corpus drifted: only {stages_checked} tr stages checked"
+    );
+}
+
+#[test]
+fn corpus_cut_stages_fast_path_matches_reference() {
+    let scale = Scale {
+        input_bytes: 20_000,
+    };
+    let ctx_proto = ExecContext::default();
+    let mut stages_checked = 0usize;
+    for script in corpus() {
+        let ctx = ExecContext::default();
+        let env = setup(script, &ctx, &scale, 0xBEEF);
+        let parsed = parse_script(script.text, &env)
+            .unwrap_or_else(|e| panic!("{}/{} parse: {e}", script.suite.dir(), script.id));
+        let input = ctx.vfs.read(&env["IN"]).unwrap();
+        for statement in &parsed.statements {
+            for stage in &statement.stages {
+                if stage.command.program() != "cut" {
+                    continue;
+                }
+                let c = CutCmd::parse(&stage.command.argv()[1..])
+                    .unwrap_or_else(|e| panic!("{}: {e}", stage.command.display()));
+                let fast = c
+                    .run(Bytes::from(input.as_str()), &ctx_proto)
+                    .unwrap_or_else(|e| panic!("{}: {e}", stage.command.display()));
+                let reference = c.run_reference(&input);
+                assert_eq!(
+                    fast.as_str(),
+                    reference,
+                    "{}/{}: {} fast path diverged",
+                    script.suite.dir(),
+                    script.id,
+                    stage.command.display()
+                );
+                stages_checked += 1;
+            }
+        }
+    }
+    assert!(
+        stages_checked >= 10,
+        "corpus drifted: only {stages_checked} cut stages checked"
+    );
+}
+
+/// The zero-copy contract: selections that keep entire inputs return the
+/// input buffer itself, not a copy — on corpus-shaped data, not toys.
+#[test]
+fn full_keep_results_share_the_input_buffer() {
+    let ctx = ExecContext::default();
+    let input = Bytes::from("alpha one\nbeta two\ngamma three\n".repeat(500));
+
+    let tr_words = kq_coreutils::split_words("tr -d 'Q'").unwrap();
+    let t = TrCmd::parse(&tr_words[1..]).unwrap();
+    let out = t.run(input.clone(), &ctx).unwrap();
+    assert_eq!(out, input);
+    assert!(
+        out.shares_buffer(&input),
+        "tr -d of an absent byte must be a refcount bump"
+    );
+
+    let cut_words = kq_coreutils::split_words("cut -c 1-").unwrap();
+    let c = CutCmd::parse(&cut_words[1..]).unwrap();
+    let out = c.run(input.clone(), &ctx).unwrap();
+    assert_eq!(out, input);
+    assert!(
+        out.shares_buffer(&input),
+        "cut -c 1- must be a refcount bump"
+    );
+}
