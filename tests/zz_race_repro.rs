@@ -1,0 +1,53 @@
+//! Temporary reviewer stress test: hunt for a lost-finalization hang at
+//! Fold(Gather)/BoundedConsumer nodes in the dataflow scheduler.
+
+use kq_coreutils::ExecContext;
+use kq_pipeline::parse::parse_script;
+use kq_pipeline::plan::Planner;
+use kq_pipeline::scheduler::{run_dataflow, DataflowOptions};
+use kq_synth::SynthesisConfig;
+use std::collections::HashMap;
+use std::sync::mpsc;
+use std::time::Duration;
+
+#[test]
+fn gather_finalize_stress() {
+    let env: HashMap<String, String> = HashMap::new();
+    // `sed 1d` is a sequential (Gather) stage fed by the split.
+    let script_text = "cat /in.txt | sed 1d | sort";
+    let mut input = String::new();
+    for i in 0..300 {
+        input.push_str(&format!("line {} {}\n", i % 7, i));
+    }
+    let script = parse_script(script_text, &env).unwrap();
+    let ctx = ExecContext::default();
+    ctx.vfs.write("/in.txt", &input);
+    let mut planner = Planner::new(SynthesisConfig::default());
+    let plan = planner.plan(&script, &ctx, &input);
+
+    for iter in 0..3000 {
+        let (tx, rx) = mpsc::channel();
+        std::thread::scope(|scope| {
+            let script = &script;
+            let plan = &plan;
+            let ctx = &ctx;
+            scope.spawn(move || {
+                let opts = DataflowOptions {
+                    workers: 4,
+                    chunk_bytes: 64,
+                    queue_depth: 2,
+                    fuse_streamable: true,
+                };
+                let got = run_dataflow(script, plan, ctx, &opts).unwrap();
+                tx.send(got.output.len()).unwrap();
+            });
+            match rx.recv_timeout(Duration::from_secs(20)) {
+                Ok(_) => {}
+                Err(_) => {
+                    eprintln!("HANG detected at iteration {iter}");
+                    std::process::exit(42);
+                }
+            }
+        });
+    }
+}
