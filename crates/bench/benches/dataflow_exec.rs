@@ -129,12 +129,14 @@ fn main() {
         chunk_bytes: CHUNK_BYTES,
         queue_depth: 4,
         fuse_streamable: true,
+        spill: None,
     };
     let dopts = DataflowOptions {
         workers: WORKERS,
         chunk_bytes: CHUNK_BYTES,
         queue_depth: 4,
         fuse_streamable: true,
+        spill: None,
     };
 
     // Correctness guard before timing anything: both executors must agree

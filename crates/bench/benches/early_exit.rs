@@ -72,6 +72,7 @@ fn bench_early_exit(c: &mut Criterion) {
         chunk_bytes: 128 * 1024,
         queue_depth: 4,
         fuse_streamable: true,
+        spill: None,
     };
     assert_eq!(
         run_streaming(&bounded, &bounded_plan, &ctx, &sopts)

@@ -1,0 +1,267 @@
+//! Bounded-memory sort: peak RSS of a big dataflow `sort` with and
+//! without a `--spill-mb` budget, persisted to `BENCH_spill.json`.
+//!
+//! The point of spilling is a *memory* bound, not speed, so the headline
+//! numbers here are `VmHWM` figures: an in-memory fold holds every
+//! sorted run on the heap until the final merge (peak ~ several × input),
+//! while a budgeted fold writes runs to temp files and maps them back, so
+//! its peak stays O(budget + merge window) regardless of input size.
+//!
+//! `VmHWM` is a monotonic per-process high-water mark, so one process
+//! cannot measure two configurations — the harness re-executes itself as
+//! a fresh subprocess per configuration (`KQ_SPILL_CHILD`), each mapping
+//! the same on-disk input (never heap-copying it) and reporting its own
+//! peak plus an output checksum on stdout. The parent asserts the
+//! checksums agree across configurations and against the serial oracle,
+//! then writes the JSON.
+//!
+//! Input defaults to 256 MiB with a 64 MiB budget (`KQ_BENCH_QUICK=1`
+//! shrinks to 8 MiB / 2 MiB for the CI smoke; `KQ_SPILL_BENCH_KB` /
+//! `KQ_SPILL_BUDGET_KB` override). `KQ_BENCH_OUT` overrides the output
+//! path.
+
+use kq_coreutils::ExecContext;
+use kq_io::{read_path_text, IngestOptions, MmapMode};
+use kq_pipeline::exec::run_serial;
+use kq_pipeline::parse::parse_script;
+use kq_pipeline::plan::Planner;
+use kq_pipeline::scheduler::{run_dataflow, DataflowOptions};
+use kq_synth::SynthesisConfig;
+use std::collections::HashMap;
+use std::path::{Path, PathBuf};
+use std::time::Instant;
+
+const SCRIPT: &str = "cat /in.txt | sort";
+const WORKERS: usize = 4;
+const CHUNK_BYTES: usize = 1 << 20;
+
+fn quick_mode() -> bool {
+    std::env::var("KQ_BENCH_QUICK")
+        .map(|v| v == "1")
+        .unwrap_or(false)
+}
+
+fn input_bytes() -> usize {
+    let kb = std::env::var("KQ_SPILL_BENCH_KB")
+        .ok()
+        .and_then(|v| v.parse::<usize>().ok())
+        .unwrap_or(if quick_mode() { 8 * 1024 } else { 256 * 1024 });
+    kb * 1024
+}
+
+fn budget_bytes() -> usize {
+    let kb = std::env::var("KQ_SPILL_BUDGET_KB")
+        .ok()
+        .and_then(|v| v.parse::<usize>().ok())
+        .unwrap_or(if quick_mode() { 2 * 1024 } else { 64 * 1024 });
+    kb * 1024
+}
+
+/// Writes the benchmark input file once: ~32-byte lines with heavily
+/// repeated keys and a deterministic pseudo-random tail, unsorted.
+fn write_input(path: &Path, bytes: usize) {
+    use std::io::Write;
+    let f = std::fs::File::create(path).unwrap_or_else(|e| panic!("{}: {e}", path.display()));
+    let mut w = std::io::BufWriter::new(f);
+    let mut i = 0usize;
+    let mut written = 0usize;
+    while written < bytes {
+        let line = format!(
+            "key {:03} item {:07} tail {:04}\n",
+            (i * 131) % 499,
+            (i * 2654435761) % 9999991,
+            i % 7919
+        );
+        written += line.len();
+        w.write_all(line.as_bytes()).unwrap();
+        i += 1;
+    }
+    w.into_inner().unwrap().sync_all().unwrap();
+}
+
+/// Peak resident set of this process so far, from /proc (0 elsewhere).
+fn vm_hwm_kb() -> u64 {
+    std::fs::read_to_string("/proc/self/status")
+        .ok()
+        .and_then(|s| {
+            s.lines()
+                .find_map(|l| l.strip_prefix("VmHWM:"))
+                .and_then(|v| v.trim().trim_end_matches(" kB").trim().parse().ok())
+        })
+        .unwrap_or(0)
+}
+
+/// FNV-1a over the output — a checksum the parent can compare across
+/// subprocesses without shipping hundreds of MiB through a pipe.
+fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+/// One measured configuration, run in a fresh subprocess: maps the input,
+/// plans and runs the dataflow sort (with or without a spill budget), and
+/// prints `CHILD <vm_hwm_kb> <millis> <runs_spilled> <checksum>`.
+fn run_child(input_path: &str, budget: Option<usize>) {
+    let env: HashMap<String, String> = HashMap::new();
+    let script = parse_script(SCRIPT, &env).unwrap();
+    let ctx = ExecContext::default();
+    let mapped = read_path_text(input_path, &IngestOptions::with_mode(MmapMode::On))
+        .unwrap_or_else(|e| panic!("{input_path}: {e}"));
+    let sample_cut = mapped.as_str()[..mapped.len().min(16_384)]
+        .rfind('\n')
+        .map(|i| i + 1)
+        .unwrap_or(0);
+    let sample = mapped.as_str()[..sample_cut].to_owned();
+    ctx.vfs.write("/in.txt", mapped);
+    let mut planner = Planner::new(SynthesisConfig::default());
+    let plan = planner.plan(&script, &ctx, &sample);
+    let opts = DataflowOptions {
+        workers: WORKERS,
+        chunk_bytes: CHUNK_BYTES,
+        queue_depth: 4,
+        fuse_streamable: true,
+        spill: budget.map(|budget_bytes| kq_dsl::SpillPolicy {
+            budget_bytes,
+            dir: None,
+        }),
+    };
+    let t0 = Instant::now();
+    let r = run_dataflow(&script, &plan, &ctx, &opts).unwrap();
+    let millis = t0.elapsed().as_millis();
+    // Peak RSS is read *before* the checksum walk: scanning the mapped
+    // merge output pages it all back in, which is exactly the residency
+    // the spilling run avoided during the sort itself.
+    let peak = vm_hwm_kb();
+    let spilled: u64 = r
+        .timings
+        .statements
+        .iter()
+        .flatten()
+        .filter_map(|t| t.spill)
+        .map(|sp| sp.runs_spilled)
+        .sum();
+    println!(
+        "CHILD {peak} {millis} {spilled} {:016x}",
+        fnv1a(r.output.as_bytes())
+    );
+}
+
+struct ChildReport {
+    vm_hwm_kb: u64,
+    millis: u64,
+    runs_spilled: u64,
+    checksum: String,
+}
+
+/// Re-executes this binary with `KQ_SPILL_CHILD` set and parses its
+/// report line.
+fn spawn_child(config: &str, input_path: &Path) -> ChildReport {
+    let exe = std::env::current_exe().unwrap();
+    let out = std::process::Command::new(exe)
+        .env("KQ_SPILL_CHILD", config)
+        .env("KQ_SPILL_INPUT", input_path)
+        .output()
+        .expect("spawn spill bench child");
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(
+        out.status.success(),
+        "child {config} failed: {stdout}\n{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let report = stdout
+        .lines()
+        .find_map(|l| l.strip_prefix("CHILD "))
+        .unwrap_or_else(|| panic!("child {config} printed no report: {stdout}"));
+    let fields: Vec<&str> = report.split_whitespace().collect();
+    assert_eq!(fields.len(), 4, "malformed child report: {report}");
+    ChildReport {
+        vm_hwm_kb: fields[0].parse().unwrap(),
+        millis: fields[1].parse().unwrap(),
+        runs_spilled: fields[2].parse().unwrap(),
+        checksum: fields[3].to_owned(),
+    }
+}
+
+fn main() {
+    if let Ok(config) = std::env::var("KQ_SPILL_CHILD") {
+        let input = std::env::var("KQ_SPILL_INPUT").expect("KQ_SPILL_INPUT");
+        let budget = match config.as_str() {
+            "in_memory" => None,
+            "spill" => Some(budget_bytes()),
+            other => panic!("unknown child config {other:?}"),
+        };
+        run_child(&input, budget);
+        return;
+    }
+
+    let bytes = input_bytes();
+    let budget = budget_bytes();
+    let input_path: PathBuf =
+        std::env::temp_dir().join(format!("kq-spill-bench-{}.txt", std::process::id()));
+    write_input(&input_path, bytes);
+
+    // Serial oracle on a small prefix-independent check would not cover
+    // the full input; instead checksum the full serial sort (heap-bound,
+    // but this is the parent process — its RSS is not measured).
+    let serial_sum = {
+        let env: HashMap<String, String> = HashMap::new();
+        let script = parse_script(SCRIPT, &env).unwrap();
+        let ctx = ExecContext::default();
+        let mapped = read_path_text(&input_path, &IngestOptions::with_mode(MmapMode::On)).unwrap();
+        ctx.vfs.write("/in.txt", mapped);
+        let r = run_serial(&script, &ctx).unwrap();
+        format!("{:016x}", fnv1a(r.output.as_bytes()))
+    };
+
+    let in_memory = spawn_child("in_memory", &input_path);
+    let spill = spawn_child("spill", &input_path);
+    std::fs::remove_file(&input_path).ok();
+
+    assert_eq!(
+        in_memory.checksum, serial_sum,
+        "in-memory dataflow sort diverged from serial"
+    );
+    assert_eq!(
+        spill.checksum, serial_sum,
+        "spilled dataflow sort diverged from serial"
+    );
+    assert_eq!(in_memory.runs_spilled, 0, "unbudgeted run touched disk");
+    assert!(spill.runs_spilled > 0, "budgeted run never spilled");
+
+    for (name, r) in [("in_memory", &in_memory), ("spill", &spill)] {
+        println!(
+            "{:<28} peak RSS: {:>7} MiB  ({} ms, {} run(s) spilled)",
+            format!("spill_fold/{name}"),
+            r.vm_hwm_kb / 1024,
+            r.millis,
+            r.runs_spilled
+        );
+    }
+
+    let mut json = String::new();
+    json.push_str("{\n");
+    json.push_str(&format!("  \"input_bytes\": {bytes},\n"));
+    json.push_str(&format!("  \"budget_bytes\": {budget},\n"));
+    json.push_str(&format!("  \"workers\": {WORKERS},\n"));
+    json.push_str(&format!("  \"chunk_bytes\": {CHUNK_BYTES},\n"));
+    json.push_str("  \"benches\": {\n");
+    let rows = [("in_memory", &in_memory), ("spill", &spill)];
+    for (i, (name, r)) in rows.iter().enumerate() {
+        let comma = if i + 1 == rows.len() { "" } else { "," };
+        json.push_str(&format!(
+            "    \"{name}\": {{\"vm_hwm_kb\": {}, \"millis\": {}, \"runs_spilled\": {}}}{comma}\n",
+            r.vm_hwm_kb, r.millis, r.runs_spilled
+        ));
+    }
+    json.push_str("  }\n");
+    json.push_str("}\n");
+
+    let out = std::env::var("KQ_BENCH_OUT")
+        .unwrap_or_else(|_| format!("{}/../../BENCH_spill.json", env!("CARGO_MANIFEST_DIR")));
+    std::fs::write(&out, json).unwrap_or_else(|e| panic!("write {out}: {e}"));
+    println!("wrote {out}");
+}

@@ -96,6 +96,7 @@ fn bench_streaming_vs_chunked(c: &mut Criterion) {
             chunk_bytes,
             queue_depth: 4,
             fuse_streamable: true,
+            spill: None,
         };
         assert_eq!(
             run_streaming(&script, &plan, &ctx, &sopts).unwrap().output,
@@ -122,6 +123,7 @@ fn bench_streaming_vs_chunked(c: &mut Criterion) {
             chunk_bytes,
             queue_depth: 4,
             fuse_streamable: true,
+            spill: None,
         };
         group.bench_function(format!("streaming_w{workers}"), |b| {
             b.iter(|| {

@@ -35,6 +35,8 @@ const VALUED: &[&str] = &[
     "synth-workers",
     "combiner-cache",
     "rerun-threshold",
+    "spill-mb",
+    "spill-dir",
 ];
 
 impl ParsedArgs {
@@ -215,8 +217,22 @@ mod tests {
     }
 
     #[test]
+    fn spill_options_take_values() {
+        let a = parse(&[
+            "run",
+            "s.sh",
+            "--spill-mb",
+            "64",
+            "--spill-dir",
+            "/tmp/runs",
+        ]);
+        assert_eq!(a.opt_parse_nonzero("spill-mb", 1).unwrap(), 64);
+        assert_eq!(a.opt("spill-dir"), Some("/tmp/runs"));
+    }
+
+    #[test]
     fn zero_counts_are_rejected_with_a_clear_message() {
-        for name in ["queue-depth", "chunk-kb", "workers"] {
+        for name in ["queue-depth", "chunk-kb", "workers", "spill-mb"] {
             let a = parse(&["run", "x", &format!("--{name}"), "0"]);
             let err = a.opt_parse_nonzero(name, 4).unwrap_err();
             assert_eq!(err, format!("--{name} must be at least 1"));

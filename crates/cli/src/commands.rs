@@ -78,6 +78,7 @@ USAGE:
                                [--mmap auto|on|off] [--no-verify]
                                [--synth-workers N] [--combiner-cache FILE]
                                [--rerun-threshold R]
+                               [--spill-mb N] [--spill-dir DIR]
         Execute a script with N-way data parallelism (default 4); the
         parallel output is verified against the serial output unless
         --no-verify is given (the serial oracle re-reads the whole input
@@ -96,7 +97,14 @@ USAGE:
         --workers threads: independent statements overlap, dependent ones
         (linked by > file redirects) wait, and early exit also drops
         chunks already queued upstream. (--executor is accepted as an
-        alias for --exec.)
+        alias for --exec.) --spill-mb N (streaming/dataflow only) bounds
+        the memory of barrier folds (sort and friends): once a fold's
+        resident sorted runs would exceed N MiB, further runs are written
+        to temp files and mapped back for the final k-way merge, so a
+        sort's peak memory stays O(budget + merge window) instead of
+        O(input). Run files live in --spill-dir (default: the system temp
+        dir) and are unlinked as soon as they are mapped, so they never
+        outlive the run. Disk traffic is reported as 'spill: ...' notes.
     kumquat emit <script|file> [--workers N] [--no-opt] [--out FILE]
         Compile the script into a runnable POSIX shell script that uses
         the real Unix commands plus the synthesized combiners.
@@ -350,6 +358,27 @@ fn cmd_run(args: &ParsedArgs) -> Result<CliOutput, String> {
     let chunk_bytes = args.opt_parse_nonzero("chunk-kb", 64)? * 1024;
     let queue_depth = args.opt_parse_nonzero("queue-depth", 4)?;
     let honor = !args.flag("no-opt");
+    // --spill-mb turns on bounded-memory barrier folds (streaming and
+    // dataflow executors): sorted runs past the budget go to temp files
+    // and come back memory-mapped for the final merge. Off by default —
+    // spilling trades disk I/O for resident memory. --spill-dir overrides
+    // the run-file directory (default: the system temp dir) but does not
+    // by itself enable spilling.
+    let spill = match args.opt("spill-mb") {
+        None => None,
+        Some(_) => Some(kq_dsl::SpillPolicy {
+            budget_bytes: args.opt_parse_nonzero("spill-mb", 1)? * 1024 * 1024,
+            dir: args.opt("spill-dir").map(std::path::PathBuf::from),
+        }),
+    };
+    if spill.is_some()
+        && !matches!(
+            args.opt("exec").or_else(|| args.opt("executor")),
+            Some("streaming") | Some("dataflow")
+        )
+    {
+        return Err("--spill-mb requires --exec streaming or --exec dataflow".into());
+    }
     let executor = args
         .opt("exec")
         .or_else(|| args.opt("executor"))
@@ -381,6 +410,7 @@ fn cmd_run(args: &ParsedArgs) -> Result<CliOutput, String> {
                 chunk_bytes,
                 queue_depth,
                 fuse_streamable: honor,
+                spill: spill.clone(),
             };
             kq_pipeline::run_streaming(&planned.script, &planned.plan, &planned.ctx, &opts)
                 .map_err(|e| e.to_string())?
@@ -391,6 +421,7 @@ fn cmd_run(args: &ParsedArgs) -> Result<CliOutput, String> {
                 chunk_bytes,
                 queue_depth,
                 fuse_streamable: honor,
+                spill: spill.clone(),
             };
             kq_pipeline::run_dataflow(&planned.script, &planned.plan, &planned.ctx, &opts)
                 .map_err(|e| e.to_string())?
@@ -427,6 +458,24 @@ fn cmd_run(args: &ParsedArgs) -> Result<CliOutput, String> {
                     early.stage + 1,
                     stage.label,
                     early.chunks
+                ));
+            }
+        }
+    }
+    // Spill ledger: every barrier fold that ran under a --spill-mb budget
+    // reports its disk traffic; a fold that stayed within budget reports
+    // nothing (its telemetry is Some but all-zero).
+    for (si, stages) in parallel.timings.statements.iter().enumerate() {
+        for stage in stages {
+            if let Some(sp) = stage.spill.filter(|sp| sp.runs_spilled > 0) {
+                notes.push(format!(
+                    "spill: statement {} ({}) wrote {} run(s), {} KiB to disk, \
+                     mapped {} KiB back for the merge",
+                    si + 1,
+                    stage.label,
+                    sp.runs_spilled,
+                    sp.bytes_written / 1024,
+                    sp.bytes_mapped / 1024
                 ));
             }
         }

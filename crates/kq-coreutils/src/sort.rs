@@ -219,6 +219,30 @@ fn sort_lines(input: &str, flags: SortFlags) -> String {
 }
 
 fn merge_sorted(streams: &[&str], flags: SortFlags) -> String {
+    let mut out = String::new();
+    merge_sorted_to(streams, flags, usize::MAX, &mut |frag, _| {
+        out.push_str(frag);
+        Ok(())
+    })
+    .expect("in-memory merge sink is infallible");
+    out
+}
+
+/// The fragment consumer for [`merge_streams_to`]: receives each merged
+/// line-aligned fragment plus, per input stream, the count of bytes the
+/// merge has consumed from it so far.
+pub type MergeSink<'a> = dyn FnMut(&str, &[usize]) -> Result<(), CmdError> + 'a;
+
+/// The emit-based merge behind both [`merge_streams`] (one flat string)
+/// and [`merge_streams_to`] (bounded-memory fragments with per-stream
+/// progress, so callers holding the streams as mapped regions can release
+/// the merged-past prefix while the merge is still running).
+fn merge_sorted_to(
+    streams: &[&str],
+    flags: SortFlags,
+    fragment_bytes: usize,
+    sink: &mut MergeSink,
+) -> Result<(), CmdError> {
     // Loser-tree-style merge via a sorted frontier: O(n log w) total, with
     // stream index as the stability tiebreak (earlier streams win ties, as
     // GNU sort -m does).
@@ -238,18 +262,26 @@ fn merge_sorted(streams: &[&str], flags: SortFlags) -> String {
         }
     }
     frontier.sort_by(|a, b| frontier_cmp(a, b, flags));
-    let mut out = String::new();
+    // Bytes of each stream merged so far. The `+ 1` accounts for the
+    // newline; the clamp covers a final line without one.
+    let mut consumed = vec![0usize; streams.len()];
+    let mut buf = String::new();
     let mut prev: Option<String> = None;
     while let Some((line, i)) = frontier.pop() {
         iters[i].next();
+        consumed[i] = (consumed[i] + line.len() + 1).min(streams[i].len());
         let dup = flags.unique
             && prev
                 .as_deref()
                 .is_some_and(|p| key_compare(p, line, flags) == Ordering::Equal);
         if !dup {
-            out.push_str(line);
-            out.push('\n');
+            buf.push_str(line);
+            buf.push('\n');
             prev = Some(line.to_owned());
+        }
+        if buf.len() >= fragment_bytes {
+            sink(&buf, &consumed)?;
+            buf.clear();
         }
         if let Some(&next) = iters[i].peek() {
             let entry = (next, i);
@@ -259,7 +291,10 @@ fn merge_sorted(streams: &[&str], flags: SortFlags) -> String {
             frontier.insert(pos, entry);
         }
     }
-    out
+    if !buf.is_empty() {
+        sink(&buf, &consumed)?;
+    }
+    Ok(())
 }
 
 /// Programmatic `sort -m <flags>`: merges pre-sorted streams. This is the
@@ -270,6 +305,26 @@ pub fn merge_streams(flag_words: &[String], streams: &[&str]) -> Result<String, 
     args.push("-m".to_owned());
     let cmd = SortCmd::parse(&args)?;
     Ok(merge_sorted(streams, cmd.flags))
+}
+
+/// Streaming form of [`merge_streams`]: merges pre-sorted streams and
+/// hands the output to `sink` in line-aligned fragments of at least
+/// `fragment_bytes` (the final fragment may be smaller; each fragment
+/// exceeds the threshold by at most one line). Alongside each fragment
+/// the sink receives, per stream, how many input bytes the merge has
+/// consumed so far — the hook the out-of-core fold uses to drop mapped
+/// run pages behind the merge frontier instead of holding every run
+/// resident until the end.
+pub fn merge_streams_to(
+    flag_words: &[String],
+    streams: &[&str],
+    fragment_bytes: usize,
+    sink: &mut MergeSink,
+) -> Result<(), CmdError> {
+    let mut args: Vec<String> = flag_words.to_vec();
+    args.push("-m".to_owned());
+    let cmd = SortCmd::parse(&args)?;
+    merge_sorted_to(streams, cmd.flags, fragment_bytes, sink)
 }
 
 impl UnixCommand for SortCmd {
@@ -377,6 +432,33 @@ mod tests {
         let y2 = "10\n1\n";
         let merged = merge_streams(&["-rn".to_owned()], &[y1, y2]).unwrap();
         assert_eq!(merged, "10\n9\n2\n1\n");
+    }
+
+    #[test]
+    fn merge_streams_to_fragments_reassemble_and_track_progress() {
+        let s1 = "a\nc\ne\ng\n";
+        let s2 = "b\nd\nf\n";
+        let flat = merge_streams(&[], &[s1, s2]).unwrap();
+        let mut pieces: Vec<String> = Vec::new();
+        let mut last = vec![0usize; 2];
+        merge_streams_to(&[], &[s1, s2], 3, &mut |frag, consumed| {
+            // Fragments are line-aligned and progress is monotone.
+            assert!(frag.ends_with('\n'));
+            assert!(consumed[0] >= last[0] && consumed[1] >= last[1]);
+            last = consumed.to_vec();
+            pieces.push(frag.to_owned());
+            Ok(())
+        })
+        .unwrap();
+        assert_eq!(pieces.concat(), flat);
+        assert!(pieces.len() > 1, "fragment_bytes=3 must flush mid-merge");
+        // After the final fragment everything has been consumed.
+        assert_eq!(last, vec![s1.len(), s2.len()]);
+        // A sink error propagates.
+        let err = merge_streams_to(&[], &[s1, s2], 1, &mut |_, _| {
+            Err(CmdError::new("sort", "sink says no"))
+        });
+        assert!(err.is_err());
     }
 
     #[test]

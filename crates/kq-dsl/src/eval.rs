@@ -32,6 +32,11 @@ impl std::fmt::Display for EvalError {
 
 impl std::error::Error for EvalError {}
 
+/// The fragment consumer for [`RunEnv::merge_stream`]: receives each
+/// merged line-aligned fragment plus, per input stream, the count of bytes
+/// the merge has consumed from it so far.
+pub type MergeStreamSink<'a> = dyn FnMut(&str, &[usize]) -> Result<(), EvalError> + 'a;
+
 /// The environment needed by `RunOp` combiners: how to re-run the command
 /// `f` and how to invoke `unixMerge`.
 ///
@@ -56,6 +61,29 @@ pub trait RunEnv: Sync {
             .to_str()
             .map_err(|_| EvalError::Command("substream is not valid UTF-8".to_owned()))?;
         self.rerun(text).map(kq_stream::Bytes::from)
+    }
+
+    /// Streaming `unixMerge <flags>`: merge pre-sorted streams, handing
+    /// the output to `sink` in line-aligned fragments of roughly
+    /// `fragment_bytes` together with, per stream, the byte offset the
+    /// merge has consumed so far. The out-of-core fold uses the offsets to
+    /// release mapped run pages behind the merge frontier and the
+    /// fragments to write the merged output to disk, so neither the runs
+    /// nor the result need ever be fully resident. The default shim does
+    /// one flat merge and calls the sink once with everything consumed;
+    /// command-backed environments override it with the true incremental
+    /// merge.
+    fn merge_stream(
+        &self,
+        flags: &[String],
+        streams: &[&str],
+        fragment_bytes: usize,
+        sink: &mut MergeStreamSink,
+    ) -> Result<(), EvalError> {
+        let _ = fragment_bytes;
+        let merged = self.merge(flags, streams)?;
+        let consumed: Vec<usize> = streams.iter().map(|s| s.len()).collect();
+        sink(&merged, &consumed)
     }
 }
 
@@ -97,6 +125,31 @@ impl RunEnv for CommandEnv<'_> {
         self.command
             .run(input, self.ctx)
             .map_err(|e| EvalError::Command(e.to_string()))
+    }
+
+    fn merge_stream(
+        &self,
+        flags: &[String],
+        streams: &[&str],
+        fragment_bytes: usize,
+        sink: &mut MergeStreamSink,
+    ) -> Result<(), EvalError> {
+        // The sink's own error must survive the round-trip through the
+        // command layer's error type, so stash it and restore on the way
+        // out instead of stringifying it.
+        let mut sink_err: Option<EvalError> = None;
+        let res =
+            kq_coreutils::sort::merge_streams_to(flags, streams, fragment_bytes, &mut |f, c| {
+                sink(f, c).map_err(|e| {
+                    sink_err = Some(e);
+                    kq_coreutils::CmdError::new("sort", "merge sink failed")
+                })
+            });
+        res.map_err(|e| {
+            sink_err
+                .take()
+                .unwrap_or_else(|| EvalError::Command(e.to_string()))
+        })
     }
 }
 

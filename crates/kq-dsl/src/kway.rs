@@ -8,7 +8,8 @@
 
 use crate::ast::{Candidate, Combiner, RecOp, RunOp};
 use crate::eval::{eval, EvalError, RunEnv};
-use kq_stream::Bytes;
+use crate::spill::SpillConfig;
+use kq_stream::{Bytes, ReleaseCursor};
 
 /// Text view of a substream for the string-semantic combiners; a
 /// non-UTF-8 piece is a domain error, not a panic.
@@ -178,6 +179,7 @@ pub struct IncrementalFold<'a> {
     candidate: &'a Candidate,
     env: &'a dyn RunEnv,
     state: FoldState,
+    spill: Option<SpillConfig>,
 }
 
 /// Pieces per intermediate merge run (see [`IncrementalFold`]): wide
@@ -193,10 +195,17 @@ enum FoldState {
     Gather(Vec<Bytes>),
     /// Merge: k-way merge every [`MERGE_RUN_ARITY`] pieces into a run as
     /// they arrive; finish merges the runs (earlier runs first, keeping
-    /// the stability tiebreak of one flat merge).
+    /// the stability tiebreak of one flat merge). Under a spill config a
+    /// run that would push the heap-resident total (`heap_bytes`) past the
+    /// budget goes to a temp file instead and lives in `runs` as a mapped
+    /// slice; once any run has spilled (`spilled`), finish streams the
+    /// final merge through a temp file too, so the heap never holds more
+    /// than the budget plus one pending run.
     Merge {
         runs: Vec<Bytes>,
         pending: Vec<Bytes>,
+        heap_bytes: usize,
+        spilled: bool,
     },
     /// Binary-counter tree: slot `i` is a combined run of `2^i` adjacent
     /// pieces (higher slots hold earlier data).
@@ -207,12 +216,29 @@ impl<'a> IncrementalFold<'a> {
     /// An empty fold for `candidate` (finishing immediately yields the
     /// empty stream, like [`combine_all`] on no pieces).
     pub fn new(candidate: &'a Candidate, env: &'a dyn RunEnv) -> IncrementalFold<'a> {
+        IncrementalFold::new_with_spill(candidate, env, None)
+    }
+
+    /// Like [`new`](IncrementalFold::new), but with a spill policy: merge
+    /// runs go to temp files once the heap-resident run bytes would cross
+    /// `spill.budget_bytes`, and a fold that spilled streams its final
+    /// merge through a temp file as well (see [`crate::spill`]). Combiners
+    /// other than `merge` ignore the config — their accumulation is either
+    /// already O(output) (`counter` arithmetic) or inherently a gather
+    /// (`concat`, `rerun`).
+    pub fn new_with_spill(
+        candidate: &'a Candidate,
+        env: &'a dyn RunEnv,
+        spill: Option<SpillConfig>,
+    ) -> IncrementalFold<'a> {
         let state = match &candidate.op {
             Combiner::Rec(RecOp::Concat) if !candidate.swapped => FoldState::Concat(Vec::new()),
             Combiner::Run(RunOp::Rerun) => FoldState::Gather(Vec::new()),
             Combiner::Run(RunOp::Merge(_)) => FoldState::Merge {
                 runs: Vec::new(),
                 pending: Vec::new(),
+                heap_bytes: 0,
+                spilled: false,
             },
             _ => FoldState::Counter(Vec::new()),
         };
@@ -220,6 +246,7 @@ impl<'a> IncrementalFold<'a> {
             candidate,
             env,
             state,
+            spill,
         }
     }
 
@@ -232,11 +259,17 @@ impl<'a> IncrementalFold<'a> {
         let (candidate, env) = (self.candidate, self.env);
         match &mut self.state {
             FoldState::Concat(segments) | FoldState::Gather(segments) => segments.push(piece),
-            FoldState::Merge { runs, pending } => {
+            FoldState::Merge {
+                runs,
+                pending,
+                heap_bytes,
+                spilled,
+            } => {
                 pending.push(piece);
                 if pending.len() >= MERGE_RUN_ARITY {
                     let run = combine_all(candidate, pending, env)?;
                     pending.clear();
+                    let run = maybe_spill_run(run, &self.spill, heap_bytes, spilled)?;
                     runs.push(run);
                 }
             }
@@ -260,17 +293,33 @@ impl<'a> IncrementalFold<'a> {
     /// Settles the fold into the combined stream (empty when nothing was
     /// pushed).
     pub fn finish(self) -> Result<Bytes, EvalError> {
-        let (candidate, env) = (self.candidate, self.env);
-        match self.state {
+        let IncrementalFold {
+            candidate,
+            env,
+            state,
+            spill,
+        } = self;
+        match state {
             // Only constructed for unswapped concat: stream order is
             // output order.
             FoldState::Concat(segments) => Ok(kq_stream::concat_bytes(&segments)),
             FoldState::Gather(segments) => combine_all(candidate, &segments, env),
-            FoldState::Merge { mut runs, pending } => {
+            FoldState::Merge {
+                mut runs,
+                pending,
+                mut heap_bytes,
+                mut spilled,
+            } => {
                 if !pending.is_empty() {
-                    runs.push(combine_all(candidate, &pending, env)?);
+                    let run = combine_all(candidate, &pending, env)?;
+                    let run = maybe_spill_run(run, &spill, &mut heap_bytes, &mut spilled)?;
+                    runs.push(run);
                 }
-                combine_all(candidate, &runs, env)
+                if !spilled {
+                    return combine_all(candidate, &runs, env);
+                }
+                let cfg = spill.as_ref().expect("a run spilled without a config");
+                merge_spilled_runs(candidate, env, runs, cfg)
             }
             FoldState::Counter(slots) => {
                 // Low slots hold later data: combine upward so each slot
@@ -286,6 +335,138 @@ impl<'a> IncrementalFold<'a> {
             }
         }
     }
+}
+
+/// Fragment granularity of the streamed spilled-run merge: how much merged
+/// output buffers before a write.
+const SPILL_MERGE_FRAGMENT: usize = 1 << 20;
+
+/// How far each mapped run's release cursor trails the merge frontier.
+/// This must stay small relative to a run: the merge holds a window of
+/// `k × 2 × lag` resident across the `k` runs, and a lag as large as a
+/// run would keep every run fully resident until the merge ends (the
+/// cursor only fires once `consumed` outruns `released` by `2 × lag`).
+/// 64 KiB bounds the window to a few MiB even at k ≈ 100 while still
+/// batching madvise calls well above page granularity.
+const SPILL_MERGE_RELEASE_LAG: usize = 1 << 16;
+
+fn spill_err(e: std::io::Error) -> EvalError {
+    EvalError::Command(format!("spill: {e}"))
+}
+
+/// Applies the spill policy to a freshly completed merge run: keep it on
+/// the heap while the resident total stays under budget, otherwise write
+/// it out and hand back the mapped (demand-paged, evictable) view.
+fn maybe_spill_run(
+    run: Bytes,
+    spill: &Option<SpillConfig>,
+    heap_bytes: &mut usize,
+    spilled: &mut bool,
+) -> Result<Bytes, EvalError> {
+    let Some(cfg) = spill else {
+        return Ok(run);
+    };
+    if heap_bytes.saturating_add(run.len()) <= cfg.budget_bytes {
+        *heap_bytes += run.len();
+        return Ok(run);
+    }
+    let mut writer = kq_io::RunWriter::create(&cfg.dir).map_err(spill_err)?;
+    writer.write(view(&run)?).map_err(spill_err)?;
+    cfg.metrics.record_spill(run.len() as u64);
+    // Drop the heap run before mapping the file back, so the two copies
+    // never coexist.
+    drop(run);
+    let mapped = writer.finish().map_err(spill_err)?;
+    cfg.metrics.record_mapped(mapped.len() as u64);
+    *spilled = true;
+    Ok(mapped)
+}
+
+/// The out-of-core final merge: an arity-bounded merge tree over the
+/// accumulated runs, each wave streaming `env.merge_stream` fragments into
+/// a fresh temp file while releasing every mapped run's consumed prefix
+/// behind the merge frontier, then mapping the merged output back.
+///
+/// Bounding each wave at [`MERGE_RUN_ARITY`] inputs is a memory bound, not
+/// a comparison-cost tweak: the kernel keeps a frontier window of pages
+/// resident per *input* mapping (fault-around / large-folio mapping can
+/// pin on the order of a folio per run, regardless of how politely we
+/// release behind the cursors), so a flat merge over hundreds of runs
+/// holds hundreds of those windows at once — O(k) residency that defeats
+/// the spill budget exactly when k is large. A wave touches at most
+/// `MERGE_RUN_ARITY` mappings, and each group's source runs (heap or
+/// mapped) are dropped as soon as its merged output exists, so heap runs
+/// also retire progressively instead of living until the very end.
+///
+/// Groups are contiguous and in order and `merge_stream` breaks ties by
+/// stream index, so the merge tree is stable and byte-identical to the
+/// flat merge. Multi-wave input (k > arity) only occurs once runs have
+/// spilled, i.e. the data already outgrew the budget; the extra disk
+/// round-trip per wave is the agreed price.
+fn merge_spilled_runs(
+    candidate: &Candidate,
+    env: &dyn RunEnv,
+    mut runs: Vec<Bytes>,
+    cfg: &SpillConfig,
+) -> Result<Bytes, EvalError> {
+    let Combiner::Run(RunOp::Merge(flags)) = &candidate.op else {
+        unreachable!("only merge folds spill runs");
+    };
+    runs.retain(|r| !r.is_empty());
+    while runs.len() > 1 {
+        let mut next = Vec::with_capacity(runs.len().div_ceil(MERGE_RUN_ARITY));
+        while !runs.is_empty() {
+            let take = runs.len().min(MERGE_RUN_ARITY);
+            let group: Vec<Bytes> = runs.drain(..take).collect();
+            if group.len() == 1 {
+                next.extend(group);
+            } else {
+                next.push(merge_run_group(env, flags, &group, cfg)?);
+            }
+            // `group` drops here: a merged group's sources are finished
+            // with, freeing their heap bytes or unmapping their files
+            // before the next group starts.
+        }
+        runs = next;
+    }
+    Ok(runs.pop().unwrap_or_default())
+}
+
+/// One merge wave: streams the k-way merge of `group` into a temp file,
+/// trailing a release cursor behind each input's merge frontier, and maps
+/// the result back. Peak residency is O(fragment + k × release window),
+/// independent of total group bytes.
+fn merge_run_group(
+    env: &dyn RunEnv,
+    flags: &[String],
+    group: &[Bytes],
+    cfg: &SpillConfig,
+) -> Result<Bytes, EvalError> {
+    let views: Vec<&str> = group.iter().map(view).collect::<Result<_, _>>()?;
+    let mut out = kq_io::RunWriter::create(&cfg.dir).map_err(spill_err)?;
+    let mut cursors: Vec<ReleaseCursor> = group
+        .iter()
+        .map(|_| ReleaseCursor::new(SPILL_MERGE_RELEASE_LAG))
+        .collect();
+    env.merge_stream(
+        flags,
+        &views,
+        SPILL_MERGE_FRAGMENT,
+        &mut |frag, consumed| {
+            out.write(frag).map_err(spill_err)?;
+            for ((cursor, run), &done) in cursors.iter_mut().zip(group).zip(consumed) {
+                cursor.advance(run, done);
+            }
+            Ok(())
+        },
+    )?;
+    for (cursor, run) in cursors.iter_mut().zip(group) {
+        cursor.finish(run);
+    }
+    cfg.metrics.record_spill(out.written() as u64);
+    let merged = out.finish().map_err(spill_err)?;
+    cfg.metrics.record_mapped(merged.len() as u64);
+    Ok(merged)
 }
 
 #[cfg(test)]
@@ -524,5 +705,156 @@ mod tests {
         let c = Candidate::rec(RecOp::Concat);
         assert_eq!(incremental(&c, &[], &NoRunEnv), "");
         assert_eq!(incremental(&c, &s(&["only\n"]), &NoRunEnv), "only\n");
+    }
+
+    /// A throwaway spill config over a private temp dir; the closure runs
+    /// with it, then the dir is asserted empty (unlink-after-map means no
+    /// run file survives its fold) and removed.
+    fn with_spill_dir(tag: &str, budget: usize, f: impl FnOnce(&crate::spill::SpillConfig)) {
+        let dir = std::env::temp_dir().join(format!("kq-kway-spill-{tag}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let cfg = crate::spill::SpillConfig {
+            budget_bytes: budget,
+            dir: dir.clone(),
+            metrics: std::sync::Arc::new(crate::spill::SpillMetrics::default()),
+        };
+        f(&cfg);
+        let leftovers = std::fs::read_dir(&dir).map(|d| d.count()).unwrap_or(0);
+        std::fs::remove_dir_all(&dir).ok();
+        assert_eq!(leftovers, 0, "spill dir must be clean after the fold");
+    }
+
+    fn spill_pieces(n: usize) -> Vec<Bytes> {
+        (0..n)
+            .map(|i| {
+                let a = (b'a' + (i % 26) as u8) as char;
+                let b = (b'a' + ((i * 11 + 5) % 26) as u8) as char;
+                let (lo, hi) = if a <= b { (a, b) } else { (b, a) };
+                Bytes::from(format!("{lo} {i}\n{hi} {i}\n"))
+            })
+            .collect()
+    }
+
+    #[test]
+    fn zero_budget_spills_every_run_and_matches_flat() {
+        // Budget 0: every completed run goes to disk, and the final merge
+        // streams through a temp file. Result must be byte-identical to
+        // the in-memory flat merge.
+        let c = Candidate::run(RunOp::Merge(vec![]));
+        let pieces = spill_pieces(MERGE_RUN_ARITY * 3 + 5);
+        let flat = combine_all(&c, &pieces, &FakeEnv).unwrap();
+        with_spill_dir("zero", 0, |cfg| {
+            let mut fold = IncrementalFold::new_with_spill(&c, &FakeEnv, Some(cfg.clone()));
+            for p in &pieces {
+                fold.push(p.clone()).unwrap();
+            }
+            assert_eq!(fold.finish().unwrap(), flat);
+            let (runs, written, mapped) = cfg.metrics.snapshot();
+            // 3 full runs + the final pending run + the merged output.
+            assert_eq!(runs, 5, "runs spilled");
+            assert!(written >= flat.len() as u64);
+            assert!(mapped >= flat.len() as u64);
+        });
+    }
+
+    #[test]
+    fn spilled_fold_matches_through_the_real_command_env() {
+        // CommandEnv overrides merge_stream with the true incremental
+        // merge (fragments + per-run progress), which is the path the
+        // executors use — cover it end to end, unique flags included.
+        let command = kq_coreutils::parse_command("sort -u").unwrap();
+        let ctx = kq_coreutils::ExecContext::default();
+        let env = crate::eval::CommandEnv {
+            command: &command,
+            ctx: &ctx,
+        };
+        let c = Candidate::run(RunOp::Merge(vec!["-u".to_owned()]));
+        let pieces: Vec<Bytes> = spill_pieces(MERGE_RUN_ARITY * 2 + 7)
+            .iter()
+            .map(|p| {
+                // Pre-sort each piece under -u semantics (dedup by key).
+                let sorted =
+                    kq_coreutils::sort::merge_streams(&["-u".to_owned()], &[p.to_str().unwrap()])
+                        .unwrap();
+                Bytes::from(sorted)
+            })
+            .collect();
+        let flat = combine_all(&c, &pieces, &env).unwrap();
+        with_spill_dir("cmdenv", 0, |cfg| {
+            let mut fold = IncrementalFold::new_with_spill(&c, &env, Some(cfg.clone()));
+            for p in &pieces {
+                fold.push(p.clone()).unwrap();
+            }
+            assert_eq!(fold.finish().unwrap(), flat);
+        });
+    }
+
+    #[test]
+    fn generous_budget_never_touches_disk() {
+        let c = Candidate::run(RunOp::Merge(vec![]));
+        let pieces = spill_pieces(MERGE_RUN_ARITY + 3);
+        let flat = combine_all(&c, &pieces, &FakeEnv).unwrap();
+        with_spill_dir("generous", usize::MAX, |cfg| {
+            let mut fold = IncrementalFold::new_with_spill(&c, &FakeEnv, Some(cfg.clone()));
+            for p in &pieces {
+                fold.push(p.clone()).unwrap();
+            }
+            assert_eq!(fold.finish().unwrap(), flat);
+            assert_eq!(cfg.metrics.snapshot(), (0, 0, 0), "no spill under budget");
+        });
+    }
+
+    #[test]
+    fn abandoned_spilled_fold_leaves_no_files() {
+        // The cancellation path: runs spill, then the fold is dropped
+        // without finish(). Mapped runs unlinked at creation — nothing to
+        // clean; the assertion lives in with_spill_dir.
+        let c = Candidate::run(RunOp::Merge(vec![]));
+        let pieces = spill_pieces(MERGE_RUN_ARITY * 2);
+        with_spill_dir("abandon", 0, |cfg| {
+            let mut fold = IncrementalFold::new_with_spill(&c, &FakeEnv, Some(cfg.clone()));
+            for p in &pieces {
+                fold.push(p.clone()).unwrap();
+            }
+            let (runs, _, _) = cfg.metrics.snapshot();
+            assert_eq!(runs, 2, "both runs spilled before the drop");
+            drop(fold);
+        });
+    }
+
+    proptest::proptest! {
+        /// The satellite property: a spill-everything fold equals the
+        /// in-memory combine_all for arbitrary sorted pieces.
+        #[test]
+        fn prop_spilled_merge_equals_combine_all(
+            raw in proptest::collection::vec(
+                proptest::collection::vec("[a-e]{0,4}", 0..6),
+                0..70,
+            )
+        ) {
+            let pieces: Vec<Bytes> = raw
+                .iter()
+                .map(|lines| {
+                    let mut sorted: Vec<&str> = lines.iter().map(String::as_str).collect();
+                    sorted.sort_by(|a, b| a.as_bytes().cmp(b.as_bytes()));
+                    Bytes::from(sorted.iter().map(|l| format!("{l}\n")).collect::<String>())
+                })
+                .collect();
+            let c = Candidate::run(RunOp::Merge(vec![]));
+            let flat = combine_all(&c, &pieces, &FakeEnv).unwrap();
+            let dir = std::env::temp_dir().join(format!("kq-kway-prop-{}", std::process::id()));
+            let cfg = crate::spill::SpillConfig {
+                budget_bytes: 0,
+                dir: dir.clone(),
+                metrics: std::sync::Arc::new(crate::spill::SpillMetrics::default()),
+            };
+            let mut fold = IncrementalFold::new_with_spill(&c, &FakeEnv, Some(cfg));
+            for p in &pieces {
+                fold.push(p.clone()).unwrap();
+            }
+            let got = fold.finish().unwrap();
+            std::fs::remove_dir_all(&dir).ok();
+            proptest::prop_assert_eq!(got, flat);
+        }
     }
 }

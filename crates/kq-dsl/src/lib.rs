@@ -49,6 +49,7 @@ pub mod eval;
 pub mod filter;
 pub mod kway;
 pub mod repr;
+pub mod spill;
 
 pub use ast::{Candidate, Combiner, RecOp, RunOp, StructOp};
 pub use codec::{decode_candidate, encode_candidate};
@@ -59,6 +60,7 @@ pub use filter::{
 };
 pub use kq_stream::Delim;
 pub use kway::{combine_all, combine_all_with, CombineStrategy, IncrementalFold};
+pub use spill::{SpillConfig, SpillMetrics, SpillPolicy};
 
 /// An observation `⟨y1, y2, y12⟩ = ⟨f(x1), f(x2), f(x1 ++ x2)⟩`
 /// (paper Definition 3.4/3.5).

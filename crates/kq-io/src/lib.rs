@@ -44,6 +44,10 @@
 
 #![warn(missing_docs)]
 
+mod spill;
+
+pub use spill::RunWriter;
+
 use kq_stream::Bytes;
 use std::fs::File;
 use std::io;
@@ -140,7 +144,7 @@ pub fn read_path(path: impl AsRef<Path>, opts: &IngestOptions) -> io::Result<Byt
         };
     if want_map {
         #[cfg(unix)]
-        if let Some(mapped) = map_file(&file, len) {
+        if let Some(mapped) = map_file(&file, len, MapAdvice::Sequential) {
             return Ok(mapped);
         }
     }
@@ -162,17 +166,34 @@ pub fn read_path_text(path: impl AsRef<Path>, opts: &IngestOptions) -> io::Resul
 
 /// The heap side of the policy: one `read` into an owned buffer sized by
 /// the length snapshot.
-fn heap_read(mut file: File, len: usize) -> io::Result<Bytes> {
+pub(crate) fn heap_read(mut file: File, len: usize) -> io::Result<Bytes> {
     use std::io::Read;
     let mut buf = Vec::with_capacity(len);
     file.read_to_end(&mut buf)?;
     Ok(Bytes::from(buf))
 }
 
-/// Maps the whole file read-only and advises sequential access. `None` on
-/// any mapping failure (the caller falls back to a heap read).
+/// Access-pattern hint passed to [`map_file`], forwarded to `madvise`.
 #[cfg(unix)]
-fn map_file(file: &File, len: usize) -> Option<Bytes> {
+#[derive(Clone, Copy)]
+pub(crate) enum MapAdvice {
+    /// Front-to-back scan: ask for aggressive read-ahead. Right for ingest
+    /// maps that one splitter walks once.
+    Sequential,
+    /// Fine-grained interleaved access: disable read-ahead so a fault maps
+    /// only the touched page. Right for spilled runs — a k-way merge reads
+    /// a few lines at a time from each of many runs, and sequential
+    /// read-ahead would fault large windows of *every* run resident at
+    /// once, defeating the memory bound the spill exists to provide (the
+    /// run bytes are fresh in the page cache anyway, so read-ahead has no
+    /// latency to hide).
+    Random,
+}
+
+/// Maps the whole file read-only with the given access-pattern hint.
+/// `None` on any mapping failure (the caller falls back to a heap read).
+#[cfg(unix)]
+pub(crate) fn map_file(file: &File, len: usize, advice: MapAdvice) -> Option<Bytes> {
     use std::os::unix::io::AsRawFd;
     // SAFETY: mapping a readable fd PROT_READ/MAP_PRIVATE is always
     // memory-safe; the failure sentinel is checked before use.
@@ -189,10 +210,14 @@ fn map_file(file: &File, len: usize) -> Option<Bytes> {
     if ptr == libc::MAP_FAILED {
         return None;
     }
-    // Best-effort kernel hint: the splitters and commands scan front to
-    // back, so ask for aggressive read-ahead and early reclaim behind.
+    // Best-effort kernel hint; see `MapAdvice` for which callers want
+    // which pattern.
+    let hint = match advice {
+        MapAdvice::Sequential => libc::MADV_SEQUENTIAL,
+        MapAdvice::Random => libc::MADV_RANDOM,
+    };
     unsafe {
-        libc::madvise(ptr, len, libc::MADV_SEQUENTIAL);
+        libc::madvise(ptr, len, hint);
     }
     // SAFETY: `ptr` is a fresh successful mapping of exactly `len > 0`
     // bytes and nothing else will unmap it; the region's Drop does.

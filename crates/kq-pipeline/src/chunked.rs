@@ -173,6 +173,7 @@ pub fn run_chunked(
                         bytes_out_pieces: out.len(),
                         early_exit: None,
                         queue: None,
+                        spill: None,
                     });
                     stream = out;
                 }
@@ -213,6 +214,7 @@ pub fn run_chunked(
                         bytes_out_pieces,
                         early_exit: None,
                         queue: None,
+                        spill: None,
                     });
                     stream = combined;
                 }

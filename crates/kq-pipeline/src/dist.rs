@@ -187,6 +187,7 @@ mod tests {
             bytes_out_pieces: 1 << 20,
             early_exit: None,
             queue: None,
+            spill: None,
         }
     }
 
@@ -267,6 +268,7 @@ mod tests {
             bytes_out_pieces: 1 << 20,
             early_exit: None,
             queue: None,
+            spill: None,
         };
         let got = distributed_time(
             &log_of(st),

@@ -55,6 +55,37 @@ pub struct StageTiming {
     /// through queues (streaming, dataflow). `None` under the batch
     /// executors, which have no inter-stage queues to stall on.
     pub queue: Option<QueueTelemetry>,
+    /// Spill activity for barrier folds run under a spill budget
+    /// (`--spill-mb`): `None` when no budget was configured for the stage
+    /// (including every batch-executor stage); `Some` with zeroed counters
+    /// when a budget was set but never crossed.
+    pub spill: Option<SpillTelemetry>,
+}
+
+/// Out-of-core fold counters — a snapshot of [`kq_dsl::SpillMetrics`]
+/// taken after the stage settles. The CLI prints a `spill:` note per
+/// stage whose `runs_spilled` is non-zero.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SpillTelemetry {
+    /// Sorted runs (including the streamed final merge output) written to
+    /// temp files.
+    pub runs_spilled: u64,
+    /// Total bytes written to spill files.
+    pub bytes_written: u64,
+    /// Total bytes mapped back for merging.
+    pub bytes_mapped: u64,
+}
+
+impl SpillTelemetry {
+    /// Snapshot of a stage's live spill counters.
+    pub fn from_metrics(metrics: &kq_dsl::SpillMetrics) -> SpillTelemetry {
+        let (runs_spilled, bytes_written, bytes_mapped) = metrics.snapshot();
+        SpillTelemetry {
+            runs_spilled,
+            bytes_written,
+            bytes_mapped,
+        }
+    }
 }
 
 /// Per-node queue telemetry — the measurable cost of moving chunks
@@ -172,6 +203,7 @@ pub fn run_serial(script: &Script, ctx: &ExecContext) -> Result<ExecutionResult,
                 bytes_out_pieces: out.len(),
                 early_exit: None,
                 queue: None,
+                spill: None,
             });
             stream = out;
         }
@@ -271,6 +303,7 @@ fn run_parallel_inner(
                         bytes_out_pieces: out.len(),
                         early_exit: None,
                         queue: None,
+                        spill: None,
                     });
                     state = State::Single(out);
                 }
@@ -339,6 +372,7 @@ fn run_parallel_inner(
                             bytes_out_pieces,
                             early_exit: None,
                             queue: None,
+                            spill: None,
                         });
                         state = State::Split(outputs);
                     } else {
@@ -359,6 +393,7 @@ fn run_parallel_inner(
                             bytes_out_pieces,
                             early_exit: None,
                             queue: None,
+                            spill: None,
                         });
                         state = State::Single(combined);
                     }

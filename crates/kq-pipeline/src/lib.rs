@@ -56,6 +56,61 @@
 //! chunked on a multi-stage pipeline, and
 //! `crates/bench/benches/dataflow_exec.rs` measures dataflow against
 //! streaming on a multi-statement script.
+//!
+//! # Fold finalization protocol
+//!
+//! Both pipelined executors fold barrier-stage outputs incrementally, and
+//! both must answer the same question without a central coordinator:
+//! *who runs `finish()` when the last piece lands?* The streaming
+//! executor answers structurally — each barrier has one collector thread,
+//! and end-of-input is its result channel disconnecting. The dataflow
+//! scheduler has no such thread: any pool worker may integrate a fold's
+//! chunk, so finalization is a *claim*: a task that observes
+//! `input closed && inflight == 0 && queue empty` flips the node's phase
+//! to `Running` under the node lock and runs the finish outside it.
+//!
+//! The protocol's invariant: **every task that pops a chunk or observes
+//! the closed edge re-evaluates the finalization condition after
+//! integrating its own work** — unconditionally, not only on the path
+//! that "should" be last. The condition is stable once true, so the extra
+//! checks are idempotent; skipping one is how the lost-finalization race
+//! happened (a task popped the final chunk, saw *its own* inflight claim
+//! still counted, and only rescheduled upstream, while the concurrent
+//! observer of the closed edge had already bailed on the nonzero
+//! inflight — nobody checked again, and the run hung with the pool
+//! idle). `tests/fold_finalize_stress.rs` hammers the window at both
+//! gather and combine folds under tiny chunks and a shallow queue.
+//!
+//! # Spill lifecycle (bounded-memory barrier folds)
+//!
+//! A merge-combiner fold normally keeps every sorted run on the heap
+//! until the final k-way merge, so a big `sort`'s peak memory is O(input).
+//! Under a [`kq_dsl::SpillPolicy`] (CLI `--spill-mb`, carried by
+//! [`StreamingOptions::spill`] / [`DataflowOptions::spill`]) each barrier
+//! stage derives a per-stage [`kq_dsl::SpillConfig`] and the fold spills:
+//!
+//! 1. runs accumulate on the heap only while their total stays within
+//!    the budget; past it, each completed run is written to a temp file
+//!    (`kq_io::RunWriter`) and **immediately mapped back and unlinked** —
+//!    the inode survives while mapped, so cleanup is structural on every
+//!    exit path (success, error, cancellation, even SIGKILL once the
+//!    process dies);
+//! 2. `finish()` then streams the k-way merge of the mapped runs through
+//!    a bounded fragment sink into one output run file, releasing each
+//!    run's consumed pages as the merge frontier passes them
+//!    ([`kq_stream::ReleaseCursor`]), and maps that output back the same
+//!    way — so neither the runs nor the merged result are ever fully
+//!    heap-resident;
+//! 3. the executor snapshots the stage's [`kq_dsl::SpillMetrics`] into
+//!    [`StageTiming::spill`] ([`exec::SpillTelemetry`]), which the CLI
+//!    reports as `spill: ...` notes.
+//!
+//! `tests/spill_differential.rs` pins byte-identity with the serial
+//! oracle under a one-byte budget (every run spills) on both executors,
+//! plus the no-leftover-files property across success, failure, and
+//! early-exit teardowns; `crates/bench/benches/spill_fold.rs` records
+//! peak RSS for a 256 MiB sort with and without a budget
+//! (`BENCH_spill.json`).
 
 //! ```
 //! use kq_pipeline::exec::{run_parallel, run_serial};
@@ -89,7 +144,9 @@ pub mod streaming;
 
 pub use cache::{cache_key, CacheStats, CombinerCache};
 pub use dataflow::{DataflowGraph, DataflowNode, FoldMode, NodeKind};
-pub use exec::{EarlyExit, ExecutionResult, QueueTelemetry, StageTiming, TimingLog};
+pub use exec::{
+    EarlyExit, ExecutionResult, QueueTelemetry, SpillTelemetry, StageTiming, TimingLog,
+};
 pub use parse::{InputSource, Script, Stage, Statement};
 pub use plan::{PlannedScript, PlannedStage, Planner, StageMode, StreamSegment, StreamSegmentKind};
 pub use scheduler::{run_dataflow, DataflowOptions};

@@ -90,6 +90,11 @@ pub struct DataflowOptions {
     /// output, more edge hops; the differential suite uses it to stress
     /// the scheduler harder.
     pub fuse_streamable: bool,
+    /// Spill policy for combine folds: when set, every `Fold(Combine)`
+    /// node derives a per-node [`SpillConfig`](kq_dsl::SpillConfig) from it
+    /// and writes sorted runs to disk once the resident run bytes would
+    /// cross the budget. `None` keeps every run on the heap (the default).
+    pub spill: Option<kq_dsl::SpillPolicy>,
 }
 
 impl Default for DataflowOptions {
@@ -99,6 +104,7 @@ impl Default for DataflowOptions {
             chunk_bytes: 64 * 1024,
             queue_depth: 4,
             fuse_streamable: true,
+            spill: None,
         }
     }
 }
@@ -212,6 +218,9 @@ struct NodeState<'a> {
     chunker: Option<IncrementalChunker>,
     /// Fold(Combine): the incremental combiner fold.
     accum: Option<IncrementalCombine<'a>>,
+    /// Fold(Combine): this node's spill counters (shared with `accum`),
+    /// snapshotted into the node's StageTiming after the run.
+    spill_metrics: Option<std::sync::Arc<kq_dsl::SpillMetrics>>,
     /// Fold(Gather) / BoundedConsumer: the gathered input prefix.
     rope: Rope,
     /// BoundedConsumer: complete lines gathered so far.
@@ -240,6 +249,7 @@ impl NodeState<'_> {
             next_seq: 0,
             chunker: None,
             accum: None,
+            spill_metrics: None,
             rope: Rope::new(),
             seen_lines: 0,
             chunks_consumed: 0,
@@ -403,7 +413,11 @@ pub fn run_dataflow(
                             unreachable!("combine folds are parallel stages");
                         };
                         let env = envs[si][ni].as_ref().expect("combine fold env");
-                        state.accum = Some(combiner.incremental(env));
+                        // Each fold gets its own config so the metrics
+                        // counters are per-node, not script-global.
+                        let spill = opts.spill.as_ref().map(|p| p.stage_config());
+                        state.spill_metrics = spill.as_ref().map(|cfg| cfg.metrics.clone());
+                        state.accum = Some(combiner.incremental_with_spill(env, spill));
                     }
                     _ => {}
                 }
@@ -986,11 +1000,20 @@ fn gather_task(cx: &Cx<'_, '_>, si: usize, ni: usize) {
         run_gathered(cx, si, ni);
         return;
     }
-    if popped_err {
-        maybe_finalize_gather(cx, si, ni);
-    } else {
+    // The pop freed one credit upstream.
+    if !popped_err {
         cx.schedule((si, ni - 1));
     }
+    // Every retiring claim re-checks finalization, successful pops
+    // included. Without the re-check on this path there is a lost-wakeup
+    // window: task A claims `inflight` and pops the *final* chunk; task B
+    // pops `Err(closed)`, retires, and sees closed+empty but bails on
+    // A's `inflight > 0`; A then integrates and — if it only rescheduled
+    // upstream (a no-op once the split is Done) — nobody ever runs the
+    // finalize check again, `done` is never set, and the pool sleeps
+    // forever. The condition is stable once true, so the extra check on
+    // the common path costs one edge-lock peek and nothing else.
+    maybe_finalize_gather(cx, si, ni);
 }
 
 /// Finalizes a gather/bounded node whose input closed without meeting any
@@ -1189,6 +1212,10 @@ fn snapshot_timings(stmt: &StmtRt<'_>) -> Vec<StageTiming> {
             bytes_out_pieces: st.bytes_out_pieces,
             early_exit: st.early_exit,
             queue: Some(st.telem),
+            spill: st
+                .spill_metrics
+                .as_deref()
+                .map(crate::exec::SpillTelemetry::from_metrics),
         });
     }
     out
@@ -1241,6 +1268,7 @@ mod tests {
                         chunk_bytes,
                         queue_depth,
                         fuse_streamable: fuse,
+                        spill: None,
                     };
                     // Redirect targets persist in the VFS: reset them by
                     // using a fresh context per configuration is not
@@ -1346,6 +1374,7 @@ mod tests {
             chunk_bytes: 256,
             queue_depth: 2,
             fuse_streamable: true,
+            spill: None,
         };
         let got = run_dataflow(&script, &plan, &ctx, &opts).unwrap();
         let serial = run_serial(&script, &ctx).unwrap();
@@ -1419,6 +1448,7 @@ mod tests {
             chunk_bytes: 1024,
             queue_depth: 2,
             fuse_streamable: true,
+            spill: None,
         };
         let got = run_dataflow(&script, &plan, &ctx, &opts).unwrap();
         let stages = &got.timings.statements[0];

@@ -196,6 +196,7 @@ mod tests {
             bytes_out_pieces: 0,
             early_exit: None,
             queue: None,
+            spill: None,
         }
     }
 

@@ -114,6 +114,11 @@ pub struct StreamingOptions {
     /// its own segment and channel hop — same output, more hand-offs; the
     /// differential suite uses it to stress the plumbing.
     pub fuse_streamable: bool,
+    /// Spill policy for barrier folds: when set, each barrier segment
+    /// derives a per-stage [`SpillConfig`](kq_dsl::SpillConfig) from it and
+    /// writes sorted runs to disk once the resident run bytes would cross
+    /// the budget. `None` keeps every run on the heap (the default).
+    pub spill: Option<kq_dsl::SpillPolicy>,
 }
 
 impl Default for StreamingOptions {
@@ -123,6 +128,7 @@ impl Default for StreamingOptions {
             chunk_bytes: 64 * 1024,
             queue_depth: 4,
             fuse_streamable: true,
+            spill: None,
         }
     }
 }
@@ -241,11 +247,20 @@ fn run_statement(
     // How far the feeder's page-release hint trails its cursor: generously
     // past the pipeline's bounded in-flight window (every channel and pool
     // full), floored so small configurations never thrash. Pages released
-    // early merely refault — a perf hint, never a correctness edge.
+    // early merely refault — a perf hint, never a correctness edge. Under
+    // a spill budget the contract flips from throughput to bounded memory:
+    // a generous trailing window on each big mapped stream (the ingest map
+    // plus every barrier output being re-fed downstream) costs tens of MiB
+    // of residency, so cap the lag and take the occasional refault — the
+    // pages are page-cache-hot anyway.
     let release_lag = chunk_bytes
         .saturating_mul(queue_depth + workers)
         .saturating_mul(segments.len() + 2)
         .max(16 << 20);
+    let release_lag = match opts.spill {
+        Some(_) => release_lag.min(2 << 20),
+        None => release_lag,
+    };
 
     // Demand propagation: a streaming segment whose downstream chain
     // leads to a prefix-bounded consumer through chunk-local stages only
@@ -348,6 +363,7 @@ fn run_statement(
                                 chunks,
                             }),
                             queue: Some(telem),
+                            spill: None,
                         })
                     })
                 }
@@ -398,6 +414,7 @@ fn run_statement(
                             bytes_out_pieces: bytes_out,
                             early_exit: None,
                             queue: Some(telem),
+                            spill: None,
                         })
                     })
                 }
@@ -453,6 +470,7 @@ fn run_statement(
                             };
                             let combiner = combiner.clone();
                             let closing_cmd = &statement.stages[closing].command;
+                            let spill = opts.spill.as_ref().map(|p| p.stage_config());
                             scope.spawn(move || {
                                 collect_barrier(
                                     label,
@@ -463,6 +481,7 @@ fn run_statement(
                                     seg_tx,
                                     chunk_bytes,
                                     release_lag,
+                                    spill,
                                 )
                             })
                         }
@@ -593,6 +612,7 @@ fn collect_streaming(
         bytes_out_pieces: bytes_out,
         early_exit: None,
         queue: Some(telem),
+        spill: None,
     })
 }
 
@@ -609,12 +629,14 @@ fn collect_barrier(
     seg_tx: channel::Sender<Chunk>,
     chunk_bytes: usize,
     release_lag: usize,
+    spill: Option<kq_dsl::SpillConfig>,
 ) -> Result<StageTiming, CmdError> {
     let env = CommandEnv {
         command: closing_cmd,
         ctx,
     };
-    let mut accum = combiner.incremental(&env);
+    let spill_metrics = spill.as_ref().map(|cfg| cfg.metrics.clone());
+    let mut accum = combiner.incremental_with_spill(&env, spill);
     let mut pending: BTreeMap<usize, Bytes> = BTreeMap::new();
     let mut next = 0usize;
     let mut piece_times: Vec<Duration> = Vec::new();
@@ -681,6 +703,9 @@ fn collect_barrier(
         bytes_out_pieces,
         early_exit: None,
         queue: Some(telem),
+        spill: spill_metrics
+            .as_deref()
+            .map(crate::exec::SpillTelemetry::from_metrics),
     })
 }
 
@@ -699,6 +724,7 @@ fn empty_timing(label: String, parallel: bool, eliminated: bool) -> StageTiming 
         bytes_out_pieces: 0,
         early_exit: None,
         queue: None,
+        spill: None,
     }
 }
 
@@ -749,6 +775,7 @@ mod tests {
                         chunk_bytes,
                         queue_depth,
                         fuse_streamable: fuse,
+                        spill: None,
                     };
                     let got = run_streaming(&script, &plan, &ctx, &opts).unwrap();
                     assert_eq!(
@@ -832,6 +859,7 @@ mod tests {
             chunk_bytes: 1024,
             queue_depth: 2,
             fuse_streamable: true,
+            spill: None,
         };
         let got = run_streaming(&script, &plan, &ctx, &opts).unwrap();
         let stages = &got.timings.statements[0];
@@ -870,6 +898,7 @@ mod tests {
             chunk_bytes: 256,
             queue_depth: 2,
             fuse_streamable: true,
+            spill: None,
         };
         let got = run_streaming(&script, &plan, &ctx, &opts).unwrap();
         let serial = run_serial(&script, &ctx).unwrap();

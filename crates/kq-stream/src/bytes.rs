@@ -366,6 +366,13 @@ impl Bytes {
                 released = upto;
             }
         }
+        // Drop the tail too: without this, a view smaller than the release
+        // hysteresis (2 × WINDOW) stays *fully* resident after validation —
+        // for a spilled run that's every run pinned until its merge, which
+        // defeats the memory bound the spill exists to provide.
+        if released < bytes.len() {
+            self.release_range(released..bytes.len());
+        }
         let whole = self.start == 0 && self.end == self.buf.len();
         Ok(Bytes {
             text: self.text || whole,
@@ -490,11 +497,19 @@ impl Bytes {
         );
         #[cfg(unix)]
         if let Backing::Mmap(region) = &*self.buf {
-            // Align inward to a generous 64 KiB grain: a multiple of every
-            // real page size, so the madvise range is always page-aligned
-            // (a partially covered page at either end is simply kept).
+            // Align to a generous 64 KiB grain: a multiple of every real
+            // page size, so the madvise range is always page-aligned. Both
+            // endpoints round *down*, so back-to-back windows from a
+            // trailing cursor tile exactly: the grain block straddling a
+            // shared boundary is dropped by the later window (whose head
+            // bytes the caller already finished). Rounding the start up
+            // instead would leave that block un-released at *every* window
+            // boundary — a cursor advancing in ~grain-sized steps would
+            // then leak most of the mapping. The end still rounds down: a
+            // partially covered final block may hold bytes the caller
+            // still needs.
             const GRAIN: usize = 1 << 16;
-            let abs_start = (self.start + range.start).next_multiple_of(GRAIN);
+            let abs_start = (self.start + range.start) / GRAIN * GRAIN;
             let abs_end = (self.start + range.end) / GRAIN * GRAIN;
             if abs_start < abs_end {
                 // SAFETY: the region is live for as long as `self` exists
@@ -511,6 +526,63 @@ impl Bytes {
         }
         #[cfg(not(unix))]
         let _ = range;
+    }
+}
+
+/// The trailing-release discipline as a reusable cursor: callers making a
+/// sequential pass over a (possibly mapped) [`Bytes`] report their consumed
+/// frontier, and the cursor issues [`Bytes::release_range`] hints a bounded
+/// `lag` behind it — batched so the madvise syscall fires once per `lag`
+/// window, not once per advance. The lag keeps recently-read pages resident
+/// for any short backtrack; everything older is structurally finished and
+/// may be dropped. Heap backings make every call a no-op.
+#[derive(Debug)]
+pub struct ReleaseCursor {
+    released: usize,
+    lag: usize,
+}
+
+impl ReleaseCursor {
+    /// A cursor that keeps roughly `lag` bytes behind the frontier
+    /// resident.
+    pub fn new(lag: usize) -> ReleaseCursor {
+        ReleaseCursor {
+            released: 0,
+            lag: lag.max(1),
+        }
+    }
+
+    /// How far behind the last released boundary each new release window
+    /// re-sweeps. A release is only a hint: a fault near the frontier maps
+    /// page-cache-hot neighbours *around* the touched address (kernel
+    /// fault-around; with large page-cache folios a single fault can map
+    /// the whole folio), so reads can quietly refault pages behind a
+    /// boundary the cursor already passed — and a cursor that never looks
+    /// back leaks them until the mapping dies. PMD size (2 MiB) covers the
+    /// largest folio that can straddle a release boundary; the cost is one
+    /// extra mostly-empty-PTE walk per madvise call.
+    const BACKFILL_SWEEP: usize = 1 << 21;
+
+    /// Notes that everything before `consumed` (clamped to the view) is
+    /// finished with; once the frontier is two lag-windows past the last
+    /// release, drops pages up to `consumed - lag`.
+    pub fn advance(&mut self, source: &Bytes, consumed: usize) {
+        let consumed = consumed.min(source.len());
+        if consumed >= self.released + 2 * self.lag {
+            let upto = consumed - self.lag;
+            let start = self.released.saturating_sub(Self::BACKFILL_SWEEP);
+            source.release_range(start..upto);
+            self.released = upto;
+        }
+    }
+
+    /// End of the pass: releases the whole remaining tail.
+    pub fn finish(&mut self, source: &Bytes) {
+        if self.released < source.len() {
+            let start = self.released.saturating_sub(Self::BACKFILL_SWEEP);
+            source.release_range(start..source.len());
+            self.released = source.len();
+        }
     }
 }
 
@@ -704,13 +776,21 @@ impl Rope {
     }
 
     /// Flattens into one contiguous [`Bytes`]. A rope of zero or one
-    /// segments is returned without copying; otherwise this performs the
-    /// single gather memcpy the contiguous consumer requires.
+    /// segments is returned without copying, and so is a rope whose
+    /// segments are *adjacent views of one shared backing* — the shape
+    /// every executor sink produces when it re-gathers the chunks of a
+    /// materialized stage output (for a spilled sort that output is a
+    /// multi-hundred-MiB mapped merge file, and the gather memcpy this
+    /// avoids would be the run's peak-RSS high-water mark). Only disjoint
+    /// or reordered segments pay the single gather memcpy.
     pub fn into_bytes(mut self) -> Bytes {
         match self.segments.len() {
             0 => Bytes::new(),
             1 => self.segments.pop().expect("one segment"),
             _ => {
+                if let Some(joined) = Rope::coalesce(&self.segments) {
+                    return joined;
+                }
                 let mut out = Vec::with_capacity(self.len);
                 for seg in &self.segments {
                     out.extend_from_slice(seg.as_bytes());
@@ -718,6 +798,28 @@ impl Rope {
                 Bytes::from_heap(out, self.text)
             }
         }
+    }
+
+    /// The zero-copy reassembly fast path: when every segment views the
+    /// same backing buffer and they tile it back-to-back in order, the
+    /// concatenation *is* the spanning view.
+    fn coalesce(segments: &[Bytes]) -> Option<Bytes> {
+        let first = segments.first()?;
+        let mut end = first.end;
+        for seg in &segments[1..] {
+            if !Arc::ptr_eq(&first.buf, &seg.buf) || seg.start != end {
+                return None;
+            }
+            end = seg.end;
+        }
+        Some(Bytes {
+            buf: first.buf.clone(),
+            start: first.start,
+            end,
+            // Same backing buffer, so every segment carries the same
+            // whole-buffer text flag.
+            text: first.text,
+        })
     }
 }
 
@@ -819,6 +921,23 @@ mod tests {
     }
 
     #[test]
+    fn rope_of_adjacent_slices_coalesces_without_copying() {
+        // The executor-sink shape: one stream cut into chunks, re-gathered
+        // in order. Reassembly must return a view of the original backing.
+        let b = Bytes::from("alpha\nbeta\ngamma\ndelta\n");
+        let rope: Rope = b.chunks(6).collect();
+        assert!(rope.segment_count() > 1, "test needs several chunks");
+        let out = rope.into_bytes();
+        assert_eq!(out, b);
+        assert!(out.shares_buffer(&b), "adjacent slices must coalesce");
+        // Reordered, gapped, or foreign segments fall back to the gather.
+        let gapped: Rope = [b.slice(0..6), b.slice(11..17)].into_iter().collect();
+        assert_eq!(gapped.into_bytes(), "alpha\ngamma\n");
+        let mixed: Rope = [b.slice(0..6), Bytes::from("x\n")].into_iter().collect();
+        assert_eq!(mixed.into_bytes(), "alpha\nx\n");
+    }
+
+    #[test]
     fn compact_releases_oversized_backing() {
         let big = Bytes::from("x\n".repeat(8192)); // 16 KiB backing
         let tiny = big.slice(0..2).compact();
@@ -880,6 +999,20 @@ mod tests {
     #[should_panic(expected = "out of bounds")]
     fn release_range_checks_bounds() {
         Bytes::from("ab").release_range(0..9);
+    }
+
+    #[test]
+    fn release_cursor_trails_and_drains() {
+        // Heap backing: every release is a no-op, so this checks only the
+        // cursor arithmetic (no panic, in-bounds ranges, full drain).
+        let b = Bytes::from("line\n".repeat(100));
+        let mut cursor = ReleaseCursor::new(64);
+        for consumed in (0..=b.len()).step_by(37) {
+            cursor.advance(&b, consumed);
+        }
+        cursor.advance(&b, b.len() + 999); // clamped, not a panic
+        cursor.finish(&b);
+        assert_eq!(b.as_bytes().len(), 500, "data untouched by hints");
     }
 
     #[test]

@@ -139,13 +139,30 @@ impl SynthesizedCombiner {
     ///   abandoned. These combiners certify aggregated (tiny) outputs, so
     ///   the retention is bytes-cheap.
     pub fn incremental<'a>(&'a self, env: &'a dyn RunEnv) -> IncrementalCombine<'a> {
+        self.incremental_with_spill(env, None)
+    }
+
+    /// [`incremental`](Self::incremental) with an optional spill config:
+    /// when the primary member is a `merge`, its run accumulation honors
+    /// the budget and temp-file policy of [`kq_dsl::spill`] (other
+    /// combiners ignore the config — see
+    /// [`kway::IncrementalFold::new_with_spill`]).
+    pub fn incremental_with_spill<'a>(
+        &'a self,
+        env: &'a dyn RunEnv,
+        spill: Option<kq_dsl::SpillConfig>,
+    ) -> IncrementalCombine<'a> {
         let authoritative =
             self.members.len() == 1 || kq_dsl::domain::is_universal(&self.primary().op);
         IncrementalCombine {
             combiner: self,
             env,
             raw: (!authoritative).then(Vec::new),
-            fold: Some(kway::IncrementalFold::new(self.primary(), env)),
+            fold: Some(kway::IncrementalFold::new_with_spill(
+                self.primary(),
+                env,
+                spill,
+            )),
             failed: None,
         }
     }

@@ -30,6 +30,9 @@ pub const MAP_PRIVATE: c_int = 2;
 /// `mmap` error sentinel: `(void *) -1`.
 pub const MAP_FAILED: *mut c_void = usize::MAX as *mut c_void;
 
+/// `madvise` hint: expect random page references (read-ahead is disabled,
+/// so a fault maps only the touched page instead of a window around it).
+pub const MADV_RANDOM: c_int = 1;
 /// `madvise` hint: expect sequential page references (read-ahead grows,
 /// pages behind the scan become eviction candidates sooner).
 pub const MADV_SEQUENTIAL: c_int = 2;

@@ -50,6 +50,7 @@ fn full_corpus_dataflow_matches_serial_across_chunkings_and_workers() {
                     chunk_bytes,
                     queue_depth: 2,
                     fuse_streamable: true,
+                    spill: None,
                 };
                 let got = run_dataflow(&parsed, &plan, &ctx, &opts).unwrap_or_else(|e| {
                     panic!("{id} dataflow (w={workers}, chunk={chunk_bytes}): {e}")
@@ -89,6 +90,7 @@ fn dataflow_timings_report_queue_telemetry() {
         chunk_bytes: 1024,
         queue_depth: 2,
         fuse_streamable: true,
+        spill: None,
     };
     let got = run_dataflow(&parsed, &plan, &ctx, &opts).unwrap();
     let stages = &got.timings.statements[0];
@@ -141,6 +143,7 @@ fn cancelled_256mib_producer_terminates_promptly_without_draining() {
         chunk_bytes: 64 * 1024,
         queue_depth: 2,
         fuse_streamable: true,
+        spill: None,
     };
     let (done_tx, done_rx) = std::sync::mpsc::channel();
     let handle = std::thread::spawn(move || {
@@ -212,6 +215,7 @@ fn prefix_bounded_corpus_scripts_match_serial_under_early_exit() {
                     chunk_bytes,
                     queue_depth: 2,
                     fuse_streamable: true,
+                    spill: None,
                 };
                 let got = run_dataflow(&parsed, &plan, &ctx, &opts)
                     .unwrap_or_else(|e| panic!("{id} dataflow (chunk={chunk_bytes}): {e}"));

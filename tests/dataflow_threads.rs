@@ -74,6 +74,7 @@ fn two_statement_script_stays_within_the_worker_budget() {
         chunk_bytes: 512,
         queue_depth: 2,
         fuse_streamable: true,
+        spill: None,
     };
     // Several runs so a pool leak across runs would also surface. Between
     // runs, wait for the retired pool's /proc entries to vanish: an exiting

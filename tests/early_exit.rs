@@ -59,6 +59,7 @@ fn prefix_bounded_corpus_scripts_match_serial_under_early_exit() {
                     chunk_bytes,
                     queue_depth: 2,
                     fuse_streamable: true,
+                    spill: None,
                 };
                 let got = run_streaming(&parsed, &plan, &ctx, &opts)
                     .unwrap_or_else(|e| panic!("{id} streaming (chunk={chunk_bytes}): {e}"));
@@ -107,6 +108,7 @@ fn cancelled_256mib_producer_terminates_promptly_without_draining() {
         chunk_bytes: 64 * 1024,
         queue_depth: 2,
         fuse_streamable: true,
+        spill: None,
     };
     let (done_tx, done_rx) = std::sync::mpsc::channel();
     let handle = std::thread::spawn(move || {

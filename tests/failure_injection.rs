@@ -271,6 +271,7 @@ fn streaming_mid_pipeline_error_tears_down_promptly() {
         chunk_bytes: 64,
         queue_depth: 1,
         fuse_streamable: true,
+        spill: None,
     };
     let err = streaming_under_watchdog(ctx, script, plan, opts)
         .expect_err("the poison chunk must fail the run");
@@ -298,6 +299,7 @@ fn streaming_error_downstream_of_sequential_stage_tears_down() {
         chunk_bytes: 32,
         queue_depth: 1,
         fuse_streamable: true,
+        spill: None,
     };
     let err = streaming_under_watchdog(ctx, script, plan, opts)
         .expect_err("poison after the gather stage must fail the run");
@@ -325,6 +327,7 @@ fn streaming_error_downstream_of_streamable_run_tears_down() {
         chunk_bytes: 64,
         queue_depth: 1,
         fuse_streamable: true,
+        spill: None,
     };
     let err = streaming_under_watchdog(ctx, script, plan, opts)
         .expect_err("poison in the final segment must fail the run");
@@ -345,6 +348,7 @@ fn streaming_clean_run_of_custom_stage_matches_serial() {
         chunk_bytes: 128,
         queue_depth: 2,
         fuse_streamable: true,
+        spill: None,
     };
     let got = streaming_under_watchdog(ctx, script, plan, opts).unwrap();
     assert_eq!(got, serial.output);

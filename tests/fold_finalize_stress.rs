@@ -1,0 +1,90 @@
+//! Regression stress for the Fold-finalization race in the dataflow
+//! scheduler (promoted from a temporary reviewer repro).
+//!
+//! The bug: `gather_task` claimed the inflight counter, popped the final
+//! chunk, and then only rescheduled its *upstream* node — so when a
+//! sibling task had already observed the closed edge and bailed out on
+//! the nonzero inflight count, nobody ever re-ran the finalization check
+//! and the run hung with the pool idle. The fix makes every pop path
+//! call `maybe_finalize_gather`/`maybe_finalize_map` unconditionally
+//! after integrating its chunk (the condition is stable once true, so
+//! the extra call is idempotent).
+//!
+//! These tests hammer the window with tiny chunks (64 B) and a shallow
+//! queue (depth 2) so the final-chunk/closed-edge interleaving happens
+//! constantly. Each iteration runs on a detached thread watched over a
+//! channel: a hang panics the test with the iteration number instead of
+//! wedging the suite. (A detached thread is deliberate — `thread::scope`
+//! would join the hung worker and turn the panic back into a wedge.)
+
+use kq_coreutils::ExecContext;
+use kq_pipeline::parse::{parse_script, Script};
+use kq_pipeline::plan::{PlannedScript, Planner};
+use kq_pipeline::scheduler::{run_dataflow, DataflowOptions};
+use kq_synth::SynthesisConfig;
+use std::collections::HashMap;
+use std::sync::{mpsc, Arc};
+use std::time::Duration;
+
+const ITERATIONS: usize = 3000;
+
+/// Plans `script_text` over a 300-line input and returns the shared
+/// state each stress iteration re-executes.
+fn plan_stress_script(script_text: &str) -> (Arc<Script>, Arc<PlannedScript>, Arc<ExecContext>) {
+    let env: HashMap<String, String> = HashMap::new();
+    let mut input = String::new();
+    for i in 0..300 {
+        input.push_str(&format!("line {} {}\n", i % 7, i));
+    }
+    let script = parse_script(script_text, &env).unwrap();
+    let ctx = ExecContext::default();
+    ctx.vfs.write("/in.txt", &input);
+    let mut planner = Planner::new(SynthesisConfig::default());
+    let plan = planner.plan(&script, &ctx, &input);
+    (Arc::new(script), Arc::new(plan), Arc::new(ctx))
+}
+
+/// Runs the planned script `ITERATIONS` times under the race-friendly
+/// configuration, each run on a detached watchdog-guarded thread.
+fn stress(script_text: &str) {
+    let (script, plan, ctx) = plan_stress_script(script_text);
+    let expect = {
+        let opts = DataflowOptions::default();
+        run_dataflow(&script, &plan, &ctx, &opts).unwrap().output
+    };
+    for iter in 0..ITERATIONS {
+        let (tx, rx) = mpsc::channel();
+        let (script, plan, ctx) = (script.clone(), plan.clone(), ctx.clone());
+        std::thread::spawn(move || {
+            let opts = DataflowOptions {
+                workers: 4,
+                chunk_bytes: 64,
+                queue_depth: 2,
+                fuse_streamable: true,
+                spill: None,
+            };
+            let got = run_dataflow(&script, &plan, &ctx, &opts).unwrap();
+            // A send failure means the watchdog already gave up.
+            let _ = tx.send(got.output);
+        });
+        match rx.recv_timeout(Duration::from_secs(20)) {
+            Ok(out) => assert_eq!(out, expect, "dataflow output diverged at iteration {iter}"),
+            Err(_) => panic!("lost-finalization hang at iteration {iter}"),
+        }
+    }
+}
+
+/// The original repro: `sed 1d` plans as a sequential Fold(Gather) node
+/// fed by the split, the shape whose finalization was lost.
+#[test]
+fn gather_finalize_stress() {
+    stress("cat /in.txt | sed 1d | sort");
+}
+
+/// The same window at a Fold(Combine) node: no gather stage in the
+/// pipeline, so the incremental combiner fold's pop paths are the ones
+/// racing the closed-edge observer.
+#[test]
+fn combine_finalize_stress() {
+    stress("cat /in.txt | sort");
+}

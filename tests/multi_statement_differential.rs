@@ -157,6 +157,7 @@ fn multi_statement_scripts_agree_across_all_executors() {
                     chunk_bytes,
                     queue_depth: 2,
                     fuse_streamable: true,
+                    spill: None,
                 };
                 let got = run_streaming(&parsed, &plan, &ctx, &sopts).unwrap_or_else(|e| {
                     panic!("{name} streaming (w={workers}, c={chunk_bytes}): {e}")
@@ -173,6 +174,7 @@ fn multi_statement_scripts_agree_across_all_executors() {
                     chunk_bytes,
                     queue_depth: 2,
                     fuse_streamable: true,
+                    spill: None,
                 };
                 let got = run_dataflow(&parsed, &plan, &ctx, &dopts).unwrap_or_else(|e| {
                     panic!("{name} dataflow (w={workers}, c={chunk_bytes}): {e}")
@@ -212,6 +214,7 @@ fn argv_file_operands_count_as_reads_for_statement_ordering() {
             chunk_bytes: 256,
             queue_depth: 2,
             fuse_streamable: true,
+            spill: None,
         };
         let got = run_dataflow(&parsed, &plan, &ctx, &opts).unwrap();
         assert_eq!(

@@ -64,6 +64,7 @@ fn full_corpus_all_executors_agree() {
                 chunk_bytes,
                 queue_depth: 2,
                 fuse_streamable: true,
+                spill: None,
             };
             let streaming = run_streaming(&parsed, &plan, &ctx, &sopts)
                 .unwrap_or_else(|e| panic!("{id} streaming (chunk={chunk_bytes}): {e}"));
@@ -160,6 +161,7 @@ fn mmap_backed_inputs_match_heap_ingest_on_every_executor() {
                     chunk_bytes: cb,
                     queue_depth: 2,
                     fuse_streamable: true,
+                    spill: None,
                 };
                 let streaming = run_streaming(&parsed, &plan, &mmap_ctx, &sopts)
                     .unwrap_or_else(|e| panic!("{name} mmap streaming (chunk={cb}): {e}"));
@@ -211,6 +213,7 @@ fn streaming_options_sweep_on_boundary_sensitive_scripts() {
                         chunk_bytes: 512,
                         queue_depth,
                         fuse_streamable: fuse,
+                        spill: None,
                     };
                     let got = run_streaming(&parsed, &plan, &ctx, &opts).unwrap();
                     assert_eq!(

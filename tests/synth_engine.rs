@@ -283,6 +283,7 @@ fn parallel_planner_keeps_executors_byte_identical() {
                 chunk_bytes: 700,
                 queue_depth: 2,
                 fuse_streamable: true,
+                spill: None,
             },
         )
         .unwrap();
