@@ -37,6 +37,8 @@ const VALUED: &[&str] = &[
     "rerun-threshold",
     "spill-mb",
     "spill-dir",
+    "trace-out",
+    "top",
 ];
 
 impl ParsedArgs {

@@ -47,6 +47,7 @@ pub fn run_cli(args: &[String]) -> Result<CliOutput, String> {
         "run" => cmd_run(&parsed),
         "emit" => cmd_emit(&parsed),
         "corpus" => cmd_corpus(&parsed),
+        "trace" => cmd_trace(&parsed),
         "help" | "--help" | "-h" => Ok(CliOutput::from_stdout(USAGE.to_owned())),
         other => Err(format!("unknown subcommand {other:?}\n\n{USAGE}")),
     }
@@ -79,6 +80,7 @@ USAGE:
                                [--synth-workers N] [--combiner-cache FILE]
                                [--rerun-threshold R]
                                [--spill-mb N] [--spill-dir DIR]
+                               [--trace-out FILE] [--metrics]
         Execute a script with N-way data parallelism (default 4); the
         parallel output is verified against the serial output unless
         --no-verify is given (the serial oracle re-reads the whole input
@@ -105,6 +107,19 @@ USAGE:
         O(input). Run files live in --spill-dir (default: the system temp
         dir) and are unlinked as soon as they are mapped, so they never
         outlive the run. Disk traffic is reported as 'spill: ...' notes.
+        --trace-out FILE records a span for every unit of work in every
+        layer (planning, synthesis, ingest, chunking, folds, executor
+        tasks) and writes FILE as JSONL plus FILE's stem + '.chrome.json'
+        as a Chrome trace_event file — open the latter in Perfetto
+        (ui.perfetto.dev) or chrome://tracing to see one track per worker
+        thread and one per dataflow node. --metrics prints aggregated
+        span/counter totals as end-of-run notes. Both are off by default
+        and cost nothing when off.
+    kumquat trace report FILE [--top N]
+        Analyze a --trace-out JSONL file: per-node busy time, the
+        critical path through the dataflow graph (whose windows tile the
+        trace, so the path total matches the run's wall time), and the
+        top N bottleneck nodes (default 5).
     kumquat emit <script|file> [--workers N] [--no-opt] [--out FILE]
         Compile the script into a runnable POSIX shell script that uses
         the real Unix commands plus the synthesized combiners.
@@ -383,6 +398,13 @@ fn cmd_run(args: &ParsedArgs) -> Result<CliOutput, String> {
         .opt("exec")
         .or_else(|| args.opt("executor"))
         .unwrap_or("static");
+    // The trace session wraps planning, the serial oracle, and the
+    // parallel run: --trace-out captures every layer's spans, --metrics
+    // aggregates them into the end-of-run metrics block. Off by default —
+    // with neither flag the recorder stays a relaxed-load no-op.
+    let trace_out = args.opt("trace-out").map(str::to_owned);
+    let want_metrics = args.flag("metrics");
+    let session = (trace_out.is_some() || want_metrics).then(kq_trace::TraceSession::start);
     let planned = plan_from_args(args)?;
     // The serial oracle gathers the whole input and output on the heap —
     // exactly what an out-of-core run cannot afford. --no-verify skips it
@@ -433,75 +455,72 @@ fn cmd_run(args: &ParsedArgs) -> Result<CliOutput, String> {
         }
     };
     let mut notes = planned.notes;
-    // Worker accounting: the dataflow executor runs the whole script —
-    // every statement, segment, and fold — on one fixed pool, so the
-    // thread budget is exactly `--workers` regardless of statement count.
-    // (CI greps this line in its multi-statement smoke.)
-    if executor == "dataflow" {
-        notes.push(format!(
-            "dataflow: {} statement(s) share one work-stealing pool of {workers} worker thread(s)",
-            planned.script.statements.len()
-        ));
-    }
-    // Early-exit ledger: a prefix-bounded stage (head -n k / sed kq) that
-    // satisfied its demand before end-of-input reports how little it
-    // consumed (streaming executor only). The stage number comes from the
-    // EarlyExit record — timings are per *segment*, and fused chunk-local
-    // runs would make the timing index drift from the pipeline position.
-    for (si, stages) in parallel.timings.statements.iter().enumerate() {
-        for stage in stages {
-            if let Some(early) = stage.early_exit {
-                notes.push(format!(
-                    "early-exit: statement {} stage {} ({}) satisfied after {} chunk(s); \
-                     demand token released before end-of-input",
-                    si + 1,
-                    early.stage + 1,
-                    stage.label,
-                    early.chunks
-                ));
-            }
+    if let Some(serial) = &serial {
+        if parallel.output != serial.output {
+            return Err("parallel output diverged from serial output (combiner bug)".into());
         }
     }
-    // Spill ledger: every barrier fold that ran under a --spill-mb budget
-    // reports its disk traffic; a fold that stayed within budget reports
-    // nothing (its telemetry is Some but all-zero).
-    for (si, stages) in parallel.timings.statements.iter().enumerate() {
-        for stage in stages {
-            if let Some(sp) = stage.spill.filter(|sp| sp.runs_spilled > 0) {
-                notes.push(format!(
-                    "spill: statement {} ({}) wrote {} run(s), {} KiB to disk, \
-                     mapped {} KiB back for the merge",
-                    si + 1,
-                    stage.label,
-                    sp.runs_spilled,
-                    sp.bytes_written / 1024,
-                    sp.bytes_mapped / 1024
-                ));
-            }
+    notes.extend(crate::report::render_run_notes(
+        executor,
+        workers,
+        planned.script.statements.len(),
+        &planned.plan,
+        &parallel.timings,
+        serial.is_some(),
+    ));
+    if let Some(session) = session {
+        let records = session.finish();
+        if let Some(path) = &trace_out {
+            notes.extend(write_trace_files(path, &records)?);
         }
-    }
-    let (par, total) = planned.plan.parallelized_counts();
-    match &serial {
-        Some(serial) => {
-            if parallel.output != serial.output {
-                return Err("parallel output diverged from serial output (combiner bug)".into());
-            }
-            notes.push(format!(
-                "verified: {executor} parallel output (w={workers}) equals serial output; \
-                 {par}/{total} stages parallel, {} combiner(s) eliminated",
-                planned.plan.eliminated_count()
-            ));
+        if want_metrics {
+            notes.extend(kq_trace::report::render_metrics(&records));
         }
-        None => notes.push(format!(
-            "unverified (--no-verify): {executor} output (w={workers}); \
-             {par}/{total} stages parallel, {} combiner(s) eliminated",
-            planned.plan.eliminated_count()
-        )),
     }
     Ok(CliOutput {
         stdout: parallel.output.into_string(),
         notes,
     })
+}
+
+/// Writes the two `--trace-out` artifacts: the JSONL record stream at
+/// `path` and a Chrome `trace_event` file (loadable in Perfetto or
+/// `chrome://tracing`) next to it with a `.chrome.json` suffix.
+fn write_trace_files(path: &str, records: &[kq_trace::Record]) -> Result<Vec<String>, String> {
+    let mut jsonl = Vec::new();
+    kq_trace::write_jsonl(records, &mut jsonl).map_err(|e| format!("{path}: {e}"))?;
+    std::fs::write(path, jsonl).map_err(|e| format!("{path}: {e}"))?;
+    let chrome_path = match path.strip_suffix(".json") {
+        Some(stem) => format!("{stem}.chrome.json"),
+        None => format!("{path}.chrome.json"),
+    };
+    let mut chrome = Vec::new();
+    kq_trace::write_chrome_trace(records, &mut chrome)
+        .map_err(|e| format!("{chrome_path}: {e}"))?;
+    std::fs::write(&chrome_path, chrome).map_err(|e| format!("{chrome_path}: {e}"))?;
+    Ok(vec![format!(
+        "trace: {} record(s) written to {path} (JSONL) and {chrome_path} (Chrome trace_event; \
+         open in Perfetto or chrome://tracing)",
+        records.len()
+    )])
+}
+
+/// `kumquat trace report FILE [--top N]`: parse a `--trace-out` JSONL
+/// file, compute per-node busy time and the critical path through the
+/// dataflow graph, and print the bottleneck summary.
+fn cmd_trace(args: &ParsedArgs) -> Result<CliOutput, String> {
+    let top = args.opt_parse_nonzero("top", 5)?;
+    match args.positional.as_slice() {
+        [action, file] if action == "report" => {
+            let text = std::fs::read_to_string(file).map_err(|e| format!("{file}: {e}"))?;
+            let records = kq_trace::parse_jsonl(&text).map_err(|e| format!("{file}: {e}"))?;
+            let analysis = kq_trace::report::analyze(&records);
+            Ok(CliOutput::from_stdout(kq_trace::report::render_report(
+                &analysis, top,
+            )))
+        }
+        _ => Err("trace expects: trace report FILE [--top N]".into()),
+    }
 }
 
 fn cmd_emit(args: &ParsedArgs) -> Result<CliOutput, String> {

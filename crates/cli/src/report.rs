@@ -1,6 +1,14 @@
-//! Human-readable rendering of synthesis reports and pipeline plans.
+//! Human-readable rendering of synthesis reports, pipeline plans, and
+//! post-run telemetry.
+//!
+//! [`render_run_notes`] is the one place executor telemetry becomes text:
+//! every `kumquat run` — whichever `--exec` backend ran — reports the same
+//! fields in the same shapes (pool accounting, early-exit ledger, spill
+//! ledger, verification line), so CI greps and human eyes never chase
+//! per-executor formats.
 
 use kq_pipeline::cache::CacheStats;
+use kq_pipeline::exec::TimingLog;
 use kq_pipeline::parse::Script;
 use kq_pipeline::plan::{PlannedScript, StageMode};
 use kq_synth::{SynthesisOutcome, SynthesisReport};
@@ -129,6 +137,83 @@ pub fn render_synthesis_summary(reports: &[SynthesisReport], stats: CacheStats) 
     )
     .unwrap();
     out
+}
+
+/// Renders the post-run telemetry notes shared by every executor: the
+/// dataflow pool-accounting line, the early-exit ledger, the spill
+/// ledger, and the verification line. One renderer for all `--exec`
+/// backends — the field names and shapes never depend on which executor
+/// produced the [`TimingLog`].
+pub fn render_run_notes(
+    executor: &str,
+    workers: usize,
+    statements: usize,
+    plan: &PlannedScript,
+    timings: &TimingLog,
+    verified: bool,
+) -> Vec<String> {
+    let mut notes = Vec::new();
+    // Worker accounting: the dataflow executor runs the whole script —
+    // every statement, segment, and fold — on one fixed pool, so the
+    // thread budget is exactly `--workers` regardless of statement count.
+    // (CI greps this line in its multi-statement smoke.)
+    if executor == "dataflow" {
+        notes.push(format!(
+            "dataflow: {statements} statement(s) share one work-stealing pool of {workers} worker thread(s)",
+        ));
+    }
+    // Early-exit ledger: a prefix-bounded stage (head -n k / sed kq) that
+    // satisfied its demand before end-of-input reports how little it
+    // consumed. The stage number comes from the EarlyExit record —
+    // timings are per *segment*, and fused chunk-local runs would make
+    // the timing index drift from the pipeline position.
+    for (si, stages) in timings.statements.iter().enumerate() {
+        for stage in stages {
+            if let Some(early) = stage.early_exit {
+                notes.push(format!(
+                    "early-exit: statement {} stage {} ({}) satisfied after {} chunk(s); \
+                     demand token released before end-of-input",
+                    si + 1,
+                    early.stage + 1,
+                    stage.label,
+                    early.chunks
+                ));
+            }
+        }
+    }
+    // Spill ledger: every barrier fold that ran under a --spill-mb budget
+    // reports its disk traffic; a fold that stayed within budget reports
+    // nothing (its telemetry is Some but all-zero).
+    for (si, stages) in timings.statements.iter().enumerate() {
+        for stage in stages {
+            if let Some(sp) = stage.spill.filter(|sp| sp.runs_spilled > 0) {
+                notes.push(format!(
+                    "spill: statement {} ({}) wrote {} run(s), {} KiB to disk, \
+                     mapped {} KiB back for the merge",
+                    si + 1,
+                    stage.label,
+                    sp.runs_spilled,
+                    sp.bytes_written / 1024,
+                    sp.bytes_mapped / 1024
+                ));
+            }
+        }
+    }
+    let (par, total) = plan.parallelized_counts();
+    if verified {
+        notes.push(format!(
+            "verified: {executor} parallel output (w={workers}) equals serial output; \
+             {par}/{total} stages parallel, {} combiner(s) eliminated",
+            plan.eliminated_count()
+        ));
+    } else {
+        notes.push(format!(
+            "unverified (--no-verify): {executor} output (w={workers}); \
+             {par}/{total} stages parallel, {} combiner(s) eliminated",
+            plan.eliminated_count()
+        ));
+    }
+    notes
 }
 
 #[cfg(test)]

@@ -63,11 +63,15 @@ impl SpillMetrics {
     pub fn record_spill(&self, bytes: u64) {
         self.runs_spilled.fetch_add(1, Ordering::Relaxed);
         self.bytes_written.fetch_add(bytes, Ordering::Relaxed);
+        kq_trace::instant("spill", "run-out").v(bytes as f64).emit();
     }
 
     /// Records `bytes` of spilled data mapped back for merging.
     pub fn record_mapped(&self, bytes: u64) {
         self.bytes_mapped.fetch_add(bytes, Ordering::Relaxed);
+        kq_trace::instant("spill", "map-back")
+            .v(bytes as f64)
+            .emit();
     }
 
     /// A consistent-enough snapshot: (runs spilled, bytes written, bytes

@@ -145,10 +145,17 @@ pub fn read_path(path: impl AsRef<Path>, opts: &IngestOptions) -> io::Result<Byt
     if want_map {
         #[cfg(unix)]
         if let Some(mapped) = map_file(&file, len, MapAdvice::Sequential) {
+            kq_trace::span("ingest", "read")
+                .label("map")
+                .v(len as f64)
+                .done();
             return Ok(mapped);
         }
     }
-    heap_read(file, len)
+    let span = kq_trace::span("ingest", "read").label("heap").v(len as f64);
+    let out = heap_read(file, len);
+    span.done();
+    out
 }
 
 /// [`read_path`] plus a single whole-file UTF-8 validation

@@ -72,6 +72,7 @@ pub(crate) fn run_chain(
 /// returning the per-chunk outputs in input order together with each
 /// chunk's wall-clock cost.
 fn pooled_map(
+    (si, ni): (usize, usize),
     chain: &[&Command],
     input: &Bytes,
     ctx: &ExecContext,
@@ -100,8 +101,14 @@ fn pooled_map(
             let result_tx = result_tx.clone();
             scope.spawn(move || {
                 for (idx, chunk) in task_rx.iter() {
+                    let span = kq_trace::span("chunked", "map")
+                        .si(si)
+                        .ni(ni)
+                        .seq(idx)
+                        .v(chunk.len() as f64);
                     let t0 = Instant::now();
                     let out = run_chain(chain, chunk, ctx);
+                    span.done();
                     if result_tx.send((idx, t0.elapsed(), out)).is_err() {
                         break;
                     }
@@ -152,16 +159,26 @@ pub fn run_chunked(
 ) -> Result<ExecutionResult, CmdError> {
     let mut output = Rope::new();
     let mut timings = TimingLog::default();
-    for (statement, planned) in script.statements.iter().zip(&plan.statements) {
+    for (si, (statement, planned)) in script.statements.iter().zip(&plan.statements).enumerate() {
         let mut stream = crate::exec::gather_files(&statement.input, ctx)?;
         let mut stage_timings = Vec::new();
-        for segment in planned.segments(opts.honor_elimination) {
+        for (seg_idx, segment) in planned
+            .segments(opts.honor_elimination)
+            .into_iter()
+            .enumerate()
+        {
             match segment {
                 StageSegment::Sequential { stage } => {
                     let cmd = &statement.stages[stage].command;
                     let bytes_in = stream.len();
+                    let span = kq_trace::span("chunked", "stage")
+                        .si(si)
+                        .ni(seg_idx)
+                        .label(cmd.display())
+                        .v(bytes_in as f64);
                     let t0 = Instant::now();
                     let out = cmd.run(stream, ctx)?;
+                    span.done();
                     stage_timings.push(StageTiming {
                         label: cmd.display(),
                         parallel: false,
@@ -187,18 +204,25 @@ pub fn run_chunked(
                         unreachable!("parallel segment ends on a parallel stage");
                     };
                     let bytes_in = stream.len();
-                    let (pieces, piece_times) = pooled_map(&chain, &stream, ctx, opts)?;
+                    let (pieces, piece_times) =
+                        pooled_map((si, seg_idx), &chain, &stream, ctx, opts)?;
                     let closing_cmd = &statement.stages[closing].command;
                     let env = CommandEnv {
                         command: closing_cmd,
                         ctx,
                     };
                     let bytes_out_pieces: usize = pieces.iter().map(Bytes::len).sum();
+                    let span = kq_trace::span("chunked", "combine")
+                        .si(si)
+                        .ni(seg_idx)
+                        .label(closing_cmd.display())
+                        .v(pieces.len() as f64);
                     let t0 = Instant::now();
                     let combined = combiner
                         .combine_all(&pieces, &env)
                         .map_err(|e| CmdError::new(closing_cmd.display(), e.to_string()))?;
                     let combine_time = t0.elapsed();
+                    span.done();
                     stage_timings.push(StageTiming {
                         label: chain
                             .iter()

@@ -106,9 +106,9 @@ pub struct QueueTelemetry {
     /// Time the node spent waiting for input: blocked in a channel `recv`
     /// (streaming) or starved on an empty input edge (dataflow).
     pub recv_stall: Duration,
-    /// High-water mark of chunks queued at this node's input when one of
-    /// its tasks was stolen off the scheduler (dataflow; 0 for streaming,
-    /// whose bounded channels are observed only through blocking).
+    /// High-water mark of chunks queued at this node: the input-edge
+    /// length observed when a task claimed a chunk (dataflow), or the
+    /// bounded-channel occupancy observed at each send/recv (streaming).
     pub max_queued: usize,
     /// Scheduler tasks executed for this node (dataflow), or chunks
     /// received (streaming) — the denominator for the stall averages.
@@ -184,14 +184,20 @@ pub(crate) fn gather_files(input: &InputSource, ctx: &ExecContext) -> Result<Byt
 pub fn run_serial(script: &Script, ctx: &ExecContext) -> Result<ExecutionResult, CmdError> {
     let mut output = Rope::new();
     let mut timings = TimingLog::default();
-    for statement in &script.statements {
+    for (si, statement) in script.statements.iter().enumerate() {
         let mut stream = gather_input(statement, ctx)?;
         let mut stage_timings = Vec::with_capacity(statement.stages.len());
-        for stage in &statement.stages {
+        for (stage_idx, stage) in statement.stages.iter().enumerate() {
             let bytes_in = stream.len();
+            let span = kq_trace::span("serial", "stage")
+                .si(si)
+                .ni(stage_idx)
+                .label(stage.command.display())
+                .v(bytes_in as f64);
             let t0 = Instant::now();
             let out = stage.command.run(stream, ctx)?;
             let elapsed = t0.elapsed();
+            span.done();
             stage_timings.push(StageTiming {
                 label: stage.command.display(),
                 parallel: false,
@@ -276,10 +282,12 @@ fn run_parallel_inner(
     assert!(workers >= 1, "need at least one worker");
     let mut output = Rope::new();
     let mut timings = TimingLog::default();
-    for (statement, planned) in script.statements.iter().zip(&plan.statements) {
+    for (si, (statement, planned)) in script.statements.iter().zip(&plan.statements).enumerate() {
         let mut state = State::Single(gather_input(statement, ctx)?);
         let mut stage_timings = Vec::with_capacity(statement.stages.len());
-        for (stage, planned_stage) in statement.stages.iter().zip(&planned.stages) {
+        for (stage_idx, (stage, planned_stage)) in
+            statement.stages.iter().zip(&planned.stages).enumerate()
+        {
             let cmd = &stage.command;
             match &planned_stage.mode {
                 StageMode::Sequential => {
@@ -290,8 +298,14 @@ fn run_parallel_inner(
                         }
                     };
                     let bytes_in = input.len();
+                    let span = kq_trace::span("static", "stage")
+                        .si(si)
+                        .ni(stage_idx)
+                        .label(cmd.display())
+                        .v(bytes_in as f64);
                     let t0 = Instant::now();
                     let out = cmd.run(input, ctx)?;
+                    span.done();
                     stage_timings.push(StageTiming {
                         label: cmd.display(),
                         parallel: false,
@@ -329,11 +343,18 @@ fn run_parallel_inner(
                         std::thread::scope(|scope| {
                             let handles: Vec<_> = pieces
                                 .iter()
-                                .map(|piece| {
+                                .enumerate()
+                                .map(|(pi, piece)| {
                                     let piece = piece.clone();
                                     scope.spawn(move || {
+                                        let span = kq_trace::span("static", "piece")
+                                            .si(si)
+                                            .ni(stage_idx)
+                                            .seq(pi)
+                                            .v(piece.len() as f64);
                                         let t0 = Instant::now();
                                         let out = cmd.run(piece, ctx)?;
+                                        span.done();
                                         Ok((out, t0.elapsed()))
                                     })
                                 })
@@ -343,10 +364,16 @@ fn run_parallel_inner(
                             }
                         });
                     } else {
-                        for piece in &pieces {
+                        for (pi, piece) in pieces.iter().enumerate() {
+                            let span = kq_trace::span("static", "piece")
+                                .si(si)
+                                .ni(stage_idx)
+                                .seq(pi)
+                                .v(piece.len() as f64);
                             let t0 = Instant::now();
                             results
                                 .push(cmd.run(piece.clone(), ctx).map(|out| (out, t0.elapsed())));
+                            span.done();
                         }
                     }
                     let mut outputs = Vec::with_capacity(results.len());
@@ -377,11 +404,16 @@ fn run_parallel_inner(
                         state = State::Split(outputs);
                     } else {
                         let env = CommandEnv { command: cmd, ctx };
+                        let span = kq_trace::span("static", "combine")
+                            .si(si)
+                            .ni(stage_idx)
+                            .label(cmd.display());
                         let t0 = Instant::now();
                         let combined = combiner
                             .combine_all(&outputs, &env)
                             .map_err(|e| CmdError::new(cmd.display(), e.to_string()))?;
                         let combine_time = t0.elapsed();
+                        span.done();
                         stage_timings.push(StageTiming {
                             label: cmd.display(),
                             parallel: true,

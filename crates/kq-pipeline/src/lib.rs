@@ -111,6 +111,26 @@
 //! early-exit teardowns; `crates/bench/benches/spill_fold.rs` records
 //! peak RSS for a 256 MiB sort with and without a budget
 //! (`BENCH_spill.json`).
+//!
+//! # The trace plane
+//!
+//! Every executor is instrumented through [`kq_trace`]: node-task spans
+//! (`dataflow`/`streaming`/`chunked`/`static`/`serial` categories), graph
+//! structure metas, and per-node counters (bytes in/out, tasks,
+//! max-queued, send/recv stall time). Instrumentation is off unless a
+//! `kq_trace::TraceSession` is live — a disabled probe is one relaxed
+//! atomic load, so the executors' hot loops carry no tracing cost on
+//! normal runs (`crates/bench/benches/trace_overhead.rs` guards this).
+//! Span identity is `(kind, cat, name, si, ni, seq, label)`: `si` the
+//! statement index, `ni` the dataflow node / stage index, `seq` the chunk
+//! ordinal. Chunk cuts are deterministic for a given input and chunk
+//! size, so the identity multiset is stable across runs and worker counts
+//! (absent early-exit cancellation) — `tests/trace_plane.rs` pins that
+//! contract, plus graph coverage: every node of every statement's graph
+//! appears with at least one task span. The CLI exports sessions via
+//! `--trace-out` (JSONL + a Chrome `trace_event` file for Perfetto) and
+//! summarizes them with `kumquat trace report` (per-node busy time and
+//! the critical path).
 
 //! ```
 //! use kq_pipeline::exec::{run_parallel, run_serial};

@@ -419,14 +419,32 @@ impl Planner {
         ctx: &ExecContext,
     ) -> Option<Option<Arc<SynthesizedCombiner>>> {
         match self.cache.lookup(key) {
-            CacheLookup::Ready(combiner) => Some(combiner),
-            CacheLookup::NeedsValidation(candidates) => {
-                let valid = spot_check(command, ctx, &self.config, &candidates);
-                self.cache
-                    .resolve_validation(key, candidates, valid)
-                    .map(Some)
+            CacheLookup::Ready(combiner) => {
+                kq_trace::instant("cache", "hit").label(key).emit();
+                Some(combiner)
             }
-            CacheLookup::Miss => None,
+            CacheLookup::NeedsValidation(candidates) => {
+                let span = kq_trace::span("cache", "validate")
+                    .label(key)
+                    .v(candidates.len() as f64);
+                let valid = spot_check(command, ctx, &self.config, &candidates);
+                span.done();
+                let resolved = self
+                    .cache
+                    .resolve_validation(key, candidates, valid)
+                    .map(Some);
+                let verdict = if resolved.is_some() {
+                    "validated"
+                } else {
+                    "rejected"
+                };
+                kq_trace::instant("cache", verdict).label(key).emit();
+                resolved
+            }
+            CacheLookup::Miss => {
+                kq_trace::instant("cache", "miss").label(key).emit();
+                None
+            }
         }
     }
 
@@ -457,6 +475,7 @@ impl Planner {
     /// the plan); then the per-statement plans are assembled from cache
     /// hits alone.
     pub fn plan(&mut self, script: &Script, ctx: &ExecContext, sample: &str) -> PlannedScript {
+        let _plan_span = kq_trace::span("plan", "plan").v(script.statements.len() as f64);
         // Probe results depend on context file state; scope the memo to
         // this (script, context) pass.
         self.probe_memo.clear();

@@ -147,6 +147,8 @@ struct Emit {
     source: Bytes,
     cursor: usize,
     released: usize,
+    /// Chunks cut so far — the `seq` stamp on the cut's trace span.
+    chunks: usize,
 }
 
 impl Emit {
@@ -155,6 +157,7 @@ impl Emit {
             source,
             cursor: 0,
             released: 0,
+            chunks: 0,
         }
     }
 
@@ -166,6 +169,7 @@ impl Emit {
         let end = next_chunk_end(self.source.as_bytes(), self.cursor, chunk_bytes);
         let chunk = self.source.slice(self.cursor..end);
         self.cursor = end;
+        self.chunks += 1;
         if self.cursor > self.released + 2 * release_lag {
             let upto = self.cursor - release_lag;
             self.source.release_range(self.released..upto);
@@ -449,6 +453,41 @@ pub fn run_dataflow(
         }
     }
 
+    // Trace plane: one graph meta per node (the Chrome exporter and the
+    // critical-path report key their node tracks on these) and one dep
+    // meta per cross-statement edge.
+    if kq_trace::enabled() {
+        for (si, stmt) in stmts.iter().enumerate() {
+            for (ni, node) in stmt.graph.nodes.iter().enumerate() {
+                let kind = match node.kind {
+                    NodeKind::Split => "split",
+                    NodeKind::StageWorker => "worker",
+                    NodeKind::Fold {
+                        mode: FoldMode::Combine,
+                    } => "fold",
+                    NodeKind::Fold {
+                        mode: FoldMode::Gather,
+                    } => "gather",
+                    NodeKind::BoundedConsumer { .. } => "bounded",
+                };
+                let label = stmt.chains[ni]
+                    .iter()
+                    .map(|c| c.display())
+                    .collect::<Vec<_>>()
+                    .join(" | ");
+                kq_trace::meta("graph", kind)
+                    .si(si)
+                    .ni(ni)
+                    .label(label)
+                    .emit();
+            }
+            for &d in &deps[si] {
+                kq_trace::meta("graph", "dep").si(si).seq(d).emit();
+            }
+        }
+    }
+    let _run_span = kq_trace::span("dataflow", "run").v(stmts.len() as f64);
+
     let total = stmts.len();
     let rt = RunState {
         stmts,
@@ -499,11 +538,15 @@ pub fn run_dataflow(
 
     let mut output = Rope::new();
     let mut timings = TimingLog::default();
-    for stmt in &rt.stmts {
+    for (si, stmt) in rt.stmts.iter().enumerate() {
         if let Some(bytes) = lock(&stmt.output).take() {
             output.push(bytes);
         }
-        timings.statements.push(snapshot_timings(stmt));
+        let stages = snapshot_timings(stmt);
+        if kq_trace::enabled() {
+            emit_node_counters(si, &stages);
+        }
+        timings.statements.push(stages);
     }
     Ok(ExecutionResult {
         output: output.into_bytes(),
@@ -638,6 +681,41 @@ fn run_task(cx: &Cx<'_, '_>, (si, ni): Task) {
     }
 }
 
+/// Trace plane: the per-node queue/stall/volume telemetry as counter
+/// records, emitted once per node after the pool has drained.
+/// `stages[k]` is node `k + 1` (the split has no StageTiming).
+fn emit_node_counters(si: usize, stages: &[StageTiming]) {
+    for (k, t) in stages.iter().enumerate() {
+        let ni = k + 1;
+        kq_trace::counter("dataflow", "bytes-in", t.bytes_in as f64)
+            .si(si)
+            .ni(ni)
+            .emit();
+        kq_trace::counter("dataflow", "bytes-out", t.bytes_out as f64)
+            .si(si)
+            .ni(ni)
+            .emit();
+        if let Some(q) = &t.queue {
+            kq_trace::counter("dataflow", "tasks", q.tasks as f64)
+                .si(si)
+                .ni(ni)
+                .emit();
+            kq_trace::counter("dataflow", "max-queued", q.max_queued as f64)
+                .si(si)
+                .ni(ni)
+                .emit();
+            kq_trace::counter("dataflow", "send-stall-ns", q.send_stall.as_nanos() as f64)
+                .si(si)
+                .ni(ni)
+                .emit();
+            kq_trace::counter("dataflow", "recv-stall-ns", q.recv_stall.as_nanos() as f64)
+                .si(si)
+                .ni(ni)
+                .emit();
+        }
+    }
+}
+
 /// Starts a statement once its dependencies are settled: gathers the
 /// input (which may be a file an earlier statement just redirected) and
 /// schedules the split.
@@ -646,7 +724,10 @@ fn start_statement(cx: &Cx<'_, '_>, si: usize) {
     if stmt.started.swap(true, Ordering::AcqRel) {
         return;
     }
-    match gather_files(&stmt.statement.input, cx.rt.ctx) {
+    let gather_span = kq_trace::span("dataflow", "gather-input").si(si);
+    let gathered = gather_files(&stmt.statement.input, cx.rt.ctx);
+    gather_span.done();
+    match gathered {
         Err(e) => stmt_error(cx, si, e),
         Ok(input) => {
             if stmt.statement.stages.is_empty() {
@@ -685,7 +766,12 @@ fn split_task(cx: &Cx<'_, '_>, si: usize) {
                 schedule_pushes(cx, si, 1, scheduled_pushes);
                 return;
             }
+            let span = kq_trace::span("dataflow", "split")
+                .si(si)
+                .ni(0)
+                .seq(emit.chunks);
             let chunk = emit.next_chunk(cx.rt.chunk_bytes, cx.rt.release_lag);
+            span.v(chunk.len() as f64).done();
             push_edge(stmt, 0, chunk);
             scheduled_pushes += 1;
         }
@@ -803,9 +889,15 @@ fn map_task(cx: &Cx<'_, '_>, si: usize, ni: usize) {
     };
     // The pop freed one credit upstream.
     cx.schedule((si, ni - 1));
+    let span = kq_trace::span("dataflow", "map")
+        .si(si)
+        .ni(ni)
+        .seq(seq)
+        .v(chunk.len() as f64);
     let t0 = Instant::now();
     let result = run_chain(&stmt.chains[ni], chunk.clone(), cx.rt.ctx);
     let dur = t0.elapsed();
+    span.done();
 
     let mut pushed = 0usize;
     {
@@ -848,9 +940,14 @@ fn map_task(cx: &Cx<'_, '_>, si: usize, ni: usize) {
                     pushed += 1;
                 }
             } else {
+                let span = kq_trace::span("dataflow", "fold-push")
+                    .si(si)
+                    .ni(ni)
+                    .seq(st.next_seq - 1);
                 let t0 = Instant::now();
                 st.accum.as_mut().expect("combine fold accum").push(ready);
                 let elapsed = t0.elapsed();
+                span.done();
                 st.combine_time += elapsed;
             }
         }
@@ -899,8 +996,11 @@ fn maybe_finalize_map(cx: &Cx<'_, '_>, si: usize, ni: usize) {
             st.accum.take().expect("combine fold accum")
         };
         let closing = stmt.chains[ni][0];
+        let span = kq_trace::span("dataflow", "fold-finish").si(si).ni(ni);
         let t0 = Instant::now();
-        match accum.finish() {
+        let finished = accum.finish();
+        span.done();
+        match finished {
             Err(e) => stmt_error(cx, si, CmdError::new(closing.display(), e.to_string())),
             Ok(combined) => {
                 let elapsed = t0.elapsed();
@@ -943,7 +1043,18 @@ fn gather_task(cx: &Cx<'_, '_>, si: usize, ni: usize) {
     }
     let popped = pop_input(stmt, ni);
     let popped_err = popped.is_err();
+    let gather_span = match &popped {
+        Ok((seq, chunk, _)) => Some(
+            kq_trace::span("dataflow", "gather")
+                .si(si)
+                .ni(ni)
+                .seq(*seq)
+                .v(chunk.len() as f64),
+        ),
+        Err(_) => None,
+    };
     let mut satisfied = false;
+    let mut exit_chunks = 0usize;
     {
         let mut st = lock(&stmt.nodes[ni]);
         st.inflight -= 1;
@@ -992,10 +1103,17 @@ fn gather_task(cx: &Cx<'_, '_>, si: usize, ni: usize) {
                     chunks: st.chunks_consumed,
                 });
                 satisfied = true;
+                exit_chunks = st.chunks_consumed;
             }
         }
     }
+    drop(gather_span);
     if satisfied {
+        kq_trace::instant("dataflow", "early-exit")
+            .si(si)
+            .ni(ni)
+            .v(exit_chunks as f64)
+            .emit();
         cancel_upstream(cx, si, ni);
         run_gathered(cx, si, ni);
         return;
@@ -1048,8 +1166,14 @@ fn run_gathered(cx: &Cx<'_, '_>, si: usize, ni: usize) {
         let mut st = lock(&stmt.nodes[ni]);
         std::mem::replace(&mut st.rope, Rope::new()).into_bytes()
     };
+    let span = kq_trace::span("dataflow", "gather-run")
+        .si(si)
+        .ni(ni)
+        .v(input.len() as f64);
     let t0 = Instant::now();
-    match cmd.run(input, cx.rt.ctx) {
+    let ran = cmd.run(input, cx.rt.ctx);
+    span.done();
+    match ran {
         Err(e) => stmt_error(cx, si, e),
         Ok(out) => {
             let elapsed = t0.elapsed();
@@ -1097,7 +1221,12 @@ fn emit_task(cx: &Cx<'_, '_>, si: usize, ni: usize) {
             let Phase::Emitting(emit) = &mut st.phase else {
                 unreachable!()
             };
+            let span = kq_trace::span("dataflow", "emit")
+                .si(si)
+                .ni(ni)
+                .seq(emit.chunks);
             let chunk = emit.next_chunk(cx.rt.chunk_bytes, cx.rt.release_lag);
+            span.v(chunk.len() as f64).done();
             push_edge(stmt, ni, chunk);
             pushed += 1;
         }
@@ -1112,6 +1241,10 @@ fn emit_task(cx: &Cx<'_, '_>, si: usize, ni: usize) {
 /// every node above `upto` cancelled and drops the chunks already queued
 /// on their edges — see the cancellation matrix in [`crate::dataflow`].
 fn cancel_upstream(cx: &Cx<'_, '_>, si: usize, upto: usize) {
+    kq_trace::instant("dataflow", "cancel")
+        .si(si)
+        .v(upto as f64)
+        .emit();
     let stmt = &cx.rt.stmts[si];
     for k in 0..upto {
         let mut st = lock(&stmt.nodes[k]);
@@ -1165,6 +1298,7 @@ fn finish_statement(cx: &Cx<'_, '_>, si: usize, output: Option<Bytes>) {
     if stmt.finished.swap(true, Ordering::AcqRel) {
         return;
     }
+    kq_trace::instant("dataflow", "stmt-finish").si(si).emit();
     if let Some(out) = output {
         match &stmt.statement.output {
             // Redirection stores the shared slice — no copy — and must

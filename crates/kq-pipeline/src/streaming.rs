@@ -148,21 +148,25 @@ type Chunk = (usize, Bytes);
 /// ([`Bytes::release_range`]; a no-op for heap sources, a refault-on-
 /// retouch hint for mapped ones). Returns `false` when the consumer
 /// disappeared (pipeline teardown). Time spent blocked inside `send`
-/// (downstream backpressure) accumulates into `send_stall`.
+/// (downstream backpressure) accumulates into `telem.send_stall`, and the
+/// channel occupancy observed right after each send raises
+/// `telem.max_queued` — the send-side view of how full the bounded edge
+/// actually ran.
 fn send_chunked(
     source: &Bytes,
     chunk_bytes: usize,
     release_lag: usize,
     tx: &channel::Sender<Chunk>,
-    send_stall: &mut Duration,
+    telem: &mut crate::exec::QueueTelemetry,
 ) -> bool {
+    let span = kq_trace::span("streaming", "send").v(source.len() as f64);
     let mut fed = 0usize;
     let mut released = 0usize;
     for chunk in source.chunks(chunk_bytes).enumerate() {
         let len = chunk.1.len();
         let t0 = Instant::now();
         let sent = tx.send(chunk);
-        *send_stall += t0.elapsed();
+        telem.send_stall += t0.elapsed();
         if sent.is_err() {
             // The consumer disappeared — cancellation (a bounded consumer
             // satisfied its demand) or failure teardown. Nobody will read
@@ -172,6 +176,7 @@ fn send_chunked(
             source.release_range(released..source.len());
             return false;
         }
+        telem.max_queued = telem.max_queued.max(tx.len());
         fed += len;
         if fed > released + 2 * release_lag {
             let upto = fed - release_lag;
@@ -179,6 +184,7 @@ fn send_chunked(
             released = upto;
         }
     }
+    span.done();
     true
 }
 
@@ -199,12 +205,12 @@ pub fn run_streaming(
 ) -> Result<ExecutionResult, CmdError> {
     let mut output = Rope::new();
     let mut timings = TimingLog::default();
-    for (statement, planned) in script.statements.iter().zip(&plan.statements) {
+    for (si, (statement, planned)) in script.statements.iter().zip(&plan.statements).enumerate() {
         let input = gather_files(&statement.input, ctx)?;
         let (stream, stage_timings) = if statement.stages.is_empty() {
             (input, Vec::new())
         } else {
-            run_statement(statement, planned, input, ctx, opts)?
+            run_statement(si, statement, planned, input, ctx, opts)?
         };
         timings.statements.push(stage_timings);
         match &statement.output {
@@ -222,12 +228,16 @@ pub fn run_streaming(
 /// Pipelines one statement: spawns the feeder, one worker set per segment,
 /// and drains the sink on the calling thread.
 fn run_statement(
+    si: usize,
     statement: &Statement,
     planned: &PlannedStatement,
     input: Bytes,
     ctx: &ExecContext,
     opts: &StreamingOptions,
 ) -> Result<(Bytes, Vec<StageTiming>), CmdError> {
+    let _stmt_span = kq_trace::span("streaming", "statement")
+        .si(si)
+        .v(input.len() as f64);
     let chunk_bytes = opts.chunk_bytes.max(1);
     let queue_depth = opts.queue_depth.max(1);
     let workers = opts.workers.max(1);
@@ -284,14 +294,15 @@ fn run_statement(
         let feed_input = input.clone();
         scope.spawn(move || {
             // A send failure means downstream tore down; unwind quietly.
-            // The feeder has no StageTiming, so its stall is discarded.
-            let mut discarded_stall = Duration::ZERO;
+            // The feeder has no StageTiming, so its telemetry is discarded
+            // (the `streaming/send` span still records the feed interval).
+            let mut discarded = crate::exec::QueueTelemetry::default();
             send_chunked(
                 &feed_input,
                 chunk_bytes,
                 release_lag,
                 &feed_tx,
-                &mut discarded_stall,
+                &mut discarded,
             );
         });
 
@@ -321,6 +332,7 @@ fn run_statement(
                                 upstream_done = true;
                                 break;
                             };
+                            telem.max_queued = telem.max_queued.max(seg_rx.len() + 1);
                             if seg_tx.is_disconnected() {
                                 return Ok(empty_timing(cmd.display(), false, false));
                             }
@@ -336,19 +348,25 @@ fn run_statement(
                         // lines (or all of it), which is exactly what the
                         // line_bound contract says the command may see.
                         drop(seg_rx);
+                        if !upstream_done {
+                            kq_trace::instant("streaming", "early-exit")
+                                .si(si)
+                                .ni(seg_idx)
+                                .v(chunks as f64)
+                                .emit();
+                        }
                         let stage_in = rope.into_bytes();
                         let bytes_in = stage_in.len();
+                        let run_span = kq_trace::span("streaming", "bounded-run")
+                            .si(si)
+                            .ni(seg_idx)
+                            .v(stage_in.len() as f64);
                         let t0 = Instant::now();
                         let out = cmd.run(stage_in, ctx)?;
                         let elapsed = t0.elapsed();
+                        run_span.done();
                         let bytes_out = out.len();
-                        send_chunked(
-                            &out,
-                            chunk_bytes,
-                            release_lag,
-                            &seg_tx,
-                            &mut telem.send_stall,
-                        );
+                        send_chunked(&out, chunk_bytes, release_lag, &seg_tx, &mut telem);
                         Ok(StageTiming {
                             label: cmd.display(),
                             parallel: false,
@@ -377,6 +395,7 @@ fn run_statement(
                             let received = seg_rx.recv();
                             telem.recv_stall += t0.elapsed();
                             let Some((_seq, chunk)) = received else { break };
+                            telem.max_queued = telem.max_queued.max(seg_rx.len() + 1);
                             // Downstream tore down (its own handle carries
                             // the error): stop gathering so upstream
                             // unwinds now instead of draining the stream.
@@ -388,21 +407,20 @@ fn run_statement(
                         }
                         let stage_in = rope.into_bytes();
                         let bytes_in = stage_in.len();
+                        let run_span = kq_trace::span("streaming", "seq-run")
+                            .si(si)
+                            .ni(seg_idx)
+                            .v(stage_in.len() as f64);
                         let t0 = Instant::now();
                         let out = cmd.run(stage_in, ctx)?;
                         let elapsed = t0.elapsed();
+                        run_span.done();
                         let bytes_out = out.len();
                         // Source commands (`cat big-file`) return the
                         // mapped input itself: chunk it lazily with the
                         // same trailing release as the feeder, or the
                         // re-chunk scan would page the whole map in.
-                        send_chunked(
-                            &out,
-                            chunk_bytes,
-                            release_lag,
-                            &seg_tx,
-                            &mut telem.send_stall,
-                        );
+                        send_chunked(&out, chunk_bytes, release_lag, &seg_tx, &mut telem);
                         Ok(StageTiming {
                             label: cmd.display(),
                             parallel: false,
@@ -443,8 +461,14 @@ fn run_statement(
                         scope.spawn(move || {
                             for (seq, chunk) in rx.iter() {
                                 let in_len = chunk.len();
+                                let span = kq_trace::span("streaming", "map")
+                                    .si(si)
+                                    .ni(seg_idx)
+                                    .seq(seq)
+                                    .v(in_len as f64);
                                 let t0 = Instant::now();
                                 let out = run_chain(&chain, chunk, ctx);
+                                span.done();
                                 let failed = out.is_err();
                                 if res_tx.send((seq, in_len, t0.elapsed(), out)).is_err() || failed
                                 {
@@ -473,6 +497,7 @@ fn run_statement(
                             let spill = opts.spill.as_ref().map(|p| p.stage_config());
                             scope.spawn(move || {
                                 collect_barrier(
+                                    (si, seg_idx),
                                     label,
                                     &combiner,
                                     closing_cmd,
@@ -567,6 +592,7 @@ fn collect_streaming(
         record_piece(&mut piece_times, seq, dur);
         bytes_in += in_len;
         telem.tasks += 1;
+        telem.max_queued = telem.max_queued.max(res_rx.len() + 1);
         // A chain error tears the pipeline down: returning drops `res_rx`
         // and `seg_tx` (downstream sees end-of-input and drains).
         let out = res?;
@@ -586,6 +612,7 @@ fn collect_streaming(
                     torn_down = true;
                     break 'collect;
                 }
+                telem.max_queued = telem.max_queued.max(seg_tx.len());
                 out_seq += 1;
             }
         }
@@ -621,6 +648,7 @@ fn collect_streaming(
 /// combined stream is re-chunked downstream.
 #[allow(clippy::too_many_arguments)]
 fn collect_barrier(
+    (si, ni): (usize, usize),
     label: String,
     combiner: &kq_synth::SynthesizedCombiner,
     closing_cmd: &Command,
@@ -664,13 +692,19 @@ fn collect_barrier(
         record_piece(&mut piece_times, seq, dur);
         bytes_in += in_len;
         telem.tasks += 1;
+        telem.max_queued = telem.max_queued.max(res_rx.len() + 1);
         let out = res?;
         pending.insert(seq, out);
         while let Some(piece) = pending.remove(&next) {
             next += 1;
             bytes_out_pieces += piece.len();
+            let span = kq_trace::span("streaming", "fold-push")
+                .si(si)
+                .ni(ni)
+                .seq(next - 1);
             let t0 = Instant::now();
             accum.push(piece);
+            span.done();
             combine_time += t0.elapsed();
         }
     }
@@ -678,18 +712,13 @@ fn collect_barrier(
         // Nobody will read the combined stream: skip the final combine.
         0
     } else {
+        let span = kq_trace::span("streaming", "fold-finish").si(si).ni(ni);
         let t0 = Instant::now();
-        let combined = accum
-            .finish()
-            .map_err(|e| CmdError::new(closing_cmd.display(), e.to_string()))?;
+        let finished = accum.finish();
+        span.done();
+        let combined = finished.map_err(|e| CmdError::new(closing_cmd.display(), e.to_string()))?;
         combine_time += t0.elapsed();
-        send_chunked(
-            &combined,
-            chunk_bytes,
-            release_lag,
-            &seg_tx,
-            &mut telem.send_stall,
-        );
+        send_chunked(&combined, chunk_bytes, release_lag, &seg_tx, &mut telem);
         combined.len()
     };
     Ok(StageTiming {

@@ -512,6 +512,9 @@ impl Bytes {
             let abs_start = (self.start + range.start) / GRAIN * GRAIN;
             let abs_end = (self.start + range.end) / GRAIN * GRAIN;
             if abs_start < abs_end {
+                kq_trace::instant("ingest", "release")
+                    .v((abs_end - abs_start) as f64)
+                    .emit();
                 // SAFETY: the region is live for as long as `self` exists
                 // and the aligned range is inside it; DONTNEED on a
                 // read-only file mapping only drops reconstructible pages.

@@ -141,6 +141,9 @@ impl IncrementalChunker {
                 }
             }
         }
+        if !chunks.is_empty() {
+            kq_trace::counter("chunk", "cut", chunks.len() as f64).emit();
+        }
         chunks
     }
 }

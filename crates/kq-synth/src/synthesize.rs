@@ -162,6 +162,7 @@ pub fn synthesize(
     ctx: &ExecContext,
     config: &SynthesisConfig,
 ) -> SynthesisReport {
+    let span = kq_trace::span("synth", "synthesize").label(command.display());
     let start = Instant::now();
     let pool = SynthPool::new(config.workers);
     let mut rng = SmallRng::seed_from_u64(config.rng_seed);
@@ -187,6 +188,7 @@ pub fn synthesize(
     if matches!(pre.profile, InputProfile::Unsupported) {
         // Every probe failed (e.g. the command reads a file that does not
         // exist yet): no observation can certify any candidate.
+        span.done();
         return SynthesisReport {
             command: command.display(),
             space,
@@ -202,6 +204,11 @@ pub fn synthesize(
 
     while rounds < config.max_rounds && !alive.is_empty() {
         rounds += 1;
+        kq_trace::instant("synth", "round")
+            .label(command.display())
+            .seq(rounds)
+            .v(alive.len() as f64)
+            .emit();
         let before = alive.len();
         let seed_shape = InputShape::random(&mut rng, pre.line_hint);
         gradient_round(
@@ -238,6 +245,13 @@ pub fn synthesize(
     } else {
         SynthesisOutcome::Synthesized(SynthesizedCombiner::from_plausible(alive))
     };
+    kq_trace::counter("synth", "rounds", rounds as f64)
+        .label(command.display())
+        .emit();
+    kq_trace::counter("synth", "observations", observations.len() as f64)
+        .label(command.display())
+        .emit();
+    span.done();
     SynthesisReport {
         command: command.display(),
         space,

@@ -1,0 +1,212 @@
+//! Chrome `trace_event` export (the Perfetto / `chrome://tracing` format).
+//!
+//! The emitted file is a JSON array of complete-duration (`ph:"X"`) events
+//! plus `thread_name` metadata, all under one pid. Two track families:
+//!
+//! * **worker threads** — every span lands on the track of the thread
+//!   that recorded it (`tid` = the recorder's dense thread ordinal), so
+//!   the pool's utilization and stealing pattern are visible directly;
+//! * **dataflow nodes** — spans carrying both a statement index and a
+//!   node index are *additionally* mirrored onto a per-node track (named
+//!   `s<si> n<ni> <label>` from the graph meta records), so the same run
+//!   reads as a dataflow timeline: one row per graph node, intervals
+//!   showing when that node actually had a task in flight.
+//!
+//! Timestamps are microseconds relative to the earliest record, so the
+//! viewer opens at t=0.
+
+use crate::record::{escape_into, Kind, Record};
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+use std::io::{self, Write};
+
+/// Track ids: worker threads use their recorder ordinal directly; node
+/// tracks start here (far above any realistic thread count).
+const NODE_TRACK_BASE: u64 = 1 << 20;
+
+fn node_track(si: u64, ni: u64) -> u64 {
+    NODE_TRACK_BASE + si * 1024 + ni
+}
+
+/// Writes `records` as a Chrome `trace_event` JSON array.
+pub fn write_chrome_trace(records: &[Record], out: &mut impl Write) -> io::Result<()> {
+    let base = records.iter().map(|r| r.t0).min().unwrap_or(0);
+    let mut body = String::from("[\n");
+    let mut first = true;
+    let mut emit = |line: String, body: &mut String| {
+        if !std::mem::take(&mut first) {
+            body.push_str(",\n");
+        }
+        body.push_str(&line);
+    };
+
+    // Process + worker-thread names.
+    emit(meta_event("process_name", 0, "kumquat"), &mut body);
+    let mut tids: Vec<u64> = records.iter().map(|r| r.tid).collect();
+    tids.sort_unstable();
+    tids.dedup();
+    for tid in &tids {
+        emit(
+            meta_event("thread_name", *tid, &format!("worker-{tid}")),
+            &mut body,
+        );
+    }
+
+    // Node-track names from the graph meta records.
+    let mut node_labels: BTreeMap<(u64, u64), String> = BTreeMap::new();
+    for r in records {
+        if r.kind == Kind::Meta && r.cat == "graph" && r.name != "dep" {
+            if let (Some(si), Some(ni)) = (r.si, r.ni) {
+                let label = if r.label.is_empty() {
+                    r.name.clone()
+                } else {
+                    format!("{} {}", r.name, r.label)
+                };
+                node_labels.insert((si, ni), label);
+            }
+        }
+    }
+    for ((si, ni), label) in &node_labels {
+        emit(
+            meta_event(
+                "thread_name",
+                node_track(*si, *ni),
+                &format!("s{} n{} {label}", si + 1, ni),
+            ),
+            &mut body,
+        );
+    }
+
+    for r in records {
+        if r.kind != Kind::Span {
+            continue;
+        }
+        emit(span_event(r, base, r.tid), &mut body);
+        if let (Some(si), Some(ni)) = (r.si, r.ni) {
+            // Mirror node-task spans onto the per-node track. Only spans
+            // whose (si, ni) names a known graph node get a mirror, so
+            // stage spans from the non-dataflow executors (which reuse
+            // the indices) don't fabricate empty tracks.
+            if node_labels.contains_key(&(si, ni)) {
+                emit(span_event(r, base, node_track(si, ni)), &mut body);
+            }
+        }
+    }
+    body.push_str("\n]\n");
+    out.write_all(body.as_bytes())
+}
+
+fn meta_event(name: &str, tid: u64, value: &str) -> String {
+    let mut escaped = String::new();
+    escape_into(&mut escaped, value);
+    format!(
+        "{{\"ph\":\"M\",\"pid\":1,\"tid\":{tid},\"name\":\"{name}\",\
+         \"args\":{{\"name\":\"{escaped}\"}}}}"
+    )
+}
+
+fn span_event(r: &Record, base: u64, tid: u64) -> String {
+    let ts = (r.t0 - base) as f64 / 1000.0;
+    let dur = (r.t1 - r.t0) as f64 / 1000.0;
+    let mut name = String::new();
+    escape_into(&mut name, &r.name);
+    let mut cat = String::new();
+    escape_into(&mut cat, &r.cat);
+    let mut s = format!(
+        "{{\"ph\":\"X\",\"pid\":1,\"tid\":{tid},\"ts\":{ts:.3},\"dur\":{dur:.3},\
+         \"cat\":\"{cat}\",\"name\":\"{name}\",\"args\":{{"
+    );
+    let mut first = true;
+    if !r.label.is_empty() {
+        let mut label = String::new();
+        escape_into(&mut label, &r.label);
+        let _ = write!(s, "\"label\":\"{label}\"");
+        first = false;
+    }
+    for (key, val) in [("si", r.si), ("ni", r.ni), ("seq", r.seq)] {
+        if let Some(v) = val {
+            if !std::mem::take(&mut first) {
+                s.push(',');
+            }
+            let _ = write!(s, "\"{key}\":{v}");
+        }
+    }
+    if let Some(v) = r.v {
+        if !std::mem::take(&mut first) {
+            s.push(',');
+        }
+        let _ = write!(s, "\"v\":{v}");
+    }
+    s.push_str("}}");
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn span(cat: &str, name: &str, si: Option<u64>, ni: Option<u64>, t0: u64, t1: u64) -> Record {
+        Record {
+            kind: Kind::Span,
+            cat: cat.into(),
+            name: name.into(),
+            label: "grep a".into(),
+            si,
+            ni,
+            seq: Some(0),
+            t0,
+            t1,
+            tid: 2,
+            v: None,
+        }
+    }
+
+    fn node_meta(si: u64, ni: u64) -> Record {
+        Record {
+            kind: Kind::Meta,
+            cat: "graph".into(),
+            name: "worker".into(),
+            label: "grep a".into(),
+            si: Some(si),
+            ni: Some(ni),
+            seq: None,
+            t0: 0,
+            t1: 0,
+            tid: 0,
+            v: None,
+        }
+    }
+
+    #[test]
+    fn emits_thread_and_node_tracks() {
+        let records = vec![
+            node_meta(0, 1),
+            span("dataflow", "map", Some(0), Some(1), 1000, 2000),
+            span("plan", "plan", None, None, 0, 500),
+        ];
+        let mut buf = Vec::new();
+        write_chrome_trace(&records, &mut buf).unwrap();
+        let text = String::from_utf8(buf).unwrap();
+        assert!(text.starts_with("[\n"), "{text}");
+        assert!(text.trim_end().ends_with(']'), "{text}");
+        assert!(text.contains("\"thread_name\""));
+        assert!(text.contains("s1 n1 worker grep a"), "{text}");
+        // The node span appears twice: worker track + node track.
+        assert_eq!(text.matches("\"name\":\"map\"").count(), 2, "{text}");
+        // The plan span appears once, on its thread track only.
+        assert_eq!(text.matches("\"name\":\"plan\"").count(), 1, "{text}");
+        // Timestamps are rebased to the earliest record.
+        assert!(text.contains("\"ts\":0.000"), "{text}");
+    }
+
+    #[test]
+    fn non_node_spans_with_indices_are_not_mirrored() {
+        // A serial-executor stage span has si/ni but no graph node: it
+        // must stay on its thread track.
+        let records = vec![span("serial", "stage", Some(0), Some(1), 0, 10)];
+        let mut buf = Vec::new();
+        write_chrome_trace(&records, &mut buf).unwrap();
+        let text = String::from_utf8(buf).unwrap();
+        assert_eq!(text.matches("\"name\":\"stage\"").count(), 1, "{text}");
+    }
+}

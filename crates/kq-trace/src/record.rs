@@ -1,0 +1,415 @@
+//! The flat record model and its JSON-lines codec.
+//!
+//! A [`Record`] is deliberately flat — every field is a scalar — so the
+//! hand-rolled writer and parser stay trivial and every consumer (the
+//! Chrome exporter, the critical-path report, external tooling) reads the
+//! same schema. Required fields on every line: `k`, `cat`, `name`, `t0`,
+//! `t1`, `tid`; `label`, `si`, `ni`, `seq`, and `v` appear when set.
+
+use std::fmt::Write as _;
+use std::io::{self, Write};
+
+/// What a [`Record`] describes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Kind {
+    /// An interval of work: `t0..t1`.
+    Span,
+    /// A point event (`t0 == t1`).
+    Instant,
+    /// A named quantity in `v` observed at `t0`.
+    Counter,
+    /// Structure, not time: graph nodes, dependencies, run config.
+    Meta,
+}
+
+impl Kind {
+    /// The one-word wire name (the JSON `k` field).
+    pub fn as_str(self) -> &'static str {
+        match self {
+            Kind::Span => "span",
+            Kind::Instant => "instant",
+            Kind::Counter => "counter",
+            Kind::Meta => "meta",
+        }
+    }
+
+    fn from_str(s: &str) -> Option<Kind> {
+        match s {
+            "span" => Some(Kind::Span),
+            "instant" => Some(Kind::Instant),
+            "counter" => Some(Kind::Counter),
+            "meta" => Some(Kind::Meta),
+            _ => None,
+        }
+    }
+}
+
+/// One trace record. Timestamps are nanoseconds on the process-local
+/// monotonic clock (comparable within a file, meaningless across files).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Record {
+    /// Span, instant, counter, or meta.
+    pub kind: Kind,
+    /// Category: the subsystem that recorded it (see the crate docs).
+    pub cat: String,
+    /// Name within the category.
+    pub name: String,
+    /// Human-readable label (a command chain, a path); may be empty.
+    pub label: String,
+    /// Statement index, when the record belongs to one.
+    pub si: Option<u64>,
+    /// Dataflow-node (or stage/segment) index within the statement.
+    pub ni: Option<u64>,
+    /// Chunk / piece / round ordinal.
+    pub seq: Option<u64>,
+    /// Start time, ns.
+    pub t0: u64,
+    /// End time, ns (`== t0` for everything but spans).
+    pub t1: u64,
+    /// Dense per-process thread ordinal of the recording thread.
+    pub tid: u64,
+    /// Counter value or auxiliary quantity (bytes, chunks, ...).
+    pub v: Option<f64>,
+}
+
+impl Record {
+    /// The stable identity tuple the determinism contract is stated over:
+    /// everything except timestamps, thread id, and counter value.
+    pub fn identity(
+        &self,
+    ) -> (
+        Kind,
+        &str,
+        &str,
+        &str,
+        Option<u64>,
+        Option<u64>,
+        Option<u64>,
+    ) {
+        (
+            self.kind,
+            &self.cat,
+            &self.name,
+            &self.label,
+            self.si,
+            self.ni,
+            self.seq,
+        )
+    }
+
+    /// Serializes the record as one JSON object (no trailing newline).
+    pub fn to_json(&self) -> String {
+        let mut s = String::with_capacity(96);
+        s.push_str("{\"k\":\"");
+        s.push_str(self.kind.as_str());
+        s.push_str("\",\"cat\":\"");
+        escape_into(&mut s, &self.cat);
+        s.push_str("\",\"name\":\"");
+        escape_into(&mut s, &self.name);
+        s.push('"');
+        if !self.label.is_empty() {
+            s.push_str(",\"label\":\"");
+            escape_into(&mut s, &self.label);
+            s.push('"');
+        }
+        for (key, val) in [("si", self.si), ("ni", self.ni), ("seq", self.seq)] {
+            if let Some(v) = val {
+                let _ = write!(s, ",\"{key}\":{v}");
+            }
+        }
+        let _ = write!(
+            s,
+            ",\"t0\":{},\"t1\":{},\"tid\":{}",
+            self.t0, self.t1, self.tid
+        );
+        if let Some(v) = self.v {
+            if v == v.trunc() && v.abs() < 9e15 {
+                let _ = write!(s, ",\"v\":{}", v as i64);
+            } else {
+                let _ = write!(s, ",\"v\":{v}");
+            }
+        }
+        s.push('}');
+        s
+    }
+
+    /// Parses one JSON-lines object back into a record, validating that
+    /// every required field is present and well-typed.
+    pub fn from_json(line: &str) -> Result<Record, String> {
+        let fields = parse_object(line)?;
+        let get_str = |key: &str| -> Result<String, String> {
+            match fields.iter().find(|(k, _)| k == key) {
+                Some((_, JVal::Str(s))) => Ok(s.clone()),
+                Some(_) => Err(format!("field {key:?} is not a string")),
+                None => Err(format!("missing required field {key:?}")),
+            }
+        };
+        let get_num = |key: &str| -> Result<Option<f64>, String> {
+            match fields.iter().find(|(k, _)| k == key) {
+                Some((_, JVal::Num(n))) => Ok(Some(*n)),
+                Some(_) => Err(format!("field {key:?} is not a number")),
+                None => Ok(None),
+            }
+        };
+        let require = |key: &str| -> Result<u64, String> {
+            get_num(key)?
+                .map(|n| n as u64)
+                .ok_or_else(|| format!("missing required field {key:?}"))
+        };
+        let kind = Kind::from_str(&get_str("k")?).ok_or_else(|| "unknown kind".to_owned())?;
+        let label = match fields.iter().find(|(k, _)| k == "label") {
+            Some((_, JVal::Str(s))) => s.clone(),
+            Some(_) => return Err("field \"label\" is not a string".into()),
+            None => String::new(),
+        };
+        let record = Record {
+            kind,
+            cat: get_str("cat")?,
+            name: get_str("name")?,
+            label,
+            si: get_num("si")?.map(|n| n as u64),
+            ni: get_num("ni")?.map(|n| n as u64),
+            seq: get_num("seq")?.map(|n| n as u64),
+            t0: require("t0")?,
+            t1: require("t1")?,
+            tid: require("tid")?,
+            v: get_num("v")?,
+        };
+        if record.t1 < record.t0 {
+            return Err(format!("t1 {} precedes t0 {}", record.t1, record.t0));
+        }
+        Ok(record)
+    }
+}
+
+/// Writes records as JSON lines, one object per record.
+pub fn write_jsonl(records: &[Record], out: &mut impl Write) -> io::Result<()> {
+    for r in records {
+        out.write_all(r.to_json().as_bytes())?;
+        out.write_all(b"\n")?;
+    }
+    Ok(())
+}
+
+/// Parses a whole JSON-lines file; blank lines are skipped, any malformed
+/// line fails with its line number.
+pub fn parse_jsonl(text: &str) -> Result<Vec<Record>, String> {
+    let mut records = Vec::new();
+    for (idx, line) in text.lines().enumerate() {
+        if line.trim().is_empty() {
+            continue;
+        }
+        let r = Record::from_json(line).map_err(|e| format!("line {}: {e}", idx + 1))?;
+        records.push(r);
+    }
+    Ok(records)
+}
+
+/// Appends `raw` to `out` with JSON string escaping (quotes, backslashes,
+/// control characters; non-ASCII passes through as UTF-8).
+pub(crate) fn escape_into(out: &mut String, raw: &str) {
+    for c in raw.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+}
+
+enum JVal {
+    Str(String),
+    Num(f64),
+}
+
+/// A minimal parser for the flat objects this crate writes: string keys,
+/// string or number values, no nesting.
+fn parse_object(line: &str) -> Result<Vec<(String, JVal)>, String> {
+    let mut chars = line.trim().char_indices().peekable();
+    let text = line.trim();
+    let mut fields = Vec::new();
+    match chars.next() {
+        Some((_, '{')) => {}
+        _ => return Err("expected '{'".into()),
+    }
+    loop {
+        skip_ws(&mut chars);
+        match chars.peek() {
+            Some((_, '}')) => {
+                chars.next();
+                break;
+            }
+            Some((_, '"')) => {}
+            _ => return Err("expected a key string".into()),
+        }
+        let key = parse_string(&mut chars)?;
+        skip_ws(&mut chars);
+        match chars.next() {
+            Some((_, ':')) => {}
+            _ => return Err(format!("expected ':' after key {key:?}")),
+        }
+        skip_ws(&mut chars);
+        let value = match chars.peek() {
+            Some((_, '"')) => JVal::Str(parse_string(&mut chars)?),
+            Some((start, c)) if c.is_ascii_digit() || *c == '-' => {
+                let start = *start;
+                let mut end = text.len();
+                while let Some((i, c)) = chars.peek() {
+                    if c.is_ascii_digit() || matches!(c, '.' | '-' | '+' | 'e' | 'E') {
+                        chars.next();
+                    } else {
+                        end = *i;
+                        break;
+                    }
+                }
+                let n: f64 = text[start..end]
+                    .parse()
+                    .map_err(|_| format!("bad number {:?}", &text[start..end]))?;
+                JVal::Num(n)
+            }
+            _ => return Err(format!("unsupported value for key {key:?}")),
+        };
+        fields.push((key, value));
+        skip_ws(&mut chars);
+        match chars.next() {
+            Some((_, ',')) => continue,
+            Some((_, '}')) => break,
+            _ => return Err("expected ',' or '}'".into()),
+        }
+    }
+    Ok(fields)
+}
+
+fn skip_ws(chars: &mut std::iter::Peekable<std::str::CharIndices<'_>>) {
+    while matches!(chars.peek(), Some((_, c)) if c.is_whitespace()) {
+        chars.next();
+    }
+}
+
+fn parse_string(
+    chars: &mut std::iter::Peekable<std::str::CharIndices<'_>>,
+) -> Result<String, String> {
+    match chars.next() {
+        Some((_, '"')) => {}
+        _ => return Err("expected '\"'".into()),
+    }
+    let mut out = String::new();
+    while let Some((_, c)) = chars.next() {
+        match c {
+            '"' => return Ok(out),
+            '\\' => match chars.next() {
+                Some((_, '"')) => out.push('"'),
+                Some((_, '\\')) => out.push('\\'),
+                Some((_, '/')) => out.push('/'),
+                Some((_, 'n')) => out.push('\n'),
+                Some((_, 'r')) => out.push('\r'),
+                Some((_, 't')) => out.push('\t'),
+                Some((_, 'u')) => {
+                    let mut code = 0u32;
+                    for _ in 0..4 {
+                        let (_, h) = chars.next().ok_or("truncated \\u escape")?;
+                        code = code * 16 + h.to_digit(16).ok_or("bad \\u escape")?;
+                    }
+                    out.push(char::from_u32(code).ok_or("bad \\u code point")?);
+                }
+                other => return Err(format!("bad escape {other:?}")),
+            },
+            c => out.push(c),
+        }
+    }
+    Err("unterminated string".into())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Record {
+        Record {
+            kind: Kind::Span,
+            cat: "dataflow".into(),
+            name: "map".into(),
+            label: "grep \"a\\b\" | tr\tA-Z a-z".into(),
+            si: Some(1),
+            ni: Some(2),
+            seq: Some(37),
+            t0: 1000,
+            t1: 2500,
+            tid: 3,
+            v: Some(64.0),
+        }
+    }
+
+    #[test]
+    fn round_trips_every_field() {
+        let r = sample();
+        assert_eq!(Record::from_json(&r.to_json()).unwrap(), r);
+        let bare = Record {
+            label: String::new(),
+            si: None,
+            ni: None,
+            seq: None,
+            v: None,
+            ..sample()
+        };
+        assert_eq!(Record::from_json(&bare.to_json()).unwrap(), bare);
+    }
+
+    #[test]
+    fn round_trips_fractional_and_negative_values() {
+        let mut r = sample();
+        r.v = Some(0.375);
+        assert_eq!(Record::from_json(&r.to_json()).unwrap().v, Some(0.375));
+        r.v = Some(-12.0);
+        assert_eq!(Record::from_json(&r.to_json()).unwrap().v, Some(-12.0));
+    }
+
+    #[test]
+    fn jsonl_round_trip_and_blank_lines() {
+        let records = vec![sample(), {
+            let mut r = sample();
+            r.kind = Kind::Counter;
+            r.t1 = r.t0;
+            r
+        }];
+        let mut buf = Vec::new();
+        write_jsonl(&records, &mut buf).unwrap();
+        let text = format!("\n{}\n\n", String::from_utf8(buf).unwrap());
+        assert_eq!(parse_jsonl(&text).unwrap(), records);
+    }
+
+    #[test]
+    fn missing_required_fields_are_rejected_with_the_line() {
+        let err = parse_jsonl("{\"k\":\"span\",\"cat\":\"x\"}").unwrap_err();
+        assert!(err.starts_with("line 1:"), "{err}");
+        assert!(err.contains("name"), "{err}");
+        assert!(Record::from_json(
+            "{\"k\":\"nope\",\"cat\":\"x\",\"name\":\"y\",\"t0\":0,\"t1\":0,\"tid\":0}"
+        )
+        .is_err());
+        assert!(Record::from_json("not json").is_err());
+    }
+
+    #[test]
+    fn backwards_span_is_rejected() {
+        let line = "{\"k\":\"span\",\"cat\":\"x\",\"name\":\"y\",\"t0\":10,\"t1\":5,\"tid\":0}";
+        assert!(Record::from_json(line).unwrap_err().contains("precedes"));
+    }
+
+    #[test]
+    fn identity_ignores_time_and_thread() {
+        let a = sample();
+        let mut b = sample();
+        b.t0 = 9;
+        b.t1 = 11;
+        b.tid = 99;
+        b.v = Some(1.0);
+        assert_eq!(a.identity(), b.identity());
+    }
+}

@@ -94,6 +94,22 @@ pub mod channel {
             self.inner.receivers.load(Ordering::SeqCst) == 0
         }
 
+        /// The number of values currently queued (racy, advisory only —
+        /// matches `crossbeam::channel::Sender::len`). Telemetry uses the
+        /// value observed right after a `send` to track peak occupancy.
+        pub fn len(&self) -> usize {
+            self.inner
+                .queue
+                .lock()
+                .unwrap_or_else(|e| e.into_inner())
+                .len()
+        }
+
+        /// True when no value is queued (racy, advisory only).
+        pub fn is_empty(&self) -> bool {
+            self.len() == 0
+        }
+
         /// Blocks until the value is enqueued; errors when every receiver
         /// has been dropped.
         pub fn send(&self, value: T) -> Result<(), SendError<T>> {
@@ -117,6 +133,21 @@ pub mod channel {
     }
 
     impl<T> Receiver<T> {
+        /// The number of values currently queued (racy, advisory only —
+        /// matches `crossbeam::channel::Receiver::len`).
+        pub fn len(&self) -> usize {
+            self.inner
+                .queue
+                .lock()
+                .unwrap_or_else(|e| e.into_inner())
+                .len()
+        }
+
+        /// True when no value is queued (racy, advisory only).
+        pub fn is_empty(&self) -> bool {
+            self.len() == 0
+        }
+
         /// Blocks for the next value; `None` when the channel is empty and
         /// every sender has been dropped.
         pub fn recv(&self) -> Option<T> {

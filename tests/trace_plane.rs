@@ -1,0 +1,262 @@
+//! Integration tests for the tracing & metrics plane: the `--trace-out`
+//! JSONL/Chrome exports, the span-identity determinism contract, graph
+//! coverage, and the `trace report` critical path.
+//!
+//! These tests live in their own binary on purpose: the kq-trace recorder
+//! is process-global (one `TraceSession` at a time), and a dedicated
+//! binary keeps its serialization away from the rest of the suite.
+
+use kq_cli::run_cli;
+use std::collections::BTreeMap;
+use std::path::PathBuf;
+
+fn call(words: &[&str]) -> kq_cli::CliOutput {
+    let v: Vec<String> = words.iter().map(|s| (*s).to_owned()).collect();
+    run_cli(&v).expect("cli invocation failed")
+}
+
+/// A fresh scratch dir with a word-frequency input and a two-statement
+/// script (the second statement reads the first's redirect target, so the
+/// dataflow graph has a cross-statement dependency).
+struct Scratch {
+    dir: PathBuf,
+    script: String,
+}
+
+impl Scratch {
+    fn new(tag: &str) -> Scratch {
+        let dir = std::env::temp_dir().join(format!("kq-trace-{tag}-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let input = dir.join("in.txt");
+        let words = ["apple", "dog", "cat", "bird", "fox", "kiwi"];
+        let mut text = String::new();
+        for i in 0..4000 {
+            text.push_str(words[i % words.len()]);
+            text.push(' ');
+            text.push_str(words[(i * 7 + 3) % words.len()]);
+            text.push('\n');
+        }
+        std::fs::write(&input, text).unwrap();
+        let script = format!(
+            "cat {inp} | cut -d ' ' -f 1 | sort > {mid}\ncat {mid} | uniq -c | sort -rn",
+            inp = input.display(),
+            mid = dir.join("mid.txt").display()
+        );
+        Scratch { dir, script }
+    }
+
+    fn trace_path(&self, name: &str) -> String {
+        self.dir.join(name).display().to_string()
+    }
+}
+
+impl Drop for Scratch {
+    fn drop(&mut self) {
+        std::fs::remove_dir_all(&self.dir).ok();
+    }
+}
+
+fn run_traced(s: &Scratch, trace: &str, workers: &str) -> Vec<kq_trace::Record> {
+    let out = call(&[
+        "run",
+        &s.script,
+        "--exec",
+        "dataflow",
+        "--workers",
+        workers,
+        "--chunk-kb",
+        "4",
+        "--trace-out",
+        trace,
+    ]);
+    assert!(
+        out.notes.iter().any(|n| n.starts_with("trace:")),
+        "missing trace note: {:?}",
+        out.notes
+    );
+    let text = std::fs::read_to_string(trace).unwrap();
+    kq_trace::parse_jsonl(&text).expect("trace JSONL must parse")
+}
+
+#[test]
+fn jsonl_schema_round_trips_every_record() {
+    let s = Scratch::new("schema");
+    let trace = s.trace_path("t.json");
+    let records = run_traced(&s, &trace, "2");
+    assert!(records.len() > 20, "suspiciously small trace");
+    // Field-for-field: re-serializing each parsed record and parsing it
+    // again must be the identity.
+    for r in &records {
+        let again = kq_trace::Record::from_json(&r.to_json()).unwrap();
+        assert_eq!(*r, again, "round-trip changed a record");
+    }
+    // Required fields: every record names its kind, category, and name;
+    // spans have an interval.
+    for r in &records {
+        assert!(!r.cat.is_empty() && !r.name.is_empty());
+        if r.kind == kq_trace::Kind::Span {
+            assert!(r.t1 >= r.t0, "span ends before it starts");
+        }
+    }
+}
+
+/// The determinism contract: span identities (everything except
+/// timestamps, thread ids, and measured values) form the same multiset
+/// across repeated runs and across worker counts. The script has no
+/// prefix-bounded stage, so no early-exit cancellation perturbs the
+/// chunk count.
+#[test]
+fn span_identities_are_stable_across_runs_and_workers() {
+    let s = Scratch::new("determinism");
+
+    let identity_multiset = |records: &[kq_trace::Record]| {
+        let mut m: BTreeMap<String, usize> = BTreeMap::new();
+        for r in records {
+            // Skip ingest/release + synth records: cache state and page
+            // release cadence are process-history dependent, not part of
+            // the per-run contract.
+            if r.cat == "synth" || r.cat == "cache" || r.cat == "ingest" || r.cat == "chunk" {
+                continue;
+            }
+            let key = format!(
+                "{}/{}/{}/{:?}/{:?}/{:?}/{}",
+                r.kind.as_str(),
+                r.cat,
+                r.name,
+                r.si,
+                r.ni,
+                r.seq,
+                r.label
+            );
+            *m.entry(key).or_default() += 1;
+        }
+        m
+    };
+
+    let a = identity_multiset(&run_traced(&s, &s.trace_path("a.json"), "2"));
+    let b = identity_multiset(&run_traced(&s, &s.trace_path("b.json"), "2"));
+    assert_eq!(a, b, "same config, different span identities");
+
+    let c = identity_multiset(&run_traced(&s, &s.trace_path("c.json"), "4"));
+    assert_eq!(a, c, "worker count changed span identities");
+}
+
+/// Every node of every statement's dataflow graph appears in the trace:
+/// as a graph meta, and with at least one task-level span attributed to
+/// it.
+#[test]
+fn dataflow_run_emits_spans_for_every_graph_node() {
+    let s = Scratch::new("coverage");
+    let trace = s.trace_path("t.json");
+    let records = run_traced(&s, &trace, "2");
+
+    let mut graph_nodes = Vec::new();
+    for r in &records {
+        if r.kind == kq_trace::Kind::Meta && r.cat == "graph" && r.name != "dep" {
+            graph_nodes.push((r.si.unwrap(), r.ni.unwrap()));
+        }
+    }
+    assert!(
+        graph_nodes.len() >= 6,
+        "two 3-node statements expected, got {graph_nodes:?}"
+    );
+    for (si, ni) in graph_nodes {
+        let has_span = records.iter().any(|r| {
+            r.kind == kq_trace::Kind::Span
+                && r.cat == "dataflow"
+                && r.si == Some(si)
+                && r.ni == Some(ni)
+        });
+        assert!(has_span, "graph node s{si} n{ni} has no task span");
+    }
+}
+
+/// `trace report` finds a critical path whose windows tile the trace:
+/// the path total equals the trace extent (well within the 10% criterion
+/// against the run's wall clock, which the extent measures).
+#[test]
+fn critical_path_total_matches_trace_extent() {
+    let s = Scratch::new("critpath");
+    let trace = s.trace_path("t.json");
+    let records = run_traced(&s, &trace, "2");
+
+    let analysis = kq_trace::report::analyze(&records);
+    assert!(!analysis.path.is_empty(), "no critical path found");
+    assert!(analysis.extent_ns > 0);
+    let ratio = analysis.path_total_ns as f64 / analysis.extent_ns as f64;
+    assert!(
+        (0.9..=1.1).contains(&ratio),
+        "critical path total {} vs extent {} (ratio {ratio})",
+        analysis.path_total_ns,
+        analysis.extent_ns
+    );
+
+    // The subcommand renders the same analysis.
+    let out = call(&["trace", "report", &trace, "--top", "3"]);
+    assert!(out.stdout.contains("critical path:"), "{}", out.stdout);
+    assert!(out.stdout.contains("top busy nodes:"), "{}", out.stdout);
+}
+
+/// The Chrome export is well-formed JSON with one metadata-named track
+/// per dataflow graph node and complete-event spans on worker tracks.
+#[test]
+fn chrome_trace_has_a_track_per_dataflow_node() {
+    let s = Scratch::new("chrome");
+    let trace = s.trace_path("t.json");
+    let records = run_traced(&s, &trace, "2");
+    let chrome_path = s.trace_path("t.chrome.json");
+    let chrome = std::fs::read_to_string(&chrome_path).expect("chrome companion file");
+
+    // Count graph nodes in the JSONL; each must have a named track (a
+    // thread_name metadata event) in the Chrome file.
+    let nodes: Vec<(u64, u64, String)> = records
+        .iter()
+        .filter(|r| r.kind == kq_trace::Kind::Meta && r.cat == "graph" && r.name != "dep")
+        .map(|r| (r.si.unwrap(), r.ni.unwrap(), r.name.clone()))
+        .collect();
+    assert!(chrome.contains("thread_name"), "no track metadata");
+    for (si, ni, kind) in &nodes {
+        let track = format!("s{} n{ni} {kind}", si + 1);
+        assert!(
+            chrome.contains(&track),
+            "chrome trace missing node track {track:?}"
+        );
+    }
+    assert!(chrome.contains("\"ph\":\"X\""), "no complete events");
+}
+
+/// `--metrics` prints the aggregated block through the shared note
+/// channel, and a run without tracing flags prints none of it.
+#[test]
+fn metrics_flag_controls_the_metrics_block() {
+    let s = Scratch::new("metrics");
+    let with = call(&[
+        "run",
+        &s.script,
+        "--exec",
+        "dataflow",
+        "--workers",
+        "2",
+        "--metrics",
+    ]);
+    assert!(
+        with.notes
+            .iter()
+            .any(|n| n.starts_with("metrics: span dataflow/")),
+        "missing dataflow span metrics: {:?}",
+        with.notes
+    );
+    assert!(
+        with.notes
+            .iter()
+            .any(|n| n.starts_with("metrics: counter dataflow/")),
+        "missing dataflow counters: {:?}",
+        with.notes
+    );
+    let without = call(&["run", &s.script, "--exec", "dataflow", "--workers", "2"]);
+    assert!(
+        !without.notes.iter().any(|n| n.starts_with("metrics:")),
+        "metrics block leaked without --metrics: {:?}",
+        without.notes
+    );
+}
