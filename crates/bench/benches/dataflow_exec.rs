@@ -22,7 +22,7 @@ use kq_coreutils::ExecContext;
 use kq_pipeline::exec::run_serial;
 use kq_pipeline::parse::parse_script;
 use kq_pipeline::plan::Planner;
-use kq_pipeline::scheduler::{run_dataflow, DataflowOptions};
+use kq_pipeline::scheduler::{run_dataflow, ChunkSizing, DataflowOptions, QueueCredit};
 use kq_pipeline::streaming::{run_streaming, StreamingOptions};
 use kq_synth::SynthesisConfig;
 use std::collections::HashMap;
@@ -133,8 +133,8 @@ fn main() {
     };
     let dopts = DataflowOptions {
         workers: WORKERS,
-        chunk_bytes: CHUNK_BYTES,
-        queue_depth: 4,
+        chunk: ChunkSizing::Fixed(CHUNK_BYTES),
+        queue: QueueCredit::Fixed(4),
         fuse_streamable: true,
         spill: None,
     };

@@ -109,6 +109,25 @@ impl ParsedArgs {
         Ok(v)
     }
 
+    /// `--name` parsed as a *nonzero* count or the literal `auto`
+    /// sentinel: `Ok(None)` means auto, `Ok(Some(n))` a fixed value, and
+    /// an absent option yields `Some(default)` (the static default —
+    /// adaptation is opt-in). Numeric validation matches
+    /// [`ParsedArgs::opt_parse_nonzero`] exactly, so `--chunk-kb 0` and
+    /// `--chunk-kb wide` fail with the same messages whether or not the
+    /// knob supports `auto`.
+    pub fn opt_parse_nonzero_or_auto(
+        &self,
+        name: &str,
+        default: usize,
+    ) -> Result<Option<usize>, String> {
+        match self.opt(name) {
+            None => Ok(Some(default)),
+            Some("auto") => Ok(None),
+            Some(_) => self.opt_parse_nonzero(name, default).map(Some),
+        }
+    }
+
     /// `--name` parsed as a ratio in `(0, 1]`, or `default` when absent.
     /// The one caller is `--rerun-threshold` (an output/input shrink
     /// ratio): `0` would disable rerun parallelism by accident, anything
@@ -246,6 +265,32 @@ mod tests {
         let a = parse(&["run", "x", "--queue-depth", "8"]);
         assert_eq!(a.opt_parse_nonzero("queue-depth", 4).unwrap(), 8);
         assert_eq!(a.opt_parse_nonzero("chunk-kb", 64).unwrap(), 64);
+    }
+
+    #[test]
+    fn auto_sentinel_parses_alongside_numbers() {
+        let a = parse(&["run", "x", "--chunk-kb", "auto", "--queue-depth", "8"]);
+        assert_eq!(a.opt_parse_nonzero_or_auto("chunk-kb", 64).unwrap(), None);
+        assert_eq!(
+            a.opt_parse_nonzero_or_auto("queue-depth", 4).unwrap(),
+            Some(8)
+        );
+        // Absent → the static default, not auto.
+        assert_eq!(
+            a.opt_parse_nonzero_or_auto("spill-mb", 7).unwrap(),
+            Some(7)
+        );
+        // Zero and garbage keep the plain-count messages.
+        let a = parse(&["run", "x", "--chunk-kb", "0"]);
+        assert_eq!(
+            a.opt_parse_nonzero_or_auto("chunk-kb", 64).unwrap_err(),
+            "--chunk-kb must be at least 1"
+        );
+        let a = parse(&["run", "x", "--chunk-kb", "wide"]);
+        assert!(a
+            .opt_parse_nonzero_or_auto("chunk-kb", 64)
+            .unwrap_err()
+            .contains("invalid value"));
     }
 
     #[test]

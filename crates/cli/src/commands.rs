@@ -75,7 +75,7 @@ USAGE:
         rerun-combiner stage still parallelizes (default 0.5).
     kumquat run <script|file> [--workers N] [--no-opt] [--var ...]
                                [--exec static|chunked|streaming|dataflow]
-                               [--chunk-kb N] [--queue-depth N]
+                               [--chunk-kb N|auto] [--queue-depth N|auto]
                                [--mmap auto|on|off] [--no-verify]
                                [--synth-workers N] [--combiner-cache FILE]
                                [--rerun-threshold R]
@@ -94,12 +94,21 @@ USAGE:
         before its predecessor finishes, and cancels upstream work early
         once a prefix-bounded consumer (head -n k, sed kq) is satisfied
         (reported as 'early-exit: ... after M chunk(s)'). The dataflow
-        executor compiles every statement to a dataflow graph and runs
-        the whole script on one shared work-stealing pool of exactly
-        --workers threads: independent statements overlap, dependent ones
-        (linked by > file redirects) wait, and early exit also drops
-        chunks already queued upstream. (--executor is accepted as an
-        alias for --exec.) --spill-mb N (streaming/dataflow only) bounds
+        executor — the default — compiles every statement to a dataflow
+        graph and runs the whole script on one shared work-stealing pool
+        of exactly --workers threads: independent statements overlap,
+        dependent ones (linked by > file redirects) wait, and early exit
+        also drops chunks already queued upstream. (--executor is
+        accepted as an alias for --exec.) Under --exec dataflow the two
+        capacity knobs accept 'auto': --chunk-kb auto derives each
+        statement's chunk size from its input size and the worker count,
+        then coarsens barrier-feeding chunks online so sort-style folds
+        merge few large runs; --queue-depth auto starts every queue at
+        the default credit and rebalances credit from starved queues to
+        gated ones from live stall telemetry. Adaptation never changes
+        output bytes — only chunk boundaries and scheduling — and is
+        reported in an 'adaptive: ...' note. --spill-mb N
+        (streaming/dataflow only) bounds
         the memory of barrier folds (sort and friends): once a fold's
         resident sorted runs would exceed N MiB, further runs are written
         to temp files and mapped back for the final k-way merge, so a
@@ -368,10 +377,27 @@ fn cmd_plan(args: &ParsedArgs) -> Result<CliOutput, String> {
 fn cmd_run(args: &ParsedArgs) -> Result<CliOutput, String> {
     // All capacity knobs are validated up front — even ones the selected
     // executor ignores — so `--queue-depth 0` fails the same clear way
-    // under every `--exec`.
+    // under every `--exec`. The dataflow executor is the default; the
+    // adaptive sentinels (`--chunk-kb auto`, `--queue-depth auto`) parse
+    // to `None` and are rejected below for the executors that cannot
+    // honor them.
+    let executor = args
+        .opt("exec")
+        .or_else(|| args.opt("executor"))
+        .unwrap_or("dataflow");
     let workers = args.opt_parse_nonzero("workers", 4)?;
-    let chunk_bytes = args.opt_parse_nonzero("chunk-kb", 64)? * 1024;
-    let queue_depth = args.opt_parse_nonzero("queue-depth", 4)?;
+    let chunk_kb = args.opt_parse_nonzero_or_auto("chunk-kb", 64)?;
+    let queue_depth = args.opt_parse_nonzero_or_auto("queue-depth", 4)?;
+    if executor != "dataflow" {
+        if chunk_kb.is_none() {
+            return Err("--chunk-kb auto requires --exec dataflow".into());
+        }
+        if queue_depth.is_none() {
+            return Err("--queue-depth auto requires --exec dataflow".into());
+        }
+    }
+    let fixed_chunk_bytes = |kb: Option<usize>| kb.unwrap_or(64) * 1024;
+    let fixed_depth = |d: Option<usize>| d.unwrap_or(4);
     let honor = !args.flag("no-opt");
     // --spill-mb turns on bounded-memory barrier folds (streaming and
     // dataflow executors): sorted runs past the budget go to temp files
@@ -386,18 +412,9 @@ fn cmd_run(args: &ParsedArgs) -> Result<CliOutput, String> {
             dir: args.opt("spill-dir").map(std::path::PathBuf::from),
         }),
     };
-    if spill.is_some()
-        && !matches!(
-            args.opt("exec").or_else(|| args.opt("executor")),
-            Some("streaming") | Some("dataflow")
-        )
-    {
+    if spill.is_some() && !matches!(executor, "streaming" | "dataflow") {
         return Err("--spill-mb requires --exec streaming or --exec dataflow".into());
     }
-    let executor = args
-        .opt("exec")
-        .or_else(|| args.opt("executor"))
-        .unwrap_or("static");
     // The trace session wraps planning, the serial oracle, and the
     // parallel run: --trace-out captures every layer's spans, --metrics
     // aggregates them into the end-of-run metrics block. Off by default —
@@ -420,7 +437,7 @@ fn cmd_run(args: &ParsedArgs) -> Result<CliOutput, String> {
         "chunked" => {
             let opts = kq_pipeline::chunked::ChunkedOptions {
                 workers,
-                chunk_bytes,
+                chunk_bytes: fixed_chunk_bytes(chunk_kb),
                 honor_elimination: honor,
             };
             kq_pipeline::chunked::run_chunked(&planned.script, &planned.plan, &planned.ctx, &opts)
@@ -429,8 +446,8 @@ fn cmd_run(args: &ParsedArgs) -> Result<CliOutput, String> {
         "streaming" => {
             let opts = kq_pipeline::StreamingOptions {
                 workers,
-                chunk_bytes,
-                queue_depth,
+                chunk_bytes: fixed_chunk_bytes(chunk_kb),
+                queue_depth: fixed_depth(queue_depth),
                 fuse_streamable: honor,
                 spill: spill.clone(),
             };
@@ -440,8 +457,14 @@ fn cmd_run(args: &ParsedArgs) -> Result<CliOutput, String> {
         "dataflow" => {
             let opts = kq_pipeline::DataflowOptions {
                 workers,
-                chunk_bytes,
-                queue_depth,
+                chunk: match chunk_kb {
+                    Some(kb) => kq_pipeline::ChunkSizing::Fixed(kb * 1024),
+                    None => kq_pipeline::ChunkSizing::Auto,
+                },
+                queue: match queue_depth {
+                    Some(d) => kq_pipeline::QueueCredit::Fixed(d),
+                    None => kq_pipeline::QueueCredit::Auto,
+                },
                 fuse_streamable: honor,
                 spill: spill.clone(),
             };
@@ -888,6 +911,83 @@ mod tests {
             run.notes
         );
         std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn dataflow_is_the_default_executor() {
+        let dir = std::env::temp_dir().join(format!("kq-cli-dfdefault-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let input = dir.join("w.txt");
+        std::fs::write(&input, "b x\na y\nb z\n".repeat(40)).unwrap();
+        let script = format!("cat {} | cut -d ' ' -f 1 | sort | uniq -c", input.display());
+        let run = call(&["run", &script, "--workers", "2"]).unwrap();
+        assert!(run.stdout.contains(" b\n"), "got: {}", run.stdout);
+        assert!(
+            run.notes
+                .iter()
+                .any(|n| n.contains("work-stealing pool") && n.contains("verified: dataflow")
+                    || n.contains("verified: dataflow")),
+            "default run must report the dataflow executor: {:?}",
+            run.notes
+        );
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn adaptive_knobs_report_and_stay_correct() {
+        let dir = std::env::temp_dir().join(format!("kq-cli-adaptive-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let input = dir.join("w.txt");
+        std::fs::write(&input, "b x\na y\nb z\nc w\n".repeat(400)).unwrap();
+        let script = format!(
+            "cat {} | cut -d ' ' -f 1 | sort | uniq -c | sort -rn",
+            input.display()
+        );
+        // Auto knobs run the same bytes (the run verifies against serial)
+        // and add the adaptive note.
+        let run = call(&[
+            "run",
+            &script,
+            "--workers",
+            "2",
+            "--chunk-kb",
+            "auto",
+            "--queue-depth",
+            "auto",
+        ])
+        .unwrap();
+        assert!(run.stdout.contains(" b\n"), "got: {}", run.stdout);
+        assert!(
+            run.notes.iter().any(|n| n.starts_with("adaptive:")
+                && n.contains("chunk auto")
+                && n.contains("rebalanced")),
+            "notes: {:?}",
+            run.notes
+        );
+        assert!(run.notes.iter().any(|n| n.contains("verified")));
+        // Fixed knobs stay silent.
+        let fixed = call(&["run", &script, "--workers", "2"]).unwrap();
+        assert!(
+            !fixed.notes.iter().any(|n| n.starts_with("adaptive:")),
+            "notes: {:?}",
+            fixed.notes
+        );
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn auto_knobs_require_the_dataflow_executor() {
+        let s = "cat x | sort";
+        let err = call(&["run", s, "--exec", "streaming", "--chunk-kb", "auto"]).unwrap_err();
+        assert!(
+            err.contains("--chunk-kb auto requires --exec dataflow"),
+            "{err}"
+        );
+        let err = call(&["run", s, "--exec", "chunked", "--queue-depth", "auto"]).unwrap_err();
+        assert!(
+            err.contains("--queue-depth auto requires --exec dataflow"),
+            "{err}"
+        );
     }
 
     #[test]

@@ -3,7 +3,16 @@
 //! GNU coreutils does (`"%7lu %s"`). The padding matters: KumQuat's
 //! `stitch2` combiner deformats it with `delPad`/`addPad`, and the
 //! synthesized combiner must reproduce it byte-for-byte.
+//!
+//! Plain `uniq` (no `-c`) emits a *subsequence of its input bytes* — the
+//! first line of every run of equal lines, newline included — so it takes
+//! the [`SliceRuns`](crate::fastpath) byte fast path: kept lines coalesce
+//! into maximal sub-slices of the input, and an all-unique input comes
+//! back as the input handle itself (a refcount bump, zero copies). `-c`
+//! rewrites every line and stays on the string path, which doubles as
+//! the differential-test oracle ([`UniqCmd::run_reference`]).
 
+use crate::fastpath::SliceRuns;
 use crate::{Bytes, CmdError, ExecContext, UnixCommand};
 
 /// The `uniq` command.
@@ -23,6 +32,67 @@ impl UniqCmd {
         }
         Ok(UniqCmd { count })
     }
+
+    /// The slice fast path for plain `uniq`: scans lines bytewise and
+    /// keeps the first line of each run of equal lines — through its
+    /// newline, so consecutive kept lines coalesce into one slice. `text`
+    /// must be the UTF-8 view of `input` (same indices). An unterminated
+    /// final line gets a synthesized `"\n"`, matching the reference path.
+    fn run_uniq_slices(&self, input: &Bytes, text: &str) -> Bytes {
+        let bytes = text.as_bytes();
+        let len = bytes.len();
+        let mut runs = SliceRuns::new(input);
+        let mut prev: Option<&[u8]> = None;
+        let mut pos = 0usize;
+        while pos < len {
+            let (line_end, next) = match bytes[pos..].iter().position(|&b| b == b'\n') {
+                Some(i) => (pos + i, pos + i + 1),
+                None => (len, len),
+            };
+            let line = &bytes[pos..line_end];
+            if prev != Some(line) {
+                if next > line_end {
+                    runs.keep(pos..next);
+                } else {
+                    runs.keep(pos..line_end);
+                    runs.lit(Bytes::from("\n"));
+                }
+            }
+            prev = Some(line);
+            pos = next;
+        }
+        runs.finish()
+    }
+
+    /// The line-at-a-time implementation — the real path for `-c` and the
+    /// oracle the differential tests compare the slice path against.
+    #[doc(hidden)]
+    pub fn run_reference(&self, input: &str) -> String {
+        let mut out = String::with_capacity(input.len());
+        let mut current: Option<(&str, u64)> = None;
+        let emit = |line: &str, n: u64, out: &mut String| {
+            if self.count {
+                out.push_str(&format!("{n:>7} {line}\n"));
+            } else {
+                out.push_str(line);
+                out.push('\n');
+            }
+        };
+        for line in kq_stream::lines_of(input) {
+            match current {
+                Some((prev, n)) if prev == line => current = Some((prev, n + 1)),
+                Some((prev, n)) => {
+                    emit(prev, n, &mut out);
+                    current = Some((line, 1));
+                }
+                None => current = Some((line, 1)),
+            }
+        }
+        if let Some((prev, n)) = current {
+            emit(prev, n, &mut out);
+        }
+        out
+    }
 }
 
 impl UnixCommand for UniqCmd {
@@ -35,34 +105,11 @@ impl UnixCommand for UniqCmd {
     }
 
     fn run(&self, input: Bytes, _ctx: &ExecContext) -> Result<Bytes, CmdError> {
-        let input = crate::input_str(&input, "uniq")?;
-        let text = || -> Result<String, CmdError> {
-            let mut out = String::with_capacity(input.len());
-            let mut current: Option<(&str, u64)> = None;
-            let emit = |line: &str, n: u64, out: &mut String| {
-                if self.count {
-                    out.push_str(&format!("{n:>7} {line}\n"));
-                } else {
-                    out.push_str(line);
-                    out.push('\n');
-                }
-            };
-            for line in kq_stream::lines_of(input) {
-                match current {
-                    Some((prev, n)) if prev == line => current = Some((prev, n + 1)),
-                    Some((prev, n)) => {
-                        emit(prev, n, &mut out);
-                        current = Some((line, 1));
-                    }
-                    None => current = Some((line, 1)),
-                }
-            }
-            if let Some((prev, n)) = current {
-                emit(prev, n, &mut out);
-            }
-            Ok(out)
-        };
-        text().map(Bytes::from)
+        let text = crate::input_str(&input, "uniq")?;
+        if !self.count {
+            return Ok(self.run_uniq_slices(&input, text));
+        }
+        Ok(Bytes::from(self.run_reference(text)))
     }
 }
 
@@ -108,6 +155,44 @@ mod tests {
     }
 
     #[test]
+    fn all_unique_input_is_a_refcount_bump() {
+        let input = Bytes::from("a\nb\nc\n");
+        let u = UniqCmd::parse(&[]).unwrap();
+        let out = u.run(input.clone(), &ExecContext::default()).unwrap();
+        assert_eq!(out, input);
+        assert!(
+            out.shares_buffer(&input),
+            "all-unique uniq must be the input slice, not a copy"
+        );
+    }
+
+    #[test]
+    fn slice_path_agrees_with_reference_on_edge_cases() {
+        let cases = [
+            "",
+            "\n",
+            "\n\n",
+            "a",
+            "a\na",
+            "a\na\n",
+            "a\n\na\n",
+            "\n\na\n",
+            "x\nx\ny\nx\n",
+            "é\né\nü\n",
+            "last line unterminated\nlast line unterminated",
+        ];
+        let u = UniqCmd::parse(&[]).unwrap();
+        for input in cases {
+            let fast = u.run(Bytes::from(input), &ExecContext::default()).unwrap();
+            assert_eq!(
+                fast.as_str(),
+                u.run_reference(input),
+                "uniq diverged on {input:?}"
+            );
+        }
+    }
+
+    #[test]
     fn rejects_unknown_flags() {
         assert!(parse_command("uniq -d").is_err());
     }
@@ -133,6 +218,20 @@ mod tests {
             let once = run("uniq", &input);
             let twice = run("uniq", &once);
             prop_assert_eq!(once, twice);
+        }
+
+        #[test]
+        fn prop_slice_path_matches_reference(
+            lines in proptest::collection::vec("[ab]{0,2}", 0..50),
+            terminated in 0usize..2,
+        ) {
+            let mut input: String = lines.iter().map(|l| format!("{l}\n")).collect();
+            if terminated == 0 {
+                input.pop();
+            }
+            let u = UniqCmd::parse(&[]).unwrap();
+            let fast = u.run(Bytes::from(input.as_str()), &ExecContext::default()).unwrap();
+            prop_assert_eq!(fast.as_str(), u.run_reference(&input));
         }
     }
 }

@@ -194,6 +194,7 @@ mod tests {
     fn log_of(st: StageTiming) -> TimingLog {
         TimingLog {
             statements: vec![vec![st]],
+            adaptive: None,
         }
     }
 

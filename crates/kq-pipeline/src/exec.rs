@@ -133,11 +133,36 @@ impl StageTiming {
     }
 }
 
+/// What the dataflow executor's closed-loop tuning layer actually did
+/// during a run (`--chunk-kb auto`, `--queue-depth auto`): the run-level
+/// summary behind the CLI's `adaptive:` report line. Per-decision detail
+/// (every chunk-target growth, every credit shift) is emitted as
+/// `adaptive` kq-trace instants.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct AdaptiveTelemetry {
+    /// Chunk sizing ran in auto mode (input-size heuristic + online
+    /// coarsening of barrier-feeding producers).
+    pub auto_chunk: bool,
+    /// Smallest initial chunk target the input-size heuristic chose for
+    /// any statement (0 when no statement started).
+    pub initial_chunk_bytes: usize,
+    /// Largest chunk target any producer coarsened to.
+    pub max_chunk_bytes: usize,
+    /// Queue credit ran in auto mode (controller shifts credit from
+    /// starved edges to gated ones).
+    pub rebalanced: bool,
+    /// Credit moves the controller performed.
+    pub credit_shifts: u64,
+}
+
 /// Per-statement stage timings for a whole script run.
 #[derive(Debug, Clone, Default)]
 pub struct TimingLog {
     /// One vector of stage timings per statement.
     pub statements: Vec<Vec<StageTiming>>,
+    /// Closed-loop tuning summary — `Some` only for dataflow runs with at
+    /// least one `auto` knob active.
+    pub adaptive: Option<AdaptiveTelemetry>,
 }
 
 /// The product of a script execution.

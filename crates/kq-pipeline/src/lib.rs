@@ -112,6 +112,43 @@
 //! peak RSS for a 256 MiB sort with and without a budget
 //! (`BENCH_spill.json`).
 //!
+//! # The adaptive control loop
+//!
+//! The dataflow executor can run two of its knobs closed-loop
+//! ([`scheduler::ChunkSizing::Auto`] / [`scheduler::QueueCredit::Auto`],
+//! CLI `--chunk-kb auto` / `--queue-depth auto` under the default
+//! `--exec dataflow`):
+//!
+//! * **Adaptive chunk sizing.** Each statement's base chunk target is
+//!   derived from its input size and the worker count when the statement
+//!   starts (≈8 chunks per worker, clamped to [128 KiB, 8 MiB]), and
+//!   producers feeding a combine fold *coarsen* geometrically as they cut
+//!   — doubling the target every 8 chunks, up to 6 doublings. The first
+//!   wave of small chunks gets every worker busy; later, larger chunks
+//!   amortize per-chunk overhead and shrink the fold's merge frontier
+//!   (fewer, bigger sorted runs to k-way merge).
+//! * **Queue-credit rebalancing.** Edges start at the default credit and
+//!   a controller tick — piggybacked on the worker loop between tasks, no
+//!   extra thread — samples per-edge gate/starve event deltas and moves
+//!   one chunk of credit per tick from the most starved edge to the most
+//!   gated one (floor 1, cap 8× the seed).
+//! * **Spill-aware run sizing.** Under a spill budget a merge fold
+//!   accumulates incoming pieces until a quarter of the budget before
+//!   sorting/spilling a run ([`kq_dsl` `kway`]), so run count tracks the
+//!   budget rather than the chunk count.
+//!
+//! The invariant that makes all three safe: **adaptation moves chunk
+//! boundaries and scheduling, never bytes**. Chunk targets are pure
+//! functions of (statement base, chunks already cut) — independent of
+//! timing, credit, and worker interleaving — and reorder buffers already
+//! make every node's output order-deterministic, so serial byte-equality
+//! holds with the knobs on; `tests/dataflow_differential.rs` sweeps the
+//! corpus with both knobs on at several worker counts. Decisions are
+//! traced (`adaptive` instants) and summarized in
+//! [`TimingLog::adaptive`](exec::AdaptiveTelemetry);
+//! `crates/bench/benches/adaptive_exec.rs` measures auto against static
+//! configurations (`BENCH_adaptive.json`).
+//!
 //! # The trace plane
 //!
 //! Every executor is instrumented through [`kq_trace`]: node-task spans
@@ -165,10 +202,14 @@ pub mod streaming;
 pub use cache::{cache_key, CacheStats, CombinerCache};
 pub use dataflow::{DataflowGraph, DataflowNode, FoldMode, NodeKind};
 pub use exec::{
-    EarlyExit, ExecutionResult, QueueTelemetry, SpillTelemetry, StageTiming, TimingLog,
+    AdaptiveTelemetry, EarlyExit, ExecutionResult, QueueTelemetry, SpillTelemetry, StageTiming,
+    TimingLog,
 };
 pub use parse::{InputSource, Script, Stage, Statement};
 pub use plan::{PlannedScript, PlannedStage, Planner, StageMode, StreamSegment, StreamSegmentKind};
-pub use scheduler::{run_dataflow, DataflowOptions};
+pub use scheduler::{
+    run_dataflow, ChunkSizing, DataflowOptions, QueueCredit, DEFAULT_CHUNK_BYTES,
+    DEFAULT_QUEUE_DEPTH,
+};
 pub use sim::{PipelineCosts, SimParams};
 pub use streaming::{run_streaming, StreamingOptions};

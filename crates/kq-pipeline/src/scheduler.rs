@@ -51,15 +51,39 @@
 //! cursor exactly like the streaming feeder, so mapped multi-GB inputs
 //! stream through at O(window) resident memory.
 //!
+//! # Adaptive control loop
+//!
+//! Two knobs can run closed-loop instead of fixed (see the crate docs for
+//! the full signal/invariant discussion):
+//!
+//! * [`ChunkSizing::Auto`] — each statement's base chunk target comes
+//!   from its input size and the worker count, and producers that feed a
+//!   combine fold coarsen geometrically as they cut
+//!   ([`coarsened_target`]), so barrier folds see few large runs. The
+//!   target is a pure function of (base, chunks already cut): chunk
+//!   boundaries never depend on timing, credit, or worker interleaving.
+//! * [`QueueCredit::Auto`] — edges start at the default depth and a
+//!   controller tick ([`maybe_rebalance`], piggybacked on the worker loop
+//!   between tasks — no extra thread) samples per-edge gate/starve event
+//!   deltas and moves one credit per tick from the most starved edge to
+//!   the most gated one. Credit moves scheduling, never bytes: reorder
+//!   buffers already make output independent of queue capacity.
+//!
+//! Every decision is traced (`adaptive` instants: `chunk-init`,
+//! `chunk-grow`, `credit-shift`) and summarized in
+//! [`TimingLog::adaptive`](crate::exec::TimingLog).
+//!
 //! Byte-equality with [`run_serial`](crate::exec::run_serial) across the
 //! corpus — plus multi-statement scripts with redirect dependencies — is
 //! asserted by `tests/dataflow_differential.rs` and
-//! `tests/multi_statement_differential.rs`.
+//! `tests/multi_statement_differential.rs`; the differential suites also
+//! sweep both `auto` knobs.
 
 use crate::chunked::run_chain;
 use crate::dataflow::{DataflowGraph, FoldMode, NodeKind};
 use crate::exec::{
-    gather_files, EarlyExit, ExecutionResult, QueueTelemetry, StageTiming, TimingLog,
+    gather_files, AdaptiveTelemetry, EarlyExit, ExecutionResult, QueueTelemetry, StageTiming,
+    TimingLog,
 };
 use crate::parse::{InputSource, Script, Statement};
 use crate::plan::{PlannedScript, StageMode};
@@ -73,18 +97,80 @@ use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::{Condvar, Mutex};
 use std::time::{Duration, Instant};
 
+/// How the dataflow executor sizes split/re-chunk pieces (the
+/// `--chunk-kb` knob).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ChunkSizing {
+    /// Every producer cuts line-aligned chunks of this many bytes for the
+    /// whole run.
+    Fixed(usize),
+    /// Feedback-driven (`--chunk-kb auto`): each statement starts from an
+    /// input-size/worker-count heuristic and barrier-feeding producers
+    /// coarsen geometrically as they cut, so combine folds see few large
+    /// runs. Targets are pure functions of the cut count — adaptation
+    /// moves chunk boundaries, never output bytes (see the
+    /// [module docs](self)).
+    Auto,
+}
+
+/// How the dataflow executor budgets per-edge queue credit (the
+/// `--queue-depth` knob).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum QueueCredit {
+    /// Every edge holds this many chunks of credit for the whole run.
+    Fixed(usize),
+    /// Rebalanced (`--queue-depth auto`): edges start at the default
+    /// depth and a controller tick moves credit from starved edges to
+    /// gated ones based on live stall telemetry (see the
+    /// [module docs](self)).
+    Auto,
+}
+
+/// Default per-edge credit in chunks: the `Fixed` value
+/// [`DataflowOptions::default`] uses and the seed every edge starts from
+/// under [`QueueCredit::Auto`].
+pub const DEFAULT_QUEUE_DEPTH: usize = 4;
+
+/// Default fixed chunk target ([`DataflowOptions::default`], CLI
+/// `--chunk-kb 64`).
+pub const DEFAULT_CHUNK_BYTES: usize = 64 * 1024;
+
+/// Floor of the auto chunk heuristic: never start below the fixed
+/// default's order of magnitude, so tiny inputs behave like the static
+/// configuration instead of degenerating to per-line chunks.
+const AUTO_CHUNK_MIN: usize = 128 << 10;
+
+/// Ceiling of auto chunk sizing, initial and coarsened: large enough that
+/// a multi-GB sort folds hundreds (not tens of thousands) of runs, small
+/// enough that a pool of workers still load-balances.
+const AUTO_CHUNK_MAX: usize = 8 << 20;
+
+/// Auto coarsening cadence: a barrier-feeding producer doubles its chunk
+/// target every this many cuts. The first wave of small chunks gets every
+/// worker busy; later, larger chunks cut per-chunk overhead and shrink
+/// the fold frontier.
+const COARSEN_EVERY: usize = 8;
+
+/// Cap on auto coarsening doublings (with [`COARSEN_EVERY`] = 8 the
+/// target stops growing after ~56 cuts, or earlier at
+/// [`AUTO_CHUNK_MAX`]).
+const MAX_COARSEN_DOUBLINGS: u32 = 6;
+
+/// Minimum interval between credit-rebalancing controller ticks.
+const CREDIT_TICK: Duration = Duration::from_millis(1);
+
 /// Tuning for the dataflow executor.
 #[derive(Debug, Clone)]
 pub struct DataflowOptions {
     /// Size of the shared worker pool — the *total* thread budget for the
     /// whole script, not a per-segment or per-statement figure.
     pub workers: usize,
-    /// Target chunk size in bytes for splits and for every re-chunking
-    /// point (fold outputs, stage-worker re-normalization).
-    pub chunk_bytes: usize,
-    /// Soft capacity of each edge, in chunks: a producer stops claiming
-    /// input once this many chunks are queued downstream.
-    pub queue_depth: usize,
+    /// Chunk sizing for splits and for every re-chunking point (fold
+    /// outputs, stage-worker re-normalization).
+    pub chunk: ChunkSizing,
+    /// Soft per-edge queue credit: a producer stops claiming input once
+    /// its output edge holds that many chunks.
+    pub queue: QueueCredit,
     /// Apply the fusion rewrite ([`DataflowGraph::fuse_streamable`]).
     /// `false` leaves every chunk-local stage as its own node — same
     /// output, more edge hops; the differential suite uses it to stress
@@ -101,8 +187,8 @@ impl Default for DataflowOptions {
     fn default() -> Self {
         DataflowOptions {
             workers: 4,
-            chunk_bytes: 64 * 1024,
-            queue_depth: 4,
+            chunk: ChunkSizing::Fixed(DEFAULT_CHUNK_BYTES),
+            queue: QueueCredit::Fixed(DEFAULT_QUEUE_DEPTH),
             fuse_streamable: true,
             spill: None,
         }
@@ -129,14 +215,42 @@ struct Edge {
     q: Mutex<EdgeQ>,
     /// Mirror of `q.items.len()` for lock-free credit checks.
     len: AtomicUsize,
+    /// Chunks of queue credit this edge currently holds. Fixed for the
+    /// whole run under [`QueueCredit::Fixed`]; the rebalancing controller
+    /// moves it between edges under [`QueueCredit::Auto`].
+    credit: AtomicUsize,
+    /// Times a producer found the edge at capacity (the controller's
+    /// "gated" signal). Monotonic.
+    gate_events: AtomicUsize,
+    /// Times the consumer found the edge empty before close (the
+    /// controller's "starved" signal). Monotonic.
+    starve_events: AtomicUsize,
 }
 
 impl Edge {
-    fn new() -> Edge {
+    fn new(credit: usize) -> Edge {
         Edge {
             q: Mutex::new(EdgeQ::default()),
             len: AtomicUsize::new(0),
+            credit: AtomicUsize::new(credit),
+            gate_events: AtomicUsize::new(0),
+            starve_events: AtomicUsize::new(0),
         }
+    }
+
+    /// Lock-free credit gate, counting a gate event when at capacity.
+    fn check_gate(&self) -> bool {
+        if self.len.load(Ordering::Relaxed) >= self.credit.load(Ordering::Relaxed) {
+            self.gate_events.fetch_add(1, Ordering::Relaxed);
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Counts a starve event (consumer found the edge empty and open).
+    fn note_starved(&self) {
+        self.starve_events.fetch_add(1, Ordering::Relaxed);
     }
 }
 
@@ -220,6 +334,9 @@ struct NodeState<'a> {
     next_seq: usize,
     /// StageWorker: output re-normalization.
     chunker: Option<IncrementalChunker>,
+    /// StageWorker: chunks emitted so far — the pure "cut count" input to
+    /// auto chunk coarsening ([`coarsened_target`]).
+    chunks_out: usize,
     /// Fold(Combine): the incremental combiner fold.
     accum: Option<IncrementalCombine<'a>>,
     /// Fold(Combine): this node's spill counters (shared with `accum`),
@@ -252,6 +369,7 @@ impl NodeState<'_> {
             pending: BTreeMap::new(),
             next_seq: 0,
             chunker: None,
+            chunks_out: 0,
             accum: None,
             spill_metrics: None,
             rope: Rope::new(),
@@ -279,6 +397,14 @@ struct StmtRt<'a> {
     nodes: Vec<Mutex<NodeState<'a>>>,
     /// `edges[i]` carries node `i`'s output; the last edge is the sink.
     edges: Vec<Edge>,
+    /// Base chunk target for this statement's producers. Fixed sizing
+    /// stores the configured value; [`ChunkSizing::Auto`] overwrites it
+    /// with the input-size heuristic when the statement starts.
+    base_chunk: AtomicUsize,
+    /// `feeds_fold[i]`: node `i`'s output edge feeds a combine fold —
+    /// the producers auto coarsening targets (larger chunks there mean
+    /// fewer, bigger runs at the barrier).
+    feeds_fold: Vec<bool>,
     error: Mutex<Option<CmdError>>,
     started: AtomicBool,
     finished: AtomicBool,
@@ -292,6 +418,14 @@ struct IdleGate {
     cv: Condvar,
 }
 
+/// The credit-rebalancing controller's private state: the last tick time
+/// and, per statement, the (gate, starve) event counts already consumed,
+/// so each tick acts on deltas rather than run totals.
+struct Controller {
+    last: Instant,
+    seen: Vec<Vec<(usize, usize)>>,
+}
+
 /// Shared run state: everything the worker pool operates on.
 struct RunState<'a> {
     stmts: Vec<StmtRt<'a>>,
@@ -301,9 +435,20 @@ struct RunState<'a> {
     abort: AtomicBool,
     finished_count: AtomicUsize,
     ctx: &'a ExecContext,
-    chunk_bytes: usize,
-    queue_depth: usize,
+    /// The configured chunk sizing mode (resolved: `Fixed` is clamped ≥1).
+    chunk: ChunkSizing,
+    /// Per-edge credit cap under rebalancing (8× the seed): no edge can
+    /// absorb the whole script's credit.
+    max_credit: usize,
+    /// Credit rebalancing enabled ([`QueueCredit::Auto`]).
+    rebalance: bool,
+    workers: usize,
     release_lag: usize,
+    controller: Mutex<Controller>,
+    // Adaptive telemetry, aggregated into `TimingLog::adaptive`.
+    initial_chunk: AtomicUsize,
+    max_chunk: AtomicUsize,
+    credit_shifts: AtomicUsize,
 }
 
 /// Per-thread scheduling context: where this thread's follow-up tasks go.
@@ -347,8 +492,17 @@ pub fn run_dataflow(
     opts: &DataflowOptions,
 ) -> Result<ExecutionResult, CmdError> {
     let workers = opts.workers.max(1);
-    let chunk_bytes = opts.chunk_bytes.max(1);
-    let queue_depth = opts.queue_depth.max(1);
+    let (chunk, fixed_chunk) = match opts.chunk {
+        ChunkSizing::Fixed(b) => (ChunkSizing::Fixed(b.max(1)), b.max(1)),
+        // Auto statements pick their base at start (input-size heuristic);
+        // until then the floor stands in wherever a static size is needed.
+        ChunkSizing::Auto => (ChunkSizing::Auto, AUTO_CHUNK_MIN),
+    };
+    let queue_seed = match opts.queue {
+        QueueCredit::Fixed(d) => d.max(1),
+        QueueCredit::Auto => DEFAULT_QUEUE_DEPTH,
+    };
+    let rebalance = matches!(opts.queue, QueueCredit::Auto);
 
     // Build the graphs first: the release lag and combiner environments
     // depend on their shapes.
@@ -358,8 +512,15 @@ pub fn run_dataflow(
         .map(|p| DataflowGraph::build(p, opts.fuse_streamable))
         .collect();
     let max_nodes = graphs.iter().map(|g| g.nodes.len()).max().unwrap_or(0);
-    let release_lag = chunk_bytes
-        .saturating_mul(queue_depth + workers)
+    // Page-release is a refault-safe hint (see `Bytes::release_range`), so
+    // sizing the lag for the auto ceiling merely defers releases — it can
+    // never change bytes.
+    let lag_chunk = match chunk {
+        ChunkSizing::Fixed(b) => b,
+        ChunkSizing::Auto => AUTO_CHUNK_MAX,
+    };
+    let release_lag = lag_chunk
+        .saturating_mul(queue_seed + workers)
         .saturating_mul(max_nodes + 2)
         .max(16 << 20);
 
@@ -406,7 +567,7 @@ pub fn run_dataflow(
                 let mut state = NodeState::new();
                 match node.kind {
                     NodeKind::StageWorker => {
-                        state.chunker = Some(IncrementalChunker::new(chunk_bytes));
+                        state.chunker = Some(IncrementalChunker::new(fixed_chunk));
                     }
                     NodeKind::Fold {
                         mode: FoldMode::Combine,
@@ -428,13 +589,28 @@ pub fn run_dataflow(
                 Mutex::new(state)
             })
             .collect();
-        let edges = (0..graph.nodes.len()).map(|_| Edge::new()).collect();
+        let edges = (0..graph.nodes.len()).map(|_| Edge::new(queue_seed)).collect();
+        let feeds_fold: Vec<bool> = (0..graph.nodes.len())
+            .map(|ni| {
+                matches!(
+                    graph.nodes.get(ni + 1),
+                    Some(n) if matches!(
+                        n.kind,
+                        NodeKind::Fold {
+                            mode: FoldMode::Combine
+                        }
+                    )
+                )
+            })
+            .collect();
         stmts.push(StmtRt {
             statement,
             graph,
             chains,
             nodes,
             edges,
+            base_chunk: AtomicUsize::new(fixed_chunk),
+            feeds_fold,
             error: Mutex::new(None),
             started: AtomicBool::new(false),
             finished: AtomicBool::new(false),
@@ -489,6 +665,10 @@ pub fn run_dataflow(
     let _run_span = kq_trace::span("dataflow", "run").v(stmts.len() as f64);
 
     let total = stmts.len();
+    let seen: Vec<Vec<(usize, usize)>> = stmts
+        .iter()
+        .map(|s| vec![(0usize, 0usize); s.graph.nodes.len().saturating_sub(1)])
+        .collect();
     let rt = RunState {
         stmts,
         injector: Injector::new(),
@@ -500,9 +680,18 @@ pub fn run_dataflow(
         abort: AtomicBool::new(false),
         finished_count: AtomicUsize::new(0),
         ctx,
-        chunk_bytes,
-        queue_depth,
+        chunk,
+        max_credit: queue_seed.saturating_mul(8),
+        rebalance,
+        workers,
         release_lag,
+        controller: Mutex::new(Controller {
+            last: Instant::now(),
+            seen,
+        }),
+        initial_chunk: AtomicUsize::new(usize::MAX),
+        max_chunk: AtomicUsize::new(0),
+        credit_shifts: AtomicUsize::new(0),
     };
 
     // Seed every dependency-free statement, then let the pool run.
@@ -538,6 +727,17 @@ pub fn run_dataflow(
 
     let mut output = Rope::new();
     let mut timings = TimingLog::default();
+    let auto_chunk = matches!(chunk, ChunkSizing::Auto);
+    if auto_chunk || rebalance {
+        let initial = rt.initial_chunk.load(Ordering::Relaxed);
+        timings.adaptive = Some(AdaptiveTelemetry {
+            auto_chunk,
+            initial_chunk_bytes: if initial == usize::MAX { 0 } else { initial },
+            max_chunk_bytes: rt.max_chunk.load(Ordering::Relaxed),
+            rebalanced: rebalance,
+            credit_shifts: rt.credit_shifts.load(Ordering::Relaxed) as u64,
+        });
+    }
     for (si, stmt) in rt.stmts.iter().enumerate() {
         if let Some(bytes) = lock(&stmt.output).take() {
             output.push(bytes);
@@ -616,6 +816,7 @@ fn worker_loop(rt: &RunState<'_>, local: Worker<Task>, stealers: &[Stealer<Task>
     loop {
         while let Some(task) = find_task(rt, &local, stealers, idx) {
             run_task(&cx, task);
+            maybe_rebalance(&cx);
         }
         // Record the generation *before* the confirming scan: a task
         // pushed after this read bumps the generation and cancels the
@@ -626,6 +827,7 @@ fn worker_loop(rt: &RunState<'_>, local: Worker<Task>, stealers: &[Stealer<Task>
         }
         if let Some(task) = find_task(rt, &local, stealers, idx) {
             run_task(&cx, task);
+            maybe_rebalance(&cx);
             continue;
         }
         let mut guard = lock(&rt.idle.generation);
@@ -664,6 +866,107 @@ fn find_task(
         }
     }
     None
+}
+
+/// Geometric auto coarsening: the chunk target after `cuts` chunks have
+/// been emitted. A pure function of its arguments — never of timing or
+/// queue state — so chunk boundaries (and therefore every downstream
+/// byte) are reproducible for a given input and configuration.
+fn coarsened_target(base: usize, cuts: usize) -> usize {
+    let doublings = ((cuts / COARSEN_EVERY) as u32).min(MAX_COARSEN_DOUBLINGS);
+    base.saturating_mul(1usize << doublings)
+        .min(AUTO_CHUNK_MAX.max(base))
+}
+
+/// The chunk target for node `ni`'s next cut, `cuts` chunks in. Fixed
+/// sizing returns the configured value; auto returns the statement's base
+/// and coarsens it geometrically on barrier-feeding edges.
+fn chunk_target(rt: &RunState<'_>, stmt: &StmtRt<'_>, si: usize, ni: usize, cuts: usize) -> usize {
+    let base = match rt.chunk {
+        ChunkSizing::Fixed(b) => return b,
+        ChunkSizing::Auto => stmt.base_chunk.load(Ordering::Relaxed),
+    };
+    if !stmt.feeds_fold[ni] {
+        return base;
+    }
+    let target = coarsened_target(base, cuts);
+    if target > base && cuts.is_multiple_of(COARSEN_EVERY) {
+        kq_trace::instant("adaptive", "chunk-grow")
+            .si(si)
+            .ni(ni)
+            .v(target as f64)
+            .emit();
+    }
+    rt.max_chunk.fetch_max(target, Ordering::Relaxed);
+    target
+}
+
+/// One credit-rebalancing controller tick, piggybacked on the worker loop
+/// between tasks (no dedicated thread — the pool's thread budget is part
+/// of the executor's contract). At most one worker ticks at a time
+/// (`try_lock`), at most once per [`CREDIT_TICK`]. Each tick looks at the
+/// gate/starve event *deltas* since the previous tick and, per unfinished
+/// statement, moves one chunk of credit from the most starved edge to the
+/// most gated one — bounded below by 1 and above by
+/// [`RunState::max_credit`]. Credit affects only when producers run;
+/// reorder buffers keep the output byte-identical regardless.
+fn maybe_rebalance(cx: &Cx<'_, '_>) {
+    let rt = cx.rt;
+    if !rt.rebalance {
+        return;
+    }
+    let Ok(mut ctl) = rt.controller.try_lock() else {
+        return;
+    };
+    if ctl.last.elapsed() < CREDIT_TICK {
+        return;
+    }
+    ctl.last = Instant::now();
+    for (si, stmt) in rt.stmts.iter().enumerate() {
+        if stmt.finished.load(Ordering::Relaxed) {
+            continue;
+        }
+        // Interior edges only: the sink edge has no credit gate.
+        let interior = stmt.graph.nodes.len().saturating_sub(1);
+        let mut gated: Option<(usize, usize)> = None; // (delta, edge)
+        let mut starved: Option<(usize, usize)> = None;
+        for ei in 0..interior {
+            let edge = &stmt.edges[ei];
+            let gate = edge.gate_events.load(Ordering::Relaxed);
+            let starve = edge.starve_events.load(Ordering::Relaxed);
+            let (pg, ps) = std::mem::replace(&mut ctl.seen[si][ei], (gate, starve));
+            let dg = gate.saturating_sub(pg);
+            let ds = starve.saturating_sub(ps);
+            if dg > gated.map_or(0, |(best, _)| best) {
+                gated = Some((dg, ei));
+            }
+            if ds > starved.map_or(0, |(best, _)| best) {
+                starved = Some((ds, ei));
+            }
+        }
+        let (Some((_, gi)), Some((_, di))) = (gated, starved) else {
+            continue;
+        };
+        if gi == di {
+            continue;
+        }
+        let donor = &stmt.edges[di];
+        let gainer = &stmt.edges[gi];
+        let donor_credit = donor.credit.load(Ordering::Relaxed);
+        let gainer_credit = gainer.credit.load(Ordering::Relaxed);
+        if donor_credit > 1 && gainer_credit < rt.max_credit {
+            donor.credit.store(donor_credit - 1, Ordering::Relaxed);
+            gainer.credit.store(gainer_credit + 1, Ordering::Relaxed);
+            rt.credit_shifts.fetch_add(1, Ordering::Relaxed);
+            kq_trace::instant("adaptive", "credit-shift")
+                .si(si)
+                .ni(gi)
+                .v((gainer_credit + 1) as f64)
+                .emit();
+            // The freed credit may unblock the gated producer right now.
+            cx.schedule((si, gi));
+        }
+    }
 }
 
 fn run_task(cx: &Cx<'_, '_>, (si, ni): Task) {
@@ -735,6 +1038,20 @@ fn start_statement(cx: &Cx<'_, '_>, si: usize) {
                 // output, handle-through without touching the pool.
                 finish_statement(cx, si, Some(input));
             } else {
+                if matches!(cx.rt.chunk, ChunkSizing::Auto) {
+                    // Base heuristic: ~8 chunks per worker gets the pool
+                    // busy; the clamp keeps tiny inputs at the static
+                    // default's scale and huge ones load-balanceable.
+                    let base = (input.len() / (cx.rt.workers * 8))
+                        .clamp(AUTO_CHUNK_MIN, AUTO_CHUNK_MAX);
+                    stmt.base_chunk.store(base, Ordering::Relaxed);
+                    cx.rt.initial_chunk.fetch_min(base, Ordering::Relaxed);
+                    cx.rt.max_chunk.fetch_max(base, Ordering::Relaxed);
+                    kq_trace::instant("adaptive", "chunk-init")
+                        .si(si)
+                        .v(base as f64)
+                        .emit();
+                }
                 lock(&stmt.nodes[0]).phase = Phase::Emitting(Emit::new(input));
                 cx.schedule((si, 0));
             }
@@ -760,7 +1077,7 @@ fn split_task(cx: &Cx<'_, '_>, si: usize) {
                 st.phase = Phase::Done;
                 break;
             }
-            if cx.rt.stmts[si].edges[0].len.load(Ordering::Relaxed) >= cx.rt.queue_depth {
+            if cx.rt.stmts[si].edges[0].check_gate() {
                 // Gated: the consumer's next pop schedules us again.
                 drop(st);
                 schedule_pushes(cx, si, 1, scheduled_pushes);
@@ -770,7 +1087,8 @@ fn split_task(cx: &Cx<'_, '_>, si: usize) {
                 .si(si)
                 .ni(0)
                 .seq(emit.chunks);
-            let chunk = emit.next_chunk(cx.rt.chunk_bytes, cx.rt.release_lag);
+            let target = chunk_target(cx.rt, stmt, si, 0, emit.chunks);
+            let chunk = emit.next_chunk(target, cx.rt.release_lag);
             span.v(chunk.len() as f64).done();
             push_edge(stmt, 0, chunk);
             scheduled_pushes += 1;
@@ -867,7 +1185,7 @@ fn map_task(cx: &Cx<'_, '_>, si: usize, ni: usize) {
         // Credit gate: stage workers forward chunk-per-chunk, so claiming
         // input while downstream is full only grows the overshoot. Folds
         // consume everything before emitting — no gate.
-        if is_worker && !last && stmt.edges[ni].len.load(Ordering::Relaxed) >= cx.rt.queue_depth {
+        if is_worker && !last && stmt.edges[ni].check_gate() {
             st.gate_since.get_or_insert_with(Instant::now);
             return;
         }
@@ -878,7 +1196,10 @@ fn map_task(cx: &Cx<'_, '_>, si: usize, ni: usize) {
     }
     let (seq, chunk, len_at) = match pop_input(stmt, ni) {
         Ok(popped) => popped,
-        Err(_closed) => {
+        Err(closed) => {
+            if !closed {
+                stmt.edges[ni - 1].note_starved();
+            }
             let mut st = lock(&stmt.nodes[ni]);
             st.inflight -= 1;
             st.starve_since.get_or_insert_with(Instant::now);
@@ -930,11 +1251,17 @@ fn map_task(cx: &Cx<'_, '_>, si: usize, ni: usize) {
             st.bytes_out_pieces += ready.len();
             if is_worker {
                 st.bytes_out += ready.len();
+                // Retarget per ready piece: the target depends only on
+                // the (deterministic) count of chunks already emitted, so
+                // boundaries are independent of drain batching.
+                let target = chunk_target(cx.rt, stmt, si, ni, st.chunks_out);
                 let chunker = st.chunker.as_mut().expect("stage worker chunker");
+                chunker.set_target(target);
                 let mut outgoing = chunker.push(ready);
                 if node.eager_flush {
                     outgoing.extend(chunker.flush_pending());
                 }
+                st.chunks_out += outgoing.len();
                 for c in outgoing {
                     push_edge(stmt, ni, c);
                     pushed += 1;
@@ -1062,7 +1389,10 @@ fn gather_task(cx: &Cx<'_, '_>, si: usize, ni: usize) {
             return;
         }
         match popped {
-            Err(_closed) => {
+            Err(closed) => {
+                if !closed {
+                    stmt.edges[ni - 1].note_starved();
+                }
                 st.starve_since.get_or_insert_with(Instant::now);
             }
             Ok((seq, chunk, len_at)) => {
@@ -1209,7 +1539,7 @@ fn emit_task(cx: &Cx<'_, '_>, si: usize, ni: usize) {
                 st.phase = Phase::Done;
                 break;
             }
-            if !last && stmt.edges[ni].len.load(Ordering::Relaxed) >= cx.rt.queue_depth {
+            if !last && stmt.edges[ni].check_gate() {
                 st.gate_since.get_or_insert_with(Instant::now);
                 drop(st);
                 schedule_pushes(cx, si, ni + 1, pushed);
@@ -1225,7 +1555,8 @@ fn emit_task(cx: &Cx<'_, '_>, si: usize, ni: usize) {
                 .si(si)
                 .ni(ni)
                 .seq(emit.chunks);
-            let chunk = emit.next_chunk(cx.rt.chunk_bytes, cx.rt.release_lag);
+            let target = chunk_target(cx.rt, stmt, si, ni, emit.chunks);
+            let chunk = emit.next_chunk(target, cx.rt.release_lag);
             span.v(chunk.len() as f64).done();
             push_edge(stmt, ni, chunk);
             pushed += 1;
@@ -1399,8 +1730,8 @@ mod tests {
                 for fuse in [true, false] {
                     let opts = DataflowOptions {
                         workers,
-                        chunk_bytes,
-                        queue_depth,
+                        chunk: ChunkSizing::Fixed(chunk_bytes),
+                        queue: QueueCredit::Fixed(queue_depth),
                         fuse_streamable: fuse,
                         spill: None,
                     };
@@ -1415,6 +1746,39 @@ mod tests {
                     );
                 }
             }
+        }
+    }
+
+    /// Runs `script_text` with both adaptive knobs on and asserts byte
+    /// equality with serial plus sane adaptive telemetry.
+    fn check_adaptive(script_text: &str) {
+        let env: HashMap<String, String> = HashMap::new();
+        let script = parse_script(script_text, &env).unwrap();
+        let ctx = ExecContext::default();
+        ctx.vfs.write("/in.txt", make_input(500));
+        let serial = run_serial(&script, &ctx).unwrap();
+        let mut planner = Planner::new(SynthesisConfig::default());
+        let plan = planner.plan(&script, &ctx, &make_input(100));
+        for workers in [1, 3] {
+            let opts = DataflowOptions {
+                workers,
+                chunk: ChunkSizing::Auto,
+                queue: QueueCredit::Auto,
+                fuse_streamable: true,
+                spill: None,
+            };
+            let got = run_dataflow(&script, &plan, &ctx, &opts).unwrap();
+            assert_eq!(
+                got.output, serial.output,
+                "{script_text:?} differs under adaptation (w={workers})"
+            );
+            let adaptive = got.timings.adaptive.expect("auto knobs report telemetry");
+            assert!(adaptive.auto_chunk && adaptive.rebalanced);
+            assert!(
+                adaptive.initial_chunk_bytes >= AUTO_CHUNK_MIN,
+                "auto base respects the floor"
+            );
+            assert!(adaptive.max_chunk_bytes >= adaptive.initial_chunk_bytes);
         }
     }
 
@@ -1505,8 +1869,8 @@ mod tests {
         let plan = planner.plan(&script, &ctx, &make_input(100));
         let opts = DataflowOptions {
             workers: 2,
-            chunk_bytes: 256,
-            queue_depth: 2,
+            chunk: ChunkSizing::Fixed(256),
+            queue: QueueCredit::Fixed(2),
             fuse_streamable: true,
             spill: None,
         };
@@ -1579,8 +1943,8 @@ mod tests {
         let plan = planner.plan(&script, &ctx, &input);
         let opts = DataflowOptions {
             workers: 2,
-            chunk_bytes: 1024,
-            queue_depth: 2,
+            chunk: ChunkSizing::Fixed(1024),
+            queue: QueueCredit::Fixed(2),
             fuse_streamable: true,
             spill: None,
         };
@@ -1595,6 +1959,83 @@ mod tests {
         let telem = stages[0].queue.expect("dataflow reports queue telemetry");
         assert!(telem.tasks > 1, "one task per chunk");
         assert!(stages[1].queue.is_some());
+    }
+
+    #[test]
+    fn adaptive_knobs_stay_byte_identical() {
+        check_adaptive("cat /in.txt | cut -d ' ' -f 1 | sort | uniq -c | sort -rn");
+        check_adaptive("cat /in.txt | grep apple | tr a-z A-Z");
+        check_adaptive("cat /in.txt | sort -u | head -n 3");
+        check_adaptive(
+            "cat /in.txt | cut -d ' ' -f 1 | sort > /tmp1\ncat /tmp1 | uniq -c | sort -rn",
+        );
+    }
+
+    #[test]
+    fn fixed_mode_reports_no_adaptive_telemetry() {
+        let env: HashMap<String, String> = HashMap::new();
+        let script = parse_script("cat /in.txt | sort | uniq", &env).unwrap();
+        let ctx = ExecContext::default();
+        ctx.vfs.write("/in.txt", make_input(100));
+        let mut planner = Planner::new(SynthesisConfig::default());
+        let plan = planner.plan(&script, &ctx, &make_input(50));
+        let got = run_dataflow(&script, &plan, &ctx, &DataflowOptions::default()).unwrap();
+        assert_eq!(got.timings.adaptive, None, "fixed knobs stay silent");
+    }
+
+    #[test]
+    fn coarsening_is_pure_geometric_and_capped() {
+        assert_eq!(coarsened_target(1024, 0), 1024);
+        assert_eq!(coarsened_target(1024, COARSEN_EVERY - 1), 1024);
+        assert_eq!(coarsened_target(1024, COARSEN_EVERY), 2048);
+        assert_eq!(coarsened_target(1024, 3 * COARSEN_EVERY), 8192);
+        // Doubling cap.
+        assert_eq!(
+            coarsened_target(1024, 100 * COARSEN_EVERY),
+            1024 << MAX_COARSEN_DOUBLINGS
+        );
+        // Byte ceiling.
+        assert_eq!(coarsened_target(AUTO_CHUNK_MAX, COARSEN_EVERY), AUTO_CHUNK_MAX);
+        // A base above the ceiling (huge Fixed-style base) is preserved.
+        assert_eq!(coarsened_target(AUTO_CHUNK_MAX * 2, 0), AUTO_CHUNK_MAX * 2);
+    }
+
+    #[test]
+    fn auto_chunking_shrinks_the_fold_frontier() {
+        let env: HashMap<String, String> = HashMap::new();
+        let script = parse_script("cat /in.txt | tr A-Z a-z | sort", &env).unwrap();
+        let ctx = ExecContext::default();
+        let input = make_input(80_000); // ~2 MB
+        ctx.vfs.write("/in.txt", &input);
+        let mut planner = Planner::new(SynthesisConfig::default());
+        let plan = planner.plan(&script, &ctx, &make_input(100));
+        let run = |chunk: ChunkSizing| {
+            let opts = DataflowOptions {
+                workers: 1,
+                chunk,
+                queue: QueueCredit::Fixed(DEFAULT_QUEUE_DEPTH),
+                fuse_streamable: true,
+                spill: None,
+            };
+            run_dataflow(&script, &plan, &ctx, &opts).unwrap()
+        };
+        let fixed = run(ChunkSizing::Fixed(8192));
+        let auto = run(ChunkSizing::Auto);
+        assert_eq!(fixed.output, auto.output);
+        // The sort fold is the last stage; its task count is the number
+        // of runs pushed into the merge frontier.
+        let frontier = |res: &ExecutionResult| {
+            res.timings.statements[0]
+                .last()
+                .and_then(|s| s.queue)
+                .map(|q| q.tasks)
+                .expect("fold stage telemetry")
+        };
+        let (ff, af) = (frontier(&fixed), frontier(&auto));
+        assert!(
+            af * 2 <= ff,
+            "auto frontier {af} should be at most half of fixed {ff}"
+        );
     }
 
     #[test]

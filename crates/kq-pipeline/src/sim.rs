@@ -203,6 +203,7 @@ mod tests {
     fn log(stages: Vec<StageTiming>) -> TimingLog {
         TimingLog {
             statements: vec![stages],
+            adaptive: None,
         }
     }
 

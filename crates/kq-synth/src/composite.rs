@@ -143,10 +143,14 @@ impl SynthesizedCombiner {
     }
 
     /// [`incremental`](Self::incremental) with an optional spill config:
-    /// when the primary member is a `merge`, its run accumulation honors
-    /// the budget and temp-file policy of [`kq_dsl::spill`] (other
-    /// combiners ignore the config — see
-    /// [`kway::IncrementalFold::new_with_spill`]).
+    /// the primary member's fold honors the budget and temp-file policy of
+    /// [`kq_dsl::spill`] (budget-sized merge runs, budget-accounted
+    /// counter slots — see [`kway::IncrementalFold::new_with_spill`]), and
+    /// on the selective path the retained raw handles are themselves
+    /// budget-bounded: once their resident bytes cross the budget the
+    /// whole list is batch-spilled to one temp file and re-pointed at
+    /// mapped slices ([`kway::spill_piece_batch`]), so even the
+    /// gather-first fallback cannot pin O(output) heap.
     pub fn incremental_with_spill<'a>(
         &'a self,
         env: &'a dyn RunEnv,
@@ -158,6 +162,8 @@ impl SynthesizedCombiner {
             combiner: self,
             env,
             raw: (!authoritative).then(Vec::new),
+            raw_spill: if authoritative { None } else { spill.clone() },
+            raw_heap_bytes: 0,
             fold: Some(kway::IncrementalFold::new_with_spill(
                 self.primary(),
                 env,
@@ -180,6 +186,12 @@ pub struct IncrementalCombine<'a> {
     /// has consumed it, so a barrier stage's already-combined chunk
     /// outputs are freed instead of pinned until `finish`.
     raw: Option<Vec<Bytes>>,
+    /// Spill config for the raw list (selective path only): when the
+    /// heap-resident raw bytes (`raw_heap_bytes`) cross the budget, the
+    /// list is batch-spilled and its entries become mapped slices.
+    raw_spill: Option<kq_dsl::SpillConfig>,
+    /// Heap-resident bytes currently in `raw` (mapped entries excluded).
+    raw_heap_bytes: usize,
     /// The primary-member fold; `None` after the speculation (selective
     /// path) or the fold itself (authoritative path) failed.
     fold: Option<kway::IncrementalFold<'a>>,
@@ -227,7 +239,23 @@ impl IncrementalCombine<'_> {
                         self.fold = None;
                     }
                 }
+                let resident = if piece.is_empty() || piece.is_mmap_backed() {
+                    0
+                } else {
+                    piece.len()
+                };
                 raw.push(piece);
+                if let Some(cfg) = &self.raw_spill {
+                    self.raw_heap_bytes += resident;
+                    if self.raw_heap_bytes > cfg.budget_bytes {
+                        // Best-effort: push cannot fail, so an IO error
+                        // simply leaves the heap copies in place (finish
+                        // still works; only the memory bound is lost).
+                        if kway::spill_piece_batch(raw, cfg).is_ok() {
+                            self.raw_heap_bytes = 0;
+                        }
+                    }
+                }
             }
         }
     }
@@ -387,6 +415,42 @@ mod tests {
             inc.push(p.clone());
         }
         assert_eq!(inc.finish().unwrap(), expect);
+    }
+
+    #[test]
+    fn selective_raw_handles_spill_under_budget() {
+        // A selective composite retains every raw piece for the
+        // gather-first fallback; under a zero budget those handles must be
+        // batch-spilled to mapped slices rather than pinned on the heap —
+        // and both finish paths (fold speculation, fallback over mapped
+        // pieces) must still produce combine_all's answer.
+        let s = SynthesizedCombiner::from_plausible(vec![
+            Candidate::rec(RecOp::Back(Delim::Newline, Box::new(RecOp::Add))),
+            Candidate::rec(RecOp::Fuse(Delim::Newline, Box::new(RecOp::Add))),
+        ]);
+        let dir = std::env::temp_dir().join(format!("kq-composite-spill-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let cfg = kq_dsl::SpillConfig {
+            budget_bytes: 0,
+            dir: dir.clone(),
+            metrics: std::sync::Arc::new(kq_dsl::SpillMetrics::default()),
+        };
+        // "3\n4" is outside the primary's domain: the fallback over the
+        // (by then mapped) raw list is what settles the result.
+        let odd = vec![Bytes::from("3\n4"), Bytes::from("5\n6"), Bytes::from("7\n8")];
+        let expect = s.combine_all(&odd, &NoRunEnv).unwrap();
+        let mut inc = s.incremental_with_spill(&NoRunEnv, Some(cfg.clone()));
+        for p in &odd {
+            inc.push(p.clone());
+        }
+        assert_eq!(inc.retained_handles(), odd.len(), "handles stay retained");
+        assert_eq!(inc.finish().unwrap(), expect);
+        let (runs, written, _) = cfg.metrics.snapshot();
+        assert!(runs > 0, "raw handles must batch-spill at budget 0");
+        assert!(written > 0);
+        let leftovers = std::fs::read_dir(&dir).map(|d| d.count()).unwrap_or(0);
+        std::fs::remove_dir_all(&dir).ok();
+        assert_eq!(leftovers, 0, "spill dir must be clean after the combine");
     }
 
     #[test]

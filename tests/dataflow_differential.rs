@@ -8,7 +8,9 @@
 //! gating, fusion, fold finalization, early-exit teardown — is in play on
 //! every script. The sweep brackets the chunking extremes (1 byte → one
 //! chunk per line; 16 MiB → one chunk total, i.e. serial execution with
-//! scheduler plumbing) at w ∈ {1, 4}, and a watchdog test pins the
+//! scheduler plumbing) at w ∈ {1, 4}, a second sweep runs with both
+//! *adaptive* knobs on (auto chunk sizing + credit rebalancing) checking
+//! stdout and every redirect target, and a watchdog test pins the
 //! cancellation property: a bounded consumer stops a 256 MiB producer
 //! after O(first match) bytes, including chunks already queued.
 
@@ -16,7 +18,7 @@ use kq_coreutils::ExecContext;
 use kq_pipeline::exec::run_serial;
 use kq_pipeline::parse::parse_script;
 use kq_pipeline::plan::Planner;
-use kq_pipeline::scheduler::{run_dataflow, DataflowOptions};
+use kq_pipeline::scheduler::{run_dataflow, ChunkSizing, DataflowOptions, QueueCredit};
 use kq_synth::SynthesisConfig;
 use kq_workloads::{corpus, setup, Scale};
 use std::collections::HashMap;
@@ -47,8 +49,8 @@ fn full_corpus_dataflow_matches_serial_across_chunkings_and_workers() {
             for chunk_bytes in [1usize, 700, 16 << 20] {
                 let opts = DataflowOptions {
                     workers,
-                    chunk_bytes,
-                    queue_depth: 2,
+                    chunk: ChunkSizing::Fixed(chunk_bytes),
+                    queue: QueueCredit::Fixed(2),
                     fuse_streamable: true,
                     spill: None,
                 };
@@ -64,6 +66,89 @@ fn full_corpus_dataflow_matches_serial_across_chunkings_and_workers() {
         count += 1;
     }
     assert!(count >= 70, "corpus shrank to {count} scripts");
+}
+
+/// The adaptation-invariance sweep: with *both* auto knobs on — adaptive
+/// chunk sizing and queue-credit rebalancing — every corpus script must
+/// stay byte-identical to serial, for stdout AND every `> file` redirect
+/// target. The knobs move chunk boundaries and queue credit at runtime,
+/// driven by timing-dependent stall samples; this test pins the contract
+/// that none of that ever reaches the bytes. Each configuration runs in a
+/// fresh context (same deterministic setup seed) so redirect targets
+/// can't leak results between runs.
+#[test]
+fn full_corpus_adaptive_knobs_match_serial_including_redirects() {
+    let scale = Scale {
+        input_bytes: 10_000,
+    };
+    let mut planner = Planner::new(SynthesisConfig::default());
+    let mut count = 0usize;
+    let mut redirects_checked = 0usize;
+    for script in corpus() {
+        let serial_ctx = ExecContext::default();
+        let env = setup(script, &serial_ctx, &scale, 0xADA9);
+        let parsed = parse_script(script.text, &env)
+            .unwrap_or_else(|e| panic!("{}/{} parse: {e}", script.suite.dir(), script.id));
+        let sample = serial_ctx.vfs.read(&env["IN"]).unwrap();
+        let cut = sample[..sample.len().min(8_000)]
+            .rfind('\n')
+            .map(|i| i + 1)
+            .unwrap_or(sample.len());
+        let plan = planner.plan(&parsed, &serial_ctx, &sample[..cut]);
+
+        let id = format!("{}/{}", script.suite.dir(), script.id);
+        let serial =
+            run_serial(&parsed, &serial_ctx).unwrap_or_else(|e| panic!("{id} serial: {e}"));
+        let serial_files: Vec<(String, String)> = parsed
+            .statements
+            .iter()
+            .filter_map(|s| s.output.clone())
+            .map(|t| {
+                let bytes = serial_ctx
+                    .vfs
+                    .read(&t)
+                    .unwrap_or_else(|| panic!("{id}: serial run left no redirect file {t}"));
+                (t, bytes)
+            })
+            .collect();
+
+        for workers in [1usize, 4] {
+            let ctx = ExecContext::default();
+            setup(script, &ctx, &scale, 0xADA9);
+            let opts = DataflowOptions {
+                workers,
+                chunk: ChunkSizing::Auto,
+                queue: QueueCredit::Auto,
+                fuse_streamable: true,
+                spill: None,
+            };
+            let got = run_dataflow(&parsed, &plan, &ctx, &opts)
+                .unwrap_or_else(|e| panic!("{id} adaptive dataflow (w={workers}): {e}"));
+            assert_eq!(
+                got.output, serial.output,
+                "{id}: adaptive dataflow diverged on stdout (w={workers})"
+            );
+            for (target, want) in &serial_files {
+                let have = ctx
+                    .vfs
+                    .read(target)
+                    .unwrap_or_else(|| {
+                        panic!("{id}: adaptive run left no redirect file {target}")
+                    });
+                assert_eq!(
+                    &have, want,
+                    "{id}: adaptive dataflow diverged at redirect {target} (w={workers})"
+                );
+                redirects_checked += 1;
+            }
+        }
+        count += 1;
+    }
+    assert!(count >= 70, "corpus shrank to {count} scripts");
+    assert!(
+        redirects_checked >= 10,
+        "corpus drifted: only {redirects_checked} redirect targets checked"
+    );
 }
 
 /// Every dataflow stage timing carries queue telemetry, and per-chunk
@@ -87,8 +172,8 @@ fn dataflow_timings_report_queue_telemetry() {
     let plan = planner.plan(&parsed, &ctx, &sample);
     let opts = DataflowOptions {
         workers: 2,
-        chunk_bytes: 1024,
-        queue_depth: 2,
+        chunk: ChunkSizing::Fixed(1024),
+        queue: QueueCredit::Fixed(2),
         fuse_streamable: true,
         spill: None,
     };
@@ -140,8 +225,8 @@ fn cancelled_256mib_producer_terminates_promptly_without_draining() {
 
     let opts = DataflowOptions {
         workers: 2,
-        chunk_bytes: 64 * 1024,
-        queue_depth: 2,
+        chunk: ChunkSizing::Fixed(64 * 1024),
+        queue: QueueCredit::Fixed(2),
         fuse_streamable: true,
         spill: None,
     };
@@ -212,8 +297,8 @@ fn prefix_bounded_corpus_scripts_match_serial_under_early_exit() {
             for chunk_bytes in [1usize, 700, 16 << 20] {
                 let opts = DataflowOptions {
                     workers,
-                    chunk_bytes,
-                    queue_depth: 2,
+                    chunk: ChunkSizing::Fixed(chunk_bytes),
+                    queue: QueueCredit::Fixed(2),
                     fuse_streamable: true,
                     spill: None,
                 };

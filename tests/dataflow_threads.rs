@@ -12,7 +12,7 @@
 use kq_coreutils::ExecContext;
 use kq_pipeline::parse::parse_script;
 use kq_pipeline::plan::Planner;
-use kq_pipeline::scheduler::{run_dataflow, DataflowOptions};
+use kq_pipeline::scheduler::{run_dataflow, ChunkSizing, DataflowOptions, QueueCredit};
 use kq_synth::SynthesisConfig;
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
@@ -71,8 +71,8 @@ fn two_statement_script_stays_within_the_worker_budget() {
 
     let opts = DataflowOptions {
         workers: WORKERS,
-        chunk_bytes: 512,
-        queue_depth: 2,
+        chunk: ChunkSizing::Fixed(512),
+        queue: QueueCredit::Fixed(2),
         fuse_streamable: true,
         spill: None,
     };

@@ -20,7 +20,7 @@
 use kq_coreutils::ExecContext;
 use kq_pipeline::parse::{parse_script, Script};
 use kq_pipeline::plan::{PlannedScript, Planner};
-use kq_pipeline::scheduler::{run_dataflow, DataflowOptions};
+use kq_pipeline::scheduler::{run_dataflow, ChunkSizing, DataflowOptions, QueueCredit};
 use kq_synth::SynthesisConfig;
 use std::collections::HashMap;
 use std::sync::{mpsc, Arc};
@@ -58,8 +58,8 @@ fn stress(script_text: &str) {
         std::thread::spawn(move || {
             let opts = DataflowOptions {
                 workers: 4,
-                chunk_bytes: 64,
-                queue_depth: 2,
+                chunk: ChunkSizing::Fixed(64),
+                queue: QueueCredit::Fixed(2),
                 fuse_streamable: true,
                 spill: None,
             };

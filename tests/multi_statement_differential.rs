@@ -14,7 +14,7 @@ use kq_pipeline::chunked::{run_chunked, ChunkedOptions};
 use kq_pipeline::exec::{run_parallel, run_serial};
 use kq_pipeline::parse::parse_script;
 use kq_pipeline::plan::Planner;
-use kq_pipeline::scheduler::{run_dataflow, DataflowOptions};
+use kq_pipeline::scheduler::{run_dataflow, ChunkSizing, DataflowOptions, QueueCredit};
 use kq_pipeline::streaming::{run_streaming, StreamingOptions};
 use kq_synth::SynthesisConfig;
 use std::collections::HashMap;
@@ -171,8 +171,8 @@ fn multi_statement_scripts_agree_across_all_executors() {
                 let ctx = fresh_ctx(&input);
                 let dopts = DataflowOptions {
                     workers,
-                    chunk_bytes,
-                    queue_depth: 2,
+                    chunk: ChunkSizing::Fixed(chunk_bytes),
+                    queue: QueueCredit::Fixed(2),
                     fuse_streamable: true,
                     spill: None,
                 };
@@ -211,8 +211,8 @@ fn argv_file_operands_count_as_reads_for_statement_ordering() {
         let ctx = fresh_ctx(&input);
         let opts = DataflowOptions {
             workers,
-            chunk_bytes: 256,
-            queue_depth: 2,
+            chunk: ChunkSizing::Fixed(256),
+            queue: QueueCredit::Fixed(2),
             fuse_streamable: true,
             spill: None,
         };

@@ -14,7 +14,7 @@ use kq_dsl::SpillPolicy;
 use kq_pipeline::exec::run_serial;
 use kq_pipeline::parse::{parse_script, Script};
 use kq_pipeline::plan::{PlannedScript, Planner};
-use kq_pipeline::scheduler::{run_dataflow, DataflowOptions};
+use kq_pipeline::scheduler::{run_dataflow, ChunkSizing, DataflowOptions, QueueCredit};
 use kq_pipeline::streaming::{run_streaming, StreamingOptions};
 use kq_synth::SynthesisConfig;
 use std::collections::HashMap;
@@ -127,8 +127,8 @@ fn spilled_dataflow_matches_serial_across_corpus_and_workers() {
         for workers in [1, 4] {
             let opts = DataflowOptions {
                 workers,
-                chunk_bytes: 256,
-                queue_depth: 2,
+                chunk: ChunkSizing::Fixed(256),
+                queue: QueueCredit::Fixed(2),
                 fuse_streamable: true,
                 spill: Some(tiny_policy(&dir)),
             };
@@ -172,8 +172,8 @@ fn failed_run_leaves_no_spill_files() {
         run_streaming(&script, &plan, &ctx, &sopts).expect_err("comm without /nodict must fail");
         let dopts = DataflowOptions {
             workers,
-            chunk_bytes: 256,
-            queue_depth: 2,
+            chunk: ChunkSizing::Fixed(256),
+            queue: QueueCredit::Fixed(2),
             fuse_streamable: true,
             spill: Some(tiny_policy(&dir)),
         };
@@ -203,8 +203,8 @@ fn early_exit_run_leaves_no_spill_files() {
         assert_eq!(got.output, serial.output);
         let dopts = DataflowOptions {
             workers,
-            chunk_bytes: 256,
-            queue_depth: 2,
+            chunk: ChunkSizing::Fixed(256),
+            queue: QueueCredit::Fixed(2),
             fuse_streamable: true,
             spill: Some(tiny_policy(&dir)),
         };

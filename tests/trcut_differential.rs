@@ -1,15 +1,18 @@
-//! Differential harness for the `tr -d` and `cut` byte fast paths.
+//! Differential harness for the `tr -d`, `cut`, and `uniq` byte fast
+//! paths.
 //!
-//! Both commands gained `grep`-style slice fast paths: output assembled
+//! These commands gained `grep`-style slice fast paths: output assembled
 //! as coalesced sub-slices of the input `Bytes` instead of a rebuilt
 //! `String`. This suite mirrors `tests/grep_differential.rs`: walk every
-//! corpus script, re-parse each `tr`/`cut` stage, and run the fast path
-//! against the reference implementation on the script's own generated
-//! input — so the slice paths are validated on exactly the SET specs and
-//! field lists real scripts use, not just hand-picked unit cases.
+//! corpus script, re-parse each `tr`/`cut`/`uniq` stage, and run the fast
+//! path against the reference implementation on the script's own
+//! generated input — so the slice paths are validated on exactly the SET
+//! specs and field lists real scripts use, not just hand-picked unit
+//! cases.
 
 use kq_coreutils::cut::CutCmd;
 use kq_coreutils::tr::TrCmd;
+use kq_coreutils::uniq::UniqCmd;
 use kq_coreutils::{Bytes, ExecContext, UnixCommand};
 use kq_pipeline::parse::parse_script;
 use kq_workloads::{corpus, setup, Scale};
@@ -97,6 +100,54 @@ fn corpus_cut_stages_fast_path_matches_reference() {
     );
 }
 
+#[test]
+fn corpus_uniq_stages_fast_path_matches_reference() {
+    let scale = Scale {
+        input_bytes: 20_000,
+    };
+    let ctx_proto = ExecContext::default();
+    let mut stages_checked = 0usize;
+    for script in corpus() {
+        let ctx = ExecContext::default();
+        let env = setup(script, &ctx, &scale, 0xBEEF);
+        let parsed = parse_script(script.text, &env)
+            .unwrap_or_else(|e| panic!("{}/{} parse: {e}", script.suite.dir(), script.id));
+        let input = ctx.vfs.read(&env["IN"]).unwrap();
+        // A uniq stage's real input is usually sorted (long duplicate
+        // runs) — exercise that shape too, not just the raw file.
+        let mut sorted_lines: Vec<&str> = kq_stream::lines_of(&input).collect();
+        sorted_lines.sort_unstable();
+        let sorted: String = sorted_lines.iter().map(|l| format!("{l}\n")).collect();
+        for statement in &parsed.statements {
+            for stage in &statement.stages {
+                if stage.command.program() != "uniq" {
+                    continue;
+                }
+                let u = UniqCmd::parse(&stage.command.argv()[1..])
+                    .unwrap_or_else(|e| panic!("{}: {e}", stage.command.display()));
+                for text in [input.as_str(), sorted.as_str()] {
+                    let fast = u
+                        .run(Bytes::from(text), &ctx_proto)
+                        .unwrap_or_else(|e| panic!("{}: {e}", stage.command.display()));
+                    assert_eq!(
+                        fast.as_str(),
+                        u.run_reference(text),
+                        "{}/{}: {} fast path diverged",
+                        script.suite.dir(),
+                        script.id,
+                        stage.command.display()
+                    );
+                }
+                stages_checked += 1;
+            }
+        }
+    }
+    assert!(
+        stages_checked >= 5,
+        "corpus drifted: only {stages_checked} uniq stages checked"
+    );
+}
+
 /// The zero-copy contract: selections that keep entire inputs return the
 /// input buffer itself, not a copy — on corpus-shaped data, not toys.
 #[test]
@@ -120,5 +171,15 @@ fn full_keep_results_share_the_input_buffer() {
     assert!(
         out.shares_buffer(&input),
         "cut -c 1- must be a refcount bump"
+    );
+
+    // Every line of the repeated block differs from its neighbor, so
+    // plain uniq keeps everything.
+    let u = UniqCmd::parse(&[]).unwrap();
+    let out = u.run(input.clone(), &ctx).unwrap();
+    assert_eq!(out, input);
+    assert!(
+        out.shares_buffer(&input),
+        "all-unique uniq must be a refcount bump"
     );
 }
