@@ -172,11 +172,7 @@ fn main() {
         });
         let last = last.expect("at least one sample ran");
         let frontier = sort_frontier(&last);
-        let shifts = last
-            .timings
-            .adaptive
-            .map(|a| a.credit_shifts)
-            .unwrap_or(0);
+        let shifts = last.timings.adaptive.map(|a| a.credit_shifts).unwrap_or(0);
         println!(
             "{:<32} median: {:>9.2} ms  (sort frontier {frontier}, {shifts} credit shift(s), {samples} samples)",
             format!("adaptive_exec/{name}"),

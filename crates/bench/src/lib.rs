@@ -9,6 +9,8 @@
 //! Input scale defaults to `Scale::bench()` (2 MiB per script, override
 //! with `KQ_SCALE_KB`).
 
+#![deny(unsafe_code)]
+
 pub mod paper;
 pub mod tables;
 

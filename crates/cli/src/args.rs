@@ -39,6 +39,7 @@ const VALUED: &[&str] = &[
     "spill-dir",
     "trace-out",
     "top",
+    "format",
 ];
 
 impl ParsedArgs {
@@ -276,10 +277,7 @@ mod tests {
             Some(8)
         );
         // Absent → the static default, not auto.
-        assert_eq!(
-            a.opt_parse_nonzero_or_auto("spill-mb", 7).unwrap(),
-            Some(7)
-        );
+        assert_eq!(a.opt_parse_nonzero_or_auto("spill-mb", 7).unwrap(), Some(7));
         // Zero and garbage keep the plain-count messages.
         let a = parse(&["run", "x", "--chunk-kb", "0"]);
         assert_eq!(

@@ -27,6 +27,11 @@ pub struct CliOutput {
     pub stdout: String,
     /// Diagnostics for stderr.
     pub notes: Vec<String>,
+    /// Process exit code. Nonzero for subcommands that ran successfully
+    /// but *found* something — `check --deny-warnings` on a script with
+    /// warnings exits 1 while argument/IO errors keep exiting 2 via
+    /// `Err`.
+    pub exit_code: i32,
 }
 
 impl CliOutput {
@@ -34,6 +39,7 @@ impl CliOutput {
         CliOutput {
             stdout,
             notes: Vec::new(),
+            exit_code: 0,
         }
     }
 }
@@ -43,6 +49,7 @@ pub fn run_cli(args: &[String]) -> Result<CliOutput, String> {
     let parsed = ParsedArgs::parse(args).map_err(|e| format!("{e}\n\n{USAGE}"))?;
     match parsed.subcommand.as_str() {
         "synthesize" => cmd_synthesize(&parsed),
+        "check" => cmd_check(&parsed),
         "plan" => cmd_plan(&parsed),
         "run" => cmd_run(&parsed),
         "emit" => cmd_emit(&parsed),
@@ -61,6 +68,19 @@ USAGE:
         Synthesize a combiner for one command and print the report.
         --external probes the real system binary (the paper's setup)
         instead of the in-process implementation.
+    kumquat check <script|file> [--var NAME=VALUE,...]
+                                [--format human|json] [--deny-warnings]
+        Statically analyze a script without executing or synthesizing
+        anything: classify every command on the effect lattice
+        (stateless / pure-parallelizable / commutative-fold /
+        order-sensitive / unknown), lint the script's file accesses for
+        hazards (use-before-def KQ101, dead writes KQ102, read/write
+        aliasing KQ103), and verify each statement's dataflow graph
+        (structural invariants KQ201, queue-credit deadlock-freedom
+        KQ202, fusion legality KQ203). Findings carry stable KQnnn codes
+        and line/column spans. Exits 0 when the script passes, 1 when it
+        does not; --deny-warnings makes warnings fail too; --format json
+        emits a machine-readable report.
     kumquat plan <script|file> [--var NAME=VALUE,...] [--input FILE]
                                [--synth-workers N] [--combiner-cache FILE]
                                [--rerun-threshold R]
@@ -172,12 +192,14 @@ fn finish_planning(planner: &mut Planner, notes: &mut Vec<String>) {
     let rounds: usize = planner.reports.iter().map(|r| r.rounds).sum();
     notes.push(format!(
         "synthesis: {} command(s) synthesized in {synth_ms:.1} ms ({rounds} round(s)); \
-         combiner cache: {} hit(s) ({} validated, {} rejected), {} miss(es)",
+         combiner cache: {} hit(s) ({} validated, {} rejected), {} miss(es); \
+         lattice: {} short-circuit(s)",
         planner.reports.len(),
         stats.hits,
         stats.validated,
         stats.rejected,
         stats.misses,
+        planner.lattice_short_circuits,
     ));
     let path = planner
         .cache_path()
@@ -211,6 +233,35 @@ fn cmd_synthesize(args: &ParsedArgs) -> Result<CliOutput, String> {
     Ok(CliOutput {
         stdout: render_synthesis(&report),
         notes,
+        exit_code: 0,
+    })
+}
+
+/// `kumquat check`: the static analysis pass — parse, classify on the
+/// effect lattice, lint VFS hazards, verify dataflow graphs. Never
+/// executes a command and never synthesizes, so it is safe to run on
+/// scripts whose input files do not exist.
+fn cmd_check(args: &ParsedArgs) -> Result<CliOutput, String> {
+    let [arg] = args.positional.as_slice() else {
+        return Err("check expects exactly one script argument".into());
+    };
+    let ingest = ingest_options(args)?;
+    let text = load_script_text(arg, &ingest)?;
+    let env: HashMap<String, String> = args.vars()?.into_iter().collect();
+    let analysis = kq_analyze::check_script(&text, &env);
+    let stdout = match args.opt("format").unwrap_or("human") {
+        "human" => analysis.render_human(),
+        "json" => {
+            let mut json = analysis.to_json();
+            json.push('\n');
+            json
+        }
+        other => return Err(format!("--format must be 'human' or 'json', got {other:?}")),
+    };
+    Ok(CliOutput {
+        stdout,
+        notes: Vec::new(),
+        exit_code: i32::from(!analysis.passes(args.flag("deny-warnings"))),
     })
 }
 
@@ -371,6 +422,7 @@ fn cmd_plan(args: &ParsedArgs) -> Result<CliOutput, String> {
     Ok(CliOutput {
         stdout,
         notes: planned.notes,
+        exit_code: 0,
     })
 }
 
@@ -503,6 +555,7 @@ fn cmd_run(args: &ParsedArgs) -> Result<CliOutput, String> {
     Ok(CliOutput {
         stdout: parallel.output.into_string(),
         notes,
+        exit_code: 0,
     })
 }
 
@@ -569,11 +622,13 @@ fn cmd_emit(args: &ParsedArgs) -> Result<CliOutput, String> {
         Ok(CliOutput {
             stdout: String::new(),
             notes,
+            exit_code: 0,
         })
     } else {
         Ok(CliOutput {
             stdout: emitted.script,
             notes,
+            exit_code: 0,
         })
     }
 }
@@ -656,9 +711,19 @@ fn cmd_corpus_plan(args: &ParsedArgs, filter: Option<&str>) -> Result<CliOutput,
         planner.cache_stats(),
     ));
     let rounds: usize = planner.reports.iter().map(|r| r.rounds).sum();
-    writeln!(out, "planned {shown} script(s); synthesis rounds: {rounds}").unwrap();
+    writeln!(
+        out,
+        "planned {shown} script(s); synthesis rounds: {rounds}; \
+         lattice short-circuits: {}",
+        planner.lattice_short_circuits
+    )
+    .unwrap();
     finish_planning(&mut planner, &mut notes);
-    Ok(CliOutput { stdout: out, notes })
+    Ok(CliOutput {
+        stdout: out,
+        notes,
+        exit_code: 0,
+    })
 }
 
 /// The planning sample for a corpus script: a line-aligned 16 KiB prefix
@@ -710,6 +775,52 @@ mod tests {
     fn synthesize_rejects_arity() {
         assert!(call(&["synthesize"]).is_err());
         assert!(call(&["synthesize", "wc", "-l"]).is_err());
+    }
+
+    #[test]
+    fn check_classifies_and_exits_clean_on_a_good_script() {
+        let out = call(&["check", "cat /in.txt | grep fox | sort | uniq -c"]).unwrap();
+        assert_eq!(out.exit_code, 0);
+        assert!(
+            out.stdout.contains("statically stateless"),
+            "{}",
+            out.stdout
+        );
+        assert!(
+            out.stdout.contains("0 error(s), 0 warning(s)"),
+            "{}",
+            out.stdout
+        );
+    }
+
+    #[test]
+    fn check_reports_hazards_and_honors_deny_warnings() {
+        let script = "cat /t.txt | grep a | sort > /t.txt";
+        let lenient = call(&["check", script]).unwrap();
+        assert_eq!(lenient.exit_code, 0);
+        assert!(lenient.stdout.contains("KQ103"), "{}", lenient.stdout);
+        let strict = call(&["check", script, "--deny-warnings"]).unwrap();
+        assert_eq!(strict.exit_code, 1);
+    }
+
+    #[test]
+    fn check_parse_errors_carry_positions_and_fail() {
+        let out = call(&["check", "cat /in.txt | sort >"]).unwrap();
+        assert_eq!(out.exit_code, 1);
+        assert!(
+            out.stdout.contains("error[KQ001] statement 1, line 1"),
+            "{}",
+            out.stdout
+        );
+    }
+
+    #[test]
+    fn check_json_format_and_bad_format_error() {
+        let out = call(&["check", "cat /in.txt | wc -l", "--format", "json"]).unwrap();
+        assert!(out.stdout.starts_with("{\"summary\":"), "{}", out.stdout);
+        assert!(out.stdout.ends_with("}\n"), "{}", out.stdout);
+        let err = call(&["check", "cat /in.txt | wc -l", "--format", "yaml"]).unwrap_err();
+        assert!(err.contains("--format must be"), "{err}");
     }
 
     #[test]
@@ -923,10 +1034,9 @@ mod tests {
         let run = call(&["run", &script, "--workers", "2"]).unwrap();
         assert!(run.stdout.contains(" b\n"), "got: {}", run.stdout);
         assert!(
-            run.notes
-                .iter()
-                .any(|n| n.contains("work-stealing pool") && n.contains("verified: dataflow")
-                    || n.contains("verified: dataflow")),
+            run.notes.iter().any(|n| n.contains("work-stealing pool")
+                && n.contains("verified: dataflow")
+                || n.contains("verified: dataflow")),
             "default run must report the dataflow executor: {:?}",
             run.notes
         );
@@ -1098,7 +1208,15 @@ mod tests {
             "{}",
             out.stdout
         );
-        assert!(out.stdout.contains(" ms  grep a"), "{}", out.stdout);
+        // grep is lattice-short-circuited; wc -l is the synthesized one.
+        assert!(out.stdout.contains(" ms  wc -l"), "{}", out.stdout);
+        assert!(
+            out.notes
+                .iter()
+                .any(|n| n.contains("lattice: 1 short-circuit(s)")),
+            "{:?}",
+            out.notes
+        );
         assert!(out.stdout.contains("combiner cache:"), "{}", out.stdout);
         assert!(
             out.notes.iter().any(|n| n.contains("synthesis:")),
@@ -1119,8 +1237,9 @@ mod tests {
         let script = format!("cat {} | grep a | sort | uniq -c", input.display());
 
         let cold = call(&["plan", &script, "--combiner-cache", &cache_arg]).unwrap();
+        // grep short-circuits on the lattice; sort and uniq -c synthesize.
         assert!(
-            cold.stdout.contains("3 command(s) synthesized"),
+            cold.stdout.contains("2 command(s) synthesized"),
             "{}",
             cold.stdout
         );
@@ -1141,7 +1260,7 @@ mod tests {
             "{}",
             warm.stdout
         );
-        assert!(warm.stdout.contains("(3 validated"), "{}", warm.stdout);
+        assert!(warm.stdout.contains("(2 validated"), "{}", warm.stdout);
         let plan_of = |s: &str| {
             s.lines()
                 .take_while(|l| !l.starts_with("synthesis:"))
@@ -1178,7 +1297,7 @@ mod tests {
             poisoned.notes
         );
         assert!(
-            poisoned.stdout.contains("3 command(s) synthesized"),
+            poisoned.stdout.contains("2 command(s) synthesized"),
             "{}",
             poisoned.stdout
         );

@@ -1,7 +1,8 @@
 //! `kumquat` — the command-line interface to the KumQuat reproduction.
 //!
-//! The binary wraps the library crates behind five subcommands
-//! (`synthesize`, `plan`, `run`, `emit`, `corpus`; see [`commands::USAGE`]).
+//! The binary wraps the library crates behind its subcommands
+//! (`synthesize`, `check`, `plan`, `run`, `emit`, `corpus`, `trace`; see
+//! [`commands::USAGE`]).
 //! All logic lives in this library crate so integration tests can drive the
 //! subcommands without spawning processes; `src/main.rs` is a thin shim.
 //!
@@ -15,6 +16,7 @@
 //! assert!(out.stdout.contains("(back '\\n' add)"));
 //! ```
 
+#![deny(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod args;

@@ -14,6 +14,11 @@ fn main() {
                 // Broken pipe (e.g. `kumquat corpus | head`) is not an error.
                 std::process::exit(0);
             }
+            // Findings exit (`check --deny-warnings`): 1, distinct from
+            // the argument/IO error exit 2 below.
+            if output.exit_code != 0 {
+                std::process::exit(output.exit_code);
+            }
         }
         Err(message) => {
             eprintln!("kumquat: {message}");

@@ -110,7 +110,9 @@ fn concurrent_planners_share_one_combiner_cache_without_losing_entries() {
         stdout.contains("0 command(s) synthesized"),
         "a concurrent save lost cache entries: {stdout}"
     );
-    assert!(stdout.contains("(4 validated"), "got: {stdout}");
+    // grep short-circuits on the effect lattice (never persisted); the
+    // three synthesized combiners all validate out of the shared store.
+    assert!(stdout.contains("(3 validated"), "got: {stdout}");
     std::fs::remove_dir_all(&dir).ok();
 }
 

@@ -45,6 +45,7 @@
 //! in-process command substrate), [`pattern`] (the BRE engine), and
 //! [`stream`] (the stream model).
 
+#![deny(unsafe_code)]
 #![warn(missing_docs)]
 
 pub use kq_coreutils as coreutils;
@@ -119,7 +120,7 @@ impl Kumquat {
 
     /// Parses a script against the configured variables.
     pub fn parse(&self, script_text: &str) -> Result<Script, CmdError> {
-        parse_script(script_text, &self.env)
+        parse_script(script_text, &self.env).map_err(CmdError::from)
     }
 
     /// Parses, plans, and executes a script with `workers`-way data
@@ -155,6 +156,12 @@ impl Kumquat {
     /// Synthesis reports accumulated so far (one per unique command).
     pub fn reports(&self) -> &[SynthesisReport] {
         &self.planner.reports
+    }
+
+    /// Unique commands whose combiner came from the static effect
+    /// lattice instead of dynamic synthesis (no report is produced).
+    pub fn lattice_short_circuits(&self) -> usize {
+        self.planner.lattice_short_circuits
     }
 
     /// A sample of the script's own input for the planner's cost probes,

@@ -1,0 +1,173 @@
+//! Graph verification: compile each statement to the dataflow IR the
+//! scheduler executes — without running anything — and check it.
+//!
+//! The planner normally decides stage modes from synthesis results and
+//! runtime probes. The analyzer has neither, so it assembles a *static
+//! plan* from the effect lattice alone: a stage statically classified
+//! [`EffectClass::Stateless`] becomes a chunk-local parallel stage (its
+//! combiner is the same `concat` the short-circuit hands the planner);
+//! every other stage becomes sequential. That plan is conservative — the
+//! dynamic plan may parallelize more — but it exercises the same
+//! [`DataflowGraph::build`] + fusion rewrite the scheduler runs, so the
+//! structural invariants ([`DataflowGraph::validate`]) and the fusion
+//! legality rule (fused runs span chunk-local stages only) are checked on
+//! a graph of the real shape family.
+
+use crate::diag::{Diagnostic, Severity};
+use kq_pipeline::lattice::{self, EffectClass};
+use kq_pipeline::plan::{PlannedStage, PlannedStatement, StageMode};
+use kq_pipeline::scheduler::DEFAULT_QUEUE_DEPTH;
+use kq_pipeline::{DataflowGraph, NodeKind, Script, Statement};
+use std::sync::Arc;
+
+/// Builds the conservative static plan for one statement from its
+/// per-stage effect classes.
+pub fn static_plan(statement: &Statement, classes: &[EffectClass]) -> PlannedStatement {
+    let mut stages: Vec<PlannedStage> = statement
+        .stages
+        .iter()
+        .zip(classes)
+        .enumerate()
+        .map(|(stage_idx, (stage, class))| {
+            let mode = match lattice::static_combiner(*class) {
+                Some(combiner) => StageMode::Parallel {
+                    combiner: Arc::new(combiner),
+                    eliminated: false,
+                },
+                None => StageMode::Sequential,
+            };
+            let streamable = mode.is_parallel();
+            PlannedStage {
+                stage_idx,
+                mode,
+                streamable,
+                line_bound: kq_synth::prefix_bound(&stage.command),
+            }
+        })
+        .collect();
+    // Mirror the planner's Theorem 5 pass: a chunk-local stage followed by
+    // another parallel stage sheds its intermediate combiner.
+    for i in 0..stages.len() {
+        let next_parallel = stages
+            .get(i + 1)
+            .map(|s| s.mode.is_parallel())
+            .unwrap_or(false);
+        if stages[i].streamable && next_parallel {
+            if let StageMode::Parallel { eliminated, .. } = &mut stages[i].mode {
+                *eliminated = true;
+            }
+        }
+    }
+    PlannedStatement { stages }
+}
+
+/// Verifies every statement's dataflow graph (`KQ201`–`KQ203`).
+pub fn verify_graphs(script: &Script, classes: &[Vec<EffectClass>]) -> Vec<Diagnostic> {
+    let mut out = Vec::new();
+    for (si, (statement, stage_classes)) in script.statements.iter().zip(classes).enumerate() {
+        let planned = static_plan(statement, stage_classes);
+        let graph = DataflowGraph::build(&planned, true);
+
+        // KQ201/KQ202 — structural invariants and queue-credit coverage.
+        for problem in graph.validate(planned.stages.len(), DEFAULT_QUEUE_DEPTH) {
+            let code = if problem.contains("queue credit") {
+                "KQ202"
+            } else {
+                "KQ201"
+            };
+            out.push(
+                Diagnostic::new(code, Severity::Error, format!("dataflow graph: {problem}"))
+                    .at_statement(si, statement.span),
+            );
+        }
+
+        // KQ203 — fusion legality: a fused StageWorker run must span
+        // chunk-local stages only. `fuse_streamable` only merges
+        // StageWorker neighbors, so this can fire only if the rewrite (or
+        // a hand-built graph) regresses; it is the static twin of the
+        // scheduler's debug assertion.
+        for node in &graph.nodes {
+            if node.kind == NodeKind::StageWorker && node.stages.len() > 1 {
+                for idx in node.stages.clone() {
+                    if !planned.stages[idx].streamable {
+                        out.push(
+                            Diagnostic::new(
+                                "KQ203",
+                                Severity::Error,
+                                format!(
+                                    "fused run over stages {:?} includes stage {idx}, \
+                                     which is not chunk-local",
+                                    node.stages
+                                ),
+                            )
+                            .at_stage(
+                                si,
+                                idx,
+                                statement.stages[idx].span,
+                            ),
+                        );
+                    }
+                }
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use kq_pipeline::parse::parse_script;
+    use std::collections::HashMap;
+
+    fn classes_for(script: &Script) -> Vec<Vec<EffectClass>> {
+        script
+            .statements
+            .iter()
+            .map(|st| {
+                st.stages
+                    .iter()
+                    .map(|s| lattice::classify(&s.command))
+                    .collect()
+            })
+            .collect()
+    }
+
+    #[test]
+    fn corpus_shaped_statements_verify_clean() {
+        let env: HashMap<String, String> = HashMap::new();
+        let script = parse_script(
+            "cat /in.txt | tr A-Z a-z | grep fox | sort | uniq -c | head -n 5\n\
+             cat /a /b | cut -d ' ' -f 1 | wc -l > /tmp/count\n",
+            &env,
+        )
+        .unwrap();
+        let classes = classes_for(&script);
+        assert!(verify_graphs(&script, &classes).is_empty());
+    }
+
+    #[test]
+    fn static_plan_parallelizes_exactly_the_stateless_stages() {
+        let env: HashMap<String, String> = HashMap::new();
+        let script =
+            parse_script("cat /in.txt | grep fox | tr A-Z a-z | sort | wc -l\n", &env).unwrap();
+        let classes = classes_for(&script);
+        let planned = static_plan(&script.statements[0], &classes[0]);
+        let shape: Vec<(bool, bool, bool)> = planned
+            .stages
+            .iter()
+            .map(|s| (s.mode.is_parallel(), s.mode.is_eliminated(), s.streamable))
+            .collect();
+        // grep and tr are stateless (grep eliminated into tr); sort and wc
+        // are folds the static plan conservatively leaves sequential.
+        assert_eq!(
+            shape,
+            vec![
+                (true, true, true),
+                (true, false, true),
+                (false, false, false),
+                (false, false, false),
+            ]
+        );
+    }
+}

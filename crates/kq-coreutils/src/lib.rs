@@ -27,6 +27,7 @@
 //! assert_eq!(out, "      2 a\n      1 b\n");   // GNU's 7-column padding
 //! ```
 
+#![deny(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod awk;

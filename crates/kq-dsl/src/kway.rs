@@ -925,7 +925,13 @@ mod tests {
         // in-memory fold.
         let c = Candidate::structural(StructOp::Stitch2(Delim::Space, RecOp::Add, RecOp::First));
         let pieces: Vec<Bytes> = (0..40)
-            .map(|i| Bytes::from(format!("      2 k{:03}\n      1 k{:03}\n", 2 * i, 2 * i + 1)))
+            .map(|i| {
+                Bytes::from(format!(
+                    "      2 k{:03}\n      1 k{:03}\n",
+                    2 * i,
+                    2 * i + 1
+                ))
+            })
             .collect();
         let flat = combine_all(&c, &pieces, &NoRunEnv).unwrap();
         with_spill_dir("counter", 0, |cfg| {

@@ -39,6 +39,7 @@
 //! assert!(!kq_dsl::domain::in_domain(&g, "unpadded words\n"));
 //! ```
 
+#![deny(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod ast;

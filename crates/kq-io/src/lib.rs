@@ -44,8 +44,10 @@
 
 #![warn(missing_docs)]
 
+mod lock;
 mod spill;
 
+pub use lock::FileLock;
 pub use spill::RunWriter;
 
 use kq_stream::Bytes;

@@ -1,0 +1,79 @@
+//! Advisory file locking — the workspace's one safe wrapper over
+//! `flock(2)`.
+//!
+//! Every crate outside the I/O boundary denies `unsafe` code
+//! (`tests/unsafe_inventory.rs` pins the set), so callers that need an
+//! inter-process lock — the combiner cache's read-merge-write save — go
+//! through this wrapper instead of calling `libc` themselves.
+
+use std::fs::File;
+use std::path::Path;
+
+/// An advisory lock on a path, held until drop.
+///
+/// Locking is *best-effort*: if the lock file cannot be opened or the
+/// `flock` call fails, the guard is returned unlocked ([`FileLock::held`]
+/// reports which) and the caller proceeds — the combiner cache prefers a
+/// rare lost-update race over refusing to save. On non-unix targets every
+/// acquisition is a held no-op.
+#[derive(Debug)]
+pub struct FileLock {
+    /// The open lock file; dropping it releases the `flock`.
+    file: Option<File>,
+}
+
+impl FileLock {
+    /// Blocks until the lock on `path` is granted — shared when
+    /// `exclusive` is false (concurrent readers), exclusive otherwise
+    /// (a writer's critical section). The lock file is created if absent
+    /// and never truncated.
+    #[cfg_attr(not(unix), allow(unused_variables))]
+    pub fn acquire(path: &Path, exclusive: bool) -> FileLock {
+        #[cfg(unix)]
+        {
+            use std::os::unix::io::AsRawFd;
+            let file = File::options().create(true).append(true).open(path).ok();
+            let file = file.filter(|f| {
+                let op = if exclusive {
+                    libc::LOCK_EX
+                } else {
+                    libc::LOCK_SH
+                };
+                // SAFETY: a plain syscall on an fd we own.
+                #[allow(unsafe_code)]
+                unsafe {
+                    libc::flock(f.as_raw_fd(), op) == 0
+                }
+            });
+            FileLock { file }
+        }
+        #[cfg(not(unix))]
+        FileLock { file: None }
+    }
+
+    /// Whether the lock was actually granted (unix) — `false` means the
+    /// caller is proceeding unlocked.
+    pub fn held(&self) -> bool {
+        cfg!(not(unix)) || self.file.is_some()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn shared_and_exclusive_locks_acquire_and_release() {
+        let path = std::env::temp_dir().join(format!("kq-io-lock-{}.lock", std::process::id()));
+        {
+            let shared_a = FileLock::acquire(&path, false);
+            let shared_b = FileLock::acquire(&path, false);
+            assert!(shared_a.held() && shared_b.held());
+        }
+        // Both shared guards dropped: exclusive acquisition must not block.
+        let exclusive = FileLock::acquire(&path, true);
+        assert!(exclusive.held());
+        drop(exclusive);
+        std::fs::remove_file(&path).ok();
+    }
+}

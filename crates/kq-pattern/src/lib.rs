@@ -19,6 +19,7 @@
 //! assert!(!re.is_match("light"));
 //! ```
 
+#![deny(unsafe_code)]
 #![warn(missing_docs)]
 
 mod exec;

@@ -184,10 +184,11 @@ pub fn cache_key(command: &Command) -> String {
 /// `flock`). Lock failures — including non-unix targets, where the shim
 /// has no `flock` — degrade silently to the old unlocked behavior: the
 /// lock protects against *lost entries*, never against corruption (the
-/// versioned header and temp+rename already handle that).
+/// versioned header and temp+rename already handle that). The `flock`
+/// itself lives behind [`kq_io::FileLock`] — this crate denies `unsafe`
+/// code.
 struct StoreLock {
-    #[cfg(unix)]
-    _file: Option<std::fs::File>,
+    _lock: kq_io::FileLock,
 }
 
 impl StoreLock {
@@ -201,29 +202,10 @@ impl StoreLock {
 
     /// Blocks until the lock is granted (shared for readers, exclusive
     /// for the save's read-merge-write critical section).
-    #[cfg_attr(not(unix), allow(unused_variables))]
     fn acquire(store: &Path, exclusive: bool) -> StoreLock {
-        #[cfg(unix)]
-        {
-            use std::os::unix::io::AsRawFd;
-            let file = std::fs::OpenOptions::new()
-                .create(true)
-                .append(true)
-                .open(Self::lock_path(store))
-                .ok();
-            let locked = file.filter(|f| {
-                let op = if exclusive {
-                    libc::LOCK_EX
-                } else {
-                    libc::LOCK_SH
-                };
-                // SAFETY: a plain syscall on an fd we own.
-                unsafe { libc::flock(f.as_raw_fd(), op) == 0 }
-            });
-            StoreLock { _file: locked }
+        StoreLock {
+            _lock: kq_io::FileLock::acquire(&Self::lock_path(store), exclusive),
         }
-        #[cfg(not(unix))]
-        StoreLock {}
     }
 }
 

@@ -182,6 +182,88 @@ impl DataflowGraph {
         }
     }
 
+    /// Checks the structural invariants every well-formed statement graph
+    /// satisfies, returning one human-readable violation per breach (empty
+    /// means valid). The scheduler asserts this under `debug_assertions`
+    /// right after building its graphs, and `kumquat check` runs it as the
+    /// graph-verification layer of static analysis.
+    ///
+    /// Invariants:
+    ///
+    /// 1. the graph starts with exactly one [`NodeKind::Split`] owning no
+    ///    stages, and no other `Split` appears;
+    /// 2. the remaining nodes' stage ranges partition `0..n_stages`
+    ///    contiguously and in order — no gap, overlap, or inversion;
+    /// 3. only [`NodeKind::StageWorker`] nodes (fused chunk-local runs) may
+    ///    span more than one stage;
+    /// 4. [`DataflowNode::eager_flush`] agrees with the canonical
+    ///    right-to-left demand propagation — a stale flag after a rewrite
+    ///    would let a sparse stage sit on the lines a bounded consumer
+    ///    needs;
+    /// 5. every edge carries at least one chunk of queue credit
+    ///    (`queue_seed >= 1`) — a [`NodeKind::Fold`] buffers its whole
+    ///    input before emitting, so a zero-credit edge upstream of a fold
+    ///    deadlocks the statement.
+    pub fn validate(&self, n_stages: usize, queue_seed: usize) -> Vec<String> {
+        let mut problems = Vec::new();
+        match self.nodes.first() {
+            Some(n) if n.kind == NodeKind::Split && n.stages == (0..0) => {}
+            Some(n) => problems.push(format!(
+                "node 0 must be a Split owning no stages, got {:?} over stages {:?}",
+                n.kind, n.stages
+            )),
+            None => problems.push("graph has no nodes".to_owned()),
+        }
+        let mut cursor = 0usize;
+        for (i, node) in self.nodes.iter().enumerate().skip(1) {
+            if node.kind == NodeKind::Split {
+                problems.push(format!("node {i} is a Split; only node 0 may split"));
+                continue;
+            }
+            if node.stages.start != cursor {
+                problems.push(format!(
+                    "node {i} covers stages {:?} but the previous node ended at stage {cursor}",
+                    node.stages
+                ));
+            }
+            if node.stages.end <= node.stages.start {
+                problems.push(format!(
+                    "node {i} ({:?}) owns an empty or inverted stage range {:?}",
+                    node.kind, node.stages
+                ));
+            }
+            if node.stages.len() > 1 && node.kind != NodeKind::StageWorker {
+                problems.push(format!(
+                    "node {i} ({:?}) spans stages {:?}; only fused StageWorker runs may \
+                     span more than one stage",
+                    node.kind, node.stages
+                ));
+            }
+            cursor = cursor.max(node.stages.end);
+        }
+        if cursor != n_stages {
+            problems.push(format!(
+                "graph covers stages 0..{cursor} but the statement has {n_stages} stage(s)"
+            ));
+        }
+        let mut canonical = self.clone();
+        canonical.compute_eager_flush();
+        for (i, (have, want)) in self.nodes.iter().zip(&canonical.nodes).enumerate() {
+            if have.eager_flush != want.eager_flush {
+                problems.push(format!(
+                    "node {i} has eager_flush={} but demand propagation requires {}",
+                    have.eager_flush, want.eager_flush
+                ));
+            }
+        }
+        if queue_seed == 0 && self.nodes.len() > 1 {
+            problems.push(
+                "queue credit is 0: no edge can carry a chunk, so every fold deadlocks".to_owned(),
+            );
+        }
+        problems
+    }
+
     /// Recomputes [`DataflowNode::eager_flush`] right-to-left: a node
     /// flushes eagerly when its successor is a bounded consumer, or is a
     /// chunk-local node that itself flushes eagerly. Folds need their whole
@@ -300,6 +382,51 @@ mod tests {
         assert_eq!(g.nodes[2].kind, NodeKind::BoundedConsumer { lines: 2 });
         // A bounded node never fuses into a neighboring streamable run.
         assert_eq!(g.nodes.len(), 4);
+    }
+
+    #[test]
+    fn validate_accepts_built_graphs_and_rejects_broken_ones() {
+        let script = "cat /in.txt | grep fox | tr A-Z a-z | sort | head -n 2";
+        for fuse in [false, true] {
+            let g = graph(script, fuse);
+            assert_eq!(g.validate(4, 8), Vec::<String>::new());
+        }
+
+        let mut g = graph(script, true);
+        // A gap in the stage partition.
+        let last = g.nodes.len() - 1;
+        g.nodes[last].stages.start += 1;
+        assert!(g.validate(4, 8).iter().any(|p| p.contains("previous node")));
+
+        // A fold pretending to span a fused run.
+        let mut g = graph(script, true);
+        let fold = g
+            .nodes
+            .iter()
+            .position(|n| matches!(n.kind, NodeKind::Fold { .. }))
+            .unwrap();
+        g.nodes[fold - 1].stages.end -= 1;
+        g.nodes[fold].stages.start -= 1;
+        assert!(g
+            .validate(4, 8)
+            .iter()
+            .any(|p| p.contains("span more than one stage")));
+
+        // A stale eager_flush flag after a rewrite.
+        let mut g = graph(script, true);
+        g.nodes[0].eager_flush = !g.nodes[0].eager_flush;
+        assert!(g.validate(4, 8).iter().any(|p| p.contains("eager_flush")));
+
+        // Zero queue credit deadlocks every fold.
+        let g = graph(script, true);
+        assert!(g.validate(4, 0).iter().any(|p| p.contains("queue credit")));
+
+        // Wrong stage count.
+        let g = graph(script, true);
+        assert!(g
+            .validate(5, 8)
+            .iter()
+            .any(|p| p.contains("has 5 stage(s)")));
     }
 
     #[test]

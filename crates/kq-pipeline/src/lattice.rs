@@ -1,0 +1,491 @@
+//! PaSh-style static effect lattice over the command algebra.
+//!
+//! KumQuat discovers parallelizability *dynamically* (generate → observe →
+//! filter); this module is the static complement: a conservative
+//! classification of each command into an effect lattice derived from its
+//! *normalized signature* (the same [`cache_key`] normalization the
+//! combiner cache uses, so `grep -n -c p` and `grep -cn p` classify
+//! identically).
+//!
+//! ```text
+//!                 Unknown
+//!               /    |    \
+//!   OrderSensitive   |   CommutativeFold
+//!               \    |    /
+//!            PureParallelizable
+//!                    |
+//!                Stateless
+//! ```
+//!
+//! Lower is stronger. [`EffectClass::Stateless`] is the only class the
+//! planner acts on without running anything: a stateless command is a
+//! per-line (or per-byte) pure map, so `f(x ++ y) = f(x) ++ f(y)` for
+//! line-aligned pieces and its combiner is plain `concat` — exactly what
+//! dynamic synthesis would find, minus the synthesis. Every other class is
+//! advisory: it feeds `kumquat check` diagnostics and the
+//! lattice/synthesis agreement test, but planning still goes through
+//! synthesis so plans cannot silently diverge from the observed-behaviour
+//! path.
+//!
+//! # Soundness
+//!
+//! The table is deliberately *under*-approximating. A command is
+//! classified below [`EffectClass::Unknown`] only when its whole
+//! flag/operand shape is understood; any unrecognized flag falls back to
+//! `Unknown` (= "ask synthesis"). The agreement test in `kq-analyze`
+//! pins the invariant for every unique corpus command: the static class
+//! is never *stronger* than what synthesis proves (`Stateless` ⇒
+//! synthesis finds a concat combiner; `CommutativeFold` /
+//! `PureParallelizable` ⇒ synthesis finds *a* combiner).
+
+use crate::cache::cache_key;
+use kq_coreutils::Command;
+use kq_dsl::ast::{Candidate, RecOp};
+use kq_dsl::codec::unescape_token;
+use kq_synth::SynthesizedCombiner;
+
+/// The static effect classification (see the [module docs](self)).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum EffectClass {
+    /// A per-line (or per-byte) pure map: combiner is plain `concat`.
+    /// The planner short-circuits synthesis for these.
+    Stateless,
+    /// Parallelizable with a structured, order-aware combiner (`head -n k`
+    /// keeps a prefix, `uniq` re-merges the piece boundary). Synthesis is
+    /// still consulted — the class only promises a combiner exists.
+    PureParallelizable,
+    /// Parallelizable with an order-insensitive aggregate (`sort` merges,
+    /// `wc`/`grep -c` sum). Synthesis is still consulted.
+    CommutativeFold,
+    /// Correct only on the whole stream in order (`tail`, `nl`, `tr -s`,
+    /// `sed` with addresses): naive splitting changes observable output,
+    /// so only synthesis (which may still find a rerun combiner) can
+    /// parallelize it.
+    OrderSensitive,
+    /// Not statically understood; dynamic synthesis decides.
+    Unknown,
+}
+
+impl EffectClass {
+    /// Stable lowercase name (used by `kumquat check --format json`).
+    pub fn as_str(self) -> &'static str {
+        match self {
+            EffectClass::Stateless => "stateless",
+            EffectClass::PureParallelizable => "pure-parallelizable",
+            EffectClass::CommutativeFold => "commutative-fold",
+            EffectClass::OrderSensitive => "order-sensitive",
+            EffectClass::Unknown => "unknown",
+        }
+    }
+}
+
+/// A command's normalized signature, recovered from its [`cache_key`]:
+/// the program, the canonical flag set (clusters exploded, value-taking
+/// options paired as `-f=value`, sorted), and the operands in order.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Signature {
+    /// The program name (`argv[0]`).
+    pub program: String,
+    /// Canonical flags (`-c`, `-n=3`, `--long`).
+    pub flags: Vec<String>,
+    /// Non-flag operands, in order.
+    pub operands: Vec<String>,
+}
+
+impl Signature {
+    /// True when a canonical boolean flag is present.
+    pub fn has_flag(&self, flag: &str) -> bool {
+        self.flags.iter().any(|f| f == flag)
+    }
+
+    /// The value of a `-x=value` flag, when present.
+    pub fn flag_value(&self, letter: char) -> Option<&str> {
+        let prefix = [b'-', letter as u8, b'='];
+        self.flags
+            .iter()
+            .find_map(|f| f.as_bytes().starts_with(&prefix).then(|| &f[3..]))
+    }
+}
+
+/// Recovers the normalized [`Signature`] from a command's [`cache_key`].
+/// Returns `None` for commands the normalizer does not understand (raw
+/// keys — custom wrappers, unknown programs).
+pub fn signature(command: &Command) -> Option<Signature> {
+    let key = cache_key(command);
+    let mut fields = key.split('\x1f');
+    let program = fields.next()?.to_owned();
+    if program == "raw" {
+        return None;
+    }
+    let mut flags = Vec::new();
+    let mut operands = Vec::new();
+    let mut past_separator = false;
+    for field in fields {
+        if !past_separator && field == "|" {
+            past_separator = true;
+            continue;
+        }
+        // Keys are produced by `escape_token`; failures cannot happen on
+        // round-tripped data, but stay conservative anyway.
+        let token = unescape_token(field).ok()?;
+        if past_separator {
+            operands.push(token);
+        } else {
+            flags.push(token);
+        }
+    }
+    Some(Signature {
+        program,
+        flags,
+        operands,
+    })
+}
+
+/// Classifies a command into the effect lattice.
+///
+/// Only commands that consume their standard input classify below
+/// [`EffectClass::Unknown`]: a source command (`cat big.txt`,
+/// `paste a b`) is a pipeline head, and its parallelization question does
+/// not arise. Gating here also means operands are unambiguous — a
+/// stdin-reading `grep`'s operand is its pattern, never a file.
+pub fn classify(command: &Command) -> EffectClass {
+    if !command.reads_stdin() {
+        return EffectClass::Unknown;
+    }
+    let Some(sig) = signature(command) else {
+        return EffectClass::Unknown;
+    };
+    match sig.program.as_str() {
+        "cat" => classify_cat(&sig),
+        "tr" => classify_tr(&sig),
+        "grep" => classify_grep(&sig),
+        "cut" => classify_cut(&sig),
+        "sed" => classify_sed(&sig),
+        "sort" => classify_sort(&sig),
+        "wc" => EffectClass::CommutativeFold,
+        "uniq" => classify_uniq(&sig),
+        "head" => classify_head(&sig),
+        "rev" | "expand" => classify_flagless_map(&sig),
+        "fold" => classify_fold(&sig),
+        // Whole-stream order dependence: position numbering, reversal,
+        // suffixes, sorted two-way merges.
+        "nl" | "tac" | "tail" | "comm" => EffectClass::OrderSensitive,
+        _ => EffectClass::Unknown,
+    }
+}
+
+fn classify_cat(sig: &Signature) -> EffectClass {
+    if sig.flags.is_empty() {
+        // A stdin-reading cat is the identity map.
+        EffectClass::Stateless
+    } else if sig.has_flag("-n") {
+        // `cat -n` is line numbering.
+        EffectClass::OrderSensitive
+    } else {
+        EffectClass::Unknown
+    }
+}
+
+fn classify_tr(sig: &Signature) -> EffectClass {
+    if sig.has_flag("-s") {
+        // Squeezing repeats merges across any split point.
+        EffectClass::OrderSensitive
+    } else if sig
+        .flags
+        .iter()
+        .all(|f| f == "-c" || f == "-C" || f == "-d")
+    {
+        // Translate/delete is a pure per-byte map. (This includes
+        // `tr -d '\n'`: concat still holds byte-wise; whether its output
+        // *streams* line-aligned is a separate, probed property.)
+        EffectClass::Stateless
+    } else {
+        EffectClass::Unknown
+    }
+}
+
+fn classify_grep(sig: &Signature) -> EffectClass {
+    // Positional or contextual output depends on line positions/neighbors.
+    let order_sensitive = ["-n", "-b"].iter().any(|f| sig.has_flag(f))
+        || ['m', 'A', 'B', 'C']
+            .iter()
+            .any(|&l| sig.flag_value(l).is_some());
+    if order_sensitive {
+        return EffectClass::OrderSensitive;
+    }
+    // Selecting-form flags: each input line maps to itself or nothing.
+    let selecting = |f: &String| {
+        matches!(f.as_str(), "-i" | "-v" | "-w" | "-x" | "-E" | "-F" | "-o") || f.starts_with("-e=")
+    };
+    if sig.has_flag("-c") {
+        // Per-piece counts sum.
+        if sig.flags.iter().all(|f| f == "-c" || selecting(f)) {
+            EffectClass::CommutativeFold
+        } else {
+            EffectClass::Unknown
+        }
+    } else if sig.flags.iter().all(selecting) {
+        EffectClass::Stateless
+    } else {
+        EffectClass::Unknown
+    }
+}
+
+fn classify_cut(sig: &Signature) -> EffectClass {
+    let known = |f: &String| {
+        f == "-s"
+            || ['d', 'f', 'c', 'b']
+                .iter()
+                .any(|&l| f.as_bytes().starts_with(&[b'-', l as u8, b'=']))
+    };
+    if sig.flags.iter().all(known) {
+        EffectClass::Stateless
+    } else {
+        EffectClass::Unknown
+    }
+}
+
+fn classify_sed(sig: &Signature) -> EffectClass {
+    // Only the plain single-script form is classified; `-n`, `-e`, and
+    // multi-operand invocations fall through to synthesis.
+    if !sig.flags.is_empty() || sig.operands.len() != 1 {
+        return EffectClass::Unknown;
+    }
+    let script = sig.operands[0].as_str();
+    let mut chars = script.chars();
+    match chars.next() {
+        // An address prefix (`1d`, `100q`, `$d`) pins behaviour to line
+        // positions.
+        Some(c) if c.is_ascii_digit() || c == '$' || c == '/' => EffectClass::OrderSensitive,
+        // `s<d>pat<d>rep<d>flags` / `y<d>a<d>b<d>`: a per-line map,
+        // provided the flags do not write files (`w`) — conservatively
+        // require them to be the known per-line set.
+        Some(op @ ('s' | 'y')) => {
+            let Some(delim) = chars.next() else {
+                return EffectClass::Unknown;
+            };
+            if delim.is_ascii_alphanumeric() || delim == '\\' {
+                return EffectClass::Unknown;
+            }
+            let body = &script[op.len_utf8() + delim.len_utf8()..];
+            let parts = split_sed_body(body, delim);
+            match parts.as_slice() {
+                [_, _, tail]
+                    if tail
+                        .chars()
+                        .all(|c| c == 'g' || c == 'i' || c.is_ascii_digit()) =>
+                {
+                    EffectClass::Stateless
+                }
+                _ => EffectClass::Unknown,
+            }
+        }
+        _ => EffectClass::Unknown,
+    }
+}
+
+/// Splits a sed `s`/`y` body on its unescaped delimiters.
+fn split_sed_body(body: &str, delim: char) -> Vec<&str> {
+    let mut parts = Vec::new();
+    let mut start = 0;
+    let mut escaped = false;
+    for (idx, c) in body.char_indices() {
+        if escaped {
+            escaped = false;
+        } else if c == '\\' {
+            escaped = true;
+        } else if c == delim {
+            parts.push(&body[start..idx]);
+            start = idx + c.len_utf8();
+        }
+    }
+    parts.push(&body[start..]);
+    parts
+}
+
+fn classify_sort(sig: &Signature) -> EffectClass {
+    if sig.flag_value('o').is_some() {
+        // `sort -o file` writes a file: an effect the lattice's pure
+        // stream model does not cover.
+        EffectClass::Unknown
+    } else {
+        EffectClass::CommutativeFold
+    }
+}
+
+fn classify_uniq(sig: &Signature) -> EffectClass {
+    if sig.flags.is_empty() || sig.flags == ["-c"] {
+        // Plain `uniq` re-runs over the piece boundary; `uniq -c`
+        // stitches boundary counts.
+        EffectClass::PureParallelizable
+    } else {
+        EffectClass::Unknown
+    }
+}
+
+fn classify_head(sig: &Signature) -> EffectClass {
+    let line_form = match sig.flags.as_slice() {
+        [] => true,
+        [f] => {
+            sig.flag_value('n')
+                .is_some_and(|v| v.parse::<u64>().is_ok())
+                || (f.starts_with('-') && f[1..].parse::<u64>().is_ok())
+        }
+        _ => false,
+    };
+    if line_form {
+        // A line prefix: the first piece (or a rerun) combines.
+        EffectClass::PureParallelizable
+    } else {
+        EffectClass::Unknown
+    }
+}
+
+fn classify_flagless_map(sig: &Signature) -> EffectClass {
+    if sig.flags.is_empty() {
+        EffectClass::Stateless
+    } else {
+        EffectClass::Unknown
+    }
+}
+
+fn classify_fold(sig: &Signature) -> EffectClass {
+    let known = |f: &String| f == "-s" || f.starts_with("-w=");
+    if sig.flags.iter().all(known) {
+        // Wrapping long lines is a per-line map.
+        EffectClass::Stateless
+    } else {
+        EffectClass::Unknown
+    }
+}
+
+/// The combiner a classification certifies without synthesis: plain
+/// `concat` for [`EffectClass::Stateless`], nothing for every other class
+/// (they only *promise* a combiner exists; synthesis must still find it so
+/// plans stay identical to the observed-behaviour path).
+pub fn static_combiner(class: EffectClass) -> Option<SynthesizedCombiner> {
+    match class {
+        EffectClass::Stateless => Some(SynthesizedCombiner::from_plausible(vec![Candidate::rec(
+            RecOp::Concat,
+        )])),
+        _ => None,
+    }
+}
+
+/// A command's read effect set, mirroring the scheduler's conservative
+/// dependency pass (`kq_pipeline::scheduler::statement_deps`): any argv
+/// word may name a file the command reads (`comm - dict`, `paste a b`),
+/// and `xargs` reads paths from its *data*, which no static scan can
+/// bound.
+#[derive(Debug, Clone, Default)]
+pub struct EffectSet {
+    /// The command consumes its standard input.
+    pub reads_stdin: bool,
+    /// argv words that may name read files (everything after the program).
+    pub reads: Vec<String>,
+    /// `xargs`: the read set is unbounded.
+    pub reads_everything: bool,
+}
+
+/// Extracts a command's [`EffectSet`].
+pub fn effects(command: &Command) -> EffectSet {
+    EffectSet {
+        reads_stdin: command.reads_stdin(),
+        reads: command.argv().iter().skip(1).cloned().collect(),
+        reads_everything: command.program() == "xargs",
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use kq_coreutils::parse_command;
+
+    fn class_of(line: &str) -> EffectClass {
+        classify(&parse_command(line).unwrap())
+    }
+
+    #[test]
+    fn stateless_per_line_maps() {
+        for line in [
+            "cat",
+            "grep fox",
+            "grep -i -v pattern",
+            "tr A-Z a-z",
+            "tr -d '\\n'",
+            "tr -cs A-Za-z '\\n'", // squeeze: must NOT be stateless
+            "cut -d ' ' -f 1",
+            "cut -c 1-5",
+            "rev",
+            "sed 's/a/b/g'",
+        ] {
+            let class = class_of(line);
+            if line.contains("-cs") {
+                assert_eq!(class, EffectClass::OrderSensitive, "{line}");
+            } else {
+                assert_eq!(class, EffectClass::Stateless, "{line}");
+            }
+        }
+    }
+
+    #[test]
+    fn folds_and_parallelizable() {
+        assert_eq!(class_of("sort"), EffectClass::CommutativeFold);
+        assert_eq!(class_of("sort -rn"), EffectClass::CommutativeFold);
+        assert_eq!(class_of("wc -l"), EffectClass::CommutativeFold);
+        assert_eq!(class_of("grep -c fox"), EffectClass::CommutativeFold);
+        assert_eq!(class_of("uniq"), EffectClass::PureParallelizable);
+        assert_eq!(class_of("uniq -c"), EffectClass::PureParallelizable);
+        assert_eq!(class_of("head -n 3"), EffectClass::PureParallelizable);
+    }
+
+    #[test]
+    fn order_sensitive_and_unknown() {
+        assert_eq!(class_of("tail -n 1"), EffectClass::OrderSensitive);
+        assert_eq!(class_of("nl"), EffectClass::OrderSensitive);
+        assert_eq!(class_of("cat -n"), EffectClass::OrderSensitive);
+        assert_eq!(class_of("grep -n fox"), EffectClass::OrderSensitive);
+        assert_eq!(class_of("sed '1d'"), EffectClass::OrderSensitive);
+        assert_eq!(class_of("sed '100q'"), EffectClass::OrderSensitive);
+        assert_eq!(class_of("sed '$d'"), EffectClass::OrderSensitive);
+        assert_eq!(class_of("awk '{print $1}'"), EffectClass::Unknown);
+        assert_eq!(class_of("xargs wc -l"), EffectClass::Unknown);
+        // Sources never classify: the parallelization question is moot.
+        assert_eq!(class_of("cat big.txt"), EffectClass::Unknown);
+    }
+
+    #[test]
+    fn signature_round_trips_normalization() {
+        let sig = signature(&parse_command("grep -cn p").unwrap()).unwrap();
+        assert_eq!(sig.program, "grep");
+        assert_eq!(sig.flags, vec!["-c", "-n"]);
+        assert_eq!(sig.operands, vec!["p"]);
+        let a = signature(&parse_command("cut -d, -f1").unwrap());
+        let b = signature(&parse_command("cut -f 1 -d ','").unwrap());
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn static_combiner_only_for_stateless() {
+        let c = static_combiner(EffectClass::Stateless).unwrap();
+        assert!(c.is_concat());
+        for class in [
+            EffectClass::PureParallelizable,
+            EffectClass::CommutativeFold,
+            EffectClass::OrderSensitive,
+            EffectClass::Unknown,
+        ] {
+            assert!(static_combiner(class).is_none());
+        }
+    }
+
+    #[test]
+    fn effects_mirror_the_scheduler_pass() {
+        let e = effects(&parse_command("comm -23 - /dict").unwrap());
+        assert!(e.reads_stdin);
+        assert_eq!(e.reads, vec!["-23", "-", "/dict"]);
+        assert!(!e.reads_everything);
+        let e = effects(&parse_command("xargs cat").unwrap());
+        assert!(e.reads_everything);
+    }
+}

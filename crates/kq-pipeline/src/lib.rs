@@ -186,6 +186,7 @@
 //! assert_eq!(parallel.output, serial.output);
 //! ```
 
+#![deny(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod cache;
@@ -193,6 +194,7 @@ pub mod chunked;
 pub mod dataflow;
 pub mod dist;
 pub mod exec;
+pub mod lattice;
 pub mod parse;
 pub mod plan;
 pub mod scheduler;
@@ -205,7 +207,8 @@ pub use exec::{
     AdaptiveTelemetry, EarlyExit, ExecutionResult, QueueTelemetry, SpillTelemetry, StageTiming,
     TimingLog,
 };
-pub use parse::{InputSource, Script, Stage, Statement};
+pub use lattice::{classify, EffectClass, EffectSet};
+pub use parse::{InputSource, ParseError, Script, SourceSpan, Stage, Statement};
 pub use plan::{PlannedScript, PlannedStage, Planner, StageMode, StreamSegment, StreamSegmentKind};
 pub use scheduler::{
     run_dataflow, ChunkSizing, DataflowOptions, QueueCredit, DEFAULT_CHUNK_BYTES,

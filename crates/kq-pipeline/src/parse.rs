@@ -17,6 +17,65 @@
 
 use kq_coreutils::{split_words, CmdError, Command};
 use std::collections::HashMap;
+use std::fmt;
+
+/// A position range in the original script text.
+///
+/// Offsets are byte offsets into the text given to [`parse_script`];
+/// `line` and `col` are 1-based (column counts characters, tab = 1).
+/// Statement spans are exact. Positions *inside* a statement (stage
+/// spans, error columns) are computed on the variable-expanded text and
+/// re-anchored at the statement start, so they are exact for
+/// variable-free statements and shift by the expansion delta after a
+/// `$VAR` — still inside the right statement, at worst off within it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct SourceSpan {
+    /// 1-based source line.
+    pub line: usize,
+    /// 1-based character column of the span's first character.
+    pub col: usize,
+    /// Byte offset of the span's first byte.
+    pub offset: usize,
+    /// Byte length of the spanned source text.
+    pub len: usize,
+}
+
+/// A parse failure carrying its source position (see [`SourceSpan`] for
+/// the exactness contract).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseError {
+    /// 0-based statement ordinal (displayed 1-based).
+    pub statement: usize,
+    /// 1-based source line.
+    pub line: usize,
+    /// 1-based character column.
+    pub col: usize,
+    /// Byte offset into the script text.
+    pub offset: usize,
+    /// What went wrong.
+    pub message: String,
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "statement {}, line {}, col {}: {}",
+            self.statement + 1,
+            self.line,
+            self.col,
+            self.message
+        )
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+impl From<ParseError> for CmdError {
+    fn from(e: ParseError) -> CmdError {
+        CmdError::new("sh", e.to_string())
+    }
+}
 
 /// Where a statement reads its input from.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -33,6 +92,8 @@ pub enum InputSource {
 pub struct Stage {
     /// The runnable command.
     pub command: Command,
+    /// Source position of the stage's pipe segment (see [`SourceSpan`]).
+    pub span: SourceSpan,
 }
 
 /// A statement: a pipeline plus its input source and optional `> file`
@@ -47,6 +108,9 @@ pub struct Statement {
     /// Output redirection target, `None` when the statement's output is
     /// the script's output.
     pub output: Option<String>,
+    /// Source position of the whole statement (exact byte offsets into
+    /// the original text).
+    pub span: SourceSpan,
 }
 
 impl Statement {
@@ -152,29 +216,45 @@ pub fn expand_vars(text: &str, env: &HashMap<String, String>) -> String {
 }
 
 /// Parses a script. `env` provides initial variable bindings (e.g. `IN`);
-/// assignments inside the script update it.
-pub fn parse_script(text: &str, env: &HashMap<String, String>) -> Result<Script, CmdError> {
+/// assignments inside the script update it. Errors carry source
+/// positions ([`ParseError`]).
+pub fn parse_script(text: &str, env: &HashMap<String, String>) -> Result<Script, ParseError> {
     let mut env = env.clone();
     let mut script = Script::default();
-    for raw_line in text.lines() {
-        let line = strip_comment(raw_line).trim();
-        if line.is_empty() || line.starts_with("#!") {
-            continue;
-        }
-        for piece in split_statements(line) {
-            let piece = piece.trim();
-            if piece.is_empty() {
+    let mut line_start = 0usize;
+    for (line_idx, raw_line) in text.split_inclusive('\n').enumerate() {
+        let line = raw_line
+            .strip_suffix('\n')
+            .unwrap_or(raw_line)
+            .strip_suffix('\r')
+            .unwrap_or(raw_line);
+        let stripped = strip_comment(line);
+        for (start, end) in split_unquoted_ranges(stripped, ';') {
+            let piece = &stripped[start..end];
+            let trimmed = piece.trim();
+            if trimmed.is_empty() {
                 continue;
             }
+            let lead = piece.len() - piece.trim_start().len();
+            let span = SourceSpan {
+                line: line_idx + 1,
+                col: stripped[..start + lead].chars().count() + 1,
+                offset: line_start + start + lead,
+                len: trimmed.len(),
+            };
             // Variable assignment statement: VAR=VALUE (no command after).
-            if let Some((name, value)) = try_assignment(piece) {
+            if let Some((name, value)) = try_assignment(trimmed) {
                 let expanded = expand_vars(&value, &env);
                 env.insert(name, trim_quotes(&expanded));
                 continue;
             }
-            let expanded = expand_vars(piece, &env);
-            script.statements.push(parse_statement(&expanded)?);
+            let expanded = expand_vars(trimmed, &env);
+            let statement = script.statements.len();
+            script
+                .statements
+                .push(parse_statement(&expanded, span, statement)?);
         }
+        line_start += raw_line.len();
     }
     Ok(script)
 }
@@ -215,39 +295,32 @@ fn strip_comment(line: &str) -> &str {
     line
 }
 
-/// Splits a line into `;`-separated statements, respecting quotes.
-fn split_statements(line: &str) -> Vec<String> {
+/// Splits `text` at unquoted, unescaped occurrences of `sep`, returning
+/// the byte ranges *between* separators (so callers keep exact source
+/// offsets for spans and error positions).
+fn split_unquoted_ranges(text: &str, sep: char) -> Vec<(usize, usize)> {
     let mut out = Vec::new();
-    let mut cur = String::new();
+    let mut start = 0;
     let mut in_single = false;
     let mut in_double = false;
     let mut escaped = false;
-    for c in line.chars() {
+    for (idx, c) in text.char_indices() {
         if escaped {
             escaped = false;
-            cur.push(c);
             continue;
         }
         match c {
-            '\\' if !in_single => {
-                escaped = true;
-                cur.push(c);
+            '\\' if !in_single => escaped = true,
+            '\'' if !in_double => in_single = !in_single,
+            '"' if !in_single => in_double = !in_double,
+            c if c == sep && !in_single && !in_double => {
+                out.push((start, idx));
+                start = idx + c.len_utf8();
             }
-            '\'' if !in_double => {
-                in_single = !in_single;
-                cur.push(c);
-            }
-            '"' if !in_single => {
-                in_double = !in_double;
-                cur.push(c);
-            }
-            ';' if !in_single && !in_double => {
-                out.push(std::mem::take(&mut cur));
-            }
-            _ => cur.push(c),
+            _ => {}
         }
     }
-    out.push(cur);
+    out.push((start, text.len()));
     out
 }
 
@@ -267,100 +340,89 @@ fn try_assignment(piece: &str) -> Option<(String, String)> {
     Some((name.to_owned(), value.to_owned()))
 }
 
-/// Splits a statement into pipe segments, respecting quotes.
-fn split_pipes(text: &str) -> Vec<String> {
-    let mut out = Vec::new();
-    let mut cur = String::new();
-    let mut in_single = false;
-    let mut in_double = false;
-    let mut escaped = false;
-    for c in text.chars() {
-        if escaped {
-            escaped = false;
-            cur.push(c);
-            continue;
-        }
-        match c {
-            '\\' if !in_single => {
-                escaped = true;
-                cur.push(c);
-            }
-            '\'' if !in_double => {
-                in_single = !in_single;
-                cur.push(c);
-            }
-            '"' if !in_single => {
-                in_double = !in_double;
-                cur.push(c);
-            }
-            '|' if !in_single && !in_double => {
-                out.push(std::mem::take(&mut cur));
-            }
-            _ => cur.push(c),
-        }
-    }
-    out.push(cur);
-    out
-}
-
-fn parse_statement(text: &str) -> Result<Statement, CmdError> {
-    let mut segments = split_pipes(text);
+fn parse_statement(
+    text: &str,
+    span: SourceSpan,
+    statement: usize,
+) -> Result<Statement, ParseError> {
+    // Positions inside the (expanded) statement re-anchor at the
+    // statement's source span — exact when no variable expanded before
+    // them (see `SourceSpan`).
+    let err_at = |expanded_offset: usize, message: &str| ParseError {
+        statement,
+        line: span.line,
+        col: span.col + text[..expanded_offset.min(text.len())].chars().count(),
+        offset: span.offset + expanded_offset.min(span.len),
+        message: message.to_owned(),
+    };
+    let span_at = |range: (usize, usize)| SourceSpan {
+        line: span.line,
+        col: span.col + text[..range.0].chars().count(),
+        offset: span.offset + range.0.min(span.len),
+        len: range.1 - range.0,
+    };
+    // Pipe segments as source ranges; redirections shrink them in place.
+    let mut segments = split_unquoted_ranges(text, '|');
     // Output redirection on the last segment.
     let mut output = None;
-    if let Some(last) = segments.last_mut() {
-        if let Some(gt) = find_unquoted(last, '>') {
-            let target = last[gt + 1..].trim().to_owned();
+    if let Some((ls, le)) = segments.last_mut() {
+        if let Some(gt) = find_unquoted(&text[*ls..*le], '>') {
+            let target = text[*ls + gt + 1..*le].trim().to_owned();
             if target.is_empty() {
-                return Err(CmdError::new("sh", "missing redirection target"));
+                return Err(err_at(*ls + gt, "missing redirection target"));
             }
-            let head = last[..gt].to_owned();
-            *last = head;
+            *le = *ls + gt;
             output = Some(target);
         }
     }
     // Input redirection on the first segment.
     let mut input = InputSource::None;
-    if let Some(first) = segments.first_mut() {
-        if let Some(lt) = find_unquoted(first, '<') {
-            let target = first[lt + 1..].trim().to_owned();
+    if let Some((fs, fe)) = segments.first_mut() {
+        if let Some(lt) = find_unquoted(&text[*fs..*fe], '<') {
+            let target = text[*fs + lt + 1..*fe].trim().to_owned();
             if target.is_empty() {
-                return Err(CmdError::new("sh", "missing input redirection"));
+                return Err(err_at(*fs + lt, "missing input redirection"));
             }
-            let head = first[..lt].to_owned();
-            *first = head;
+            *fe = *fs + lt;
             input = InputSource::Files(vec![target]);
         }
     }
+    let segment_count = segments.len();
     let mut stages = Vec::new();
-    for (i, seg) in segments.iter().enumerate() {
-        let seg = seg.trim();
+    for (i, (s, e)) in segments.into_iter().enumerate() {
+        let raw = &text[s..e];
+        let seg = raw.trim();
+        let seg_off = s + (raw.len() - raw.trim_start().len());
         if seg.is_empty() {
             if i == 0 && matches!(input, InputSource::Files(_)) {
                 // `< file cmd` parsed as empty first segment — not in the
                 // corpus; treat an empty segment elsewhere as an error.
                 continue;
             }
-            return Err(CmdError::new("sh", "empty pipeline segment"));
+            return Err(err_at(s, "empty pipeline segment"));
         }
-        let words = split_words(seg).map_err(|e| CmdError::new("sh", e))?;
+        let words = split_words(seg).map_err(|e| err_at(seg_off, &e))?;
         // Initial `cat FILE...` is the input source, not a stage.
         if i == 0
             && words.first().is_some_and(|w| w == "cat")
             && words.len() > 1
-            && segments.len() > 1
+            && segment_count > 1
             && matches!(input, InputSource::None)
         {
             input = InputSource::Files(words[1..].to_vec());
             continue;
         }
         stages.push(Stage {
-            command: kq_coreutils::from_argv(&words)?,
+            command: kq_coreutils::from_argv(&words)
+                .map_err(|e| err_at(seg_off, &e.to_string()))?,
+            span: span_at((seg_off, seg_off + seg.len())),
         });
     }
     Ok(Statement {
         stages,
         input,
         output,
+        span,
     })
 }
 
@@ -496,6 +558,65 @@ mod tests {
     #[test]
     fn unknown_command_errors() {
         assert!(parse_script("cat /x | frobnicate", &HashMap::new()).is_err());
+    }
+
+    #[test]
+    fn statement_spans_are_exact_byte_ranges() {
+        let text = "cat /a | sort\ncat /b | uniq; cat /c | wc -l\n";
+        let script = parse_script(text, &HashMap::new()).unwrap();
+        let spans: Vec<(usize, usize, usize, usize)> = script
+            .statements
+            .iter()
+            .map(|s| (s.span.line, s.span.col, s.span.offset, s.span.len))
+            .collect();
+        assert_eq!(spans, vec![(1, 1, 0, 13), (2, 1, 14, 13), (2, 16, 29, 14)]);
+        // The span must reproduce the statement's source text.
+        let texts: Vec<&str> = script
+            .statements
+            .iter()
+            .map(|s| &text[s.span.offset..s.span.offset + s.span.len])
+            .collect();
+        assert_eq!(
+            texts,
+            vec!["cat /a | sort", "cat /b | uniq", "cat /c | wc -l"]
+        );
+    }
+
+    #[test]
+    fn stage_spans_point_at_pipe_segments() {
+        let text = "cat /in.txt | grep foo | wc -l";
+        let script = parse_script(text, &HashMap::new()).unwrap();
+        let st = &script.statements[0];
+        let spans: Vec<&str> = st
+            .stages
+            .iter()
+            .map(|s| &text[s.span.offset..s.span.offset + s.span.len])
+            .collect();
+        assert_eq!(spans, vec!["grep foo", "wc -l"]);
+        assert_eq!(st.stages[0].span.col, 15);
+    }
+
+    #[test]
+    fn parse_errors_carry_statement_line_and_column() {
+        let err =
+            parse_script("cat /a | sort\ncat /b | frobnicate -x", &HashMap::new()).unwrap_err();
+        assert_eq!(err.statement, 1);
+        assert_eq!(err.line, 2);
+        assert_eq!(err.col, 10); // the failing pipe segment's first char
+        assert_eq!(err.offset, 23);
+        assert!(
+            err.to_string().starts_with("statement 2, line 2, col 10:"),
+            "{err}"
+        );
+        assert!(err.to_string().contains("frobnicate"), "{err}");
+
+        let err = parse_script("cat /a | sort >", &HashMap::new()).unwrap_err();
+        assert_eq!((err.statement, err.line, err.col), (0, 1, 15));
+        assert_eq!(err.message, "missing redirection target");
+
+        let err = parse_script("cat /a |  | wc -l", &HashMap::new()).unwrap_err();
+        assert_eq!(err.message, "empty pipeline segment");
+        assert_eq!(err.col, 9);
     }
 
     #[test]

@@ -22,6 +22,7 @@
 //! streams — `tr -d '\n'` fails that precondition and keeps its combiner.
 
 use crate::cache::{cache_key, CacheLookup, CacheStats, CombinerCache};
+use crate::lattice;
 use crate::parse::{Script, Statement};
 use kq_coreutils::ExecContext;
 use kq_synth::{
@@ -326,6 +327,17 @@ pub struct Planner {
     /// (script, context) planning pass and must not leak across the
     /// fresh-context-per-script pattern corpus planning uses.
     probe_memo: HashMap<(String, u64), Option<(usize, bool)>>,
+    /// Consult the static effect lattice ([`crate::lattice`]) before
+    /// synthesizing: a [`lattice::EffectClass::Stateless`] command's
+    /// combiner is plain `concat` by construction, so synthesis is
+    /// short-circuited for it. The resulting plan is identical to the
+    /// synthesis-only path (the combiner is the same, and the mode/
+    /// streamability probes still run); the switch exists so the
+    /// plan-identity differential test can pin exactly that.
+    pub use_lattice: bool,
+    /// Unique commands whose synthesis the lattice short-circuited this
+    /// process (reported by the CLI's planning notes).
+    pub lattice_short_circuits: usize,
 }
 
 impl Planner {
@@ -345,6 +357,8 @@ impl Planner {
             reports: Vec::new(),
             rerun_shrink_threshold: 0.5,
             probe_memo: HashMap::new(),
+            use_lattice: true,
+            lattice_short_circuits: 0,
         }
     }
 
@@ -404,8 +418,37 @@ impl Planner {
         if let Some(resolved) = self.resolve_cached(&key, command, ctx) {
             return resolved;
         }
+        if let Some(combiner) = self.lattice_shortcut(&key, command) {
+            return Some(combiner);
+        }
         let report = synthesize(command, ctx, &self.config);
         self.record_synthesis(key, report)
+    }
+
+    /// The static short-circuit: a [`lattice::EffectClass::Stateless`]
+    /// command gets its `concat` combiner without synthesis. The entry is
+    /// cached process-locally but never persisted — the on-disk store
+    /// stays purely synthesis-proven. Any other class returns `None`:
+    /// those classes only promise a combiner *exists*, and planning from
+    /// the promise instead of the observed plausible set could change the
+    /// plan (rerun cost, elimination) relative to the synthesis path.
+    fn lattice_shortcut(
+        &mut self,
+        key: &str,
+        command: &kq_coreutils::Command,
+    ) -> Option<Arc<SynthesizedCombiner>> {
+        if !self.use_lattice {
+            return None;
+        }
+        let class = lattice::classify(command);
+        let combiner = Arc::new(lattice::static_combiner(class)?);
+        kq_trace::instant("lattice", "short-circuit")
+            .label(key)
+            .emit();
+        self.lattice_short_circuits += 1;
+        self.cache
+            .insert(key.to_owned(), Some(combiner.clone()), false);
+        Some(combiner)
     }
 
     /// Resolves `key` from the cache when possible: trusted in-memory
@@ -506,6 +549,9 @@ impl Planner {
                     continue;
                 }
                 if self.resolve_cached(&key, cmd, ctx).is_some() {
+                    continue;
+                }
+                if self.lattice_shortcut(&key, cmd).is_some() {
                     continue;
                 }
                 pending.push((key, cmd));
@@ -780,6 +826,44 @@ mod tests {
         assert!(planned.statements[0].stages[0].mode.is_parallel());
         // No synthesis report was produced for the manual command.
         assert!(planner.reports.iter().all(|r| r.command != "grep fox"));
+    }
+
+    #[test]
+    fn lattice_short_circuits_stateless_commands_without_changing_the_plan() {
+        let text = "cat $IN | grep fox | tr A-Z a-z | sort | uniq -c";
+        let env: Map<String, String> = [("IN".to_owned(), "/in.txt".to_owned())].into();
+        let script = parse_script(text, &env).unwrap();
+        let shape = |planner: &mut Planner| {
+            let ctx = ExecContext::default();
+            ctx.vfs.write("/in.txt", sample_text());
+            let planned = planner.plan(&script, &ctx, &sample_text());
+            planned.statements[0]
+                .stages
+                .iter()
+                .map(|s| {
+                    (
+                        s.mode.is_parallel(),
+                        s.mode.is_eliminated(),
+                        s.streamable,
+                        s.line_bound,
+                    )
+                })
+                .collect::<Vec<_>>()
+        };
+        let mut with = Planner::new(SynthesisConfig::default());
+        let mut without = Planner::new(SynthesisConfig::default());
+        without.use_lattice = false;
+        assert_eq!(shape(&mut with), shape(&mut without));
+        // grep and tr are stateless: neither synthesized with the lattice
+        // on; both did with it off. sort/uniq -c always synthesize.
+        assert_eq!(with.lattice_short_circuits, 2);
+        assert_eq!(without.lattice_short_circuits, 0);
+        let synthesized = |p: &Planner, c: &str| p.reports.iter().any(|r| r.command == c);
+        assert!(!synthesized(&with, "grep fox"));
+        assert!(!synthesized(&with, "tr A-Z a-z"));
+        assert!(synthesized(&without, "grep fox"));
+        assert!(synthesized(&with, "sort"));
+        assert!(synthesized(&with, "uniq -c"));
     }
 
     #[test]

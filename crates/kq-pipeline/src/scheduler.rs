@@ -511,6 +511,15 @@ pub fn run_dataflow(
         .iter()
         .map(|p| DataflowGraph::build(p, opts.fuse_streamable))
         .collect();
+    if cfg!(debug_assertions) {
+        for (si, (graph, planned)) in graphs.iter().zip(&plan.statements).enumerate() {
+            let problems = graph.validate(planned.stages.len(), queue_seed);
+            assert!(
+                problems.is_empty(),
+                "statement {si} dataflow graph violates its invariants: {problems:?}"
+            );
+        }
+    }
     let max_nodes = graphs.iter().map(|g| g.nodes.len()).max().unwrap_or(0);
     // Page-release is a refault-safe hint (see `Bytes::release_range`), so
     // sizing the lag for the auto ceiling merely defers releases — it can
@@ -589,7 +598,9 @@ pub fn run_dataflow(
                 Mutex::new(state)
             })
             .collect();
-        let edges = (0..graph.nodes.len()).map(|_| Edge::new(queue_seed)).collect();
+        let edges = (0..graph.nodes.len())
+            .map(|_| Edge::new(queue_seed))
+            .collect();
         let feeds_fold: Vec<bool> = (0..graph.nodes.len())
             .map(|ni| {
                 matches!(
@@ -756,7 +767,11 @@ pub fn run_dataflow(
 
 /// Conservative read/write dependency analysis over VFS paths:
 /// `deps[j]` lists every earlier statement `j` must wait for.
-fn statement_deps(script: &Script) -> Vec<Vec<usize>> {
+///
+/// Public so the static analyzer (`kumquat check`) can reuse the exact
+/// dependency relation the scheduler runs under when it lints for
+/// use-before-def, dead writes, and read/write aliasing.
+pub fn statement_deps(script: &Script) -> Vec<Vec<usize>> {
     struct Access {
         reads: Vec<String>,
         reads_everything: bool,
@@ -1042,8 +1057,8 @@ fn start_statement(cx: &Cx<'_, '_>, si: usize) {
                     // Base heuristic: ~8 chunks per worker gets the pool
                     // busy; the clamp keeps tiny inputs at the static
                     // default's scale and huge ones load-balanceable.
-                    let base = (input.len() / (cx.rt.workers * 8))
-                        .clamp(AUTO_CHUNK_MIN, AUTO_CHUNK_MAX);
+                    let base =
+                        (input.len() / (cx.rt.workers * 8)).clamp(AUTO_CHUNK_MIN, AUTO_CHUNK_MAX);
                     stmt.base_chunk.store(base, Ordering::Relaxed);
                     cx.rt.initial_chunk.fetch_min(base, Ordering::Relaxed);
                     cx.rt.max_chunk.fetch_max(base, Ordering::Relaxed);
@@ -1995,7 +2010,10 @@ mod tests {
             1024 << MAX_COARSEN_DOUBLINGS
         );
         // Byte ceiling.
-        assert_eq!(coarsened_target(AUTO_CHUNK_MAX, COARSEN_EVERY), AUTO_CHUNK_MAX);
+        assert_eq!(
+            coarsened_target(AUTO_CHUNK_MAX, COARSEN_EVERY),
+            AUTO_CHUNK_MAX
+        );
         // A base above the ceiling (huge Fixed-style base) is preserved.
         assert_eq!(coarsened_target(AUTO_CHUNK_MAX * 2, 0), AUTO_CHUNK_MAX * 2);
     }

@@ -437,7 +437,11 @@ mod tests {
         };
         // "3\n4" is outside the primary's domain: the fallback over the
         // (by then mapped) raw list is what settles the result.
-        let odd = vec![Bytes::from("3\n4"), Bytes::from("5\n6"), Bytes::from("7\n8")];
+        let odd = vec![
+            Bytes::from("3\n4"),
+            Bytes::from("5\n6"),
+            Bytes::from("7\n8"),
+        ];
         let expect = s.combine_all(&odd, &NoRunEnv).unwrap();
         let mut inc = s.incremental_with_spill(&NoRunEnv, Some(cfg.clone()));
         for p in &odd {

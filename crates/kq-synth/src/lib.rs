@@ -54,6 +54,7 @@
 //! assert_eq!(combiner.primary().to_string(), "((back '\\n' add) a b)");
 //! ```
 
+#![deny(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod composite;

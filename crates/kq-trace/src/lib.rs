@@ -52,6 +52,7 @@
 //! dataflow node. [`report::analyze`] computes per-node busy time and the
 //! critical path through the dataflow graph (see [`report`]).
 
+#![deny(unsafe_code)]
 #![warn(missing_docs)]
 
 mod chrome;

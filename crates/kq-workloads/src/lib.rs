@@ -15,6 +15,7 @@
 //! let parsed = kq_pipeline::parse::parse_script(script.text, &env).unwrap();
 //! ```
 
+#![deny(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod inputs;

@@ -1,3 +1,6 @@
 //! Umbrella crate for the KumQuat reproduction workspace: hosts the
 //! runnable examples and the cross-crate integration tests.
+
+#![deny(unsafe_code)]
+
 pub use kumquat;

@@ -1,0 +1,195 @@
+//! Corpus-wide properties of the `kumquat check` static analysis pass:
+//!
+//! 1. the effect lattice never claims more than dynamic synthesis can
+//!    prove (agreement, per unique corpus command);
+//! 2. turning the lattice short-circuit on does not change a single byte
+//!    of any emitted parallel script (plan identity), while skipping
+//!    synthesis for a substantial fraction of unique commands;
+//! 3. `check` is clean — even under `--deny-warnings` semantics — on all
+//!    70 benchmark scripts;
+//! 4. a deliberately broken fixture trips the hazard lints and makes the
+//!    CLI exit nonzero.
+
+use kq_analyze::EffectClass;
+use kq_cli::{emit_script, EmitOptions};
+use kq_coreutils::ExecContext;
+use kq_pipeline::cache_key;
+use kq_pipeline::parse::parse_script;
+use kq_pipeline::plan::Planner;
+use kq_synth::SynthesisConfig;
+use kq_workloads::{corpus, planning_sample, setup, Scale};
+use std::collections::HashMap;
+
+const SCALE: Scale = Scale {
+    input_bytes: 16_000,
+};
+
+/// (1) Agreement: for every unique stdin-reading command in the corpus,
+/// the static classification is a *lower bound* on what synthesis
+/// observes. `Stateless` promises the combiner is plain `concat`;
+/// `PureParallelizable`/`CommutativeFold` promise a combiner exists.
+/// Synthesis runs with the lattice off, so nothing here is circular.
+#[test]
+fn lattice_never_claims_more_than_synthesis_proves() {
+    let mut planner = Planner::new(SynthesisConfig::default());
+    planner.use_lattice = false;
+    let mut seen: HashMap<String, String> = HashMap::new();
+    for script in corpus() {
+        let ctx = ExecContext::default();
+        let env = setup(script, &ctx, &SCALE, 0xA9A1);
+        let parsed = parse_script(script.text, &env)
+            .unwrap_or_else(|e| panic!("{}/{} parse: {e}", script.suite.dir(), script.id));
+        for statement in &parsed.statements {
+            for stage in &statement.stages {
+                let cmd = &stage.command;
+                if !cmd.reads_stdin() {
+                    continue;
+                }
+                let key = cache_key(cmd);
+                if seen.contains_key(&key) {
+                    continue;
+                }
+                seen.insert(key, cmd.display().to_owned());
+                let class = kq_analyze::classify(cmd);
+                let combiner = planner.combiner_for(cmd, &ctx);
+                match class {
+                    EffectClass::Stateless => {
+                        let combiner = combiner.unwrap_or_else(|| {
+                            panic!("{}: Stateless but synthesis found nothing", cmd.display())
+                        });
+                        assert!(
+                            combiner.is_concat(),
+                            "{}: Stateless but synthesis did not certify concat",
+                            cmd.display()
+                        );
+                    }
+                    EffectClass::PureParallelizable | EffectClass::CommutativeFold => {
+                        assert!(
+                            combiner.is_some(),
+                            "{}: classified {} but synthesis found no combiner",
+                            cmd.display(),
+                            class.as_str()
+                        );
+                    }
+                    // No static promise to check.
+                    EffectClass::OrderSensitive | EffectClass::Unknown => {}
+                }
+            }
+        }
+    }
+    assert!(
+        seen.len() >= 30,
+        "corpus walk found only {} unique commands",
+        seen.len()
+    );
+}
+
+/// (2) Plan identity and short-circuit coverage: across the whole corpus,
+/// the lattice-on planner emits byte-identical parallel scripts to the
+/// synthesis-only planner, while short-circuiting synthesis for at least
+/// 25% of the unique commands it resolves.
+#[test]
+fn short_circuited_plans_are_byte_identical_across_the_corpus() {
+    let mut with = Planner::new(SynthesisConfig::default());
+    let mut without = Planner::new(SynthesisConfig::default());
+    without.use_lattice = false;
+    for script in corpus() {
+        let emitted = |planner: &mut Planner| {
+            let ctx = ExecContext::default();
+            let env = setup(script, &ctx, &SCALE, 0x1D57);
+            let parsed = parse_script(script.text, &env).unwrap();
+            let sample = ctx.vfs.read(&env["IN"]).unwrap();
+            let plan = planner.plan(&parsed, &ctx, planning_sample(&sample, 12_000));
+            emit_script(&parsed, &plan, &EmitOptions::default()).script
+        };
+        assert_eq!(
+            emitted(&mut with),
+            emitted(&mut without),
+            "{}/{}: lattice short-circuit changed the emitted plan",
+            script.suite.dir(),
+            script.id
+        );
+    }
+    // Unique commands resolved by the lattice-on planner: one synthesis
+    // report per cold synthesis, one counter bump per short-circuit.
+    let unique = with.lattice_short_circuits + with.reports.len();
+    assert_eq!(without.lattice_short_circuits, 0);
+    assert!(
+        with.lattice_short_circuits * 4 >= unique,
+        "short-circuits {}/{unique} below the 25% floor",
+        with.lattice_short_circuits
+    );
+}
+
+/// (3) `kumquat check` is clean on every corpus script, including under
+/// `--deny-warnings` semantics, and classifies at least one stage
+/// statically in the aggregate.
+#[test]
+fn check_is_clean_on_all_seventy_corpus_scripts() {
+    let mut scripts = 0usize;
+    let mut classified = 0usize;
+    for script in corpus() {
+        let ctx = ExecContext::default();
+        let env = setup(script, &ctx, &SCALE, 0xC4EC);
+        let analysis = kq_analyze::check_script(script.text, &env);
+        assert_eq!(
+            analysis.errors(),
+            0,
+            "{}/{}: {}",
+            script.suite.dir(),
+            script.id,
+            analysis.render_human()
+        );
+        assert!(
+            analysis.passes(true),
+            "{}/{} has warnings: {}",
+            script.suite.dir(),
+            script.id,
+            analysis.render_human()
+        );
+        scripts += 1;
+        classified += analysis
+            .classes
+            .iter()
+            .filter(|c| c.class != EffectClass::Unknown)
+            .count();
+    }
+    assert_eq!(scripts, 70);
+    assert!(
+        classified >= scripts,
+        "only {classified} statically classified stages across {scripts} scripts"
+    );
+}
+
+/// (4) The broken fixture: statement 2 reads a file that only statement 3
+/// writes (use-before-def), and statement 2's output is overwritten by
+/// statement 4 without ever being read (dead write). Both lints fire;
+/// hazards are warnings, so `--deny-warnings` is what turns them into a
+/// nonzero CLI exit — pin exactly that.
+#[test]
+fn broken_fixture_trips_hazard_lints_and_nonzero_exit() {
+    let fixture = "cat /in.txt | sort > /data/sorted.txt\n\
+                   cat /data/later.txt | wc -l > /data/n.txt\n\
+                   cat /in.txt | tr a-z A-Z > /data/later.txt\n\
+                   cat /in.txt | grep fox > /data/n.txt\n";
+    let analysis = kq_analyze::check_script(fixture, &HashMap::new());
+    let codes: Vec<&str> = analysis.diagnostics.iter().map(|d| d.code).collect();
+    assert!(codes.contains(&"KQ101"), "no use-before-def: {codes:?}");
+    assert!(codes.contains(&"KQ102"), "no dead-write: {codes:?}");
+    assert!(analysis.passes(false));
+    assert!(!analysis.passes(true));
+
+    // CLI surface: --deny-warnings turns the warnings into a nonzero exit.
+    let out =
+        kq_cli::run_cli(&["check".into(), "--deny-warnings".into(), fixture.to_owned()]).unwrap();
+    assert_eq!(out.exit_code, 1, "stdout: {}", out.stdout);
+    assert!(out.stdout.contains("KQ101"), "stdout: {}", out.stdout);
+    assert!(out.stdout.contains("KQ102"), "stdout: {}", out.stdout);
+    let clean = kq_cli::run_cli(&[
+        "check".into(),
+        "--deny-warnings".into(),
+        "cat /in.txt | grep fox | wc -l".into(),
+    ])
+    .unwrap();
+    assert_eq!(clean.exit_code, 0, "stdout: {}", clean.stdout);
+}

@@ -132,9 +132,7 @@ fn full_corpus_adaptive_knobs_match_serial_including_redirects() {
                 let have = ctx
                     .vfs
                     .read(target)
-                    .unwrap_or_else(|| {
-                        panic!("{id}: adaptive run left no redirect file {target}")
-                    });
+                    .unwrap_or_else(|| panic!("{id}: adaptive run left no redirect file {target}"));
                 assert_eq!(
                     &have, want,
                     "{id}: adaptive dataflow diverged at redirect {target} (w={workers})"

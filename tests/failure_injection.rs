@@ -201,14 +201,17 @@ fn poison_script(
         .iter()
         .map(|t| Stage {
             command: kumquat::coreutils::parse_command(t).unwrap(),
+            span: Default::default(),
         })
         .collect();
     stages.push(Stage {
         command: Command::custom(vec!["poison-sensitive".into()], Box::new(PoisonSensitive)),
+        span: Default::default(),
     });
     for t in tail {
         stages.push(Stage {
             command: kumquat::coreutils::parse_command(t).unwrap(),
+            span: Default::default(),
         });
     }
     let script = Script {
@@ -216,6 +219,7 @@ fn poison_script(
             stages,
             input: InputSource::Files(vec!["/in.txt".to_owned()]),
             output: None,
+            span: Default::default(),
         }],
     };
     let mut planner = Planner::new(SynthesisConfig::default());
